@@ -1,0 +1,251 @@
+// Benchmark harness: one testing.B benchmark per table of the paper's
+// evaluation section, plus micro-benchmarks for the hot kernels. Table
+// benchmarks run the same code paths as cmd/experiments at a reduced scale,
+// so `go test -bench=Table` regenerates every reported artifact.
+package ceaff
+
+import (
+	"testing"
+
+	"ceaff/internal/baselines"
+	"ceaff/internal/bench"
+	"ceaff/internal/blocking"
+	"ceaff/internal/core"
+	"ceaff/internal/experiments"
+	"ceaff/internal/fusion"
+	"ceaff/internal/gcn"
+	"ceaff/internal/mat"
+	"ceaff/internal/match"
+	"ceaff/internal/rng"
+	"ceaff/internal/sample"
+	"ceaff/internal/strsim"
+	"ceaff/internal/transe"
+)
+
+// benchOptions are the experiment settings used by the table benchmarks:
+// small enough for a bench loop, large enough to exercise every code path.
+func benchOptions() experiments.Options {
+	return experiments.Options{Scale: 0.05, Fast: true}
+}
+
+func BenchmarkTable2DatasetGen(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 9 {
+			b.Fatal("short table")
+		}
+	}
+}
+
+func BenchmarkTable3CrossLingual(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4MonoLingual(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Ablation(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6Ranking(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchInput generates one mid-size dataset for the micro-benchmarks.
+func benchInput(b *testing.B) *core.Input {
+	b.Helper()
+	spec, ok := bench.SpecByName(bench.SRPRSEnFr, 0.3)
+	if !ok {
+		b.Fatal("unknown spec")
+	}
+	spec.Dim = 16
+	d, err := bench.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &core.Input{
+		G1: d.G1, G2: d.G2,
+		Seeds: d.SeedPairs, Tests: d.TestPairs,
+		Emb1: d.Emb1, Emb2: d.Emb2,
+	}
+}
+
+func BenchmarkCEAFFPipeline(b *testing.B) {
+	in := benchInput(b)
+	cfg := core.DefaultConfig()
+	cfg.GCN = baselines.FastSettings().GCN
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGCNTraining(b *testing.B) {
+	in := benchInput(b)
+	cfg := gcn.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Epochs = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gcn.Train(in.G1, in.G2, in.Seeds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransETraining(b *testing.B) {
+	in := benchInput(b)
+	cfg := transe.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Epochs = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transe.Train(in.G1.NumEntities(), in.G1.NumRelations(), in.G1.Triples, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLevenshteinMatrix(b *testing.B) {
+	in := benchInput(b)
+	var src, tgt []string
+	for _, p := range in.Tests {
+		src = append(src, in.G1.EntityName(p.U))
+		tgt = append(tgt, in.G2.EntityName(p.V))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strsim.Matrix(src, tgt)
+	}
+}
+
+func randomSim(n int, seed uint64) *mat.Dense {
+	s := rng.New(seed)
+	m := mat.NewDense(n, n)
+	for i := range m.Data {
+		m.Data[i] = s.Float64()
+	}
+	return m
+}
+
+func BenchmarkDeferredAcceptance(b *testing.B) {
+	sim := randomSim(500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.DeferredAcceptance(sim)
+	}
+}
+
+func BenchmarkHungarian(b *testing.B) {
+	sim := randomSim(200, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.Hungarian(sim)
+	}
+}
+
+func BenchmarkAdaptiveFusion(b *testing.B) {
+	ms := []*mat.Dense{randomSim(500, 3), randomSim(500, 4), randomSim(500, 5)}
+	opt := fusion.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fusion.AdaptiveWeights(ms, opt)
+	}
+}
+
+func BenchmarkGreedyOneToOne(b *testing.B) {
+	sim := randomSim(500, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.GreedyOneToOne(sim)
+	}
+}
+
+func BenchmarkBlockedPipeline(b *testing.B) {
+	in := benchInput(b)
+	cfg := core.DefaultConfig()
+	cfg.GCN = baselines.FastSettings().GCN
+	srcNames := make([]string, len(in.Tests))
+	tgtNames := make([]string, len(in.Tests))
+	for i, p := range in.Tests {
+		srcNames[i] = in.G1.EntityName(p.U)
+		tgtNames[i] = in.G2.EntityName(p.V)
+	}
+	blocker := &blocking.Blocker{
+		Generators: []blocking.Generator{
+			blocking.NewTokenIndex(srcNames, tgtNames, 0),
+			blocking.NewNeighborExpansion(in.G1, in.G2, in.Seeds, in.Tests),
+		},
+		NumTargets: len(in.Tests),
+	}
+	cands := blocker.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunBlocked(in, cfg, cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	in := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sample.PageRank(in.G1, 0.85, 30)
+	}
+}
+
+func BenchmarkSRPRSSampling(b *testing.B) {
+	in := benchInput(b)
+	opt := sample.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sample.Sample(in.G1, in.G1.NumEntities()/3, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCosineSimMatrix(b *testing.B) {
+	s := rng.New(6)
+	a := mat.NewDense(500, 48)
+	c := mat.NewDense(500, 48)
+	for i := range a.Data {
+		a.Data[i] = s.Norm()
+	}
+	for i := range c.Data {
+		c.Data[i] = s.Norm()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.CosineSim(a, c)
+	}
+}

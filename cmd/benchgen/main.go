@@ -1,0 +1,169 @@
+// Command benchgen generates the synthetic benchmark datasets (the DBP15K,
+// DBP100K and SRPRS analogues of Table II) and either prints their
+// statistics or writes the KGs to disk in the kg text format.
+//
+// Usage:
+//
+//	benchgen [-dataset "DBP15K ZH-EN*"] [-scale 1.0] [-out dir] [-seed 1]
+//
+// Without -dataset, all nine standard pairs are processed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ceaff/internal/bench"
+	"ceaff/internal/dataio"
+	"ceaff/internal/kg"
+	"ceaff/internal/wordvec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+
+	dataset := flag.String("dataset", "", "standard dataset name (default: all nine)")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	outDir := flag.String("out", "", "directory to write KG files into (optional)")
+	format := flag.String("format", "native", "output format: native (kg text) or openea (rel_triples_*/ent_links + .vec embeddings)")
+	seed := flag.Uint64("seed", 0, "override the spec's master seed (0 = keep default)")
+	flag.Parse()
+	if *format != "native" && *format != "openea" {
+		log.Fatalf("unknown format %q", *format)
+	}
+
+	var specs []bench.Spec
+	if *dataset == "" {
+		specs = bench.StandardSpecs(*scale)
+	} else {
+		spec, ok := bench.SpecByName(*dataset, *scale)
+		if !ok {
+			log.Fatalf("unknown dataset %q; known datasets:\n  %s",
+				*dataset, strings.Join(knownNames(), "\n  "))
+		}
+		specs = []bench.Spec{spec}
+	}
+
+	fmt.Printf("%-18s %12s %10s %12s %10s %8s %7s %7s\n",
+		"dataset", "KG1 triples", "KG1 ents", "KG2 triples", "KG2 ents", "K-S", "seeds", "test")
+	for _, spec := range specs {
+		if *seed != 0 {
+			spec.Seed = *seed
+		}
+		d, err := bench.Generate(spec)
+		if err != nil {
+			log.Fatalf("%s: %v", spec.Name, err)
+		}
+		fmt.Printf("%-18s %12d %10d %12d %10d %8.3f %7d %7d\n",
+			strings.TrimSuffix(spec.Name, "*"),
+			d.G1.NumTriples(), d.G1.NumEntities(),
+			d.G2.NumTriples(), d.G2.NumEntities(),
+			bench.KSStatistic(d.G1, d.G2),
+			len(d.SeedPairs), len(d.TestPairs))
+		if *outDir != "" {
+			var err error
+			if *format == "openea" {
+				err = writeOpenEA(*outDir, spec.Name, d)
+			} else {
+				err = writeDataset(*outDir, spec.Name, d)
+			}
+			if err != nil {
+				log.Fatalf("%s: %v", spec.Name, err)
+			}
+		}
+	}
+}
+
+// writeOpenEA exports a dataset in the OpenEA directory layout plus the
+// two languages' word embeddings in the word2vec text format, so the
+// generated corpora interoperate with external EA tooling.
+func writeOpenEA(dir, name string, d *bench.Dataset) error {
+	base := filepath.Join(dir, slugify(name))
+	c := &dataio.Corpus{
+		G1: d.G1, G2: d.G2,
+		Links: d.Gold, Train: d.SeedPairs, Test: d.TestPairs,
+	}
+	if err := dataio.Write(base, c); err != nil {
+		return err
+	}
+	for i, emb := range []any{d.Emb1, d.Emb2} {
+		lex, ok := emb.(*wordvec.Lexicon)
+		if !ok {
+			continue
+		}
+		f, err := os.Create(filepath.Join(base, fmt.Sprintf("embeddings_%d.vec", i+1)))
+		if err != nil {
+			return err
+		}
+		if err := lex.WriteVec(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func slugify(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, strings.TrimSuffix(name, "*"))
+}
+
+func knownNames() []string {
+	var names []string
+	for _, s := range bench.StandardSpecs(1.0) {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// writeDataset stores both KGs and the alignment splits under dir in the
+// native kg text format.
+func writeDataset(dir, name string, d *bench.Dataset) error {
+	base := filepath.Join(dir, slugify(name))
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		return err
+	}
+	writeKG := func(path string, g *kg.KG) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := g.WriteTo(f); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeKG(filepath.Join(base, "kg1.tsv"), d.G1); err != nil {
+		return err
+	}
+	if err := writeKG(filepath.Join(base, "kg2.tsv"), d.G2); err != nil {
+		return err
+	}
+	pairs, err := os.Create(filepath.Join(base, "alignment.tsv"))
+	if err != nil {
+		return err
+	}
+	defer pairs.Close()
+	for _, p := range d.SeedPairs {
+		fmt.Fprintf(pairs, "seed\t%d\t%d\n", p.U, p.V)
+	}
+	for _, p := range d.TestPairs {
+		fmt.Fprintf(pairs, "test\t%d\t%d\n", p.U, p.V)
+	}
+	return pairs.Close()
+}

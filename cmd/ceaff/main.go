@@ -1,0 +1,195 @@
+// Command ceaff runs the CEAFF pipeline end to end — on a generated
+// benchmark dataset or on a real corpus in the OpenEA directory layout —
+// and reports accuracy, the adaptive fusion weights, and (for independent
+// decisions) ranking metrics.
+//
+// Usage:
+//
+//	ceaff [-dataset "SRPRS EN-FR*"] [-scale 1.0] [-fast]
+//	      [-load dir] [-vec1 file.vec] [-vec2 file.vec] [-seedfrac 0.3]
+//	      [-no-structural] [-no-semantic] [-no-string]
+//	      [-fusion adaptive|fixed|lr] [-decision collective|independent|hungarian]
+//	      [-theta1 0.98] [-theta2 0.1]
+//
+// With -load, the directory must contain rel_triples_1/2 and ent_links
+// (optionally attr_triples_*, train_links/test_links); -vec1/-vec2 load
+// word embeddings in the word2vec text format for the two KGs' languages
+// (hash embeddings are used when absent, leaving the semantic feature
+// carrying only name-identity signal).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ceaff/internal/align"
+	"ceaff/internal/baselines"
+	"ceaff/internal/bench"
+	"ceaff/internal/core"
+	"ceaff/internal/dataio"
+	"ceaff/internal/rng"
+	"ceaff/internal/wordvec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ceaff: ")
+
+	dataset := flag.String("dataset", bench.SRPRSEnFr, "standard dataset name")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	fast := flag.Bool("fast", false, "use small test-grade substrate settings")
+	load := flag.String("load", "", "load an OpenEA-layout corpus directory instead of generating")
+	vec1 := flag.String("vec1", "", "word embeddings (.vec) for the source KG's language")
+	vec2 := flag.String("vec2", "", "word embeddings (.vec) for the target KG's language")
+	seedFrac := flag.Float64("seedfrac", 0.3, "seed fraction when the corpus has no predefined split")
+	splitSeed := flag.Uint64("splitseed", 1, "PRNG seed for the seed/test split")
+	noStructural := flag.Bool("no-structural", false, "drop the structural feature Ms")
+	noSemantic := flag.Bool("no-semantic", false, "drop the semantic feature Mn")
+	noString := flag.Bool("no-string", false, "drop the string feature Ml")
+	fusionMode := flag.String("fusion", "adaptive", "feature fusion: adaptive, fixed or lr")
+	decision := flag.String("decision", "collective", "EA decision: collective, independent or hungarian")
+	theta1 := flag.Float64("theta1", 0.98, "fusion damping threshold θ1")
+	theta2 := flag.Float64("theta2", 0.1, "fusion damped contribution θ2")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if *fast {
+		cfg.GCN = baselines.FastSettings().GCN
+	}
+	cfg.UseStructural = !*noStructural
+	cfg.UseSemantic = !*noSemantic
+	cfg.UseString = !*noString
+	cfg.FusionOpts.Theta1 = *theta1
+	cfg.FusionOpts.Theta2 = *theta2
+	switch *fusionMode {
+	case "adaptive":
+		cfg.Fusion = core.AdaptiveFusion
+	case "fixed":
+		cfg.Fusion = core.FixedFusion
+	case "lr":
+		cfg.Fusion = core.LearnedFusion
+	default:
+		log.Fatalf("unknown fusion mode %q", *fusionMode)
+	}
+	switch *decision {
+	case "collective":
+		cfg.Decision = core.Collective
+	case "independent":
+		cfg.Decision = core.Independent
+	case "hungarian":
+		cfg.Decision = core.Assignment
+	default:
+		log.Fatalf("unknown decision mode %q", *decision)
+	}
+
+	var in *core.Input
+	if *load != "" {
+		var err error
+		in, err = loadCorpusInput(*load, *vec1, *vec2, *seedFrac, *splitSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dataset   %s (loaded)\n", *load)
+	} else {
+		spec, ok := bench.SpecByName(*dataset, *scale)
+		if !ok {
+			log.Fatalf("unknown dataset %q", *dataset)
+		}
+		if *fast {
+			spec.Dim = baselines.FastSettings().Dim
+		}
+		fmt.Printf("dataset   %s (scale %.2f, %s, %s)\n", spec.Name, *scale, styleName(spec.Style), spec.Lang)
+		start := time.Now()
+		d, err := bench.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %d+%d entities, %d+%d triples, %d seeds, %d test pairs (%.1fs)\n",
+			d.G1.NumEntities(), d.G2.NumEntities(), d.G1.NumTriples(), d.G2.NumTriples(),
+			len(d.SeedPairs), len(d.TestPairs), time.Since(start).Seconds())
+		in = &core.Input{G1: d.G1, G2: d.G2, Seeds: d.SeedPairs, Tests: d.TestPairs, Emb1: d.Emb1, Emb2: d.Emb2}
+	}
+	fmt.Printf("pairs     %d seeds, %d test\n", len(in.Seeds), len(in.Tests))
+	start := time.Now()
+	res, err := core.Run(in, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline  %.1fs\n", time.Since(start).Seconds())
+	fmt.Printf("accuracy  %.4f\n", res.Accuracy)
+	if cfg.Fusion == core.AdaptiveFusion {
+		fmt.Printf("weights   textual=%v final=%v\n",
+			fmtWeights(res.FusionInfo.TextualWeights.PerFeature),
+			fmtWeights(res.FusionInfo.FinalWeights.PerFeature))
+	}
+	if len(res.LearnedWeights) > 0 {
+		fmt.Printf("lr-coeffs %v\n", fmtWeights(res.LearnedWeights))
+	}
+	if cfg.Decision == core.Independent {
+		fmt.Printf("ranking   Hits@1=%.4f Hits@10=%.4f MRR=%.4f\n",
+			res.Ranking.Hits1, res.Ranking.Hits10, res.Ranking.MRR)
+	}
+}
+
+// loadCorpusInput reads an OpenEA-layout corpus and builds a pipeline
+// input, loading .vec embeddings where provided and splitting the gold
+// links when the corpus has no predefined split.
+func loadCorpusInput(dir, vec1, vec2 string, seedFrac float64, splitSeed uint64) (*core.Input, error) {
+	c, err := dataio.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	emb1, err := loadVec(vec1, 0xE1)
+	if err != nil {
+		return nil, err
+	}
+	emb2, err := loadVec(vec2, 0xE2)
+	if err != nil {
+		return nil, err
+	}
+	if emb1.Dim() != emb2.Dim() {
+		return nil, fmt.Errorf("embedding dimensions differ: %d vs %d", emb1.Dim(), emb2.Dim())
+	}
+	seeds, tests := c.Train, c.Test
+	if seeds == nil {
+		seeds, tests = align.Split(c.Links, seedFrac, rng.New(splitSeed))
+	}
+	return &core.Input{G1: c.G1, G2: c.G2, Seeds: seeds, Tests: tests, Emb1: emb1, Emb2: emb2}, nil
+}
+
+func loadVec(path string, salt uint64) (wordvec.Embedder, error) {
+	if path == "" {
+		return wordvec.NewHash(48, salt), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	lex, err := wordvec.ReadVec(f, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return lex, nil
+}
+
+func styleName(s bench.Style) string {
+	if s == bench.PowerLaw {
+		return "power-law"
+	}
+	return "dense"
+}
+
+func fmtWeights(w []float64) string {
+	out := "["
+	for i, v := range w {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.3f", v)
+	}
+	return out + "]"
+}

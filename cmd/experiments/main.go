@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's evaluation tables (II–VI) on
+// the synthetic benchmark analogues, printing measured values next to the
+// paper's.
+//
+// Usage:
+//
+//	experiments [-table all|2|3|4|5|6] [-scale 1.0] [-fast] [-v]
+//
+// At -scale 1.0 with default substrates a full run takes minutes; use
+// -fast -scale 0.25 for a quick smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ceaff/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	table := flag.String("table", "all", "which table to regenerate: all, 2, 3, 4, 5, 6 or e1 (extension study)")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default analogue sizes)")
+	fast := flag.Bool("fast", false, "use small test-grade substrate settings")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables instead of fixed-width text")
+	verbose := flag.Bool("v", false, "print progress lines to stderr")
+	flag.Parse()
+
+	opt := experiments.Options{Scale: *scale, Fast: *fast}
+	if *verbose {
+		opt.Progress = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	render := func(t *experiments.Table) {
+		if *markdown {
+			t.RenderMarkdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+	run := func(name string) error {
+		switch name {
+		case "2":
+			rows, err := experiments.Table2(opt)
+			if err != nil {
+				return err
+			}
+			if *markdown {
+				experiments.RenderTable2Markdown(os.Stdout, rows)
+			} else {
+				experiments.RenderTable2(os.Stdout, rows)
+			}
+		case "3":
+			t, err := experiments.Table3(opt)
+			if err != nil {
+				return err
+			}
+			render(t)
+		case "4":
+			t, err := experiments.Table4(opt)
+			if err != nil {
+				return err
+			}
+			render(t)
+		case "5":
+			t, err := experiments.Table5(opt)
+			if err != nil {
+				return err
+			}
+			render(t)
+		case "6":
+			t, err := experiments.Table6(opt)
+			if err != nil {
+				return err
+			}
+			render(t)
+		case "e1":
+			t, err := experiments.TableE1(opt)
+			if err != nil {
+				return err
+			}
+			render(t)
+		default:
+			return fmt.Errorf("unknown table %q", name)
+		}
+		return nil
+	}
+
+	tables := []string{*table}
+	if *table == "all" {
+		tables = []string{"2", "3", "4", "5", "6"}
+	}
+	for _, name := range tables {
+		if err := run(name); err != nil {
+			log.Fatalf("table %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Mono-lingual alignment: DBpedia-vs-Wikidata-style matching where entity
+// names are near-identical and the string feature alone nearly solves the
+// task (the paper's Table IV reports CEAFF at accuracy 1.0 on all four
+// mono-lingual datasets).
+//
+// The example runs CEAFF with and without the string feature and compares
+// against the strongest mono-lingual baseline, MultiKE.
+//
+//	go run ./examples/monolingual
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ceaff/internal/baselines"
+	"ceaff/internal/bench"
+	"ceaff/internal/core"
+	"ceaff/internal/eval"
+	"ceaff/internal/match"
+)
+
+func main() {
+	spec, ok := bench.SpecByName(bench.SRPRSDbWd, 0.15)
+	if !ok {
+		log.Fatal("unknown dataset")
+	}
+	s := baselines.FastSettings()
+	spec.Dim = s.Dim
+	d, err := bench.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := &core.Input{
+		G1: d.G1, G2: d.G2,
+		Seeds: d.SeedPairs, Tests: d.TestPairs,
+		Emb1: d.Emb1, Emb2: d.Emb2,
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.GCN = s.GCN
+	fs, err := core.ComputeFeatures(in, cfg.GCN)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	full, err := core.Decide(fs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noString := cfg
+	noString.UseString = false
+	woMl, err := core.Decide(fs, noString)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	multike := baselines.NewMultiKE(s.TransE)
+	sim, err := multike.Align(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mkAcc := eval.Accuracy(match.Greedy(sim))
+
+	fmt.Printf("dataset           %s (%d test pairs)\n", spec.Name, len(d.TestPairs))
+	fmt.Printf("CEAFF             %.3f\n", full.Accuracy)
+	fmt.Printf("CEAFF w/o Ml      %.3f   <- string feature carries mono-lingual EA\n", woMl.Accuracy)
+	fmt.Printf("MultiKE baseline  %.3f\n", mkAcc)
+}

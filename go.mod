@@ -1,0 +1,3 @@
+module ceaff
+
+go 1.22

@@ -1,0 +1,69 @@
+// Package align defines the small shared vocabulary of the entity-alignment
+// task: cross-KG entity pairs and helpers over sets of them. It exists so
+// that feature generators, baselines and the CEAFF pipeline can exchange
+// seed and gold alignments without importing each other.
+package align
+
+import (
+	"ceaff/internal/kg"
+	"ceaff/internal/rng"
+)
+
+// Pair links a source-KG entity U to a target-KG entity V. Seed pairs are
+// the training set S of the paper; gold pairs are the reference alignment.
+type Pair struct {
+	U kg.EntityID // entity in the source KG (G1)
+	V kg.EntityID // entity in the target KG (G2)
+}
+
+// Split partitions pairs into a seed (training) set and a test set, with
+// ratio seedFrac going to the seed set, after a deterministic shuffle drawn
+// from s. The paper uses 30 % of gold standards as seed alignment.
+func Split(pairs []Pair, seedFrac float64, s *rng.Source) (seed, test []Pair) {
+	shuffled := make([]Pair, len(pairs))
+	copy(shuffled, pairs)
+	s.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	cut := int(seedFrac * float64(len(shuffled)))
+	return shuffled[:cut], shuffled[cut:]
+}
+
+// SourceIDs returns the U side of each pair, in order.
+func SourceIDs(pairs []Pair) []kg.EntityID {
+	out := make([]kg.EntityID, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.U
+	}
+	return out
+}
+
+// TargetIDs returns the V side of each pair, in order.
+func TargetIDs(pairs []Pair) []kg.EntityID {
+	out := make([]kg.EntityID, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Accuracy returns the fraction of predicted pairs that appear in gold.
+// Predictions for sources absent from gold are ignored; sources in gold
+// with no prediction count as wrong. This is the paper's main metric
+// (§VII-A): correctly aligned source entities / total source entities.
+func Accuracy(pred []Pair, gold []Pair) float64 {
+	if len(gold) == 0 {
+		return 0
+	}
+	want := make(map[kg.EntityID]kg.EntityID, len(gold))
+	for _, p := range gold {
+		want[p.U] = p.V
+	}
+	correct := 0
+	for _, p := range pred {
+		if v, ok := want[p.U]; ok && v == p.V {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(gold))
+}

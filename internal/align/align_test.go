@@ -1,0 +1,110 @@
+package align
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ceaff/internal/kg"
+	"ceaff/internal/rng"
+)
+
+func pairs(n int) []Pair {
+	out := make([]Pair, n)
+	for i := range out {
+		out[i] = Pair{U: kg.EntityID(i), V: kg.EntityID(i + 100)}
+	}
+	return out
+}
+
+func TestSplitSizes(t *testing.T) {
+	seed, test := Split(pairs(10), 0.3, rng.New(1))
+	if len(seed) != 3 || len(test) != 7 {
+		t.Fatalf("split %d/%d, want 3/7", len(seed), len(test))
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	all := pairs(50)
+	seed, test := Split(all, 0.3, rng.New(2))
+	seen := map[Pair]int{}
+	for _, p := range seed {
+		seen[p]++
+	}
+	for _, p := range test {
+		seen[p]++
+	}
+	if len(seen) != 50 {
+		t.Fatalf("split lost or duplicated pairs: %d distinct", len(seen))
+	}
+	for p, c := range seen {
+		if c != 1 {
+			t.Fatalf("pair %v appears %d times", p, c)
+		}
+	}
+}
+
+func TestSplitDoesNotMutateInput(t *testing.T) {
+	all := pairs(20)
+	orig := make([]Pair, len(all))
+	copy(orig, all)
+	Split(all, 0.5, rng.New(3))
+	for i := range all {
+		if all[i] != orig[i] {
+			t.Fatal("Split mutated its input")
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a1, b1 := Split(pairs(30), 0.3, rng.New(7))
+	a2, b2 := Split(pairs(30), 0.3, rng.New(7))
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("seed split not deterministic")
+		}
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("test split not deterministic")
+		}
+	}
+}
+
+func TestSplitQuick(t *testing.T) {
+	f := func(n uint8, seed uint16) bool {
+		all := pairs(int(n%64) + 2)
+		s, te := Split(all, 0.3, rng.New(uint64(seed)))
+		return len(s)+len(te) == len(all)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceTargetIDs(t *testing.T) {
+	ps := []Pair{{U: 1, V: 9}, {U: 2, V: 8}}
+	src := SourceIDs(ps)
+	tgt := TargetIDs(ps)
+	if src[0] != 1 || src[1] != 2 || tgt[0] != 9 || tgt[1] != 8 {
+		t.Fatalf("src %v tgt %v", src, tgt)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	gold := []Pair{{U: 1, V: 10}, {U: 2, V: 20}, {U: 3, V: 30}}
+	pred := []Pair{{U: 1, V: 10}, {U: 2, V: 30}, {U: 3, V: 30}}
+	if got := Accuracy(pred, gold); got != 2.0/3 {
+		t.Fatalf("Accuracy = %v, want 2/3", got)
+	}
+	// Missing prediction counts as wrong (denominator is gold size).
+	if got := Accuracy(pred[:1], gold); got != 1.0/3 {
+		t.Fatalf("Accuracy = %v, want 1/3", got)
+	}
+	// Prediction for unknown source ignored.
+	if got := Accuracy([]Pair{{U: 99, V: 1}}, gold); got != 0 {
+		t.Fatalf("Accuracy = %v, want 0", got)
+	}
+	if got := Accuracy(nil, nil); got != 0 {
+		t.Fatalf("empty Accuracy = %v", got)
+	}
+}

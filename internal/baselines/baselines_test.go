@@ -1,0 +1,231 @@
+package baselines
+
+import (
+	"testing"
+
+	"ceaff/internal/bench"
+	"ceaff/internal/core"
+	"ceaff/internal/eval"
+	"ceaff/internal/kg"
+	"ceaff/internal/mat"
+	"ceaff/internal/match"
+)
+
+// smallInput generates a compact dataset for baseline smoke tests.
+func smallInput(t *testing.T, style bench.Style, lang bench.LangRelation, seed uint64) *core.Input {
+	t.Helper()
+	spec := bench.Spec{
+		Name: "bl-test", Group: "TEST",
+		Style: style, Lang: lang,
+		NumPairs: 180, Extra1: 10, Extra2: 15,
+		AvgDegree: 5, NumRels: 8,
+		EdgeDropout: 0.15, EdgeNoise: 0.1,
+		NameNoise: 0.25, WordSwap: 0.3, TransNoise: 0.1, OOVRate: 0.25,
+		AttrTypes: 10, AttrCoverage: 0.5,
+		Dim: 16, SeedFrac: 0.3, Seed: seed,
+	}
+	d, err := bench.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Input{
+		G1: d.G1, G2: d.G2,
+		Seeds: d.SeedPairs, Tests: d.TestPairs,
+		Emb1: d.Emb1, Emb2: d.Emb2,
+	}
+}
+
+func accuracyOf(t *testing.T, m Method, in *core.Input) float64 {
+	t.Helper()
+	sim, err := m.Align(in)
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	if sim.Rows != len(in.Tests) || sim.Cols != len(in.Tests) {
+		t.Fatalf("%s: similarity shape %dx%d, want %dx%d", m.Name(), sim.Rows, sim.Cols, len(in.Tests), len(in.Tests))
+	}
+	return eval.Accuracy(match.Greedy(sim))
+}
+
+// TestAllBaselinesBeatRandom is the main smoke test: every method must run
+// on every language regime and clearly outperform random assignment.
+func TestAllBaselinesBeatRandom(t *testing.T) {
+	in := smallInput(t, bench.Dense, bench.Close, 11)
+	random := 1.0 / float64(len(in.Tests))
+	for _, m := range All(FastSettings()) {
+		acc := accuracyOf(t, m, in)
+		if acc < 5*random {
+			t.Errorf("%s accuracy %.3f does not beat random %.4f", m.Name(), acc, random)
+		}
+		t.Logf("%-10s %.3f", m.Name(), acc)
+	}
+}
+
+func TestCatalogShapes(t *testing.T) {
+	s := FastSettings()
+	if len(StructureOnly(s)) != 6 {
+		t.Fatalf("structure-only group has %d methods, want 6", len(StructureOnly(s)))
+	}
+	if len(MultiFeature(s)) != 5 {
+		t.Fatalf("multi-feature group has %d methods, want 5", len(MultiFeature(s)))
+	}
+	names := map[string]bool{}
+	for _, m := range All(s) {
+		if names[m.Name()] {
+			t.Fatalf("duplicate method %q", m.Name())
+		}
+		names[m.Name()] = true
+	}
+	for _, want := range []string{"MTransE", "IPTransE", "BootEA", "RSNs", "MuGNN", "NAEA",
+		"GCN-Align", "JAPE", "RDGCN", "MultiKE", "GM-Align"} {
+		if !names[want] {
+			t.Fatalf("missing baseline %q", want)
+		}
+	}
+}
+
+func TestBootstrappingHelps(t *testing.T) {
+	// BootEA's constrained bootstrapping should not fall behind plain
+	// MTransE (separate spaces) on the same data.
+	in := smallInput(t, bench.Dense, bench.Mono, 13)
+	s := FastSettings()
+	mtranse := accuracyOf(t, NewMTransE(s.TransE), in)
+	bootea := accuracyOf(t, NewBootEA(s.TransE), in)
+	if bootea+0.05 < mtranse {
+		t.Fatalf("BootEA %.3f clearly below MTransE %.3f", bootea, mtranse)
+	}
+}
+
+func TestNameAwareBeatsStructureOnlyOnMono(t *testing.T) {
+	// RDGCN and GM-Align exploit names; on mono-lingual data (near-equal
+	// names) they must clearly beat the pure-structure GCN-Align.
+	in := smallInput(t, bench.Dense, bench.Mono, 17)
+	s := FastSettings()
+	gcnAlign := accuracyOf(t, NewGCNAlign(s.GCN), in)
+	rdgcn := accuracyOf(t, NewRDGCN(s.GCN), in)
+	gmAlign := accuracyOf(t, NewGMAlign(), in)
+	if rdgcn <= gcnAlign {
+		t.Fatalf("RDGCN %.3f not above GCN-Align %.3f on mono data", rdgcn, gcnAlign)
+	}
+	if gmAlign <= gcnAlign {
+		t.Fatalf("GM-Align %.3f not above GCN-Align %.3f on mono data", gmAlign, gcnAlign)
+	}
+}
+
+func TestMergedSpaceConstruction(t *testing.T) {
+	in := smallInput(t, bench.Dense, bench.Mono, 19)
+	mg := newMerged(in, nil)
+	if mg.numEnt != in.G1.NumEntities()+in.G2.NumEntities() {
+		t.Fatalf("merged entities %d", mg.numEnt)
+	}
+	if len(mg.triples) != in.G1.NumTriples()+in.G2.NumTriples() {
+		t.Fatalf("merged triples %d", len(mg.triples))
+	}
+	// Every seed target collapses onto its source representative.
+	for _, p := range in.Seeds {
+		if mg.rep[mg.id2(p.V)] != mg.id1(p.U) {
+			t.Fatal("seed pair not merged")
+		}
+	}
+	// Non-seed entities keep their identity.
+	for _, p := range in.Tests {
+		if mg.rep[mg.id2(p.V)] != mg.id2(p.V) {
+			t.Fatal("test entity wrongly merged")
+		}
+	}
+	// Triples reference valid merged IDs.
+	for _, tr := range mg.triples {
+		if int(tr.Head) >= mg.numEnt || int(tr.Tail) >= mg.numEnt || int(tr.Relation) >= mg.numRel {
+			t.Fatalf("merged triple out of range: %+v", tr)
+		}
+	}
+}
+
+func TestRuleCompleteAddsTransitiveEdges(t *testing.T) {
+	g := kg.New("g")
+	a := g.AddEntity("a")
+	b := g.AddEntity("b")
+	c := g.AddEntity("c")
+	r := g.AddRelation("r")
+	g.AddTriple(a, r, b)
+	g.AddTriple(b, r, c)
+	out := ruleComplete(g, 100)
+	found := false
+	for _, t2 := range out.Triples {
+		if t2.Head == a && t2.Tail == c && t2.Relation == r {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("transitive shortcut (a,r,c) missing")
+	}
+	if out.NumTriples() != 3 {
+		t.Fatalf("completed triples %d, want 3", out.NumTriples())
+	}
+	// Cap respected.
+	capped := ruleComplete(g, 0)
+	if capped.NumTriples() != 2 {
+		t.Fatalf("cap ignored: %d triples", capped.NumTriples())
+	}
+}
+
+func TestConfidentPairsOneToOne(t *testing.T) {
+	in := smallInput(t, bench.Dense, bench.Mono, 23)
+	// Hand-build a similarity matrix with one clear mutual winner and one
+	// one-sided winner.
+	n := len(in.Tests)
+	sim := newTestMatrix(n)
+	pairs := confidentPairs(sim, in.Tests, 0.75, true, nil)
+	if len(pairs) != 1 {
+		t.Fatalf("one-to-one confident pairs = %d, want 1", len(pairs))
+	}
+	soft := confidentPairs(sim, in.Tests, 0.75, false, nil)
+	if len(soft) != 2 {
+		t.Fatalf("soft confident pairs = %d, want 2", len(soft))
+	}
+	// Already-known pairs are not re-proposed.
+	again := confidentPairs(sim, in.Tests, 0.75, true, pairs)
+	if len(again) != 0 {
+		t.Fatalf("duplicate pairs proposed: %v", again)
+	}
+}
+
+// newTestMatrix builds an n×n matrix where (0,0) is a mutual argmax with
+// score 0.9 and row 1's argmax (1,0) is one-sided with score 0.8.
+func newTestMatrix(n int) *mat.Dense {
+	m := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 0.1)
+		}
+	}
+	m.Set(0, 0, 0.9)
+	m.Set(1, 0, 0.8)
+	return m
+}
+
+func TestMultiKEUsesAllViews(t *testing.T) {
+	in := smallInput(t, bench.Dense, bench.Mono, 29)
+	s := FastSettings()
+	acc := accuracyOf(t, NewMultiKE(s.TransE), in)
+	if acc < 0.3 {
+		t.Fatalf("MultiKE accuracy %.3f too low on mono data", acc)
+	}
+}
+
+func TestAttentionSmoothPreservesIsolated(t *testing.T) {
+	emb := mat.NewDense(3, 2)
+	emb.Set(0, 0, 1)
+	emb.Set(1, 1, 1)
+	emb.Set(2, 0, 0.5)
+	nb := [][]int{{1}, {0}, nil}
+	out := attentionSmooth(emb, nb, 0.6)
+	// Isolated entity 2 unchanged.
+	if out.At(2, 0) != 0.5 || out.At(2, 1) != 0 {
+		t.Fatal("isolated entity altered")
+	}
+	// Entity 0 pulled toward its neighbour 1.
+	if out.At(0, 1) <= 0 {
+		t.Fatal("attention did not mix neighbour signal")
+	}
+}

@@ -1,0 +1,119 @@
+package baselines
+
+import (
+	"testing"
+
+	"ceaff/internal/bench"
+	"ceaff/internal/mat"
+)
+
+// TestAdaptiveThresholdFires verifies that the negative-threshold mode of
+// confidentPairs selects a non-empty, high-precision subset on a realistic
+// similarity matrix (the degenerate BootEA == IPTransE failure mode this
+// mode exists to prevent).
+func TestAdaptiveThresholdFires(t *testing.T) {
+	in := smallInput(t, bench.Dense, bench.Mono, 41)
+	n := len(in.Tests)
+	sim := mat.NewDense(n, n)
+	// Noisy background with a strong, graded diagonal for the first half
+	// (graded so the mean+σ cut falls strictly inside the strong group —
+	// a two-point distribution would put the threshold exactly on the max).
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sim.Set(i, j, 0.1)
+		}
+		if i < n/2 {
+			sim.Set(i, i, 0.5+0.4*float64(i)/float64(n))
+		}
+	}
+	pairs := confidentPairs(sim, in.Tests, -1, true, nil)
+	if len(pairs) == 0 {
+		t.Fatal("adaptive threshold selected nothing")
+	}
+	// Every selected pair should be a true diagonal pair here.
+	want := map[[2]int]bool{}
+	for i := 0; i < n/2; i++ {
+		want[[2]int{int(in.Tests[i].U), int(in.Tests[i].V)}] = true
+	}
+	for _, p := range pairs {
+		if !want[[2]int{int(p.U), int(p.V)}] {
+			t.Fatalf("adaptive threshold selected non-diagonal pair %+v", p)
+		}
+	}
+}
+
+func TestBootEADiffersFromIPTransE(t *testing.T) {
+	// With adaptive thresholds, the one-to-one constraint must actually
+	// change the bootstrapped pair set relative to the soft variant on at
+	// least the candidate level — the two methods must not be identical.
+	in := smallInput(t, bench.Dense, bench.Mono, 43)
+	s := FastSettings()
+	ipt, err := NewIPTransE(s.TransE).Align(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot, err := NewBootEA(s.TransE).Align(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range ipt.Data {
+		if ipt.Data[i] != boot.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("BootEA and IPTransE produced identical similarity matrices")
+	}
+}
+
+func TestJAPEAttrWeightMatters(t *testing.T) {
+	in := smallInput(t, bench.Dense, bench.Mono, 47)
+	s := FastSettings()
+	withAttrs := NewJAPE(s.TransE)
+	noAttrs := NewJAPE(s.TransE)
+	noAttrs.AttrWeight = 0
+	simA, err := withAttrs.Align(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := noAttrs.Align(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range simA.Data {
+		if simA.Data[i] != simB.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("attribute weight had no effect on JAPE similarities")
+	}
+}
+
+func TestMTransERequiresSeeds(t *testing.T) {
+	in := smallInput(t, bench.Dense, bench.Mono, 53)
+	broken := *in
+	broken.Seeds = nil
+	if _, err := NewMTransE(FastSettings().TransE).Align(&broken); err == nil {
+		t.Fatal("MTransE accepted empty seeds")
+	}
+}
+
+func TestBaselinesOnDistantScripts(t *testing.T) {
+	// Name-aware baselines must survive distant scripts (no shared
+	// characters) — the semantic space still aligns translations.
+	in := smallInput(t, bench.Dense, bench.Distant, 59)
+	acc := accuracyOf(t, NewRDGCN(FastSettings().GCN), in)
+	if acc < 0.2 {
+		t.Fatalf("RDGCN distant-script accuracy %.3f", acc)
+	}
+	// GM-Align too (its base is name embeddings, not strings).
+	acc = accuracyOf(t, NewGMAlign(), in)
+	if acc < 0.2 {
+		t.Fatalf("GM-Align distant-script accuracy %.3f", acc)
+	}
+}

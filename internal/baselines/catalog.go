@@ -1,0 +1,62 @@
+package baselines
+
+import (
+	"ceaff/internal/gcn"
+	"ceaff/internal/transe"
+)
+
+// Settings bundles the substrate configurations shared by the baselines.
+type Settings struct {
+	TransE transe.Config
+	GCN    gcn.Config
+	Dim    int // embedding dimension for RSN and name views
+}
+
+// DefaultSettings returns substrate settings matching the CEAFF defaults so
+// comparisons are apples-to-apples.
+func DefaultSettings() Settings {
+	return Settings{TransE: transe.DefaultConfig(), GCN: gcn.DefaultConfig(), Dim: 48}
+}
+
+// FastSettings shrinks the substrates for tests and smoke runs.
+func FastSettings() Settings {
+	s := DefaultSettings()
+	s.TransE.Dim = 16
+	s.TransE.Epochs = 15
+	s.GCN.Dim = 16
+	s.GCN.Epochs = 30
+	s.Dim = 16
+	return s
+}
+
+// StructureOnly returns the first-group methods of Tables III/IV — the
+// baselines using only structural information — in the paper's row order.
+func StructureOnly(s Settings) []Method {
+	return []Method{
+		NewMTransE(s.TransE),
+		NewIPTransE(s.TransE),
+		NewBootEA(s.TransE),
+		NewRSN(s.Dim),
+		NewMuGNN(s.GCN),
+		NewNAEA(s.TransE),
+	}
+}
+
+// MultiFeature returns the second-group methods — the baselines using
+// information beyond structure — in the paper's row order. MultiKE is
+// mono-lingual only and GM-Align is skipped on the largest datasets in the
+// paper; the experiment harness applies those policies.
+func MultiFeature(s Settings) []Method {
+	return []Method{
+		NewGCNAlign(s.GCN),
+		NewJAPE(s.TransE),
+		NewRDGCN(s.GCN),
+		NewMultiKE(s.TransE),
+		NewGMAlign(),
+	}
+}
+
+// All returns every baseline in table order (first group, then second).
+func All(s Settings) []Method {
+	return append(StructureOnly(s), MultiFeature(s)...)
+}

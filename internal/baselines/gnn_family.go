@@ -1,0 +1,286 @@
+package baselines
+
+import (
+	"math"
+
+	"ceaff/internal/align"
+	"ceaff/internal/core"
+	"ceaff/internal/gcn"
+	"ceaff/internal/kg"
+	"ceaff/internal/mat"
+	"ceaff/internal/transe"
+	"ceaff/internal/wordvec"
+)
+
+// GCNAlign [25] trains a structural GCN (the same substrate CEAFF's Ms
+// uses) plus an attribute view, and combines the two similarities with a
+// fixed weight — the outcome-level hand-tuned fusion the paper contrasts
+// with adaptive fusion.
+type GCNAlign struct {
+	GCN        gcn.Config
+	AttrWeight float64
+}
+
+// NewGCNAlign returns the baseline with the given GCN settings.
+func NewGCNAlign(cfg gcn.Config) *GCNAlign {
+	return &GCNAlign{GCN: cfg, AttrWeight: 0.1}
+}
+
+// Name implements Method.
+func (m *GCNAlign) Name() string { return "GCN-Align" }
+
+// Align implements Method.
+func (m *GCNAlign) Align(in *core.Input) (*mat.Dense, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	model, err := gcn.Train(in.G1, in.G2, in.Seeds, m.GCN)
+	if err != nil {
+		return nil, err
+	}
+	structural := model.SimilarityMatrix(align.SourceIDs(in.Tests), align.TargetIDs(in.Tests))
+	return blend(attrSim(in), structural, m.AttrWeight), nil
+}
+
+// MuGNN [2] encodes each KG through multiple channels. The lite variant
+// uses two: the raw adjacency and a rule-completed adjacency (transitive
+// two-hop shortcuts over a shared relation), averaging the channel
+// similarities.
+type MuGNN struct {
+	GCN gcn.Config
+	// MaxCompletions caps the number of synthesized shortcut triples per KG.
+	MaxCompletions int
+}
+
+// NewMuGNN returns the baseline with the given GCN settings.
+func NewMuGNN(cfg gcn.Config) *MuGNN {
+	return &MuGNN{GCN: cfg, MaxCompletions: 4000}
+}
+
+// Name implements Method.
+func (m *MuGNN) Name() string { return "MuGNN" }
+
+// Align implements Method.
+func (m *MuGNN) Align(in *core.Input) (*mat.Dense, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	src, tgt := align.SourceIDs(in.Tests), align.TargetIDs(in.Tests)
+
+	raw, err := gcn.Train(in.G1, in.G2, in.Seeds, m.GCN)
+	if err != nil {
+		return nil, err
+	}
+	cfg2 := m.GCN
+	cfg2.Seed++
+	completed, err := gcn.Train(ruleComplete(in.G1, m.MaxCompletions), ruleComplete(in.G2, m.MaxCompletions), in.Seeds, cfg2)
+	if err != nil {
+		return nil, err
+	}
+	return blend(
+		raw.SimilarityMatrix(src, tgt),
+		completed.SimilarityMatrix(src, tgt),
+		0.5,
+	), nil
+}
+
+// ruleComplete returns a copy of g augmented with transitive shortcuts:
+// for each path a -r-> b -r-> c, the rule r(a,b) ∧ r(b,c) ⇒ r(a,c) adds
+// (a, r, c), capped at maxNew triples.
+func ruleComplete(g *kg.KG, maxNew int) *kg.KG {
+	out := kg.New(g.Name + "_completed")
+	for i := 0; i < g.NumEntities(); i++ {
+		out.AddEntity(g.EntityName(kg.EntityID(i)))
+	}
+	for i := 0; i < g.NumRelations(); i++ {
+		out.AddRelation(g.RelationName(kg.RelationID(i)))
+	}
+	for _, t := range g.Triples {
+		out.AddTriple(t.Head, t.Relation, t.Tail)
+	}
+	outEdges := g.OutEdges()
+	added := 0
+	for _, t := range g.Triples {
+		if added >= maxNew {
+			break
+		}
+		for _, next := range outEdges[t.Tail] {
+			if next.Relation == t.Relation && next.Tail != t.Head {
+				out.AddTriple(t.Head, t.Relation, next.Tail)
+				added++
+				if added >= maxNew {
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NAEA [31] learns neighbourhood-aware attentional representations. The
+// lite variant trains a shared-space TransE base and re-represents each
+// entity as an attention-weighted combination of itself and its neighbours,
+// with attention scores from embedding dot products.
+type NAEA struct {
+	TransE transe.Config
+	// SelfWeight is the α retained for the entity's own embedding.
+	SelfWeight float64
+}
+
+// NewNAEA returns the baseline with the given TransE settings.
+func NewNAEA(cfg transe.Config) *NAEA {
+	return &NAEA{TransE: cfg, SelfWeight: 0.6}
+}
+
+// Name implements Method.
+func (m *NAEA) Name() string { return "NAEA" }
+
+// Align implements Method.
+func (m *NAEA) Align(in *core.Input) (*mat.Dense, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	mg := newMerged(in, nil)
+	model, err := transe.Train(mg.numEnt, mg.numRel, mg.triples, m.TransE)
+	if err != nil {
+		return nil, err
+	}
+	smoothed := attentionSmooth(model.Ent, mergedNeighbors(mg), m.SelfWeight)
+	return mg.testSim(smoothed, in.Tests), nil
+}
+
+// mergedNeighbors builds undirected neighbour lists in the merged ID space.
+func mergedNeighbors(m *merged) [][]int {
+	nb := make([][]int, m.numEnt)
+	seen := make(map[[2]int]bool)
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		k := [2]int{a, b}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		nb[a] = append(nb[a], b)
+		nb[b] = append(nb[b], a)
+	}
+	for _, t := range m.triples {
+		addEdge(int(t.Head), int(t.Tail))
+	}
+	return nb
+}
+
+// attentionSmooth returns z_e = α·e + (1-α)·Σ softmax(e·n)·n over the
+// neighbours n of e.
+func attentionSmooth(emb *mat.Dense, neighbors [][]int, selfWeight float64) *mat.Dense {
+	out := emb.Clone()
+	dim := emb.Cols
+	for e := range neighbors {
+		ns := neighbors[e]
+		if len(ns) == 0 {
+			continue
+		}
+		base := emb.Row(e)
+		scores := make([]float64, len(ns))
+		maxScore := math.Inf(-1)
+		for i, n := range ns {
+			scores[i] = mat.Dot(base, emb.Row(n))
+			if scores[i] > maxScore {
+				maxScore = scores[i]
+			}
+		}
+		var z float64
+		for i := range scores {
+			scores[i] = math.Exp(scores[i] - maxScore)
+			z += scores[i]
+		}
+		row := out.Row(e)
+		for d := 0; d < dim; d++ {
+			var agg float64
+			for i, n := range ns {
+				agg += scores[i] / z * emb.At(n, d)
+			}
+			row[d] = selfWeight*base[d] + (1-selfWeight)*agg
+		}
+	}
+	return out
+}
+
+// RDGCN [26] learns relation-aware entity representations initialized from
+// entity-name embeddings, so the output encodes both structure and
+// semantics. The lite variant feeds averaged word embeddings of the names
+// into our GCN as fixed input features and — mirroring RDGCN's residual
+// connections, which keep the input signal alive through the layers —
+// unifies the name view and the graph-contextual view at representation
+// level by concatenation. This is exactly the representation-level fusion
+// the paper contrasts with CEAFF's outcome-level fusion.
+type RDGCN struct {
+	GCN gcn.Config
+}
+
+// NewRDGCN returns the baseline with the given GCN settings. The GCN
+// dimension must match the word-embedding dimension of the input.
+func NewRDGCN(cfg gcn.Config) *RDGCN {
+	return &RDGCN{GCN: cfg}
+}
+
+// Name implements Method.
+func (m *RDGCN) Name() string { return "RDGCN" }
+
+// Align implements Method.
+func (m *RDGCN) Align(in *core.Input) (*mat.Dense, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	cfg := m.GCN
+	cfg.Dim = in.Emb1.Dim()
+	names1 := nameFeatures(in.G1, in.Emb1)
+	names2 := nameFeatures(in.G2, in.Emb2)
+	cfg.InitX1 = names1
+	cfg.InitX2 = names2
+	// Name inputs stay fixed, as in RDGCN; only the shared layers learn.
+	cfg.FreezeX = true
+	model, err := gcn.Train(in.G1, in.G2, in.Seeds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	src, tgt := align.SourceIDs(in.Tests), align.TargetIDs(in.Tests)
+	// Residual unification: [name ‖ graph-contextual] per entity.
+	u1 := concatViews(gatherRows(names1, src), gatherRows(model.Z1, src))
+	u2 := concatViews(gatherRows(names2, tgt), gatherRows(model.Z2, tgt))
+	return mat.CosineSim(u1, u2), nil
+}
+
+// gatherRows extracts the given entity rows from a full-KG matrix.
+func gatherRows(m *mat.Dense, ids []kg.EntityID) *mat.Dense {
+	out := mat.NewDense(len(ids), m.Cols)
+	for i, id := range ids {
+		copy(out.Row(i), m.Row(int(id)))
+	}
+	return out
+}
+
+// nameFeatures embeds every entity name of g with emb. Zero rows (fully
+// OOV names under a nil-fallback lexicon) are replaced with small hash
+// vectors so L2 normalization stays meaningful.
+func nameFeatures(g *kg.KG, emb wordvec.Embedder) *mat.Dense {
+	n := wordvec.NameEmbedding(emb, g.EntityNames())
+	for i := 0; i < n.Rows; i++ {
+		row := n.Row(i)
+		zero := true
+		for _, v := range row {
+			if v != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			row[0] = 1e-3
+		}
+	}
+	return n
+}

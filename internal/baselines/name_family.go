@@ -1,0 +1,201 @@
+package baselines
+
+import (
+	"fmt"
+
+	"ceaff/internal/align"
+	"ceaff/internal/core"
+	"ceaff/internal/kg"
+	"ceaff/internal/mat"
+	"ceaff/internal/transe"
+	"ceaff/internal/wordvec"
+)
+
+// GMAlign [28] builds a topic (local sub-graph) per entity, initializes it
+// with entity-name embeddings and matches graphs. The lite variant keeps
+// the two credited ingredients: a name-embedding base similarity and
+// neighbourhood similarity propagation — each refinement round blends an
+// entity pair's similarity with the average similarity of its neighbouring
+// pairs, which is the fixed-point computation graph matching relaxes to.
+type GMAlign struct {
+	// Rounds of neighbourhood propagation.
+	Rounds int
+	// Alpha is the retention weight of the base name similarity.
+	Alpha float64
+}
+
+// NewGMAlign returns the baseline with default lite settings.
+func NewGMAlign() *GMAlign {
+	return &GMAlign{Rounds: 2, Alpha: 0.7}
+}
+
+// Name implements Method.
+func (m *GMAlign) Name() string { return "GM-Align" }
+
+// Align implements Method.
+func (m *GMAlign) Align(in *core.Input) (*mat.Dense, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	src, tgt := align.SourceIDs(in.Tests), align.TargetIDs(in.Tests)
+	n1 := wordvec.NameEmbedding(in.Emb1, namesOf(in.G1, src))
+	n2 := wordvec.NameEmbedding(in.Emb2, namesOf(in.G2, tgt))
+	base := mat.CosineSim(n1, n2)
+
+	a1 := testAdjacency(in.G1, src)
+	a2 := testAdjacency(in.G2, tgt)
+	sim := base
+	for r := 0; r < m.Rounds; r++ {
+		// Propagate: average similarity of neighbouring pairs, then blend
+		// with the base. a1·sim·a2ᵀ realizes the pairwise neighbour
+		// average because both adjacencies are row-normalized. Computed as
+		// a1·(a2·simᵀ)ᵀ to stay in sparse kernels.
+		inner := a2.MulDense(sim.Transpose()).Transpose()
+		prop := a1.MulDense(inner)
+		sim = mat.WeightedSum([]*mat.Dense{base, prop}, []float64{m.Alpha, 1 - m.Alpha})
+	}
+	return sim, nil
+}
+
+// testAdjacency builds a row-normalized adjacency (with self loops) over
+// the test-subset entities of g: edges between two test entities survive,
+// everything else is dropped.
+func testAdjacency(g *kg.KG, ids []kg.EntityID) *mat.CSR {
+	index := make(map[kg.EntityID]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+	counts := make([]float64, len(ids))
+	var entries []mat.COO
+	add := func(a, b int) {
+		entries = append(entries, mat.COO{Row: a, Col: b, Val: 1})
+		counts[a]++
+	}
+	for i := range ids {
+		add(i, i)
+	}
+	for _, t := range g.Triples {
+		hi, hok := index[t.Head]
+		ti, tok := index[t.Tail]
+		if !hok || !tok || hi == ti {
+			continue
+		}
+		add(hi, ti)
+		add(ti, hi)
+	}
+	for i := range entries {
+		entries[i].Val = 1 / counts[entries[i].Row]
+	}
+	return mat.NewCSR(len(ids), len(ids), entries)
+}
+
+func namesOf(g *kg.KG, ids []kg.EntityID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.EntityName(id)
+	}
+	return out
+}
+
+// MultiKE [29] learns entity embeddings from the name, relation and
+// attribute views and unifies them at representation level — exactly the
+// strategy the paper criticizes for losing feature-specific detail. The
+// lite variant concatenates the L2-normalized view embeddings into one
+// unified representation and compares with cosine similarity. As in the
+// paper, it only supports mono-lingual inputs (it needs a shared naming
+// vocabulary and aligned relations).
+type MultiKE struct {
+	TransE transe.Config
+}
+
+// NewMultiKE returns the baseline with the given TransE settings for its
+// relation view.
+func NewMultiKE(cfg transe.Config) *MultiKE {
+	return &MultiKE{TransE: cfg}
+}
+
+// Name implements Method.
+func (m *MultiKE) Name() string { return "MultiKE" }
+
+// ErrUnsupported is returned when a baseline cannot run on a dataset (the
+// "-" cells of Tables III/IV).
+var ErrUnsupported = fmt.Errorf("baselines: method unsupported on this dataset")
+
+// Align implements Method.
+func (m *MultiKE) Align(in *core.Input) (*mat.Dense, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	// Relation view: shared-space TransE.
+	mg := newMerged(in, nil)
+	model, err := transe.Train(mg.numEnt, mg.numRel, mg.triples, m.TransE)
+	if err != nil {
+		return nil, err
+	}
+	src, tgt := align.SourceIDs(in.Tests), align.TargetIDs(in.Tests)
+	relView1 := gatherMerged(model.Ent, mg, in.Tests, true)
+	relView2 := gatherMerged(model.Ent, mg, in.Tests, false)
+
+	// Name view.
+	nameView1 := wordvec.NameEmbedding(in.Emb1, namesOf(in.G1, src))
+	nameView2 := wordvec.NameEmbedding(in.Emb2, namesOf(in.G2, tgt))
+
+	// Attribute view.
+	numTypes := in.G1.NumAttrTypes
+	if in.G2.NumAttrTypes > numTypes {
+		numTypes = in.G2.NumAttrTypes
+	}
+	var attrView1, attrView2 *mat.Dense
+	if numTypes > 0 {
+		attrView1 = attrVectors(in.G1, src, numTypes)
+		attrView2 = attrVectors(in.G2, tgt, numTypes)
+	}
+
+	// Representation-level unification: concatenate normalized views.
+	u1 := concatViews(relView1, nameView1, attrView1)
+	u2 := concatViews(relView2, nameView2, attrView2)
+	return mat.CosineSim(u1, u2), nil
+}
+
+// gatherMerged extracts the merged-space embeddings of the test sources
+// (src=true) or targets.
+func gatherMerged(emb *mat.Dense, mg *merged, tests []align.Pair, src bool) *mat.Dense {
+	out := mat.NewDense(len(tests), emb.Cols)
+	for i, p := range tests {
+		var id int
+		if src {
+			id = mg.rep[mg.id1(p.U)]
+		} else {
+			id = mg.rep[mg.id2(p.V)]
+		}
+		copy(out.Row(i), emb.Row(id))
+	}
+	return out
+}
+
+// concatViews L2-normalizes each non-nil view and concatenates them
+// column-wise into a unified representation.
+func concatViews(views ...*mat.Dense) *mat.Dense {
+	var parts []*mat.Dense
+	cols := 0
+	rows := 0
+	for _, v := range views {
+		if v == nil {
+			continue
+		}
+		nv := v.Clone()
+		nv.NormalizeRowsL2()
+		parts = append(parts, nv)
+		cols += nv.Cols
+		rows = nv.Rows
+	}
+	out := mat.NewDense(rows, cols)
+	off := 0
+	for _, p := range parts {
+		for i := 0; i < rows; i++ {
+			copy(out.Row(i)[off:off+p.Cols], p.Row(i))
+		}
+		off += p.Cols
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package baselines
+
+import (
+	"math"
+
+	"ceaff/internal/core"
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+	"ceaff/internal/wordvec"
+)
+
+// RSN [13] captures long-term relational dependencies with recurrent
+// skipping networks over relational paths. The lite variant keeps the two
+// ingredients the paper credits: (1) relational paths sampled by random
+// walks across the merged KG (crossing KGs through merged seed entities),
+// and (2) the "skipping" connection — relations in the path are skipped so
+// entities co-occur with entities several hops away. Embeddings are learned
+// with skip-gram negative sampling over the walk windows.
+type RSN struct {
+	Dim          int
+	WalksPerNode int
+	WalkLength   int
+	Window       int
+	Epochs       int
+	Negatives    int
+	LearningRate float64
+	Seed         uint64
+}
+
+// NewRSN returns the baseline with default lite settings at the given
+// embedding dimension.
+func NewRSN(dim int) *RSN {
+	return &RSN{
+		Dim:          dim,
+		WalksPerNode: 6,
+		WalkLength:   8,
+		Window:       3,
+		Epochs:       2,
+		Negatives:    3,
+		LearningRate: 0.05,
+		Seed:         1,
+	}
+}
+
+// Name implements Method.
+func (m *RSN) Name() string { return "RSNs" }
+
+// Align implements Method.
+func (m *RSN) Align(in *core.Input) (*mat.Dense, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	mg := newMerged(in, nil)
+
+	// Undirected adjacency for walks; direction matters little once
+	// relations are skipped.
+	nb := mergedNeighbors(mg)
+	s := rng.New(m.Seed)
+
+	emb := mat.NewDense(mg.numEnt, m.Dim)
+	ctx := mat.NewDense(mg.numEnt, m.Dim)
+	for i := 0; i < mg.numEnt; i++ {
+		copy(emb.Row(i), wordvec.GaussianUnit(s, m.Dim))
+		copy(ctx.Row(i), wordvec.GaussianUnit(s, m.Dim))
+	}
+	emb.ScaleInPlace(0.5)
+	ctx.ScaleInPlace(0.1)
+
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for start := 0; start < mg.numEnt; start++ {
+			if len(nb[start]) == 0 {
+				continue
+			}
+			for w := 0; w < m.WalksPerNode; w++ {
+				walk := m.randomWalk(nb, start, s)
+				m.trainWalk(emb, ctx, walk, mg.numEnt, s)
+			}
+		}
+	}
+	return mg.testSim(emb, in.Tests), nil
+}
+
+// randomWalk samples a fixed-length walk over entity neighbours; relation
+// nodes are implicit and skipped, realizing the skipping mechanism.
+func (m *RSN) randomWalk(nb [][]int, start int, s *rng.Source) []int {
+	walk := make([]int, 0, m.WalkLength)
+	cur := start
+	walk = append(walk, cur)
+	for len(walk) < m.WalkLength {
+		ns := nb[cur]
+		if len(ns) == 0 {
+			break
+		}
+		cur = ns[s.Intn(len(ns))]
+		walk = append(walk, cur)
+	}
+	return walk
+}
+
+// trainWalk applies skip-gram negative-sampling updates over the window
+// pairs of one walk.
+func (m *RSN) trainWalk(emb, ctx *mat.Dense, walk []int, numEnt int, s *rng.Source) {
+	lr := m.LearningRate
+	for i, center := range walk {
+		lo := i - m.Window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + m.Window
+		if hi >= len(walk) {
+			hi = len(walk) - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if i == j || walk[j] == center {
+				continue
+			}
+			m.sgnsStep(emb.Row(center), ctx.Row(walk[j]), 1, lr)
+			for k := 0; k < m.Negatives; k++ {
+				neg := s.Intn(numEnt)
+				if neg == center {
+					continue
+				}
+				m.sgnsStep(emb.Row(center), ctx.Row(neg), 0, lr)
+			}
+		}
+	}
+}
+
+// sgnsStep applies one logistic update pushing σ(e·c) toward label.
+func (m *RSN) sgnsStep(e, c []float64, label float64, lr float64) {
+	var dot float64
+	for i := range e {
+		dot += e[i] * c[i]
+	}
+	p := sigmoid(dot)
+	g := lr * (p - label)
+	for i := range e {
+		ei := e[i]
+		e[i] -= g * c[i]
+		c[i] -= g * ei
+	}
+}
+
+func sigmoid(z float64) float64 {
+	if z > 30 {
+		return 1
+	}
+	if z < -30 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}

@@ -1,0 +1,215 @@
+package baselines
+
+import (
+	"math"
+
+	"ceaff/internal/align"
+	"ceaff/internal/core"
+	"ceaff/internal/mat"
+	"ceaff/internal/transe"
+)
+
+// MTransE is the first KG-embedding EA method [5]: each KG is embedded in
+// its own TransE space, and a linear transform learned on the seed pairs
+// maps the source space onto the target space. The paper notes it loses
+// information when modelling the transition between spaces — it is the
+// weakest baseline.
+type MTransE struct {
+	TransE transe.Config
+	Ridge  float64 // regularization of the linear transform
+}
+
+// NewMTransE returns the baseline with the given TransE settings.
+func NewMTransE(cfg transe.Config) *MTransE {
+	return &MTransE{TransE: cfg, Ridge: 1e-3}
+}
+
+// Name implements Method.
+func (m *MTransE) Name() string { return "MTransE" }
+
+// Align implements Method.
+func (m *MTransE) Align(in *core.Input) (*mat.Dense, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	cfg1 := m.TransE
+	cfg2 := m.TransE
+	cfg2.Seed++
+	m1, err := transe.Train(in.G1.NumEntities(), in.G1.NumRelations(), in.G1.Triples, cfg1)
+	if err != nil {
+		return nil, err
+	}
+	m2, err := transe.Train(in.G2.NumEntities(), in.G2.NumRelations(), in.G2.Triples, cfg2)
+	if err != nil {
+		return nil, err
+	}
+	u := m1.Gather(align.SourceIDs(in.Seeds))
+	v := m2.Gather(align.TargetIDs(in.Seeds))
+	transform, err := mat.RidgeTransform(u, v, m.Ridge)
+	if err != nil {
+		return nil, err
+	}
+	src := mat.Mul(m1.Gather(align.SourceIDs(in.Tests)), transform)
+	tgt := m2.Gather(align.TargetIDs(in.Tests))
+	return mat.CosineSim(src, tgt), nil
+}
+
+// IPTransE [30] embeds both KGs in one TransE space by collapsing seed
+// pairs onto shared embeddings, then iteratively augments the training
+// alignment with confidently aligned test pairs (soft bootstrapping, no
+// one-to-one constraint) and retrains.
+type IPTransE struct {
+	TransE     transe.Config
+	Iterations int
+	Threshold  float64 // similarity needed to accept a new pair
+}
+
+// NewIPTransE returns the baseline with the given TransE settings and an
+// adaptive bootstrap threshold.
+func NewIPTransE(cfg transe.Config) *IPTransE {
+	return &IPTransE{TransE: cfg, Iterations: 2, Threshold: -1}
+}
+
+// Name implements Method.
+func (m *IPTransE) Name() string { return "IPTransE" }
+
+// Align implements Method.
+func (m *IPTransE) Align(in *core.Input) (*mat.Dense, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	sim, _, err := iterativeSharedTransE(in, m.TransE, m.Iterations, m.Threshold, false)
+	return sim, err
+}
+
+// BootEA [23] shares IPTransE's shared-space embedding but bootstraps with
+// a one-to-one constraint: only mutually most-similar pairs above the
+// threshold join the training alignment, which keeps the augmentation
+// precision high.
+type BootEA struct {
+	TransE     transe.Config
+	Iterations int
+	Threshold  float64
+}
+
+// NewBootEA returns the baseline with the given TransE settings and an
+// adaptive bootstrap threshold.
+func NewBootEA(cfg transe.Config) *BootEA {
+	return &BootEA{TransE: cfg, Iterations: 3, Threshold: -1}
+}
+
+// Name implements Method.
+func (m *BootEA) Name() string { return "BootEA" }
+
+// Align implements Method.
+func (m *BootEA) Align(in *core.Input) (*mat.Dense, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	sim, _, err := iterativeSharedTransE(in, m.TransE, m.Iterations, m.Threshold, true)
+	return sim, err
+}
+
+// iterativeSharedTransE trains a shared-space TransE and optionally
+// bootstraps: each round, test pairs whose similarity clears the threshold
+// (and, with oneToOne, are mutual argmaxes) are merged into the training
+// alignment before retraining. Returns the final test similarity matrix and
+// the bootstrapped pairs.
+func iterativeSharedTransE(in *core.Input, cfg transe.Config, iterations int, threshold float64, oneToOne bool) (*mat.Dense, []align.Pair, error) {
+	var extra []align.Pair
+	var sim *mat.Dense
+	if iterations < 1 {
+		iterations = 1
+	}
+	for iter := 0; iter < iterations; iter++ {
+		m := newMerged(in, extra)
+		model, err := transe.Train(m.numEnt, m.numRel, m.triples, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		sim = m.testSim(model.Ent, in.Tests)
+		if iter == iterations-1 {
+			break
+		}
+		extra = append(extra, confidentPairs(sim, in.Tests, threshold, oneToOne, extra)...)
+	}
+	return sim, extra, nil
+}
+
+// confidentPairs selects new alignment pairs from the test similarity
+// matrix: entries above threshold, one per source (row argmax), optionally
+// required to be mutual argmaxes (the one-to-one constraint of BootEA).
+// Pairs already bootstrapped are skipped. A negative threshold selects an
+// adaptive cut: one standard deviation above the mean row maximum, so
+// bootstrapping fires even when the embedding space's absolute similarity
+// scale is low.
+func confidentPairs(sim *mat.Dense, tests []align.Pair, threshold float64, oneToOne bool, already []align.Pair) []align.Pair {
+	have := make(map[align.Pair]bool, len(already))
+	for _, p := range already {
+		have[p] = true
+	}
+	rowMax := mat.ArgmaxRow(sim)
+	if threshold < 0 {
+		var sum, sumSq float64
+		for i, j := range rowMax {
+			v := sim.At(i, j)
+			sum += v
+			sumSq += v * v
+		}
+		n := float64(len(rowMax))
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		threshold = mean + math.Sqrt(variance)
+	}
+	var colMax []int
+	if oneToOne {
+		colMax = mat.ArgmaxCol(sim)
+	}
+	var out []align.Pair
+	for i, j := range rowMax {
+		if sim.At(i, j) < threshold {
+			continue
+		}
+		if oneToOne && colMax[j] != i {
+			continue
+		}
+		p := align.Pair{U: tests[i].U, V: tests[j].V}
+		if !have[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// JAPE [22] refines shared-space TransE structure with attribute
+// correlation: the final similarity blends the structural cosine with the
+// cosine of attribute-type indicator vectors.
+type JAPE struct {
+	TransE     transe.Config
+	AttrWeight float64
+}
+
+// NewJAPE returns the baseline with the given TransE settings.
+func NewJAPE(cfg transe.Config) *JAPE {
+	return &JAPE{TransE: cfg, AttrWeight: 0.15}
+}
+
+// Name implements Method.
+func (m *JAPE) Name() string { return "JAPE" }
+
+// Align implements Method.
+func (m *JAPE) Align(in *core.Input) (*mat.Dense, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	mg := newMerged(in, nil)
+	model, err := transe.Train(mg.numEnt, mg.numRel, mg.triples, m.TransE)
+	if err != nil {
+		return nil, err
+	}
+	structural := mg.testSim(model.Ent, in.Tests)
+	return blend(attrSim(in), structural, m.AttrWeight), nil
+}

@@ -1,0 +1,570 @@
+// Package bench synthesizes entity-alignment benchmark datasets that stand
+// in for the paper's DBP15K, DBP100K and SRPRS corpora (§VII-A, Table II),
+// which cannot be shipped. The generator reproduces the properties the
+// paper's analysis depends on:
+//
+//   - Density regimes: DBP15K/DBP100K analogues are dense
+//     (higher average degree, mild skew); SRPRS analogues are built with
+//     preferential attachment, giving the heavy-tailed "real-life" degree
+//     distribution that Guo et al. sampled with degree-stratified PageRank.
+//     A Kolmogorov–Smirnov statistic (KSStatistic) verifies the two KGs of
+//     a pair share their degree distribution, mirroring the K-S control
+//     used to build SRPRS.
+//   - Name models: mono-lingual pairs share near-identical names with light
+//     noise; closely-related language pairs perturb characters and swap
+//     some words (string similarity degraded but informative); distant
+//     pairs transliterate into a disjoint script (string similarity
+//     useless, semantics must carry the signal).
+//   - Cross-lingual embeddings: translated words share a latent vector plus
+//     noise — the MUSE property — while a configurable OOV fraction of
+//     target words falls back to hash vectors with no cross-lingual signal.
+//   - Attributes: synthetic typed attributes with partial coverage, the
+//     noise source behind JAPE/GCN-Align's inconsistency on sparse KGs.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"ceaff/internal/align"
+	"ceaff/internal/kg"
+	"ceaff/internal/rng"
+	"ceaff/internal/wordvec"
+)
+
+// Style selects the degree-distribution regime of the generated backbone.
+type Style int
+
+const (
+	// Dense mimics DBP15K/DBP100K: popular-entity subsets with high average
+	// degree and mild skew.
+	Dense Style = iota
+	// PowerLaw mimics SRPRS: preferential attachment, heavy-tailed degrees
+	// as in real-life KGs.
+	PowerLaw
+)
+
+// LangRelation describes how the two KGs' naming vocabularies relate.
+type LangRelation int
+
+const (
+	// Mono: same language (DBP-WD, DBP-YG). Names near-identical.
+	Mono LangRelation = iota
+	// Close: related languages (EN-FR, EN-DE, FR-EN). Names share most
+	// characters; some words diverge lexically.
+	Close
+	// Distant: unrelated scripts (ZH-EN, JA-EN). Names share no characters.
+	Distant
+)
+
+func (l LangRelation) String() string {
+	switch l {
+	case Mono:
+		return "mono"
+	case Close:
+		return "close"
+	case Distant:
+		return "distant"
+	}
+	return "unknown"
+}
+
+// Spec parameterizes one generated KG pair.
+type Spec struct {
+	Name  string // display name, e.g. "DBP15K ZH-EN*"
+	Group string // paper dataset family: "DBP15K", "DBP100K" or "SRPRS"
+
+	Style     Style
+	Lang      LangRelation
+	NumPairs  int     // gold alignment size
+	Extra1    int     // unaligned entities in the source KG
+	Extra2    int     // unaligned entities in the target KG
+	AvgDegree float64 // backbone average (undirected) degree
+	NumRels   int     // relation vocabulary size
+
+	EdgeDropout float64 // per-KG probability of dropping a backbone edge
+	EdgeNoise   float64 // extra random edges as a fraction of backbone size
+
+	// Name/translation model.
+	NameNoise  float64 // mono: per-name light-perturbation probability
+	WordSwap   float64 // close: probability a word diverges lexically
+	TransNoise float64 // embedding noise added to translated word vectors
+	OOVRate    float64 // fraction of target words missing from the lexicon
+
+	// Attributes (consumed by the JAPE/GCN-Align/MultiKE baselines).
+	AttrTypes    int
+	AttrCoverage float64
+
+	Dim      int     // word-embedding dimensionality
+	SeedFrac float64 // fraction of gold pairs used as seed alignment
+	Seed     uint64  // master PRNG seed
+}
+
+// Dataset is a generated KG pair with gold alignment, seed/test split and
+// per-language word embedders sharing an aligned latent space.
+type Dataset struct {
+	Spec       Spec
+	G1, G2     *kg.KG
+	Gold       []align.Pair
+	SeedPairs  []align.Pair
+	TestPairs  []align.Pair
+	Emb1, Emb2 wordvec.Embedder
+}
+
+// Generate builds a dataset from spec. Generation is deterministic in
+// spec.Seed.
+func Generate(spec Spec) (*Dataset, error) {
+	if spec.NumPairs < 4 {
+		return nil, fmt.Errorf("bench: NumPairs %d too small", spec.NumPairs)
+	}
+	if spec.AvgDegree <= 0 || spec.Dim <= 0 || spec.SeedFrac <= 0 || spec.SeedFrac >= 1 {
+		return nil, fmt.Errorf("bench: invalid spec %+v", spec)
+	}
+	s := rng.New(spec.Seed)
+
+	// 1. Concept backbone over the alignable entities.
+	backbone := generateBackbone(spec, s.Split())
+
+	// 2. Names: an English-like surface form per concept, and its
+	//    counterpart in the target language.
+	names := newNameModel(spec, s.Split())
+
+	// 3. Two noisy copies of the backbone, each with extra unaligned
+	//    entities.
+	g1, ids1 := materializeKG(spec, "G1", backbone, names.src, spec.Extra1, s.Split())
+	g2, ids2 := materializeKG(spec, "G2", backbone, names.tgt, spec.Extra2, s.Split())
+
+	// 4. Gold alignment between the two copies of each concept.
+	gold := make([]align.Pair, spec.NumPairs)
+	for c := 0; c < spec.NumPairs; c++ {
+		gold[c] = align.Pair{U: ids1[c], V: ids2[c]}
+	}
+	seedPairs, testPairs := align.Split(gold, spec.SeedFrac, s.Split())
+
+	// 5. Attributes.
+	attachAttributes(spec, g1, ids1, s.Split())
+	attachAttributes(spec, g2, ids2, s.Split())
+
+	// 6. Aligned word-embedding spaces.
+	emb1, emb2 := names.embedders(spec, s.Split())
+
+	d := &Dataset{
+		Spec: spec, G1: g1, G2: g2,
+		Gold: gold, SeedPairs: seedPairs, TestPairs: testPairs,
+		Emb1: emb1, Emb2: emb2,
+	}
+	if err := g1.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g2.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// edge is an undirected backbone edge with a stable relation type.
+type edge struct {
+	a, b int
+	rel  int
+}
+
+// generateBackbone creates the shared concept graph.
+func generateBackbone(spec Spec, s *rng.Source) []edge {
+	n := spec.NumPairs
+	targetEdges := int(spec.AvgDegree * float64(n) / 2)
+	seen := make(map[[2]int]bool)
+	var edges []edge
+	// Relations carry type semantics as in real KGs: the relation of an
+	// edge is a deterministic function of its endpoints' latent classes
+	// (plus a small hashed remainder for intra-class variety), so relation
+	// usage correlates with entity types and translation-based embeddings
+	// (TransE family) have real signal to fit.
+	class := func(c int) int { return c % 6 }
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			return
+		}
+		seen[[2]int{a, b}] = true
+		variety := int(rng.HashString(fmt.Sprintf("%d-%d", a, b)) % 2)
+		rel := (class(a)*6*2 + class(b)*2 + variety) % spec.NumRels
+		edges = append(edges, edge{a: a, b: b, rel: rel})
+	}
+
+	switch spec.Style {
+	case PowerLaw:
+		// Barabási–Albert preferential attachment: each new node attaches
+		// to m existing nodes chosen proportionally to degree.
+		m := int(spec.AvgDegree / 2)
+		if m < 1 {
+			m = 1
+		}
+		// endpoints doubles as the degree-proportional sampling pool.
+		var endpoints []int
+		for v := 0; v <= m; v++ {
+			for w := 0; w < v; w++ {
+				addEdge(v, w)
+				endpoints = append(endpoints, v, w)
+			}
+		}
+		for v := m + 1; v < n; v++ {
+			for k := 0; k < m; k++ {
+				w := endpoints[s.Intn(len(endpoints))]
+				addEdge(v, w)
+				endpoints = append(endpoints, v, w)
+			}
+		}
+	default: // Dense
+		// Uniform random graph with a mild popularity skew: a quarter of
+		// the endpoints are drawn from a popular head set, approximating
+		// the popular-entity bias of DBP15K extraction.
+		popular := n / 10
+		if popular < 1 {
+			popular = 1
+		}
+		for len(edges) < targetEdges {
+			a := s.Intn(n)
+			b := s.Intn(n)
+			if s.Float64() < 0.25 {
+				b = s.Intn(popular)
+			}
+			addEdge(a, b)
+		}
+	}
+	return edges
+}
+
+// materializeKG instantiates one KG from the backbone: concepts become
+// entities (inserted in a shuffled order so entity IDs carry no alignment
+// signal), edges are dropped/added noisily, and extra unaligned entities are
+// attached.
+func materializeKG(spec Spec, name string, backbone []edge, conceptNames []string, extra int, s *rng.Source) (*kg.KG, []kg.EntityID) {
+	g := kg.New(name)
+	n := spec.NumPairs
+
+	order := s.Perm(n)
+	ids := make([]kg.EntityID, n)
+	for _, c := range order {
+		ids[c] = g.AddEntity(conceptNames[c])
+	}
+
+	rels := make([]kg.RelationID, spec.NumRels)
+	for r := 0; r < spec.NumRels; r++ {
+		rels[r] = g.AddRelation(fmt.Sprintf("%s_rel_%d", name, r))
+	}
+
+	// Backbone edges with dropout; orientation fixed by concept order so
+	// both KGs agree on direction (relations are directional facts).
+	for _, e := range backbone {
+		if s.Float64() < spec.EdgeDropout {
+			continue
+		}
+		g.AddTriple(ids[e.a], rels[e.rel], ids[e.b])
+	}
+
+	// Random extra edges.
+	extraEdges := int(spec.EdgeNoise * float64(len(backbone)))
+	for k := 0; k < extraEdges; k++ {
+		a, b := s.Intn(n), s.Intn(n)
+		if a == b {
+			continue
+		}
+		g.AddTriple(ids[a], rels[s.Intn(spec.NumRels)], ids[b])
+	}
+
+	// Extra unaligned entities attach to random backbone entities.
+	word := newWordGen(s.Split())
+	for k := 0; k < extra; k++ {
+		e := g.AddEntity(fmt.Sprintf("%s_aux_%s%d", name, word.next(), k))
+		deg := 1 + s.Intn(3)
+		for d := 0; d < deg; d++ {
+			other := ids[s.Intn(n)]
+			if s.Float64() < 0.5 {
+				g.AddTriple(e, rels[s.Intn(spec.NumRels)], other)
+			} else {
+				g.AddTriple(other, rels[s.Intn(spec.NumRels)], e)
+			}
+		}
+	}
+	return g, ids
+}
+
+// attachAttributes gives each aligned entity a class-correlated attribute
+// set with partial coverage.
+func attachAttributes(spec Spec, g *kg.KG, ids []kg.EntityID, s *rng.Source) {
+	if spec.AttrTypes <= 0 {
+		return
+	}
+	classes := 5
+	perClass := spec.AttrTypes / classes
+	if perClass < 1 {
+		perClass = 1
+	}
+	for c, id := range ids {
+		class := c % classes
+		for a := 0; a < perClass; a++ {
+			attr := (class*perClass + a) % spec.AttrTypes
+			if s.Float64() < spec.AttrCoverage {
+				g.AddAttr(id, attr)
+			}
+		}
+		// Noise attribute.
+		if s.Float64() < 0.1 {
+			g.AddAttr(id, s.Intn(spec.AttrTypes))
+		}
+	}
+}
+
+// wordGen produces pronounceable pseudo-words from random syllables.
+type wordGen struct {
+	s *rng.Source
+}
+
+func newWordGen(s *rng.Source) *wordGen { return &wordGen{s: s} }
+
+var (
+	consonants = []string{"b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "st", "tr", "ch"}
+	vowels     = []string{"a", "e", "i", "o", "u", "ia", "ou", "ei"}
+)
+
+func (w *wordGen) next() string {
+	nSyll := 2 + w.s.Intn(3)
+	out := ""
+	for i := 0; i < nSyll; i++ {
+		out += consonants[w.s.Intn(len(consonants))] + vowels[w.s.Intn(len(vowels))]
+	}
+	return out
+}
+
+// nameModel holds per-concept surface forms in both languages and the word
+// translation table used to build aligned embedding spaces.
+type nameModel struct {
+	src, tgt []string          // names per concept
+	trans    map[string]string // source word -> target word
+}
+
+// newNameModel draws a vocabulary, composes per-concept names and derives
+// the target-language forms according to the language relation.
+func newNameModel(spec Spec, s *rng.Source) *nameModel {
+	word := newWordGen(s.Split())
+	// Shared "common" vocabulary (classes, qualifiers) plus one distinctive
+	// word per concept — mirroring real entity names, which combine a
+	// near-unique head word with common qualifiers.
+	common := make([]string, 40)
+	for i := range common {
+		common[i] = word.next()
+	}
+	nm := &nameModel{trans: make(map[string]string)}
+	translate := newTranslator(spec, s.Split())
+	usedSrc := make(map[string]bool)
+	usedTgt := make(map[string]bool)
+	for c := 0; c < spec.NumPairs; c++ {
+		// Entity names must be unique within a KG: kg.AddEntity interns by
+		// name, so a collision would silently merge two concepts and
+		// corrupt the gold alignment. Retry the distinctive word, then fall
+		// back to an index suffix.
+		var srcName, tgtName string
+		for attempt := 0; ; attempt++ {
+			distinct := fmt.Sprintf("%s%d", word.next(), c%100)
+			if attempt > 10 {
+				distinct = fmt.Sprintf("%s%d", word.next(), c)
+			}
+			tokens := []string{distinct}
+			if s.Float64() < 0.7 {
+				tokens = append(tokens, common[s.Intn(len(common))])
+			}
+			if s.Float64() < 0.15 {
+				tokens = append(tokens, common[s.Intn(len(common))])
+			}
+			srcName = joinTokens(tokens)
+			tgtTokens := make([]string, len(tokens))
+			for i, tok := range tokens {
+				tt, ok := nm.trans[tok]
+				if !ok {
+					tt = translate.word(tok)
+					nm.trans[tok] = tt
+				}
+				tgtTokens[i] = tt
+			}
+			tgtName = joinTokens(tgtTokens)
+			if spec.Lang == Mono && s.Float64() < spec.NameNoise {
+				tgtName = perturbName(tgtName, s)
+			}
+			if !usedSrc[srcName] && !usedTgt[tgtName] {
+				break
+			}
+		}
+		usedSrc[srcName] = true
+		usedTgt[tgtName] = true
+		nm.src = append(nm.src, srcName)
+		nm.tgt = append(nm.tgt, tgtName)
+	}
+	return nm
+}
+
+func joinTokens(tokens []string) string {
+	out := tokens[0]
+	for _, t := range tokens[1:] {
+		out += "_" + t
+	}
+	return out
+}
+
+// translator maps source words to target-language forms.
+type translator struct {
+	spec Spec
+	s    *rng.Source
+	gen  *wordGen
+}
+
+func newTranslator(spec Spec, s *rng.Source) *translator {
+	return &translator{spec: spec, s: s, gen: newWordGen(s.Split())}
+}
+
+func (t *translator) word(w string) string {
+	switch t.spec.Lang {
+	case Mono:
+		return w
+	case Close:
+		if t.s.Float64() < t.spec.WordSwap {
+			// Lexical divergence: an unrelated word.
+			return t.gen.next()
+		}
+		return perturbName(w, t.s)
+	default: // Distant
+		return transliterate(w)
+	}
+}
+
+// perturbName applies 1–2 character-level edits drawn from the Latin
+// alphabet, keeping the string recognizably similar.
+func perturbName(name string, s *rng.Source) string {
+	r := []rune(name)
+	edits := 1 + s.Intn(2)
+	for e := 0; e < edits && len(r) > 1; e++ {
+		pos := s.Intn(len(r))
+		switch s.Intn(3) {
+		case 0: // substitute
+			r[pos] = rune('a' + s.Intn(26))
+		case 1: // insert
+			r = append(r[:pos], append([]rune{rune('a' + s.Intn(26))}, r[pos:]...)...)
+		default: // delete
+			r = append(r[:pos], r[pos+1:]...)
+		}
+	}
+	return string(r)
+}
+
+// transliterate deterministically maps a Latin word into CJK-range runes,
+// producing a surface form sharing no characters with the source.
+func transliterate(w string) string {
+	h := rng.HashString(w)
+	s := rng.New(h)
+	n := 1 + len(w)/3
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = rune(0x4E00 + s.Intn(2000))
+	}
+	return string(out)
+}
+
+// embedders builds the two aligned word-embedding spaces: each source word
+// gets a latent unit vector; its translation gets the same vector plus
+// Gaussian noise, unless it falls into the OOV fraction, in which case it is
+// omitted from the lexicon and falls back to an uncorrelated hash vector.
+func (nm *nameModel) embedders(spec Spec, s *rng.Source) (wordvec.Embedder, wordvec.Embedder) {
+	lex1 := wordvec.NewLexicon(spec.Dim, wordvec.NewHash(spec.Dim, 0xE1))
+	lex2 := wordvec.NewLexicon(spec.Dim, wordvec.NewHash(spec.Dim, 0xE2))
+	// Deterministic iteration order over the translation table.
+	words := make([]string, 0, len(nm.trans))
+	for w := range nm.trans {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for _, w := range words {
+		latent := wordvec.GaussianUnit(s, spec.Dim)
+		// Tokenize lowercases, so lexicon keys must be lowercase too.
+		lex1.Add(lower(w), latent)
+		if s.Float64() < spec.OOVRate {
+			continue // target word out-of-vocabulary
+		}
+		noisy := make([]float64, spec.Dim)
+		for i, v := range latent {
+			noisy[i] = v + spec.TransNoise*s.Norm()
+		}
+		lex2.Add(lower(nm.trans[w]), noisy)
+	}
+	return lex1, lex2
+}
+
+func lower(w string) string {
+	// Generated words are already lowercase ASCII or CJK; this guards
+	// against future name models using capitals.
+	b := []rune(w)
+	for i, r := range b {
+		if r >= 'A' && r <= 'Z' {
+			b[i] = r + ('a' - 'A')
+		}
+	}
+	return string(b)
+}
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic between
+// the degree distributions of the two KGs — the control SRPRS used to keep
+// sampled KGs faithful to the originals. Values near 0 mean matching
+// distributions.
+func KSStatistic(g1, g2 *kg.KG) float64 {
+	d1 := g1.Degrees()
+	d2 := g2.Degrees()
+	sort.Ints(d1)
+	sort.Ints(d2)
+	i, j := 0, 0
+	var maxDiff float64
+	n1, n2 := float64(len(d1)), float64(len(d2))
+	for i < len(d1) && j < len(d2) {
+		v1, v2 := d1[i], d2[j]
+		v := v1
+		if v2 < v {
+			v = v2
+		}
+		for i < len(d1) && d1[i] == v {
+			i++
+		}
+		for j < len(d2) && d2[j] == v {
+			j++
+		}
+		diff := abs(float64(i)/n1 - float64(j)/n2)
+		if diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	return maxDiff
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Stats summarizes one KG for the Table II reproduction.
+type Stats struct {
+	KGName   string
+	Triples  int
+	Entities int
+}
+
+// TableStats returns the Table II row for a dataset: per-KG triple and
+// entity counts.
+func (d *Dataset) TableStats() [2]Stats {
+	return [2]Stats{
+		{KGName: d.G1.Name, Triples: d.G1.NumTriples(), Entities: d.G1.NumEntities()},
+		{KGName: d.G2.Name, Triples: d.G2.NumTriples(), Entities: d.G2.NumEntities()},
+	}
+}

@@ -1,0 +1,338 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ceaff/internal/kg"
+	"ceaff/internal/strsim"
+	"ceaff/internal/wordvec"
+)
+
+// smallSpec returns a quick-to-generate spec for tests.
+func smallSpec(style Style, lang LangRelation) Spec {
+	s := baseSpec()
+	s.Name = "test"
+	s.Group = "TEST"
+	s.Style = style
+	s.Lang = lang
+	s.NumPairs = 300
+	s.Extra1 = 40
+	s.Extra2 = 60
+	s.AvgDegree = 5
+	s.TransNoise = 0.1
+	s.OOVRate = 0.25
+	s.Seed = 42
+	return s
+}
+
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	bad := smallSpec(Dense, Mono)
+	bad.NumPairs = 2
+	if _, err := Generate(bad); err == nil {
+		t.Error("tiny NumPairs accepted")
+	}
+	bad = smallSpec(Dense, Mono)
+	bad.SeedFrac = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero SeedFrac accepted")
+	}
+	bad = smallSpec(Dense, Mono)
+	bad.Dim = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero Dim accepted")
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	spec := smallSpec(Dense, Close)
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.G1.NumEntities() != spec.NumPairs+spec.Extra1 {
+		t.Fatalf("G1 entities %d, want %d", d.G1.NumEntities(), spec.NumPairs+spec.Extra1)
+	}
+	if d.G2.NumEntities() != spec.NumPairs+spec.Extra2 {
+		t.Fatalf("G2 entities %d, want %d", d.G2.NumEntities(), spec.NumPairs+spec.Extra2)
+	}
+	if len(d.Gold) != spec.NumPairs {
+		t.Fatalf("gold %d, want %d", len(d.Gold), spec.NumPairs)
+	}
+	wantSeed := int(spec.SeedFrac * float64(spec.NumPairs))
+	if len(d.SeedPairs) != wantSeed || len(d.TestPairs) != spec.NumPairs-wantSeed {
+		t.Fatalf("split %d/%d, want %d/%d", len(d.SeedPairs), len(d.TestPairs), wantSeed, spec.NumPairs-wantSeed)
+	}
+	if err := d.G1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.G2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoldPairsDistinct(t *testing.T) {
+	d, err := Generate(smallSpec(Dense, Mono))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenU := map[kg.EntityID]bool{}
+	seenV := map[kg.EntityID]bool{}
+	for _, p := range d.Gold {
+		if seenU[p.U] || seenV[p.V] {
+			t.Fatalf("duplicate entity in gold alignment: %+v", p)
+		}
+		seenU[p.U] = true
+		seenV[p.V] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := smallSpec(PowerLaw, Distant)
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G1.NumTriples() != b.G1.NumTriples() || a.G2.NumTriples() != b.G2.NumTriples() {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range a.Gold {
+		if a.Gold[i] != b.Gold[i] {
+			t.Fatal("gold not deterministic")
+		}
+	}
+	for i := 0; i < a.G1.NumEntities(); i++ {
+		if a.G1.EntityName(kg.EntityID(i)) != b.G1.EntityName(kg.EntityID(i)) {
+			t.Fatal("names not deterministic")
+		}
+	}
+}
+
+func TestMonoNamesNearIdentical(t *testing.T) {
+	d, err := Generate(smallSpec(Dense, Mono))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range d.Gold {
+		sum += strsim.Ratio(d.G1.EntityName(p.U), d.G2.EntityName(p.V))
+	}
+	if avg := sum / float64(len(d.Gold)); avg < 0.9 {
+		t.Fatalf("mono-lingual gold name similarity %.3f, want >= 0.9", avg)
+	}
+}
+
+func TestCloseNamesSimilarButNoisy(t *testing.T) {
+	d, err := Generate(smallSpec(Dense, Close))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	identical := 0
+	for _, p := range d.Gold {
+		r := strsim.Ratio(d.G1.EntityName(p.U), d.G2.EntityName(p.V))
+		sum += r
+		if r == 1 {
+			identical++
+		}
+	}
+	avg := sum / float64(len(d.Gold))
+	if avg < 0.55 || avg > 0.97 {
+		t.Fatalf("close-language gold name similarity %.3f, want in (0.55, 0.97)", avg)
+	}
+	if identical == len(d.Gold) {
+		t.Fatal("close-language names all identical; no noise applied")
+	}
+}
+
+func TestDistantNamesShareNoCharacters(t *testing.T) {
+	d, err := Generate(smallSpec(Dense, Distant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range d.Gold {
+		sum += strsim.Ratio(d.G1.EntityName(p.U), d.G2.EntityName(p.V))
+	}
+	// Distant-script pairs should have (near-)zero string similarity
+	// except for the "_" separators.
+	if avg := sum / float64(len(d.Gold)); avg > 0.15 {
+		t.Fatalf("distant-script gold name similarity %.3f, want <= 0.15", avg)
+	}
+	// And the scripts really are disjoint.
+	name2 := d.G2.EntityName(d.Gold[0].V)
+	if strings.ContainsAny(name2, "abcdefghijklmnopqrstuvwxyz0123456789") {
+		t.Fatalf("distant-script target name %q contains Latin characters", name2)
+	}
+}
+
+func TestEmbeddingAlignmentQuality(t *testing.T) {
+	// Gold pairs should have clearly higher semantic similarity than
+	// random pairs, and OOV should be present at roughly the spec'd rate.
+	spec := smallSpec(Dense, Distant)
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names1 := d.G1.EntityNames()
+	names2 := d.G2.EntityNames()
+	n1 := wordvec.NameEmbedding(d.Emb1, names1)
+	n2 := wordvec.NameEmbedding(d.Emb2, names2)
+
+	cosine := func(a, b []float64) float64 {
+		var dot, na, nb float64
+		for i := range a {
+			dot += a[i] * b[i]
+			na += a[i] * a[i]
+			nb += b[i] * b[i]
+		}
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		return dot / (sqrt(na) * sqrt(nb))
+	}
+	var goldSim, randSim float64
+	for i, p := range d.Gold {
+		goldSim += cosine(n1.Row(int(p.U)), n2.Row(int(p.V)))
+		q := d.Gold[(i+7)%len(d.Gold)]
+		randSim += cosine(n1.Row(int(p.U)), n2.Row(int(q.V)))
+	}
+	goldSim /= float64(len(d.Gold))
+	randSim /= float64(len(d.Gold))
+	if goldSim < randSim+0.2 {
+		t.Fatalf("gold semantic similarity %.3f not clearly above random %.3f", goldSim, randSim)
+	}
+
+	oov := wordvec.OOVRate(d.Emb2, names2)
+	if oov < 0.05 {
+		t.Fatalf("target OOV rate %.3f suspiciously low for spec %.2f", oov, spec.OOVRate)
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestPowerLawHeavierTailThanDense(t *testing.T) {
+	dense, err := Generate(smallSpec(Dense, Mono))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Generate(smallSpec(PowerLaw, Mono))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := func(g *kg.KG) int {
+		m := 0
+		for _, d := range g.Degrees() {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	if maxDeg(pl.G1) <= maxDeg(dense.G1) {
+		t.Fatalf("power-law max degree %d not above dense %d", maxDeg(pl.G1), maxDeg(dense.G1))
+	}
+}
+
+func TestKSStatisticSameDistributionLow(t *testing.T) {
+	d, err := Generate(smallSpec(PowerLaw, Mono))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks := KSStatistic(d.G1, d.G2); ks > 0.25 {
+		t.Fatalf("K-S statistic between pair KGs %.3f, want <= 0.25", ks)
+	}
+	// Dense vs power-law should be clearly separated.
+	dense, err := Generate(smallSpec(Dense, Mono))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks := KSStatistic(dense.G1, d.G1); ks < 0.2 {
+		t.Fatalf("K-S between dense and power-law %.3f, want >= 0.2", ks)
+	}
+}
+
+func TestAttributesAttached(t *testing.T) {
+	d, err := Generate(smallSpec(Dense, Mono))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.G1.Attrs) == 0 || len(d.G2.Attrs) == 0 {
+		t.Fatal("no attributes generated")
+	}
+	// Coverage is partial: fewer attr triples than entities x perClass.
+	if len(d.G1.Attrs) >= d.G1.NumEntities()*d.G1.NumAttrTypes {
+		t.Fatal("attribute coverage not partial")
+	}
+}
+
+func TestStandardSpecsCatalog(t *testing.T) {
+	specs := StandardSpecs(1.0)
+	if len(specs) != 9 {
+		t.Fatalf("expected 9 standard specs, got %d", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.NumPairs <= 0 || s.AvgDegree <= 0 {
+			t.Fatalf("spec %q malformed: %+v", s.Name, s)
+		}
+	}
+	for _, name := range append(CrossLingualNames(), MonoLingualNames()...) {
+		if _, ok := SpecByName(name, 1.0); !ok {
+			t.Fatalf("table name %q not in catalog", name)
+		}
+	}
+	for _, name := range AblationNames() {
+		if _, ok := SpecByName(name, 1.0); !ok {
+			t.Fatalf("ablation name %q not in catalog", name)
+		}
+	}
+	if _, ok := SpecByName("nope", 1.0); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestStandardSpecsScale(t *testing.T) {
+	full, _ := SpecByName(DBP15KZhEn, 1.0)
+	small, _ := SpecByName(DBP15KZhEn, 0.1)
+	if small.NumPairs >= full.NumPairs {
+		t.Fatal("scaling did not shrink NumPairs")
+	}
+	if small.AvgDegree != full.AvgDegree {
+		t.Fatal("scaling should not change degree")
+	}
+	tiny, _ := SpecByName(DBP15KZhEn, 0.0001)
+	if tiny.NumPairs < 8 {
+		t.Fatal("scale floor violated")
+	}
+}
+
+func TestGenerateStandardSmallScale(t *testing.T) {
+	// Every standard spec must generate cleanly at test scale.
+	for _, spec := range StandardSpecs(0.05) {
+		d, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(d.TestPairs) == 0 || len(d.SeedPairs) == 0 {
+			t.Fatalf("%s: degenerate split", spec.Name)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package bench
+
+// The nine KG pairs of the paper's evaluation benchmark (Table II), scaled
+// for pure-Go CPU training. The asterisk in each name marks the dataset as
+// a synthetic analogue: same density regime, language relation and seed
+// ratio as the original, smaller cardinality (see DESIGN.md §2 for the
+// substitution rationale).
+//
+// Size scaling: DBP15K 15 000 -> 2 000 pairs, DBP100K 100 000 -> 4 000,
+// SRPRS 15 000 -> 1 500. Average degrees follow Table II's triples/entities
+// ratios: DBP15K ~4.6–5.3, DBP100K ~9, SRPRS ~4.5–5.1.
+
+// Names of the nine standard KG pairs, in the paper's table order.
+const (
+	DBP15KZhEn  = "DBP15K ZH-EN*"
+	DBP15KJaEn  = "DBP15K JA-EN*"
+	DBP15KFrEn  = "DBP15K FR-EN*"
+	DBP100KDbWd = "DBP100K DBP-WD*"
+	DBP100KDbYg = "DBP100K DBP-YG*"
+	SRPRSEnFr   = "SRPRS EN-FR*"
+	SRPRSEnDe   = "SRPRS EN-DE*"
+	SRPRSDbWd   = "SRPRS DBP-WD*"
+	SRPRSDbYg   = "SRPRS DBP-YG*"
+)
+
+// baseSpec holds the parameters shared by every pair.
+func baseSpec() Spec {
+	return Spec{
+		NumRels:      24,
+		EdgeDropout:  0.15,
+		EdgeNoise:    0.10,
+		NameNoise:    0.25,
+		WordSwap:     0.30,
+		AttrTypes:    30,
+		AttrCoverage: 0.55,
+		Dim:          48,
+		SeedFrac:     0.30,
+		Seed:         1,
+	}
+}
+
+// StandardSpecs returns the nine KG-pair specs in Table II order, scaled by
+// the given factor (1.0 = the default reduced sizes; smaller values shrink
+// further for fast tests). Scale does not change degrees or noise rates.
+func StandardSpecs(scale float64) []Spec {
+	n := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	mk := func(name, group string, style Style, lang LangRelation, pairs, extra1, extra2 int,
+		deg, transNoise, oov float64, seed uint64) Spec {
+		s := baseSpec()
+		s.Name = name
+		s.Group = group
+		s.Style = style
+		s.Lang = lang
+		s.NumPairs = n(pairs)
+		s.Extra1 = n(extra1)
+		s.Extra2 = n(extra2)
+		s.AvgDegree = deg
+		s.TransNoise = transNoise
+		s.OOVRate = oov
+		s.Seed = seed
+		return s
+	}
+	return []Spec{
+		// DBP15K: dense, cross-lingual. ZH/JA are distant scripts with
+		// higher OOV; FR is a close language. Entity counts in Table II
+		// exceed the 15k gold pairs several-fold; the extras reproduce
+		// that asymmetry (the EN side is always larger).
+		mk(DBP15KZhEn, "DBP15K", Dense, Distant, 2000, 600, 1200, 5.0, 0.12, 0.28, 101),
+		mk(DBP15KJaEn, "DBP15K", Dense, Distant, 2000, 600, 1200, 5.2, 0.11, 0.24, 102),
+		mk(DBP15KFrEn, "DBP15K", Dense, Close, 2000, 600, 1200, 5.3, 0.10, 0.22, 103),
+		// DBP100K: dense, mono-lingual, near-identical names.
+		mk(DBP100KDbWd, "DBP100K", Dense, Mono, 4000, 0, 0, 9.0, 0.05, 0.28, 104),
+		mk(DBP100KDbYg, "DBP100K", Dense, Mono, 4000, 0, 0, 9.3, 0.06, 0.30, 105),
+		// SRPRS: power-law, real-life degree distribution, sparser.
+		mk(SRPRSEnFr, "SRPRS", PowerLaw, Close, 1500, 0, 0, 4.7, 0.10, 0.22, 106),
+		mk(SRPRSEnDe, "SRPRS", PowerLaw, Close, 1500, 0, 0, 5.0, 0.11, 0.25, 107),
+		mk(SRPRSDbWd, "SRPRS", PowerLaw, Mono, 1500, 0, 0, 5.2, 0.05, 0.28, 108),
+		mk(SRPRSDbYg, "SRPRS", PowerLaw, Mono, 1500, 0, 0, 4.5, 0.06, 0.30, 109),
+	}
+}
+
+// HardMonoName is the name of the extension dataset below.
+const HardMonoName = "HARD DBP-WD*"
+
+// HardMonoSpec is an extension beyond the paper: the authors note that a
+// simple string feature reaching accuracy 1.0 on current mono-lingual
+// benchmarks "encourages us to build more challenging mono-lingual EA
+// datasets", left as future work. This spec realizes that: a mono-lingual
+// pair whose names are heavily perturbed and frequently reworded, so no
+// single feature solves the task and fusion + collective decisions matter
+// again.
+func HardMonoSpec(scale float64) Spec {
+	s := baseSpec()
+	s.Name = HardMonoName
+	s.Group = "EXT"
+	s.Style = PowerLaw
+	s.Lang = Close // heavy perturbation model instead of near-copies
+	s.NumPairs = int(1500 * scale)
+	if s.NumPairs < 8 {
+		s.NumPairs = 8
+	}
+	s.AvgDegree = 4.6
+	s.WordSwap = 0.55 // over half the words reworded
+	s.TransNoise = 0.12
+	s.OOVRate = 0.45
+	s.Seed = 110
+	return s
+}
+
+// SpecByName returns the standard spec with the given name at the given
+// scale, or false if unknown.
+func SpecByName(name string, scale float64) (Spec, bool) {
+	for _, s := range StandardSpecs(scale) {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// CrossLingualNames returns the five cross-lingual pairs of Table III in
+// column order.
+func CrossLingualNames() []string {
+	return []string{DBP15KZhEn, DBP15KJaEn, DBP15KFrEn, SRPRSEnFr, SRPRSEnDe}
+}
+
+// MonoLingualNames returns the four mono-lingual pairs of Table IV in
+// column order.
+func MonoLingualNames() []string {
+	return []string{DBP100KDbWd, DBP100KDbYg, SRPRSDbWd, SRPRSDbYg}
+}
+
+// AblationNames returns the five pairs of Table V in column order.
+func AblationNames() []string {
+	return []string{SRPRSEnFr, SRPRSEnDe, SRPRSDbWd, SRPRSDbYg, DBP15KZhEn}
+}

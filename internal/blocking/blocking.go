@@ -1,0 +1,212 @@
+// Package blocking implements candidate generation for large-scale entity
+// alignment. The paper's pipeline materializes dense |test|×|test|
+// similarity matrices — quadratic in the test-set size, which is what keeps
+// full-size DBP100K (70 000 test pairs → 4.9 G cells per feature) out of
+// reach for any implementation, including the original. Blocking restricts
+// each source entity to a small candidate set before any similarity is
+// computed, the standard scalability lever in entity resolution (cf. the
+// paper's ER discussion, §I).
+//
+// Two deliberately cheap generators are provided and usually combined:
+//
+//   - TokenIndex: an inverted index over name tokens; candidates share at
+//     least one token. Precise for mono-lingual and close language pairs,
+//     empty for distant scripts.
+//   - NeighborExpansion: candidates whose graph neighbourhoods contain
+//     counterparts of shared seed neighbours — script-independent, driven
+//     purely by structure.
+//
+// A Blocker merges generators and pads with uniform fallback candidates so
+// recall never silently drops to zero.
+package blocking
+
+import (
+	"sort"
+
+	"ceaff/internal/align"
+	"ceaff/internal/kg"
+	"ceaff/internal/rng"
+	"ceaff/internal/wordvec"
+)
+
+// Candidates maps each test-source index to the candidate test-target
+// indices it should be compared against, sorted ascending.
+type Candidates [][]int
+
+// Stats summarizes a candidate structure.
+type Stats struct {
+	AvgCandidates float64
+	MaxCandidates int
+	// Recall is the fraction of sources whose true counterpart (diagonal
+	// index) is inside the candidate set — computable because test pairs
+	// are index-aligned.
+	Recall float64
+}
+
+// Stats computes summary statistics, using the diagonal as ground truth.
+func (c Candidates) Stats() Stats {
+	var total int
+	s := Stats{}
+	for i, cands := range c {
+		total += len(cands)
+		if len(cands) > s.MaxCandidates {
+			s.MaxCandidates = len(cands)
+		}
+		for _, j := range cands {
+			if j == i {
+				s.Recall++
+				break
+			}
+		}
+	}
+	if len(c) > 0 {
+		s.AvgCandidates = float64(total) / float64(len(c))
+		s.Recall /= float64(len(c))
+	}
+	return s
+}
+
+// Generator proposes candidate target indices for each source.
+type Generator interface {
+	// Generate returns per-source candidate sets (unsorted, may contain
+	// duplicates; the Blocker normalizes).
+	Generate() [][]int
+}
+
+// TokenIndex blocks by shared name tokens: target names are indexed by
+// token, and a source's candidates are all targets sharing at least one of
+// its tokens. Very frequent tokens (above the stop threshold) are ignored,
+// as in standard ER blocking, to keep candidate lists small.
+type TokenIndex struct {
+	srcNames []string
+	index    map[string][]int
+	stop     int
+}
+
+// NewTokenIndex builds the index. stopThreshold caps how many targets a
+// token may match before it is treated as a stop word (0 = len/10).
+func NewTokenIndex(srcNames, tgtNames []string, stopThreshold int) *TokenIndex {
+	if stopThreshold <= 0 {
+		stopThreshold = len(tgtNames)/10 + 1
+	}
+	idx := make(map[string][]int)
+	for j, name := range tgtNames {
+		for _, tok := range wordvec.Tokenize(name) {
+			idx[tok] = append(idx[tok], j)
+		}
+	}
+	for tok, posts := range idx {
+		if len(posts) > stopThreshold {
+			delete(idx, tok)
+		}
+	}
+	return &TokenIndex{srcNames: srcNames, index: idx, stop: stopThreshold}
+}
+
+// Generate implements Generator.
+func (t *TokenIndex) Generate() [][]int {
+	out := make([][]int, len(t.srcNames))
+	for i, name := range t.srcNames {
+		for _, tok := range wordvec.Tokenize(name) {
+			out[i] = append(out[i], t.index[tok]...)
+		}
+	}
+	return out
+}
+
+// NeighborExpansion blocks by seed-anchored structure: a target j is a
+// candidate for source i when i and j have at least one seed pair among
+// their (1-hop) neighbourhoods' counterparts.
+type NeighborExpansion struct {
+	g1, g2 *kg.KG
+	seeds  []align.Pair
+	tests  []align.Pair
+}
+
+// NewNeighborExpansion builds the generator over the dataset's graphs.
+func NewNeighborExpansion(g1, g2 *kg.KG, seeds, tests []align.Pair) *NeighborExpansion {
+	return &NeighborExpansion{g1: g1, g2: g2, seeds: seeds, tests: tests}
+}
+
+// Generate implements Generator.
+func (n *NeighborExpansion) Generate() [][]int {
+	// seedID maps entities of either KG to a shared seed index.
+	seedOf1 := make(map[kg.EntityID]int, len(n.seeds))
+	seedOf2 := make(map[kg.EntityID]int, len(n.seeds))
+	for s, p := range n.seeds {
+		seedOf1[p.U] = s
+		seedOf2[p.V] = s
+	}
+	nb1 := n.g1.Neighbors()
+	nb2 := n.g2.Neighbors()
+
+	// For each seed, the list of test-target indices adjacent to its V.
+	targetsBySeed := make(map[int][]int)
+	for j, p := range n.tests {
+		for _, nbr := range nb2[p.V] {
+			if s, ok := seedOf2[nbr]; ok {
+				targetsBySeed[s] = append(targetsBySeed[s], j)
+			}
+		}
+	}
+	out := make([][]int, len(n.tests))
+	for i, p := range n.tests {
+		for _, nbr := range nb1[p.U] {
+			if s, ok := seedOf1[nbr]; ok {
+				out[i] = append(out[i], targetsBySeed[s]...)
+			}
+		}
+	}
+	return out
+}
+
+// Blocker merges generators, deduplicates, and pads every source with
+// uniform random fallback candidates up to MinCandidates plus the true-ish
+// coverage that padding provides.
+type Blocker struct {
+	Generators []Generator
+	// MinCandidates pads sparse candidate sets with deterministic uniform
+	// draws (default 20), bounding worst-case recall loss.
+	MinCandidates int
+	// NumTargets is the test-target count (candidate index space).
+	NumTargets int
+	// Seed drives the padding draws.
+	Seed uint64
+}
+
+// Generate runs all generators and normalizes the result.
+func (b *Blocker) Generate() Candidates {
+	min := b.MinCandidates
+	if min <= 0 {
+		min = 20
+	}
+	var merged [][]int
+	for _, g := range b.Generators {
+		part := g.Generate()
+		if merged == nil {
+			merged = part
+			continue
+		}
+		for i := range part {
+			merged[i] = append(merged[i], part[i]...)
+		}
+	}
+	s := rng.New(b.Seed)
+	out := make(Candidates, len(merged))
+	for i, cands := range merged {
+		set := make(map[int]struct{}, len(cands)+min)
+		for _, j := range cands {
+			set[j] = struct{}{}
+		}
+		for len(set) < min && len(set) < b.NumTargets {
+			set[s.Intn(b.NumTargets)] = struct{}{}
+		}
+		lst := make([]int, 0, len(set))
+		for j := range set {
+			lst = append(lst, j)
+		}
+		sort.Ints(lst)
+		out[i] = lst
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package blocking
+
+import (
+	"testing"
+
+	"ceaff/internal/align"
+	"ceaff/internal/bench"
+	"ceaff/internal/kg"
+)
+
+func testDataset(t *testing.T, lang bench.LangRelation) *bench.Dataset {
+	t.Helper()
+	spec := bench.Spec{
+		Name: "blk", Group: "TEST", Style: bench.Dense, Lang: lang,
+		NumPairs: 250, AvgDegree: 5, NumRels: 8,
+		EdgeDropout: 0.15, EdgeNoise: 0.1,
+		NameNoise: 0.25, WordSwap: 0.3, TransNoise: 0.1, OOVRate: 0.25,
+		Dim: 16, SeedFrac: 0.3, Seed: 31,
+	}
+	d, err := bench.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func names(g *kg.KG, ids []kg.EntityID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.EntityName(id)
+	}
+	return out
+}
+
+func TestTokenIndexHighRecallOnMono(t *testing.T) {
+	d := testDataset(t, bench.Mono)
+	src := names(d.G1, align.SourceIDs(d.TestPairs))
+	tgt := names(d.G2, align.TargetIDs(d.TestPairs))
+	b := &Blocker{
+		Generators: []Generator{NewTokenIndex(src, tgt, 0)},
+		NumTargets: len(tgt),
+	}
+	cands := b.Generate()
+	s := cands.Stats()
+	if s.Recall < 0.85 {
+		t.Fatalf("token-blocking recall %.3f on mono names, want >= 0.85", s.Recall)
+	}
+	if s.AvgCandidates > float64(len(tgt))/2 {
+		t.Fatalf("avg candidates %.1f — blocking is not selective", s.AvgCandidates)
+	}
+}
+
+func TestTokenIndexStopWords(t *testing.T) {
+	src := []string{"rare_alpha"}
+	tgt := make([]string, 50)
+	for i := range tgt {
+		tgt[i] = "common_word" // shared by everything
+	}
+	tgt[7] = "rare_alpha"
+	idx := NewTokenIndex(src, tgt, 5)
+	cands := idx.Generate()
+	// "common" and "word" are stop tokens; only "rare"/"alpha" match.
+	if len(cands[0]) != 2 { // rare + alpha both hit target 7
+		t.Fatalf("candidates %v, want the two token hits on target 7", cands[0])
+	}
+	for _, j := range cands[0] {
+		if j != 7 {
+			t.Fatalf("stop-word leak: candidate %d", j)
+		}
+	}
+}
+
+func TestNeighborExpansionRecallsStructure(t *testing.T) {
+	d := testDataset(t, bench.Distant) // names useless; structure must work
+	gen := NewNeighborExpansion(d.G1, d.G2, d.SeedPairs, d.TestPairs)
+	b := &Blocker{
+		Generators:    []Generator{gen},
+		NumTargets:    len(d.TestPairs),
+		MinCandidates: 1,
+	}
+	s := b.Generate().Stats()
+	if s.Recall < 0.4 {
+		t.Fatalf("neighbour-expansion recall %.3f, want >= 0.4", s.Recall)
+	}
+	if s.AvgCandidates > float64(len(d.TestPairs))/2 {
+		t.Fatalf("avg candidates %.1f not selective", s.AvgCandidates)
+	}
+}
+
+func TestBlockerPadsAndDeduplicates(t *testing.T) {
+	fixed := fixedGenerator{{3, 3, 3}, {}}
+	b := &Blocker{
+		Generators:    []Generator{fixed},
+		NumTargets:    10,
+		MinCandidates: 5,
+		Seed:          1,
+	}
+	cands := b.Generate()
+	if len(cands) != 2 {
+		t.Fatalf("rows %d", len(cands))
+	}
+	for i, cs := range cands {
+		if len(cs) < 5 {
+			t.Fatalf("row %d padded to only %d", i, len(cs))
+		}
+		seen := map[int]bool{}
+		last := -1
+		for _, j := range cs {
+			if seen[j] {
+				t.Fatalf("row %d has duplicate %d", i, j)
+			}
+			if j <= last {
+				t.Fatalf("row %d not sorted: %v", i, cs)
+			}
+			seen[j] = true
+			last = j
+		}
+	}
+}
+
+type fixedGenerator [][]int
+
+func (f fixedGenerator) Generate() [][]int { return f }
+
+func TestCombinedGeneratorsUnion(t *testing.T) {
+	a := fixedGenerator{{1}}
+	b := fixedGenerator{{2}}
+	blk := &Blocker{Generators: []Generator{a, b}, NumTargets: 5, MinCandidates: 1}
+	cands := blk.Generate()
+	if len(cands[0]) != 2 || cands[0][0] != 1 || cands[0][1] != 2 {
+		t.Fatalf("union wrong: %v", cands[0])
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var c Candidates
+	s := c.Stats()
+	if s.AvgCandidates != 0 || s.Recall != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}

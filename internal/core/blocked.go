@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ceaff/internal/align"
+	"ceaff/internal/blocking"
+	"ceaff/internal/eval"
+	"ceaff/internal/gcn"
+	"ceaff/internal/kg"
+	"ceaff/internal/mat"
+	"ceaff/internal/match"
+	"ceaff/internal/strsim"
+	"ceaff/internal/wordvec"
+)
+
+// SparseFeatures holds per-candidate feature scores: Scores[k][i][c] is
+// feature k's similarity between test source i and its c-th candidate
+// (Cands[i][c]). The dense pipeline's |test|² matrices become
+// O(|test|·candidates), which is what makes full-size benchmarks feasible.
+type SparseFeatures struct {
+	Cands  blocking.Candidates
+	Scores [3][][]float64 // structural, semantic, string
+}
+
+// ComputeBlockedFeatures is the scalable counterpart of ComputeFeatures:
+// feature scores are computed only for the blocked candidate pairs.
+func ComputeBlockedFeatures(in *Input, gcnCfg gcn.Config, cands blocking.Candidates) (*SparseFeatures, error) {
+	if err := validateInput(in); err != nil {
+		return nil, err
+	}
+	if len(cands) != len(in.Tests) {
+		return nil, fmt.Errorf("core: %d candidate rows for %d test pairs", len(cands), len(in.Tests))
+	}
+	for i, cs := range cands {
+		for _, j := range cs {
+			if j < 0 || j >= len(in.Tests) {
+				return nil, fmt.Errorf("core: candidate %d of source %d out of range", j, i)
+			}
+		}
+	}
+
+	model, err := gcn.Train(in.G1, in.G2, in.Seeds, gcnCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: structural feature: %w", err)
+	}
+	testSrc, testTgt := align.SourceIDs(in.Tests), align.TargetIDs(in.Tests)
+	srcNames := namesOf(in.G1, testSrc)
+	tgtNames := namesOf(in.G2, testTgt)
+
+	// Structural: centered, normalized embedding rows; per-pair dot then
+	// equals the centered cosine of the dense pipeline.
+	zSrc, zTgt := gatherCenteredUnit(model, testSrc, testTgt)
+	// Semantic: normalized name-embedding rows.
+	nSrc := wordvec.NameEmbedding(in.Emb1, srcNames)
+	nTgt := wordvec.NameEmbedding(in.Emb2, tgtNames)
+	nSrc.NormalizeRowsL2()
+	nTgt.NormalizeRowsL2()
+
+	sf := &SparseFeatures{Cands: cands}
+	for k := range sf.Scores {
+		sf.Scores[k] = make([][]float64, len(cands))
+	}
+	mat.ParallelRows(len(cands), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cs := cands[i]
+			structural := make([]float64, len(cs))
+			semantic := make([]float64, len(cs))
+			stringSim := make([]float64, len(cs))
+			for c, j := range cs {
+				structural[c] = mat.Dot(zSrc.Row(i), zTgt.Row(j))
+				semantic[c] = mat.Dot(nSrc.Row(i), nTgt.Row(j))
+				stringSim[c] = strsim.Ratio(srcNames[i], tgtNames[j])
+			}
+			sf.Scores[0][i] = structural
+			sf.Scores[1][i] = semantic
+			sf.Scores[2][i] = stringSim
+		}
+	})
+	return sf, nil
+}
+
+// gatherCenteredUnit gathers the selected structural embeddings, subtracts
+// their common mean vector and L2-normalizes rows, so per-pair dot products
+// equal gcn.Model.CenteredSimilarityMatrix entries.
+func gatherCenteredUnit(model *gcn.Model, src, tgt []kg.EntityID) (*mat.Dense, *mat.Dense) {
+	a := mat.NewDense(len(src), model.Z1.Cols)
+	for i, id := range src {
+		copy(a.Row(i), model.Z1.Row(int(id)))
+	}
+	b := mat.NewDense(len(tgt), model.Z2.Cols)
+	for i, id := range tgt {
+		copy(b.Row(i), model.Z2.Row(int(id)))
+	}
+	dim := a.Cols
+	mean := make([]float64, dim)
+	for i := 0; i < a.Rows; i++ {
+		for j, v := range a.Row(i) {
+			mean[j] += v
+		}
+	}
+	for i := 0; i < b.Rows; i++ {
+		for j, v := range b.Row(i) {
+			mean[j] += v
+		}
+	}
+	total := float64(a.Rows + b.Rows)
+	if total > 0 {
+		for j := range mean {
+			mean[j] /= total
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		r := a.Row(i)
+		for j := range r {
+			r[j] -= mean[j]
+		}
+	}
+	for i := 0; i < b.Rows; i++ {
+		r := b.Row(i)
+		for j := range r {
+			r[j] -= mean[j]
+		}
+	}
+	a.NormalizeRowsL2()
+	b.NormalizeRowsL2()
+	return a, b
+}
+
+// RunBlocked executes the scalable pipeline: blocked feature computation,
+// fixed-weight outcome-level fusion over the candidate scores, and
+// collective matching by deferred acceptance over the candidate preference
+// lists. Adaptive weighting needs global row/column maxima, which sparse
+// candidates only approximate, so blocked mode uses the fixed-weight
+// two-stage combination (w/o AFF); CEAFF with AFF remains the dense path.
+func RunBlocked(in *Input, cfg Config, cands blocking.Candidates) (*Result, error) {
+	sf, err := ComputeBlockedFeatures(in, cfg.GCN, cands)
+	if err != nil {
+		return nil, err
+	}
+	return DecideBlocked(sf, cfg)
+}
+
+// DecideBlocked fuses sparse features and matches collectively.
+func DecideBlocked(sf *SparseFeatures, cfg Config) (*Result, error) {
+	var parts [][][]float64
+	if cfg.UseStructural {
+		parts = append(parts, sf.Scores[0])
+	}
+	if cfg.UseSemantic {
+		parts = append(parts, sf.Scores[1])
+	}
+	if cfg.UseString {
+		parts = append(parts, sf.Scores[2])
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: all features disabled")
+	}
+	n := len(sf.Cands)
+	fused := make([][]float64, n)
+	w := 1 / float64(len(parts))
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(sf.Cands[i]))
+		for _, p := range parts {
+			for c, v := range p[i] {
+				row[c] += w * v
+			}
+		}
+		fused[i] = row
+	}
+
+	var assignment match.Assignment
+	switch cfg.Decision {
+	case Independent:
+		assignment = sparseGreedy(sf.Cands, fused)
+	default: // Collective is the blocked default; Hungarian needs density.
+		assignment = sparseDAA(sf.Cands, fused)
+	}
+	res := &Result{Assignment: assignment}
+	res.Accuracy = eval.Accuracy(assignment)
+	res.PRF = eval.PrecisionRecall(assignment)
+	return res, nil
+}
+
+// sparseGreedy picks each source's best candidate.
+func sparseGreedy(cands blocking.Candidates, scores [][]float64) match.Assignment {
+	out := make(match.Assignment, len(cands))
+	for i := range out {
+		out[i] = -1
+		best := math.Inf(-1)
+		for c, j := range cands[i] {
+			if scores[i][c] > best {
+				best = scores[i][c]
+				out[i] = j
+			}
+		}
+	}
+	return out
+}
+
+// sparseDAA runs deferred acceptance over per-source candidate preference
+// lists. Targets compare suitors by the suitors' scores for them; a source
+// exhausting its list stays unmatched.
+func sparseDAA(cands blocking.Candidates, scores [][]float64) match.Assignment {
+	n := len(cands)
+	// Preference order per source: candidate positions sorted by score.
+	prefs := make([][]int, n)
+	for i := range prefs {
+		order := make([]int, len(cands[i]))
+		for c := range order {
+			order[c] = c
+		}
+		sc := scores[i]
+		cs := cands[i]
+		sort.Slice(order, func(a, b int) bool {
+			if sc[order[a]] != sc[order[b]] {
+				return sc[order[a]] > sc[order[b]]
+			}
+			return cs[order[a]] < cs[order[b]]
+		})
+		prefs[i] = order
+	}
+	// scoreFor(u, v) lookup for targets comparing suitors.
+	scoreFor := func(u, v int) float64 {
+		cs := cands[u]
+		// Binary search: candidate lists are sorted ascending.
+		lo, hi := 0, len(cs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cs[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(cs) && cs[lo] == v {
+			return scores[u][lo]
+		}
+		return math.Inf(-1)
+	}
+
+	next := make([]int, n)
+	engagedTo := make(map[int]int, n) // target -> source
+	assignment := make(match.Assignment, n)
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		queue = append(queue, i)
+	}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for assignment[u] == -1 && next[u] < len(prefs[u]) {
+			pos := prefs[u][next[u]]
+			next[u]++
+			v := cands[u][pos]
+			cur, taken := engagedTo[v]
+			if !taken {
+				engagedTo[v] = u
+				assignment[u] = v
+				continue
+			}
+			su, sc := scoreFor(u, v), scoreFor(cur, v)
+			if su > sc || (su == sc && u < cur) {
+				engagedTo[v] = u
+				assignment[u] = v
+				assignment[cur] = -1
+				queue = append(queue, cur)
+			}
+		}
+	}
+	return assignment
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"ceaff/internal/align"
+	"ceaff/internal/bench"
+	"ceaff/internal/blocking"
+)
+
+func blockerFor(in *Input) blocking.Candidates {
+	srcNames := namesOf(in.G1, align.SourceIDs(in.Tests))
+	tgtNames := namesOf(in.G2, align.TargetIDs(in.Tests))
+	b := &blocking.Blocker{
+		Generators: []blocking.Generator{
+			blocking.NewTokenIndex(srcNames, tgtNames, 0),
+			blocking.NewNeighborExpansion(in.G1, in.G2, in.Seeds, in.Tests),
+		},
+		NumTargets:    len(in.Tests),
+		MinCandidates: 15,
+		Seed:          3,
+	}
+	return b.Generate()
+}
+
+func TestRunBlockedNearDenseAccuracyOnMono(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+
+	dense, err := Run(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := RunBlocked(in, cfg, blockerFor(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Accuracy+0.1 < dense.Accuracy {
+		t.Fatalf("blocked accuracy %.3f far below dense %.3f", blocked.Accuracy, dense.Accuracy)
+	}
+	if blocked.Accuracy < 0.8 {
+		t.Fatalf("blocked mono accuracy %.3f too low", blocked.Accuracy)
+	}
+}
+
+func TestRunBlockedValidations(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	// Wrong row count.
+	if _, err := RunBlocked(in, cfg, make(blocking.Candidates, 3)); err == nil {
+		t.Error("wrong candidate rows accepted")
+	}
+	// Out-of-range candidate.
+	bad := make(blocking.Candidates, len(in.Tests))
+	bad[0] = []int{len(in.Tests)}
+	if _, err := RunBlocked(in, cfg, bad); err == nil {
+		t.Error("out-of-range candidate accepted")
+	}
+}
+
+func TestDecideBlockedFeatureSwitches(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	sf, err := ComputeBlockedFeatures(in, cfg.GCN, blockerFor(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stringOnly := cfg
+	stringOnly.UseStructural = false
+	stringOnly.UseSemantic = false
+	res, err := DecideBlocked(sf, stringOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.7 {
+		t.Fatalf("string-only blocked mono accuracy %.3f", res.Accuracy)
+	}
+	none := cfg
+	none.UseStructural, none.UseSemantic, none.UseString = false, false, false
+	if _, err := DecideBlocked(sf, none); err == nil {
+		t.Error("all-disabled accepted")
+	}
+}
+
+func TestDecideBlockedIndependentVsCollective(t *testing.T) {
+	in, _ := testDataset(t, bench.PowerLaw, bench.Close)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	sf, err := ComputeBlockedFeatures(in, cfg.GCN, blockerFor(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := DecideBlocked(sf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep := cfg
+	indep.Decision = Independent
+	ind, err := DecideBlocked(sf, indep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.Accuracy+0.02 < ind.Accuracy {
+		t.Fatalf("blocked collective %.3f clearly below independent %.3f", coll.Accuracy, ind.Accuracy)
+	}
+	// One-to-one invariant for the sparse DAA.
+	seen := map[int]bool{}
+	for _, j := range coll.Assignment {
+		if j < 0 {
+			continue
+		}
+		if seen[j] {
+			t.Fatal("sparse DAA assigned a target twice")
+		}
+		seen[j] = true
+	}
+}
+
+func TestSparseDAAHandlesEmptyCandidateRows(t *testing.T) {
+	cands := blocking.Candidates{{0}, nil}
+	scores := [][]float64{{0.9}, nil}
+	a := sparseDAA(cands, scores)
+	if a[0] != 0 || a[1] != -1 {
+		t.Fatalf("assignment %v", a)
+	}
+}

@@ -1,0 +1,343 @@
+// Package core implements CEAFF itself — the paper's contribution: a
+// collective embedding-based entity-alignment pipeline with adaptive
+// feature fusion (Figure 2).
+//
+// The pipeline has the paper's three stages:
+//
+//  1. Feature generation (§IV): structural similarity from a GCN trained
+//     with a margin-based ranking loss, semantic similarity from averaged
+//     word embeddings of entity names, and string similarity from the
+//     Levenshtein ratio.
+//  2. Adaptive feature fusion (§V): the two-stage outcome-level fusion with
+//     dynamically assigned weights.
+//  3. Collective EA (§VI): stable matching via the deferred acceptance
+//     algorithm over preference lists built from the fused matrix.
+//
+// Every ablation of Table V is a Config switch: disable individual
+// features, replace adaptive fusion with fixed or LR-learned weights,
+// disable the θ1/θ2 damping, or fall back to independent (greedy) decisions.
+package core
+
+import (
+	"fmt"
+
+	"ceaff/internal/align"
+	"ceaff/internal/eval"
+	"ceaff/internal/fusion"
+	"ceaff/internal/gcn"
+	"ceaff/internal/kg"
+	"ceaff/internal/lr"
+	"ceaff/internal/mat"
+	"ceaff/internal/match"
+	"ceaff/internal/rng"
+	"ceaff/internal/strsim"
+	"ceaff/internal/wordvec"
+)
+
+// Input bundles everything the pipeline consumes: the two KGs, the seed
+// (training) and test alignments, and the two word embedders sharing an
+// aligned cross-lingual space.
+type Input struct {
+	G1, G2     *kg.KG
+	Seeds      []align.Pair
+	Tests      []align.Pair
+	Emb1, Emb2 wordvec.Embedder
+}
+
+// FusionMode selects the feature-fusion strategy.
+type FusionMode int
+
+const (
+	// AdaptiveFusion is the paper's adaptive feature fusion (default).
+	AdaptiveFusion FusionMode = iota
+	// FixedFusion weights every feature equally ("w/o AFF").
+	FixedFusion
+	// LearnedFusion learns weights with logistic regression on seed pairs
+	// plus sampled negatives (the "LR" row of Table V).
+	LearnedFusion
+)
+
+// DecisionMode selects how EA decisions are made from the fused matrix.
+type DecisionMode int
+
+const (
+	// Collective formulates EA as stable matching solved by deferred
+	// acceptance (the paper's proposal, default).
+	Collective DecisionMode = iota
+	// Independent is the greedy argmax of prior work ("w/o C").
+	Independent
+	// Assignment solves maximum-weight bipartite matching with the
+	// Hungarian algorithm (§VI Discussion).
+	Assignment
+	// GreedyOneToOne accepts cells in descending similarity order under a
+	// one-to-one constraint — a third collective strategy (extension).
+	GreedyOneToOne
+)
+
+// Config selects features, fusion and decision strategy.
+type Config struct {
+	UseStructural bool // include Ms
+	UseSemantic   bool // include Mn
+	UseString     bool // include Ml
+
+	Fusion     FusionMode
+	FusionOpts fusion.Options
+	Decision   DecisionMode
+	// SingleStageFusion fuses all features in one adaptive pass instead of
+	// the paper's two-stage scheme — an ablation of the design choice
+	// motivated in §V. Only meaningful with AdaptiveFusion.
+	SingleStageFusion bool
+
+	GCN gcn.Config // structural-feature training settings
+	LR  lr.Config  // LearnedFusion training settings
+	// LRNegatives is the number of corrupted pairs per positive when
+	// building the LR training set (paper: 10).
+	LRNegatives int
+
+	// CSLSNeighbors, when positive, applies cross-domain similarity local
+	// scaling with that many neighbours to the fused matrix before the
+	// decision step — an extension mitigating hub entities in the
+	// embedding-derived similarities. 0 disables it (the paper's setting).
+	CSLSNeighbors int
+
+	// PreferenceTopK, when positive, truncates each source's preference
+	// list to its k best targets during collective matching — the
+	// scalability lever for large candidate spaces. 0 uses full lists.
+	PreferenceTopK int
+}
+
+// DefaultConfig returns the full CEAFF configuration with the paper's
+// parameters.
+func DefaultConfig() Config {
+	return Config{
+		UseStructural: true,
+		UseSemantic:   true,
+		UseString:     true,
+		Fusion:        AdaptiveFusion,
+		FusionOpts:    fusion.DefaultOptions(),
+		Decision:      Collective,
+		GCN:           gcn.DefaultConfig(),
+		LR:            lr.DefaultConfig(),
+		LRNegatives:   10,
+	}
+}
+
+// FeatureSet holds the similarity matrices computed once per dataset. Rows
+// index test-pair sources, columns index test-pair targets, so ground truth
+// is the diagonal. The seed-pair matrices support LR weight learning.
+type FeatureSet struct {
+	Ms, Mn, Ml *mat.Dense // test sources x test targets
+	// SeedMs/Mn/Ml are seed sources x seed targets, diagonal = positives.
+	SeedMs, SeedMn, SeedMl *mat.Dense
+}
+
+// ComputeFeatures runs feature generation (stage 1) for all three features.
+// It is split from Decide so ablation studies can reuse one GCN training
+// run across the twelve Table V configurations.
+func ComputeFeatures(in *Input, gcnCfg gcn.Config) (*FeatureSet, error) {
+	if err := validateInput(in); err != nil {
+		return nil, err
+	}
+	model, err := gcn.Train(in.G1, in.G2, in.Seeds, gcnCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: structural feature: %w", err)
+	}
+
+	testSrc, testTgt := align.SourceIDs(in.Tests), align.TargetIDs(in.Tests)
+	seedSrc, seedTgt := align.SourceIDs(in.Seeds), align.TargetIDs(in.Seeds)
+
+	fs := &FeatureSet{}
+	fs.Ms = model.CenteredSimilarityMatrix(testSrc, testTgt)
+	fs.SeedMs = model.CenteredSimilarityMatrix(seedSrc, seedTgt)
+
+	srcNames := namesOf(in.G1, testSrc)
+	tgtNames := namesOf(in.G2, testTgt)
+	seedSrcNames := namesOf(in.G1, seedSrc)
+	seedTgtNames := namesOf(in.G2, seedTgt)
+
+	n1 := wordvec.NameEmbedding(in.Emb1, srcNames)
+	n2 := wordvec.NameEmbedding(in.Emb2, tgtNames)
+	fs.Mn = mat.CosineSim(n1, n2)
+	sn1 := wordvec.NameEmbedding(in.Emb1, seedSrcNames)
+	sn2 := wordvec.NameEmbedding(in.Emb2, seedTgtNames)
+	fs.SeedMn = mat.CosineSim(sn1, sn2)
+
+	fs.Ml = strsim.Matrix(srcNames, tgtNames)
+	fs.SeedMl = strsim.Matrix(seedSrcNames, seedTgtNames)
+	return fs, nil
+}
+
+func validateInput(in *Input) error {
+	if in == nil || in.G1 == nil || in.G2 == nil {
+		return fmt.Errorf("core: nil input")
+	}
+	if len(in.Seeds) == 0 || len(in.Tests) == 0 {
+		return fmt.Errorf("core: need non-empty seed and test alignments")
+	}
+	if in.Emb1 == nil || in.Emb2 == nil {
+		return fmt.Errorf("core: nil embedders")
+	}
+	return nil
+}
+
+func namesOf(g *kg.KG, ids []kg.EntityID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.EntityName(id)
+	}
+	return out
+}
+
+// Result is the outcome of one pipeline run.
+type Result struct {
+	// Assignment maps test-source index to test-target index (-1 if
+	// unmatched); the diagonal is correct.
+	Assignment match.Assignment
+	// Accuracy is the paper's main metric.
+	Accuracy float64
+	// Fused is the final fused similarity matrix.
+	Fused *mat.Dense
+	// FusionInfo reports the weights chosen at both fusion stages (zero
+	// value for fixed/learned fusion).
+	FusionInfo fusion.TwoStageResult
+	// LearnedWeights holds the LR coefficients when Fusion==LearnedFusion.
+	LearnedWeights []float64
+	// Ranking holds Hits@1/10 and MRR of the fused matrix — meaningful for
+	// Independent decisions, which output ranked lists (Table VI).
+	Ranking eval.RankingReport
+	// PRF splits accuracy into precision over emitted matches and recall
+	// over all sources — informative when truncated preferences or blocked
+	// candidates leave sources unmatched.
+	PRF eval.PRF
+}
+
+// Decide runs fusion (stage 2) and EA decision making (stage 3) on
+// precomputed features.
+func Decide(fs *FeatureSet, cfg Config) (*Result, error) {
+	ms, mn, ml := selectFeatures(fs, cfg)
+	if ms == nil && mn == nil && ml == nil {
+		return nil, fmt.Errorf("core: all features disabled")
+	}
+
+	res := &Result{}
+	switch cfg.Fusion {
+	case AdaptiveFusion:
+		if cfg.SingleStageFusion {
+			fused, w := fusion.SingleStage(ms, mn, ml, cfg.FusionOpts)
+			res.Fused = fused
+			res.FusionInfo = fusion.TwoStageResult{Fused: fused, FinalWeights: w}
+			break
+		}
+		tw := fusion.TwoStage(ms, mn, ml, cfg.FusionOpts)
+		res.Fused = tw.Fused
+		res.FusionInfo = tw
+	case FixedFusion:
+		res.Fused = fusion.TwoStageFixed(ms, mn, ml)
+	case LearnedFusion:
+		weights, err := learnWeights(fs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.LearnedWeights = weights
+		var parts []*mat.Dense
+		var w []float64
+		for i, m := range []*mat.Dense{ms, mn, ml} {
+			if m != nil {
+				parts = append(parts, m)
+				w = append(w, weights[i])
+			}
+		}
+		res.Fused = fusion.FuseWeighted(parts, w)
+	default:
+		return nil, fmt.Errorf("core: unknown fusion mode %d", cfg.Fusion)
+	}
+
+	if cfg.CSLSNeighbors > 0 {
+		res.Fused = mat.CSLS(res.Fused, cfg.CSLSNeighbors)
+	}
+
+	switch cfg.Decision {
+	case Collective:
+		if cfg.PreferenceTopK > 0 {
+			res.Assignment = match.DeferredAcceptanceTopK(res.Fused, cfg.PreferenceTopK)
+		} else {
+			res.Assignment = match.DeferredAcceptance(res.Fused)
+		}
+	case Independent:
+		res.Assignment = match.Greedy(res.Fused)
+	case Assignment:
+		res.Assignment = match.Hungarian(res.Fused)
+	case GreedyOneToOne:
+		res.Assignment = match.GreedyOneToOne(res.Fused)
+	default:
+		return nil, fmt.Errorf("core: unknown decision mode %d", cfg.Decision)
+	}
+
+	res.Accuracy = eval.Accuracy(res.Assignment)
+	res.Ranking = eval.Ranking(res.Fused)
+	res.PRF = eval.PrecisionRecall(res.Assignment)
+	return res, nil
+}
+
+// Run executes the full pipeline: feature generation, fusion, decision.
+func Run(in *Input, cfg Config) (*Result, error) {
+	fs, err := ComputeFeatures(in, cfg.GCN)
+	if err != nil {
+		return nil, err
+	}
+	return Decide(fs, cfg)
+}
+
+func selectFeatures(fs *FeatureSet, cfg Config) (ms, mn, ml *mat.Dense) {
+	if cfg.UseStructural {
+		ms = fs.Ms
+	}
+	if cfg.UseSemantic {
+		mn = fs.Mn
+	}
+	if cfg.UseString {
+		ml = fs.Ml
+	}
+	return ms, mn, ml
+}
+
+// learnWeights implements the LR baseline of §VII-E: label seed pairs 1 and
+// corrupted pairs 0 over the per-pair feature-score vector, fit a logistic
+// regression, and use its coefficients (over the three features in Ms, Mn,
+// Ml order) as fusion weights.
+func learnWeights(fs *FeatureSet, cfg Config) ([]float64, error) {
+	if fs.SeedMs == nil || fs.SeedMn == nil || fs.SeedMl == nil {
+		return nil, fmt.Errorf("core: LR fusion requires seed feature matrices")
+	}
+	n := fs.SeedMs.Rows
+	if n == 0 {
+		return nil, fmt.Errorf("core: LR fusion with no seeds")
+	}
+	negs := cfg.LRNegatives
+	if negs <= 0 {
+		negs = 10
+	}
+	s := rng.New(cfg.LR.Seed + 0x5eed)
+	var x [][]float64
+	var y []int
+	featAt := func(i, j int) []float64 {
+		return []float64{fs.SeedMs.At(i, j), fs.SeedMn.At(i, j), fs.SeedMl.At(i, j)}
+	}
+	for i := 0; i < n; i++ {
+		x = append(x, featAt(i, i))
+		y = append(y, 1)
+		for k := 0; k < negs; k++ {
+			j := s.Intn(n)
+			if j == i {
+				continue
+			}
+			x = append(x, featAt(i, j))
+			y = append(y, 0)
+		}
+	}
+	model, err := lr.Train(x, y, cfg.LR)
+	if err != nil {
+		return nil, fmt.Errorf("core: LR fusion: %w", err)
+	}
+	return model.Weights, nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"testing"
+
+	"ceaff/internal/bench"
+	"ceaff/internal/gcn"
+	"ceaff/internal/match"
+)
+
+// testDataset generates a small dataset and converts it to an Input.
+func testDataset(t *testing.T, style bench.Style, lang bench.LangRelation) (*Input, *bench.Dataset) {
+	t.Helper()
+	spec := bench.Spec{
+		Name: "core-test", Group: "TEST",
+		Style: style, Lang: lang,
+		NumPairs: 250, Extra1: 20, Extra2: 30,
+		AvgDegree: 5, NumRels: 10,
+		EdgeDropout: 0.15, EdgeNoise: 0.1,
+		NameNoise: 0.25, WordSwap: 0.3, TransNoise: 0.1, OOVRate: 0.25,
+		AttrTypes: 10, AttrCoverage: 0.5,
+		Dim: 32, SeedFrac: 0.3, Seed: 77,
+	}
+	d, err := bench.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Input{
+		G1: d.G1, G2: d.G2,
+		Seeds: d.SeedPairs, Tests: d.TestPairs,
+		Emb1: d.Emb1, Emb2: d.Emb2,
+	}, d
+}
+
+// fastGCN returns a config small enough for unit tests.
+func fastGCN() gcn.Config {
+	cfg := gcn.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Epochs = 40
+	return cfg
+}
+
+func TestValidateInput(t *testing.T) {
+	if _, err := ComputeFeatures(nil, fastGCN()); err == nil {
+		t.Error("nil input accepted")
+	}
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	broken := *in
+	broken.Seeds = nil
+	if _, err := ComputeFeatures(&broken, fastGCN()); err == nil {
+		t.Error("empty seeds accepted")
+	}
+	broken = *in
+	broken.Emb2 = nil
+	if _, err := ComputeFeatures(&broken, fastGCN()); err == nil {
+		t.Error("nil embedder accepted")
+	}
+}
+
+// TestPipelineFramework is the Figure 2 integration test: the full pipeline
+// on a mono-lingual dataset must reach high accuracy, with a valid, stable
+// collective assignment.
+func TestPipelineFramework(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	res, err := Run(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.9 {
+		t.Fatalf("mono-lingual CEAFF accuracy %.3f, want >= 0.9", res.Accuracy)
+	}
+	if err := match.Validate(res.Fused, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	if !match.Stable(res.Fused, res.Assignment) {
+		t.Fatal("collective assignment not stable")
+	}
+	// Adaptive fusion weights must be populated and normalized.
+	w := res.FusionInfo.FinalWeights.PerFeature
+	if len(w) == 0 {
+		t.Fatal("missing final fusion weights")
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("final weights %v do not sum to 1", w)
+	}
+}
+
+func TestCollectiveBeatsOrMatchesIndependent(t *testing.T) {
+	in, _ := testDataset(t, bench.PowerLaw, bench.Close)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	fs, err := ComputeFeatures(in, cfg.GCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collective, err := Decide(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep := cfg
+	indep.Decision = Independent
+	independent, err := Decide(fs, indep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if collective.Accuracy < independent.Accuracy {
+		t.Fatalf("collective %.3f below independent %.3f", collective.Accuracy, independent.Accuracy)
+	}
+}
+
+func TestAllAblationConfigsRun(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Close)
+	base := DefaultConfig()
+	base.GCN = fastGCN()
+	fs, err := ComputeFeatures(in, base.GCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := []func(*Config){
+		func(c *Config) {},                           // full CEAFF
+		func(c *Config) { c.UseStructural = false },  // w/o Ms
+		func(c *Config) { c.UseSemantic = false },    // w/o Mn
+		func(c *Config) { c.UseString = false },      // w/o Ml
+		func(c *Config) { c.Fusion = FixedFusion },   // w/o AFF
+		func(c *Config) { c.Decision = Independent }, // w/o C
+		func(c *Config) { c.Decision = Independent; c.UseStructural = false },
+		func(c *Config) { c.Decision = Independent; c.UseSemantic = false },
+		func(c *Config) { c.Decision = Independent; c.UseString = false },
+		func(c *Config) { c.Decision = Independent; c.Fusion = FixedFusion },
+		func(c *Config) { c.FusionOpts.DisableThetas = true }, // w/o θ1,θ2
+		func(c *Config) { c.Fusion = LearnedFusion },          // LR
+		func(c *Config) { c.Decision = Assignment },           // Hungarian
+	}
+	for i, m := range mutate {
+		cfg := base
+		m(&cfg)
+		res, err := Decide(fs, cfg)
+		if err != nil {
+			t.Fatalf("ablation %d: %v", i, err)
+		}
+		if res.Accuracy < 0 || res.Accuracy > 1 {
+			t.Fatalf("ablation %d: accuracy %v out of range", i, res.Accuracy)
+		}
+	}
+}
+
+func TestDecideRejectsNoFeatures(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	fs, err := ComputeFeatures(in, cfg.GCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.UseStructural, cfg.UseSemantic, cfg.UseString = false, false, false
+	if _, err := Decide(fs, cfg); err == nil {
+		t.Fatal("all-features-disabled accepted")
+	}
+}
+
+func TestStringFeatureCriticalOnMono(t *testing.T) {
+	// Table V shape: on mono-lingual data, removing Ml hurts; removing Mn
+	// or Ms barely does.
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	fs, err := ComputeFeatures(in, cfg.GCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := Decide(fs, cfg)
+	noMl := cfg
+	noMl.UseString = false
+	woMl, _ := Decide(fs, noMl)
+	if full.Accuracy < woMl.Accuracy {
+		t.Fatalf("full %.3f below w/o Ml %.3f on mono data", full.Accuracy, woMl.Accuracy)
+	}
+	if full.Accuracy < 0.9 {
+		t.Fatalf("full mono accuracy %.3f too low", full.Accuracy)
+	}
+}
+
+func TestSemanticCriticalOnDistant(t *testing.T) {
+	// Table V shape: on distant-script pairs removing Mn hurts more than
+	// removing Ml.
+	in, _ := testDataset(t, bench.Dense, bench.Distant)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	fs, err := ComputeFeatures(in, cfg.GCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMn := cfg
+	noMn.UseSemantic = false
+	woMn, _ := Decide(fs, noMn)
+	noMl := cfg
+	noMl.UseString = false
+	woMl, _ := Decide(fs, noMl)
+	if woMn.Accuracy > woMl.Accuracy {
+		t.Fatalf("on distant scripts w/o Mn (%.3f) should hurt more than w/o Ml (%.3f)",
+			woMn.Accuracy, woMl.Accuracy)
+	}
+}
+
+func TestLearnedFusionProducesWeights(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Close)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	cfg.Fusion = LearnedFusion
+	fs, err := ComputeFeatures(in, cfg.GCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decide(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LearnedWeights) != 3 {
+		t.Fatalf("learned weights %v", res.LearnedWeights)
+	}
+	if res.Accuracy < 0.3 {
+		t.Fatalf("LR-fusion accuracy %.3f unreasonably low", res.Accuracy)
+	}
+}
+
+func TestFusionInfoTextualStage(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Close)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	res, err := Run(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FusionInfo.Textual == nil {
+		t.Fatal("two-stage fusion lost its textual intermediate")
+	}
+	if len(res.FusionInfo.TextualWeights.PerFeature) != 2 {
+		t.Fatalf("textual weights %v, want 2 entries (Mn, Ml)",
+			res.FusionInfo.TextualWeights.PerFeature)
+	}
+}
+
+func TestRankingReportedForIndependent(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	cfg.Decision = Independent
+	res, err := Run(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranking.Hits1 != res.Accuracy {
+		t.Fatalf("Hits@1 %.3f should equal greedy accuracy %.3f", res.Ranking.Hits1, res.Accuracy)
+	}
+	if res.Ranking.Hits10 < res.Ranking.Hits1 {
+		t.Fatal("Hits@10 below Hits@1")
+	}
+	if res.Ranking.MRR < res.Ranking.Hits1 || res.Ranking.MRR > 1 {
+		t.Fatalf("MRR %.3f inconsistent", res.Ranking.MRR)
+	}
+}

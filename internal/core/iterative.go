@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"ceaff/internal/align"
+)
+
+// IterativeOptions controls bootstrapped pipeline runs.
+type IterativeOptions struct {
+	// Rounds is the number of bootstrap rounds after the initial run.
+	Rounds int
+	// Threshold is the fused-similarity confidence a matched pair needs to
+	// be promoted into the seed alignment for the next round.
+	Threshold float64
+}
+
+// DefaultIterativeOptions returns one bootstrap round with a conservative
+// promotion threshold.
+func DefaultIterativeOptions() IterativeOptions {
+	return IterativeOptions{Rounds: 1, Threshold: 0.75}
+}
+
+// RunIterative is the bootstrapping extension of the pipeline (future-work
+// direction of the paper; the mechanism follows IPTransE/BootEA's iterative
+// self-training): after each full run, test pairs matched collectively with
+// fused similarity above the threshold join the seed alignment, and the
+// structural feature is retrained with the enlarged seed set. The collective
+// one-to-one decision keeps the promoted pairs precise, which is what makes
+// self-training safe here. Evaluation remains on the full test set.
+func RunIterative(in *Input, cfg Config, opt IterativeOptions) (*Result, error) {
+	if opt.Rounds < 0 {
+		return nil, fmt.Errorf("core: negative bootstrap rounds")
+	}
+	cur := *in
+	var res *Result
+	promoted := make(map[align.Pair]bool)
+	for round := 0; ; round++ {
+		var err error
+		res, err = Run(&cur, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if round == opt.Rounds {
+			return res, nil
+		}
+		var newSeeds []align.Pair
+		for i, j := range res.Assignment {
+			if j < 0 || res.Fused.At(i, j) < opt.Threshold {
+				continue
+			}
+			p := align.Pair{U: in.Tests[i].U, V: in.Tests[j].V}
+			if !promoted[p] {
+				promoted[p] = true
+				newSeeds = append(newSeeds, p)
+			}
+		}
+		if len(newSeeds) == 0 {
+			return res, nil // converged: nothing confident left to promote
+		}
+		seeds := make([]align.Pair, 0, len(cur.Seeds)+len(newSeeds))
+		seeds = append(seeds, cur.Seeds...)
+		seeds = append(seeds, newSeeds...)
+		cur.Seeds = seeds
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"ceaff/internal/bench"
+)
+
+func TestRunIterativeImprovesOrMatches(t *testing.T) {
+	in, _ := testDataset(t, bench.PowerLaw, bench.Close)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	base, err := Run(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot, err := RunIterative(in, cfg, DefaultIterativeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot.Accuracy+0.03 < base.Accuracy {
+		t.Fatalf("bootstrapping hurt: %.3f -> %.3f", base.Accuracy, boot.Accuracy)
+	}
+}
+
+func TestRunIterativeZeroRoundsEqualsRun(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	a, err := Run(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIterative(in, cfg, IterativeOptions{Rounds: 0, Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy != b.Accuracy {
+		t.Fatalf("zero-round iterative %.4f != plain run %.4f", b.Accuracy, a.Accuracy)
+	}
+}
+
+func TestRunIterativeDoesNotMutateInput(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	seedsBefore := len(in.Seeds)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	if _, err := RunIterative(in, cfg, DefaultIterativeOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Seeds) != seedsBefore {
+		t.Fatal("RunIterative grew the caller's seed slice")
+	}
+}
+
+func TestRunIterativeRejectsNegativeRounds(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	if _, err := RunIterative(in, cfg, IterativeOptions{Rounds: -1}); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+}
+
+func TestCSLSOptionRuns(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Close)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	fs, err := ComputeFeatures(in, cfg.GCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Decide(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CSLSNeighbors = 5
+	csls, err := Decide(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSLS is a refinement, not magic: it must stay within a few points of
+	// the plain run on well-behaved data.
+	if csls.Accuracy+0.1 < plain.Accuracy {
+		t.Fatalf("CSLS collapsed accuracy: %.3f -> %.3f", plain.Accuracy, csls.Accuracy)
+	}
+}
+
+func TestPreferenceTopKOption(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	fs, err := ComputeFeatures(in, cfg.GCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decide(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PreferenceTopK = 10
+	trunc, err := Decide(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On mono data nearly every true match is in the top 10; truncation
+	// should cost almost nothing.
+	if trunc.Accuracy+0.05 < full.Accuracy {
+		t.Fatalf("top-k truncation cost too much: %.3f -> %.3f", full.Accuracy, trunc.Accuracy)
+	}
+}

@@ -1,0 +1,270 @@
+// Package dataio reads and writes entity-alignment corpora in the OpenEA /
+// DBP15K directory layout used by the paper's benchmarks and by most EA
+// tooling:
+//
+//	rel_triples_1    head <TAB> relation <TAB> tail   (source KG)
+//	rel_triples_2    same, target KG
+//	attr_triples_1   entity <TAB> attribute <TAB> value   (optional)
+//	attr_triples_2   same, target KG (optional)
+//	ent_links        source entity <TAB> target entity    (gold alignment)
+//	train_links      optional predefined seed split
+//	test_links       optional predefined test split
+//
+// Identifiers may be URIs or plain names; they are interned verbatim.
+// Attribute values are not modelled (the substrate follows the paper's
+// attribute-type usage), so attribute names intern to dense type IDs and
+// values are ignored.
+//
+// The package makes this reproduction operational on the real corpora:
+// point Load at an extracted OpenEA dataset and feed the Corpus to the
+// CEAFF pipeline.
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ceaff/internal/align"
+	"ceaff/internal/kg"
+)
+
+// Corpus is a loaded KG pair with its gold alignment and optional
+// predefined split.
+type Corpus struct {
+	G1, G2 *kg.KG
+	// Links is the full gold alignment from ent_links.
+	Links []align.Pair
+	// Train/Test hold the predefined split when train_links/test_links
+	// exist; otherwise they are nil and the caller splits Links itself.
+	Train, Test []align.Pair
+}
+
+// Load reads an OpenEA-layout directory.
+func Load(dir string) (*Corpus, error) {
+	c := &Corpus{}
+	var err error
+	if c.G1, err = loadKG(dir, "1"); err != nil {
+		return nil, err
+	}
+	if c.G2, err = loadKG(dir, "2"); err != nil {
+		return nil, err
+	}
+	if c.Links, err = loadLinks(filepath.Join(dir, "ent_links"), c.G1, c.G2, true); err != nil {
+		return nil, err
+	}
+	if len(c.Links) == 0 {
+		return nil, fmt.Errorf("dataio: %s: empty gold alignment", dir)
+	}
+	// Optional predefined split.
+	if c.Train, err = loadLinks(filepath.Join(dir, "train_links"), c.G1, c.G2, false); err != nil {
+		return nil, err
+	}
+	if c.Test, err = loadLinks(filepath.Join(dir, "test_links"), c.G1, c.G2, false); err != nil {
+		return nil, err
+	}
+	if (c.Train == nil) != (c.Test == nil) {
+		return nil, fmt.Errorf("dataio: %s: train_links and test_links must both exist or both be absent", dir)
+	}
+	if err := c.G1.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.G2.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func loadKG(dir, suffix string) (*kg.KG, error) {
+	g := kg.New("kg" + suffix)
+	relPath := filepath.Join(dir, "rel_triples_"+suffix)
+	f, err := os.Open(relPath)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	if err := readTriples(f, relPath, g); err != nil {
+		return nil, err
+	}
+
+	attrPath := filepath.Join(dir, "attr_triples_"+suffix)
+	af, err := os.Open(attrPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return g, nil // attributes are optional
+		}
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	defer af.Close()
+	if err := readAttrs(af, attrPath, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func readTriples(r io.Reader, path string, g *kg.KG) error {
+	sc := newScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 3 {
+			return fmt.Errorf("dataio: %s:%d: want 3 tab-separated fields, got %d", path, line, len(parts))
+		}
+		h := g.AddEntity(parts[0])
+		rel := g.AddRelation(parts[1])
+		t := g.AddEntity(parts[2])
+		g.AddTriple(h, rel, t)
+	}
+	return sc.Err()
+}
+
+// readAttrs interns attribute names as dense type IDs, ignoring values.
+func readAttrs(r io.Reader, path string, g *kg.KG) error {
+	sc := newScanner(r)
+	types := map[string]int{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 3)
+		if len(parts) < 2 {
+			return fmt.Errorf("dataio: %s:%d: want at least 2 tab-separated fields", path, line)
+		}
+		e := g.AddEntity(parts[0])
+		id, ok := types[parts[1]]
+		if !ok {
+			id = len(types)
+			types[parts[1]] = id
+		}
+		g.AddAttr(e, id)
+	}
+	return sc.Err()
+}
+
+// loadLinks reads an entity-link file. With required=false, a missing file
+// returns (nil, nil). Entities referenced by links but absent from the
+// triple files are interned (isolated entities occur in real corpora).
+func loadLinks(path string, g1, g2 *kg.KG, required bool) ([]align.Pair, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) && !required {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	sc := newScanner(f)
+	var out []align.Pair
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("dataio: %s:%d: want 2 tab-separated fields, got %d", path, line, len(parts))
+		}
+		out = append(out, align.Pair{U: g1.AddEntity(parts[0]), V: g2.AddEntity(parts[1])})
+	}
+	return out, sc.Err()
+}
+
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return sc
+}
+
+// Write stores the corpus in the OpenEA layout under dir, creating it if
+// needed. Attribute values are written as the empty string (this substrate
+// models attribute types only).
+func Write(dir string, c *Corpus) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	if err := writeKG(dir, "1", c.G1); err != nil {
+		return err
+	}
+	if err := writeKG(dir, "2", c.G2); err != nil {
+		return err
+	}
+	if err := writeLinks(filepath.Join(dir, "ent_links"), c.Links, c.G1, c.G2); err != nil {
+		return err
+	}
+	if c.Train != nil {
+		if err := writeLinks(filepath.Join(dir, "train_links"), c.Train, c.G1, c.G2); err != nil {
+			return err
+		}
+	}
+	if c.Test != nil {
+		if err := writeLinks(filepath.Join(dir, "test_links"), c.Test, c.G1, c.G2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeKG(dir, suffix string, g *kg.KG) error {
+	f, err := os.Create(filepath.Join(dir, "rel_triples_"+suffix))
+	if err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, t := range g.Triples {
+		fmt.Fprintf(w, "%s\t%s\t%s\n",
+			g.EntityName(t.Head), g.RelationName(t.Relation), g.EntityName(t.Tail))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	if len(g.Attrs) == 0 {
+		return nil
+	}
+	af, err := os.Create(filepath.Join(dir, "attr_triples_"+suffix))
+	if err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	defer af.Close()
+	aw := bufio.NewWriter(af)
+	for _, a := range g.Attrs {
+		fmt.Fprintf(aw, "%s\tattr_%d\t\n", g.EntityName(a.Entity), a.Attr)
+	}
+	if err := aw.Flush(); err != nil {
+		return err
+	}
+	return af.Close()
+}
+
+func writeLinks(path string, links []align.Pair, g1, g2 *kg.KG) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, p := range links {
+		fmt.Fprintf(w, "%s\t%s\n", g1.EntityName(p.U), g2.EntityName(p.V))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}

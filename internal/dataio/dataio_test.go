@@ -1,0 +1,197 @@
+package dataio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ceaff/internal/align"
+	"ceaff/internal/bench"
+	"ceaff/internal/kg"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadMinimalCorpus(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "rel_triples_1",
+		"http://a/Paris\thttp://a/capitalOf\thttp://a/France\n"+
+			"http://a/Berlin\thttp://a/capitalOf\thttp://a/Germany\n")
+	writeFile(t, dir, "rel_triples_2",
+		"http://b/Paris\thttp://b/hauptstadt\thttp://b/Frankreich\n")
+	writeFile(t, dir, "ent_links",
+		"http://a/Paris\thttp://b/Paris\n"+
+			"http://a/France\thttp://b/Frankreich\n")
+
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.G1.NumEntities() != 4 || c.G1.NumTriples() != 2 {
+		t.Fatalf("G1: %d entities, %d triples", c.G1.NumEntities(), c.G1.NumTriples())
+	}
+	if c.G2.NumEntities() != 2 || c.G2.NumTriples() != 1 {
+		t.Fatalf("G2: %d entities, %d triples", c.G2.NumEntities(), c.G2.NumTriples())
+	}
+	if len(c.Links) != 2 {
+		t.Fatalf("links: %d", len(c.Links))
+	}
+	if c.Train != nil || c.Test != nil {
+		t.Fatal("unexpected predefined split")
+	}
+	// The link endpoints resolve to the right names.
+	if c.G1.EntityName(c.Links[0].U) != "http://a/Paris" ||
+		c.G2.EntityName(c.Links[0].V) != "http://b/Paris" {
+		t.Fatal("link endpoints wrong")
+	}
+}
+
+func TestLoadWithAttrsAndSplit(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "rel_triples_1", "e1\tr\te2\n")
+	writeFile(t, dir, "rel_triples_2", "f1\tr\tf2\n")
+	writeFile(t, dir, "attr_triples_1", "e1\tpopulation\t12345\ne1\tarea\t99\ne2\tpopulation\t1\n")
+	writeFile(t, dir, "attr_triples_2", "f1\tpopulation\t54321\n")
+	writeFile(t, dir, "ent_links", "e1\tf1\ne2\tf2\n")
+	writeFile(t, dir, "train_links", "e1\tf1\n")
+	writeFile(t, dir, "test_links", "e2\tf2\n")
+
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.G1.Attrs) != 3 || c.G1.NumAttrTypes != 2 {
+		t.Fatalf("G1 attrs %d, types %d", len(c.G1.Attrs), c.G1.NumAttrTypes)
+	}
+	if len(c.Train) != 1 || len(c.Test) != 1 {
+		t.Fatalf("split %d/%d", len(c.Train), len(c.Test))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	// Missing required file.
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("missing rel_triples_1 accepted")
+	}
+
+	// Malformed triple line.
+	dir := t.TempDir()
+	writeFile(t, dir, "rel_triples_1", "only_two\tfields\n")
+	writeFile(t, dir, "rel_triples_2", "a\tr\tb\n")
+	writeFile(t, dir, "ent_links", "a\tb\n")
+	if _, err := Load(dir); err == nil {
+		t.Error("malformed triple accepted")
+	}
+
+	// Partial predefined split.
+	dir = t.TempDir()
+	writeFile(t, dir, "rel_triples_1", "a\tr\tb\n")
+	writeFile(t, dir, "rel_triples_2", "c\tr\td\n")
+	writeFile(t, dir, "ent_links", "a\tc\n")
+	writeFile(t, dir, "train_links", "a\tc\n")
+	if _, err := Load(dir); err == nil {
+		t.Error("train_links without test_links accepted")
+	}
+
+	// Empty gold alignment.
+	dir = t.TempDir()
+	writeFile(t, dir, "rel_triples_1", "a\tr\tb\n")
+	writeFile(t, dir, "rel_triples_2", "c\tr\td\n")
+	writeFile(t, dir, "ent_links", "")
+	if _, err := Load(dir); err == nil {
+		t.Error("empty ent_links accepted")
+	}
+}
+
+func TestLoadTolerantOfCRLFAndBlankLines(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "rel_triples_1", "a\tr\tb\r\n\r\nc\tr\td\n")
+	writeFile(t, dir, "rel_triples_2", "x\tr\ty\n")
+	writeFile(t, dir, "ent_links", "a\tx\r\n")
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.G1.NumTriples() != 2 {
+		t.Fatalf("G1 triples %d, want 2", c.G1.NumTriples())
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	g1 := kg.New("g1")
+	a := g1.AddEntity("ns:a")
+	b := g1.AddEntity("ns:b")
+	r := g1.AddRelation("ns:rel")
+	g1.AddTriple(a, r, b)
+	g1.AddAttr(a, 0)
+
+	g2 := kg.New("g2")
+	x := g2.AddEntity("os:x")
+	y := g2.AddEntity("os:y")
+	r2 := g2.AddRelation("os:rel")
+	g2.AddTriple(x, r2, y)
+
+	c := &Corpus{
+		G1: g1, G2: g2,
+		Links: []align.Pair{{U: a, V: x}, {U: b, V: y}},
+		Train: []align.Pair{{U: a, V: x}},
+		Test:  []align.Pair{{U: b, V: y}},
+	}
+	dir := t.TempDir()
+	if err := Write(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.G1.NumTriples() != 1 || got.G2.NumTriples() != 1 {
+		t.Fatal("triples lost")
+	}
+	if len(got.Links) != 2 || len(got.Train) != 1 || len(got.Test) != 1 {
+		t.Fatalf("links lost: %d/%d/%d", len(got.Links), len(got.Train), len(got.Test))
+	}
+	if len(got.G1.Attrs) != 1 {
+		t.Fatal("attrs lost")
+	}
+	// Names survive the round trip.
+	if got.G1.EntityName(got.Links[0].U) != "ns:a" || got.G2.EntityName(got.Links[0].V) != "os:x" {
+		t.Fatal("names corrupted")
+	}
+}
+
+func TestGeneratedDatasetRoundTrip(t *testing.T) {
+	// A generated benchmark survives export + reload with identical link
+	// structure (modulo entity IDs, which are re-interned on load).
+	spec := bench.HardMonoSpec(0.05)
+	d, err := bench.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Corpus{G1: d.G1, G2: d.G2, Links: d.Gold, Train: d.SeedPairs, Test: d.TestPairs}
+	dir := t.TempDir()
+	if err := Write(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Links) != len(d.Gold) || len(got.Train) != len(d.SeedPairs) || len(got.Test) != len(d.TestPairs) {
+		t.Fatal("alignment sizes changed")
+	}
+	if got.G1.NumTriples() != d.G1.NumTriples() || got.G2.NumTriples() != d.G2.NumTriples() {
+		t.Fatal("triple counts changed")
+	}
+	// Spot-check a gold pair by name.
+	wantU := d.G1.EntityName(d.Gold[0].U)
+	wantV := d.G2.EntityName(d.Gold[0].V)
+	if got.G1.EntityName(got.Links[0].U) != wantU || got.G2.EntityName(got.Links[0].V) != wantV {
+		t.Fatal("gold pair names changed")
+	}
+}

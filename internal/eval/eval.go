@@ -1,0 +1,115 @@
+// Package eval implements the paper's evaluation metrics (§VII-A): accuracy
+// — the number of correctly aligned source entities over the total number of
+// source entities, the paper's main metric — plus Hits@k and mean
+// reciprocal rank (MRR) for the ranking-problem evaluation of Table VI.
+//
+// Conventions: similarity matrices are indexed by test pairs, so the ground
+// truth for row i is column i (the diagonal).
+package eval
+
+import (
+	"ceaff/internal/mat"
+	"ceaff/internal/match"
+)
+
+// Accuracy returns the fraction of sources assigned their ground-truth
+// target (column index equal to row index). Unmatched sources count as
+// wrong.
+func Accuracy(a match.Assignment) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, j := range a {
+		if i == j {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(a))
+}
+
+// PRF holds precision/recall/F1 of a partial assignment. The paper's
+// accuracy metric assumes every source gets matched; truncated preference
+// lists and blocked candidates can leave sources unmatched, where the
+// precision/recall split becomes informative.
+type PRF struct {
+	Precision, Recall, F1 float64
+}
+
+// PrecisionRecall evaluates a possibly-partial assignment against the
+// diagonal ground truth: precision over emitted matches, recall over all
+// sources.
+func PrecisionRecall(a match.Assignment) PRF {
+	correct, emitted := 0, 0
+	for i, j := range a {
+		if j < 0 {
+			continue
+		}
+		emitted++
+		if i == j {
+			correct++
+		}
+	}
+	var out PRF
+	if emitted > 0 {
+		out.Precision = float64(correct) / float64(emitted)
+	}
+	if len(a) > 0 {
+		out.Recall = float64(correct) / float64(len(a))
+	}
+	if out.Precision+out.Recall > 0 {
+		out.F1 = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+	}
+	return out
+}
+
+// RankingReport carries the Table VI metrics for one method on one dataset.
+type RankingReport struct {
+	Hits1, Hits10 float64
+	MRR           float64
+}
+
+// Ranking evaluates sim as a ranking problem with diagonal ground truth:
+// Hits@1, Hits@10 and MRR over all rows.
+func Ranking(sim *mat.Dense) RankingReport {
+	if sim.Rows == 0 {
+		return RankingReport{}
+	}
+	truth := make([]int, sim.Rows)
+	for i := range truth {
+		truth[i] = i
+	}
+	ranks := mat.RankOfColumn(sim, truth)
+	var h1, h10, mrr float64
+	for _, r := range ranks {
+		if r <= 1 {
+			h1++
+		}
+		if r <= 10 {
+			h10++
+		}
+		mrr += 1 / float64(r)
+	}
+	n := float64(sim.Rows)
+	return RankingReport{Hits1: h1 / n, Hits10: h10 / n, MRR: mrr / n}
+}
+
+// HitsAtK returns the fraction of rows whose ground-truth column ranks
+// within the top k.
+func HitsAtK(sim *mat.Dense, k int) float64 {
+	if sim.Rows == 0 {
+		return 0
+	}
+	truth := make([]int, sim.Rows)
+	for i := range truth {
+		truth[i] = i
+	}
+	ranks := mat.RankOfColumn(sim, truth)
+	hits := 0
+	for _, r := range ranks {
+		if r <= k {
+			hits++
+		}
+	}
+	return float64(hits) / float64(sim.Rows)
+}

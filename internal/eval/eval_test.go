@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/match"
+)
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy(match.Assignment{0, 1, 2}); got != 1 {
+		t.Fatalf("perfect accuracy = %v", got)
+	}
+	if got := Accuracy(match.Assignment{0, 0, 2}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %v, want 2/3", got)
+	}
+	if got := Accuracy(match.Assignment{1, 0, -1}); got != 0 {
+		t.Fatalf("all-wrong accuracy = %v", got)
+	}
+	if got := Accuracy(nil); got != 0 {
+		t.Fatalf("empty accuracy = %v", got)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	// Two emitted (one correct), one unmatched.
+	prf := PrecisionRecall(match.Assignment{0, 2, -1})
+	if math.Abs(prf.Precision-0.5) > 1e-12 {
+		t.Fatalf("precision %v", prf.Precision)
+	}
+	if math.Abs(prf.Recall-1.0/3) > 1e-12 {
+		t.Fatalf("recall %v", prf.Recall)
+	}
+	wantF1 := 2 * 0.5 * (1.0 / 3) / (0.5 + 1.0/3)
+	if math.Abs(prf.F1-wantF1) > 1e-12 {
+		t.Fatalf("F1 %v, want %v", prf.F1, wantF1)
+	}
+	// All unmatched: zeros, no NaN.
+	prf = PrecisionRecall(match.Assignment{-1, -1})
+	if prf.Precision != 0 || prf.Recall != 0 || prf.F1 != 0 {
+		t.Fatalf("empty PRF %+v", prf)
+	}
+	// Perfect.
+	prf = PrecisionRecall(match.Assignment{0, 1})
+	if prf.F1 != 1 {
+		t.Fatalf("perfect F1 %v", prf.F1)
+	}
+}
+
+func TestPrecisionRecallConsistentWithAccuracy(t *testing.T) {
+	// With a total assignment, recall equals accuracy.
+	a := match.Assignment{0, 0, 2, 3}
+	if PrecisionRecall(a).Recall != Accuracy(a) {
+		t.Fatal("recall != accuracy for total assignment")
+	}
+}
+
+func TestRanking(t *testing.T) {
+	// Row 0: truth col 0 ranked 1st. Row 1: truth col 1 ranked 2nd.
+	sim := mat.FromRows([][]float64{
+		{0.9, 0.5, 0.1},
+		{0.8, 0.6, 0.2},
+		{0.1, 0.9, 0.3},
+	})
+	r := Ranking(sim)
+	// Row 2 truth col 2 has rank 2 (0.3 < 0.9).
+	wantH1 := 1.0 / 3
+	if math.Abs(r.Hits1-wantH1) > 1e-12 {
+		t.Fatalf("Hits1 = %v, want %v", r.Hits1, wantH1)
+	}
+	if r.Hits10 != 1 {
+		t.Fatalf("Hits10 = %v (all columns within top 10)", r.Hits10)
+	}
+	wantMRR := (1.0 + 0.5 + 0.5) / 3
+	if math.Abs(r.MRR-wantMRR) > 1e-12 {
+		t.Fatalf("MRR = %v, want %v", r.MRR, wantMRR)
+	}
+}
+
+func TestHitsAtK(t *testing.T) {
+	sim := mat.FromRows([][]float64{
+		{0.1, 0.2, 0.9}, // truth 0 rank 3
+		{0.5, 0.9, 0.1}, // truth 1 rank 1
+	})
+	if got := HitsAtK(sim, 1); got != 0.5 {
+		t.Fatalf("Hits@1 = %v", got)
+	}
+	if got := HitsAtK(sim, 3); got != 1 {
+		t.Fatalf("Hits@3 = %v", got)
+	}
+	if got := HitsAtK(sim, 2); got != 0.5 {
+		t.Fatalf("Hits@2 = %v", got)
+	}
+}
+
+func TestRankingEmpty(t *testing.T) {
+	r := Ranking(mat.NewDense(0, 0))
+	if r.Hits1 != 0 || r.MRR != 0 {
+		t.Fatal("empty ranking should be zero")
+	}
+	if HitsAtK(mat.NewDense(0, 0), 5) != 0 {
+		t.Fatal("empty HitsAtK should be zero")
+	}
+}
+
+func TestRankingConsistencyWithGreedy(t *testing.T) {
+	// Hits@1 must equal the accuracy of the greedy assignment when the
+	// diagonal is the truth and there are no ties.
+	sim := mat.FromRows([][]float64{
+		{0.9, 0.6, 0.1},
+		{0.7, 0.5, 0.2},
+		{0.2, 0.21, 0.4},
+	})
+	r := Ranking(sim)
+	acc := Accuracy(match.Greedy(sim))
+	if math.Abs(r.Hits1-acc) > 1e-12 {
+		t.Fatalf("Hits@1 %v != greedy accuracy %v", r.Hits1, acc)
+	}
+}

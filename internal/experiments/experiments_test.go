@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ceaff/internal/bench"
+)
+
+// tinyOptions keeps experiment tests fast: tiny datasets, fast substrates.
+func tinyOptions() Options {
+	return Options{Scale: 0.04, Fast: true}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("Table2 rows %d, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if r.Triples1 <= 0 || r.Ent1 <= 0 || r.Triples2 <= 0 || r.Ent2 <= 0 {
+			t.Fatalf("%s: empty analogue: %+v", r.Dataset, r)
+		}
+		if r.PaperTriples1 == 0 {
+			t.Fatalf("%s: missing paper stats", r.Dataset)
+		}
+		if r.KSStatistic > 0.4 {
+			t.Fatalf("%s: K-S %.3f too high — pair distributions diverge", r.Dataset, r.KSStatistic)
+		}
+		if r.SeedPairs == 0 || r.Testing == 0 {
+			t.Fatalf("%s: degenerate split", r.Dataset)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestTable5ShapesAndRender(t *testing.T) {
+	// Table 5 exercises the full CEAFF ablation grid; the other accuracy
+	// tables share the same machinery with baselines on top (covered by
+	// TestTable3Tiny).
+	opt := tinyOptions()
+	tbl, err := Table5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("Table V rows %d, want 12", len(tbl.Rows))
+	}
+	if len(tbl.Cols) != 5 {
+		t.Fatalf("Table V cols %d, want 5", len(tbl.Cols))
+	}
+	for _, r := range tbl.Rows {
+		for _, c := range tbl.Cols {
+			v, ok := tbl.Get(r, c)
+			if !ok {
+				t.Fatalf("missing cell (%s, %s)", r, c)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("cell (%s, %s) = %v out of range", r, c, v)
+			}
+		}
+	}
+	// Paper reference present for every cell of Table V.
+	for _, r := range tbl.Rows {
+		for _, c := range tbl.Cols {
+			if _, ok := tbl.Paper[cell{r, c}]; !ok {
+				t.Fatalf("missing paper value (%s, %s)", r, c)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "w/o Ms") || !strings.Contains(out, "(0.964)") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestTable3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline sweep too heavy for -short")
+	}
+	opt := tinyOptions()
+	tbl, err := Table3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 11 || len(tbl.Cols) != 5 {
+		t.Fatalf("Table III shape %dx%d", len(tbl.Rows), len(tbl.Cols))
+	}
+	for _, r := range tbl.Rows {
+		for _, c := range tbl.Cols {
+			if _, ok := tbl.Get(r, c); !ok {
+				t.Fatalf("missing cell (%s, %s)", r, c)
+			}
+		}
+	}
+}
+
+func TestTable4SkipPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline sweep too heavy for -short")
+	}
+	opt := tinyOptions()
+	tbl, err := Table4(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MultiKE must be absent on SRPRS and present on DBP100K.
+	if _, ok := tbl.Get(RowMultiKE, bench.SRPRSDbWd); ok {
+		t.Fatal("MultiKE should be skipped on SRPRS")
+	}
+	if _, ok := tbl.Get(RowMultiKE, bench.DBP100KDbWd); !ok {
+		t.Fatal("MultiKE missing on DBP100K")
+	}
+	// GM-Align the other way around.
+	if _, ok := tbl.Get(RowGMAlign, bench.DBP100KDbWd); ok {
+		t.Fatal("GM-Align should be skipped on DBP100K")
+	}
+	if _, ok := tbl.Get(RowGMAlign, bench.SRPRSDbYg); !ok {
+		t.Fatal("GM-Align missing on SRPRS")
+	}
+	// CEAFF w/o Ml present everywhere.
+	for _, c := range tbl.Cols {
+		if _, ok := tbl.Get(RowCEAFFNoL, c); !ok {
+			t.Fatalf("CEAFF w/o Ml missing on %s", c)
+		}
+	}
+}
+
+func TestTable6Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline sweep too heavy for -short")
+	}
+	opt := tinyOptions()
+	tbl, err := Table6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CEAFF row has H1 only.
+	if _, ok := tbl.Get(RowCEAFF, bench.DBP15KZhEn+"/H1"); !ok {
+		t.Fatal("CEAFF H1 missing")
+	}
+	if _, ok := tbl.Get(RowCEAFF, bench.DBP15KZhEn+"/H10"); ok {
+		t.Fatal("CEAFF H10 should be absent (no ranked output)")
+	}
+	// Metric sanity: Hits@10 >= Hits@1 for ranked methods.
+	for _, row := range []string{RowMTransE, RowRDGCN, RowCEAFFNoC} {
+		h1, _ := tbl.Get(row, bench.DBP15KFrEn+"/H1")
+		h10, _ := tbl.Get(row, bench.DBP15KFrEn+"/H10")
+		if h10 < h1 {
+			t.Fatalf("%s: Hits@10 %.3f < Hits@1 %.3f", row, h10, h1)
+		}
+		mrr, _ := tbl.Get(row, bench.DBP15KFrEn+"/MRR")
+		if mrr < h1-1e-9 || mrr > 1 {
+			t.Fatalf("%s: MRR %.3f inconsistent with Hits@1 %.3f", row, mrr, h1)
+		}
+	}
+}
+
+func TestPaperConstantsSpotCheck(t *testing.T) {
+	// Transcription spot checks against the paper text.
+	if v := Table3Paper[cell{RowCEAFF, bench.DBP15KZhEn}]; v != 0.795 {
+		t.Fatalf("CEAFF ZH-EN paper accuracy = %v", v)
+	}
+	if v := Table4Paper[cell{RowCEAFF, bench.SRPRSDbYg}]; v != 1.0 {
+		t.Fatalf("CEAFF SRPRS DBP-YG paper accuracy = %v", v)
+	}
+	if _, ok := Table4Paper[cell{RowMultiKE, bench.SRPRSDbWd}]; ok {
+		t.Fatal("MultiKE SRPRS should have no paper value")
+	}
+	if v := Table5Paper[cell{RowAblNoCMn, bench.DBP15KZhEn}]; v != 0.408 {
+		t.Fatalf("w/o C,Mn ZH-EN paper accuracy = %v", v)
+	}
+	if v := Table6Paper[cell{RowCEAFFNoC, bench.DBP15KFrEn + "/MRR"}]; v != 0.947 {
+		t.Fatalf("CEAFF w/o C FR-EN MRR = %v", v)
+	}
+	if _, ok := Table6Paper[cell{RowGMAlign, bench.DBP15KZhEn + "/MRR"}]; ok {
+		t.Fatal("GM-Align MRR should be absent")
+	}
+}

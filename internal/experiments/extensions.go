@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"ceaff/internal/align"
+	"ceaff/internal/bench"
+	"ceaff/internal/blocking"
+	"ceaff/internal/core"
+	"ceaff/internal/eval"
+	"ceaff/internal/kg"
+)
+
+// Extension row labels (Table E1 — not in the paper; this repository's
+// extension study, cf. DESIGN.md §7).
+const (
+	RowExtCEAFF     = "CEAFF"
+	RowExtCSLS      = "CEAFF + CSLS"
+	RowExtBootstrap = "CEAFF + bootstrap"
+	RowExtSingle    = "single-stage AFF"
+	RowExtHungarian = "Hungarian decision"
+	RowExtGreedy11  = "greedy 1-1 decision"
+	RowExtTopK      = "top-50 preferences"
+	RowExtBlocked   = "blocked pipeline"
+)
+
+// TableE1 measures the extension features against baseline CEAFF on a
+// cross-lingual and a mono-lingual pair: the alternative collective
+// matchers the paper's conclusion invites, CSLS hubness correction,
+// bootstrapped self-training, single-stage fusion, truncated preferences
+// and the blocked (sparse-candidate) pipeline.
+func TableE1(opt Options) (*Table, error) {
+	cols := []string{bench.SRPRSEnFr, bench.SRPRSDbWd}
+	rows := []string{RowExtCEAFF, RowExtCSLS, RowExtBootstrap, RowExtSingle,
+		RowExtHungarian, RowExtGreedy11, RowExtTopK, RowExtBlocked}
+	t := newTable("Table E1 (extension): CEAFF variants beyond the paper", rows, cols, nil)
+
+	base := opt.ceaffConfig()
+	for _, col := range cols {
+		in, d, err := inputFor(col, opt)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := core.ComputeFeatures(in, base.GCN)
+		if err != nil {
+			return nil, err
+		}
+		decide := func(row string, mut func(*core.Config)) error {
+			cfg := base
+			mut(&cfg)
+			res, err := core.Decide(fs, cfg)
+			if err != nil {
+				return err
+			}
+			t.set(row, col, res.Accuracy)
+			opt.log("%s: %s done", col, row)
+			return nil
+		}
+		steps := []struct {
+			row string
+			mut func(*core.Config)
+		}{
+			{RowExtCEAFF, func(c *core.Config) {}},
+			{RowExtCSLS, func(c *core.Config) { c.CSLSNeighbors = 10 }},
+			{RowExtSingle, func(c *core.Config) { c.SingleStageFusion = true }},
+			{RowExtHungarian, func(c *core.Config) { c.Decision = core.Assignment }},
+			{RowExtGreedy11, func(c *core.Config) { c.Decision = core.GreedyOneToOne }},
+			{RowExtTopK, func(c *core.Config) { c.PreferenceTopK = 50 }},
+		}
+		for _, s := range steps {
+			if err := decide(s.row, s.mut); err != nil {
+				return nil, err
+			}
+		}
+
+		boot, err := core.RunIterative(in, base, core.DefaultIterativeOptions())
+		if err != nil {
+			return nil, err
+		}
+		t.set(RowExtBootstrap, col, boot.Accuracy)
+		opt.log("%s: bootstrap done", col)
+
+		blocked, err := core.RunBlocked(in, base, standardBlocker(d))
+		if err != nil {
+			return nil, err
+		}
+		t.set(RowExtBlocked, col, blocked.Accuracy)
+		opt.log("%s: blocked done", col)
+	}
+	return t, nil
+}
+
+// standardBlocker combines token and neighbour blocking over a dataset.
+func standardBlocker(d *bench.Dataset) blocking.Candidates {
+	names := func(g *kg.KG, ids []kg.EntityID) []string {
+		out := make([]string, len(ids))
+		for i, id := range ids {
+			out[i] = g.EntityName(id)
+		}
+		return out
+	}
+	b := &blocking.Blocker{
+		Generators: []blocking.Generator{
+			blocking.NewTokenIndex(
+				names(d.G1, align.SourceIDs(d.TestPairs)),
+				names(d.G2, align.TargetIDs(d.TestPairs)), 0),
+			blocking.NewNeighborExpansion(d.G1, d.G2, d.SeedPairs, d.TestPairs),
+		},
+		NumTargets:    len(d.TestPairs),
+		MinCandidates: 20,
+		Seed:          11,
+	}
+	return b.Generate()
+}
+
+// BlockedRecall reports the blocking recall diagnostic on a dataset.
+func BlockedRecall(d *bench.Dataset) eval.PRF {
+	cands := standardBlocker(d)
+	stats := cands.Stats()
+	return eval.PRF{Recall: stats.Recall}
+}

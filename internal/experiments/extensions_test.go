@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ceaff/internal/bench"
+)
+
+func TestTableE1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension sweep too heavy for -short")
+	}
+	opt := tinyOptions()
+	tbl, err := TableE1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 || len(tbl.Cols) != 2 {
+		t.Fatalf("Table E1 shape %dx%d", len(tbl.Rows), len(tbl.Cols))
+	}
+	for _, r := range tbl.Rows {
+		for _, c := range tbl.Cols {
+			v, ok := tbl.Get(r, c)
+			if !ok {
+				t.Fatalf("missing cell (%s, %s)", r, c)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("cell (%s, %s) = %v", r, c, v)
+			}
+		}
+	}
+	// Extension rows have no paper reference: cells render "x (-)" and the
+	// markdown stays well-formed.
+	var buf bytes.Buffer
+	tbl.RenderMarkdown(&buf)
+	if !strings.Contains(buf.String(), "(-)") {
+		t.Fatal("extension table should show '-' paper cells")
+	}
+}
+
+func TestBlockedRecallDiagnostic(t *testing.T) {
+	spec, ok := bench.SpecByName(bench.SRPRSDbWd, 0.05)
+	if !ok {
+		t.Fatal("unknown spec")
+	}
+	d, err := bench.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prf := BlockedRecall(d)
+	if prf.Recall < 0.7 {
+		t.Fatalf("blocking recall %.3f on mono data, want >= 0.7", prf.Recall)
+	}
+}

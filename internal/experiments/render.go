@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes the table as fixed-width text, each cell showing the
+// measured value with the paper's value in parentheses ("-" where a value
+// is unavailable).
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintln(w, t.Title)
+	fmt.Fprintln(w, strings.Repeat("=", len(t.Title)))
+
+	colWidth := 16
+	rowWidth := 14
+	for _, r := range t.Rows {
+		if len(r)+1 > rowWidth {
+			rowWidth = len(r) + 1
+		}
+	}
+
+	fmt.Fprintf(w, "%-*s", rowWidth, "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(w, "%*s", colWidth, shorten(c, colWidth-1))
+	}
+	fmt.Fprintln(w)
+
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-*s", rowWidth, r)
+		for _, c := range t.Cols {
+			fmt.Fprintf(w, "%*s", colWidth, t.cellString(r, c))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "cells: measured (paper); '-' = not applicable")
+	fmt.Fprintln(w)
+}
+
+func (t *Table) cellString(row, col string) string {
+	k := cell{row, col}
+	m, hasM := t.Measured[k]
+	p, hasP := t.Paper[k]
+	ms, ps := "-", "-"
+	if hasM {
+		ms = fmt.Sprintf("%.3f", m)
+	}
+	if hasP {
+		ps = fmt.Sprintf("%.3f", p)
+	}
+	return fmt.Sprintf("%s (%s)", ms, ps)
+}
+
+func shorten(s string, n int) string {
+	s = strings.TrimSuffix(s, "*")
+	s = strings.ReplaceAll(s, "DBP15K ", "")
+	s = strings.ReplaceAll(s, "DBP100K ", "100K:")
+	s = strings.ReplaceAll(s, "SRPRS ", "SR:")
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// RenderMarkdown writes the table as a GitHub-flavoured markdown table,
+// measured values first with the paper's in parentheses.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s\n\n", t.Title)
+	fmt.Fprint(w, "| method |")
+	for _, c := range t.Cols {
+		fmt.Fprintf(w, " %s |", shorten(c, 24))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range t.Cols {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s |", r)
+		for _, c := range t.Cols {
+			fmt.Fprintf(w, " %s |", t.cellString(r, c))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\ncells: measured (paper); '-' = not applicable")
+	fmt.Fprintln(w)
+}
+
+// RenderTable2Markdown writes the dataset statistics as a markdown table.
+func RenderTable2Markdown(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "### Table II: statistics of the evaluation benchmark")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| dataset | KG1 triples | KG1 entities | KG2 triples | KG2 entities | K-S | seeds | test |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %d (%dk) | %d (%dk) | %d (%dk) | %d (%dk) | %.3f | %d | %d |\n",
+			shorten(r.Dataset, 20),
+			r.Triples1, r.PaperTriples1/1000, r.Ent1, r.PaperEnt1/1000,
+			r.Triples2, r.PaperTriples2/1000, r.Ent2, r.PaperEnt2/1000,
+			r.KSStatistic, r.SeedPairs, r.Testing)
+	}
+	fmt.Fprintln(w, "\ncells: generated analogue (paper, thousands)")
+	fmt.Fprintln(w)
+}
+
+// RenderTable2 writes the dataset statistics rows.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	title := "Table II: statistics of the evaluation benchmark (analogue vs paper)"
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-18s %12s %12s %12s %12s %8s %7s %7s\n",
+		"dataset", "KG1 triples", "KG1 ents", "KG2 triples", "KG2 ents", "K-S", "seeds", "test")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %12s %12s %12s %12s %8.3f %7d %7d\n",
+			shorten(r.Dataset, 18),
+			fmt.Sprintf("%d(%dk)", r.Triples1, r.PaperTriples1/1000),
+			fmt.Sprintf("%d(%dk)", r.Ent1, r.PaperEnt1/1000),
+			fmt.Sprintf("%d(%dk)", r.Triples2, r.PaperTriples2/1000),
+			fmt.Sprintf("%d(%dk)", r.Ent2, r.PaperEnt2/1000),
+			r.KSStatistic, r.SeedPairs, r.Testing)
+	}
+	fmt.Fprintln(w, "cells: generated analogue (paper, thousands); K-S compares the pair's degree distributions")
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := newTable("Table X: demo", []string{"MethodA", "MethodB"}, []string{"DS1", "DS2"},
+		map[cell]float64{{"MethodA", "DS1"}: 0.5})
+	t.set("MethodA", "DS1", 0.25)
+	t.set("MethodB", "DS2", 0.75)
+	return t
+}
+
+func TestRenderText(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table X: demo", "MethodA", "0.250 (0.500)", "0.750 (-)", "- (-)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().RenderMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"### Table X: demo", "| method |", "|---|", "| MethodA | 0.250 (0.500) |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown render missing %q:\n%s", want, out)
+		}
+	}
+	// Same number of pipes on each table row (well-formed markdown).
+	lines := strings.Split(out, "\n")
+	var counts []int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			counts = append(counts, strings.Count(l, "|"))
+		}
+	}
+	if len(counts) < 4 {
+		t.Fatal("markdown table too short")
+	}
+	for _, c := range counts {
+		if c != counts[0] {
+			t.Fatalf("ragged markdown table: %v", counts)
+		}
+	}
+}
+
+func TestRenderTable2Markdown(t *testing.T) {
+	rows := []Table2Row{{
+		Dataset: "DBP15K ZH-EN*", Triples1: 100, Ent1: 50, Triples2: 120, Ent2: 60,
+		PaperTriples1: 153929, PaperEnt1: 66469, PaperTriples2: 237674, PaperEnt2: 98125,
+		KSStatistic: 0.05, SeedPairs: 10, Testing: 40,
+	}}
+	var buf bytes.Buffer
+	RenderTable2Markdown(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "| ZH-EN | 100 (153k)") {
+		t.Fatalf("table 2 markdown wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,39 @@
+package fusion_test
+
+import (
+	"fmt"
+
+	"ceaff/internal/fusion"
+	"ceaff/internal/mat"
+)
+
+// Two features vote on a 2x2 alignment. Feature A finds a confident
+// correspondence feature B does not, so adaptive weighting favours A.
+func ExampleAdaptiveWeights() {
+	a := mat.FromRows([][]float64{
+		{0.9, 0.1},
+		{0.1, 0.8},
+	})
+	b := mat.FromRows([][]float64{
+		{0.9, 0.2},
+		{0.3, 0.1},
+	})
+	w := fusion.AdaptiveWeights([]*mat.Dense{a, b}, fusion.DefaultOptions())
+	fmt.Printf("%.2f\n", w.PerFeature)
+	// Output:
+	// [1.00 0.00]
+}
+
+func ExampleCandidates() {
+	m := mat.FromRows([][]float64{
+		{0.9, 0.1},
+		{0.95, 0.2},
+	})
+	// (1,0) is maximal along both its row and its column; (0,0) is only a
+	// row maximum.
+	for _, c := range fusion.Candidates(m) {
+		fmt.Printf("(%d,%d) %.2f\n", c.Src, c.Tgt, c.Score)
+	}
+	// Output:
+	// (1,0) 0.95
+}

@@ -1,0 +1,308 @@
+// Package fusion implements CEAFF's adaptive feature fusion (§V of the
+// paper): outcome-level aggregation of feature-specific similarity matrices
+// with dynamically determined weights, requiring no training data.
+//
+// The five stages, exactly as described:
+//
+//  1. Candidate correspondence generation — a cell that is the maximum of
+//     both its row and its column in a feature matrix is a confident
+//     correspondence of that feature.
+//  2. Candidate filtering — candidates conflicting on the same source
+//     entity across features are dropped, and so are candidates found by
+//     all features (they characterize no feature in particular).
+//  3. Correspondence weighting — a retained correspondence found by n
+//     features contributes 1/n to each of them, except that a feature whose
+//     similarity score for it exceeds θ1 contributes only θ2 (guarding
+//     against one dominant feature starving the rest).
+//  4. Feature weighting — a feature's weight is its summed correspondence
+//     contributions, normalized over all features.
+//  5. Fusion — the weighted sum of the feature matrices.
+//
+// TwoStage applies the paper's two-stage scheme: semantic and string
+// matrices fuse into a textual matrix, which then fuses with the structural
+// matrix.
+package fusion
+
+import (
+	"fmt"
+
+	"ceaff/internal/mat"
+)
+
+// DefaultTheta1 and DefaultTheta2 are the paper's validated thresholds
+// (§VII-A): correspondences scoring above θ1 contribute only θ2.
+const (
+	DefaultTheta1 = 0.98
+	DefaultTheta2 = 0.1
+)
+
+// Candidate is a confident correspondence proposed by one feature matrix.
+type Candidate struct {
+	Src, Tgt int
+	Score    float64
+}
+
+// Candidates returns the confident correspondences of one feature matrix:
+// cells maximal along both their row and their column. Ties break to the
+// lower index (consistent with mat.Argmax*), which keeps the selection
+// deterministic.
+func Candidates(m *mat.Dense) []Candidate {
+	rowMax := mat.ArgmaxRow(m)
+	colMax := mat.ArgmaxCol(m)
+	var out []Candidate
+	for i, j := range rowMax {
+		if colMax[j] == i {
+			out = append(out, Candidate{Src: i, Tgt: j, Score: m.At(i, j)})
+		}
+	}
+	return out
+}
+
+// Weights holds the outcome of the adaptive weight assignment, kept for
+// introspection by tests, the ablation harness and debugging output.
+type Weights struct {
+	// PerFeature is the normalized weight of each input matrix; sums to 1.
+	PerFeature []float64
+	// Retained[k] lists the confident correspondences of feature k that
+	// survived filtering.
+	Retained [][]Candidate
+	// Scores[k] is the unnormalized weighting score of feature k.
+	Scores []float64
+	// EqualFallback is true when no correspondence survived filtering and
+	// the weights fell back to uniform.
+	EqualFallback bool
+}
+
+// Options parameterizes the fusion strategy.
+type Options struct {
+	Theta1 float64 // score threshold above which a contribution is damped
+	Theta2 float64 // the damped contribution value
+	// DisableThetas turns off the θ1/θ2 damping (the paper's "w/o θ1, θ2"
+	// ablation row).
+	DisableThetas bool
+}
+
+// DefaultOptions returns the paper's settings.
+func DefaultOptions() Options {
+	return Options{Theta1: DefaultTheta1, Theta2: DefaultTheta2}
+}
+
+// AdaptiveWeights runs stages 1–4 on the given feature matrices. All
+// matrices must share a shape. With fewer than two features the result is
+// trivially uniform.
+func AdaptiveWeights(ms []*mat.Dense, opt Options) Weights {
+	k := len(ms)
+	if k == 0 {
+		panic("fusion: no feature matrices")
+	}
+	for _, m := range ms {
+		if m.Rows != ms[0].Rows || m.Cols != ms[0].Cols {
+			panic(fmt.Sprintf("fusion: shape mismatch %dx%d vs %dx%d",
+				m.Rows, m.Cols, ms[0].Rows, ms[0].Cols))
+		}
+	}
+	if k == 1 {
+		return Weights{PerFeature: []float64{1}, Retained: make([][]Candidate, 1), Scores: []float64{1}}
+	}
+
+	// Stage 1: candidates per feature.
+	cands := make([][]Candidate, k)
+	for i, m := range ms {
+		cands[i] = Candidates(m)
+	}
+
+	// Stage 2a: conflict filtering. Group candidates by source entity; if a
+	// source has candidates with different targets across features, drop
+	// them all.
+	type srcInfo struct {
+		target    int
+		conflict  bool
+		featCount int // number of features proposing (src, target)
+	}
+	bySrc := make(map[int]*srcInfo)
+	for _, fc := range cands {
+		for _, c := range fc {
+			info, ok := bySrc[c.Src]
+			if !ok {
+				bySrc[c.Src] = &srcInfo{target: c.Tgt, featCount: 1}
+				continue
+			}
+			if info.target != c.Tgt {
+				info.conflict = true
+				continue
+			}
+			info.featCount++
+		}
+	}
+
+	// Stage 2b + 3: retained correspondences and their contributions.
+	retained := make([][]Candidate, k)
+	scores := make([]float64, k)
+	for f, fc := range cands {
+		for _, c := range fc {
+			info := bySrc[c.Src]
+			if info.conflict {
+				continue
+			}
+			if info.featCount == k {
+				// Shared by all features: characterizes none of them.
+				continue
+			}
+			w := 1 / float64(info.featCount)
+			if !opt.DisableThetas && c.Score > opt.Theta1 {
+				w = opt.Theta2
+			}
+			retained[f] = append(retained[f], c)
+			scores[f] += w
+		}
+	}
+
+	var total float64
+	for _, s := range scores {
+		total += s
+	}
+	out := Weights{PerFeature: make([]float64, k), Retained: retained, Scores: scores}
+	if total == 0 {
+		// No informative correspondence anywhere: fall back to equal
+		// weighting rather than dividing by zero.
+		for i := range out.PerFeature {
+			out.PerFeature[i] = 1 / float64(k)
+		}
+		out.EqualFallback = true
+		return out
+	}
+	for i, s := range scores {
+		out.PerFeature[i] = s / total
+	}
+	return out
+}
+
+// Fuse combines the feature matrices with adaptively assigned weights
+// (stages 1–5) and returns the fused matrix together with the weights used.
+func Fuse(ms []*mat.Dense, opt Options) (*mat.Dense, Weights) {
+	w := AdaptiveWeights(ms, opt)
+	return mat.WeightedSum(ms, w.PerFeature), w
+}
+
+// FuseFixed combines the matrices with equal weights — the paper's
+// "w/o AFF" ablation.
+func FuseFixed(ms []*mat.Dense) *mat.Dense {
+	w := make([]float64, len(ms))
+	for i := range w {
+		w[i] = 1 / float64(len(ms))
+	}
+	return mat.WeightedSum(ms, w)
+}
+
+// FuseWeighted combines the matrices with caller-provided weights (e.g.
+// learned by logistic regression). Negative weights are clamped to zero and
+// the rest renormalized; a similarity feature cannot meaningfully count
+// against a match.
+func FuseWeighted(ms []*mat.Dense, weights []float64) *mat.Dense {
+	if len(ms) != len(weights) {
+		panic("fusion: weight count mismatch")
+	}
+	w := make([]float64, len(weights))
+	var total float64
+	for i, v := range weights {
+		if v > 0 {
+			w[i] = v
+			total += v
+		}
+	}
+	if total == 0 {
+		return FuseFixed(ms)
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return mat.WeightedSum(ms, w)
+}
+
+// TwoStageResult reports the intermediate products of TwoStage for
+// inspection.
+type TwoStageResult struct {
+	Textual        *mat.Dense // fusion of semantic + string
+	Fused          *mat.Dense // fusion of structural + textual
+	TextualWeights Weights
+	FinalWeights   Weights
+}
+
+// TwoStage runs the paper's two-stage fusion: first semantic (Mn) with
+// string (Ml) into the textual matrix, then structural (Ms) with textual
+// into the final fused matrix. Nil matrices are skipped, which implements
+// the feature-ablation rows of Table V (e.g. w/o Ml fuses only Ms and Mn).
+// At least one matrix must be non-nil.
+func TwoStage(ms, mn, ml *mat.Dense, opt Options) TwoStageResult {
+	var res TwoStageResult
+
+	textualParts := nonNil(mn, ml)
+	switch len(textualParts) {
+	case 0:
+		// Structure only.
+	case 1:
+		res.Textual = textualParts[0]
+		res.TextualWeights = Weights{PerFeature: []float64{1}}
+	default:
+		res.Textual, res.TextualWeights = Fuse(textualParts, opt)
+	}
+
+	finalParts := nonNil(ms, res.Textual)
+	switch len(finalParts) {
+	case 0:
+		panic("fusion: TwoStage with no features")
+	case 1:
+		res.Fused = finalParts[0]
+		res.FinalWeights = Weights{PerFeature: []float64{1}}
+	default:
+		res.Fused, res.FinalWeights = Fuse(finalParts, opt)
+	}
+	return res
+}
+
+// SingleStage fuses all available features simultaneously in one adaptive
+// pass — the alternative the paper's two-stage scheme is motivated against
+// ("compared with fusing all features simultaneously, our proposed
+// two-stage fusion framework can better adjust weight assignment"). It is
+// exposed so the design choice can be ablated.
+func SingleStage(ms, mn, ml *mat.Dense, opt Options) (*mat.Dense, Weights) {
+	parts := nonNil(ms, mn, ml)
+	if len(parts) == 0 {
+		panic("fusion: SingleStage with no features")
+	}
+	if len(parts) == 1 {
+		return parts[0], Weights{PerFeature: []float64{1}}
+	}
+	return Fuse(parts, opt)
+}
+
+// TwoStageFixed is TwoStage with equal weights at both stages (w/o AFF).
+func TwoStageFixed(ms, mn, ml *mat.Dense) *mat.Dense {
+	var textual *mat.Dense
+	textualParts := nonNil(mn, ml)
+	switch len(textualParts) {
+	case 0:
+	case 1:
+		textual = textualParts[0]
+	default:
+		textual = FuseFixed(textualParts)
+	}
+	finalParts := nonNil(ms, textual)
+	switch len(finalParts) {
+	case 0:
+		panic("fusion: TwoStageFixed with no features")
+	case 1:
+		return finalParts[0]
+	}
+	return FuseFixed(finalParts)
+}
+
+func nonNil(ms ...*mat.Dense) []*mat.Dense {
+	var out []*mat.Dense
+	for _, m := range ms {
+		if m != nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}

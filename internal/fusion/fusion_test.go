@@ -1,0 +1,306 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+// The three feature matrices below reproduce the candidate sets of the
+// paper's Figure 3:
+//
+//	Ms -> (u2,v2) 1.0 and (u3,v3) 0.4
+//	Mn -> (u2,v2) 1.0 and (u1,v1) 1.0
+//	Ml -> (u2,v3) 0.6 and (u1,v1) 0.6
+func figure3Matrices() (ms, mn, ml *mat.Dense) {
+	ms = mat.FromRows([][]float64{
+		{0.6, 0.5, 0.2},
+		{0.7, 1.0, 0.1},
+		{0.2, 0.3, 0.4},
+	})
+	mn = mat.FromRows([][]float64{
+		{1.0, 0.2, 0.1},
+		{0.5, 1.0, 0.2},
+		{0.3, 0.2, 0.25},
+	})
+	ml = mat.FromRows([][]float64{
+		{0.6, 0.1, 0.3},
+		{0.2, 0.3, 0.6},
+		{0.4, 0.25, 0.5},
+	})
+	return ms, mn, ml
+}
+
+func TestCandidates(t *testing.T) {
+	ms, mn, ml := figure3Matrices()
+	cases := []struct {
+		m    *mat.Dense
+		want []Candidate
+	}{
+		{ms, []Candidate{{1, 1, 1.0}, {2, 2, 0.4}}},
+		{mn, []Candidate{{0, 0, 1.0}, {1, 1, 1.0}}},
+		{ml, []Candidate{{0, 0, 0.6}, {1, 2, 0.6}}},
+	}
+	for i, c := range cases {
+		got := Candidates(c.m)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: candidates %v, want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: candidates %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+func TestCandidatesStrongConstraint(t *testing.T) {
+	// A row max that is not a column max is not a candidate.
+	m := mat.FromRows([][]float64{
+		{0.9, 0.1},
+		{0.95, 0.2},
+	})
+	got := Candidates(m)
+	// (0,0): row max but col 0 max is row 1 -> no. (1,0): both -> yes.
+	if len(got) != 1 || got[0] != (Candidate{1, 0, 0.95}) {
+		t.Fatalf("candidates = %v", got)
+	}
+}
+
+// TestFigure3AdaptiveWeights re-enacts the full worked example of Figure 3,
+// including conflict filtering on u2 and the θ1/θ2 damping of Mn's perfect
+// score.
+func TestFigure3AdaptiveWeights(t *testing.T) {
+	ms, mn, ml := figure3Matrices()
+	w := AdaptiveWeights([]*mat.Dense{ms, mn, ml}, DefaultOptions())
+
+	// Retained: Ms keeps (u3,v3); Mn keeps (u1,v1); Ml keeps (u1,v1).
+	if len(w.Retained[0]) != 1 || w.Retained[0][0] != (Candidate{2, 2, 0.4}) {
+		t.Fatalf("Ms retained %v", w.Retained[0])
+	}
+	if len(w.Retained[1]) != 1 || w.Retained[1][0] != (Candidate{0, 0, 1.0}) {
+		t.Fatalf("Mn retained %v", w.Retained[1])
+	}
+	if len(w.Retained[2]) != 1 || w.Retained[2][0] != (Candidate{0, 0, 0.6}) {
+		t.Fatalf("Ml retained %v", w.Retained[2])
+	}
+
+	// Scores: Ms = 1 (unique find), Mn = θ2 (score 1.0 > θ1), Ml = 0.5.
+	if !almostEqual(w.Scores[0], 1) || !almostEqual(w.Scores[1], DefaultTheta2) || !almostEqual(w.Scores[2], 0.5) {
+		t.Fatalf("scores = %v, want [1 %v 0.5]", w.Scores, DefaultTheta2)
+	}
+
+	total := 1 + DefaultTheta2 + 0.5
+	want := []float64{1 / total, DefaultTheta2 / total, 0.5 / total}
+	for i := range want {
+		if !almostEqual(w.PerFeature[i], want[i]) {
+			t.Fatalf("weights = %v, want %v", w.PerFeature, want)
+		}
+	}
+	if w.EqualFallback {
+		t.Fatal("unexpected fallback")
+	}
+}
+
+func TestAdaptiveWeightsWithoutThetas(t *testing.T) {
+	// Disabling θ1/θ2 (the "w/o θ1, θ2" ablation) lets Mn's perfect score
+	// count fully: it contributes 1/2 instead of θ2.
+	ms, mn, ml := figure3Matrices()
+	opt := DefaultOptions()
+	opt.DisableThetas = true
+	w := AdaptiveWeights([]*mat.Dense{ms, mn, ml}, opt)
+	if !almostEqual(w.Scores[1], 0.5) {
+		t.Fatalf("Mn score without thetas = %v, want 0.5", w.Scores[1])
+	}
+}
+
+func TestSharedByAllFiltered(t *testing.T) {
+	// One clear diagonal winner shared by every feature: it must be
+	// filtered, leaving each feature with only its distinctive find.
+	a := mat.FromRows([][]float64{
+		{0.9, 0.1},
+		{0.1, 0.8},
+	})
+	b := mat.FromRows([][]float64{
+		{0.9, 0.2},
+		{0.3, 0.1},
+	})
+	// (0,0) is a candidate of both features (k=2) -> filtered everywhere.
+	w := AdaptiveWeights([]*mat.Dense{a, b}, DefaultOptions())
+	for _, r := range w.Retained {
+		for _, c := range r {
+			if c.Src == 0 && c.Tgt == 0 {
+				t.Fatalf("shared-by-all correspondence retained: %v", w.Retained)
+			}
+		}
+	}
+	// a's (1,1) survives and is unique -> score 1; b has nothing.
+	if !almostEqual(w.Scores[0], 1) || !almostEqual(w.Scores[1], 0) {
+		t.Fatalf("scores = %v", w.Scores)
+	}
+}
+
+func TestEqualFallbackWhenNothingRetained(t *testing.T) {
+	// Two features proposing conflicting targets for the only source: all
+	// candidates filtered, weights fall back to uniform.
+	a := mat.FromRows([][]float64{{0.9, 0.1}})
+	b := mat.FromRows([][]float64{{0.1, 0.9}})
+	w := AdaptiveWeights([]*mat.Dense{a, b}, DefaultOptions())
+	if !w.EqualFallback {
+		t.Fatal("expected equal fallback")
+	}
+	if !almostEqual(w.PerFeature[0], 0.5) || !almostEqual(w.PerFeature[1], 0.5) {
+		t.Fatalf("fallback weights = %v", w.PerFeature)
+	}
+}
+
+func TestWeightsSumToOneQuick(t *testing.T) {
+	f := func(seed uint16) bool {
+		s := rng.New(uint64(seed) + 11)
+		rows, cols := 2+s.Intn(8), 2+s.Intn(8)
+		k := 2 + s.Intn(3)
+		ms := make([]*mat.Dense, k)
+		for i := range ms {
+			ms[i] = mat.NewDense(rows, cols)
+			for j := range ms[i].Data {
+				ms[i].Data[j] = s.Float64()
+			}
+		}
+		w := AdaptiveWeights(ms, DefaultOptions())
+		var sum float64
+		for _, v := range w.PerFeature {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleFeatureTrivial(t *testing.T) {
+	m := mat.FromRows([][]float64{{0.5}})
+	w := AdaptiveWeights([]*mat.Dense{m}, DefaultOptions())
+	if len(w.PerFeature) != 1 || w.PerFeature[0] != 1 {
+		t.Fatalf("single-feature weights = %v", w.PerFeature)
+	}
+	fused, _ := Fuse([]*mat.Dense{m}, DefaultOptions())
+	if fused.At(0, 0) != 0.5 {
+		t.Fatal("single-feature fusion altered values")
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch accepted")
+		}
+	}()
+	AdaptiveWeights([]*mat.Dense{mat.NewDense(2, 2), mat.NewDense(3, 2)}, DefaultOptions())
+}
+
+func TestFuseFixed(t *testing.T) {
+	a := mat.FromRows([][]float64{{1}})
+	b := mat.FromRows([][]float64{{3}})
+	got := FuseFixed([]*mat.Dense{a, b})
+	if got.At(0, 0) != 2 {
+		t.Fatalf("FuseFixed = %v", got.At(0, 0))
+	}
+}
+
+func TestFuseWeighted(t *testing.T) {
+	a := mat.FromRows([][]float64{{1}})
+	b := mat.FromRows([][]float64{{3}})
+	got := FuseWeighted([]*mat.Dense{a, b}, []float64{3, 1})
+	if !almostEqual(got.At(0, 0), 1.5) {
+		t.Fatalf("FuseWeighted = %v", got.At(0, 0))
+	}
+	// Negative weights clamp to zero.
+	got = FuseWeighted([]*mat.Dense{a, b}, []float64{-5, 1})
+	if got.At(0, 0) != 3 {
+		t.Fatalf("clamped FuseWeighted = %v", got.At(0, 0))
+	}
+	// All non-positive: fall back to fixed.
+	got = FuseWeighted([]*mat.Dense{a, b}, []float64{-1, 0})
+	if got.At(0, 0) != 2 {
+		t.Fatalf("fallback FuseWeighted = %v", got.At(0, 0))
+	}
+}
+
+func TestTwoStage(t *testing.T) {
+	ms, mn, ml := figure3Matrices()
+	res := TwoStage(ms, mn, ml, DefaultOptions())
+	if res.Textual == nil || res.Fused == nil {
+		t.Fatal("two-stage products missing")
+	}
+	// The textual matrix is a convex combination of Mn and Ml.
+	for i := range res.Textual.Data {
+		lo := math.Min(mn.Data[i], ml.Data[i]) - 1e-12
+		hi := math.Max(mn.Data[i], ml.Data[i]) + 1e-12
+		if res.Textual.Data[i] < lo || res.Textual.Data[i] > hi {
+			t.Fatalf("textual out of convex hull at %d", i)
+		}
+	}
+	// The fused matrix is a convex combination of Ms and textual.
+	for i := range res.Fused.Data {
+		lo := math.Min(ms.Data[i], res.Textual.Data[i]) - 1e-12
+		hi := math.Max(ms.Data[i], res.Textual.Data[i]) + 1e-12
+		if res.Fused.Data[i] < lo || res.Fused.Data[i] > hi {
+			t.Fatalf("fused out of convex hull at %d", i)
+		}
+	}
+}
+
+func TestTwoStageAblations(t *testing.T) {
+	ms, mn, ml := figure3Matrices()
+	// w/o Ml: textual == Mn.
+	res := TwoStage(ms, mn, nil, DefaultOptions())
+	for i := range mn.Data {
+		if res.Textual.Data[i] != mn.Data[i] {
+			t.Fatal("w/o Ml textual should be Mn")
+		}
+	}
+	// w/o Ms: fused == textual fusion of Mn, Ml.
+	res = TwoStage(nil, mn, ml, DefaultOptions())
+	for i := range res.Fused.Data {
+		if res.Fused.Data[i] != res.Textual.Data[i] {
+			t.Fatal("w/o Ms fused should equal textual")
+		}
+	}
+	// Structure only.
+	res = TwoStage(ms, nil, nil, DefaultOptions())
+	for i := range ms.Data {
+		if res.Fused.Data[i] != ms.Data[i] {
+			t.Fatal("structure-only fused should be Ms")
+		}
+	}
+}
+
+func TestTwoStagePanicsWithNoFeatures(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TwoStage with no features accepted")
+		}
+	}()
+	TwoStage(nil, nil, nil, DefaultOptions())
+}
+
+func TestTwoStageFixedMatchesManual(t *testing.T) {
+	ms, mn, ml := figure3Matrices()
+	got := TwoStageFixed(ms, mn, ml)
+	textual := FuseFixed([]*mat.Dense{mn, ml})
+	want := FuseFixed([]*mat.Dense{ms, textual})
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i]) {
+			t.Fatal("TwoStageFixed mismatch")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+// TestAdaptiveWeightsPermutationEquivariant: permuting the feature list
+// permutes the weights identically — the strategy must not privilege a
+// feature by position.
+func TestAdaptiveWeightsPermutationEquivariant(t *testing.T) {
+	f := func(seed uint16) bool {
+		s := rng.New(uint64(seed) + 911)
+		rows, cols := 3+s.Intn(6), 3+s.Intn(6)
+		ms := make([]*mat.Dense, 3)
+		for i := range ms {
+			ms[i] = mat.NewDense(rows, cols)
+			for j := range ms[i].Data {
+				ms[i].Data[j] = s.Float64()
+			}
+		}
+		w := AdaptiveWeights(ms, DefaultOptions())
+		perm := []int{2, 0, 1}
+		permuted := []*mat.Dense{ms[perm[0]], ms[perm[1]], ms[perm[2]]}
+		wp := AdaptiveWeights(permuted, DefaultOptions())
+		for i, p := range perm {
+			if math.Abs(wp.PerFeature[i]-w.PerFeature[p]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedMatrixWithinConvexHull: adaptive fusion is a convex combination,
+// so each fused cell lies within [min, max] of the inputs.
+func TestFusedMatrixWithinConvexHull(t *testing.T) {
+	f := func(seed uint16) bool {
+		s := rng.New(uint64(seed) + 313)
+		rows, cols := 2+s.Intn(5), 2+s.Intn(5)
+		k := 2 + s.Intn(3)
+		ms := make([]*mat.Dense, k)
+		for i := range ms {
+			ms[i] = mat.NewDense(rows, cols)
+			for j := range ms[i].Data {
+				ms[i].Data[j] = s.Float64()
+			}
+		}
+		fused, _ := Fuse(ms, DefaultOptions())
+		for idx := range fused.Data {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, m := range ms {
+				lo = math.Min(lo, m.Data[idx])
+				hi = math.Max(hi, m.Data[idx])
+			}
+			if fused.Data[idx] < lo-1e-12 || fused.Data[idx] > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicatedFeatureGetsNoExtraWeight: feeding the same matrix twice
+// yields candidates shared by both copies; with a third distinct feature,
+// the duplicates' shared finds split weight 1/2 each rather than doubling.
+func TestDuplicatedFeatureGetsNoExtraWeight(t *testing.T) {
+	a := mat.FromRows([][]float64{
+		{0.9, 0.1},
+		{0.1, 0.8},
+	})
+	b := mat.FromRows([][]float64{
+		{0.1, 0.7},
+		{0.6, 0.1},
+	})
+	w := AdaptiveWeights([]*mat.Dense{a, a.Clone(), b}, DefaultOptions())
+	// a's candidates (0,0) and (1,1) conflict with b's (0,1) and (1,0):
+	// every source has conflicting proposals, so everything is filtered
+	// and we fall back to equal weights — no positional advantage for the
+	// duplicated feature.
+	if !w.EqualFallback {
+		// If not fully conflicting, the two copies of a must at least have
+		// equal weight.
+		if math.Abs(w.PerFeature[0]-w.PerFeature[1]) > 1e-12 {
+			t.Fatalf("duplicated feature weights differ: %v", w.PerFeature)
+		}
+	}
+}
+
+// TestSingleStageCoversAllFeatures: the flat variant weighs the three
+// features in one pass and its output stays a convex combination.
+func TestSingleStageCoversAllFeatures(t *testing.T) {
+	ms, mn, ml := figure3Matrices()
+	fused, w := SingleStage(ms, mn, ml, DefaultOptions())
+	if len(w.PerFeature) != 3 {
+		t.Fatalf("single-stage weights %v", w.PerFeature)
+	}
+	var sum float64
+	for _, v := range w.PerFeature {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum %v", sum)
+	}
+	for i := range fused.Data {
+		lo := math.Min(ms.Data[i], math.Min(mn.Data[i], ml.Data[i])) - 1e-12
+		hi := math.Max(ms.Data[i], math.Max(mn.Data[i], ml.Data[i])) + 1e-12
+		if fused.Data[i] < lo || fused.Data[i] > hi {
+			t.Fatal("single-stage fusion out of convex hull")
+		}
+	}
+	// Nil handling.
+	only, w1 := SingleStage(nil, mn, nil, DefaultOptions())
+	if only != mn || w1.PerFeature[0] != 1 {
+		t.Fatal("single-feature SingleStage wrong")
+	}
+}
+
+func TestSingleStagePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty SingleStage accepted")
+		}
+	}()
+	SingleStage(nil, nil, nil, DefaultOptions())
+}

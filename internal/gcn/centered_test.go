@@ -1,0 +1,106 @@
+package gcn
+
+import (
+	"math"
+	"testing"
+
+	"ceaff/internal/align"
+	"ceaff/internal/kg"
+	"ceaff/internal/mat"
+)
+
+func TestCenteredSimilarityRemovesSharedComponent(t *testing.T) {
+	// Embeddings = shared large direction + small individual signal. Raw
+	// cosines are all near 1; centered cosines must become discriminative.
+	m := &Model{Z1: mat.NewDense(3, 4), Z2: mat.NewDense(3, 4)}
+	shared := []float64{10, 10, 10, 10}
+	indiv := [][]float64{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			m.Z1.Set(i, j, shared[j]+indiv[i][j])
+			m.Z2.Set(i, j, shared[j]+indiv[i][j]*0.9)
+		}
+	}
+	ids := []kg.EntityID{0, 1, 2}
+
+	raw := m.SimilarityMatrix(ids, ids)
+	var rawMin float64 = 2
+	for _, v := range raw.Data {
+		if v < rawMin {
+			rawMin = v
+		}
+	}
+	if rawMin < 0.95 {
+		t.Fatalf("setup broken: raw cosines should all be inflated, min %v", rawMin)
+	}
+
+	centered := m.CenteredSimilarityMatrix(ids, ids)
+	// Diagonal should clearly dominate now.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			if centered.At(i, i) <= centered.At(i, j) {
+				t.Fatalf("centered (%d,%d)=%.3f not below diagonal %.3f",
+					i, j, centered.At(i, j), centered.At(i, i))
+			}
+		}
+	}
+	// Off-diagonal mean must be far below the raw inflation level.
+	var offSum float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				offSum += centered.At(i, j)
+			}
+		}
+	}
+	if mean := offSum / 6; mean > 0.5 {
+		t.Fatalf("centered off-diagonal mean %.3f still inflated", mean)
+	}
+}
+
+func TestCenteredSimilarityDoesNotMutateModel(t *testing.T) {
+	m := &Model{Z1: mat.NewDense(2, 3), Z2: mat.NewDense(2, 3)}
+	for i := range m.Z1.Data {
+		m.Z1.Data[i] = float64(i + 1)
+		m.Z2.Data[i] = float64(i + 2)
+	}
+	z1 := m.Z1.Clone()
+	z2 := m.Z2.Clone()
+	m.CenteredSimilarityMatrix([]kg.EntityID{0, 1}, []kg.EntityID{0, 1})
+	for i := range z1.Data {
+		if m.Z1.Data[i] != z1.Data[i] || m.Z2.Data[i] != z2.Data[i] {
+			t.Fatal("CenteredSimilarityMatrix mutated the model embeddings")
+		}
+	}
+}
+
+func TestCenteredSimilarityEmpty(t *testing.T) {
+	m := &Model{Z1: mat.NewDense(2, 3), Z2: mat.NewDense(2, 3)}
+	out := m.CenteredSimilarityMatrix(nil, nil)
+	if out.Rows != 0 || out.Cols != 0 {
+		t.Fatalf("empty centered sim %dx%d", out.Rows, out.Cols)
+	}
+}
+
+func TestCenteredSimilarityInRange(t *testing.T) {
+	g1 := ringKG("g1", 10, nil)
+	g2 := ringKG("g2", 10, nil)
+	seeds := []align.Pair{{U: 0, V: 0}, {U: 3, V: 3}, {U: 6, V: 6}}
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Epochs = 5
+	model, err := Train(g1, g2, seeds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []kg.EntityID{1, 2, 4, 5}
+	sim := model.CenteredSimilarityMatrix(ids, ids)
+	for _, v := range sim.Data {
+		if math.IsNaN(v) || v < -1-1e-9 || v > 1+1e-9 {
+			t.Fatalf("centered cosine out of range: %v", v)
+		}
+	}
+}

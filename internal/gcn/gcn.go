@@ -1,0 +1,564 @@
+// Package gcn trains the structural feature of CEAFF (§IV-A): two 2-layer
+// graph convolutional networks, one per KG, with shared layer weights W1
+// and W2, aligned into one space by a margin-based ranking loss over seed
+// entity pairs (Eq. 1 of the paper).
+//
+// Forward pass per KG (Â is the normalized adjacency from kg.Adjacency):
+//
+//	H = ReLU(Â · X · W1)
+//	Z = Â · H · W2
+//
+// As in GCN-Align, the input feature matrix X is itself a trainable
+// parameter, initialized from a truncated normal with L2-normalized rows;
+// the two GCNs share W1 and W2 but keep separate X. The loss is
+//
+//	L = Σ_{(u,v)∈S} Σ_{(u',v')∈S'} [ ‖z_u − z_v‖₁ − ‖z_u' − z_v'‖₁ + γ ]₊
+//
+// with S' the negative pairs obtained by corrupting one side of each seed
+// with a uniformly sampled entity. Optimization is plain SGD as in the
+// paper, with an optional Adam mode for faster CPU convergence.
+package gcn
+
+import (
+	"fmt"
+	"math"
+
+	"ceaff/internal/align"
+	"ceaff/internal/kg"
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+// Optimizer selects the parameter update rule.
+type Optimizer int
+
+const (
+	// SGD is plain stochastic gradient descent, as specified in §IV-A.
+	SGD Optimizer = iota
+	// Adam converges markedly faster on CPU-scaled problems and is the
+	// practical default for the experiment harness.
+	Adam
+)
+
+// Config controls training. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	Dim          int       // ds: embedding dimensionality of every layer
+	Layers       int       // number of GCN layers (paper: 2)
+	Epochs       int       // full-batch epochs
+	LearningRate float64   // step size
+	Margin       float64   // γ in Eq. 1
+	Negatives    int       // negative pairs per positive (paper: 5)
+	Optimizer    Optimizer // SGD (paper) or Adam
+	Seed         uint64    // PRNG seed for init and negative sampling
+
+	// Progress, if non-nil, receives (epoch, mean loss) once per epoch.
+	Progress func(epoch int, loss float64)
+
+	// InitX1/InitX2, if non-nil, replace the random initialization of the
+	// trainable input features — e.g. entity-name embeddings, as in the
+	// RDGCN/GM-Align family. Row counts must match the KG entity counts;
+	// column counts must equal Dim.
+	InitX1, InitX2 *mat.Dense
+
+	// FreezeX keeps the input features fixed during training (only the
+	// shared layer weights learn). Used with InitX to preserve externally
+	// provided signals such as name embeddings.
+	FreezeX bool
+
+	// HardNegativeEvery, when positive, refreshes per-seed hard-negative
+	// pools every that many epochs: negatives are then drawn from the
+	// entities currently nearest each seed member instead of uniformly —
+	// GCN-Align's nearest-neighbour sampling. Uniform corruption goes
+	// stale once random pairs satisfy the margin; mining keeps the ranking
+	// loss active. 0 disables mining.
+	HardNegativeEvery int
+	// HardNegativePool is the per-entity pool size for mining (default 10
+	// when mining is enabled).
+	HardNegativePool int
+
+	// SeedSharedInit, when true (the default config), initializes the two
+	// trainable feature matrices so that each seed pair starts from the
+	// SAME random vector, with all other rows damped by NonSeedScale.
+	// Rationale: with independent random init at CPU-scale dimensions, the
+	// unconstrained rows of X inject noise whose propagated magnitude
+	// drowns the shared-seed signal (the paper's ds = 300 buys
+	// signal-to-noise that ds ≈ 48 does not). Sharing the seed vectors and
+	// damping the rest restores the anchor-propagation signal before the
+	// first gradient step. Ignored when InitX1/InitX2 are provided.
+	SeedSharedInit bool
+	// NonSeedScale is the initial norm of non-seed feature rows under
+	// SeedSharedInit (default 0.1).
+	NonSeedScale float64
+
+	// IdentityWeights initializes the layer weight matrices to the
+	// identity instead of Glorot noise, so the untrained network computes
+	// pure (ReLU-gated) propagation Â^L·X. GCN-Align's released
+	// implementation does exactly this for its structural channel; random
+	// W only scrambles a signal that propagation already exposes.
+	IdentityWeights bool
+}
+
+// DefaultConfig mirrors the paper's settings (§VII-A) adapted for CPU
+// training: ds 300→48, epochs 300→60, γ=3 and 5 negatives unchanged, SGD
+// as in the paper. Two adaptations compensate for the reduced dimension
+// (see DESIGN.md §2): seed pairs share their initial feature vector with
+// damped non-seed rows, and layer weights start at identity as in
+// GCN-Align's released structural channel — both restore the
+// anchor-propagation signal-to-noise that ds = 300 buys the original.
+func DefaultConfig() Config {
+	return Config{
+		Dim:               48,
+		Layers:            2,
+		Epochs:            60,
+		LearningRate:      1e-4,
+		Margin:            3,
+		Negatives:         5,
+		Optimizer:         SGD,
+		Seed:              1,
+		HardNegativeEvery: 10,
+		HardNegativePool:  10,
+		SeedSharedInit:    true,
+		NonSeedScale:      0.1,
+		IdentityWeights:   true,
+	}
+}
+
+// Model holds the trained structural embeddings of both KGs, row-indexed by
+// entity ID.
+type Model struct {
+	Z1, Z2 *mat.Dense
+}
+
+// SimilarityMatrix returns the structural similarity matrix Ms between the
+// given source and target entities: cosine similarity of their embeddings.
+func (m *Model) SimilarityMatrix(src, tgt []kg.EntityID) *mat.Dense {
+	return mat.CosineSim(gather(m.Z1, src), gather(m.Z2, tgt))
+}
+
+// CenteredSimilarityMatrix is SimilarityMatrix after subtracting the
+// selected embeddings' common mean vector. Graph convolution smooths all
+// embeddings toward a shared direction, which inflates raw cosines (means
+// around 0.8) and trips fusion's θ1 damping on scores that are high for
+// geometric rather than evidential reasons; centering removes the shared
+// component and restores a discriminative, zero-centered similarity scale.
+func (m *Model) CenteredSimilarityMatrix(src, tgt []kg.EntityID) *mat.Dense {
+	a := gather(m.Z1, src)
+	b := gather(m.Z2, tgt)
+	dim := a.Cols
+	mean := make([]float64, dim)
+	for i := 0; i < a.Rows; i++ {
+		for j, v := range a.Row(i) {
+			mean[j] += v
+		}
+	}
+	for i := 0; i < b.Rows; i++ {
+		for j, v := range b.Row(i) {
+			mean[j] += v
+		}
+	}
+	n := float64(a.Rows + b.Rows)
+	if n == 0 {
+		return mat.CosineSim(a, b)
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	for i := 0; i < a.Rows; i++ {
+		r := a.Row(i)
+		for j := range r {
+			r[j] -= mean[j]
+		}
+	}
+	for i := 0; i < b.Rows; i++ {
+		r := b.Row(i)
+		for j := range r {
+			r[j] -= mean[j]
+		}
+	}
+	return mat.CosineSim(a, b)
+}
+
+func gather(z *mat.Dense, ids []kg.EntityID) *mat.Dense {
+	out := mat.NewDense(len(ids), z.Cols)
+	for i, id := range ids {
+		copy(out.Row(i), z.Row(int(id)))
+	}
+	return out
+}
+
+// graph bundles per-KG training state. The forward pass stores, per layer
+// l, the propagated input q[l] = Â·h_l and the pre-activation
+// pre[l] = q[l]·W_l; hidden layers apply ReLU, the output layer is linear.
+type graph struct {
+	adj *mat.CSR
+	x   *mat.Dense // trainable input features
+	n   int
+
+	q   []*mat.Dense // per-layer Â·input
+	pre []*mat.Dense // per-layer pre-activation
+	z   *mat.Dense   // final embeddings
+}
+
+// Train learns structural embeddings for g1 and g2 aligned through the seed
+// pairs. It returns an error for unusable configurations rather than
+// panicking, since configs may come from CLI flags.
+func Train(g1, g2 *kg.KG, seeds []align.Pair, cfg Config) (*Model, error) {
+	if cfg.Dim <= 0 || cfg.Epochs < 0 || cfg.Negatives <= 0 || cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("gcn: invalid config %+v", cfg)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("gcn: no seed pairs")
+	}
+	if g1.NumEntities() == 0 || g2.NumEntities() == 0 {
+		return nil, fmt.Errorf("gcn: empty KG")
+	}
+	for _, p := range seeds {
+		if int(p.U) >= g1.NumEntities() || int(p.V) >= g2.NumEntities() || p.U < 0 || p.V < 0 {
+			return nil, fmt.Errorf("gcn: seed pair %+v out of range", p)
+		}
+	}
+
+	s := rng.New(cfg.Seed)
+	x1, err := chooseInit(cfg.InitX1, g1.NumEntities(), cfg.Dim, s.Split())
+	if err != nil {
+		return nil, err
+	}
+	x2, err := chooseInit(cfg.InitX2, g2.NumEntities(), cfg.Dim, s.Split())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SeedSharedInit && cfg.InitX1 == nil && cfg.InitX2 == nil {
+		applySeedSharedInit(x1, x2, seeds, cfg.NonSeedScale, s.Split())
+	}
+	ga := &graph{adj: g1.Adjacency(), x: x1, n: g1.NumEntities()}
+	gb := &graph{adj: g2.Adjacency(), x: x2, n: g2.NumEntities()}
+
+	layers := cfg.Layers
+	if layers <= 0 {
+		layers = 2
+	}
+	weights := make([]*mat.Dense, layers)
+	for l := range weights {
+		if cfg.IdentityWeights {
+			weights[l] = identity(cfg.Dim)
+		} else {
+			weights[l] = glorot(cfg.Dim, cfg.Dim, s.Split())
+		}
+	}
+
+	params := append([]*mat.Dense{}, weights...)
+	if !cfg.FreezeX {
+		params = append(params, ga.x, gb.x)
+	}
+	opt := newOptState(cfg, params)
+	negSrc := s.Split()
+	var pools *negPools
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		forward(ga, weights)
+		forward(gb, weights)
+
+		if cfg.HardNegativeEvery > 0 && epoch%cfg.HardNegativeEvery == 0 && epoch > 0 {
+			pools = mineNegatives(ga.z, gb.z, seeds, cfg.HardNegativePool)
+		}
+
+		gz1 := mat.NewDense(ga.n, cfg.Dim)
+		gz2 := mat.NewDense(gb.n, cfg.Dim)
+		loss := accumulateLoss(ga.z, gb.z, seeds, cfg, negSrc, pools, gz1, gz2)
+
+		gwA, gx1 := backward(ga, weights, gz1)
+		gwB, gx2 := backward(gb, weights, gz2)
+		grads := make([]*mat.Dense, layers)
+		for l := range grads {
+			grads[l] = gwA[l]
+			grads[l].AddInPlace(gwB[l])
+		}
+		if !cfg.FreezeX {
+			grads = append(grads, gx1, gx2)
+		}
+		opt.step(grads)
+
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, loss/float64(len(seeds)))
+		}
+	}
+
+	forward(ga, weights)
+	forward(gb, weights)
+	return &Model{Z1: ga.z, Z2: gb.z}, nil
+}
+
+// chooseInit validates a caller-provided initialization or falls back to
+// the random truncated-normal default. Provided matrices are cloned so
+// training never mutates caller data.
+func chooseInit(init *mat.Dense, n, dim int, s *rng.Source) (*mat.Dense, error) {
+	if init == nil {
+		return initFeatures(n, dim, s), nil
+	}
+	if init.Rows != n || init.Cols != dim {
+		return nil, fmt.Errorf("gcn: init features %dx%d, want %dx%d", init.Rows, init.Cols, n, dim)
+	}
+	x := init.Clone()
+	x.NormalizeRowsL2()
+	return x, nil
+}
+
+// applySeedSharedInit damps every row of the already-initialized features
+// to scale, then overwrites each seed pair's rows with a fresh shared unit
+// vector. See Config.SeedSharedInit for the rationale.
+func applySeedSharedInit(x1, x2 *mat.Dense, seeds []align.Pair, scale float64, s *rng.Source) {
+	if scale <= 0 {
+		scale = 0.1
+	}
+	x1.ScaleInPlace(scale)
+	x2.ScaleInPlace(scale)
+	dim := x1.Cols
+	v := make([]float64, dim)
+	for _, p := range seeds {
+		var norm float64
+		for i := range v {
+			v[i] = s.TruncNorm()
+			norm += v[i] * v[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		for i := range v {
+			v[i] /= norm
+		}
+		copy(x1.Row(int(p.U)), v)
+		copy(x2.Row(int(p.V)), v)
+	}
+}
+
+// initFeatures draws X from a truncated normal and L2-normalizes rows, the
+// initialization the paper prescribes for capturing "pure" structure.
+func initFeatures(n, dim int, s *rng.Source) *mat.Dense {
+	x := mat.NewDense(n, dim)
+	for i := range x.Data {
+		x.Data[i] = s.TruncNorm()
+	}
+	x.NormalizeRowsL2()
+	return x
+}
+
+// identity returns the n×n identity matrix.
+func identity(n int) *mat.Dense {
+	w := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		w.Set(i, i, 1)
+	}
+	return w
+}
+
+// glorot initializes a weight matrix with the Glorot/Xavier uniform scheme
+// standard for GCN layers.
+func glorot(rows, cols int, s *rng.Source) *mat.Dense {
+	w := mat.NewDense(rows, cols)
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range w.Data {
+		w.Data[i] = (2*s.Float64() - 1) * limit
+	}
+	return w
+}
+
+func forward(g *graph, weights []*mat.Dense) {
+	layers := len(weights)
+	g.q = make([]*mat.Dense, layers)
+	g.pre = make([]*mat.Dense, layers)
+	h := g.x
+	for l, w := range weights {
+		g.q[l] = g.adj.MulDense(h)
+		g.pre[l] = mat.Mul(g.q[l], w)
+		if l < layers-1 {
+			h = g.pre[l].Clone()
+			h.ReLUInPlace()
+		} else {
+			h = g.pre[l]
+		}
+	}
+	g.z = h
+}
+
+// negPools holds mined hard negatives: for seed i, pool2[i] are target-KG
+// entities near z1(U_i) (used to corrupt V) and pool1[i] source-KG entities
+// near z2(V_i) (used to corrupt U).
+type negPools struct {
+	pool1, pool2 [][]int
+}
+
+// mineNegatives finds, for each seed pair, the currently most-similar wrong
+// entities on both sides via cosine similarity of the current embeddings.
+func mineNegatives(z1, z2 *mat.Dense, seeds []align.Pair, poolSize int) *negPools {
+	if poolSize <= 0 {
+		poolSize = 10
+	}
+	u := gather(z1, align.SourceIDs(seeds))
+	v := gather(z2, align.TargetIDs(seeds))
+	// +1 so dropping the true counterpart still leaves poolSize entries.
+	top2 := mat.TopKRow(mat.CosineSim(u, z2), poolSize+1)
+	top1 := mat.TopKRow(mat.CosineSim(v, z1), poolSize+1)
+	p := &negPools{pool1: make([][]int, len(seeds)), pool2: make([][]int, len(seeds))}
+	for i, sd := range seeds {
+		for _, c := range top2[i] {
+			if c != int(sd.V) {
+				p.pool2[i] = append(p.pool2[i], c)
+			}
+		}
+		for _, c := range top1[i] {
+			if c != int(sd.U) {
+				p.pool1[i] = append(p.pool1[i], c)
+			}
+		}
+	}
+	return p
+}
+
+// accumulateLoss computes the margin ranking loss over seeds plus sampled
+// negatives and scatters ∂L/∂Z into gz1/gz2. Returns the summed loss.
+// With pools non-nil, corruptions are drawn from the mined hard negatives;
+// otherwise uniformly.
+func accumulateLoss(z1, z2 *mat.Dense, seeds []align.Pair, cfg Config, s *rng.Source, pools *negPools, gz1, gz2 *mat.Dense) float64 {
+	var total float64
+	dim := z1.Cols
+	for i, p := range seeds {
+		pu, pv := z1.Row(int(p.U)), z2.Row(int(p.V))
+		posDist := l1(pu, pv)
+		for k := 0; k < cfg.Negatives; k++ {
+			// Corrupt one side, alternating sides.
+			nu, nv := int(p.U), int(p.V)
+			if k%2 == 0 {
+				if pools != nil && len(pools.pool1[i]) > 0 {
+					nu = pools.pool1[i][s.Intn(len(pools.pool1[i]))]
+				} else {
+					nu = s.Intn(z1.Rows)
+				}
+			} else {
+				if pools != nil && len(pools.pool2[i]) > 0 {
+					nv = pools.pool2[i][s.Intn(len(pools.pool2[i]))]
+				} else {
+					nv = s.Intn(z2.Rows)
+				}
+			}
+			if nu == int(p.U) && nv == int(p.V) {
+				continue // degenerate corruption
+			}
+			negDist := l1(z1.Row(nu), z2.Row(nv))
+			hinge := posDist - negDist + cfg.Margin
+			if hinge <= 0 {
+				continue
+			}
+			total += hinge
+			// Subgradients: d|a-b|/da = sign(a-b).
+			gu, gv := gz1.Row(int(p.U)), gz2.Row(int(p.V))
+			gnu, gnv := gz1.Row(nu), gz2.Row(nv)
+			nuRow, nvRow := z1.Row(nu), z2.Row(nv)
+			for d := 0; d < dim; d++ {
+				sp := sign(pu[d] - pv[d])
+				gu[d] += sp
+				gv[d] -= sp
+				sn := sign(nuRow[d] - nvRow[d])
+				gnu[d] -= sn
+				gnv[d] += sn
+			}
+		}
+	}
+	return total
+}
+
+func l1(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += math.Abs(v - b[i])
+	}
+	return s
+}
+
+func sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// backward propagates gz = ∂L/∂Z through one GCN, returning per-layer
+// weight gradients and this KG's input-feature gradient.
+func backward(g *graph, weights []*mat.Dense, gz *mat.Dense) (gw []*mat.Dense, gx *mat.Dense) {
+	layers := len(weights)
+	gw = make([]*mat.Dense, layers)
+	// ghNext is ∂L/∂h_{l+1}, where h_{l+1} is layer l's (post-activation)
+	// output; at the top it is ∂L/∂Z.
+	ghNext := gz
+	for l := layers - 1; l >= 0; l-- {
+		// Non-final layers apply ReLU after pre[l].
+		dpre := ghNext
+		if l < layers-1 {
+			dpre = ghNext.Clone()
+			for i, v := range g.pre[l].Data {
+				if v <= 0 {
+					dpre.Data[i] = 0
+				}
+			}
+		}
+		// pre[l] = q[l]·W_l  =>  ∂W_l = q[l]ᵀ·dpre ; ∂q[l] = dpre·W_lᵀ.
+		gw[l] = mat.TMul(g.q[l], dpre)
+		gq := mat.MulT(dpre, weights[l])
+		// q[l] = Â·h_l  =>  ∂h_l = Âᵀ·gq.
+		ghNext = g.adj.TMulDense(gq)
+	}
+	gx = ghNext
+	return gw, gx
+}
+
+// optState implements SGD and Adam over a fixed parameter list.
+type optState struct {
+	cfg    Config
+	params []*mat.Dense
+	m, v   []*mat.Dense // Adam moments
+	t      int
+}
+
+func newOptState(cfg Config, params []*mat.Dense) *optState {
+	o := &optState{cfg: cfg, params: params}
+	if cfg.Optimizer == Adam {
+		o.m = make([]*mat.Dense, len(params))
+		o.v = make([]*mat.Dense, len(params))
+		for i, p := range params {
+			o.m[i] = mat.NewDense(p.Rows, p.Cols)
+			o.v[i] = mat.NewDense(p.Rows, p.Cols)
+		}
+	}
+	return o
+}
+
+func (o *optState) step(grads []*mat.Dense) {
+	switch o.cfg.Optimizer {
+	case SGD:
+		for i, p := range o.params {
+			p.AxpyInPlace(-o.cfg.LearningRate, grads[i])
+		}
+	case Adam:
+		const (
+			beta1 = 0.9
+			beta2 = 0.999
+			eps   = 1e-8
+		)
+		o.t++
+		c1 := 1 - math.Pow(beta1, float64(o.t))
+		c2 := 1 - math.Pow(beta2, float64(o.t))
+		for i, p := range o.params {
+			g := grads[i]
+			m, v := o.m[i], o.v[i]
+			for j, gj := range g.Data {
+				m.Data[j] = beta1*m.Data[j] + (1-beta1)*gj
+				v.Data[j] = beta2*v.Data[j] + (1-beta2)*gj*gj
+				p.Data[j] -= o.cfg.LearningRate * (m.Data[j] / c1) / (math.Sqrt(v.Data[j]/c2) + eps)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package gcn
+
+import (
+	"testing"
+
+	"ceaff/internal/align"
+	"ceaff/internal/kg"
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+func TestInitXValidation(t *testing.T) {
+	g1 := ringKG("g1", 6, nil)
+	g2 := ringKG("g2", 6, nil)
+	seeds := []align.Pair{{U: 0, V: 0}}
+	cfg := DefaultConfig()
+	cfg.Dim = 4
+	cfg.Epochs = 1
+	cfg.InitX1 = mat.NewDense(5, 4) // wrong row count
+	if _, err := Train(g1, g2, seeds, cfg); err == nil {
+		t.Fatal("wrong-row InitX accepted")
+	}
+	cfg.InitX1 = mat.NewDense(6, 3) // wrong column count
+	if _, err := Train(g1, g2, seeds, cfg); err == nil {
+		t.Fatal("wrong-col InitX accepted")
+	}
+}
+
+func TestInitXNotMutated(t *testing.T) {
+	g1 := ringKG("g1", 6, nil)
+	g2 := ringKG("g2", 6, nil)
+	seeds := []align.Pair{{U: 0, V: 0}, {U: 1, V: 1}}
+	cfg := DefaultConfig()
+	cfg.Dim = 4
+	cfg.Epochs = 5
+
+	s := rng.New(5)
+	init := mat.NewDense(6, 4)
+	for i := range init.Data {
+		init.Data[i] = s.Norm()
+	}
+	snapshot := init.Clone()
+	cfg.InitX1 = init
+	if _, err := Train(g1, g2, seeds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range init.Data {
+		if init.Data[i] != snapshot.Data[i] {
+			t.Fatal("Train mutated caller's InitX")
+		}
+	}
+}
+
+func TestFreezeXChangesOutcome(t *testing.T) {
+	// With FreezeX the input features stay put; training still converges
+	// through the shared weights, and the result differs from unfrozen
+	// training.
+	g1 := ringKG("g1", 12, [][2]int{{0, 5}})
+	g2 := ringKG("g2", 12, [][2]int{{0, 5}})
+	var seeds []align.Pair
+	for i := 0; i < 6; i++ {
+		seeds = append(seeds, align.Pair{U: kg.EntityID(i), V: kg.EntityID(i)})
+	}
+
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Epochs = 10
+	unfrozen, err := Train(g1, g2, seeds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FreezeX = true
+	frozen, err := Train(g1, g2, seeds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range frozen.Z1.Data {
+		if frozen.Z1.Data[i] != unfrozen.Z1.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("FreezeX had no effect on training")
+	}
+}

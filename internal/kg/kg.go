@@ -1,0 +1,360 @@
+// Package kg implements the knowledge-graph substrate of the reproduction:
+// entities, relations, triples, attribute triples, degree statistics, and
+// the normalized adjacency matrix the GCN propagates over.
+//
+// A KG here follows the paper's definition (§III): a directed graph
+// G = (E, R, T) where a triple (e_i, r_ij, e_j) connects head entity e_i to
+// tail entity e_j via relation r_ij. Entities and relations are interned:
+// the package assigns dense integer IDs so that downstream matrix code can
+// index embeddings directly.
+package kg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"ceaff/internal/mat"
+)
+
+// EntityID indexes an entity within one KG. IDs are dense: 0..NumEntities-1.
+type EntityID int
+
+// RelationID indexes a relation within one KG. IDs are dense.
+type RelationID int
+
+// Triple is a directed relational fact (head, relation, tail).
+type Triple struct {
+	Head     EntityID
+	Relation RelationID
+	Tail     EntityID
+}
+
+// AttrTriple attaches a typed attribute to an entity. Only the attribute
+// *type* matters for the JAPE/GCN-Align baselines, matching how those
+// systems use attributes (value-free type correlation).
+type AttrTriple struct {
+	Entity EntityID
+	Attr   int // attribute-type ID, dense per KG
+}
+
+// KG is one knowledge graph. Construct with New and mutate through the Add*
+// methods so that the intern tables stay consistent.
+type KG struct {
+	Name string
+
+	entityNames   []string
+	entityIdx     map[string]EntityID
+	relationNames []string
+	relationIdx   map[string]RelationID
+
+	Triples []Triple
+	Attrs   []AttrTriple
+
+	NumAttrTypes int
+}
+
+// New returns an empty KG with the given name.
+func New(name string) *KG {
+	return &KG{
+		Name:        name,
+		entityIdx:   make(map[string]EntityID),
+		relationIdx: make(map[string]RelationID),
+	}
+}
+
+// AddEntity interns name and returns its ID; repeated names return the same
+// ID.
+func (g *KG) AddEntity(name string) EntityID {
+	if id, ok := g.entityIdx[name]; ok {
+		return id
+	}
+	id := EntityID(len(g.entityNames))
+	g.entityNames = append(g.entityNames, name)
+	g.entityIdx[name] = id
+	return id
+}
+
+// AddRelation interns name and returns its ID.
+func (g *KG) AddRelation(name string) RelationID {
+	if id, ok := g.relationIdx[name]; ok {
+		return id
+	}
+	id := RelationID(len(g.relationNames))
+	g.relationNames = append(g.relationNames, name)
+	g.relationIdx[name] = id
+	return id
+}
+
+// AddTriple appends a triple. It panics on out-of-range IDs: triples must
+// reference interned entities and relations.
+func (g *KG) AddTriple(h EntityID, r RelationID, t EntityID) {
+	if int(h) >= len(g.entityNames) || int(t) >= len(g.entityNames) || h < 0 || t < 0 {
+		panic(fmt.Sprintf("kg: triple references unknown entity (%d, %d) in %q", h, t, g.Name))
+	}
+	if int(r) >= len(g.relationNames) || r < 0 {
+		panic(fmt.Sprintf("kg: triple references unknown relation %d in %q", r, g.Name))
+	}
+	g.Triples = append(g.Triples, Triple{Head: h, Relation: r, Tail: t})
+}
+
+// AddAttr attaches attribute type attr to entity e. Attribute types are a
+// small dense ID space managed by the caller; NumAttrTypes grows to cover
+// the largest seen ID.
+func (g *KG) AddAttr(e EntityID, attr int) {
+	if int(e) >= len(g.entityNames) || e < 0 {
+		panic(fmt.Sprintf("kg: attr references unknown entity %d in %q", e, g.Name))
+	}
+	if attr < 0 {
+		panic("kg: negative attribute type")
+	}
+	g.Attrs = append(g.Attrs, AttrTriple{Entity: e, Attr: attr})
+	if attr+1 > g.NumAttrTypes {
+		g.NumAttrTypes = attr + 1
+	}
+}
+
+// NumEntities returns the entity count.
+func (g *KG) NumEntities() int { return len(g.entityNames) }
+
+// NumRelations returns the relation count.
+func (g *KG) NumRelations() int { return len(g.relationNames) }
+
+// NumTriples returns the relational triple count.
+func (g *KG) NumTriples() int { return len(g.Triples) }
+
+// EntityName returns the name of entity id.
+func (g *KG) EntityName(id EntityID) string { return g.entityNames[int(id)] }
+
+// RelationName returns the name of relation id.
+func (g *KG) RelationName(id RelationID) string { return g.relationNames[int(id)] }
+
+// Entity looks up an entity by name.
+func (g *KG) Entity(name string) (EntityID, bool) {
+	id, ok := g.entityIdx[name]
+	return id, ok
+}
+
+// EntityNames returns a copy of all entity names indexed by ID.
+func (g *KG) EntityNames() []string {
+	out := make([]string, len(g.entityNames))
+	copy(out, g.entityNames)
+	return out
+}
+
+// Degrees returns the undirected degree (in + out) of each entity.
+func (g *KG) Degrees() []int {
+	deg := make([]int, g.NumEntities())
+	for _, t := range g.Triples {
+		deg[t.Head]++
+		deg[t.Tail]++
+	}
+	return deg
+}
+
+// AvgDegree returns the mean undirected degree.
+func (g *KG) AvgDegree() float64 {
+	if g.NumEntities() == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.Triples)) / float64(g.NumEntities())
+}
+
+// Neighbors returns, for every entity, the sorted list of distinct
+// neighbouring entities (treating edges as undirected).
+func (g *KG) Neighbors() [][]EntityID {
+	sets := make([]map[EntityID]struct{}, g.NumEntities())
+	for i := range sets {
+		sets[i] = make(map[EntityID]struct{})
+	}
+	for _, t := range g.Triples {
+		if t.Head != t.Tail {
+			sets[t.Head][t.Tail] = struct{}{}
+			sets[t.Tail][t.Head] = struct{}{}
+		}
+	}
+	out := make([][]EntityID, g.NumEntities())
+	for i, s := range sets {
+		lst := make([]EntityID, 0, len(s))
+		for e := range s {
+			lst = append(lst, e)
+		}
+		sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
+		out[i] = lst
+	}
+	return out
+}
+
+// OutEdges returns, for every entity, its outgoing (relation, tail) pairs in
+// triple order. Used by random-walk based baselines.
+func (g *KG) OutEdges() [][]Triple {
+	out := make([][]Triple, g.NumEntities())
+	for _, t := range g.Triples {
+		out[t.Head] = append(out[t.Head], t)
+	}
+	return out
+}
+
+// Adjacency builds the normalized adjacency Â = D^{-1/2}(A + I)D^{-1/2}
+// used by the GCN (§IV-A, constructed "according to [25]"). Multiple edges
+// between the same pair collapse to weight 1 before normalization, and
+// direction is dropped: GCN propagation in GCN-Align treats the KG as an
+// undirected entity graph.
+func (g *KG) Adjacency() *mat.CSR {
+	n := g.NumEntities()
+	type pair struct{ a, b EntityID }
+	seen := make(map[pair]struct{}, len(g.Triples))
+	var entries []mat.COO
+	deg := make([]float64, n)
+	addEdge := func(a, b EntityID) {
+		if _, ok := seen[pair{a, b}]; ok {
+			return
+		}
+		seen[pair{a, b}] = struct{}{}
+		entries = append(entries, mat.COO{Row: int(a), Col: int(b), Val: 1})
+		deg[a]++
+	}
+	for i := 0; i < n; i++ {
+		addEdge(EntityID(i), EntityID(i)) // self loop
+	}
+	for _, t := range g.Triples {
+		if t.Head == t.Tail {
+			continue
+		}
+		addEdge(t.Head, t.Tail)
+		addEdge(t.Tail, t.Head)
+	}
+	for i := range entries {
+		e := &entries[i]
+		e.Val = 1 / (math.Sqrt(deg[e.Row]) * math.Sqrt(deg[e.Col]))
+	}
+	return mat.NewCSR(n, n, entries)
+}
+
+// Validate checks internal consistency: every triple references interned
+// IDs and the intern tables are bijective. It returns a descriptive error
+// for the first violation found.
+func (g *KG) Validate() error {
+	if len(g.entityNames) != len(g.entityIdx) {
+		return fmt.Errorf("kg %q: entity intern tables out of sync (%d names, %d index entries)",
+			g.Name, len(g.entityNames), len(g.entityIdx))
+	}
+	for name, id := range g.entityIdx {
+		if int(id) >= len(g.entityNames) || g.entityNames[id] != name {
+			return fmt.Errorf("kg %q: entity index corrupt for %q", g.Name, name)
+		}
+	}
+	for i, t := range g.Triples {
+		if int(t.Head) >= len(g.entityNames) || int(t.Tail) >= len(g.entityNames) ||
+			t.Head < 0 || t.Tail < 0 || t.Relation < 0 || int(t.Relation) >= len(g.relationNames) {
+			return fmt.Errorf("kg %q: triple %d out of range: %+v", g.Name, i, t)
+		}
+	}
+	for i, a := range g.Attrs {
+		if int(a.Entity) >= len(g.entityNames) || a.Entity < 0 || a.Attr < 0 || a.Attr >= g.NumAttrTypes {
+			return fmt.Errorf("kg %q: attr triple %d out of range: %+v", g.Name, i, a)
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the KG in a simple tab-separated text format:
+// one "E<TAB>name" line per entity, "R<TAB>name" per relation, and
+// "T<TAB>head<TAB>rel<TAB>tail" per triple (IDs, in intern order), then
+// "A<TAB>entity<TAB>attr" per attribute triple.
+func (g *KG) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(format string, args ...any) error {
+		c, err := fmt.Fprintf(bw, format, args...)
+		n += int64(c)
+		return err
+	}
+	if err := write("KG\t%s\n", g.Name); err != nil {
+		return n, err
+	}
+	for _, name := range g.entityNames {
+		if err := write("E\t%s\n", name); err != nil {
+			return n, err
+		}
+	}
+	for _, name := range g.relationNames {
+		if err := write("R\t%s\n", name); err != nil {
+			return n, err
+		}
+	}
+	for _, t := range g.Triples {
+		if err := write("T\t%d\t%d\t%d\n", t.Head, t.Relation, t.Tail); err != nil {
+			return n, err
+		}
+	}
+	for _, a := range g.Attrs {
+		if err := write("A\t%d\t%d\n", a.Entity, a.Attr); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses the format produced by WriteTo.
+func Read(r io.Reader) (*KG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *KG
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "KG":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("kg: line %d: malformed KG header", lineNo)
+			}
+			g = New(fields[1])
+		case "E":
+			if g == nil || len(fields) != 2 {
+				return nil, fmt.Errorf("kg: line %d: malformed entity line", lineNo)
+			}
+			g.AddEntity(fields[1])
+		case "R":
+			if g == nil || len(fields) != 2 {
+				return nil, fmt.Errorf("kg: line %d: malformed relation line", lineNo)
+			}
+			g.AddRelation(fields[1])
+		case "T":
+			if g == nil || len(fields) != 4 {
+				return nil, fmt.Errorf("kg: line %d: malformed triple line", lineNo)
+			}
+			var h, rel, t int
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2]+" "+fields[3], "%d %d %d", &h, &rel, &t); err != nil {
+				return nil, fmt.Errorf("kg: line %d: %v", lineNo, err)
+			}
+			g.AddTriple(EntityID(h), RelationID(rel), EntityID(t))
+		case "A":
+			if g == nil || len(fields) != 3 {
+				return nil, fmt.Errorf("kg: line %d: malformed attr line", lineNo)
+			}
+			var e, a int
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &e, &a); err != nil {
+				return nil, fmt.Errorf("kg: line %d: %v", lineNo, err)
+			}
+			g.AddAttr(EntityID(e), a)
+		default:
+			return nil, fmt.Errorf("kg: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("kg: empty input")
+	}
+	return g, nil
+}

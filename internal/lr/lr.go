@@ -1,0 +1,117 @@
+// Package lr implements binary logistic regression, the learning-based
+// feature-weighting baseline of the paper (§VII-E): EA is cast as
+// classification — correct pairs labelled 1, corrupted pairs labelled 0 —
+// over the per-pair feature-similarity vector, and the learned coefficients
+// become the feature weights for outcome-level fusion.
+package lr
+
+import (
+	"fmt"
+	"math"
+
+	"ceaff/internal/rng"
+)
+
+// Config controls training. Zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	Epochs       int
+	LearningRate float64
+	L2           float64 // ridge penalty on the coefficients (not the bias)
+	Seed         uint64
+}
+
+// DefaultConfig returns settings adequate for the few-feature, few-thousand
+// example training sets the EA pipeline produces.
+func DefaultConfig() Config {
+	return Config{Epochs: 200, LearningRate: 0.1, L2: 1e-4, Seed: 1}
+}
+
+// Model is a trained logistic-regression classifier.
+type Model struct {
+	Weights []float64
+	Bias    float64
+}
+
+// Train fits a logistic regression on features x (rows = examples) and
+// binary labels y via mini-batch-free SGD with per-epoch shuffling.
+func Train(x [][]float64, y []int, cfg Config) (*Model, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("lr: empty training set")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("lr: %d examples but %d labels", len(x), len(y))
+	}
+	dim := len(x[0])
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("lr: example %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	for i, label := range y {
+		if label != 0 && label != 1 {
+			return nil, fmt.Errorf("lr: label %d of example %d not in {0,1}", label, i)
+		}
+	}
+	if cfg.Epochs <= 0 || cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("lr: invalid config %+v", cfg)
+	}
+
+	m := &Model{Weights: make([]float64, dim)}
+	s := rng.New(cfg.Seed)
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		s.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			p := m.Predict(x[idx])
+			err := p - float64(y[idx])
+			for d, v := range x[idx] {
+				m.Weights[d] -= cfg.LearningRate * (err*v + cfg.L2*m.Weights[d])
+			}
+			m.Bias -= cfg.LearningRate * err
+		}
+	}
+	return m, nil
+}
+
+// Predict returns P(y=1 | features).
+func (m *Model) Predict(features []float64) float64 {
+	z := m.Bias
+	for i, v := range features {
+		z += m.Weights[i] * v
+	}
+	return sigmoid(z)
+}
+
+// Loss returns the mean negative log-likelihood of the labelled set, a
+// training diagnostic.
+func (m *Model) Loss(x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var total float64
+	for i, row := range x {
+		p := m.Predict(row)
+		// Clamp away from 0/1 to keep the log finite.
+		p = math.Min(math.Max(p, 1e-12), 1-1e-12)
+		if y[i] == 1 {
+			total -= math.Log(p)
+		} else {
+			total -= math.Log(1 - p)
+		}
+	}
+	return total / float64(len(x))
+}
+
+func sigmoid(z float64) float64 {
+	// Numerically stable in both tails.
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

@@ -1,0 +1,143 @@
+package lr
+
+import (
+	"math"
+	"testing"
+
+	"ceaff/internal/rng"
+)
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Train(nil, nil, cfg); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{1, 0}, cfg); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []int{1, 0}, cfg); err == nil {
+		t.Error("ragged features accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{2}, cfg); err == nil {
+		t.Error("non-binary label accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{1}, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestLearnsLinearlySeparable(t *testing.T) {
+	// y = 1 iff x0 > 0.5; x1 is noise.
+	s := rng.New(4)
+	var x [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		v := s.Float64()
+		x = append(x, []float64{v, s.Float64()})
+		if v > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	m, err := Train(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		pred := 0
+		if m.Predict(x[i]) > 0.5 {
+			pred = 1
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Fatalf("training accuracy %.3f, want >= 0.95", acc)
+	}
+	// The informative feature should carry far more weight than noise.
+	if math.Abs(m.Weights[0]) < 2*math.Abs(m.Weights[1]) {
+		t.Fatalf("weights %v: signal not dominant", m.Weights)
+	}
+}
+
+func TestWeightsReflectFeatureInformativeness(t *testing.T) {
+	// Simulate the EA use case: feature 0 is a highly discriminative
+	// similarity (high for positives, low for negatives), feature 1 is
+	// uninformative. The learned coefficient for feature 0 must be positive
+	// and dominant — that ordering is what FuseWeighted consumes.
+	s := rng.New(9)
+	var x [][]float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		pos := i%2 == 0
+		f0 := 0.1 + 0.15*s.Float64()
+		if pos {
+			f0 = 0.8 + 0.2*s.Float64()
+		}
+		f1 := s.Float64()
+		x = append(x, []float64{f0, f1})
+		if pos {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	m, err := Train(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weights[0] <= 0 {
+		t.Fatalf("discriminative feature weight %v not positive", m.Weights[0])
+	}
+	if m.Weights[0] < 3*math.Abs(m.Weights[1]) {
+		t.Fatalf("weights %v: discriminative feature not dominant", m.Weights)
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	s := rng.New(2)
+	var x [][]float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		v := s.Float64()
+		x = append(x, []float64{v})
+		if v > 0.4 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	untrained := &Model{Weights: make([]float64, 1)}
+	before := untrained.Loss(x, y)
+	m, err := Train(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := m.Loss(x, y)
+	if after >= before {
+		t.Fatalf("loss did not improve: %v -> %v", before, after)
+	}
+}
+
+func TestPredictRange(t *testing.T) {
+	m := &Model{Weights: []float64{100, -100}, Bias: 50}
+	for _, f := range [][]float64{{1000, 0}, {-1000, 0}, {0, 1000}, {0, 0}} {
+		p := m.Predict(f)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Predict(%v) = %v", f, p)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	x := [][]float64{{0.1}, {0.9}, {0.2}, {0.8}}
+	y := []int{0, 1, 0, 1}
+	a, _ := Train(x, y, DefaultConfig())
+	b, _ := Train(x, y, DefaultConfig())
+	if a.Weights[0] != b.Weights[0] || a.Bias != b.Bias {
+		t.Fatal("training not deterministic")
+	}
+}

@@ -1,0 +1,303 @@
+// Package mat implements the small linear-algebra kernel the reproduction
+// needs: dense row-major float64 matrices, CSR sparse matrices, parallel
+// matrix products and cosine-similarity matrices. It exists because the
+// build is stdlib-only; the API is deliberately minimal and geared to the
+// shapes that occur in entity alignment (tall-skinny embedding matrices and
+// square-ish similarity matrices).
+package mat
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Dense is a row-major dense matrix of float64.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewDense allocates a zeroed Rows×Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a Dense from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			panic("mat: ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice sharing the matrix's backing array.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets every element to 0 in place.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// String renders small matrices for debugging; large ones are summarized.
+func (m *Dense) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Dense(%dx%d)", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%8.4f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// checkMul panics unless a×b is dimensionally valid.
+func checkMul(a, b *Dense) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Mul returns a·b, parallelized across row blocks.
+func Mul(a, b *Dense) *Dense {
+	checkMul(a, b)
+	out := NewDense(a.Rows, b.Cols)
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := out.Row(i)
+			for k, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b.Row(k)
+				for j, bv := range br {
+					or[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MulT returns a·bᵀ without materializing the transpose.
+func MulT(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: mulT dimension mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Rows)
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				or[j] = dot(ar, b.Row(j))
+			}
+		}
+	})
+	return out
+}
+
+// TMul returns aᵀ·b without materializing the transpose.
+func TMul(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: tmul dimension mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Cols, b.Cols)
+	var mu sync.Mutex
+	parallelRows(a.Rows, func(lo, hi int) {
+		local := NewDense(a.Cols, b.Cols)
+		for k := lo; k < hi; k++ {
+			ar := a.Row(k)
+			br := b.Row(k)
+			for i, av := range ar {
+				if av == 0 {
+					continue
+				}
+				lr := local.Row(i)
+				for j, bv := range br {
+					lr[j] += av * bv
+				}
+			}
+		}
+		mu.Lock()
+		for i, v := range local.Data {
+			out.Data[i] += v
+		}
+		mu.Unlock()
+	})
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// AddInPlace adds b to m element-wise.
+func (m *Dense) AddInPlace(b *Dense) {
+	checkSameShape(m, b)
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+}
+
+// SubInPlace subtracts b from m element-wise.
+func (m *Dense) SubInPlace(b *Dense) {
+	checkSameShape(m, b)
+	for i, v := range b.Data {
+		m.Data[i] -= v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Dense) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AxpyInPlace adds s*b to m element-wise (BLAS axpy).
+func (m *Dense) AxpyInPlace(s float64, b *Dense) {
+	checkSameShape(m, b)
+	for i, v := range b.Data {
+		m.Data[i] += s * v
+	}
+}
+
+func checkSameShape(a, b *Dense) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// NormalizeRowsL2 scales each row to unit L2 norm in place. Zero rows are
+// left untouched.
+func (m *Dense) NormalizeRowsL2() {
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		n := math.Sqrt(dot(r, r))
+		if n == 0 {
+			continue
+		}
+		for j := range r {
+			r[j] /= n
+		}
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Dense) FrobeniusNorm() float64 {
+	return math.Sqrt(dot(m.Data, m.Data))
+}
+
+// MaxAbs returns the largest absolute element, 0 for an empty matrix.
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// ApplyInPlace replaces each element x by f(x).
+func (m *Dense) ApplyInPlace(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// ReLUInPlace applies max(0, x) element-wise.
+func (m *Dense) ReLUInPlace() {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Dot exposes the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: dot length mismatch")
+	}
+	return dot(a, b)
+}
+
+// parallelRows splits [0, n) into runtime.NumCPU() contiguous blocks and
+// runs fn on each block concurrently. Small n runs inline to avoid goroutine
+// overhead dominating.
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := runtime.NumCPU()
+	if n < 64 || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelRows is exported for packages that need the same row-block
+// parallelism for their own kernels (e.g. string-similarity matrices).
+func ParallelRows(n int, fn func(lo, hi int)) { parallelRows(n, fn) }

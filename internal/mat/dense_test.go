@@ -1,0 +1,216 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ceaff/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func randomDense(s *rng.Source, rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = s.Norm()
+	}
+	return m
+}
+
+func TestMulSmall(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range want.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v, want %v", c.Data, want.Data)
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	s := rng.New(1)
+	a := randomDense(s, 17, 9)
+	eye := NewDense(9, 9)
+	for i := 0; i < 9; i++ {
+		eye.Set(i, i, 1)
+	}
+	c := Mul(a, eye)
+	for i := range a.Data {
+		if !almostEqual(c.Data[i], a.Data[i], 1e-12) {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Mul did not panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulTMatchesExplicitTranspose(t *testing.T) {
+	s := rng.New(2)
+	a := randomDense(s, 13, 7)
+	b := randomDense(s, 11, 7)
+	got := MulT(a, b)
+	want := Mul(a, b.Transpose())
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-10) {
+			t.Fatal("MulT differs from Mul(a, bᵀ)")
+		}
+	}
+}
+
+func TestTMulMatchesExplicitTranspose(t *testing.T) {
+	s := rng.New(3)
+	a := randomDense(s, 13, 7)
+	b := randomDense(s, 13, 5)
+	got := TMul(a, b)
+	want := Mul(a.Transpose(), b)
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-10) {
+			t.Fatal("TMul differs from Mul(aᵀ, b)")
+		}
+	}
+}
+
+func TestMulLargeParallelConsistency(t *testing.T) {
+	// Exercise the parallel path (n >= 64 rows) against a serial reference.
+	s := rng.New(4)
+	a := randomDense(s, 130, 40)
+	b := randomDense(s, 40, 30)
+	got := Mul(a, b)
+	for i := 0; i < a.Rows; i += 17 {
+		for j := 0; j < b.Cols; j += 7 {
+			var want float64
+			for k := 0; k < a.Cols; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if !almostEqual(got.At(i, j), want, 1e-9) {
+				t.Fatalf("parallel Mul wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	s := rng.New(5)
+	a := randomDense(s, 8, 5)
+	b := a.Transpose().Transpose()
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("(Aᵀ)ᵀ != A")
+		}
+	}
+}
+
+func TestNormalizeRowsL2(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}, {0, 0}, {1, 0}})
+	m.NormalizeRowsL2()
+	if !almostEqual(m.At(0, 0), 0.6, 1e-12) || !almostEqual(m.At(0, 1), 0.8, 1e-12) {
+		t.Fatalf("row 0 = %v", m.Row(0))
+	}
+	if m.At(1, 0) != 0 || m.At(1, 1) != 0 {
+		t.Fatal("zero row altered")
+	}
+	if !almostEqual(m.At(2, 0), 1, 1e-12) {
+		t.Fatal("unit row wrong")
+	}
+}
+
+func TestArithmeticInPlace(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	a.AddInPlace(b)
+	if a.At(1, 1) != 44 {
+		t.Fatalf("AddInPlace got %v", a.At(1, 1))
+	}
+	a.SubInPlace(b)
+	if a.At(0, 0) != 1 {
+		t.Fatalf("SubInPlace got %v", a.At(0, 0))
+	}
+	a.ScaleInPlace(2)
+	if a.At(0, 1) != 4 {
+		t.Fatalf("ScaleInPlace got %v", a.At(0, 1))
+	}
+	a.AxpyInPlace(0.5, b)
+	if a.At(1, 0) != 6+15 {
+		t.Fatalf("AxpyInPlace got %v", a.At(1, 0))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}})
+	if !almostEqual(m.FrobeniusNorm(), 5, 1e-12) {
+		t.Fatalf("FrobeniusNorm = %v", m.FrobeniusNorm())
+	}
+}
+
+func TestReLU(t *testing.T) {
+	m := FromRows([][]float64{{-1, 0, 2}})
+	m.ReLUInPlace()
+	if m.At(0, 0) != 0 || m.At(0, 1) != 0 || m.At(0, 2) != 2 {
+		t.Fatalf("ReLU = %v", m.Row(0))
+	}
+}
+
+func TestMulDistributesOverAddQuick(t *testing.T) {
+	// Property: A·(B+C) == A·B + A·C on random small matrices.
+	s := rng.New(6)
+	f := func(seed uint16) bool {
+		ls := rng.New(uint64(seed) + s.Uint64()%1000)
+		a := randomDense(ls, 5, 4)
+		b := randomDense(ls, 4, 3)
+		c := randomDense(ls, 4, 3)
+		bc := b.Clone()
+		bc.AddInPlace(c)
+		left := Mul(a, bc)
+		right := Mul(a, b)
+		right.AddInPlace(Mul(a, c))
+		for i := range left.Data {
+			if !almostEqual(left.Data[i], right.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociativityQuick(t *testing.T) {
+	// Property: (A·B)·C == A·(B·C).
+	f := func(seed uint16) bool {
+		ls := rng.New(uint64(seed)*2654435761 + 1)
+		a := randomDense(ls, 4, 5)
+		b := randomDense(ls, 5, 3)
+		c := randomDense(ls, 3, 6)
+		left := Mul(Mul(a, b), c)
+		right := Mul(a, Mul(b, c))
+		for i := range left.Data {
+			if !almostEqual(left.Data[i], right.Data[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

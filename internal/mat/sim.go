@@ -1,0 +1,157 @@
+package mat
+
+import "sort"
+
+// CosineSim returns the matrix of cosine similarities between the rows of a
+// (sources) and the rows of b (targets): out[i][j] = cos(a_i, b_j).
+// This is how the paper turns structural and semantic embeddings into
+// similarity matrices (Sims and Simt, §IV-A, §IV-B).
+func CosineSim(a, b *Dense) *Dense {
+	an := a.Clone()
+	bn := b.Clone()
+	an.NormalizeRowsL2()
+	bn.NormalizeRowsL2()
+	return MulT(an, bn)
+}
+
+// ArgmaxRow returns, for each row of m, the column index of the maximum
+// element. Ties break toward the lower index for determinism.
+func ArgmaxRow(m *Dense) []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		best := 0
+		for j := 1; j < len(r); j++ {
+			if r[j] > r[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// ArgmaxCol returns, for each column of m, the row index of the maximum
+// element. Ties break toward the lower index.
+func ArgmaxCol(m *Dense) []int {
+	out := make([]int, m.Cols)
+	for j := range out {
+		out[j] = 0
+	}
+	for i := 1; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j, v := range r {
+			if v > m.At(out[j], j) {
+				out[j] = i
+			}
+		}
+	}
+	return out
+}
+
+// TopKRow returns the indices of the k largest elements of each row in
+// descending value order. k is clamped to the row length.
+func TopKRow(m *Dense, k int) [][]int {
+	if k > m.Cols {
+		k = m.Cols
+	}
+	out := make([][]int, m.Rows)
+	parallelRows(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := m.Row(i)
+			idx := make([]int, m.Cols)
+			for j := range idx {
+				idx[j] = j
+			}
+			sort.Slice(idx, func(x, y int) bool {
+				if r[idx[x]] != r[idx[y]] {
+					return r[idx[x]] > r[idx[y]]
+				}
+				return idx[x] < idx[y]
+			})
+			out[i] = idx[:k:k]
+		}
+	})
+	return out
+}
+
+// RankOfColumn returns, for each row i, the 1-based rank of column truth[i]
+// when the row is sorted descending. Used for Hits@k and MRR (Table VI).
+func RankOfColumn(m *Dense, truth []int) []int {
+	out := make([]int, m.Rows)
+	parallelRows(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := m.Row(i)
+			t := truth[i]
+			tv := r[t]
+			rank := 1
+			for j, v := range r {
+				if v > tv || (v == tv && j < t) {
+					rank++
+				}
+			}
+			out[i] = rank
+		}
+	})
+	return out
+}
+
+// CSLS applies cross-domain similarity local scaling (Conneau et al.) to a
+// similarity matrix: csls(i,j) = 2·sim(i,j) − r_src(i) − r_tgt(j), where
+// r_src(i) is the mean similarity of row i's k nearest targets and r_tgt(j)
+// the mean of column j's k nearest sources. CSLS penalizes "hub" entities
+// that are close to everything, a known failure mode of nearest-neighbour
+// retrieval in cross-lingual embedding spaces. k is clamped to the matrix
+// dimensions.
+func CSLS(sim *Dense, k int) *Dense {
+	if k <= 0 {
+		k = 1
+	}
+	rowMean := topKMeanRows(sim, k)
+	colMean := topKMeanRows(sim.Transpose(), k)
+	out := NewDense(sim.Rows, sim.Cols)
+	parallelRows(sim.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sr := sim.Row(i)
+			or := out.Row(i)
+			for j, v := range sr {
+				or[j] = 2*v - rowMean[i] - colMean[j]
+			}
+		}
+	})
+	return out
+}
+
+// topKMeanRows returns, per row, the mean of the k largest entries.
+func topKMeanRows(m *Dense, k int) []float64 {
+	if k > m.Cols {
+		k = m.Cols
+	}
+	out := make([]float64, m.Rows)
+	top := TopKRow(m, k)
+	for i, idx := range top {
+		var s float64
+		for _, j := range idx {
+			s += m.At(i, j)
+		}
+		out[i] = s / float64(len(idx))
+	}
+	return out
+}
+
+// WeightedSum returns Σ w[k]·ms[k] for equally-shaped matrices. It is the
+// feature-fusion combination step (§V, Feature Fusion with Adaptive Weight).
+func WeightedSum(ms []*Dense, w []float64) *Dense {
+	if len(ms) == 0 {
+		panic("mat: WeightedSum of no matrices")
+	}
+	if len(ms) != len(w) {
+		panic("mat: WeightedSum weight count mismatch")
+	}
+	out := NewDense(ms[0].Rows, ms[0].Cols)
+	for k, m := range ms {
+		checkSameShape(out, m)
+		out.AxpyInPlace(w[k], m)
+	}
+	return out
+}

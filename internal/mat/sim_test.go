@@ -1,0 +1,154 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ceaff/internal/rng"
+)
+
+func TestCosineSimSelf(t *testing.T) {
+	s := rng.New(51)
+	a := randomDense(s, 6, 4)
+	sim := CosineSim(a, a)
+	for i := 0; i < 6; i++ {
+		if !almostEqual(sim.At(i, i), 1, 1e-10) {
+			t.Fatalf("cos(x,x) = %v at %d", sim.At(i, i), i)
+		}
+	}
+}
+
+func TestCosineSimRange(t *testing.T) {
+	s := rng.New(53)
+	a := randomDense(s, 10, 5)
+	b := randomDense(s, 12, 5)
+	sim := CosineSim(a, b)
+	for _, v := range sim.Data {
+		if v < -1-1e-10 || v > 1+1e-10 {
+			t.Fatalf("cosine out of [-1,1]: %v", v)
+		}
+	}
+}
+
+func TestCosineSimOrthogonal(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}})
+	b := FromRows([][]float64{{0, 1}, {1, 0}, {-1, 0}})
+	sim := CosineSim(a, b)
+	if !almostEqual(sim.At(0, 0), 0, 1e-12) ||
+		!almostEqual(sim.At(0, 1), 1, 1e-12) ||
+		!almostEqual(sim.At(0, 2), -1, 1e-12) {
+		t.Fatalf("cosine = %v", sim.Row(0))
+	}
+}
+
+func TestCosineSimScaleInvariantQuick(t *testing.T) {
+	// Property: cosine similarity is invariant to positive row scaling.
+	f := func(seed uint16) bool {
+		s := rng.New(uint64(seed) + 777)
+		a := randomDense(s, 4, 6)
+		b := randomDense(s, 5, 6)
+		scaled := a.Clone()
+		for i := 0; i < scaled.Rows; i++ {
+			c := 0.1 + 5*s.Float64()
+			r := scaled.Row(i)
+			for j := range r {
+				r[j] *= c
+			}
+		}
+		s1 := CosineSim(a, b)
+		s2 := CosineSim(scaled, b)
+		for i := range s1.Data {
+			if math.Abs(s1.Data[i]-s2.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgmaxRowCol(t *testing.T) {
+	m := FromRows([][]float64{
+		{0.9, 0.6, 0.1},
+		{0.7, 0.5, 0.2},
+		{0.2, 0.2, 0.4},
+	})
+	rows := ArgmaxRow(m)
+	if rows[0] != 0 || rows[1] != 0 || rows[2] != 2 {
+		t.Fatalf("ArgmaxRow = %v", rows)
+	}
+	cols := ArgmaxCol(m)
+	if cols[0] != 0 || cols[1] != 0 || cols[2] != 2 {
+		t.Fatalf("ArgmaxCol = %v", cols)
+	}
+}
+
+func TestArgmaxTieBreaksLow(t *testing.T) {
+	m := FromRows([][]float64{{0.5, 0.5}})
+	if ArgmaxRow(m)[0] != 0 {
+		t.Fatal("row tie should break to lower index")
+	}
+	m2 := FromRows([][]float64{{0.5}, {0.5}})
+	if ArgmaxCol(m2)[0] != 0 {
+		t.Fatal("col tie should break to lower index")
+	}
+}
+
+func TestTopKRow(t *testing.T) {
+	m := FromRows([][]float64{{0.1, 0.9, 0.5, 0.7}})
+	top := TopKRow(m, 3)[0]
+	if top[0] != 1 || top[1] != 3 || top[2] != 2 {
+		t.Fatalf("TopKRow = %v", top)
+	}
+	all := TopKRow(m, 99)[0]
+	if len(all) != 4 {
+		t.Fatalf("TopKRow clamp failed: %v", all)
+	}
+}
+
+func TestRankOfColumn(t *testing.T) {
+	m := FromRows([][]float64{
+		{0.9, 0.6, 0.1}, // truth 0 => rank 1
+		{0.7, 0.5, 0.2}, // truth 1 => rank 2
+		{0.2, 0.2, 0.4}, // truth 2 => rank 1
+	})
+	ranks := RankOfColumn(m, []int{0, 1, 2})
+	want := []int{1, 2, 1}
+	for i, r := range ranks {
+		if r != want[i] {
+			t.Fatalf("ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestRankOfColumnTies(t *testing.T) {
+	// Equal scores: the lower column index outranks.
+	m := FromRows([][]float64{{0.5, 0.5}})
+	if r := RankOfColumn(m, []int{1})[0]; r != 2 {
+		t.Fatalf("tie rank = %d, want 2", r)
+	}
+	if r := RankOfColumn(m, []int{0})[0]; r != 1 {
+		t.Fatalf("tie rank = %d, want 1", r)
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{10, 20}})
+	got := WeightedSum([]*Dense{a, b}, []float64{0.5, 0.25})
+	if got.At(0, 0) != 3 || got.At(0, 1) != 6 {
+		t.Fatalf("WeightedSum = %v", got.Row(0))
+	}
+}
+
+func TestWeightedSumMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("weight count mismatch did not panic")
+		}
+	}()
+	WeightedSum([]*Dense{NewDense(1, 1)}, []float64{1, 2})
+}

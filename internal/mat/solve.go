@@ -1,0 +1,106 @@
+package mat
+
+import "fmt"
+
+// Solve returns X solving A·X = B by Gaussian elimination with partial
+// pivoting. A must be square and non-singular; B may have any number of
+// columns. A and B are not modified. It is used for the closed-form ridge
+// regression of the MTransE baseline's linear transform.
+func Solve(a, b *Dense) (*Dense, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("mat: Solve with non-square A (%dx%d)", a.Rows, a.Cols)
+	}
+	if b.Rows != n {
+		return nil, fmt.Errorf("mat: Solve dimension mismatch A %dx%d, B %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	// Augmented working copies.
+	lu := a.Clone()
+	x := b.Clone()
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := abs(lu.At(r, col)); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("mat: Solve with singular matrix (column %d)", col)
+		}
+		if pivot != col {
+			swapRows(lu, pivot, col)
+			swapRows(x, pivot, col)
+		}
+		// Eliminate below.
+		pv := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			lr := lu.Row(r)
+			lc := lu.Row(col)
+			for c := col; c < n; c++ {
+				lr[c] -= f * lc[c]
+			}
+			xr := x.Row(r)
+			xc := x.Row(col)
+			for c := range xr {
+				xr[c] -= f * xc[c]
+			}
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		pv := lu.At(col, col)
+		xr := x.Row(col)
+		for c := range xr {
+			xr[c] /= pv
+		}
+		for r := 0; r < col; r++ {
+			f := lu.At(r, col)
+			if f == 0 {
+				continue
+			}
+			dst := x.Row(r)
+			for c := range dst {
+				dst[c] -= f * xr[c]
+			}
+		}
+	}
+	return x, nil
+}
+
+// RidgeTransform returns the matrix M minimizing ‖U·M − V‖² + λ‖M‖²,
+// the closed-form linear alignment map used by the MTransE baseline
+// (seed source embeddings U, seed target embeddings V, rows are pairs).
+func RidgeTransform(u, v *Dense, lambda float64) (*Dense, error) {
+	if u.Rows != v.Rows {
+		return nil, fmt.Errorf("mat: RidgeTransform with %d source rows but %d target rows", u.Rows, v.Rows)
+	}
+	// Normal equations: (UᵀU + λI) M = Uᵀ V.
+	gram := TMul(u, u)
+	for i := 0; i < gram.Rows; i++ {
+		gram.Set(i, i, gram.At(i, i)+lambda)
+	}
+	rhs := TMul(u, v)
+	return Solve(gram, rhs)
+}
+
+func swapRows(m *Dense, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,146 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ceaff/internal/rng"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	eye := NewDense(3, 3)
+	for i := 0; i < 3; i++ {
+		eye.Set(i, i, 1)
+	}
+	b := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	x, err := Solve(eye, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Data {
+		if !almostEqual(x.Data[i], b.Data[i], 1e-12) {
+			t.Fatal("I·X = B should give X = B")
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1},
+		{1, 3},
+	})
+	b := FromRows([][]float64{{5}, {10}})
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+	if !almostEqual(x.At(0, 0), 1, 1e-10) || !almostEqual(x.At(1, 0), 3, 1e-10) {
+		t.Fatalf("solution %v", x.Data)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	a := FromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	b := FromRows([][]float64{{7}, {9}})
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x.At(0, 0), 9, 1e-12) || !almostEqual(x.At(1, 0), 7, 1e-12) {
+		t.Fatalf("pivoted solution %v", x.Data)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := Solve(a, NewDense(2, 1)); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(NewDense(2, 3), NewDense(2, 1)); err == nil {
+		t.Fatal("non-square A accepted")
+	}
+	if _, err := Solve(NewDense(2, 2), NewDense(3, 1)); err == nil {
+		t.Fatal("mismatched B accepted")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := FromRows([][]float64{{3, 1}, {1, 2}})
+	b := FromRows([][]float64{{1}, {1}})
+	ac, bc := a.Clone(), b.Clone()
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != ac.Data[i] {
+			t.Fatal("Solve mutated A")
+		}
+	}
+	for i := range b.Data {
+		if b.Data[i] != bc.Data[i] {
+			t.Fatal("Solve mutated B")
+		}
+	}
+}
+
+func TestSolveRoundTripQuick(t *testing.T) {
+	// Property: Solve(A, A·X) recovers X for well-conditioned random A.
+	f := func(seed uint16) bool {
+		s := rng.New(uint64(seed) + 271)
+		n := 2 + s.Intn(6)
+		a := randomDense(s, n, n)
+		// Diagonal dominance keeps A comfortably non-singular.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		want := randomDense(s, n, 3)
+		b := Mul(a, want)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want.Data {
+			if !almostEqual(got.Data[i], want.Data[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRidgeTransformRecoversMap(t *testing.T) {
+	// V = U·M with more rows than columns: ridge with tiny λ recovers M.
+	s := rng.New(12)
+	u := randomDense(s, 40, 6)
+	m := randomDense(s, 6, 6)
+	v := Mul(u, m)
+	got, err := RidgeTransform(u, v, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		if !almostEqual(got.Data[i], m.Data[i], 1e-6) {
+			t.Fatal("ridge did not recover the exact map")
+		}
+	}
+}
+
+func TestRidgeTransformMismatch(t *testing.T) {
+	if _, err := RidgeTransform(NewDense(3, 2), NewDense(4, 2), 0.1); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package mat
+
+import "fmt"
+
+// CSR is a compressed-sparse-row matrix. It is the storage for the GCN's
+// normalized adjacency Â, which on a KG with n entities and |T| triples has
+// O(n + |T|) non-zeros — dense storage would be O(n²).
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int     // len Rows+1
+	ColIdx     []int     // len nnz
+	Val        []float64 // len nnz
+}
+
+// COO is a coordinate-format triplet used while assembling a sparse matrix.
+type COO struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR assembles a CSR matrix from coordinate entries. Duplicate (row,
+// col) entries are summed, matching the semantics of assembling an adjacency
+// matrix from parallel edges.
+func NewCSR(rows, cols int, entries []COO) *CSR {
+	// Coalesce duplicates first.
+	type key struct{ r, c int }
+	acc := make(map[key]float64, len(entries))
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("mat: COO entry (%d,%d) out of %dx%d", e.Row, e.Col, rows, cols))
+		}
+		acc[key{e.Row, e.Col}] += e.Val
+	}
+	counts := make([]int, rows)
+	for k := range acc {
+		counts[k.r]++
+	}
+	rowPtr := make([]int, rows+1)
+	for i := 0; i < rows; i++ {
+		rowPtr[i+1] = rowPtr[i] + counts[i]
+	}
+	nnz := rowPtr[rows]
+	colIdx := make([]int, nnz)
+	val := make([]float64, nnz)
+	next := make([]int, rows)
+	copy(next, rowPtr[:rows])
+	for k, v := range acc {
+		p := next[k.r]
+		colIdx[p] = k.c
+		val[p] = v
+		next[k.r]++
+	}
+	// Sort columns within each row for deterministic iteration.
+	for i := 0; i < rows; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		insertionSortPair(colIdx[lo:hi], val[lo:hi])
+	}
+	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+func insertionSortPair(idx []int, val []float64) {
+	for i := 1; i < len(idx); i++ {
+		ci, vi := idx[i], val[i]
+		j := i - 1
+		for j >= 0 && idx[j] > ci {
+			idx[j+1], val[j+1] = idx[j], val[j]
+			j--
+		}
+		idx[j+1], val[j+1] = ci, vi
+	}
+}
+
+// NNZ returns the number of stored non-zeros.
+func (s *CSR) NNZ() int { return len(s.Val) }
+
+// MulDense returns s·d for dense d, parallelized across sparse rows. This is
+// the GCN propagation step Â·H.
+func (s *CSR) MulDense(d *Dense) *Dense {
+	if s.Cols != d.Rows {
+		panic(fmt.Sprintf("mat: CSR mul dimension mismatch %dx%d · %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
+	}
+	out := NewDense(s.Rows, d.Cols)
+	parallelRows(s.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			or := out.Row(i)
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				v := s.Val[p]
+				dr := d.Row(s.ColIdx[p])
+				for j, dv := range dr {
+					or[j] += v * dv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// TMulDense returns sᵀ·d. The GCN backward pass needs Âᵀ·G; since our Â is
+// symmetric this equals MulDense, but the general form keeps the kernel
+// honest for non-symmetric propagation matrices (e.g. functionality-weighted
+// adjacency).
+func (s *CSR) TMulDense(d *Dense) *Dense {
+	if s.Rows != d.Rows {
+		panic(fmt.Sprintf("mat: CSR tmul dimension mismatch (%dx%d)ᵀ · %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
+	}
+	out := NewDense(s.Cols, d.Cols)
+	// Sequential over sparse rows: scattering into shared output rows from
+	// multiple goroutines would race.
+	for i := 0; i < s.Rows; i++ {
+		dr := d.Row(i)
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			v := s.Val[p]
+			or := out.Row(s.ColIdx[p])
+			for j, dv := range dr {
+				or[j] += v * dv
+			}
+		}
+	}
+	return out
+}
+
+// ToDense expands the sparse matrix; intended for tests on small inputs.
+func (s *CSR) ToDense() *Dense {
+	out := NewDense(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			out.Set(i, s.ColIdx[p], s.Val[p])
+		}
+	}
+	return out
+}

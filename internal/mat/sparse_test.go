@@ -1,0 +1,117 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ceaff/internal/rng"
+)
+
+func randomCOO(s *rng.Source, rows, cols, nnz int) []COO {
+	entries := make([]COO, nnz)
+	for i := range entries {
+		entries[i] = COO{Row: s.Intn(rows), Col: s.Intn(cols), Val: s.Norm()}
+	}
+	return entries
+}
+
+func TestCSRToDenseRoundTrip(t *testing.T) {
+	entries := []COO{{0, 1, 2}, {1, 0, 3}, {2, 2, -1}}
+	s := NewCSR(3, 3, entries)
+	d := s.ToDense()
+	if d.At(0, 1) != 2 || d.At(1, 0) != 3 || d.At(2, 2) != -1 || d.At(0, 0) != 0 {
+		t.Fatalf("round trip wrong: %v", d.Data)
+	}
+}
+
+func TestCSRDuplicatesSum(t *testing.T) {
+	s := NewCSR(2, 2, []COO{{0, 0, 1}, {0, 0, 2.5}})
+	if got := s.ToDense().At(0, 0); got != 3.5 {
+		t.Fatalf("duplicate sum = %v, want 3.5", got)
+	}
+	if s.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", s.NNZ())
+	}
+}
+
+func TestCSROutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range COO did not panic")
+		}
+	}()
+	NewCSR(2, 2, []COO{{2, 0, 1}})
+}
+
+func TestCSRMulDenseMatchesDense(t *testing.T) {
+	s := rng.New(31)
+	entries := randomCOO(s, 20, 15, 60)
+	sp := NewCSR(20, 15, entries)
+	d := randomDense(s, 15, 7)
+	got := sp.MulDense(d)
+	want := Mul(sp.ToDense(), d)
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-10) {
+			t.Fatal("sparse·dense differs from dense·dense")
+		}
+	}
+}
+
+func TestCSRTMulDenseMatchesDense(t *testing.T) {
+	s := rng.New(37)
+	entries := randomCOO(s, 20, 15, 60)
+	sp := NewCSR(20, 15, entries)
+	d := randomDense(s, 20, 7)
+	got := sp.TMulDense(d)
+	want := Mul(sp.ToDense().Transpose(), d)
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-10) {
+			t.Fatal("sparseᵀ·dense differs from denseᵀ·dense")
+		}
+	}
+}
+
+func TestCSRRowsSorted(t *testing.T) {
+	s := rng.New(41)
+	sp := NewCSR(10, 10, randomCOO(s, 10, 10, 40))
+	for i := 0; i < sp.Rows; i++ {
+		for p := sp.RowPtr[i] + 1; p < sp.RowPtr[i+1]; p++ {
+			if sp.ColIdx[p-1] >= sp.ColIdx[p] {
+				t.Fatalf("row %d columns not strictly sorted", i)
+			}
+		}
+	}
+}
+
+func TestCSRMulQuick(t *testing.T) {
+	// Property: CSR multiply agrees with the dense reference on arbitrary
+	// random sparse matrices.
+	f := func(seed uint16) bool {
+		s := rng.New(uint64(seed) + 12345)
+		rows, cols := 3+s.Intn(12), 3+s.Intn(12)
+		sp := NewCSR(rows, cols, randomCOO(s, rows, cols, rows*2))
+		d := randomDense(s, cols, 4)
+		got := sp.MulDense(d)
+		want := Mul(sp.ToDense(), d)
+		for i := range want.Data {
+			if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSREmpty(t *testing.T) {
+	sp := NewCSR(3, 3, nil)
+	if sp.NNZ() != 0 {
+		t.Fatal("empty CSR has non-zeros")
+	}
+	out := sp.MulDense(NewDense(3, 2))
+	if out.FrobeniusNorm() != 0 {
+		t.Fatal("empty CSR multiply non-zero")
+	}
+}

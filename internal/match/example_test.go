@@ -1,0 +1,50 @@
+package match_test
+
+import (
+	"fmt"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/match"
+)
+
+// The similarity matrix of the paper's Figure 1: independent (greedy)
+// decisions assign two sources to the same target, while stable matching
+// recovers the correct one-to-one alignment.
+func ExampleDeferredAcceptance() {
+	sim := mat.FromRows([][]float64{
+		{0.9, 0.6, 0.1},
+		{0.7, 0.5, 0.2},
+		{0.2, 0.4, 0.2},
+	})
+	fmt.Println("greedy:    ", match.Greedy(sim))
+	fmt.Println("collective:", match.DeferredAcceptance(sim))
+	// Output:
+	// greedy:     [0 0 1]
+	// collective: [0 1 2]
+}
+
+func ExampleStable() {
+	sim := mat.FromRows([][]float64{
+		{0.9, 0.1},
+		{0.8, 0.2},
+	})
+	a := match.DeferredAcceptance(sim)
+	fmt.Println(match.Stable(sim, a))
+	// Swapping partners creates a blocking pair: source 0 and target 0
+	// prefer each other over their assigned partners.
+	fmt.Println(match.Stable(sim, match.Assignment{1, 0}))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleHungarian() {
+	sim := mat.FromRows([][]float64{
+		{10, 5},
+		{9, 1},
+	})
+	a := match.Hungarian(sim)
+	fmt.Println(a, match.TotalWeight(sim, a))
+	// Output:
+	// [1 0] 14
+}

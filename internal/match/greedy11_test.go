@@ -1,0 +1,113 @@
+package match
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+func TestGreedyOneToOneFigure1(t *testing.T) {
+	// On the paper's Figure 1 matrix, greedy one-to-one also recovers the
+	// diagonal: (u1,v1) 0.9 first, then (u2,v2) 0.5 (since v1 is taken),
+	// then (u3,v3).
+	sim := figureMatrix()
+	a := GreedyOneToOne(sim)
+	for i, j := range a {
+		if i != j {
+			t.Fatalf("greedy 1-1 = %v, want identity", a)
+		}
+	}
+}
+
+func TestGreedyOneToOneNoConflicts(t *testing.T) {
+	sim := mat.FromRows([][]float64{
+		{0.9, 0.8},
+		{0.85, 0.1},
+	})
+	a := GreedyOneToOne(sim)
+	// (0,0) 0.9 first; (1,0) blocked; next free for row 1... (1,1) 0.1.
+	if a[0] != 0 || a[1] != 1 {
+		t.Fatalf("assignment %v", a)
+	}
+	if err := Validate(sim, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyOneToOnePerfectOnSquare(t *testing.T) {
+	s := rng.New(21)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + s.Intn(10)
+		sim := mat.NewDense(n, n)
+		for i := range sim.Data {
+			sim.Data[i] = s.Float64()
+		}
+		a := GreedyOneToOne(sim)
+		if err := Validate(sim, a); err != nil {
+			t.Fatal(err)
+		}
+		for i, j := range a {
+			if j == -1 {
+				t.Fatalf("square greedy 1-1 left %d unmatched", i)
+			}
+		}
+	}
+}
+
+func TestGreedyOneToOneRectangular(t *testing.T) {
+	s := rng.New(22)
+	sim := mat.NewDense(5, 3)
+	for i := range sim.Data {
+		sim.Data[i] = s.Float64()
+	}
+	a := GreedyOneToOne(sim)
+	matched := 0
+	for _, j := range a {
+		if j >= 0 {
+			matched++
+		}
+	}
+	if matched != 3 {
+		t.Fatalf("matched %d, want 3", matched)
+	}
+}
+
+func TestGreedyOneToOneFirstPairIsGlobalMax(t *testing.T) {
+	// Property: the globally largest cell is always matched.
+	f := func(seed uint16) bool {
+		s := rng.New(uint64(seed) + 51)
+		n := 2 + s.Intn(8)
+		sim := mat.NewDense(n, n)
+		for i := range sim.Data {
+			sim.Data[i] = s.Float64()
+		}
+		best := 0
+		for i, v := range sim.Data {
+			if v > sim.Data[best] {
+				best = i
+			}
+		}
+		bi, bj := best/n, best%n
+		a := GreedyOneToOne(sim)
+		return a[bi] == bj
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyOneToOneWeightAtMostHungarian(t *testing.T) {
+	s := rng.New(23)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + s.Intn(6)
+		sim := mat.NewDense(n, n)
+		for i := range sim.Data {
+			sim.Data[i] = s.Float64()
+		}
+		if TotalWeight(sim, GreedyOneToOne(sim)) > TotalWeight(sim, Hungarian(sim))+1e-9 {
+			t.Fatal("greedy 1-1 beat the optimal assignment")
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package match implements the EA decision-making strategies of the paper
+// (§VI): independent (greedy argmax) alignment as used by prior work, the
+// deferred acceptance algorithm (DAA, Gale–Shapley) that solves the stable
+// matching formulation CEAFF proposes, and — for the paper's Discussion —
+// the Hungarian algorithm solving the maximum-weight bipartite matching
+// alternative.
+//
+// All three consume a similarity matrix whose rows are source entities and
+// columns are target entities; larger values mean higher preference.
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"ceaff/internal/mat"
+)
+
+// Assignment maps each source row to a target column, or -1 if unmatched.
+type Assignment []int
+
+// Pairs converts an assignment to (source, target) index pairs, skipping
+// unmatched sources.
+func (a Assignment) Pairs() [][2]int {
+	var out [][2]int
+	for i, j := range a {
+		if j >= 0 {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// Greedy returns the independent EA decision of prior work: each source row
+// is matched to its argmax column, with no one-to-one constraint. Multiple
+// sources may share a target — exactly the failure mode of Example 1.
+func Greedy(sim *mat.Dense) Assignment {
+	return Assignment(mat.ArgmaxRow(sim))
+}
+
+// DeferredAcceptance runs the Gale–Shapley deferred acceptance algorithm
+// with sources proposing (§VI Solution). Preference lists are the rows
+// (for sources) and columns (for targets) of sim sorted descending; ties
+// break toward the lower index for determinism. When sim is rectangular,
+// min(rows, cols) matches are produced and leftover sources stay -1.
+//
+// The returned matching is stable: no source/target pair prefer each other
+// over their assigned partners (see Stable).
+func DeferredAcceptance(sim *mat.Dense) Assignment {
+	nSrc, nTgt := sim.Rows, sim.Cols
+	// Source preference lists, materialized lazily would complicate the
+	// round loop; for EA-size matrices full sorting is affordable and is
+	// exactly "preference lists constructed using fused similarity matrix".
+	prefs := mat.TopKRow(sim, nTgt)
+	next := make([]int, nSrc)       // next proposal index per source
+	engagedTo := make([]int, nTgt)  // current partner of each target, -1 if free
+	assignment := make([]int, nSrc) // current partner of each source, -1 if free
+	for j := range engagedTo {
+		engagedTo[j] = -1
+	}
+	for i := range assignment {
+		assignment[i] = -1
+	}
+
+	// Queue of free sources that still have targets to propose to.
+	queue := make([]int, 0, nSrc)
+	for i := 0; i < nSrc; i++ {
+		queue = append(queue, i)
+	}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for assignment[u] == -1 && next[u] < nTgt {
+			v := prefs[u][next[u]]
+			next[u]++
+			cur := engagedTo[v]
+			if cur == -1 {
+				engagedTo[v] = u
+				assignment[u] = v
+				continue
+			}
+			// Target v trades up if it strictly prefers u; ties keep the
+			// incumbent (lower-index tiebreak happens via proposal order).
+			if prefersTarget(sim, v, u, cur) {
+				engagedTo[v] = u
+				assignment[u] = v
+				assignment[cur] = -1
+				queue = append(queue, cur)
+			}
+		}
+	}
+	return assignment
+}
+
+// DeferredAcceptanceTopK runs deferred acceptance with preference lists
+// truncated to each source's k most-similar targets. On EA-scale inputs
+// this trades a small amount of recall (a source whose true match is
+// outside its top-k can end up unmatched, reported as -1) for much smaller
+// preference lists — the standard scalability lever for stable matching on
+// large candidate spaces. The result is stable with respect to the
+// truncated preferences.
+func DeferredAcceptanceTopK(sim *mat.Dense, k int) Assignment {
+	nSrc, nTgt := sim.Rows, sim.Cols
+	if k <= 0 || k >= nTgt {
+		return DeferredAcceptance(sim)
+	}
+	prefs := mat.TopKRow(sim, k)
+	next := make([]int, nSrc)
+	engagedTo := make([]int, nTgt)
+	assignment := make([]int, nSrc)
+	for j := range engagedTo {
+		engagedTo[j] = -1
+	}
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	queue := make([]int, 0, nSrc)
+	for i := 0; i < nSrc; i++ {
+		queue = append(queue, i)
+	}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for assignment[u] == -1 && next[u] < len(prefs[u]) {
+			v := prefs[u][next[u]]
+			next[u]++
+			cur := engagedTo[v]
+			if cur == -1 {
+				engagedTo[v] = u
+				assignment[u] = v
+				continue
+			}
+			if prefersTarget(sim, v, u, cur) {
+				engagedTo[v] = u
+				assignment[u] = v
+				assignment[cur] = -1
+				queue = append(queue, cur)
+			}
+		}
+	}
+	return assignment
+}
+
+// prefersTarget reports whether target v strictly prefers source a over
+// source b, with ties broken toward the lower source index.
+func prefersTarget(sim *mat.Dense, v, a, b int) bool {
+	sa, sb := sim.At(a, v), sim.At(b, v)
+	if sa != sb {
+		return sa > sb
+	}
+	return a < b
+}
+
+// GreedyOneToOne is a third collective strategy (the paper's conclusion
+// invites "other collective matching methods"): sort all (source, target)
+// cells by similarity descending and accept each pair whose source and
+// target are both still free. It enforces one-to-one like DAA but optimizes
+// greedily for high-scoring pairs instead of stability; ties break toward
+// lower indices.
+func GreedyOneToOne(sim *mat.Dense) Assignment {
+	type cell struct {
+		i, j int
+		v    float64
+	}
+	cells := make([]cell, 0, sim.Rows*sim.Cols)
+	for i := 0; i < sim.Rows; i++ {
+		row := sim.Row(i)
+		for j, v := range row {
+			cells = append(cells, cell{i, j, v})
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].v != cells[b].v {
+			return cells[a].v > cells[b].v
+		}
+		if cells[a].i != cells[b].i {
+			return cells[a].i < cells[b].i
+		}
+		return cells[a].j < cells[b].j
+	})
+	out := make(Assignment, sim.Rows)
+	for i := range out {
+		out[i] = -1
+	}
+	usedTarget := make([]bool, sim.Cols)
+	matched := 0
+	limit := sim.Rows
+	if sim.Cols < limit {
+		limit = sim.Cols
+	}
+	for _, c := range cells {
+		if matched == limit {
+			break
+		}
+		if out[c.i] != -1 || usedTarget[c.j] {
+			continue
+		}
+		out[c.i] = c.j
+		usedTarget[c.j] = true
+		matched++
+	}
+	return out
+}
+
+// BlockingPairs returns every (source, target) pair that blocks the given
+// matching: both strictly prefer each other to their current partners.
+// A stable matching returns an empty slice. Unmatched participants prefer
+// any partner to none.
+func BlockingPairs(sim *mat.Dense, a Assignment) [][2]int {
+	nSrc, nTgt := sim.Rows, sim.Cols
+	partnerOfTarget := make([]int, nTgt)
+	for j := range partnerOfTarget {
+		partnerOfTarget[j] = -1
+	}
+	for i, j := range a {
+		if j >= 0 {
+			partnerOfTarget[j] = i
+		}
+	}
+	var blocks [][2]int
+	for u := 0; u < nSrc; u++ {
+		for v := 0; v < nTgt; v++ {
+			if a[u] == v {
+				continue
+			}
+			// u strictly prefers v over current partner (or is unmatched).
+			uPrefers := a[u] == -1 || sim.At(u, v) > sim.At(u, a[u])
+			if !uPrefers {
+				continue
+			}
+			w := partnerOfTarget[v]
+			vPrefers := w == -1 || sim.At(u, v) > sim.At(w, v)
+			if vPrefers {
+				blocks = append(blocks, [2]int{u, v})
+			}
+		}
+	}
+	return blocks
+}
+
+// Stable reports whether the matching admits no blocking pair.
+func Stable(sim *mat.Dense, a Assignment) bool {
+	return len(BlockingPairs(sim, a)) == 0
+}
+
+// Hungarian solves maximum-weight bipartite matching on sim (§VI
+// Discussion: EA as an assignment problem). It returns an assignment
+// maximizing the total similarity. The implementation is the O(n³)
+// Jonker-style shortest augmenting path algorithm on the cost matrix
+// c = max(sim) − sim, padded square.
+func Hungarian(sim *mat.Dense) Assignment {
+	n := sim.Rows
+	m := sim.Cols
+	size := n
+	if m > size {
+		size = m
+	}
+	// Build a square cost matrix; padding entries cost the matrix maximum
+	// so real pairs are always preferred.
+	var maxVal float64
+	for _, v := range sim.Data {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	cost := make([][]float64, size)
+	for i := range cost {
+		cost[i] = make([]float64, size)
+		for j := range cost[i] {
+			if i < n && j < m {
+				cost[i][j] = maxVal - sim.At(i, j)
+			} else {
+				cost[i][j] = maxVal
+			}
+		}
+	}
+
+	// Standard potentials-based Hungarian (1-indexed internals).
+	u := make([]float64, size+1)
+	v := make([]float64, size+1)
+	p := make([]int, size+1) // p[j] = row matched to column j
+	way := make([]int, size+1)
+	const inf = 1e18
+	for i := 1; i <= size; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, size+1)
+		used := make([]bool, size+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= size; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= size; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	out := make(Assignment, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for j := 1; j <= size; j++ {
+		if i := p[j]; i >= 1 && i <= n && j <= m {
+			out[i-1] = j - 1
+		}
+	}
+	return out
+}
+
+// TotalWeight sums sim over the matched pairs of a.
+func TotalWeight(sim *mat.Dense, a Assignment) float64 {
+	var s float64
+	for i, j := range a {
+		if j >= 0 {
+			s += sim.At(i, j)
+		}
+	}
+	return s
+}
+
+// Validate checks an assignment's structural invariants against sim:
+// indices in range and no target matched twice. It returns a descriptive
+// error for the first violation.
+func Validate(sim *mat.Dense, a Assignment) error {
+	if len(a) != sim.Rows {
+		return fmt.Errorf("match: assignment length %d, want %d rows", len(a), sim.Rows)
+	}
+	seen := make(map[int]int)
+	for i, j := range a {
+		if j == -1 {
+			continue
+		}
+		if j < 0 || j >= sim.Cols {
+			return fmt.Errorf("match: source %d assigned out-of-range target %d", i, j)
+		}
+		if prev, ok := seen[j]; ok {
+			return fmt.Errorf("match: target %d assigned to both %d and %d", j, prev, i)
+		}
+		seen[j] = i
+	}
+	return nil
+}
+
+// RankedTargets returns the full descending-preference list of targets for
+// source row i — the ranked candidate list that independent EA methods
+// output and Table VI evaluates with Hits@k/MRR.
+func RankedTargets(sim *mat.Dense, i int) []int {
+	row := sim.Row(i)
+	idx := make([]int, len(row))
+	for j := range idx {
+		idx[j] = j
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if row[idx[a]] != row[idx[b]] {
+			return row[idx[a]] > row[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}

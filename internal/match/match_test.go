@@ -1,0 +1,292 @@
+package match
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+// figureMatrix is the fused similarity matrix of the paper's Figure 1/4:
+// rows u1..u3, columns v1..v3.
+func figureMatrix() *mat.Dense {
+	return mat.FromRows([][]float64{
+		{0.9, 0.6, 0.1},
+		{0.7, 0.5, 0.2},
+		{0.2, 0.4, 0.2},
+	})
+}
+
+// TestFigure1IndependentVsCollective re-enacts Example 1: greedy alignment
+// produces the mismatches (u2,v1) and (u3,v2); collective alignment via DAA
+// recovers the correct diagonal.
+func TestFigure1IndependentVsCollective(t *testing.T) {
+	sim := figureMatrix()
+	greedy := Greedy(sim)
+	if greedy[0] != 0 || greedy[1] != 0 || greedy[2] != 1 {
+		t.Fatalf("greedy = %v, want [0 0 1] as in the paper", greedy)
+	}
+	daa := DeferredAcceptance(sim)
+	for i, j := range daa {
+		if i != j {
+			t.Fatalf("DAA = %v, want the identity matching", daa)
+		}
+	}
+}
+
+// TestFigure4DAARounds checks the narrated rounds of Figure 4: u1 and u2
+// both want v1; v1 keeps u1; u2 then displaces u3 from v2; u3 ends at v3.
+func TestFigure4DAARounds(t *testing.T) {
+	sim := figureMatrix()
+	a := DeferredAcceptance(sim)
+	want := Assignment{0, 1, 2}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("DAA final matching = %v, want %v", a, want)
+		}
+	}
+	if !Stable(sim, a) {
+		t.Fatal("Figure 4 matching not stable")
+	}
+}
+
+func TestGreedyAllowsConflicts(t *testing.T) {
+	sim := mat.FromRows([][]float64{{1, 0}, {1, 0}})
+	g := Greedy(sim)
+	if g[0] != 0 || g[1] != 0 {
+		t.Fatalf("greedy = %v", g)
+	}
+	if err := Validate(sim, g); err == nil {
+		t.Fatal("Validate should flag duplicated target")
+	}
+}
+
+func TestDAAPerfectAndStableSquare(t *testing.T) {
+	s := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + s.Intn(12)
+		sim := mat.NewDense(n, n)
+		for i := range sim.Data {
+			sim.Data[i] = s.Float64()
+		}
+		a := DeferredAcceptance(sim)
+		if err := Validate(sim, a); err != nil {
+			t.Fatal(err)
+		}
+		for i, j := range a {
+			if j == -1 {
+				t.Fatalf("square DAA left source %d unmatched", i)
+			}
+		}
+		if bps := BlockingPairs(sim, a); len(bps) != 0 {
+			t.Fatalf("blocking pairs %v in DAA result", bps)
+		}
+	}
+}
+
+func TestDAARectangular(t *testing.T) {
+	// More sources than targets: exactly nTgt sources match.
+	s := rng.New(6)
+	sim := mat.NewDense(6, 3)
+	for i := range sim.Data {
+		sim.Data[i] = s.Float64()
+	}
+	a := DeferredAcceptance(sim)
+	if err := Validate(sim, a); err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for _, j := range a {
+		if j >= 0 {
+			matched++
+		}
+	}
+	if matched != 3 {
+		t.Fatalf("matched %d sources, want 3", matched)
+	}
+	if !Stable(sim, a) {
+		t.Fatal("rectangular DAA result unstable")
+	}
+
+	// More targets than sources: every source matches.
+	sim2 := mat.NewDense(3, 6)
+	for i := range sim2.Data {
+		sim2.Data[i] = s.Float64()
+	}
+	a2 := DeferredAcceptance(sim2)
+	for i, j := range a2 {
+		if j == -1 {
+			t.Fatalf("source %d unmatched with surplus targets", i)
+		}
+	}
+	if !Stable(sim2, a2) {
+		t.Fatal("wide DAA result unstable")
+	}
+}
+
+func TestDAAStabilityQuick(t *testing.T) {
+	// Property: DAA output is always stable and one-to-one on random
+	// matrices, including ties (quantized values).
+	f := func(seed uint16, quantize bool) bool {
+		s := rng.New(uint64(seed) + 31)
+		rows, cols := 1+s.Intn(10), 1+s.Intn(10)
+		sim := mat.NewDense(rows, cols)
+		for i := range sim.Data {
+			v := s.Float64()
+			if quantize {
+				v = float64(int(v*4)) / 4 // force ties
+			}
+			sim.Data[i] = v
+		}
+		a := DeferredAcceptance(sim)
+		return Validate(sim, a) == nil && Stable(sim, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHungarianSmall(t *testing.T) {
+	sim := mat.FromRows([][]float64{
+		{10, 5, 1},
+		{5, 10, 1},
+		{1, 1, 10},
+	})
+	a := Hungarian(sim)
+	for i, j := range a {
+		if i != j {
+			t.Fatalf("Hungarian = %v, want identity", a)
+		}
+	}
+	if TotalWeight(sim, a) != 30 {
+		t.Fatalf("weight = %v", TotalWeight(sim, a))
+	}
+}
+
+func TestHungarianBeatsGreedyOnFigure(t *testing.T) {
+	sim := figureMatrix()
+	a := Hungarian(sim)
+	// Identity is the maximum-weight perfect matching here: 0.9+0.5+0.2=1.6.
+	want := Assignment{0, 1, 2}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("Hungarian = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestHungarianOptimalQuick(t *testing.T) {
+	// Property: on small square matrices, Hungarian matches brute force.
+	f := func(seed uint16) bool {
+		s := rng.New(uint64(seed) + 97)
+		n := 2 + s.Intn(4) // up to 5x5: 120 permutations
+		sim := mat.NewDense(n, n)
+		for i := range sim.Data {
+			sim.Data[i] = s.Float64()
+		}
+		a := Hungarian(sim)
+		if Validate(sim, a) != nil {
+			return false
+		}
+		best := bruteForceMax(sim)
+		return TotalWeight(sim, a) >= best-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteForceMax(sim *mat.Dense) float64 {
+	n := sim.Rows
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var best float64
+	var rec func(i int, cur float64)
+	used := make([]bool, n)
+	rec = func(i int, cur float64) {
+		if i == n {
+			if cur > best {
+				best = cur
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				rec(i+1, cur+sim.At(i, j))
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestHungarianRectangular(t *testing.T) {
+	sim := mat.FromRows([][]float64{
+		{1, 9},
+		{9, 1},
+		{5, 5},
+	})
+	a := Hungarian(sim)
+	if err := Validate(sim, a); err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for _, j := range a {
+		if j >= 0 {
+			matched++
+		}
+	}
+	if matched != 2 {
+		t.Fatalf("matched %d, want 2", matched)
+	}
+	if a[0] != 1 || a[1] != 0 {
+		t.Fatalf("Hungarian rectangular = %v", a)
+	}
+}
+
+func TestHungarianWeightAtLeastDAA(t *testing.T) {
+	// Hungarian maximizes total weight; DAA optimizes stability. On any
+	// square matrix, Hungarian's weight must be >= DAA's.
+	s := rng.New(8)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + s.Intn(10)
+		sim := mat.NewDense(n, n)
+		for i := range sim.Data {
+			sim.Data[i] = s.Float64()
+		}
+		if TotalWeight(sim, Hungarian(sim)) < TotalWeight(sim, DeferredAcceptance(sim))-1e-9 {
+			t.Fatal("Hungarian produced less total weight than DAA")
+		}
+	}
+}
+
+func TestRankedTargets(t *testing.T) {
+	sim := mat.FromRows([][]float64{{0.2, 0.9, 0.5}})
+	r := RankedTargets(sim, 0)
+	if r[0] != 1 || r[1] != 2 || r[2] != 0 {
+		t.Fatalf("RankedTargets = %v", r)
+	}
+}
+
+func TestAssignmentPairs(t *testing.T) {
+	a := Assignment{2, -1, 0}
+	p := a.Pairs()
+	if len(p) != 2 || p[0] != [2]int{0, 2} || p[1] != [2]int{2, 0} {
+		t.Fatalf("Pairs = %v", p)
+	}
+}
+
+func TestValidateLengthMismatch(t *testing.T) {
+	sim := mat.NewDense(3, 3)
+	if err := Validate(sim, Assignment{0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := Validate(sim, Assignment{0, 1, 7}); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}

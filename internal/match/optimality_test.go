@@ -1,0 +1,88 @@
+package match
+
+import (
+	"testing"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+// allStableMatchings brute-forces every perfect matching of a small square
+// instance and returns the stable ones.
+func allStableMatchings(sim *mat.Dense) []Assignment {
+	n := sim.Rows
+	var out []Assignment
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			a := make(Assignment, n)
+			copy(a, perm)
+			if Stable(sim, a) {
+				out = append(out, a)
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				perm[i] = j
+				rec(i + 1)
+				used[j] = false
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// TestDAASourceOptimal verifies the classic Gale–Shapley guarantee: with
+// sources proposing, every source receives its most-preferred partner over
+// ALL stable matchings. This is the strongest correctness property of the
+// paper's chosen solver.
+func TestDAASourceOptimal(t *testing.T) {
+	s := rng.New(77)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + s.Intn(4) // up to 5x5 (120 permutations)
+		sim := mat.NewDense(n, n)
+		for i := range sim.Data {
+			sim.Data[i] = s.Float64()
+		}
+		stable := allStableMatchings(sim)
+		if len(stable) == 0 {
+			t.Fatal("no stable matching exists — impossible for complete preferences")
+		}
+		daa := DeferredAcceptance(sim)
+		for u := 0; u < n; u++ {
+			for _, other := range stable {
+				if sim.At(u, other[u]) > sim.At(u, daa[u])+1e-12 {
+					t.Fatalf("trial %d: source %d prefers stable partner %d (%.3f) over DAA's %d (%.3f)",
+						trial, u, other[u], sim.At(u, other[u]), daa[u], sim.At(u, daa[u]))
+				}
+			}
+		}
+	}
+}
+
+// TestDAAMatchesUniqueStable checks instances with a single stable
+// matching: DAA must return exactly it.
+func TestDAAMatchesUniqueStable(t *testing.T) {
+	// Aligned preferences: everyone agrees on the diagonal ordering, so
+	// the diagonal is the unique stable matching.
+	sim := mat.FromRows([][]float64{
+		{0.9, 0.1, 0.1},
+		{0.1, 0.8, 0.1},
+		{0.1, 0.1, 0.7},
+	})
+	stable := allStableMatchings(sim)
+	if len(stable) != 1 {
+		t.Fatalf("expected unique stable matching, got %d", len(stable))
+	}
+	daa := DeferredAcceptance(sim)
+	for i := range daa {
+		if daa[i] != stable[0][i] {
+			t.Fatalf("DAA %v != unique stable %v", daa, stable[0])
+		}
+	}
+}

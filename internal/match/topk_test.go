@@ -1,0 +1,76 @@
+package match
+
+import (
+	"testing"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+func TestDeferredAcceptanceTopKFullEqualsPlain(t *testing.T) {
+	s := rng.New(9)
+	sim := mat.NewDense(8, 8)
+	for i := range sim.Data {
+		sim.Data[i] = s.Float64()
+	}
+	full := DeferredAcceptance(sim)
+	for _, k := range []int{0, 8, 99} {
+		got := DeferredAcceptanceTopK(sim, k)
+		for i := range full {
+			if got[i] != full[i] {
+				t.Fatalf("k=%d diverges from full DAA", k)
+			}
+		}
+	}
+}
+
+func TestDeferredAcceptanceTopKValidAndMostlyMatched(t *testing.T) {
+	s := rng.New(10)
+	sim := mat.NewDense(30, 30)
+	for i := range sim.Data {
+		sim.Data[i] = s.Float64()
+	}
+	a := DeferredAcceptanceTopK(sim, 5)
+	if err := Validate(sim, a); err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for _, j := range a {
+		if j >= 0 {
+			matched++
+		}
+	}
+	if matched < 15 {
+		t.Fatalf("only %d/30 matched with k=5", matched)
+	}
+}
+
+func TestDeferredAcceptanceTopKHonorsClearSignal(t *testing.T) {
+	// A strong diagonal survives truncation to k=1.
+	n := 10
+	sim := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sim.Set(i, j, 0.1)
+		}
+		sim.Set(i, i, 0.9)
+	}
+	a := DeferredAcceptanceTopK(sim, 1)
+	for i, j := range a {
+		if i != j {
+			t.Fatalf("k=1 broke a clean diagonal: %v", a)
+		}
+	}
+}
+
+func TestDeferredAcceptanceTopKCanLeaveUnmatched(t *testing.T) {
+	// Both sources only list target 0; the loser stays unmatched.
+	sim := mat.FromRows([][]float64{
+		{0.9, 0.1},
+		{0.8, 0.2},
+	})
+	a := DeferredAcceptanceTopK(sim, 1)
+	if a[0] != 0 || a[1] != -1 {
+		t.Fatalf("assignment %v, want [0 -1]", a)
+	}
+}

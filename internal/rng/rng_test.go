@@ -1,0 +1,193 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws", same)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first draws")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) returned %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) covered only %d values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(9)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestTruncNormBounds(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 50000; i++ {
+		v := s.TruncNorm()
+		if v < -2 || v > 2 {
+			t.Fatalf("TruncNorm out of [-2,2]: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestChoiceDistinct(t *testing.T) {
+	s := New(19)
+	for trial := 0; trial < 100; trial++ {
+		c := s.Choice(20, 5)
+		if len(c) != 5 {
+			t.Fatalf("Choice length %d", len(c))
+		}
+		seen := map[int]bool{}
+		for _, v := range c {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("Choice invalid: %v", c)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestChoicePanicsWhenKTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choice(2,3) did not panic")
+		}
+	}()
+	New(1).Choice(2, 3)
+}
+
+func TestHashStringStable(t *testing.T) {
+	if HashString("entity") != HashString("entity") {
+		t.Fatal("HashString not deterministic")
+	}
+	if HashString("a") == HashString("b") {
+		t.Fatal("HashString trivially collides")
+	}
+}
+
+func TestHashStringQuick(t *testing.T) {
+	// Property: equal inputs hash equal; hashing is pure.
+	f := func(s string) bool { return HashString(s) == HashString(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	s := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum2 := 0
+	for _, v := range xs {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed multiset: %v", xs)
+	}
+}

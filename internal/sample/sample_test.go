@@ -1,0 +1,193 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"ceaff/internal/bench"
+	"ceaff/internal/kg"
+	"ceaff/internal/rng"
+)
+
+// powerLawKG generates a preferential-attachment graph via the bench
+// generator (reusing its tested backbone code).
+func powerLawKG(t *testing.T, n int) *kg.KG {
+	t.Helper()
+	spec := bench.HardMonoSpec(1)
+	spec.NumPairs = n
+	spec.Seed = 5
+	d, err := bench.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.G1
+}
+
+func TestPageRankBasics(t *testing.T) {
+	g := kg.New("g")
+	hub := g.AddEntity("hub")
+	r := g.AddRelation("r")
+	for i := 0; i < 10; i++ {
+		leaf := g.AddEntity("leaf" + string(rune('a'+i)))
+		g.AddTriple(leaf, r, hub)
+	}
+	pr := PageRank(g, 0.85, 40)
+	var sum float64
+	for _, v := range pr {
+		if v <= 0 {
+			t.Fatalf("non-positive PageRank %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PageRank sums to %v", sum)
+	}
+	for i := 1; i < g.NumEntities(); i++ {
+		if pr[hub] <= pr[i] {
+			t.Fatalf("hub rank %v not above leaf %v", pr[hub], pr[i])
+		}
+	}
+}
+
+func TestPageRankEmptyAndDangling(t *testing.T) {
+	if PageRank(kg.New("empty"), 0.85, 10) != nil {
+		t.Fatal("empty KG should return nil")
+	}
+	// All-isolated entities: uniform ranks.
+	g := kg.New("iso")
+	g.AddEntity("a")
+	g.AddEntity("b")
+	pr := PageRank(g, 0.85, 10)
+	if math.Abs(pr[0]-pr[1]) > 1e-12 {
+		t.Fatalf("isolated ranks differ: %v", pr)
+	}
+}
+
+func TestSampleSizeAndValidity(t *testing.T) {
+	g := powerLawKG(t, 800)
+	sub, ids, err := Sample(g, 200, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumEntities() != 200 || len(ids) != 200 {
+		t.Fatalf("sampled %d entities, want 200", sub.NumEntities())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Names preserved and IDs map back.
+	for i, orig := range ids {
+		if sub.EntityName(kg.EntityID(i)) != g.EntityName(orig) {
+			t.Fatalf("entity %d name mismatch", i)
+		}
+	}
+	// Induced subgraph: every sampled triple exists in the original.
+	origSet := map[[3]string]bool{}
+	for _, tr := range g.Triples {
+		origSet[[3]string{g.EntityName(tr.Head), g.RelationName(tr.Relation), g.EntityName(tr.Tail)}] = true
+	}
+	for _, tr := range sub.Triples {
+		key := [3]string{sub.EntityName(tr.Head), sub.RelationName(tr.Relation), sub.EntityName(tr.Tail)}
+		if !origSet[key] {
+			t.Fatalf("sampled triple %v not in original", key)
+		}
+	}
+}
+
+func TestSampleDegreeDistributionPreserved(t *testing.T) {
+	g := powerLawKG(t, 1000)
+	sub, _, err := Sample(g, 300, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks := NormalizedDegreeKS(g.Degrees(), sub.Degrees()); ks > 0.3 {
+		t.Fatalf("normalized degree K-S %.3f exceeds the SRPRS-style budget", ks)
+	}
+}
+
+func TestSampleFavorsProminentEntities(t *testing.T) {
+	// Stratified quotas keep the degree mix proportional, so prominence
+	// bias appears *within* strata: among same-degree entities, the walk
+	// reaches (and keeps) the better-connected ones first. Compare mean
+	// PageRank of kept vs unkept entities within the most populous stratum.
+	g := powerLawKG(t, 800)
+	pr := PageRank(g, 0.85, 30)
+	_, ids, err := Sample(g, 200, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := map[kg.EntityID]bool{}
+	for _, id := range ids {
+		kept[id] = true
+	}
+	buckets := stratify(g.Degrees(), 8)
+	largest := 0
+	for b := range buckets {
+		if len(buckets[b]) > len(buckets[largest]) {
+			largest = b
+		}
+	}
+	var keptSum, unkeptSum float64
+	keptN, unkeptN := 0, 0
+	for _, id := range buckets[largest] {
+		if kept[kg.EntityID(id)] {
+			keptSum += pr[id]
+			keptN++
+		} else {
+			unkeptSum += pr[id]
+			unkeptN++
+		}
+	}
+	if keptN == 0 || unkeptN == 0 {
+		t.Skip("stratum fully kept or fully dropped; nothing to compare")
+	}
+	if keptSum/float64(keptN) < unkeptSum/float64(unkeptN) {
+		t.Fatalf("kept mean PR %.2e below unkept %.2e within the largest stratum",
+			keptSum/float64(keptN), unkeptSum/float64(unkeptN))
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	g := powerLawKG(t, 100)
+	if _, _, err := Sample(g, 0, DefaultOptions()); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, _, err := Sample(g, 101, DefaultOptions()); err == nil {
+		t.Error("oversized target accepted")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	g := powerLawKG(t, 400)
+	opt := DefaultOptions()
+	_, ids1, err := Sample(g, 100, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ids2, err := Sample(g, 100, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestStratifyCoversAll(t *testing.T) {
+	degrees := []int{0, 1, 1, 2, 4, 8, 16, 100}
+	buckets := stratify(degrees, 4)
+	count := 0
+	for _, b := range buckets {
+		count += len(b)
+	}
+	if count != len(degrees) {
+		t.Fatalf("stratify lost entities: %d of %d", count, len(degrees))
+	}
+	s := rng.New(1)
+	keep := selectStratified(buckets, []float64{1, 1, 1, 1, 1, 1, 1, 1}, 4, s)
+	if len(keep) != 4 {
+		t.Fatalf("selected %d, want 4", len(keep))
+	}
+}

@@ -1,0 +1,25 @@
+package strsim_test
+
+import (
+	"fmt"
+
+	"ceaff/internal/strsim"
+)
+
+func ExampleRatio() {
+	// The paper's §IV-C motivation: with substitution cost 2, two
+	// completely different single characters get ratio 0, not 0.5.
+	fmt.Println(strsim.Ratio("a", "c"))
+	fmt.Printf("%.3f\n", strsim.Ratio("london", "londres"))
+	// Output:
+	// 0
+	// 0.615
+}
+
+func ExampleDistance() {
+	fmt.Println(strsim.Distance("kitten", "sitting"))
+	fmt.Println(strsim.DistanceSub2("kitten", "sitting"))
+	// Output:
+	// 3
+	// 5
+}

@@ -1,0 +1,162 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"a", "c", 1},
+		{"book", "back", 2},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSub2(t *testing.T) {
+	// Substitution costs 2, so 'a'->'c' is distance 2 (delete + insert).
+	if got := DistanceSub2("a", "c"); got != 2 {
+		t.Fatalf("DistanceSub2(a,c) = %d, want 2", got)
+	}
+	// Pure insertions unchanged.
+	if got := DistanceSub2("ab", "axb"); got != 1 {
+		t.Fatalf("DistanceSub2(ab,axb) = %d, want 1", got)
+	}
+	if got := DistanceSub2("kitten", "sitting"); got != 5 {
+		// 2 substitutions (k->s, e->i) at cost 2 each + 1 insertion.
+		t.Fatalf("DistanceSub2(kitten,sitting) = %d, want 5", got)
+	}
+}
+
+func TestDistanceUnicodeRunes(t *testing.T) {
+	// Multi-byte characters count as single edits.
+	if got := Distance("中国", "中學"); got != 1 {
+		t.Fatalf("Distance(中国,中學) = %d, want 1", got)
+	}
+	if got := Distance("日本", "日本"); got != 0 {
+		t.Fatalf("identical CJK distance = %d", got)
+	}
+}
+
+func TestRatioPaperMotivation(t *testing.T) {
+	// The paper's §IV-C example: with lev, ratio('a','c') would be 0.5;
+	// with lev* it is 0 — "evidently the latter is more reasonable".
+	if got := Ratio("a", "c"); got != 0 {
+		t.Fatalf("Ratio(a,c) = %v, want 0", got)
+	}
+}
+
+func TestRatioBounds(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"same", "same", 1},
+		{"abc", "xyz", 0},
+		{"ab", "abcd", (2 + 4 - 2.0) / 6},
+	}
+	for _, c := range cases {
+		if got := Ratio(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Ratio(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSymmetryQuick(t *testing.T) {
+	f := func(a, b string) bool {
+		return Distance(a, b) == Distance(b, a) && DistanceSub2(a, b) == DistanceSub2(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequalityQuick(t *testing.T) {
+	f := func(a, b, c string) bool {
+		// Truncate to keep the O(len²) DP cheap under quick's defaults.
+		trim := func(s string) string {
+			r := []rune(s)
+			if len(r) > 24 {
+				r = r[:24]
+			}
+			return string(r)
+		}
+		a, b, c = trim(a), trim(b), trim(c)
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioRangeQuick(t *testing.T) {
+	f := func(a, b string) bool {
+		r := Ratio(a, b)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioIdentityQuick(t *testing.T) {
+	f := func(a string) bool { return Ratio(a, a) == 1 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	src := []string{"paris", "london"}
+	tgt := []string{"paris", "londres", "berlin"}
+	m := Matrix(src, tgt)
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("Matrix shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(0, 0) != 1 {
+		t.Fatalf("Matrix identical ratio = %v", m.At(0, 0))
+	}
+	if got, want := m.At(1, 1), Ratio("london", "londres"); got != want {
+		t.Fatalf("Matrix(1,1) = %v, want %v", got, want)
+	}
+	// Correct target should outscore an unrelated one.
+	if m.At(1, 1) <= m.At(1, 2) {
+		t.Fatal("london~londres should beat london~berlin")
+	}
+}
+
+func TestMatrixLargeParallel(t *testing.T) {
+	// Exercise the parallel path (>=64 rows) and cross-check a sample
+	// against the scalar Ratio.
+	src := make([]string, 100)
+	tgt := make([]string, 50)
+	for i := range src {
+		src[i] = "entity_" + string(rune('a'+i%26)) + string(rune('0'+i%10))
+	}
+	for j := range tgt {
+		tgt[j] = "entity_" + string(rune('a'+j%26))
+	}
+	m := Matrix(src, tgt)
+	for i := 0; i < len(src); i += 13 {
+		for j := 0; j < len(tgt); j += 7 {
+			if got, want := m.At(i, j), Ratio(src[i], tgt[j]); got != want {
+				t.Fatalf("parallel Matrix(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}

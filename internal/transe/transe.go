@@ -1,0 +1,189 @@
+// Package transe implements the TransE knowledge-graph embedding model
+// (Bordes et al.), the substrate under the paper's MTransE / IPTransE /
+// BootEA / JAPE baseline family. Triples (h, r, t) are modelled as
+// translations h + r ≈ t; training minimizes the margin ranking loss
+//
+//	Σ_{(h,r,t)} Σ_{(h',r,t')} [ ‖h + r − t‖₁ − ‖h' + r − t'‖₁ + γ ]₊
+//
+// over corrupted triples (one side replaced by a random entity), with SGD
+// updates and per-epoch entity re-normalization, as in the original paper.
+package transe
+
+import (
+	"fmt"
+	"math"
+
+	"ceaff/internal/kg"
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+// Config controls TransE training.
+type Config struct {
+	Dim          int
+	Epochs       int
+	LearningRate float64
+	Margin       float64
+	Negatives    int
+	Seed         uint64
+	// InitScale is the norm of the initial entity embeddings. Small values
+	// start entities near the origin so their final positions are
+	// determined by their relational constraints rather than by their
+	// random starting points — which is what makes the two copies of an
+	// unanchored entity land in similar places in a shared space.
+	InitScale float64
+}
+
+// DefaultConfig returns settings adequate for the scaled synthetic KGs.
+func DefaultConfig() Config {
+	return Config{Dim: 48, Epochs: 60, LearningRate: 0.05, Margin: 2, Negatives: 2, Seed: 1, InitScale: 0.1}
+}
+
+// Model holds learned entity and relation embeddings, row-indexed by ID.
+type Model struct {
+	Ent *mat.Dense
+	Rel *mat.Dense
+}
+
+// Train learns TransE embeddings over numEnt entities and numRel relations
+// from the given triples. The triple IDs must be in range.
+func Train(numEnt, numRel int, triples []kg.Triple, cfg Config) (*Model, error) {
+	if numEnt <= 0 || numRel <= 0 {
+		return nil, fmt.Errorf("transe: need positive entity and relation counts")
+	}
+	if cfg.Dim <= 0 || cfg.Epochs < 0 || cfg.LearningRate <= 0 || cfg.Negatives <= 0 {
+		return nil, fmt.Errorf("transe: invalid config %+v", cfg)
+	}
+	if len(triples) == 0 {
+		return nil, fmt.Errorf("transe: no triples")
+	}
+	for i, t := range triples {
+		if int(t.Head) >= numEnt || int(t.Tail) >= numEnt || int(t.Relation) >= numRel ||
+			t.Head < 0 || t.Tail < 0 || t.Relation < 0 {
+			return nil, fmt.Errorf("transe: triple %d out of range: %+v", i, t)
+		}
+	}
+
+	s := rng.New(cfg.Seed)
+	m := &Model{
+		Ent: uniformInit(numEnt, cfg.Dim, s),
+		Rel: uniformInit(numRel, cfg.Dim, s),
+	}
+	m.Ent.NormalizeRowsL2()
+	if cfg.InitScale > 0 {
+		m.Ent.ScaleInPlace(cfg.InitScale)
+	}
+	m.Rel.NormalizeRowsL2()
+
+	order := make([]int, len(triples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		s.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			tr := triples[idx]
+			for k := 0; k < cfg.Negatives; k++ {
+				neg := tr
+				if k%2 == 0 {
+					neg.Head = kg.EntityID(s.Intn(numEnt))
+				} else {
+					neg.Tail = kg.EntityID(s.Intn(numEnt))
+				}
+				if neg == tr {
+					continue
+				}
+				m.sgdStep(tr, neg, cfg)
+			}
+		}
+		projectRows(m.Ent)
+	}
+	return m, nil
+}
+
+// projectRows rescales rows with L2 norm above 1 back onto the unit ball —
+// the original TransE constraint ‖e‖ ≤ 1. (Normalizing every row to
+// exactly 1 would erase the constraint-driven geometry near the origin.)
+func projectRows(m *mat.Dense) {
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		var n float64
+		for _, v := range r {
+			n += v * v
+		}
+		if n > 1 {
+			inv := 1 / math.Sqrt(n)
+			for j := range r {
+				r[j] *= inv
+			}
+		}
+	}
+}
+
+func uniformInit(rows, dim int, s *rng.Source) *mat.Dense {
+	out := mat.NewDense(rows, dim)
+	limit := 6 / math.Sqrt(float64(dim))
+	for i := range out.Data {
+		out.Data[i] = (2*s.Float64() - 1) * limit
+	}
+	return out
+}
+
+// Energy returns ‖h + r − t‖₁ for a triple; lower is more plausible.
+func (m *Model) Energy(t kg.Triple) float64 {
+	h := m.Ent.Row(int(t.Head))
+	r := m.Rel.Row(int(t.Relation))
+	tl := m.Ent.Row(int(t.Tail))
+	var e float64
+	for i := range h {
+		e += math.Abs(h[i] + r[i] - tl[i])
+	}
+	return e
+}
+
+// sgdStep applies one margin-ranking subgradient step for a positive and a
+// corrupted triple.
+func (m *Model) sgdStep(pos, neg kg.Triple, cfg Config) {
+	hinge := m.Energy(pos) - m.Energy(neg) + cfg.Margin
+	if hinge <= 0 {
+		return
+	}
+	lr := cfg.LearningRate
+	hp := m.Ent.Row(int(pos.Head))
+	rp := m.Rel.Row(int(pos.Relation))
+	tp := m.Ent.Row(int(pos.Tail))
+	hn := m.Ent.Row(int(neg.Head))
+	rn := m.Rel.Row(int(neg.Relation))
+	tn := m.Ent.Row(int(neg.Tail))
+	for i := range hp {
+		// Positive energy gradient: push h+r toward t.
+		gp := sign(hp[i] + rp[i] - tp[i])
+		hp[i] -= lr * gp
+		rp[i] -= lr * gp
+		tp[i] += lr * gp
+		// Negative energy gradient: push h'+r away from t'.
+		gn := sign(hn[i] + rn[i] - tn[i])
+		hn[i] += lr * gn
+		rn[i] += lr * gn
+		tn[i] -= lr * gn
+	}
+}
+
+func sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// Gather returns the embedding rows of the given entities as a matrix.
+func (m *Model) Gather(ids []kg.EntityID) *mat.Dense {
+	out := mat.NewDense(len(ids), m.Ent.Cols)
+	for i, id := range ids {
+		copy(out.Row(i), m.Ent.Row(int(id)))
+	}
+	return out
+}

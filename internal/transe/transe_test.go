@@ -1,0 +1,142 @@
+package transe
+
+import (
+	"math"
+	"testing"
+
+	"ceaff/internal/kg"
+	"ceaff/internal/rng"
+)
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	triples := []kg.Triple{{Head: 0, Relation: 0, Tail: 1}}
+	if _, err := Train(0, 1, triples, DefaultConfig()); err == nil {
+		t.Error("zero entities accepted")
+	}
+	if _, err := Train(2, 1, nil, DefaultConfig()); err == nil {
+		t.Error("empty triples accepted")
+	}
+	if _, err := Train(2, 1, []kg.Triple{{Head: 5, Relation: 0, Tail: 0}}, DefaultConfig()); err == nil {
+		t.Error("out-of-range triple accepted")
+	}
+	if _, err := Train(2, 1, triples, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+// chainTriples builds a chain 0 -r-> 1 -r-> 2 ... plus a second relation
+// for variety.
+func chainTriples(n int) []kg.Triple {
+	var out []kg.Triple
+	for i := 0; i+1 < n; i++ {
+		out = append(out, kg.Triple{Head: kg.EntityID(i), Relation: kg.RelationID(i % 2), Tail: kg.EntityID(i + 1)})
+	}
+	return out
+}
+
+func TestTrainingLowersPositiveEnergy(t *testing.T) {
+	triples := chainTriples(20)
+	cfg := DefaultConfig()
+	cfg.Dim = 16
+	cfg.Epochs = 0
+	untrained, err := Train(20, 2, triples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Epochs = 60
+	trained, err := Train(20, 2, triples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after float64
+	for _, tr := range triples {
+		before += untrained.Energy(tr)
+		after += trained.Energy(tr)
+	}
+	if after >= before {
+		t.Fatalf("positive energy did not drop: %v -> %v", before, after)
+	}
+}
+
+func TestPositiveEnergyBelowCorrupted(t *testing.T) {
+	triples := chainTriples(30)
+	cfg := DefaultConfig()
+	cfg.Dim = 16
+	m, err := Train(30, 2, triples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(3)
+	lower := 0
+	total := 0
+	for _, tr := range triples {
+		for k := 0; k < 5; k++ {
+			neg := tr
+			neg.Tail = kg.EntityID(s.Intn(30))
+			if neg == tr {
+				continue
+			}
+			total++
+			if m.Energy(tr) < m.Energy(neg) {
+				lower++
+			}
+		}
+	}
+	if frac := float64(lower) / float64(total); frac < 0.8 {
+		t.Fatalf("positives beat corruptions only %.2f of the time", frac)
+	}
+}
+
+func TestEntityNormBounded(t *testing.T) {
+	triples := chainTriples(10)
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	m, err := Train(10, 2, triples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		row := m.Ent.Row(i)
+		var n float64
+		for _, v := range row {
+			n += v * v
+		}
+		if math.Sqrt(n) > 1+1e-9 {
+			t.Fatalf("entity %d norm %v exceeds 1 after renormalization", i, math.Sqrt(n))
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	triples := chainTriples(10)
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Epochs = 5
+	a, _ := Train(10, 2, triples, cfg)
+	b, _ := Train(10, 2, triples, cfg)
+	for i := range a.Ent.Data {
+		if a.Ent.Data[i] != b.Ent.Data[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	triples := chainTriples(5)
+	cfg := DefaultConfig()
+	cfg.Dim = 4
+	cfg.Epochs = 1
+	m, err := Train(5, 2, triples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Gather([]kg.EntityID{3, 1})
+	if g.Rows != 2 || g.Cols != 4 {
+		t.Fatalf("gather shape %dx%d", g.Rows, g.Cols)
+	}
+	for j := 0; j < 4; j++ {
+		if g.At(0, j) != m.Ent.At(3, j) || g.At(1, j) != m.Ent.At(1, j) {
+			t.Fatal("gather rows wrong")
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package wordvec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteVec serializes the lexicon's in-vocabulary vectors in the word2vec /
+// fastText text format: a "count dim" header line, then one
+// "word v1 v2 ... vd" line per word, words sorted for determinism.
+func (l *Lexicon) WriteVec(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", len(l.vectors), l.dim); err != nil {
+		return err
+	}
+	words := make([]string, 0, len(l.vectors))
+	for word := range l.vectors {
+		words = append(words, word)
+	}
+	sort.Strings(words)
+	for _, word := range words {
+		if strings.ContainsAny(word, " \n") {
+			return fmt.Errorf("wordvec: word %q contains separator characters", word)
+		}
+		if _, err := bw.WriteString(word); err != nil {
+			return err
+		}
+		for _, v := range l.vectors[word] {
+			if _, err := fmt.Fprintf(bw, " %g", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVec parses the word2vec text format into a Lexicon with the given OOV
+// fallback (which may be nil). It validates the header against the actual
+// line count and dimensions.
+func ReadVec(r io.Reader, fallback Embedder) (*Lexicon, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("wordvec: empty .vec input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 {
+		return nil, fmt.Errorf("wordvec: malformed header %q", sc.Text())
+	}
+	count, err := strconv.Atoi(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("wordvec: bad count: %w", err)
+	}
+	dim, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("wordvec: bad dimension: %w", err)
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("wordvec: non-positive dimension %d", dim)
+	}
+	lex := NewLexicon(dim, fallback)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != dim+1 {
+			return nil, fmt.Errorf("wordvec: line %d: want %d fields, got %d", line, dim+1, len(fields))
+		}
+		vec := make([]float64, dim)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("wordvec: line %d: %w", line, err)
+			}
+			vec[i] = v
+		}
+		lex.Add(fields[0], vec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if lex.Size() != count {
+		return nil, fmt.Errorf("wordvec: header declares %d words, found %d", count, lex.Size())
+	}
+	return lex, nil
+}

@@ -1,0 +1,113 @@
+package wordvec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVecRoundTrip(t *testing.T) {
+	l := NewLexicon(3, nil)
+	l.Add("paris", []float64{0.5, -1.25, 3})
+	l.Add("berlin", []float64{1, 2, 3})
+	var buf bytes.Buffer
+	if err := l.WriteVec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVec(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 2 || got.Dim() != 3 {
+		t.Fatalf("size %d dim %d", got.Size(), got.Dim())
+	}
+	for _, w := range []string{"paris", "berlin"} {
+		a, b := l.Vector(w), got.Vector(w)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s vector changed: %v vs %v", w, a, b)
+			}
+		}
+	}
+}
+
+func TestVecDeterministicOutput(t *testing.T) {
+	l := NewLexicon(1, nil)
+	l.Add("b", []float64{2})
+	l.Add("a", []float64{1})
+	var b1, b2 bytes.Buffer
+	if err := l.WriteVec(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteVec(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("WriteVec not deterministic")
+	}
+	if !strings.HasPrefix(b1.String(), "2 1\n") {
+		t.Fatalf("header wrong: %q", b1.String())
+	}
+	// Words sorted.
+	if strings.Index(b1.String(), "\na ") > strings.Index(b1.String(), "\nb ") {
+		t.Fatal("words not sorted")
+	}
+}
+
+func TestVecRejectsBadWord(t *testing.T) {
+	l := NewLexicon(1, nil)
+	l.Add("two words", []float64{1})
+	if err := l.WriteVec(&bytes.Buffer{}); err == nil {
+		t.Fatal("word with space accepted")
+	}
+}
+
+func TestReadVecErrors(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"notanumber 3\n",      // bad count
+		"1 x\n",               // bad dim
+		"1 0\n",               // zero dim
+		"1 2\nw 1\n",          // wrong field count
+		"1 2\nw 1 notfloat\n", // bad float
+		"2 1\nw 1\n",          // count mismatch
+		"1 1\nw 1\nextra 2\n", // count mismatch (too many)
+		"1 2 3\nw 1 2\n",      // malformed header
+	}
+	for i, c := range cases {
+		if _, err := ReadVec(strings.NewReader(c), nil); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestReadVecWithFallback(t *testing.T) {
+	in := "1 2\nknown 1 2\n"
+	fb := NewHash(2, 7)
+	lex, err := ReadVec(strings.NewReader(in), fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lex.Known("known") || lex.Known("unknown") {
+		t.Fatal("vocabulary wrong")
+	}
+	// OOV goes to the hash fallback.
+	fbv := fb.Vector("unknown")
+	got := lex.Vector("unknown")
+	for i := range fbv {
+		if fbv[i] != got[i] {
+			t.Fatal("fallback not used")
+		}
+	}
+}
+
+func TestReadVecSkipsBlankLines(t *testing.T) {
+	in := "1 1\n\nw 5\n\n"
+	lex, err := ReadVec(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lex.Vector("w")[0] != 5 {
+		t.Fatal("vector wrong")
+	}
+}

@@ -1,0 +1,200 @@
+// Package wordvec is the reproduction's stand-in for pre-trained fastText
+// word embeddings and MUSE cross-lingual spaces (§IV-B of the paper).
+//
+// Real pre-trained vectors cannot be shipped, so the package provides:
+//
+//   - Hash: a deterministic embedder that derives a unit Gaussian vector
+//     from the word string itself. Any word gets a stable vector; distinct
+//     words get (nearly) orthogonal vectors in high dimension. This models
+//     the *out-of-vocabulary* regime — no semantic signal, only identity.
+//   - Lexicon: an explicit word → vector table with a fallback embedder.
+//     The benchmark generator populates lexicons of two languages such that
+//     translated word pairs share (noisy copies of) the same latent vector,
+//     which is exactly the property MUSE alignment gives real embeddings.
+//     Words deliberately left out of a lexicon simulate OOV: they fall back
+//     to Hash and carry no cross-lingual signal, reproducing the weakness
+//     the paper notes for semantic features (§IV-C (2)).
+//
+// NameEmbedding implements the paper's entity-name representation
+// ne(e) = (1/l) Σ w_i — the average of the word vectors of the name's
+// tokens.
+package wordvec
+
+import (
+	"math"
+	"strings"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+// Embedder maps a word to a dense vector of fixed dimension.
+type Embedder interface {
+	// Vector returns the embedding of word. The returned slice must not be
+	// mutated by callers.
+	Vector(word string) []float64
+	// Dim returns the embedding dimensionality.
+	Dim() int
+	// Known reports whether word is in-vocabulary (has a semantically
+	// meaningful vector, as opposed to a hash fallback).
+	Known(word string) bool
+}
+
+// Hash deterministically embeds any word by seeding a PRNG with the word's
+// hash and drawing a unit-normalized Gaussian vector. It is the OOV
+// fallback and the "no semantic signal" baseline space.
+type Hash struct {
+	dim  int
+	salt uint64
+	// cache avoids re-deriving vectors for repeated words; name token
+	// distributions are very Zipfian.
+	cache map[string][]float64
+}
+
+// NewHash returns a Hash embedder of the given dimension. salt decorrelates
+// independent spaces (e.g. two languages' OOV fallbacks must not
+// accidentally align).
+func NewHash(dim int, salt uint64) *Hash {
+	if dim <= 0 {
+		panic("wordvec: non-positive dimension")
+	}
+	return &Hash{dim: dim, salt: salt, cache: make(map[string][]float64)}
+}
+
+// Dim implements Embedder.
+func (h *Hash) Dim() int { return h.dim }
+
+// Known implements Embedder. Hash vectors are never "known": they carry no
+// semantics.
+func (h *Hash) Known(string) bool { return false }
+
+// Vector implements Embedder.
+func (h *Hash) Vector(word string) []float64 {
+	if v, ok := h.cache[word]; ok {
+		return v
+	}
+	s := rng.New(rng.HashString(word) ^ h.salt)
+	v := GaussianUnit(s, h.dim)
+	h.cache[word] = v
+	return v
+}
+
+// GaussianUnit draws a dim-dimensional standard normal vector and scales it
+// to unit L2 norm.
+func GaussianUnit(s *rng.Source, dim int) []float64 {
+	v := make([]float64, dim)
+	var norm float64
+	for i := range v {
+		v[i] = s.Norm()
+		norm += v[i] * v[i]
+	}
+	if norm > 0 {
+		inv := 1 / math.Sqrt(norm)
+		for i := range v {
+			v[i] *= inv
+		}
+	}
+	return v
+}
+
+// Lexicon is an explicit vocabulary with a fallback embedder for OOV words.
+type Lexicon struct {
+	dim      int
+	vectors  map[string][]float64
+	fallback Embedder
+}
+
+// NewLexicon returns an empty Lexicon of dimension dim whose OOV words are
+// embedded by fallback. fallback must have the same dimension.
+func NewLexicon(dim int, fallback Embedder) *Lexicon {
+	if fallback != nil && fallback.Dim() != dim {
+		panic("wordvec: fallback dimension mismatch")
+	}
+	return &Lexicon{dim: dim, vectors: make(map[string][]float64), fallback: fallback}
+}
+
+// Add inserts (or replaces) the vector for word. The slice is stored, not
+// copied; callers must not mutate it afterwards.
+func (l *Lexicon) Add(word string, vec []float64) {
+	if len(vec) != l.dim {
+		panic("wordvec: vector dimension mismatch")
+	}
+	l.vectors[word] = vec
+}
+
+// Dim implements Embedder.
+func (l *Lexicon) Dim() int { return l.dim }
+
+// Known implements Embedder.
+func (l *Lexicon) Known(word string) bool {
+	_, ok := l.vectors[word]
+	return ok
+}
+
+// Size returns the number of in-vocabulary words.
+func (l *Lexicon) Size() int { return len(l.vectors) }
+
+// Vector implements Embedder: the stored vector, or the fallback for OOV
+// words. With a nil fallback, OOV words get the zero vector — they
+// contribute nothing to an averaged name embedding.
+func (l *Lexicon) Vector(word string) []float64 {
+	if v, ok := l.vectors[word]; ok {
+		return v
+	}
+	if l.fallback != nil {
+		return l.fallback.Vector(word)
+	}
+	return make([]float64, l.dim)
+}
+
+// Tokenize splits an entity name into lowercase word tokens. Separators are
+// spaces and underscores — the two conventions DBpedia-style names use.
+func Tokenize(name string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(name), func(r rune) bool {
+		return r == ' ' || r == '_'
+	})
+	return fields
+}
+
+// NameEmbedding computes the entity-name embedding matrix N: row i is the
+// average of the word vectors of names[i]'s tokens (§IV-B). Names with no
+// tokens get the zero vector.
+func NameEmbedding(emb Embedder, names []string) *mat.Dense {
+	out := mat.NewDense(len(names), emb.Dim())
+	for i, name := range names {
+		tokens := Tokenize(name)
+		if len(tokens) == 0 {
+			continue
+		}
+		row := out.Row(i)
+		for _, tok := range tokens {
+			v := emb.Vector(tok)
+			for j, x := range v {
+				row[j] += x
+			}
+		}
+		inv := 1 / float64(len(tokens))
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return out
+}
+
+// OOVRate returns the fraction of name tokens that are out-of-vocabulary
+// for emb, a diagnostic mirroring the paper's discussion of rare words.
+func OOVRate(emb Embedder, names []string) float64 {
+	total, oov := 0, 0
+	for _, name := range names {
+		for _, tok := range Tokenize(name) {
+			total++
+			if !emb.Known(tok) {
+				oov++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(oov) / float64(total)
+}

@@ -1,0 +1,223 @@
+package wordvec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func cos(a, b []float64) float64 {
+	return mat.Dot(a, b) / (norm(a) * norm(b))
+}
+
+func TestHashDeterministic(t *testing.T) {
+	h := NewHash(32, 1)
+	a := h.Vector("word")
+	b := NewHash(32, 1).Vector("word")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("hash vectors not deterministic")
+		}
+	}
+}
+
+func TestHashUnitNorm(t *testing.T) {
+	h := NewHash(48, 2)
+	for _, w := range []string{"a", "paris", "中国", "long_word_with_underscores"} {
+		if n := norm(h.Vector(w)); math.Abs(n-1) > 1e-10 {
+			t.Fatalf("norm(%q) = %v", w, n)
+		}
+	}
+}
+
+func TestHashSaltDecorrelates(t *testing.T) {
+	a := NewHash(64, 1).Vector("paris")
+	b := NewHash(64, 2).Vector("paris")
+	if c := cos(a, b); math.Abs(c) > 0.5 {
+		t.Fatalf("salted spaces too correlated: cos = %v", c)
+	}
+}
+
+func TestHashNearOrthogonal(t *testing.T) {
+	// In 64 dimensions random unit vectors have |cos| ~ 1/8 on average;
+	// verify distinct words are not accidentally aligned.
+	h := NewHash(64, 3)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i := 0; i < len(words); i++ {
+		for j := i + 1; j < len(words); j++ {
+			if c := cos(h.Vector(words[i]), h.Vector(words[j])); math.Abs(c) > 0.6 {
+				t.Fatalf("cos(%q,%q) = %v", words[i], words[j], c)
+			}
+		}
+	}
+}
+
+func TestHashNeverKnown(t *testing.T) {
+	h := NewHash(8, 0)
+	h.Vector("x")
+	if h.Known("x") {
+		t.Fatal("hash embedder claims vocabulary knowledge")
+	}
+}
+
+func TestLexiconKnownAndFallback(t *testing.T) {
+	fb := NewHash(4, 9)
+	l := NewLexicon(4, fb)
+	v := []float64{1, 0, 0, 0}
+	l.Add("paris", v)
+	if !l.Known("paris") || l.Known("london") {
+		t.Fatal("Known wrong")
+	}
+	got := l.Vector("paris")
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatal("stored vector mismatch")
+		}
+	}
+	// OOV falls back to hash.
+	fbv := fb.Vector("london")
+	lv := l.Vector("london")
+	for i := range fbv {
+		if fbv[i] != lv[i] {
+			t.Fatal("fallback vector mismatch")
+		}
+	}
+	if l.Size() != 1 {
+		t.Fatalf("Size = %d", l.Size())
+	}
+}
+
+func TestLexiconNilFallbackZero(t *testing.T) {
+	l := NewLexicon(3, nil)
+	v := l.Vector("missing")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("nil-fallback OOV vector not zero")
+		}
+	}
+}
+
+func TestLexiconDimensionMismatchPanics(t *testing.T) {
+	l := NewLexicon(3, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	l.Add("w", []float64{1, 2})
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"United_States", []string{"united", "states"}},
+		{"New York City", []string{"new", "york", "city"}},
+		{"single", []string{"single"}},
+		{"", nil},
+		{"__", nil},
+		{"Mixed_Case name", []string{"mixed", "case", "name"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestNameEmbeddingAverage(t *testing.T) {
+	l := NewLexicon(2, nil)
+	l.Add("new", []float64{1, 0})
+	l.Add("york", []float64{0, 1})
+	n := NameEmbedding(l, []string{"New_York", "new", "unknown", ""})
+	if n.Rows != 4 || n.Cols != 2 {
+		t.Fatalf("shape %dx%d", n.Rows, n.Cols)
+	}
+	if n.At(0, 0) != 0.5 || n.At(0, 1) != 0.5 {
+		t.Fatalf("average wrong: %v", n.Row(0))
+	}
+	if n.At(1, 0) != 1 || n.At(1, 1) != 0 {
+		t.Fatalf("single token wrong: %v", n.Row(1))
+	}
+	// Unknown word with nil fallback and empty name both give zero rows.
+	for _, i := range []int{2, 3} {
+		if n.At(i, 0) != 0 || n.At(i, 1) != 0 {
+			t.Fatalf("row %d not zero: %v", i, n.Row(i))
+		}
+	}
+}
+
+func TestNameEmbeddingTranslatedNamesAlign(t *testing.T) {
+	// Simulate the MUSE property: translations share a latent vector (plus
+	// noise). Their averaged name embeddings should be much more similar
+	// than unrelated names.
+	s := rng.New(77)
+	latent := map[string][]float64{
+		"city":  GaussianUnit(s, 32),
+		"river": GaussianUnit(s, 32),
+	}
+	en := NewLexicon(32, NewHash(32, 100))
+	fr := NewLexicon(32, NewHash(32, 200))
+	en.Add("city", latent["city"])
+	en.Add("river", latent["river"])
+	noisy := func(v []float64) []float64 {
+		out := make([]float64, len(v))
+		for i := range v {
+			out[i] = v[i] + 0.1*s.Norm()
+		}
+		return out
+	}
+	fr.Add("ville", noisy(latent["city"]))
+	fr.Add("fleuve", noisy(latent["river"]))
+
+	enEmb := NameEmbedding(en, []string{"city", "river"})
+	frEmb := NameEmbedding(fr, []string{"ville", "fleuve"})
+	simSame := cos(enEmb.Row(0), frEmb.Row(0))
+	simCross := cos(enEmb.Row(0), frEmb.Row(1))
+	if simSame < 0.8 {
+		t.Fatalf("translated pair similarity too low: %v", simSame)
+	}
+	if simSame <= simCross {
+		t.Fatalf("translation (%v) should beat unrelated (%v)", simSame, simCross)
+	}
+}
+
+func TestOOVRate(t *testing.T) {
+	l := NewLexicon(2, nil)
+	l.Add("known", []float64{1, 0})
+	rate := OOVRate(l, []string{"known_unknown", "known"})
+	if math.Abs(rate-1.0/3) > 1e-12 {
+		t.Fatalf("OOVRate = %v, want 1/3", rate)
+	}
+	if OOVRate(l, nil) != 0 {
+		t.Fatal("empty OOVRate should be 0")
+	}
+}
+
+func TestGaussianUnitQuick(t *testing.T) {
+	f := func(seed uint16) bool {
+		v := GaussianUnit(rng.New(uint64(seed)+1), 16)
+		return math.Abs(norm(v)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
