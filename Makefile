@@ -1,0 +1,26 @@
+# Tier-1 verification for the CEAFF reproduction. `make check` is the
+# full gate: formatting, vet, build, and the race-enabled test suite.
+
+GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
+
+.PHONY: check fmt vet build test race
+
+check: fmt vet build race
+
+fmt:
+	@unformatted=$$(gofmt -l $(GOFILES)); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...

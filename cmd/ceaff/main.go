@@ -10,6 +10,13 @@
 //	      [-no-structural] [-no-semantic] [-no-string]
 //	      [-fusion adaptive|fixed|lr] [-decision collective|independent|hungarian]
 //	      [-theta1 0.98] [-theta2 0.1]
+//	      [-timeout 0] [-checkpoint file]
+//
+// -timeout bounds the whole run with a context deadline; on expiry the
+// pipeline aborts cooperatively at the next epoch boundary. -checkpoint
+// persists GCN training state to the given file at every checkpoint
+// interval and, when the file already exists, resumes training from it —
+// an interrupted run continues instead of restarting.
 //
 // With -load, the directory must contain rel_triples_1/2 and ent_links
 // (optionally attr_triples_*, train_links/test_links); -vec1/-vec2 load
@@ -19,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +38,7 @@ import (
 	"ceaff/internal/bench"
 	"ceaff/internal/core"
 	"ceaff/internal/dataio"
+	"ceaff/internal/gcn"
 	"ceaff/internal/rng"
 	"ceaff/internal/wordvec"
 )
@@ -53,6 +62,8 @@ func main() {
 	decision := flag.String("decision", "collective", "EA decision: collective, independent or hungarian")
 	theta1 := flag.Float64("theta1", 0.98, "fusion damping threshold θ1")
 	theta2 := flag.Float64("theta2", 0.1, "fusion damped contribution θ2")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	checkpoint := flag.String("checkpoint", "", "persist GCN training state to this file and resume from it if present")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -85,6 +96,19 @@ func main() {
 		log.Fatalf("unknown decision mode %q", *decision)
 	}
 
+	if *checkpoint != "" {
+		if err := setupCheckpoint(*checkpoint, &cfg.GCN); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var in *core.Input
 	if *load != "" {
 		var err error
@@ -114,11 +138,14 @@ func main() {
 	}
 	fmt.Printf("pairs     %d seeds, %d test\n", len(in.Seeds), len(in.Tests))
 	start := time.Now()
-	res, err := core.Run(in, cfg)
+	res, err := core.RunContext(ctx, in, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("pipeline  %.1fs\n", time.Since(start).Seconds())
+	for _, d := range res.Degraded {
+		fmt.Printf("degraded  %s feature dropped: %s\n", d.Feature, d.Reason)
+	}
 	fmt.Printf("accuracy  %.4f\n", res.Accuracy)
 	if cfg.Fusion == core.AdaptiveFusion {
 		fmt.Printf("weights   textual=%v final=%v\n",
@@ -132,6 +159,42 @@ func main() {
 		fmt.Printf("ranking   Hits@1=%.4f Hits@10=%.4f MRR=%.4f\n",
 			res.Ranking.Hits1, res.Ranking.Hits10, res.Ranking.MRR)
 	}
+}
+
+// setupCheckpoint loads an existing checkpoint file into cfg.Resume and
+// installs an OnCheckpoint hook persisting each new checkpoint atomically
+// (write to a temp file, then rename).
+func setupCheckpoint(path string, cfg *gcn.Config) error {
+	if f, err := os.Open(path); err == nil {
+		ck, rerr := gcn.ReadCheckpoint(f)
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("checkpoint %s: %w", path, rerr)
+		}
+		cfg.Resume = ck
+		fmt.Printf("resume    epoch %d from %s\n", ck.Epoch, path)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	cfg.OnCheckpoint = func(ck *gcn.Checkpoint) {
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			log.Printf("checkpoint: %v", err)
+			return
+		}
+		err = ck.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, path)
+		}
+		if err != nil {
+			log.Printf("checkpoint: %v", err)
+		}
+	}
+	return nil
 }
 
 // loadCorpusInput reads an OpenEA-layout corpus and builds a pipeline

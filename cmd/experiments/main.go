@@ -5,12 +5,17 @@
 // Usage:
 //
 //	experiments [-table all|2|3|4|5|6] [-scale 1.0] [-fast] [-v]
+//	            [-timeout 0] [-failfast]
 //
 // At -scale 1.0 with default substrates a full run takes minutes; use
-// -fast -scale 0.25 for a quick smoke pass.
+// -fast -scale 0.25 for a quick smoke pass. -timeout bounds the whole run
+// with a context deadline. By default a persistently failing cell is
+// retried once, then isolated — it renders as FAIL and the rest of the
+// table completes; -failfast aborts on the first such cell instead.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,11 +33,18 @@ func main() {
 	fast := flag.Bool("fast", false, "use small test-grade substrate settings")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables instead of fixed-width text")
 	verbose := flag.Bool("v", false, "print progress lines to stderr")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	failFast := flag.Bool("failfast", false, "abort on the first persistently failing cell instead of isolating it")
 	flag.Parse()
 
-	opt := experiments.Options{Scale: *scale, Fast: *fast}
+	opt := experiments.Options{Scale: *scale, Fast: *fast, FailFast: *failFast}
 	if *verbose {
 		opt.Progress = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opt.Ctx = ctx
 	}
 
 	render := func(t *experiments.Table) {
@@ -40,6 +52,9 @@ func main() {
 			t.RenderMarkdown(os.Stdout)
 		} else {
 			t.Render(os.Stdout)
+		}
+		for c, err := range t.Failed {
+			log.Printf("FAILED cell (%s, %s): %v", c.Row, c.Col, err)
 		}
 	}
 	run := func(name string) error {

@@ -19,6 +19,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ceaff/internal/align"
@@ -30,6 +32,7 @@ import (
 	"ceaff/internal/mat"
 	"ceaff/internal/match"
 	"ceaff/internal/rng"
+	"ceaff/internal/robust"
 	"ceaff/internal/strsim"
 	"ceaff/internal/wordvec"
 )
@@ -125,48 +128,160 @@ func DefaultConfig() Config {
 // FeatureSet holds the similarity matrices computed once per dataset. Rows
 // index test-pair sources, columns index test-pair targets, so ground truth
 // is the diagonal. The seed-pair matrices support LR weight learning.
+//
+// A feature that failed to compute or came out degenerate (all-zero,
+// NaN-bearing) is dropped — its matrices stay nil — and the failure is
+// recorded in Degraded; fusion renormalizes over the survivors.
 type FeatureSet struct {
 	Ms, Mn, Ml *mat.Dense // test sources x test targets
 	// SeedMs/Mn/Ml are seed sources x seed targets, diagonal = positives.
 	SeedMs, SeedMn, SeedMl *mat.Dense
+	// Degraded records which features were dropped and why.
+	Degraded []Degradation
 }
+
+// Degradation records one dropped feature.
+type Degradation struct {
+	Feature string // "structural", "semantic" or "string"
+	Reason  string
+}
+
+func (fs *FeatureSet) degrade(feature string, err error) {
+	fs.Degraded = append(fs.Degraded, Degradation{Feature: feature, Reason: err.Error()})
+}
+
+// Fault-injection sites fired once per feature computation; arming one
+// makes that feature fail, exercising the graceful-degradation path.
+const (
+	FaultStructural = "core.feature.structural"
+	FaultSemantic   = "core.feature.semantic"
+	FaultString     = "core.feature.string"
+)
 
 // ComputeFeatures runs feature generation (stage 1) for all three features.
 // It is split from Decide so ablation studies can reuse one GCN training
 // run across the twelve Table V configurations.
 func ComputeFeatures(in *Input, gcnCfg gcn.Config) (*FeatureSet, error) {
+	return ComputeFeaturesContext(context.Background(), in, gcnCfg)
+}
+
+// ComputeFeaturesContext is ComputeFeatures with cancellation propagated
+// into GCN training (checked each epoch) and the parallel similarity
+// kernels, and with graceful feature degradation: a feature whose
+// computation fails or yields a degenerate matrix is dropped and recorded
+// in FeatureSet.Degraded instead of aborting the pipeline. Context
+// cancellation is never degraded around — it aborts with ctx's error.
+// Only when every feature degrades does the call fail.
+func ComputeFeaturesContext(ctx context.Context, in *Input, gcnCfg gcn.Config) (*FeatureSet, error) {
 	if err := validateInput(in); err != nil {
 		return nil, err
 	}
-	model, err := gcn.Train(in.G1, in.G2, in.Seeds, gcnCfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: structural feature: %w", err)
-	}
-
 	testSrc, testTgt := align.SourceIDs(in.Tests), align.TargetIDs(in.Tests)
 	seedSrc, seedTgt := align.SourceIDs(in.Seeds), align.TargetIDs(in.Seeds)
-
-	fs := &FeatureSet{}
-	fs.Ms = model.CenteredSimilarityMatrix(testSrc, testTgt)
-	fs.SeedMs = model.CenteredSimilarityMatrix(seedSrc, seedTgt)
-
 	srcNames := namesOf(in.G1, testSrc)
 	tgtNames := namesOf(in.G2, testTgt)
 	seedSrcNames := namesOf(in.G1, seedSrc)
 	seedTgtNames := namesOf(in.G2, seedTgt)
 
-	n1 := wordvec.NameEmbedding(in.Emb1, srcNames)
-	n2 := wordvec.NameEmbedding(in.Emb2, tgtNames)
-	fs.Mn = mat.CosineSim(n1, n2)
-	sn1 := wordvec.NameEmbedding(in.Emb1, seedSrcNames)
-	sn2 := wordvec.NameEmbedding(in.Emb2, seedTgtNames)
-	fs.SeedMn = mat.CosineSim(sn1, sn2)
+	fs := &FeatureSet{}
 
-	fs.Ml = strsim.Matrix(srcNames, tgtNames)
-	fs.SeedMl = strsim.Matrix(seedSrcNames, seedTgtNames)
+	if err := computeStructural(ctx, in, gcnCfg, fs, testSrc, testTgt, seedSrc, seedTgt); err != nil {
+		if isCtxError(err) {
+			return nil, err
+		}
+		fs.degrade("structural", err)
+		fs.Ms, fs.SeedMs = nil, nil
+	}
+	if err := computeSemantic(ctx, in, fs, srcNames, tgtNames, seedSrcNames, seedTgtNames); err != nil {
+		if isCtxError(err) {
+			return nil, err
+		}
+		fs.degrade("semantic", err)
+		fs.Mn, fs.SeedMn = nil, nil
+	}
+	if err := computeString(ctx, fs, srcNames, tgtNames, seedSrcNames, seedTgtNames); err != nil {
+		if isCtxError(err) {
+			return nil, err
+		}
+		fs.degrade("string", err)
+		fs.Ml, fs.SeedMl = nil, nil
+	}
+
+	if fs.Ms == nil && fs.Mn == nil && fs.Ml == nil {
+		return nil, fmt.Errorf("core: every feature degraded: %+v", fs.Degraded)
+	}
 	return fs, nil
 }
 
+func computeStructural(ctx context.Context, in *Input, gcnCfg gcn.Config, fs *FeatureSet, testSrc, testTgt, seedSrc, seedTgt []kg.EntityID) error {
+	if err := robust.Fire(FaultStructural); err != nil {
+		return err
+	}
+	model, err := gcn.TrainContext(ctx, in.G1, in.G2, in.Seeds, gcnCfg)
+	if err != nil {
+		return fmt.Errorf("core: structural feature: %w", err)
+	}
+	ms := model.CenteredSimilarityMatrix(testSrc, testTgt)
+	if reason, bad := robust.DegenerateMatrix(ms); bad {
+		return fmt.Errorf("core: structural feature: %s", reason)
+	}
+	fs.Ms = ms
+	fs.SeedMs = model.CenteredSimilarityMatrix(seedSrc, seedTgt)
+	return nil
+}
+
+func computeSemantic(ctx context.Context, in *Input, fs *FeatureSet, srcNames, tgtNames, seedSrcNames, seedTgtNames []string) error {
+	if err := robust.Fire(FaultSemantic); err != nil {
+		return err
+	}
+	n1 := wordvec.NameEmbedding(in.Emb1, srcNames)
+	n2 := wordvec.NameEmbedding(in.Emb2, tgtNames)
+	mn, err := mat.CosineSimCtx(ctx, n1, n2)
+	if err != nil {
+		return err
+	}
+	if reason, bad := robust.DegenerateMatrix(mn); bad {
+		return fmt.Errorf("core: semantic feature: %s", reason)
+	}
+	sn1 := wordvec.NameEmbedding(in.Emb1, seedSrcNames)
+	sn2 := wordvec.NameEmbedding(in.Emb2, seedTgtNames)
+	seedMn, err := mat.CosineSimCtx(ctx, sn1, sn2)
+	if err != nil {
+		return err
+	}
+	fs.Mn, fs.SeedMn = mn, seedMn
+	return nil
+}
+
+func computeString(ctx context.Context, fs *FeatureSet, srcNames, tgtNames, seedSrcNames, seedTgtNames []string) error {
+	if err := robust.Fire(FaultString); err != nil {
+		return err
+	}
+	ml, err := strsim.MatrixCtx(ctx, srcNames, tgtNames)
+	if err != nil {
+		return err
+	}
+	if reason, bad := robust.DegenerateMatrix(ml); bad {
+		return fmt.Errorf("core: string feature: %s", reason)
+	}
+	seedMl, err := strsim.MatrixCtx(ctx, seedSrcNames, seedTgtNames)
+	if err != nil {
+		return err
+	}
+	fs.Ml, fs.SeedMl = ml, seedMl
+	return nil
+}
+
+// isCtxError reports whether err stems from context cancellation — failures
+// the degradation machinery must not swallow.
+func isCtxError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// validateInput rejects unusable inputs up front with descriptive errors,
+// instead of panicking deep inside the pipeline: nil KGs or embedders,
+// empty alignments, embedder dimension mismatches, and out-of-range or
+// duplicate seed/test pairs.
 func validateInput(in *Input) error {
 	if in == nil || in.G1 == nil || in.G2 == nil {
 		return fmt.Errorf("core: nil input")
@@ -176,6 +291,30 @@ func validateInput(in *Input) error {
 	}
 	if in.Emb1 == nil || in.Emb2 == nil {
 		return fmt.Errorf("core: nil embedders")
+	}
+	if d1, d2 := in.Emb1.Dim(), in.Emb2.Dim(); d1 != d2 {
+		return fmt.Errorf("core: embedder dimensions differ: %d vs %d", d1, d2)
+	}
+	if err := validatePairs("seed", in.Seeds, in.G1, in.G2); err != nil {
+		return err
+	}
+	return validatePairs("test", in.Tests, in.G1, in.G2)
+}
+
+func validatePairs(kind string, pairs []align.Pair, g1, g2 *kg.KG) error {
+	n1, n2 := g1.NumEntities(), g2.NumEntities()
+	seen := make(map[align.Pair]int, len(pairs))
+	for i, p := range pairs {
+		if p.U < 0 || int(p.U) >= n1 {
+			return fmt.Errorf("core: %s pair %d: source entity %d out of range [0,%d)", kind, i, p.U, n1)
+		}
+		if p.V < 0 || int(p.V) >= n2 {
+			return fmt.Errorf("core: %s pair %d: target entity %d out of range [0,%d)", kind, i, p.V, n2)
+		}
+		if j, dup := seen[p]; dup {
+			return fmt.Errorf("core: %s pairs %d and %d are duplicates (%d, %d)", kind, j, i, p.U, p.V)
+		}
+		seen[p] = i
 	}
 	return nil
 }
@@ -209,6 +348,10 @@ type Result struct {
 	// over all sources — informative when truncated preferences or blocked
 	// candidates leave sources unmatched.
 	PRF eval.PRF
+	// Degraded lists features dropped during feature generation (copied
+	// from the FeatureSet); non-empty means the run completed on reduced
+	// evidence.
+	Degraded []Degradation
 }
 
 // Decide runs fusion (stage 2) and EA decision making (stage 3) on
@@ -216,10 +359,10 @@ type Result struct {
 func Decide(fs *FeatureSet, cfg Config) (*Result, error) {
 	ms, mn, ml := selectFeatures(fs, cfg)
 	if ms == nil && mn == nil && ml == nil {
-		return nil, fmt.Errorf("core: all features disabled")
+		return nil, fmt.Errorf("core: all features disabled or degraded")
 	}
 
-	res := &Result{}
+	res := &Result{Degraded: append([]Degradation(nil), fs.Degraded...)}
 	switch cfg.Fusion {
 	case AdaptiveFusion:
 		if cfg.SingleStageFusion {
@@ -281,8 +424,19 @@ func Decide(fs *FeatureSet, cfg Config) (*Result, error) {
 
 // Run executes the full pipeline: feature generation, fusion, decision.
 func Run(in *Input, cfg Config) (*Result, error) {
-	fs, err := ComputeFeatures(in, cfg.GCN)
+	return RunContext(context.Background(), in, cfg)
+}
+
+// RunContext is Run with cancellation/deadline propagation: a done context
+// aborts GCN training at the next epoch boundary and the similarity kernels
+// at the next row chunk, returning ctx's error (errors.Is-compatible with
+// context.Canceled / context.DeadlineExceeded) without leaking goroutines.
+func RunContext(ctx context.Context, in *Input, cfg Config) (*Result, error) {
+	fs, err := ComputeFeaturesContext(ctx, in, cfg.GCN)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return Decide(fs, cfg)
@@ -304,12 +458,21 @@ func selectFeatures(fs *FeatureSet, cfg Config) (ms, mn, ml *mat.Dense) {
 // learnWeights implements the LR baseline of §VII-E: label seed pairs 1 and
 // corrupted pairs 0 over the per-pair feature-score vector, fit a logistic
 // regression, and use its coefficients (over the three features in Ms, Mn,
-// Ml order) as fusion weights.
+// Ml order) as fusion weights. Degraded features (nil seed matrices) are
+// excluded from the regression and get weight 0, so LR fusion keeps working
+// on the surviving features.
 func learnWeights(fs *FeatureSet, cfg Config) ([]float64, error) {
-	if fs.SeedMs == nil || fs.SeedMn == nil || fs.SeedMl == nil {
-		return nil, fmt.Errorf("core: LR fusion requires seed feature matrices")
+	seedMats := []*mat.Dense{fs.SeedMs, fs.SeedMn, fs.SeedMl}
+	var avail []int
+	for i, m := range seedMats {
+		if m != nil {
+			avail = append(avail, i)
+		}
 	}
-	n := fs.SeedMs.Rows
+	if len(avail) == 0 {
+		return nil, fmt.Errorf("core: LR fusion requires at least one seed feature matrix")
+	}
+	n := seedMats[avail[0]].Rows
 	if n == 0 {
 		return nil, fmt.Errorf("core: LR fusion with no seeds")
 	}
@@ -321,7 +484,11 @@ func learnWeights(fs *FeatureSet, cfg Config) ([]float64, error) {
 	var x [][]float64
 	var y []int
 	featAt := func(i, j int) []float64 {
-		return []float64{fs.SeedMs.At(i, j), fs.SeedMn.At(i, j), fs.SeedMl.At(i, j)}
+		row := make([]float64, len(avail))
+		for k, f := range avail {
+			row[k] = seedMats[f].At(i, j)
+		}
+		return row
 	}
 	for i := 0; i < n; i++ {
 		x = append(x, featAt(i, i))
@@ -339,5 +506,9 @@ func learnWeights(fs *FeatureSet, cfg Config) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: LR fusion: %w", err)
 	}
-	return model.Weights, nil
+	weights := make([]float64, len(seedMats))
+	for k, f := range avail {
+		weights[f] = model.Weights[k]
+	}
+	return weights, nil
 }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"ceaff/internal/align"
+	"ceaff/internal/bench"
+	"ceaff/internal/gcn"
+	"ceaff/internal/match"
+	"ceaff/internal/robust"
+	"ceaff/internal/wordvec"
+)
+
+func TestValidateInputPairs(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := fastGCN()
+
+	broken := *in
+	broken.Seeds = append(append([]align.Pair(nil), in.Seeds...), in.Seeds[0])
+	if _, err := ComputeFeatures(&broken, cfg); err == nil {
+		t.Error("duplicate seed pair accepted")
+	}
+
+	broken = *in
+	broken.Tests = append(append([]align.Pair(nil), in.Tests...), align.Pair{U: 1 << 30, V: 0})
+	if _, err := ComputeFeatures(&broken, cfg); err == nil {
+		t.Error("out-of-range test pair accepted")
+	}
+
+	broken = *in
+	broken.Emb2 = wordvec.NewHash(in.Emb1.Dim()+8, 0xBAD)
+	if _, err := ComputeFeatures(&broken, cfg); err == nil {
+		t.Error("embedder dimension mismatch accepted")
+	}
+}
+
+// TestDegradedSemanticFeature injects a semantic-feature failure and expects
+// the pipeline to drop Mn, renormalize fusion weights over the survivors,
+// and still produce a valid alignment, with the degradation recorded.
+func TestDegradedSemanticFeature(t *testing.T) {
+	defer robust.Reset()
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	robust.Arm(robust.Fault{Site: FaultSemantic})
+
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	res, err := Run(in, cfg)
+	if err != nil {
+		t.Fatalf("pipeline failed instead of degrading: %v", err)
+	}
+	if len(res.Degraded) != 1 || res.Degraded[0].Feature != "semantic" {
+		t.Fatalf("Degraded = %+v, want one semantic entry", res.Degraded)
+	}
+	if res.Accuracy < 0.5 {
+		t.Fatalf("degraded accuracy %.3f, want >= 0.5", res.Accuracy)
+	}
+	if err := match.Validate(res.Fused, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	// The final fusion runs over the two surviving features only.
+	for _, w := range res.FusionInfo.FinalWeights.PerFeature {
+		if math.IsNaN(w) {
+			t.Fatal("NaN fusion weight after degradation")
+		}
+	}
+}
+
+func TestAllFeaturesDegradedIsAnError(t *testing.T) {
+	defer robust.Reset()
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	for _, site := range []string{FaultStructural, FaultSemantic, FaultString} {
+		robust.Arm(robust.Fault{Site: site})
+	}
+	if _, err := ComputeFeatures(in, fastGCN()); err == nil {
+		t.Fatal("pipeline succeeded with every feature degraded")
+	}
+}
+
+// TestRunContextDeadline verifies that an expired deadline aborts the
+// pipeline with context.DeadlineExceeded rather than being swallowed by
+// feature degradation.
+func TestRunContextDeadline(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := RunContext(ctx, in, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestFaultRecoveryEndToEnd is the acceptance test for divergence recovery:
+// a NaN loss injected mid-GCN-training must be absorbed (retry with halved
+// learning rate from the last checkpoint) and the final alignment accuracy
+// must stay within 5 points of the fault-free run.
+func TestFaultRecoveryEndToEnd(t *testing.T) {
+	defer robust.Reset()
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+
+	clean, err := Run(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	robust.Arm(robust.Fault{Site: gcn.FaultLoss, TriggerAt: cfg.GCN.Epochs / 2})
+	faulted, err := Run(in, cfg)
+	if err != nil {
+		t.Fatalf("pipeline did not recover from injected divergence: %v", err)
+	}
+	if got := robust.Fired(gcn.FaultLoss); got != 1 {
+		t.Fatalf("fault fired %d times, want 1", got)
+	}
+	if diff := math.Abs(clean.Accuracy - faulted.Accuracy); diff > 0.05 {
+		t.Fatalf("recovered accuracy %.3f vs fault-free %.3f (diff %.3f > 0.05)",
+			faulted.Accuracy, clean.Accuracy, diff)
+	}
+}

@@ -43,8 +43,23 @@ type Corpus struct {
 	Train, Test []align.Pair
 }
 
-// Load reads an OpenEA-layout directory.
+// LoadOptions adjusts validation strictness when reading a corpus.
+type LoadOptions struct {
+	// StrictLinks rejects link lines that reference entities absent from
+	// the triple files instead of interning them as isolated entities. Real
+	// corpora do contain isolated entities, so the default is lenient; turn
+	// this on to catch typos when preparing a new dataset.
+	StrictLinks bool
+}
+
+// Load reads an OpenEA-layout directory with default (lenient) options.
 func Load(dir string) (*Corpus, error) {
+	return LoadWith(dir, LoadOptions{})
+}
+
+// LoadWith reads an OpenEA-layout directory. Malformed lines are reported
+// with their file path and line number.
+func LoadWith(dir string, opt LoadOptions) (*Corpus, error) {
 	c := &Corpus{}
 	var err error
 	if c.G1, err = loadKG(dir, "1"); err != nil {
@@ -53,17 +68,17 @@ func Load(dir string) (*Corpus, error) {
 	if c.G2, err = loadKG(dir, "2"); err != nil {
 		return nil, err
 	}
-	if c.Links, err = loadLinks(filepath.Join(dir, "ent_links"), c.G1, c.G2, true); err != nil {
+	if c.Links, err = loadLinks(filepath.Join(dir, "ent_links"), c.G1, c.G2, true, opt); err != nil {
 		return nil, err
 	}
 	if len(c.Links) == 0 {
 		return nil, fmt.Errorf("dataio: %s: empty gold alignment", dir)
 	}
 	// Optional predefined split.
-	if c.Train, err = loadLinks(filepath.Join(dir, "train_links"), c.G1, c.G2, false); err != nil {
+	if c.Train, err = loadLinks(filepath.Join(dir, "train_links"), c.G1, c.G2, false, opt); err != nil {
 		return nil, err
 	}
-	if c.Test, err = loadLinks(filepath.Join(dir, "test_links"), c.G1, c.G2, false); err != nil {
+	if c.Test, err = loadLinks(filepath.Join(dir, "test_links"), c.G1, c.G2, false, opt); err != nil {
 		return nil, err
 	}
 	if (c.Train == nil) != (c.Test == nil) {
@@ -118,10 +133,15 @@ func readTriples(r io.Reader, path string, g *kg.KG) error {
 		if len(parts) != 3 {
 			return fmt.Errorf("dataio: %s:%d: want 3 tab-separated fields, got %d", path, line, len(parts))
 		}
+		if parts[0] == "" || parts[1] == "" || parts[2] == "" {
+			return fmt.Errorf("dataio: %s:%d: empty field in triple", path, line)
+		}
 		h := g.AddEntity(parts[0])
 		rel := g.AddRelation(parts[1])
 		t := g.AddEntity(parts[2])
-		g.AddTriple(h, rel, t)
+		if err := g.CheckedAddTriple(h, rel, t); err != nil {
+			return fmt.Errorf("dataio: %s:%d: %w", path, line, err)
+		}
 	}
 	return sc.Err()
 }
@@ -141,21 +161,28 @@ func readAttrs(r io.Reader, path string, g *kg.KG) error {
 		if len(parts) < 2 {
 			return fmt.Errorf("dataio: %s:%d: want at least 2 tab-separated fields", path, line)
 		}
+		if parts[0] == "" || parts[1] == "" {
+			return fmt.Errorf("dataio: %s:%d: empty field in attribute triple", path, line)
+		}
 		e := g.AddEntity(parts[0])
 		id, ok := types[parts[1]]
 		if !ok {
 			id = len(types)
 			types[parts[1]] = id
 		}
-		g.AddAttr(e, id)
+		if err := g.CheckedAddAttr(e, id); err != nil {
+			return fmt.Errorf("dataio: %s:%d: %w", path, line, err)
+		}
 	}
 	return sc.Err()
 }
 
 // loadLinks reads an entity-link file. With required=false, a missing file
-// returns (nil, nil). Entities referenced by links but absent from the
-// triple files are interned (isolated entities occur in real corpora).
-func loadLinks(path string, g1, g2 *kg.KG, required bool) ([]align.Pair, error) {
+// returns (nil, nil). By default, entities referenced by links but absent
+// from the triple files are interned (isolated entities occur in real
+// corpora); with opt.StrictLinks they are rejected with the offending
+// file position.
+func loadLinks(path string, g1, g2 *kg.KG, required bool, opt LoadOptions) ([]align.Pair, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) && !required {
@@ -176,6 +203,21 @@ func loadLinks(path string, g1, g2 *kg.KG, required bool) ([]align.Pair, error) 
 		parts := strings.Split(text, "\t")
 		if len(parts) != 2 {
 			return nil, fmt.Errorf("dataio: %s:%d: want 2 tab-separated fields, got %d", path, line, len(parts))
+		}
+		if parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("dataio: %s:%d: empty field in link", path, line)
+		}
+		if opt.StrictLinks {
+			u, ok1 := g1.Entity(parts[0])
+			v, ok2 := g2.Entity(parts[1])
+			if !ok1 {
+				return nil, fmt.Errorf("dataio: %s:%d: link references entity %q absent from source triples", path, line, parts[0])
+			}
+			if !ok2 {
+				return nil, fmt.Errorf("dataio: %s:%d: link references entity %q absent from target triples", path, line, parts[1])
+			}
+			out = append(out, align.Pair{U: u, V: v})
+			continue
 		}
 		out = append(out, align.Pair{U: g1.AddEntity(parts[0]), V: g2.AddEntity(parts[1])})
 	}

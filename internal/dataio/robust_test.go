@@ -1,0 +1,86 @@
+package dataio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCorpus lays out a minimal OpenEA-style directory for loader tests.
+func writeCorpus(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func validFiles() map[string]string {
+	return map[string]string{
+		"rel_triples_1": "a\tr\tb\nb\tr\tc\n",
+		"rel_triples_2": "x\tr\ty\ny\tr\tz\n",
+		"ent_links":     "a\tx\nb\ty\n",
+	}
+}
+
+func TestLoadValid(t *testing.T) {
+	dir := writeCorpus(t, validFiles())
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Links) != 2 {
+		t.Errorf("links = %d, want 2", len(c.Links))
+	}
+}
+
+// TestLoadMalformedLines checks that every malformed-input class is
+// rejected with the offending file path and line number.
+func TestLoadMalformedLines(t *testing.T) {
+	cases := []struct {
+		name, file, content, wantLoc string
+	}{
+		{"triple field count", "rel_triples_1", "a\tr\tb\nc\tr\n", "rel_triples_1:2"},
+		{"triple empty field", "rel_triples_1", "a\tr\tb\n\tr\tc\n", "rel_triples_1:2"},
+		{"link field count", "ent_links", "a\tx\nb\n", "ent_links:2"},
+		{"link empty field", "ent_links", "a\tx\n\ty\n", "ent_links:2"},
+		{"attr too few fields", "attr_triples_1", "a\n", "attr_triples_1:1"},
+		{"attr empty field", "attr_triples_1", "\tp\tv\n", "attr_triples_1:1"},
+	}
+	for _, tc := range cases {
+		files := validFiles()
+		files[tc.file] = tc.content
+		dir := writeCorpus(t, files)
+		_, err := Load(dir)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantLoc) {
+			t.Errorf("%s: error %q lacks location %q", tc.name, err, tc.wantLoc)
+		}
+	}
+}
+
+func TestStrictLinks(t *testing.T) {
+	files := validFiles()
+	files["ent_links"] = "a\tx\nghost\ty\n"
+	dir := writeCorpus(t, files)
+
+	// Lenient mode interns the unknown entity.
+	if _, err := Load(dir); err != nil {
+		t.Fatalf("lenient load failed: %v", err)
+	}
+
+	_, err := LoadWith(dir, LoadOptions{StrictLinks: true})
+	if err == nil {
+		t.Fatal("strict mode accepted a link to an entity absent from the triples")
+	}
+	if !strings.Contains(err.Error(), "ent_links:2") || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("strict error %q lacks location or entity name", err)
+	}
+}

@@ -8,6 +8,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ceaff/internal/baselines"
@@ -15,7 +17,13 @@ import (
 	"ceaff/internal/core"
 	"ceaff/internal/eval"
 	"ceaff/internal/match"
+	"ceaff/internal/robust"
 )
+
+// FaultCell is the fault-injection site fired once per table-cell attempt,
+// used by tests to demonstrate that a failing cell is retried and, when
+// persistently failing, isolated without sinking the rest of the table.
+const FaultCell = "experiments.cell"
 
 // Options configures an experiment run.
 type Options struct {
@@ -26,6 +34,16 @@ type Options struct {
 	Fast bool
 	// Progress, if non-nil, receives one line per completed unit of work.
 	Progress func(format string, args ...any)
+	// Ctx, if non-nil, cancels the run cooperatively: expiry aborts between
+	// cells (and inside feature computation) with the context's error.
+	Ctx context.Context
+	// CellRetries bounds re-attempts of a failed table cell: 0 means the
+	// default of one retry (two attempts), a negative value disables
+	// retrying, and a positive value is used as given.
+	CellRetries int
+	// FailFast aborts the whole run on the first persistently failing cell
+	// instead of recording it in Table.Failed and continuing.
+	FailFast bool
 }
 
 // DefaultOptions runs the full-size analogues with default substrates.
@@ -37,6 +55,61 @@ func (o Options) log(format string, args ...any) {
 	if o.Progress != nil {
 		o.Progress(format, args...)
 	}
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+func (o Options) cellAttempts() int {
+	switch {
+	case o.CellRetries < 0:
+		return 1
+	case o.CellRetries == 0:
+		return 2
+	default:
+		return o.CellRetries + 1
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// runCell executes one cell's work with bounded retry and failure
+// isolation. Context errors abort the run; any other persistent failure is
+// recorded under every cell in cols (or returned when o.FailFast is set)
+// so the rest of the table still completes.
+func runCell(t *Table, o Options, row string, cols []string, fn func() error) error {
+	var err error
+	for attempt := 0; attempt < o.cellAttempts(); attempt++ {
+		if err = o.ctx().Err(); err != nil {
+			return err
+		}
+		if err = robust.Fire(FaultCell); err == nil {
+			err = fn()
+		}
+		if err == nil {
+			if attempt > 0 {
+				o.log("%s: %s recovered on attempt %d", cols[0], row, attempt+1)
+			}
+			return nil
+		}
+		if isCtxErr(err) {
+			return err
+		}
+		o.log("%s: %s attempt %d failed: %v", cols[0], row, attempt+1, err)
+	}
+	if o.FailFast {
+		return fmt.Errorf("experiments: cell (%s, %s): %w", row, cols[0], err)
+	}
+	for _, col := range cols {
+		t.Failed[cell{row, col}] = err
+	}
+	return nil
 }
 
 func (o Options) settings() baselines.Settings {
@@ -128,6 +201,9 @@ type Table struct {
 	// render as "-".
 	Measured map[cell]float64
 	Paper    map[cell]float64
+	// Failed records cells whose computation persistently failed and was
+	// isolated (rendered as "FAIL").
+	Failed map[cell]error
 }
 
 // Get returns the measured value of a cell.
@@ -144,6 +220,7 @@ func newTable(title string, rows, cols []string, paper map[cell]float64) *Table 
 	return &Table{
 		Title: title, Rows: rows, Cols: cols,
 		Measured: make(map[cell]float64), Paper: paper,
+		Failed: make(map[cell]error),
 	}
 }
 
@@ -190,15 +267,19 @@ func Table4(opt Options) (*Table, error) {
 
 // runAccuracyTable fills an accuracy table: every baseline row with greedy
 // decisions, the CEAFF rows through the pipeline (reusing one feature
-// computation per dataset).
+// computation per dataset). Each cell runs in isolation: a persistently
+// failing cell is recorded in t.Failed and the rest of the table still
+// completes.
 func runAccuracyTable(t *Table, opt Options, skip func(row, col string) bool) error {
 	s := opt.settings()
 	for _, col := range t.Cols {
+		col := col
 		in, _, err := inputFor(col, opt)
 		if err != nil {
 			return err
 		}
 		for _, row := range t.Rows {
+			row := row
 			if row == RowCEAFF || row == RowCEAFFNoL || row == RowCEAFFNoC {
 				continue // handled below from shared features
 			}
@@ -209,20 +290,33 @@ func runAccuracyTable(t *Table, opt Options, skip func(row, col string) bool) er
 			if m == nil {
 				return fmt.Errorf("experiments: unknown method row %q", row)
 			}
-			sim, err := m.Align(in)
+			err := runCell(t, opt, row, []string{col}, func() error {
+				sim, err := m.Align(in)
+				if err != nil {
+					return err
+				}
+				t.set(row, col, eval.Accuracy(match.Greedy(sim)))
+				return nil
+			})
 			if err != nil {
 				return err
 			}
-			t.set(row, col, eval.Accuracy(match.Greedy(sim)))
 			opt.log("%s: %s done", col, row)
 		}
 
+		ceaffRows := intersect(t.Rows, RowCEAFF, RowCEAFFNoL, RowCEAFFNoC)
 		cfg := opt.ceaffConfig()
-		fs, err := core.ComputeFeatures(in, cfg.GCN)
+		fs, err := core.ComputeFeaturesContext(opt.ctx(), in, cfg.GCN)
 		if err != nil {
-			return err
+			// A dead feature computation sinks only this column's CEAFF
+			// cells, unless the run itself was cancelled.
+			if ferr := failRows(t, opt, col, ceaffRows, err); ferr != nil {
+				return ferr
+			}
+			continue
 		}
-		for _, row := range t.Rows {
+		for _, row := range ceaffRows {
+			row := row
 			var c core.Config
 			switch row {
 			case RowCEAFF:
@@ -233,16 +327,50 @@ func runAccuracyTable(t *Table, opt Options, skip func(row, col string) bool) er
 			case RowCEAFFNoC:
 				c = cfg
 				c.Decision = core.Independent
-			default:
-				continue
 			}
-			res, err := core.Decide(fs, c)
+			err := runCell(t, opt, row, []string{col}, func() error {
+				res, err := core.Decide(fs, c)
+				if err != nil {
+					return err
+				}
+				t.set(row, col, res.Accuracy)
+				return nil
+			})
 			if err != nil {
 				return err
 			}
-			t.set(row, col, res.Accuracy)
 			opt.log("%s: %s done", col, row)
 		}
+	}
+	return nil
+}
+
+// intersect returns the members of want that appear in rows, in rows order.
+func intersect(rows []string, want ...string) []string {
+	var out []string
+	for _, r := range rows {
+		for _, w := range want {
+			if r == w {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// failRows records err for every (row, col) cell, honouring FailFast and
+// propagating context errors.
+func failRows(t *Table, opt Options, col string, rows []string, err error) error {
+	if isCtxErr(err) {
+		return err
+	}
+	if opt.FailFast {
+		return fmt.Errorf("experiments: column %s: %w", col, err)
+	}
+	for _, row := range rows {
+		t.Failed[cell{row, col}] = err
+		opt.log("%s: %s failed: %v", col, row, err)
 	}
 	return nil
 }
@@ -294,20 +422,31 @@ func Table5(opt Options) (*Table, error) {
 	t := newTable("Table V: ablation and further experiments", rows, bench.AblationNames(), Table5Paper)
 
 	for _, col := range t.Cols {
+		col := col
 		in, _, err := inputFor(col, opt)
 		if err != nil {
 			return nil, err
 		}
-		fs, err := core.ComputeFeatures(in, base.GCN)
+		fs, err := core.ComputeFeaturesContext(opt.ctx(), in, base.GCN)
 		if err != nil {
-			return nil, err
+			if ferr := failRows(t, opt, col, rows, err); ferr != nil {
+				return nil, ferr
+			}
+			continue
 		}
 		for _, c := range configs {
-			res, err := core.Decide(fs, c.Cfg)
+			c := c
+			err := runCell(t, opt, c.Row, []string{col}, func() error {
+				res, err := core.Decide(fs, c.Cfg)
+				if err != nil {
+					return err
+				}
+				t.set(c.Row, col, res.Accuracy)
+				return nil
+			})
 			if err != nil {
 				return nil, err
 			}
-			t.set(c.Row, col, res.Accuracy)
 			opt.log("%s: %s done", col, c.Row)
 		}
 	}
@@ -329,11 +468,14 @@ func Table6(opt Options) (*Table, error) {
 
 	s := opt.settings()
 	for _, ds := range datasets {
+		ds := ds
+		rankCols := []string{ds + "/H1", ds + "/H10", ds + "/MRR"}
 		in, _, err := inputFor(ds, opt)
 		if err != nil {
 			return nil, err
 		}
 		for _, row := range methods {
+			row := row
 			if row == RowCEAFF || row == RowCEAFFNoC {
 				continue
 			}
@@ -341,37 +483,65 @@ func Table6(opt Options) (*Table, error) {
 			if m == nil {
 				return nil, fmt.Errorf("experiments: unknown method row %q", row)
 			}
-			sim, err := m.Align(in)
+			err := runCell(t, opt, row, rankCols, func() error {
+				sim, err := m.Align(in)
+				if err != nil {
+					return err
+				}
+				r := eval.Ranking(sim)
+				t.set(row, ds+"/H1", r.Hits1)
+				t.set(row, ds+"/H10", r.Hits10)
+				t.set(row, ds+"/MRR", r.MRR)
+				return nil
+			})
 			if err != nil {
 				return nil, err
 			}
-			r := eval.Ranking(sim)
-			t.set(row, ds+"/H1", r.Hits1)
-			t.set(row, ds+"/H10", r.Hits10)
-			t.set(row, ds+"/MRR", r.MRR)
 			opt.log("%s: %s done", ds, row)
 		}
 
 		cfg := opt.ceaffConfig()
-		fs, err := core.ComputeFeatures(in, cfg.GCN)
+		fs, err := core.ComputeFeaturesContext(opt.ctx(), in, cfg.GCN)
 		if err != nil {
-			return nil, err
+			ferr := failRows(t, opt, ds+"/H1", []string{RowCEAFF, RowCEAFFNoC}, err)
+			if ferr == nil {
+				ferr = failRows(t, opt, ds+"/H10", []string{RowCEAFFNoC}, err)
+			}
+			if ferr == nil {
+				ferr = failRows(t, opt, ds+"/MRR", []string{RowCEAFFNoC}, err)
+			}
+			if ferr != nil {
+				return nil, ferr
+			}
+			continue
 		}
 		noC := cfg
 		noC.Decision = core.Independent
-		res, err := core.Decide(fs, noC)
+		err = runCell(t, opt, RowCEAFFNoC, rankCols, func() error {
+			res, err := core.Decide(fs, noC)
+			if err != nil {
+				return err
+			}
+			t.set(RowCEAFFNoC, ds+"/H1", res.Ranking.Hits1)
+			t.set(RowCEAFFNoC, ds+"/H10", res.Ranking.Hits10)
+			t.set(RowCEAFFNoC, ds+"/MRR", res.Ranking.MRR)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		t.set(RowCEAFFNoC, ds+"/H1", res.Ranking.Hits1)
-		t.set(RowCEAFFNoC, ds+"/H10", res.Ranking.Hits10)
-		t.set(RowCEAFFNoC, ds+"/MRR", res.Ranking.MRR)
 
-		full, err := core.Decide(fs, cfg)
+		err = runCell(t, opt, RowCEAFF, []string{ds + "/H1"}, func() error {
+			full, err := core.Decide(fs, cfg)
+			if err != nil {
+				return err
+			}
+			t.set(RowCEAFF, ds+"/H1", full.Accuracy)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		t.set(RowCEAFF, ds+"/H1", full.Accuracy)
 		opt.log("%s: CEAFF rows done", ds)
 	}
 	return t, nil

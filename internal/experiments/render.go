@@ -43,7 +43,9 @@ func (t *Table) cellString(row, col string) string {
 	m, hasM := t.Measured[k]
 	p, hasP := t.Paper[k]
 	ms, ps := "-", "-"
-	if hasM {
+	if _, failed := t.Failed[k]; failed {
+		ms = "FAIL"
+	} else if hasM {
 		ms = fmt.Sprintf("%.3f", m)
 	}
 	if hasP {

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ceaff/internal/robust"
+)
+
+// TestCellRetryRecovers injects a single transient cell failure and expects
+// the default one-retry policy to absorb it with no FAIL cells.
+func TestCellRetryRecovers(t *testing.T) {
+	defer robust.Reset()
+	robust.Arm(robust.Fault{Site: FaultCell, TriggerAt: 3})
+	tbl, err := Table5(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.Fired(FaultCell) != 1 {
+		t.Fatalf("fault fired %d times, want 1", robust.Fired(FaultCell))
+	}
+	if len(tbl.Failed) != 0 {
+		t.Fatalf("transient failure not retried: %v", tbl.Failed)
+	}
+}
+
+// TestCellIsolation makes one cell fail persistently and verifies the rest
+// of the table completes, the failure is recorded, and it renders as FAIL.
+func TestCellIsolation(t *testing.T) {
+	defer robust.Reset()
+	// Fire on invocation 3 and every retry of it (large window).
+	robust.Arm(robust.Fault{Site: FaultCell, TriggerAt: 3, Count: 2})
+	tbl, err := Table5(tinyOptions())
+	if err != nil {
+		t.Fatalf("persistent cell failure sank the whole table: %v", err)
+	}
+	if len(tbl.Failed) != 1 {
+		t.Fatalf("Failed = %v, want exactly one cell", tbl.Failed)
+	}
+	for k, cerr := range tbl.Failed {
+		if !errors.Is(cerr, robust.ErrInjected) {
+			t.Errorf("failure cause %v does not wrap ErrInjected", cerr)
+		}
+		if _, ok := tbl.Measured[k]; ok {
+			t.Errorf("failed cell (%s, %s) also has a measured value", k.Row, k.Col)
+		}
+	}
+	// Every other cell still measured.
+	want := len(tbl.Rows) * len(tbl.Cols)
+	if got := len(tbl.Measured) + len(tbl.Failed); got != want {
+		t.Fatalf("measured+failed = %d, want %d", got, want)
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Fatal("render does not show FAIL for the isolated cell")
+	}
+}
+
+// TestCellFailFast flips the same persistent failure into a run abort.
+func TestCellFailFast(t *testing.T) {
+	defer robust.Reset()
+	robust.Arm(robust.Fault{Site: FaultCell, TriggerAt: 3, Count: 2})
+	opt := tinyOptions()
+	opt.FailFast = true
+	if _, err := Table5(opt); !errors.Is(err, robust.ErrInjected) {
+		t.Fatalf("err = %v, want the injected failure surfaced", err)
+	}
+}
+
+// TestTableRunCancellation verifies an expired context aborts a table run
+// with the context's error instead of being recorded as a cell failure.
+func TestTableRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	opt := tinyOptions()
+	opt.Ctx = ctx
+	if _, err := Table5(opt); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

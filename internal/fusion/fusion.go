@@ -25,6 +25,7 @@ package fusion
 
 import (
 	"fmt"
+	"math"
 
 	"ceaff/internal/mat"
 )
@@ -45,15 +46,21 @@ type Candidate struct {
 // Candidates returns the confident correspondences of one feature matrix:
 // cells maximal along both their row and their column. Ties break to the
 // lower index (consistent with mat.Argmax*), which keeps the selection
-// deterministic.
+// deterministic. Cells with non-finite scores are never proposed — a NaN
+// "maximum" carries no evidence and would poison the weight normalization.
 func Candidates(m *mat.Dense) []Candidate {
 	rowMax := mat.ArgmaxRow(m)
 	colMax := mat.ArgmaxCol(m)
 	var out []Candidate
 	for i, j := range rowMax {
-		if colMax[j] == i {
-			out = append(out, Candidate{Src: i, Tgt: j, Score: m.At(i, j)})
+		if colMax[j] != i {
+			continue
 		}
+		score := m.At(i, j)
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			continue
+		}
+		out = append(out, Candidate{Src: i, Tgt: j, Score: score})
 	}
 	return out
 }

@@ -304,3 +304,28 @@ func TestTwoStageFixedMatchesManual(t *testing.T) {
 		}
 	}
 }
+
+// TestCandidatesSkipNonFinite is the robustness regression: a NaN or Inf
+// cell that happens to be a row/column maximum must never be proposed as a
+// confident correspondence.
+func TestCandidatesSkipNonFinite(t *testing.T) {
+	m := mat.FromRows([][]float64{
+		{math.NaN(), 0.2},
+		{0.1, 0.9},
+	})
+	for _, c := range Candidates(m) {
+		if c.Src == 0 {
+			t.Fatalf("NaN cell proposed as candidate: %+v", c)
+		}
+	}
+	m2 := mat.FromRows([][]float64{
+		{math.Inf(1), 0.2},
+		{0.1, 0.9},
+	})
+	cands := Candidates(m2)
+	for _, c := range cands {
+		if math.IsInf(c.Score, 0) {
+			t.Fatalf("Inf cell proposed as candidate: %+v", c)
+		}
+	}
+}

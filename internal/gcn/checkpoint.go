@@ -1,0 +1,153 @@
+package gcn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ceaff/internal/mat"
+)
+
+// Checkpoint captures the complete GCN training state at an epoch boundary:
+// parameters, optimizer moments, the negative-sampling RNG stream, mined
+// hard-negative pools, and the divergence-recovery bookkeeping (current
+// learning rate and consumed retries). Restoring a checkpoint and training
+// onward reproduces the uninterrupted run bit for bit, which is what makes
+// interrupt/resume and divergence recovery safe to use mid-experiment.
+type Checkpoint struct {
+	// Epoch is the number of completed epochs; training resumes at this
+	// epoch index.
+	Epoch int
+	// LearningRate is the effective step size at capture time (may be
+	// smaller than Config.LearningRate after divergence recovery halvings).
+	LearningRate float64
+	// Retries counts divergence recoveries consumed so far.
+	Retries int
+
+	Weights []*mat.Dense // shared layer weights W_l
+	X1, X2  *mat.Dense   // trainable input features of the two KGs
+
+	OptM, OptV []*mat.Dense // Adam moments (nil under SGD)
+	OptT       int          // Adam step count
+
+	// NegState is the negative-sampling RNG state (rng.Source.State).
+	NegState uint64
+	// Pool1/Pool2 are the mined hard-negative pools (nil when mining is
+	// disabled or not yet triggered).
+	Pool1, Pool2 [][]int
+}
+
+// Clone returns a deep copy sharing no backing storage with c.
+func (c *Checkpoint) Clone() *Checkpoint {
+	out := *c
+	out.Weights = cloneMats(c.Weights)
+	out.X1 = cloneMat(c.X1)
+	out.X2 = cloneMat(c.X2)
+	out.OptM = cloneMats(c.OptM)
+	out.OptV = cloneMats(c.OptV)
+	out.Pool1 = clonePools(c.Pool1)
+	out.Pool2 = clonePools(c.Pool2)
+	return &out
+}
+
+// Save serializes the checkpoint with encoding/gob. The format is internal
+// to this package version; checkpoints are working state, not an archival
+// format.
+func (c *Checkpoint) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(c); err != nil {
+		return fmt.Errorf("gcn: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint deserializes a checkpoint written by Save and sanity-checks
+// its shape invariants.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("gcn: read checkpoint: %w", err)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// validate checks internal consistency of a checkpoint (shapes agree with
+// each other; compatibility with a specific Config is checked at resume).
+func (c *Checkpoint) validate() error {
+	if c.Epoch < 0 || c.LearningRate <= 0 {
+		return fmt.Errorf("gcn: checkpoint has epoch %d, learning rate %g", c.Epoch, c.LearningRate)
+	}
+	if len(c.Weights) == 0 || c.X1 == nil || c.X2 == nil {
+		return fmt.Errorf("gcn: checkpoint missing parameters")
+	}
+	dim := c.Weights[0].Cols
+	for l, w := range c.Weights {
+		if w == nil || w.Rows != dim || w.Cols != dim {
+			return fmt.Errorf("gcn: checkpoint layer %d weights malformed", l)
+		}
+	}
+	if c.X1.Cols != dim || c.X2.Cols != dim {
+		return fmt.Errorf("gcn: checkpoint feature dims %d/%d, want %d", c.X1.Cols, c.X2.Cols, dim)
+	}
+	return nil
+}
+
+// compatible checks that the checkpoint can resume training under cfg
+// against the given entity counts.
+func (c *Checkpoint) compatible(cfg Config, n1, n2 int) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	layers := cfg.Layers
+	if layers <= 0 {
+		layers = 2
+	}
+	if len(c.Weights) != layers {
+		return fmt.Errorf("gcn: checkpoint has %d layers, config wants %d", len(c.Weights), layers)
+	}
+	if c.Weights[0].Cols != cfg.Dim {
+		return fmt.Errorf("gcn: checkpoint dim %d, config wants %d", c.Weights[0].Cols, cfg.Dim)
+	}
+	if c.X1.Rows != n1 || c.X2.Rows != n2 {
+		return fmt.Errorf("gcn: checkpoint features %d/%d rows, KGs have %d/%d entities",
+			c.X1.Rows, c.X2.Rows, n1, n2)
+	}
+	if c.Epoch > cfg.Epochs {
+		return fmt.Errorf("gcn: checkpoint epoch %d beyond configured %d epochs", c.Epoch, cfg.Epochs)
+	}
+	if (cfg.Optimizer == Adam) != (c.OptM != nil) {
+		return fmt.Errorf("gcn: checkpoint optimizer state does not match configured optimizer")
+	}
+	return nil
+}
+
+func cloneMat(m *mat.Dense) *mat.Dense {
+	if m == nil {
+		return nil
+	}
+	return m.Clone()
+}
+
+func cloneMats(ms []*mat.Dense) []*mat.Dense {
+	if ms == nil {
+		return nil
+	}
+	out := make([]*mat.Dense, len(ms))
+	for i, m := range ms {
+		out[i] = cloneMat(m)
+	}
+	return out
+}
+
+func clonePools(p [][]int) [][]int {
+	if p == nil {
+		return nil
+	}
+	out := make([][]int, len(p))
+	for i, row := range p {
+		out[i] = append([]int(nil), row...)
+	}
+	return out
+}

@@ -20,6 +20,7 @@
 package gcn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,7 +28,13 @@ import (
 	"ceaff/internal/kg"
 	"ceaff/internal/mat"
 	"ceaff/internal/rng"
+	"ceaff/internal/robust"
 )
+
+// FaultLoss is the fault-injection site fired once per training epoch;
+// arming it corrupts that epoch's loss to NaN, exercising the divergence
+// recovery path end to end.
+const FaultLoss = "gcn.loss"
 
 // Optimizer selects the parameter update rule.
 type Optimizer int
@@ -97,6 +104,33 @@ type Config struct {
 	// implementation does exactly this for its structural channel; random
 	// W only scrambles a signal that propagation already exposes.
 	IdentityWeights bool
+
+	// --- robustness (DESIGN.md §8) ---
+
+	// MaxGradNorm, when positive, treats an epoch whose total gradient
+	// Frobenius norm exceeds it as diverged (on top of the always-on
+	// NaN/Inf checks on loss and gradient norm). The hinge subgradients
+	// here are sign vectors, so healthy norms stay far below the default.
+	MaxGradNorm float64
+	// DivergenceRetries bounds automatic divergence recovery: a NaN/Inf
+	// loss or exploding gradient rolls training back to the last
+	// checkpoint with a halved learning rate and a deterministically
+	// re-split negative-sampling stream, at most this many times before
+	// Train returns an error. 0 disables recovery (first divergence
+	// errors out).
+	DivergenceRetries int
+	// CheckpointEvery, when positive, captures a full training-state
+	// checkpoint every that many completed epochs (an epoch-0 snapshot is
+	// always kept as the recovery floor).
+	CheckpointEvery int
+	// OnCheckpoint, if non-nil, receives a deep copy of every captured
+	// checkpoint — e.g. to persist it for interrupt/resume.
+	OnCheckpoint func(*Checkpoint)
+	// Resume, if non-nil, restores training from the checkpoint instead
+	// of initializing fresh; the run continues bit-for-bit as if never
+	// interrupted. The checkpoint must be shape-compatible with the KGs
+	// and this Config.
+	Resume *Checkpoint
 }
 
 // DefaultConfig mirrors the paper's settings (§VII-A) adapted for CPU
@@ -121,6 +155,9 @@ func DefaultConfig() Config {
 		SeedSharedInit:    true,
 		NonSeedScale:      0.1,
 		IdentityWeights:   true,
+		MaxGradNorm:       1e8,
+		DivergenceRetries: 2,
+		CheckpointEvery:   10,
 	}
 }
 
@@ -204,6 +241,27 @@ type graph struct {
 // pairs. It returns an error for unusable configurations rather than
 // panicking, since configs may come from CLI flags.
 func Train(g1, g2 *kg.KG, seeds []align.Pair, cfg Config) (*Model, error) {
+	return TrainContext(context.Background(), g1, g2, seeds, cfg)
+}
+
+// TrainContext is Train with cooperative cancellation: ctx is checked at
+// every epoch boundary, and a done context stops training within one epoch,
+// returning ctx's error (errors.Is-compatible with context.Canceled /
+// context.DeadlineExceeded) without leaking goroutines.
+//
+// Robustness semantics (see DESIGN.md §8):
+//   - Numeric health is checked every epoch before the optimizer step: a
+//     NaN/Inf loss, a NaN/Inf gradient norm, or a gradient norm above
+//     cfg.MaxGradNorm counts as divergence, and the poisoned gradients are
+//     never applied.
+//   - Divergence triggers bounded recovery: roll back to the last
+//     checkpoint, halve the learning rate, re-split the negative-sampling
+//     stream deterministically, and continue — at most
+//     cfg.DivergenceRetries times before erroring out.
+//   - cfg.CheckpointEvery/OnCheckpoint/Resume give epoch-granular
+//     interrupt/resume; an uninterrupted run and a resumed run produce
+//     identical models.
+func TrainContext(ctx context.Context, g1, g2 *kg.KG, seeds []align.Pair, cfg Config) (*Model, error) {
 	if cfg.Dim <= 0 || cfg.Epochs < 0 || cfg.Negatives <= 0 || cfg.LearningRate <= 0 {
 		return nil, fmt.Errorf("gcn: invalid config %+v", cfg)
 	}
@@ -218,58 +276,179 @@ func Train(g1, g2 *kg.KG, seeds []align.Pair, cfg Config) (*Model, error) {
 			return nil, fmt.Errorf("gcn: seed pair %+v out of range", p)
 		}
 	}
-
-	s := rng.New(cfg.Seed)
-	x1, err := chooseInit(cfg.InitX1, g1.NumEntities(), cfg.Dim, s.Split())
+	t, err := newTrainer(g1, g2, seeds, cfg)
 	if err != nil {
 		return nil, err
 	}
-	x2, err := chooseInit(cfg.InitX2, g2.NumEntities(), cfg.Dim, s.Split())
+	return t.run(ctx)
+}
+
+// trainer bundles the mutable training state so that checkpoint capture,
+// restore and divergence recovery operate on one coherent snapshot.
+type trainer struct {
+	cfg    Config
+	seeds  []align.Pair
+	ga, gb *graph
+	layers int
+
+	weights []*mat.Dense
+	opt     *optState
+	negSrc  *rng.Source
+	pools   *negPools
+
+	epoch   int     // completed epochs
+	lr      float64 // effective learning rate (halved by recovery)
+	retries int     // divergence recoveries consumed
+
+	last *Checkpoint // most recent checkpoint; never nil after init
+}
+
+func newTrainer(g1, g2 *kg.KG, seeds []align.Pair, cfg Config) (*trainer, error) {
+	layers := cfg.Layers
+	if layers <= 0 {
+		layers = 2
+	}
+	t := &trainer{cfg: cfg, seeds: seeds, layers: layers, lr: cfg.LearningRate}
+	t.ga = &graph{adj: g1.Adjacency(), n: g1.NumEntities()}
+	t.gb = &graph{adj: g2.Adjacency(), n: g2.NumEntities()}
+
+	if cfg.Resume != nil {
+		if err := cfg.Resume.compatible(cfg, t.ga.n, t.gb.n); err != nil {
+			return nil, err
+		}
+		t.restore(cfg.Resume)
+		return t, nil
+	}
+
+	s := rng.New(cfg.Seed)
+	x1, err := chooseInit(cfg.InitX1, t.ga.n, cfg.Dim, s.Split())
+	if err != nil {
+		return nil, err
+	}
+	x2, err := chooseInit(cfg.InitX2, t.gb.n, cfg.Dim, s.Split())
 	if err != nil {
 		return nil, err
 	}
 	if cfg.SeedSharedInit && cfg.InitX1 == nil && cfg.InitX2 == nil {
 		applySeedSharedInit(x1, x2, seeds, cfg.NonSeedScale, s.Split())
 	}
-	ga := &graph{adj: g1.Adjacency(), x: x1, n: g1.NumEntities()}
-	gb := &graph{adj: g2.Adjacency(), x: x2, n: g2.NumEntities()}
+	t.ga.x, t.gb.x = x1, x2
 
-	layers := cfg.Layers
-	if layers <= 0 {
-		layers = 2
-	}
-	weights := make([]*mat.Dense, layers)
-	for l := range weights {
+	t.weights = make([]*mat.Dense, layers)
+	for l := range t.weights {
 		if cfg.IdentityWeights {
-			weights[l] = identity(cfg.Dim)
+			t.weights[l] = identity(cfg.Dim)
 		} else {
-			weights[l] = glorot(cfg.Dim, cfg.Dim, s.Split())
+			t.weights[l] = glorot(cfg.Dim, cfg.Dim, s.Split())
 		}
 	}
+	t.opt = newOptState(cfg, t.params())
+	t.negSrc = s.Split()
+	t.last = t.capture() // epoch-0 snapshot: the recovery floor
+	return t, nil
+}
 
-	params := append([]*mat.Dense{}, weights...)
-	if !cfg.FreezeX {
-		params = append(params, ga.x, gb.x)
+// params lists the trainable matrices in optimizer order.
+func (t *trainer) params() []*mat.Dense {
+	params := append([]*mat.Dense{}, t.weights...)
+	if !t.cfg.FreezeX {
+		params = append(params, t.ga.x, t.gb.x)
 	}
-	opt := newOptState(cfg, params)
-	negSrc := s.Split()
-	var pools *negPools
+	return params
+}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		forward(ga, weights)
-		forward(gb, weights)
+// capture deep-copies the full training state.
+func (t *trainer) capture() *Checkpoint {
+	ck := &Checkpoint{
+		Epoch:        t.epoch,
+		LearningRate: t.lr,
+		Retries:      t.retries,
+		Weights:      cloneMats(t.weights),
+		X1:           t.ga.x.Clone(),
+		X2:           t.gb.x.Clone(),
+		OptM:         cloneMats(t.opt.m),
+		OptV:         cloneMats(t.opt.v),
+		OptT:         t.opt.t,
+		NegState:     t.negSrc.State(),
+	}
+	if t.pools != nil {
+		ck.Pool1 = clonePools(t.pools.pool1)
+		ck.Pool2 = clonePools(t.pools.pool2)
+	}
+	return ck
+}
+
+// restore replaces the training state with a deep copy of ck.
+func (t *trainer) restore(ck *Checkpoint) {
+	t.epoch = ck.Epoch
+	t.lr = ck.LearningRate
+	t.retries = ck.Retries
+	t.weights = cloneMats(ck.Weights)
+	t.ga.x = ck.X1.Clone()
+	t.gb.x = ck.X2.Clone()
+	t.opt = newOptState(t.cfg, t.params())
+	if t.cfg.Optimizer == Adam && ck.OptM != nil {
+		t.opt.m = cloneMats(ck.OptM)
+		t.opt.v = cloneMats(ck.OptV)
+	}
+	t.opt.t = ck.OptT
+	t.negSrc = rng.Restore(ck.NegState)
+	t.pools = nil
+	if ck.Pool1 != nil || ck.Pool2 != nil {
+		t.pools = &negPools{pool1: clonePools(ck.Pool1), pool2: clonePools(ck.Pool2)}
+	}
+	if t.last == nil {
+		t.last = ck.Clone()
+	}
+}
+
+// recover rolls back to the last checkpoint with a halved learning rate and
+// a deterministically re-split negative stream. It returns a terminal error
+// once the retry budget is spent.
+func (t *trainer) recover(cause error) error {
+	if t.retries >= t.cfg.DivergenceRetries {
+		return fmt.Errorf("gcn: training diverged at epoch %d after %d recovery attempts: %w",
+			t.epoch, t.retries, cause)
+	}
+	retries := t.retries + 1
+	halvedLR := t.lr / 2
+	t.restore(t.last)
+	t.retries = retries
+	t.lr = halvedLR
+	// Re-split the negative-sampling stream as a pure function of the
+	// master seed and the retry ordinal, so recovery stays bit-for-bit
+	// deterministic while sampling different corruptions than the diverged
+	// attempt.
+	t.negSrc = rng.New(t.cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(retries))).Split()
+	return nil
+}
+
+// run executes the epoch loop until cfg.Epochs complete, recovering from
+// divergence along the way.
+func (t *trainer) run(ctx context.Context) (*Model, error) {
+	cfg := t.cfg
+	for t.epoch < cfg.Epochs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("gcn: training cancelled at epoch %d: %w", t.epoch, err)
+		}
+		epoch := t.epoch
+		forward(t.ga, t.weights)
+		forward(t.gb, t.weights)
 
 		if cfg.HardNegativeEvery > 0 && epoch%cfg.HardNegativeEvery == 0 && epoch > 0 {
-			pools = mineNegatives(ga.z, gb.z, seeds, cfg.HardNegativePool)
+			t.pools = mineNegatives(t.ga.z, t.gb.z, t.seeds, cfg.HardNegativePool)
 		}
 
-		gz1 := mat.NewDense(ga.n, cfg.Dim)
-		gz2 := mat.NewDense(gb.n, cfg.Dim)
-		loss := accumulateLoss(ga.z, gb.z, seeds, cfg, negSrc, pools, gz1, gz2)
+		gz1 := mat.NewDense(t.ga.n, cfg.Dim)
+		gz2 := mat.NewDense(t.gb.n, cfg.Dim)
+		loss := accumulateLoss(t.ga.z, t.gb.z, t.seeds, cfg, t.negSrc, t.pools, gz1, gz2)
+		if robust.Fire(FaultLoss) != nil {
+			loss = math.NaN() // injected numeric fault: corrupt the epoch loss
+		}
 
-		gwA, gx1 := backward(ga, weights, gz1)
-		gwB, gx2 := backward(gb, weights, gz2)
-		grads := make([]*mat.Dense, layers)
+		gwA, gx1 := backward(t.ga, t.weights, gz1)
+		gwB, gx2 := backward(t.gb, t.weights, gz2)
+		grads := make([]*mat.Dense, t.layers)
 		for l := range grads {
 			grads[l] = gwA[l]
 			grads[l].AddInPlace(gwB[l])
@@ -277,16 +456,44 @@ func Train(g1, g2 *kg.KG, seeds []align.Pair, cfg Config) (*Model, error) {
 		if !cfg.FreezeX {
 			grads = append(grads, gx1, gx2)
 		}
-		opt.step(grads)
+
+		if err := t.checkHealth(epoch, loss, grads); err != nil {
+			if rerr := t.recover(err); rerr != nil {
+				return nil, rerr
+			}
+			continue // re-run from the restored epoch
+		}
+		t.opt.step(grads, t.lr)
+		t.epoch++
 
 		if cfg.Progress != nil {
-			cfg.Progress(epoch, loss/float64(len(seeds)))
+			cfg.Progress(epoch, loss/float64(len(t.seeds)))
+		}
+		if cfg.CheckpointEvery > 0 && t.epoch%cfg.CheckpointEvery == 0 && t.epoch < cfg.Epochs {
+			t.last = t.capture()
+			if cfg.OnCheckpoint != nil {
+				cfg.OnCheckpoint(t.last.Clone())
+			}
 		}
 	}
 
-	forward(ga, weights)
-	forward(gb, weights)
-	return &Model{Z1: ga.z, Z2: gb.z}, nil
+	forward(t.ga, t.weights)
+	forward(t.gb, t.weights)
+	return &Model{Z1: t.ga.z, Z2: t.gb.z}, nil
+}
+
+// checkHealth validates the epoch's loss and gradients before they are
+// applied, so a numeric blow-up never reaches the parameters.
+func (t *trainer) checkHealth(epoch int, loss float64, grads []*mat.Dense) error {
+	if err := robust.CheckFinite(fmt.Sprintf("gcn epoch %d loss", epoch), loss); err != nil {
+		return err
+	}
+	var sq float64
+	for _, g := range grads {
+		n := g.FrobeniusNorm()
+		sq += n * n
+	}
+	return robust.CheckGradNorm(fmt.Sprintf("gcn epoch %d gradient", epoch), math.Sqrt(sq), t.cfg.MaxGradNorm)
 }
 
 // chooseInit validates a caller-provided initialization or falls back to
@@ -536,11 +743,13 @@ func newOptState(cfg Config, params []*mat.Dense) *optState {
 	return o
 }
 
-func (o *optState) step(grads []*mat.Dense) {
+// step applies one optimizer update at the given learning rate (passed per
+// step because divergence recovery halves it mid-run).
+func (o *optState) step(grads []*mat.Dense, lr float64) {
 	switch o.cfg.Optimizer {
 	case SGD:
 		for i, p := range o.params {
-			p.AxpyInPlace(-o.cfg.LearningRate, grads[i])
+			p.AxpyInPlace(-lr, grads[i])
 		}
 	case Adam:
 		const (
@@ -557,7 +766,7 @@ func (o *optState) step(grads []*mat.Dense) {
 			for j, gj := range g.Data {
 				m.Data[j] = beta1*m.Data[j] + (1-beta1)*gj
 				v.Data[j] = beta2*v.Data[j] + (1-beta2)*gj*gj
-				p.Data[j] -= o.cfg.LearningRate * (m.Data[j] / c1) / (math.Sqrt(v.Data[j]/c2) + eps)
+				p.Data[j] -= lr * (m.Data[j] / c1) / (math.Sqrt(v.Data[j]/c2) + eps)
 			}
 		}
 	}

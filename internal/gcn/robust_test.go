@@ -1,0 +1,182 @@
+package gcn
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"ceaff/internal/align"
+	"ceaff/internal/robust"
+)
+
+// robustConfig is a small deterministic training setup for the
+// fault-injection tests.
+func robustConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Epochs = 30
+	cfg.CheckpointEvery = 10
+	return cfg
+}
+
+func robustSeeds() []align.Pair {
+	return []align.Pair{{U: 0, V: 0}, {U: 3, V: 3}, {U: 7, V: 7}}
+}
+
+func finiteModel(t *testing.T, m *Model) {
+	t.Helper()
+	for _, data := range [][]float64{m.Z1.Data, m.Z2.Data} {
+		for _, v := range data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("model contains non-finite embedding")
+			}
+		}
+	}
+}
+
+// TestDivergenceRecovery injects a NaN loss mid-training and expects the
+// trainer to roll back to its last checkpoint, halve the learning rate, and
+// still finish with finite embeddings.
+func TestDivergenceRecovery(t *testing.T) {
+	defer robust.Reset()
+	g := ringKG("a", 12, [][2]int{{0, 5}, {2, 8}})
+	robust.Arm(robust.Fault{Site: FaultLoss, TriggerAt: 15})
+
+	m, err := Train(g, g, robustSeeds(), robustConfig())
+	if err != nil {
+		t.Fatalf("training did not recover from injected NaN: %v", err)
+	}
+	if got := robust.Fired(FaultLoss); got != 1 {
+		t.Fatalf("fault fired %d times, want 1", got)
+	}
+	finiteModel(t, m)
+}
+
+// TestDivergenceRetryExhaustion keeps the loss NaN on every attempt; the
+// bounded retry budget must turn that into an error instead of looping.
+func TestDivergenceRetryExhaustion(t *testing.T) {
+	defer robust.Reset()
+	g := ringKG("a", 12, nil)
+	robust.Arm(robust.Fault{Site: FaultLoss, TriggerAt: 5, Count: 1 << 20})
+
+	_, err := Train(g, g, robustSeeds(), robustConfig())
+	if err == nil {
+		t.Fatal("training succeeded despite a permanently NaN loss")
+	}
+	if !errors.Is(err, robust.ErrNumericHealth) {
+		t.Fatalf("error %v does not wrap ErrNumericHealth", err)
+	}
+}
+
+// TestGradientExplosionDetected treats any gradient as exploding and expects
+// the retry budget to exhaust.
+func TestGradientExplosionDetected(t *testing.T) {
+	g := ringKG("a", 12, nil)
+	cfg := robustConfig()
+	cfg.MaxGradNorm = 1e-12
+	_, err := Train(g, g, robustSeeds(), cfg)
+	if !errors.Is(err, robust.ErrNumericHealth) {
+		t.Fatalf("err = %v, want ErrNumericHealth via MaxGradNorm", err)
+	}
+}
+
+// TestCheckpointResumeBitExact interrupts training at a checkpoint and
+// resumes from a gob round-trip of it; the resumed run must reproduce the
+// uninterrupted run bit for bit.
+func TestCheckpointResumeBitExact(t *testing.T) {
+	g := ringKG("a", 14, [][2]int{{1, 6}})
+	seeds := robustSeeds()
+	cfg := robustConfig()
+
+	full, err := Train(g, g, seeds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mid *Checkpoint
+	capt := cfg
+	capt.OnCheckpoint = func(ck *Checkpoint) {
+		if ck.Epoch == 20 {
+			mid = ck
+		}
+	}
+	if _, err := Train(g, g, seeds, capt); err != nil {
+		t.Fatal(err)
+	}
+	if mid == nil {
+		t.Fatal("no checkpoint captured at epoch 20")
+	}
+
+	var buf bytes.Buffer
+	if err := mid.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mid, loaded) {
+		t.Fatal("checkpoint gob round-trip is lossy")
+	}
+
+	res := cfg
+	res.Resume = loaded
+	resumed, err := Train(g, g, seeds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Z1.Data, resumed.Z1.Data) || !reflect.DeepEqual(full.Z2.Data, resumed.Z2.Data) {
+		t.Fatal("resumed run differs from uninterrupted run")
+	}
+}
+
+// TestResumeRejectsIncompatibleCheckpoint covers the shape checks guarding
+// resume against a checkpoint from a different configuration.
+func TestResumeRejectsIncompatibleCheckpoint(t *testing.T) {
+	g := ringKG("a", 12, nil)
+	cfg := robustConfig()
+	var first *Checkpoint
+	capt := cfg
+	capt.OnCheckpoint = func(ck *Checkpoint) {
+		if first == nil {
+			first = ck
+		}
+	}
+	if _, err := Train(g, g, robustSeeds(), capt); err != nil {
+		t.Fatal(err)
+	}
+	if first == nil {
+		t.Fatal("no checkpoint captured")
+	}
+
+	bad := cfg
+	bad.Dim = cfg.Dim * 2
+	bad.Resume = first
+	if _, err := Train(g, g, robustSeeds(), bad); err == nil {
+		t.Error("dim-mismatched checkpoint accepted")
+	}
+
+	small := ringKG("b", 5, nil)
+	wrong := cfg
+	wrong.Resume = first
+	if _, err := Train(small, small, []align.Pair{{U: 0, V: 0}}, wrong); err == nil {
+		t.Error("entity-count-mismatched checkpoint accepted")
+	}
+}
+
+// TestTrainContextCancellation verifies that an expired context stops
+// training within one epoch boundary with the context's error.
+func TestTrainContextCancellation(t *testing.T) {
+	g := ringKG("a", 12, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := TrainContext(ctx, g, g, robustSeeds(), robustConfig())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -89,31 +89,56 @@ func (g *KG) AddRelation(name string) RelationID {
 	return id
 }
 
-// AddTriple appends a triple. It panics on out-of-range IDs: triples must
-// reference interned entities and relations.
-func (g *KG) AddTriple(h EntityID, r RelationID, t EntityID) {
+// CheckedAddTriple validates the IDs and appends a triple, returning a
+// descriptive error for references to unknown entities or relations. Use it
+// on untrusted input (corpus loaders, deserialization) where a malformed
+// line must surface as an error, not a panic.
+func (g *KG) CheckedAddTriple(h EntityID, r RelationID, t EntityID) error {
 	if int(h) >= len(g.entityNames) || int(t) >= len(g.entityNames) || h < 0 || t < 0 {
-		panic(fmt.Sprintf("kg: triple references unknown entity (%d, %d) in %q", h, t, g.Name))
+		return fmt.Errorf("kg: triple references unknown entity (%d, %d) in %q (have %d entities)",
+			h, t, g.Name, len(g.entityNames))
 	}
 	if int(r) >= len(g.relationNames) || r < 0 {
-		panic(fmt.Sprintf("kg: triple references unknown relation %d in %q", r, g.Name))
+		return fmt.Errorf("kg: triple references unknown relation %d in %q (have %d relations)",
+			r, g.Name, len(g.relationNames))
 	}
 	g.Triples = append(g.Triples, Triple{Head: h, Relation: r, Tail: t})
+	return nil
 }
 
-// AddAttr attaches attribute type attr to entity e. Attribute types are a
-// small dense ID space managed by the caller; NumAttrTypes grows to cover
-// the largest seen ID.
-func (g *KG) AddAttr(e EntityID, attr int) {
+// AddTriple appends a triple. It panics on out-of-range IDs: triples must
+// reference interned entities and relations. Programmatic construction uses
+// this; loaders of untrusted input use CheckedAddTriple.
+func (g *KG) AddTriple(h EntityID, r RelationID, t EntityID) {
+	if err := g.CheckedAddTriple(h, r, t); err != nil {
+		panic(err.Error())
+	}
+}
+
+// CheckedAddAttr validates e and attr and attaches the attribute, returning
+// a descriptive error instead of panicking on malformed references.
+func (g *KG) CheckedAddAttr(e EntityID, attr int) error {
 	if int(e) >= len(g.entityNames) || e < 0 {
-		panic(fmt.Sprintf("kg: attr references unknown entity %d in %q", e, g.Name))
+		return fmt.Errorf("kg: attr references unknown entity %d in %q (have %d entities)",
+			e, g.Name, len(g.entityNames))
 	}
 	if attr < 0 {
-		panic("kg: negative attribute type")
+		return fmt.Errorf("kg: negative attribute type %d in %q", attr, g.Name)
 	}
 	g.Attrs = append(g.Attrs, AttrTriple{Entity: e, Attr: attr})
 	if attr+1 > g.NumAttrTypes {
 		g.NumAttrTypes = attr + 1
+	}
+	return nil
+}
+
+// AddAttr attaches attribute type attr to entity e. Attribute types are a
+// small dense ID space managed by the caller; NumAttrTypes grows to cover
+// the largest seen ID. It panics on malformed references; loaders of
+// untrusted input use CheckedAddAttr.
+func (g *KG) AddAttr(e EntityID, attr int) {
+	if err := g.CheckedAddAttr(e, attr); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -336,7 +361,9 @@ func Read(r io.Reader) (*KG, error) {
 			if _, err := fmt.Sscanf(fields[1]+" "+fields[2]+" "+fields[3], "%d %d %d", &h, &rel, &t); err != nil {
 				return nil, fmt.Errorf("kg: line %d: %v", lineNo, err)
 			}
-			g.AddTriple(EntityID(h), RelationID(rel), EntityID(t))
+			if err := g.CheckedAddTriple(EntityID(h), RelationID(rel), EntityID(t)); err != nil {
+				return nil, fmt.Errorf("kg: line %d: %w", lineNo, err)
+			}
 		case "A":
 			if g == nil || len(fields) != 3 {
 				return nil, fmt.Errorf("kg: line %d: malformed attr line", lineNo)
@@ -345,7 +372,9 @@ func Read(r io.Reader) (*KG, error) {
 			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &e, &a); err != nil {
 				return nil, fmt.Errorf("kg: line %d: %v", lineNo, err)
 			}
-			g.AddAttr(EntityID(e), a)
+			if err := g.CheckedAddAttr(EntityID(e), a); err != nil {
+				return nil, fmt.Errorf("kg: line %d: %w", lineNo, err)
+			}
 		default:
 			return nil, fmt.Errorf("kg: line %d: unknown record type %q", lineNo, fields[0])
 		}

@@ -1,0 +1,68 @@
+package kg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckedAddTriple(t *testing.T) {
+	g := New("g")
+	e0 := g.AddEntity("a")
+	e1 := g.AddEntity("b")
+	r := g.AddRelation("rel")
+	if err := g.CheckedAddTriple(e0, r, e1); err != nil {
+		t.Fatalf("valid triple rejected: %v", err)
+	}
+	if err := g.CheckedAddTriple(99, r, e1); err == nil {
+		t.Error("unknown head accepted")
+	}
+	if err := g.CheckedAddTriple(e0, 7, e1); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if err := g.CheckedAddTriple(e0, r, -1); err == nil {
+		t.Error("negative tail accepted")
+	}
+	if got := g.NumTriples(); got != 1 {
+		t.Errorf("rejected triples were inserted: %d triples", got)
+	}
+}
+
+func TestCheckedAddAttr(t *testing.T) {
+	g := New("g")
+	e := g.AddEntity("a")
+	if err := g.CheckedAddAttr(e, 3); err != nil {
+		t.Fatalf("valid attr rejected: %v", err)
+	}
+	if g.NumAttrTypes != 4 {
+		t.Errorf("NumAttrTypes = %d, want 4", g.NumAttrTypes)
+	}
+	if err := g.CheckedAddAttr(42, 0); err == nil {
+		t.Error("unknown entity accepted")
+	}
+	if err := g.CheckedAddAttr(e, -1); err == nil {
+		t.Error("negative attr type accepted")
+	}
+}
+
+// TestReadRejectsMalformedRecords verifies that corrupt serialized KGs
+// surface as line-numbered errors instead of panics.
+func TestReadRejectsMalformedRecords(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"dangling triple entity", "KG\tg\nE\ta\nR\tr\nT\t0\t0\t5\n"},
+		{"dangling triple relation", "KG\tg\nE\ta\nE\tb\nT\t0\t3\t1\n"},
+		{"dangling attr entity", "KG\tg\nE\ta\nA\t9\t0\n"},
+		{"negative attr", "KG\tg\nE\ta\nA\t0\t-2\n"},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line") {
+			t.Errorf("%s: error lacks line number: %v", tc.name, err)
+		}
+	}
+}

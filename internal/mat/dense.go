@@ -7,6 +7,7 @@
 package mat
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -208,12 +209,22 @@ func checkSameShape(a, b *Dense) {
 }
 
 // NormalizeRowsL2 scales each row to unit L2 norm in place. Zero rows are
-// left untouched.
+// left untouched (dividing by a zero norm would spray NaN through every
+// similarity computed from them), and rows whose norm is non-finite — NaN
+// or Inf entries, or overflow in the squared sum — are zeroed out so a
+// single corrupt embedding degrades to "no signal" instead of poisoning
+// downstream matrices.
 func (m *Dense) NormalizeRowsL2() {
 	for i := 0; i < m.Rows; i++ {
 		r := m.Row(i)
 		n := math.Sqrt(dot(r, r))
 		if n == 0 {
+			continue
+		}
+		if math.IsNaN(n) || math.IsInf(n, 0) {
+			for j := range r {
+				r[j] = 0
+			}
 			continue
 		}
 		for j := range r {
@@ -301,3 +312,69 @@ func parallelRows(n int, fn func(lo, hi int)) {
 // ParallelRows is exported for packages that need the same row-block
 // parallelism for their own kernels (e.g. string-similarity matrices).
 func ParallelRows(n int, fn func(lo, hi int)) { parallelRows(n, fn) }
+
+// ParallelRowsCtx is ParallelRows with cooperative cancellation: rows are
+// dispatched to workers in chunks finer than one block per worker, each
+// worker re-checks ctx between chunks, and the call returns ctx.Err() once
+// every worker has drained (no goroutine outlives the call). Rows not yet
+// processed at cancellation are simply skipped, so callers must discard the
+// output when an error is returned.
+func ParallelRowsCtx(ctx context.Context, n int, fn func(lo, hi int)) error {
+	if ctx == nil {
+		parallelRows(n, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers := runtime.NumCPU()
+	if n < 64 || workers <= 1 {
+		// Single-threaded sweep, still cancellable between chunks.
+		const chunk = 256
+		for lo := 0; lo < n; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	// Four chunks per worker: fine enough that cancellation lands quickly,
+	// coarse enough that channel overhead stays negligible.
+	chunk := (n + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	type span struct{ lo, hi int }
+	jobs := make(chan span)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				if ctx.Err() != nil {
+					continue // drain remaining jobs without working
+				}
+				fn(s.lo, s.hi)
+			}
+		}()
+	}
+	for lo := 0; lo < n && ctx.Err() == nil; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		jobs <- span{lo, hi}
+	}
+	close(jobs)
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,115 @@
+package mat
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCosineSimZeroRow is the regression test for the zero-norm guard: a
+// zero embedding must yield similarity 0 everywhere, not NaN.
+func TestCosineSimZeroRow(t *testing.T) {
+	a := NewDense(2, 3)
+	a.Set(0, 0, 1) // row 1 stays all-zero
+	b := NewDense(2, 3)
+	b.Set(0, 0, 1)
+	b.Set(1, 1, 2)
+
+	s := CosineSim(a, b)
+	for i := 0; i < s.Rows; i++ {
+		for j := 0; j < s.Cols; j++ {
+			if math.IsNaN(s.At(i, j)) {
+				t.Fatalf("CosineSim(%d,%d) is NaN", i, j)
+			}
+		}
+	}
+	if got := s.At(1, 0); got != 0 {
+		t.Errorf("zero row similarity = %g, want 0", got)
+	}
+	if got := s.At(0, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("unit row self-similarity = %g, want 1", got)
+	}
+}
+
+func TestNormalizeRowsL2CorruptRow(t *testing.T) {
+	m := NewDense(3, 2)
+	m.Set(0, 0, 3)
+	m.Set(0, 1, 4)
+	m.Set(1, 0, math.NaN())
+	m.Set(1, 1, 7)
+	// row 2 stays all-zero
+	m.NormalizeRowsL2()
+
+	if got := m.At(0, 0); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("healthy row not normalized: %g", got)
+	}
+	for j := 0; j < 2; j++ {
+		if got := m.At(1, j); got != 0 {
+			t.Errorf("corrupt row entry (1,%d) = %g, want zeroed", j, got)
+		}
+		if got := m.At(2, j); got != 0 {
+			t.Errorf("zero row entry (2,%d) = %g, want untouched 0", j, got)
+		}
+	}
+}
+
+func TestParallelRowsCtxCompletes(t *testing.T) {
+	var n int64
+	err := ParallelRowsCtx(context.Background(), 1000, func(lo, hi int) {
+		atomic.AddInt64(&n, int64(hi-lo))
+	})
+	if err != nil || n != 1000 {
+		t.Fatalf("err=%v rows=%d, want nil/1000", err, n)
+	}
+}
+
+// TestParallelRowsCtxCancellation cancels mid-flight and checks both that
+// the context error is returned and that no worker goroutines leak.
+func TestParallelRowsCtxCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var n int64
+	err := ParallelRowsCtx(ctx, 100000, func(lo, hi int) {
+		if atomic.AddInt64(&n, int64(hi-lo)) >= 50 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if atomic.LoadInt64(&n) >= 100000 {
+		t.Error("cancellation did not stop the sweep early")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestCosineSimCtxMatchesCosineSim(t *testing.T) {
+	a := NewDense(4, 3)
+	b := NewDense(5, 3)
+	for i := range a.Data {
+		a.Data[i] = float64(i%7) - 3
+	}
+	for i := range b.Data {
+		b.Data[i] = float64(i%5) - 2
+	}
+	want := CosineSim(a, b)
+	got, err := CosineSimCtx(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if math.Abs(want.Data[i]-got.Data[i]) > 1e-14 {
+			t.Fatalf("CosineSimCtx diverges from CosineSim at %d", i)
+		}
+	}
+}

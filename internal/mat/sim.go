@@ -1,17 +1,54 @@
 package mat
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // CosineSim returns the matrix of cosine similarities between the rows of a
 // (sources) and the rows of b (targets): out[i][j] = cos(a_i, b_j).
 // This is how the paper turns structural and semantic embeddings into
-// similarity matrices (Sims and Simt, §IV-A, §IV-B).
+// similarity matrices (Sims and Simt, §IV-A, §IV-B). Zero rows (and rows
+// zeroed by NormalizeRowsL2's non-finite guard) yield similarity 0 against
+// everything rather than NaN.
 func CosineSim(a, b *Dense) *Dense {
 	an := a.Clone()
 	bn := b.Clone()
 	an.NormalizeRowsL2()
 	bn.NormalizeRowsL2()
 	return MulT(an, bn)
+}
+
+// CosineSimCtx is CosineSim with cooperative cancellation of the underlying
+// parallel product. On cancellation the partial result is discarded and
+// ctx's error is returned.
+func CosineSimCtx(ctx context.Context, a, b *Dense) (*Dense, error) {
+	an := a.Clone()
+	bn := b.Clone()
+	an.NormalizeRowsL2()
+	bn.NormalizeRowsL2()
+	return MulTCtx(ctx, an, bn)
+}
+
+// MulTCtx is MulT with cooperative cancellation between row chunks.
+func MulTCtx(ctx context.Context, a, b *Dense) (*Dense, error) {
+	if a.Cols != b.Cols {
+		panic("mat: mulT dimension mismatch")
+	}
+	out := NewDense(a.Rows, b.Rows)
+	err := ParallelRowsCtx(ctx, a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				or[j] = dot(ar, b.Row(j))
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ArgmaxRow returns, for each row of m, the column index of the maximum

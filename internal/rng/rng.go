@@ -127,3 +127,11 @@ func HashString(s string) uint64 {
 	}
 	return h
 }
+
+// State returns the generator's internal state so that training loops can
+// checkpoint their sampling streams. Restoring with Restore(State())
+// continues the exact sequence.
+func (s *Source) State() uint64 { return s.state }
+
+// Restore returns a Source that resumes the sequence captured by State.
+func Restore(state uint64) *Source { return &Source{state: state} }

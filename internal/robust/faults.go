@@ -1,0 +1,126 @@
+// Package robust is the pipeline-hardening layer of the reproduction: a
+// deterministic fault-injection registry, a bounded retry policy with
+// exponential backoff, and numeric-health checks (NaN/Inf detection,
+// gradient-norm explosion, degenerate feature matrices).
+//
+// The production motivation comes from the ROADMAP north star — a service
+// replaying the CEAFF pipeline over many datasets must survive a NaN loss,
+// a failed embedder or a malformed corpus without aborting the whole run —
+// and the design follows the serving-layer posture of SEA (arXiv:2304.07065)
+// and the sweep requirements of the OpenEA benchmarking study
+// (arXiv:2003.07743).
+//
+// Fault injection is how the recovery paths are exercised: production code
+// calls Fire(site) at named fault points, which is a no-op unless a test (or
+// a chaos harness) armed that site with Arm. Faults trigger at a
+// deterministic invocation index, so injected failures are bit-for-bit
+// repeatable like everything else in the reproduction.
+package robust
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the default error returned by a fired fault. Recovery code
+// must treat it like any other failure; tests use errors.Is to confirm a
+// failure originated from injection.
+var ErrInjected = errors.New("robust: injected fault")
+
+// Fault describes one armed fault point.
+type Fault struct {
+	// Site names the fault point, e.g. "gcn.loss" or "core.feature.semantic".
+	Site string
+	// TriggerAt is the 0-based invocation index of Fire(Site) at which the
+	// fault first fires.
+	TriggerAt int
+	// Count is the number of consecutive invocations that fire (default 1).
+	Count int
+	// Err is returned when the fault fires (default ErrInjected).
+	Err error
+}
+
+// armed tracks an installed fault's invocation state.
+type armed struct {
+	fault Fault
+	calls int // invocations of Fire(site) so far
+	fired int // how many of those fired
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*armed{}
+)
+
+// Arm installs (or replaces) a fault at f.Site. Invocation counting starts
+// from zero at the moment of arming.
+func Arm(f Fault) {
+	if f.Count <= 0 {
+		f.Count = 1
+	}
+	if f.Err == nil {
+		f.Err = ErrInjected
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[f.Site] = &armed{fault: f}
+}
+
+// Disarm removes the fault at site, if any.
+func Disarm(site string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(registry, site)
+}
+
+// Reset removes every armed fault. Tests call it in cleanup so injection
+// never leaks across test cases.
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry = map[string]*armed{}
+}
+
+// Fire reports whether the fault at site fires for this invocation: it
+// returns the armed error when the invocation index falls inside the
+// [TriggerAt, TriggerAt+Count) window and nil otherwise. Unarmed sites
+// always return nil, so production call sites cost one mutex-guarded map
+// lookup.
+func Fire(site string) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	a, ok := registry[site]
+	if !ok {
+		return nil
+	}
+	idx := a.calls
+	a.calls++
+	if idx >= a.fault.TriggerAt && idx < a.fault.TriggerAt+a.fault.Count {
+		a.fired++
+		return fmt.Errorf("robust: site %q invocation %d: %w", site, idx, a.fault.Err)
+	}
+	return nil
+}
+
+// Fired returns how many times the fault at site has fired since arming.
+// It returns 0 for unarmed sites.
+func Fired(site string) int {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if a, ok := registry[site]; ok {
+		return a.fired
+	}
+	return 0
+}
+
+// Calls returns how many times Fire(site) has been invoked since arming.
+// It returns 0 for unarmed sites.
+func Calls(site string) int {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if a, ok := registry[site]; ok {
+		return a.calls
+	}
+	return 0
+}

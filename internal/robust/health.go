@@ -1,0 +1,94 @@
+package robust
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ceaff/internal/mat"
+)
+
+// ErrNumericHealth is the sentinel every numeric-health violation matches
+// via errors.Is, so recovery code can branch on "this is a numeric blow-up"
+// without knowing which check fired.
+var ErrNumericHealth = errors.New("numeric health violation")
+
+// HealthError reports one numeric-health violation at a named stage.
+type HealthError struct {
+	Stage  string // where the check ran, e.g. "gcn epoch 12 loss"
+	Reason string // what was wrong, e.g. "NaN" or "gradient norm 3e+12 > 1e+08"
+}
+
+func (e *HealthError) Error() string {
+	return fmt.Sprintf("robust: %s: %s", e.Stage, e.Reason)
+}
+
+// Is makes every HealthError match ErrNumericHealth.
+func (e *HealthError) Is(target error) bool { return target == ErrNumericHealth }
+
+// CheckFinite returns a HealthError when v is NaN or ±Inf.
+func CheckFinite(stage string, v float64) error {
+	if math.IsNaN(v) {
+		return &HealthError{Stage: stage, Reason: "NaN"}
+	}
+	if math.IsInf(v, 0) {
+		return &HealthError{Stage: stage, Reason: "Inf"}
+	}
+	return nil
+}
+
+// CheckGradNorm returns a HealthError when norm is non-finite or exceeds
+// limit (limit <= 0 disables the magnitude check but keeps the finiteness
+// check).
+func CheckGradNorm(stage string, norm, limit float64) error {
+	if err := CheckFinite(stage, norm); err != nil {
+		return err
+	}
+	if limit > 0 && norm > limit {
+		return &HealthError{Stage: stage, Reason: fmt.Sprintf("gradient norm %.3g exceeds limit %.3g", norm, limit)}
+	}
+	return nil
+}
+
+// CheckMatrixFinite returns a HealthError locating the first NaN/Inf entry
+// of m. A nil matrix passes (absent features are legal).
+func CheckMatrixFinite(stage string, m *mat.Dense) error {
+	if m == nil {
+		return nil
+	}
+	for i, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &HealthError{
+				Stage:  stage,
+				Reason: fmt.Sprintf("non-finite entry %g at (%d,%d)", v, i/m.Cols, i%m.Cols),
+			}
+		}
+	}
+	return nil
+}
+
+// DegenerateMatrix reports whether m is unusable as a similarity feature:
+// nil, empty, bearing NaN/Inf entries, or identically zero (an all-zero
+// similarity ranks every candidate equally — no signal). The reason string
+// is human-readable for degradation records.
+func DegenerateMatrix(m *mat.Dense) (reason string, degenerate bool) {
+	if m == nil {
+		return "nil matrix", true
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		return fmt.Sprintf("empty matrix %dx%d", m.Rows, m.Cols), true
+	}
+	allZero := true
+	for i, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Sprintf("non-finite entry %g at (%d,%d)", v, i/m.Cols, i%m.Cols), true
+		}
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return "all-zero matrix", true
+	}
+	return "", false
+}

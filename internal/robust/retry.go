@@ -1,0 +1,126 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RetryPolicy bounds repeated attempts of a fallible operation with
+// exponential backoff. The zero value is not usable; start from
+// DefaultRetryPolicy.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (>= 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth.
+	MaxDelay time.Duration
+	// Multiplier is the backoff growth factor per attempt (default 2).
+	Multiplier float64
+	// Sleep replaces the context-aware wait between attempts. Tests inject
+	// an instant sleep; nil uses a timer honouring ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultRetryPolicy retries three times total with 100ms → 200ms backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    5 * time.Second,
+		Multiplier:  2,
+	}
+}
+
+// permanentError marks an error that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so RetryPolicy.Do stops immediately instead of
+// retrying — for failures where repetition is pointless (invalid input,
+// cancelled context).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked with
+// Permanent, or is a context cancellation.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	if errors.As(err, &p) {
+		return true
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Delay returns the backoff before attempt (0-based: Delay(0) precedes the
+// second attempt).
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	mult := p.Multiplier
+	if mult <= 0 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 0; i < attempt; i++ {
+		d *= mult
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		return p.MaxDelay
+	}
+	return time.Duration(d)
+}
+
+// Do runs op up to MaxAttempts times, backing off exponentially between
+// attempts. It stops early on success, on a Permanent error, or when ctx is
+// done; the final failure wraps the last attempt's error so errors.Is/As
+// still see the cause.
+func (p RetryPolicy) Do(ctx context.Context, op func(attempt int) error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = op(a); err == nil {
+			return nil
+		}
+		if IsPermanent(err) {
+			return err
+		}
+		if a == attempts-1 {
+			break
+		}
+		if serr := p.sleep(ctx, p.Delay(a)); serr != nil {
+			return serr
+		}
+	}
+	return fmt.Errorf("robust: %d attempts exhausted: %w", attempts, err)
+}
+
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,168 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"ceaff/internal/mat"
+)
+
+func TestFaultWindow(t *testing.T) {
+	defer Reset()
+	Arm(Fault{Site: "test.site", TriggerAt: 2, Count: 2})
+	var errs []error
+	for i := 0; i < 6; i++ {
+		errs = append(errs, Fire("test.site"))
+	}
+	for i, err := range errs {
+		want := i == 2 || i == 3
+		if (err != nil) != want {
+			t.Errorf("invocation %d: err=%v, want firing=%v", i, err, want)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Errorf("invocation %d: error %v does not match ErrInjected", i, err)
+		}
+	}
+	if got := Fired("test.site"); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+	if got := Calls("test.site"); got != 6 {
+		t.Errorf("Calls = %d, want 6", got)
+	}
+}
+
+func TestFaultCustomError(t *testing.T) {
+	defer Reset()
+	custom := errors.New("boom")
+	Arm(Fault{Site: "test.custom", Err: custom})
+	if err := Fire("test.custom"); !errors.Is(err, custom) {
+		t.Errorf("custom error not propagated: %v", err)
+	}
+}
+
+func TestUnarmedSiteNeverFires(t *testing.T) {
+	defer Reset()
+	for i := 0; i < 3; i++ {
+		if err := Fire("test.unarmed"); err != nil {
+			t.Fatalf("unarmed site fired: %v", err)
+		}
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	defer Reset()
+	Arm(Fault{Site: "test.a"})
+	Arm(Fault{Site: "test.b"})
+	Disarm("test.a")
+	if err := Fire("test.a"); err != nil {
+		t.Errorf("disarmed site fired: %v", err)
+	}
+	Reset()
+	if err := Fire("test.b"); err != nil {
+		t.Errorf("site fired after Reset: %v", err)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond, Multiplier: 2}
+	attempts := 0
+	err := p.Do(context.Background(), func(attempt int) error {
+		attempts++
+		if attempt < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("err=%v attempts=%d, want nil/3", err, attempts)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, Multiplier: 2}
+	cause := errors.New("always")
+	attempts := 0
+	err := p.Do(context.Background(), func(int) error { attempts++; return cause })
+	if !errors.Is(err, cause) || attempts != 3 {
+		t.Fatalf("err=%v attempts=%d, want wrapped cause after 3", err, attempts)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	p := DefaultRetryPolicy()
+	p.BaseDelay = time.Microsecond
+	cause := errors.New("fatal")
+	attempts := 0
+	err := p.Do(context.Background(), func(int) error { attempts++; return Permanent(cause) })
+	if !errors.Is(err, cause) || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d, want cause after 1 attempt", err, attempts)
+	}
+}
+
+func TestRetryRespectsContext(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 100, BaseDelay: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.Do(ctx, func(int) error { return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+func TestDelayBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 300 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond, 300 * time.Millisecond}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	if err := CheckFinite("loss", 1.5); err != nil {
+		t.Errorf("finite value rejected: %v", err)
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := CheckFinite("loss", v)
+		if !errors.Is(err, ErrNumericHealth) {
+			t.Errorf("CheckFinite(%v) = %v, want ErrNumericHealth", v, err)
+		}
+	}
+}
+
+func TestCheckGradNorm(t *testing.T) {
+	if err := CheckGradNorm("grad", 10, 100); err != nil {
+		t.Errorf("healthy norm rejected: %v", err)
+	}
+	if err := CheckGradNorm("grad", 1000, 100); !errors.Is(err, ErrNumericHealth) {
+		t.Errorf("exploding norm accepted: %v", err)
+	}
+	if err := CheckGradNorm("grad", math.NaN(), 0); !errors.Is(err, ErrNumericHealth) {
+		t.Errorf("NaN norm accepted with disabled limit: %v", err)
+	}
+	if err := CheckGradNorm("grad", 1e300, 0); err != nil {
+		t.Errorf("limit 0 should disable the magnitude check: %v", err)
+	}
+}
+
+func TestDegenerateMatrix(t *testing.T) {
+	if reason, bad := DegenerateMatrix(nil); !bad || reason == "" {
+		t.Error("nil matrix not degenerate")
+	}
+	m := mat.NewDense(2, 2)
+	if _, bad := DegenerateMatrix(m); !bad {
+		t.Error("all-zero matrix not degenerate")
+	}
+	m.Set(0, 1, 0.5)
+	if reason, bad := DegenerateMatrix(m); bad {
+		t.Errorf("healthy matrix flagged: %s", reason)
+	}
+	m.Set(1, 0, math.NaN())
+	if _, bad := DegenerateMatrix(m); !bad {
+		t.Error("NaN matrix not degenerate")
+	}
+}

@@ -10,6 +10,8 @@
 package strsim
 
 import (
+	"context"
+
 	"ceaff/internal/mat"
 )
 
@@ -81,13 +83,25 @@ func Ratio(a, b string) float64 {
 // columns target names, entries the Levenshtein ratio. The computation is
 // embarrassingly parallel across source rows.
 func Matrix(source, target []string) *mat.Dense {
+	out, _ := matrix(nil, source, target)
+	return out
+}
+
+// MatrixCtx is Matrix with cooperative cancellation between row chunks —
+// the string feature is the most expensive similarity kernel on large
+// candidate spaces, so deadline propagation must reach it.
+func MatrixCtx(ctx context.Context, source, target []string) (*mat.Dense, error) {
+	return matrix(ctx, source, target)
+}
+
+func matrix(ctx context.Context, source, target []string) (*mat.Dense, error) {
 	out := mat.NewDense(len(source), len(target))
 	// Pre-convert targets once; rune conversion dominates short-string cost.
 	tr := make([][]rune, len(target))
 	for j, t := range target {
 		tr[j] = []rune(t)
 	}
-	mat.ParallelRows(len(source), func(lo, hi int) {
+	err := mat.ParallelRowsCtx(ctx, len(source), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			sr := []rune(source[i])
 			row := out.Row(i)
@@ -101,5 +115,8 @@ func Matrix(source, target []string) *mat.Dense {
 			}
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
