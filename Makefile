@@ -1,9 +1,15 @@
 # Tier-1 verification for the CEAFF reproduction. `make check` is the
 # full gate: formatting, vet, build, and the race-enabled test suite.
+# `make bench` regenerates BENCH_PR2.json: table + kernel benchmarks plus
+# an instrumented pipeline run, folded into one schema-stable file that
+# cmd/benchdiff can compare across commits.
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test race
+BENCHTIME ?= 1x
+BENCHOUT  ?= BENCH_PR2.json
+
+.PHONY: check fmt vet build test race bench
 
 check: fmt vet build race
 
@@ -24,3 +30,8 @@ test:
 
 race:
 	go test -race ./...
+
+bench:
+	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . | tee /tmp/ceaff-bench.txt
+	go run ./cmd/ceaff -fast -scale 0.05 -metrics /tmp/ceaff-pipeline.json
+	go run ./cmd/benchfold -bench /tmp/ceaff-bench.txt -o $(BENCHOUT) /tmp/ceaff-pipeline.json

@@ -29,6 +29,7 @@ func benchOptions() experiments.Options {
 }
 
 func BenchmarkTable2DatasetGen(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOptions()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table2(opt)
@@ -42,6 +43,7 @@ func BenchmarkTable2DatasetGen(b *testing.B) {
 }
 
 func BenchmarkTable3CrossLingual(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table3(opt); err != nil {
@@ -51,6 +53,7 @@ func BenchmarkTable3CrossLingual(b *testing.B) {
 }
 
 func BenchmarkTable4MonoLingual(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table4(opt); err != nil {
@@ -60,6 +63,7 @@ func BenchmarkTable4MonoLingual(b *testing.B) {
 }
 
 func BenchmarkTable5Ablation(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table5(opt); err != nil {
@@ -69,6 +73,7 @@ func BenchmarkTable5Ablation(b *testing.B) {
 }
 
 func BenchmarkTable6Ranking(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table6(opt); err != nil {
@@ -97,6 +102,7 @@ func benchInput(b *testing.B) *core.Input {
 }
 
 func BenchmarkCEAFFPipeline(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput(b)
 	cfg := core.DefaultConfig()
 	cfg.GCN = baselines.FastSettings().GCN
@@ -109,6 +115,7 @@ func BenchmarkCEAFFPipeline(b *testing.B) {
 }
 
 func BenchmarkGCNTraining(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput(b)
 	cfg := gcn.DefaultConfig()
 	cfg.Dim = 16
@@ -122,6 +129,7 @@ func BenchmarkGCNTraining(b *testing.B) {
 }
 
 func BenchmarkTransETraining(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput(b)
 	cfg := transe.DefaultConfig()
 	cfg.Dim = 16
@@ -134,7 +142,8 @@ func BenchmarkTransETraining(b *testing.B) {
 	}
 }
 
-func BenchmarkLevenshteinMatrix(b *testing.B) {
+func BenchmarkKernelLevenshteinMatrix(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput(b)
 	var src, tgt []string
 	for _, p := range in.Tests {
@@ -156,7 +165,8 @@ func randomSim(n int, seed uint64) *mat.Dense {
 	return m
 }
 
-func BenchmarkDeferredAcceptance(b *testing.B) {
+func BenchmarkKernelDeferredAcceptance(b *testing.B) {
+	b.ReportAllocs()
 	sim := randomSim(500, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -164,7 +174,8 @@ func BenchmarkDeferredAcceptance(b *testing.B) {
 	}
 }
 
-func BenchmarkHungarian(b *testing.B) {
+func BenchmarkKernelHungarian(b *testing.B) {
+	b.ReportAllocs()
 	sim := randomSim(200, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -172,7 +183,8 @@ func BenchmarkHungarian(b *testing.B) {
 	}
 }
 
-func BenchmarkAdaptiveFusion(b *testing.B) {
+func BenchmarkKernelAdaptiveFusion(b *testing.B) {
+	b.ReportAllocs()
 	ms := []*mat.Dense{randomSim(500, 3), randomSim(500, 4), randomSim(500, 5)}
 	opt := fusion.DefaultOptions()
 	b.ResetTimer()
@@ -181,7 +193,8 @@ func BenchmarkAdaptiveFusion(b *testing.B) {
 	}
 }
 
-func BenchmarkGreedyOneToOne(b *testing.B) {
+func BenchmarkKernelGreedyOneToOne(b *testing.B) {
+	b.ReportAllocs()
 	sim := randomSim(500, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -190,6 +203,7 @@ func BenchmarkGreedyOneToOne(b *testing.B) {
 }
 
 func BenchmarkBlockedPipeline(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput(b)
 	cfg := core.DefaultConfig()
 	cfg.GCN = baselines.FastSettings().GCN
@@ -216,6 +230,7 @@ func BenchmarkBlockedPipeline(b *testing.B) {
 }
 
 func BenchmarkPageRank(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -224,6 +239,7 @@ func BenchmarkPageRank(b *testing.B) {
 }
 
 func BenchmarkSRPRSSampling(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput(b)
 	opt := sample.DefaultOptions()
 	b.ResetTimer()
@@ -234,7 +250,8 @@ func BenchmarkSRPRSSampling(b *testing.B) {
 	}
 }
 
-func BenchmarkCosineSimMatrix(b *testing.B) {
+func BenchmarkKernelCosineSimMatrix(b *testing.B) {
+	b.ReportAllocs()
 	s := rng.New(6)
 	a := mat.NewDense(500, 48)
 	c := mat.NewDense(500, 48)

@@ -1,0 +1,71 @@
+// Command benchdiff compares two benchmark files produced by `make bench`
+// (via benchfold) and flags regressions:
+//
+//	benchdiff old/BENCH_PR2.json BENCH_PR2.json
+//	benchdiff -threshold 0.10 old.json new.json
+//
+// Exit status is 1 when any metric regressed past the threshold
+// (default 15%), 2 on usage or I/O errors, 0 otherwise. Comparing a file
+// against itself always reports zero regressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ceaff/internal/benchfmt"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "regression threshold as a fraction (0.15 = 15%)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	regs, err := run(flag.Arg(0), flag.Arg(1), *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(regs) > 0 {
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string, threshold float64) ([]benchfmt.Regression, error) {
+	oldF, err := benchfmt.Read(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newF, err := benchfmt.Read(newPath)
+	if err != nil {
+		return nil, err
+	}
+
+	onlyOld, onlyNew := benchfmt.CompareNames(oldF, newF)
+	for _, n := range onlyOld {
+		fmt.Printf("note: %s only in %s\n", n, oldPath)
+	}
+	for _, n := range onlyNew {
+		fmt.Printf("note: %s only in %s\n", n, newPath)
+	}
+
+	regs := benchfmt.Compare(oldF, newF, threshold)
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s\n", r)
+	}
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: %d benchmarks compared, no regressions above %.0f%%\n",
+			len(newF.Benchmarks)-len(onlyNew), threshold*100)
+	} else {
+		fmt.Printf("benchdiff: %d regression(s) above %.0f%%\n", len(regs), threshold*100)
+	}
+	return regs, nil
+}

@@ -1,0 +1,79 @@
+// Command benchfold folds `go test -bench` output and obs run-reports into
+// one schema-stable benchmark file (e.g. BENCH_PR2.json):
+//
+//	go test -run '^$' -bench . -benchmem . > bench.txt
+//	ceaff -fast -scale 0.05 -metrics pipeline.json
+//	benchfold -bench bench.txt -o BENCH_PR2.json pipeline.json
+//
+// Positional arguments are obs report files (as written by `ceaff
+// -metrics`); each is keyed in the output by its report name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ceaff/internal/benchfmt"
+	"ceaff/internal/obs"
+)
+
+func main() {
+	benchPath := flag.String("bench", "", "`file` holding go test -bench output (default: stdin)")
+	outPath := flag.String("o", "BENCH_PR2.json", "output `file`")
+	flag.Parse()
+
+	if err := run(*benchPath, *outPath, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfold:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchPath, outPath string, reportPaths []string) error {
+	in := os.Stdin
+	if benchPath != "" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	benchmarks, err := benchfmt.ParseBenchOutput(in)
+	if err != nil {
+		return err
+	}
+
+	out := benchfmt.NewFile()
+	out.Benchmarks = benchmarks
+	for _, p := range reportPaths {
+		rep, err := readReportFile(p)
+		if err != nil {
+			return err
+		}
+		name := rep.Name
+		if name == "" {
+			name = p
+		}
+		if _, dup := out.Reports[name]; dup {
+			return fmt.Errorf("duplicate report name %q (from %s)", name, p)
+		}
+		out.Reports[name] = rep
+	}
+
+	if err := out.Write(outPath); err != nil {
+		return err
+	}
+	fmt.Printf("benchfold: wrote %s (%d benchmarks, %d reports)\n",
+		outPath, len(out.Benchmarks), len(out.Reports))
+	return nil
+}
+
+func readReportFile(path string) (*obs.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadReport(f)
+}

@@ -39,6 +39,8 @@ import (
 	"ceaff/internal/core"
 	"ceaff/internal/dataio"
 	"ceaff/internal/gcn"
+	"ceaff/internal/mat"
+	"ceaff/internal/obs"
 	"ceaff/internal/rng"
 	"ceaff/internal/wordvec"
 )
@@ -64,6 +66,9 @@ func main() {
 	theta2 := flag.Float64("theta2", 0.1, "fusion damped contribution θ2")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	checkpoint := flag.String("checkpoint", "", "persist GCN training state to this file and resume from it if present")
+	metricsPath := flag.String("metrics", "", "write a JSON run report (per-stage timings, metrics) to this file")
+	pprofPrefix := flag.String("pprof", "", "write CPU and heap profiles to <prefix>.cpu and <prefix>.heap")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -107,6 +112,24 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	var rt *obs.Runtime
+	if *metricsPath != "" {
+		rt = obs.NewRuntime()
+		ctx = obs.Into(ctx, rt)
+		mat.SetMetrics(rt.Metrics)
+	}
+	if *pprofPrefix != "" || *tracePath != "" {
+		stop, err := obs.StartProfiling(*pprofPrefix, *tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Printf("profiling: %v", err)
+			}
+		}()
 	}
 
 	var in *core.Input
@@ -159,6 +182,27 @@ func main() {
 		fmt.Printf("ranking   Hits@1=%.4f Hits@10=%.4f MRR=%.4f\n",
 			res.Ranking.Hits1, res.Ranking.Hits10, res.Ranking.MRR)
 	}
+
+	if rt != nil {
+		if err := writeReport(*metricsPath, "ceaff", rt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics   %s\n", *metricsPath)
+	}
+}
+
+// writeReport snapshots the observability runtime into a JSON run report.
+func writeReport(path, name string, rt *obs.Runtime) error {
+	rep := obs.BuildReport(name, rt)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = rep.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // setupCheckpoint loads an existing checkpoint file into cfg.Resume and

@@ -22,6 +22,8 @@ import (
 	"os"
 
 	"ceaff/internal/experiments"
+	"ceaff/internal/mat"
+	"ceaff/internal/obs"
 )
 
 func main() {
@@ -35,16 +37,40 @@ func main() {
 	verbose := flag.Bool("v", false, "print progress lines to stderr")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	failFast := flag.Bool("failfast", false, "abort on the first persistently failing cell instead of isolating it")
+	metricsPath := flag.String("metrics", "", "write a JSON run report (per-table timings, metrics) to this file")
+	pprofPrefix := flag.String("pprof", "", "write CPU and heap profiles to <prefix>.cpu and <prefix>.heap")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	opt := experiments.Options{Scale: *scale, Fast: *fast, FailFast: *failFast}
 	if *verbose {
 		opt.Progress = func(format string, args ...any) { log.Printf(format, args...) }
 	}
+	ctx := context.Background()
 	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	var rt *obs.Runtime
+	if *metricsPath != "" {
+		rt = obs.NewRuntime()
+		ctx = obs.Into(ctx, rt)
+		mat.SetMetrics(rt.Metrics)
+	}
+	if *timeout > 0 || rt != nil {
 		opt.Ctx = ctx
+	}
+	if *pprofPrefix != "" || *tracePath != "" {
+		stop, err := obs.StartProfiling(*pprofPrefix, *tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Printf("profiling: %v", err)
+			}
+		}()
 	}
 
 	render := func(t *experiments.Table) {
@@ -114,4 +140,25 @@ func main() {
 			log.Fatalf("table %s: %v", name, err)
 		}
 	}
+
+	if rt != nil {
+		if err := writeReport(*metricsPath, "experiments", rt); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics written to %s", *metricsPath)
+	}
+}
+
+// writeReport snapshots the observability runtime into a JSON run report.
+func writeReport(path, name string, rt *obs.Runtime) error {
+	rep := obs.BuildReport(name, rt)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = rep.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

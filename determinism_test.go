@@ -1,0 +1,113 @@
+package ceaff
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ceaff/internal/baselines"
+	"ceaff/internal/bench"
+	"ceaff/internal/core"
+	"ceaff/internal/mat"
+	"ceaff/internal/obs"
+)
+
+// detInput generates the benchmark dataset used by the determinism tests.
+// bench.Generate is itself seeded, so calling it twice with the same spec
+// must produce identical inputs; the pipeline on top must then produce
+// bit-identical outputs.
+func detInput(t *testing.T) *core.Input {
+	t.Helper()
+	spec, ok := bench.SpecByName(bench.SRPRSEnFr, 0.1)
+	if !ok {
+		t.Fatal("unknown spec")
+	}
+	spec.Dim = baselines.FastSettings().Dim
+	d, err := bench.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Input{
+		G1: d.G1, G2: d.G2,
+		Seeds: d.SeedPairs, Tests: d.TestPairs,
+		Emb1: d.Emb1, Emb2: d.Emb2,
+	}
+}
+
+// observedRun executes one fully instrumented pipeline run on a freshly
+// generated input and returns the result with its obs report.
+func observedRun(t *testing.T) (*core.Result, *obs.Report) {
+	t.Helper()
+	in := detInput(t)
+	cfg := core.DefaultConfig()
+	cfg.GCN = baselines.FastSettings().GCN
+
+	rt := obs.NewRuntime()
+	mat.SetMetrics(rt.Metrics)
+	defer mat.SetMetrics(nil)
+	ctx := obs.Into(t.Context(), rt)
+	res, err := core.RunContext(ctx, in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, obs.BuildReport("determinism", rt)
+}
+
+// sameBits reports whether two floats are bit-for-bit identical — stricter
+// than ==, which would treat +0/-0 as equal and NaN as unequal to itself.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestPipelineDeterminism is the end-to-end determinism contract: two full
+// runs with the same seed produce byte-identical evaluation metrics, the
+// same fused matrix and assignment, and an identical observability stage
+// structure. Any scheduling-order reduction or map-iteration dependence
+// anywhere in the pipeline breaks this test.
+func TestPipelineDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full double pipeline run")
+	}
+	res1, rep1 := observedRun(t)
+	res2, rep2 := observedRun(t)
+
+	metrics := []struct {
+		name string
+		a, b float64
+	}{
+		{"Accuracy", res1.Accuracy, res2.Accuracy},
+		{"Hits@1", res1.Ranking.Hits1, res2.Ranking.Hits1},
+		{"Hits@10", res1.Ranking.Hits10, res2.Ranking.Hits10},
+		{"MRR", res1.Ranking.MRR, res2.Ranking.MRR},
+		{"Precision", res1.PRF.Precision, res2.PRF.Precision},
+		{"Recall", res1.PRF.Recall, res2.PRF.Recall},
+		{"F1", res1.PRF.F1, res2.PRF.F1},
+	}
+	for _, m := range metrics {
+		if !sameBits(m.a, m.b) {
+			t.Errorf("%s differs between runs: %x vs %x",
+				m.name, math.Float64bits(m.a), math.Float64bits(m.b))
+		}
+	}
+
+	if !reflect.DeepEqual(res1.Assignment, res2.Assignment) {
+		t.Error("assignments differ between runs")
+	}
+	if len(res1.Fused.Data) != len(res2.Fused.Data) {
+		t.Fatalf("fused matrix sizes differ: %d vs %d", len(res1.Fused.Data), len(res2.Fused.Data))
+	}
+	for i := range res1.Fused.Data {
+		if !sameBits(res1.Fused.Data[i], res2.Fused.Data[i]) {
+			t.Fatalf("fused matrix element %d differs: %x vs %x", i,
+				math.Float64bits(res1.Fused.Data[i]), math.Float64bits(res2.Fused.Data[i]))
+		}
+	}
+
+	sig1, sig2 := rep1.StructureSignature(), rep2.StructureSignature()
+	if sig1 != sig2 {
+		t.Errorf("obs structure signatures differ:\n  run1: %s\n  run2: %s", sig1, sig2)
+	}
+	if sig1 == "" {
+		t.Error("empty structure signature: instrumentation did not record anything")
+	}
+}

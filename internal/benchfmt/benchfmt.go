@@ -1,0 +1,250 @@
+// Package benchfmt parses `go test -bench` output, folds it together with
+// obs run-reports into a schema-stable benchmark file (BENCH_PR2.json), and
+// compares two such files for regressions. It has no dependencies outside
+// the standard library and ceaff/internal/obs.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ceaff/internal/obs"
+)
+
+// SchemaVersion guards the benchmark-file layout. Readers reject files
+// whose version they do not understand instead of silently miscomparing.
+const SchemaVersion = 1
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -<GOMAXPROCS> suffix stripped,
+	// e.g. "BenchmarkKernelCosineSim".
+	Name string `json:"name"`
+	// Procs is the stripped -<GOMAXPROCS> suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iters is the reported iteration count (b.N).
+	Iters int64 `json:"iters"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are reported only under -benchmem;
+	// -1 means the column was absent.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is the on-disk benchmark document (BENCH_PR2.json).
+type File struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GoOS          string `json:"goos"`
+	GoArch        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	// Benchmarks is sorted by Name so serialization is deterministic.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Reports holds obs run-reports keyed by report name, e.g. a
+	// `ceaff -metrics` pipeline report folded in alongside the
+	// micro-benchmarks.
+	Reports map[string]*obs.Report `json:"reports,omitempty"`
+}
+
+// NewFile returns an empty File stamped with the current environment.
+func NewFile() *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		GoOS:          runtime.GOOS,
+		GoArch:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Reports:       map[string]*obs.Report{},
+	}
+}
+
+// ParseBenchOutput reads `go test -bench` text output and returns the
+// benchmark lines it contains. Non-benchmark lines (PASS, ok, goos: ...)
+// are skipped. Lines that start with "Benchmark" but fail to parse are
+// reported as errors rather than dropped, so a format drift in the Go
+// toolchain is caught instead of silently producing an empty file.
+func ParseBenchOutput(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A bare "BenchmarkFoo" line (no fields after the name) is the
+		// benchmark-start echo printed under -v; skip it.
+		if len(fields) < 3 {
+			continue
+		}
+		b, err := parseLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: %q: %w", line, err)
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// parseLine parses one whitespace-split benchmark result line:
+//
+//	BenchmarkName-8  123  456.7 ns/op  89 B/op  10 allocs/op
+func parseLine(fields []string) (Benchmark, error) {
+	b := Benchmark{Procs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			b.Procs = p
+			name = name[:i]
+		}
+	}
+	b.Name = name
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return b, fmt.Errorf("bad iteration count %q", fields[1])
+	}
+	b.Iters = iters
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return b, fmt.Errorf("bad value %q", fields[i])
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+			// Custom b.ReportMetric units are ignored.
+		}
+	}
+	if b.NsPerOp == 0 && len(fields) >= 4 && fields[3] != "ns/op" {
+		return b, fmt.Errorf("missing ns/op column")
+	}
+	return b, nil
+}
+
+// Write serializes f to path as indented JSON with sorted benchmarks, so
+// repeated runs over the same data produce byte-identical files.
+func (f *File) Write(path string) error {
+	sort.Slice(f.Benchmarks, func(i, j int) bool {
+		return f.Benchmarks[i].Name < f.Benchmarks[j].Name
+	})
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads a benchmark file, rejecting unknown schema versions.
+func Read(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchfmt: %s: schema version %d, want %d",
+			path, f.SchemaVersion, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// Regression is one metric that got worse past the threshold.
+type Regression struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"` // "ns/op", "B/op" or "allocs/op"
+	Old       float64 `json:"old"`
+	New       float64 `json:"new"`
+	// Ratio is new/old - 1, e.g. 0.20 for a 20% slowdown.
+	Ratio float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%+.1f%%)",
+		r.Benchmark, r.Metric, r.Old, r.New, r.Ratio*100)
+}
+
+// Compare flags metrics in new that regressed past threshold (e.g. 0.15
+// for 15%) relative to old. Benchmarks present in only one file are not
+// regressions; they are reported by CompareNames. Metrics absent from
+// either side (B/op without -benchmem is -1) are skipped, as are old
+// values of zero (a ratio against zero is meaningless).
+func Compare(oldF, newF *File, threshold float64) []Regression {
+	oldBy := make(map[string]Benchmark, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var regs []Regression
+	for _, nb := range newF.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			continue
+		}
+		check := func(metric string, oldV, newV float64) {
+			if oldV <= 0 || newV < 0 {
+				return
+			}
+			ratio := newV/oldV - 1
+			if ratio > threshold {
+				regs = append(regs, Regression{
+					Benchmark: nb.Name, Metric: metric,
+					Old: oldV, New: newV, Ratio: ratio,
+				})
+			}
+		}
+		check("ns/op", ob.NsPerOp, nb.NsPerOp)
+		check("B/op", ob.BytesPerOp, nb.BytesPerOp)
+		check("allocs/op", ob.AllocsPerOp, nb.AllocsPerOp)
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Benchmark != regs[j].Benchmark {
+			return regs[i].Benchmark < regs[j].Benchmark
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// CompareNames reports benchmarks present in exactly one of the files —
+// useful as a warning that the comparison is partial.
+func CompareNames(oldF, newF *File) (onlyOld, onlyNew []string) {
+	oldBy := map[string]bool{}
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = true
+	}
+	newBy := map[string]bool{}
+	for _, b := range newF.Benchmarks {
+		newBy[b.Name] = true
+		if !oldBy[b.Name] {
+			onlyNew = append(onlyNew, b.Name)
+		}
+	}
+	for _, b := range oldF.Benchmarks {
+		if !newBy[b.Name] {
+			onlyOld = append(onlyOld, b.Name)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return onlyOld, onlyNew
+}

@@ -1,0 +1,170 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ceaff/internal/obs"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ceaff
+cpu: some CPU model
+BenchmarkKernelCosineSim-8   	     123	    456789 ns/op	   12345 B/op	      67 allocs/op
+BenchmarkTable2-8            	       1	1234567890 ns/op
+BenchmarkNoProcsSuffix       	      10	      5000 ns/op	     100 B/op	       2 allocs/op
+PASS
+ok  	ceaff	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	bs, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(bs))
+	}
+	// Sorted by name.
+	if bs[0].Name != "BenchmarkKernelCosineSim" || bs[1].Name != "BenchmarkNoProcsSuffix" || bs[2].Name != "BenchmarkTable2" {
+		t.Fatalf("unexpected order: %v %v %v", bs[0].Name, bs[1].Name, bs[2].Name)
+	}
+	k := bs[0]
+	if k.Procs != 8 || k.Iters != 123 || k.NsPerOp != 456789 || k.BytesPerOp != 12345 || k.AllocsPerOp != 67 {
+		t.Fatalf("kernel line parsed wrong: %+v", k)
+	}
+	tbl := bs[2]
+	if tbl.NsPerOp != 1234567890 || tbl.BytesPerOp != -1 || tbl.AllocsPerOp != -1 {
+		t.Fatalf("missing -benchmem columns should be -1: %+v", tbl)
+	}
+	if bs[1].Procs != 1 {
+		t.Fatalf("no-suffix benchmark should default to 1 proc: %+v", bs[1])
+	}
+}
+
+func TestParseBenchOutputBadLine(t *testing.T) {
+	_, err := ParseBenchOutput(strings.NewReader("BenchmarkBroken-8 notanumber 5 ns/op\n"))
+	if err == nil {
+		t.Fatal("expected parse error for malformed iteration count")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+
+	f := NewFile()
+	bs, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Benchmarks = bs
+
+	rt := obs.NewRuntime()
+	span := rt.Trace.StartRoot("pipeline")
+	span.StartChild("features").End()
+	span.End()
+	rt.Metrics.Counter("gcn.epochs").Add(60)
+	f.Reports["pipeline"] = obs.BuildReport("pipeline", rt)
+
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Benchmarks, f.Benchmarks) {
+		t.Fatalf("benchmarks differ after round trip:\n%+v\n%+v", got.Benchmarks, f.Benchmarks)
+	}
+	rep, ok := got.Reports["pipeline"]
+	if !ok {
+		t.Fatal("pipeline report lost in round trip")
+	}
+	if rep.StructureSignature() != f.Reports["pipeline"].StructureSignature() {
+		t.Fatalf("report signature changed: %q vs %q",
+			rep.StructureSignature(), f.Reports["pipeline"].StructureSignature())
+	}
+}
+
+func TestReadRejectsUnknownSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	f := NewFile()
+	f.SchemaVersion = SchemaVersion + 1
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("expected schema version rejection")
+	}
+}
+
+func benchFile(vals map[string][3]float64) *File {
+	f := NewFile()
+	for name, v := range vals {
+		f.Benchmarks = append(f.Benchmarks, Benchmark{
+			Name: name, Procs: 8, Iters: 100,
+			NsPerOp: v[0], BytesPerOp: v[1], AllocsPerOp: v[2],
+		})
+	}
+	return f
+}
+
+func TestCompareSelfIsClean(t *testing.T) {
+	f := benchFile(map[string][3]float64{
+		"BenchmarkA": {1000, 256, 4},
+		"BenchmarkB": {2000, -1, -1},
+	})
+	if regs := Compare(f, f, 0.15); len(regs) != 0 {
+		t.Fatalf("self-comparison reported regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldF := benchFile(map[string][3]float64{
+		"BenchmarkA": {1000, 256, 4},
+		"BenchmarkB": {2000, 100, 1},
+	})
+	newF := benchFile(map[string][3]float64{
+		"BenchmarkA": {1200, 256, 4},  // +20% ns/op: regression
+		"BenchmarkB": {2100, 100, 10}, // +5% ns/op: fine; allocs 10x: regression
+		"BenchmarkC": {9999, 1, 1},    // new benchmark: not a regression
+	})
+	regs := Compare(oldF, newF, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	if regs[0].Benchmark != "BenchmarkA" || regs[0].Metric != "ns/op" {
+		t.Fatalf("regs[0] = %+v", regs[0])
+	}
+	if regs[1].Benchmark != "BenchmarkB" || regs[1].Metric != "allocs/op" {
+		t.Fatalf("regs[1] = %+v", regs[1])
+	}
+	if regs[0].Ratio < 0.19 || regs[0].Ratio > 0.21 {
+		t.Fatalf("ratio = %v, want ~0.20", regs[0].Ratio)
+	}
+}
+
+func TestCompareSkipsMissingMetrics(t *testing.T) {
+	oldF := benchFile(map[string][3]float64{"BenchmarkA": {1000, -1, -1}})
+	newF := benchFile(map[string][3]float64{"BenchmarkA": {1000, 99999, 99999}})
+	if regs := Compare(oldF, newF, 0.15); len(regs) != 0 {
+		t.Fatalf("missing old metrics must not regress: %v", regs)
+	}
+}
+
+func TestCompareNames(t *testing.T) {
+	oldF := benchFile(map[string][3]float64{"BenchmarkA": {1, 1, 1}, "BenchmarkGone": {1, 1, 1}})
+	newF := benchFile(map[string][3]float64{"BenchmarkA": {1, 1, 1}, "BenchmarkNew": {1, 1, 1}})
+	onlyOld, onlyNew := CompareNames(oldF, newF)
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"ceaff/internal/lr"
 	"ceaff/internal/mat"
 	"ceaff/internal/match"
+	"ceaff/internal/obs"
 	"ceaff/internal/rng"
 	"ceaff/internal/robust"
 	"ceaff/internal/strsim"
@@ -176,6 +177,8 @@ func ComputeFeaturesContext(ctx context.Context, in *Input, gcnCfg gcn.Config) (
 	if err := validateInput(in); err != nil {
 		return nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "features")
+	defer span.End()
 	testSrc, testTgt := align.SourceIDs(in.Tests), align.TargetIDs(in.Tests)
 	seedSrc, seedTgt := align.SourceIDs(in.Seeds), align.TargetIDs(in.Seeds)
 	srcNames := namesOf(in.G1, testSrc)
@@ -214,6 +217,8 @@ func ComputeFeaturesContext(ctx context.Context, in *Input, gcnCfg gcn.Config) (
 }
 
 func computeStructural(ctx context.Context, in *Input, gcnCfg gcn.Config, fs *FeatureSet, testSrc, testTgt, seedSrc, seedTgt []kg.EntityID) error {
+	ctx, span := obs.StartSpan(ctx, "feature.structural")
+	defer span.End()
 	if err := robust.Fire(FaultStructural); err != nil {
 		return err
 	}
@@ -231,6 +236,8 @@ func computeStructural(ctx context.Context, in *Input, gcnCfg gcn.Config, fs *Fe
 }
 
 func computeSemantic(ctx context.Context, in *Input, fs *FeatureSet, srcNames, tgtNames, seedSrcNames, seedTgtNames []string) error {
+	ctx, span := obs.StartSpan(ctx, "feature.semantic")
+	defer span.End()
 	if err := robust.Fire(FaultSemantic); err != nil {
 		return err
 	}
@@ -254,6 +261,8 @@ func computeSemantic(ctx context.Context, in *Input, fs *FeatureSet, srcNames, t
 }
 
 func computeString(ctx context.Context, fs *FeatureSet, srcNames, tgtNames, seedSrcNames, seedTgtNames []string) error {
+	ctx, span := obs.StartSpan(ctx, "feature.string")
+	defer span.End()
 	if err := robust.Fire(FaultString); err != nil {
 		return err
 	}
@@ -357,12 +366,49 @@ type Result struct {
 // Decide runs fusion (stage 2) and EA decision making (stage 3) on
 // precomputed features.
 func Decide(fs *FeatureSet, cfg Config) (*Result, error) {
+	return DecideContext(context.Background(), fs, cfg)
+}
+
+// DecideContext is Decide with observability: when ctx carries an
+// obs.Runtime, the fusion, decision and eval stages are traced as spans and
+// the run's outcome lands in the "pipeline.accuracy" gauge.
+func DecideContext(ctx context.Context, fs *FeatureSet, cfg Config) (*Result, error) {
 	ms, mn, ml := selectFeatures(fs, cfg)
 	if ms == nil && mn == nil && ml == nil {
 		return nil, fmt.Errorf("core: all features disabled or degraded")
 	}
 
 	res := &Result{Degraded: append([]Degradation(nil), fs.Degraded...)}
+
+	_, fuseSpan := obs.StartSpan(ctx, "fusion")
+	err := fuseFeatures(res, fs, cfg, ms, mn, ml)
+	fuseSpan.End()
+	if err != nil {
+		return nil, err
+	}
+
+	_, decSpan := obs.StartSpan(ctx, "decision")
+	err = decideAssignment(res, cfg)
+	decSpan.End()
+	if err != nil {
+		return nil, err
+	}
+
+	_, evalSpan := obs.StartSpan(ctx, "eval")
+	res.Accuracy = eval.Accuracy(res.Assignment)
+	res.Ranking = eval.Ranking(res.Fused)
+	res.PRF = eval.PrecisionRecall(res.Assignment)
+	evalSpan.End()
+
+	reg := obs.Metrics(ctx)
+	reg.Gauge("pipeline.accuracy").Set(res.Accuracy)
+	reg.Counter("pipeline.decisions").Inc()
+	return res, nil
+}
+
+// fuseFeatures fills res.Fused (and the fusion diagnostics) from the
+// selected feature matrices, including the optional CSLS rescaling.
+func fuseFeatures(res *Result, fs *FeatureSet, cfg Config, ms, mn, ml *mat.Dense) error {
 	switch cfg.Fusion {
 	case AdaptiveFusion:
 		if cfg.SingleStageFusion {
@@ -379,7 +425,7 @@ func Decide(fs *FeatureSet, cfg Config) (*Result, error) {
 	case LearnedFusion:
 		weights, err := learnWeights(fs, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.LearnedWeights = weights
 		var parts []*mat.Dense
@@ -392,13 +438,17 @@ func Decide(fs *FeatureSet, cfg Config) (*Result, error) {
 		}
 		res.Fused = fusion.FuseWeighted(parts, w)
 	default:
-		return nil, fmt.Errorf("core: unknown fusion mode %d", cfg.Fusion)
+		return fmt.Errorf("core: unknown fusion mode %d", cfg.Fusion)
 	}
 
 	if cfg.CSLSNeighbors > 0 {
 		res.Fused = mat.CSLS(res.Fused, cfg.CSLSNeighbors)
 	}
+	return nil
+}
 
+// decideAssignment fills res.Assignment from the fused matrix.
+func decideAssignment(res *Result, cfg Config) error {
 	switch cfg.Decision {
 	case Collective:
 		if cfg.PreferenceTopK > 0 {
@@ -413,13 +463,9 @@ func Decide(fs *FeatureSet, cfg Config) (*Result, error) {
 	case GreedyOneToOne:
 		res.Assignment = match.GreedyOneToOne(res.Fused)
 	default:
-		return nil, fmt.Errorf("core: unknown decision mode %d", cfg.Decision)
+		return fmt.Errorf("core: unknown decision mode %d", cfg.Decision)
 	}
-
-	res.Accuracy = eval.Accuracy(res.Assignment)
-	res.Ranking = eval.Ranking(res.Fused)
-	res.PRF = eval.PrecisionRecall(res.Assignment)
-	return res, nil
+	return nil
 }
 
 // Run executes the full pipeline: feature generation, fusion, decision.
@@ -432,6 +478,8 @@ func Run(in *Input, cfg Config) (*Result, error) {
 // at the next row chunk, returning ctx's error (errors.Is-compatible with
 // context.Canceled / context.DeadlineExceeded) without leaking goroutines.
 func RunContext(ctx context.Context, in *Input, cfg Config) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "pipeline")
+	defer span.End()
 	fs, err := ComputeFeaturesContext(ctx, in, cfg.GCN)
 	if err != nil {
 		return nil, err
@@ -439,7 +487,7 @@ func RunContext(ctx context.Context, in *Input, cfg Config) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return Decide(fs, cfg)
+	return DecideContext(ctx, fs, cfg)
 }
 
 func selectFeatures(fs *FeatureSet, cfg Config) (ms, mn, ml *mat.Dense) {

@@ -17,6 +17,7 @@ import (
 	"ceaff/internal/core"
 	"ceaff/internal/eval"
 	"ceaff/internal/match"
+	"ceaff/internal/obs"
 	"ceaff/internal/robust"
 )
 
@@ -84,15 +85,20 @@ func isCtxErr(err error) bool {
 // recorded under every cell in cols (or returned when o.FailFast is set)
 // so the rest of the table still completes.
 func runCell(t *Table, o Options, row string, cols []string, fn func() error) error {
+	reg := obs.Metrics(o.ctx())
+	cellTimer := reg.Histogram("experiments.cell.seconds")
 	var err error
 	for attempt := 0; attempt < o.cellAttempts(); attempt++ {
 		if err = o.ctx().Err(); err != nil {
 			return err
 		}
+		done := cellTimer.Time()
 		if err = robust.Fire(FaultCell); err == nil {
 			err = fn()
 		}
+		done()
 		if err == nil {
+			reg.Counter("experiments.cells").Inc()
 			if attempt > 0 {
 				o.log("%s: %s recovered on attempt %d", cols[0], row, attempt+1)
 			}
@@ -101,11 +107,13 @@ func runCell(t *Table, o Options, row string, cols []string, fn func() error) er
 		if isCtxErr(err) {
 			return err
 		}
+		reg.Counter("experiments.cell_retries").Inc()
 		o.log("%s: %s attempt %d failed: %v", cols[0], row, attempt+1, err)
 	}
 	if o.FailFast {
 		return fmt.Errorf("experiments: cell (%s, %s): %w", row, cols[0], err)
 	}
+	reg.Counter("experiments.cell_failures").Add(int64(len(cols)))
 	for _, col := range cols {
 		t.Failed[cell{row, col}] = err
 	}
@@ -166,9 +174,14 @@ type Table2Row struct {
 // (reproducing Table II at reduced scale), including the K-S degree test
 // between each pair's KGs.
 func Table2(opt Options) ([]Table2Row, error) {
+	ctx, span := obs.StartSpan(opt.ctx(), "table2")
+	defer span.End()
+	opt.Ctx = ctx
 	var rows []Table2Row
 	for _, spec := range bench.StandardSpecs(opt.Scale) {
+		_, genSpan := obs.StartSpan(ctx, "generate:"+spec.Name)
 		_, d, err := inputFor(spec.Name, opt)
+		genSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -240,6 +253,9 @@ func Table3(opt Options) (*Table, error) {
 		RowGCNAlign, RowJAPE, RowRDGCN, RowGMAlign, RowCEAFF}
 	cols := bench.CrossLingualNames()
 	t := newTable("Table III: accuracy of cross-lingual EA", rows, cols, Table3Paper)
+	ctx, span := obs.StartSpan(opt.ctx(), "table3")
+	defer span.End()
+	opt.Ctx = ctx
 	return t, runAccuracyTable(t, opt, nil)
 }
 
@@ -262,6 +278,9 @@ func Table4(opt Options) (*Table, error) {
 		}
 		return false
 	}
+	ctx, span := obs.StartSpan(opt.ctx(), "table4")
+	defer span.End()
+	opt.Ctx = ctx
 	return t, runAccuracyTable(t, opt, skip)
 }
 
@@ -273,74 +292,82 @@ func Table4(opt Options) (*Table, error) {
 func runAccuracyTable(t *Table, opt Options, skip func(row, col string) bool) error {
 	s := opt.settings()
 	for _, col := range t.Cols {
-		col := col
-		in, _, err := inputFor(col, opt)
+		if err := runAccuracyColumn(t, opt, s, col, skip); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runAccuracyColumn fills one dataset column of an accuracy table inside
+// its own "dataset:<name>" span, so per-column cost shows up in the trace.
+func runAccuracyColumn(t *Table, opt Options, s baselines.Settings, col string, skip func(row, col string) bool) error {
+	colCtx, colSpan := obs.StartSpan(opt.ctx(), "dataset:"+col)
+	defer colSpan.End()
+	opt.Ctx = colCtx
+	in, _, err := inputFor(col, opt)
+	if err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		row := row
+		if row == RowCEAFF || row == RowCEAFFNoL || row == RowCEAFFNoC {
+			continue // handled below from shared features
+		}
+		if skip != nil && skip(row, col) {
+			continue
+		}
+		m := methodByName(s, row)
+		if m == nil {
+			return fmt.Errorf("experiments: unknown method row %q", row)
+		}
+		err := runCell(t, opt, row, []string{col}, func() error {
+			sim, err := m.Align(in)
+			if err != nil {
+				return err
+			}
+			t.set(row, col, eval.Accuracy(match.Greedy(sim)))
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		for _, row := range t.Rows {
-			row := row
-			if row == RowCEAFF || row == RowCEAFFNoL || row == RowCEAFFNoC {
-				continue // handled below from shared features
-			}
-			if skip != nil && skip(row, col) {
-				continue
-			}
-			m := methodByName(s, row)
-			if m == nil {
-				return fmt.Errorf("experiments: unknown method row %q", row)
-			}
-			err := runCell(t, opt, row, []string{col}, func() error {
-				sim, err := m.Align(in)
-				if err != nil {
-					return err
-				}
-				t.set(row, col, eval.Accuracy(match.Greedy(sim)))
-				return nil
-			})
-			if err != nil {
-				return err
-			}
-			opt.log("%s: %s done", col, row)
-		}
+		opt.log("%s: %s done", col, row)
+	}
 
-		ceaffRows := intersect(t.Rows, RowCEAFF, RowCEAFFNoL, RowCEAFFNoC)
-		cfg := opt.ceaffConfig()
-		fs, err := core.ComputeFeaturesContext(opt.ctx(), in, cfg.GCN)
-		if err != nil {
-			// A dead feature computation sinks only this column's CEAFF
-			// cells, unless the run itself was cancelled.
-			if ferr := failRows(t, opt, col, ceaffRows, err); ferr != nil {
-				return ferr
-			}
-			continue
+	ceaffRows := intersect(t.Rows, RowCEAFF, RowCEAFFNoL, RowCEAFFNoC)
+	cfg := opt.ceaffConfig()
+	fs, err := core.ComputeFeaturesContext(opt.ctx(), in, cfg.GCN)
+	if err != nil {
+		// A dead feature computation sinks only this column's CEAFF
+		// cells, unless the run itself was cancelled.
+		return failRows(t, opt, col, ceaffRows, err)
+	}
+	for _, row := range ceaffRows {
+		row := row
+		var c core.Config
+		switch row {
+		case RowCEAFF:
+			c = cfg
+		case RowCEAFFNoL:
+			c = cfg
+			c.UseString = false
+		case RowCEAFFNoC:
+			c = cfg
+			c.Decision = core.Independent
 		}
-		for _, row := range ceaffRows {
-			row := row
-			var c core.Config
-			switch row {
-			case RowCEAFF:
-				c = cfg
-			case RowCEAFFNoL:
-				c = cfg
-				c.UseString = false
-			case RowCEAFFNoC:
-				c = cfg
-				c.Decision = core.Independent
-			}
-			err := runCell(t, opt, row, []string{col}, func() error {
-				res, err := core.Decide(fs, c)
-				if err != nil {
-					return err
-				}
-				t.set(row, col, res.Accuracy)
-				return nil
-			})
+		err := runCell(t, opt, row, []string{col}, func() error {
+			res, err := core.DecideContext(opt.ctx(), fs, c)
 			if err != nil {
 				return err
 			}
-			opt.log("%s: %s done", col, row)
+			t.set(row, col, res.Accuracy)
+			return nil
+		})
+		if err != nil {
+			return err
 		}
+		opt.log("%s: %s done", col, row)
 	}
 	return nil
 }
@@ -420,34 +447,44 @@ func Table5(opt Options) (*Table, error) {
 		rows[i] = c.Row
 	}
 	t := newTable("Table V: ablation and further experiments", rows, bench.AblationNames(), Table5Paper)
+	ctx, span := obs.StartSpan(opt.ctx(), "table5")
+	defer span.End()
+	opt.Ctx = ctx
 
 	for _, col := range t.Cols {
 		col := col
-		in, _, err := inputFor(col, opt)
-		if err != nil {
-			return nil, err
-		}
-		fs, err := core.ComputeFeaturesContext(opt.ctx(), in, base.GCN)
-		if err != nil {
-			if ferr := failRows(t, opt, col, rows, err); ferr != nil {
-				return nil, ferr
+		err := func() error {
+			colCtx, colSpan := obs.StartSpan(opt.ctx(), "dataset:"+col)
+			defer colSpan.End()
+			opt := opt // shadow: this column's cells nest under its span
+			opt.Ctx = colCtx
+			in, _, err := inputFor(col, opt)
+			if err != nil {
+				return err
 			}
-			continue
-		}
-		for _, c := range configs {
-			c := c
-			err := runCell(t, opt, c.Row, []string{col}, func() error {
-				res, err := core.Decide(fs, c.Cfg)
+			fs, err := core.ComputeFeaturesContext(opt.ctx(), in, base.GCN)
+			if err != nil {
+				return failRows(t, opt, col, rows, err)
+			}
+			for _, c := range configs {
+				c := c
+				err := runCell(t, opt, c.Row, []string{col}, func() error {
+					res, err := core.DecideContext(opt.ctx(), fs, c.Cfg)
+					if err != nil {
+						return err
+					}
+					t.set(c.Row, col, res.Accuracy)
+					return nil
+				})
 				if err != nil {
 					return err
 				}
-				t.set(c.Row, col, res.Accuracy)
-				return nil
-			})
-			if err != nil {
-				return nil, err
+				opt.log("%s: %s done", col, c.Row)
 			}
-			opt.log("%s: %s done", col, c.Row)
+			return nil
+		}()
+		if err != nil {
+			return nil, err
 		}
 	}
 	return t, nil
@@ -465,84 +502,94 @@ func Table6(opt Options) (*Table, error) {
 		cols = append(cols, d+"/H1", d+"/H10", d+"/MRR")
 	}
 	t := newTable("Table VI: evaluation as ranking problem on DBP15K*", methods, cols, Table6Paper)
+	ctx, span := obs.StartSpan(opt.ctx(), "table6")
+	defer span.End()
+	opt.Ctx = ctx
 
 	s := opt.settings()
 	for _, ds := range datasets {
 		ds := ds
-		rankCols := []string{ds + "/H1", ds + "/H10", ds + "/MRR"}
-		in, _, err := inputFor(ds, opt)
-		if err != nil {
-			return nil, err
-		}
-		for _, row := range methods {
-			row := row
-			if row == RowCEAFF || row == RowCEAFFNoC {
-				continue
+		err := func() error {
+			dsCtx, dsSpan := obs.StartSpan(opt.ctx(), "dataset:"+ds)
+			defer dsSpan.End()
+			opt := opt // shadow: this dataset's cells nest under its span
+			opt.Ctx = dsCtx
+			rankCols := []string{ds + "/H1", ds + "/H10", ds + "/MRR"}
+			in, _, err := inputFor(ds, opt)
+			if err != nil {
+				return err
 			}
-			m := methodByName(s, row)
-			if m == nil {
-				return nil, fmt.Errorf("experiments: unknown method row %q", row)
-			}
-			err := runCell(t, opt, row, rankCols, func() error {
-				sim, err := m.Align(in)
+			for _, row := range methods {
+				row := row
+				if row == RowCEAFF || row == RowCEAFFNoC {
+					continue
+				}
+				m := methodByName(s, row)
+				if m == nil {
+					return fmt.Errorf("experiments: unknown method row %q", row)
+				}
+				err := runCell(t, opt, row, rankCols, func() error {
+					sim, err := m.Align(in)
+					if err != nil {
+						return err
+					}
+					r := eval.Ranking(sim)
+					t.set(row, ds+"/H1", r.Hits1)
+					t.set(row, ds+"/H10", r.Hits10)
+					t.set(row, ds+"/MRR", r.MRR)
+					return nil
+				})
 				if err != nil {
 					return err
 				}
-				r := eval.Ranking(sim)
-				t.set(row, ds+"/H1", r.Hits1)
-				t.set(row, ds+"/H10", r.Hits10)
-				t.set(row, ds+"/MRR", r.MRR)
+				opt.log("%s: %s done", ds, row)
+			}
+
+			cfg := opt.ceaffConfig()
+			fs, err := core.ComputeFeaturesContext(opt.ctx(), in, cfg.GCN)
+			if err != nil {
+				ferr := failRows(t, opt, ds+"/H1", []string{RowCEAFF, RowCEAFFNoC}, err)
+				if ferr == nil {
+					ferr = failRows(t, opt, ds+"/H10", []string{RowCEAFFNoC}, err)
+				}
+				if ferr == nil {
+					ferr = failRows(t, opt, ds+"/MRR", []string{RowCEAFFNoC}, err)
+				}
+				return ferr
+			}
+			noC := cfg
+			noC.Decision = core.Independent
+			err = runCell(t, opt, RowCEAFFNoC, rankCols, func() error {
+				res, err := core.DecideContext(opt.ctx(), fs, noC)
+				if err != nil {
+					return err
+				}
+				t.set(RowCEAFFNoC, ds+"/H1", res.Ranking.Hits1)
+				t.set(RowCEAFFNoC, ds+"/H10", res.Ranking.Hits10)
+				t.set(RowCEAFFNoC, ds+"/MRR", res.Ranking.MRR)
 				return nil
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			opt.log("%s: %s done", ds, row)
-		}
 
-		cfg := opt.ceaffConfig()
-		fs, err := core.ComputeFeaturesContext(opt.ctx(), in, cfg.GCN)
-		if err != nil {
-			ferr := failRows(t, opt, ds+"/H1", []string{RowCEAFF, RowCEAFFNoC}, err)
-			if ferr == nil {
-				ferr = failRows(t, opt, ds+"/H10", []string{RowCEAFFNoC}, err)
-			}
-			if ferr == nil {
-				ferr = failRows(t, opt, ds+"/MRR", []string{RowCEAFFNoC}, err)
-			}
-			if ferr != nil {
-				return nil, ferr
-			}
-			continue
-		}
-		noC := cfg
-		noC.Decision = core.Independent
-		err = runCell(t, opt, RowCEAFFNoC, rankCols, func() error {
-			res, err := core.Decide(fs, noC)
+			err = runCell(t, opt, RowCEAFF, []string{ds + "/H1"}, func() error {
+				full, err := core.DecideContext(opt.ctx(), fs, cfg)
+				if err != nil {
+					return err
+				}
+				t.set(RowCEAFF, ds+"/H1", full.Accuracy)
+				return nil
+			})
 			if err != nil {
 				return err
 			}
-			t.set(RowCEAFFNoC, ds+"/H1", res.Ranking.Hits1)
-			t.set(RowCEAFFNoC, ds+"/H10", res.Ranking.Hits10)
-			t.set(RowCEAFFNoC, ds+"/MRR", res.Ranking.MRR)
+			opt.log("%s: CEAFF rows done", ds)
 			return nil
-		})
+		}()
 		if err != nil {
 			return nil, err
 		}
-
-		err = runCell(t, opt, RowCEAFF, []string{ds + "/H1"}, func() error {
-			full, err := core.Decide(fs, cfg)
-			if err != nil {
-				return err
-			}
-			t.set(RowCEAFF, ds+"/H1", full.Accuracy)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		opt.log("%s: CEAFF rows done", ds)
 	}
 	return t, nil
 }

@@ -27,6 +27,7 @@ import (
 	"ceaff/internal/align"
 	"ceaff/internal/kg"
 	"ceaff/internal/mat"
+	"ceaff/internal/obs"
 	"ceaff/internal/rng"
 	"ceaff/internal/robust"
 )
@@ -280,6 +281,8 @@ func TrainContext(ctx context.Context, g1, g2 *kg.KG, seeds []align.Pair, cfg Co
 	if err != nil {
 		return nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "gcn.train")
+	defer span.End()
 	return t.run(ctx)
 }
 
@@ -427,10 +430,15 @@ func (t *trainer) recover(cause error) error {
 // divergence along the way.
 func (t *trainer) run(ctx context.Context) (*Model, error) {
 	cfg := t.cfg
+	reg := obs.Metrics(ctx)
+	trainSpan := obs.SpanFrom(ctx)
+	epochHist := reg.Histogram("gcn.epoch.seconds")
 	for t.epoch < cfg.Epochs {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("gcn: training cancelled at epoch %d: %w", t.epoch, err)
 		}
+		epochSpan := trainSpan.StartChild("epoch")
+		epochStart := epochHist.Time()
 		epoch := t.epoch
 		forward(t.ga, t.weights)
 		forward(t.gb, t.weights)
@@ -458,13 +466,21 @@ func (t *trainer) run(ctx context.Context) (*Model, error) {
 		}
 
 		if err := t.checkHealth(epoch, loss, grads); err != nil {
+			epochSpan.End()
+			epochStart()
+			reg.Counter("gcn.divergences").Inc()
 			if rerr := t.recover(err); rerr != nil {
 				return nil, rerr
 			}
+			reg.Counter("gcn.recoveries").Inc()
 			continue // re-run from the restored epoch
 		}
 		t.opt.step(grads, t.lr)
 		t.epoch++
+		epochSpan.End()
+		epochStart()
+		reg.Counter("gcn.epochs").Inc()
+		reg.Gauge("gcn.last_loss").Set(loss / float64(len(t.seeds)))
 
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, loss/float64(len(t.seeds)))
@@ -474,6 +490,7 @@ func (t *trainer) run(ctx context.Context) (*Model, error) {
 			if cfg.OnCheckpoint != nil {
 				cfg.OnCheckpoint(t.last.Clone())
 			}
+			reg.Counter("gcn.checkpoints").Inc()
 		}
 	}
 

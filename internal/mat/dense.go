@@ -92,6 +92,7 @@ func checkMul(a, b *Dense) {
 // Mul returns a·b, parallelized across row blocks.
 func Mul(a, b *Dense) *Dense {
 	checkMul(a, b)
+	defer kernelDone("mul", kernelStart())
 	out := NewDense(a.Rows, b.Cols)
 	parallelRows(a.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -116,6 +117,7 @@ func MulT(a, b *Dense) *Dense {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: mulT dimension mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	defer kernelDone("mult", kernelStart())
 	out := NewDense(a.Rows, b.Rows)
 	parallelRows(a.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -129,35 +131,66 @@ func MulT(a, b *Dense) *Dense {
 	return out
 }
 
-// TMul returns aᵀ·b without materializing the transpose.
+// TMul returns aᵀ·b without materializing the transpose. The parallel
+// reduction is deterministic: per-block partial products merge in block
+// order after every worker finishes, never in goroutine-completion order —
+// float addition is not associative, so merge order would otherwise leak
+// scheduling noise into the result bits (and break the pipeline's
+// bit-for-bit repeatability contract).
 func TMul(a, b *Dense) *Dense {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: tmul dimension mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	defer kernelDone("tmul", kernelStart())
 	out := NewDense(a.Cols, b.Cols)
-	var mu sync.Mutex
-	parallelRows(a.Rows, func(lo, hi int) {
-		local := NewDense(a.Cols, b.Cols)
-		for k := lo; k < hi; k++ {
-			ar := a.Row(k)
-			br := b.Row(k)
-			for i, av := range ar {
-				if av == 0 {
-					continue
-				}
-				lr := local.Row(i)
-				for j, bv := range br {
-					lr[j] += av * bv
-				}
+	workers := runtime.NumCPU()
+	if a.Rows < 64 || workers <= 1 {
+		tmulBlock(a, b, out, 0, a.Rows)
+		return out
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	chunk := (a.Rows + workers - 1) / workers
+	nblocks := (a.Rows + chunk - 1) / chunk
+	locals := make([]*Dense, nblocks)
+	var wg sync.WaitGroup
+	for bi := 0; bi < nblocks; bi++ {
+		lo := bi * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(bi, lo, hi int) {
+			defer wg.Done()
+			local := NewDense(a.Cols, b.Cols)
+			tmulBlock(a, b, local, lo, hi)
+			locals[bi] = local
+		}(bi, lo, hi)
+	}
+	wg.Wait()
+	for _, local := range locals {
+		out.AddInPlace(local)
+	}
+	return out
+}
+
+// tmulBlock accumulates rows [lo, hi) of the aᵀ·b product into dst.
+func tmulBlock(a, b, dst *Dense, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		ar := a.Row(k)
+		br := b.Row(k)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			dr := dst.Row(i)
+			for j, bv := range br {
+				dr[j] += av * bv
 			}
 		}
-		mu.Lock()
-		for i, v := range local.Data {
-			out.Data[i] += v
-		}
-		mu.Unlock()
-	})
-	return out
+	}
 }
 
 // Transpose returns mᵀ.

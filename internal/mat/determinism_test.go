@@ -1,0 +1,98 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"ceaff/internal/obs"
+	"ceaff/internal/rng"
+)
+
+// newTestRegistry installs a fresh kernel-metrics registry for one test.
+func newTestRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	r := obs.NewRegistry()
+	SetMetrics(r)
+	return r
+}
+
+// TestTMulDeterministic pins the bit-for-bit repeatability of the parallel
+// aᵀ·b reduction: the per-block partials must merge in block order, not
+// goroutine-completion order. The 256-row operand forces the parallel path.
+func TestTMulDeterministic(t *testing.T) {
+	s := rng.New(42)
+	a := NewDense(256, 33)
+	b := NewDense(256, 17)
+	for i := range a.Data {
+		a.Data[i] = s.Norm()
+	}
+	for i := range b.Data {
+		b.Data[i] = s.Norm()
+	}
+	ref := TMul(a, b)
+	for run := 0; run < 20; run++ {
+		got := TMul(a, b)
+		for i := range ref.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(ref.Data[i]) {
+				t.Fatalf("run %d: element %d differs: %x vs %x",
+					run, i, math.Float64bits(got.Data[i]), math.Float64bits(ref.Data[i]))
+			}
+		}
+	}
+}
+
+// TestTMulMatchesSequential cross-checks the blocked parallel reduction
+// against a plain sequential accumulation.
+func TestTMulMatchesSequential(t *testing.T) {
+	s := rng.New(7)
+	a := NewDense(100, 5)
+	b := NewDense(100, 4)
+	for i := range a.Data {
+		a.Data[i] = s.Float64() - 0.5
+	}
+	for i := range b.Data {
+		b.Data[i] = s.Float64() - 0.5
+	}
+	got := TMul(a, b)
+	want := NewDense(a.Cols, b.Cols)
+	tmulBlock(a, b, want, 0, a.Rows)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("element %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestKernelMetrics verifies that installed kernel metrics observe calls
+// and that uninstalling stops collection.
+func TestKernelMetrics(t *testing.T) {
+	defer SetMetrics(nil)
+	reg := newTestRegistry(t)
+	a := NewDense(70, 8)
+	b := NewDense(70, 8)
+	Mul(a, b.Transpose())
+	MulT(a, b)
+	TMul(a, b)
+	CosineSim(a, b)
+	if got := reg.Counter("mat.mul.calls").Value(); got != 1 {
+		t.Fatalf("mul calls = %d", got)
+	}
+	if got := reg.Counter("mat.mult.calls").Value(); got < 2 { // MulT + CosineSim's inner MulT
+		t.Fatalf("mult calls = %d", got)
+	}
+	if got := reg.Counter("mat.tmul.calls").Value(); got != 1 {
+		t.Fatalf("tmul calls = %d", got)
+	}
+	if got := reg.Counter("mat.cosine.calls").Value(); got != 1 {
+		t.Fatalf("cosine calls = %d", got)
+	}
+	st := reg.Histogram("mat.mul.seconds").Stats()
+	if st.Count != 1 || st.Max < 0 {
+		t.Fatalf("mul histogram = %+v", st)
+	}
+	SetMetrics(nil)
+	Mul(a, b.Transpose())
+	if got := reg.Counter("mat.mul.calls").Value(); got != 1 {
+		t.Fatalf("metrics still collected after uninstall: %d", got)
+	}
+}

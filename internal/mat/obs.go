@@ -1,0 +1,44 @@
+package mat
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ceaff/internal/obs"
+)
+
+// kernelMetrics is the registry receiving kernel-level metrics, nil when
+// observability is off. The hot kernels pay one atomic load per call to
+// check it.
+var kernelMetrics atomic.Pointer[obs.Registry]
+
+// SetMetrics installs a registry that receives per-kernel call counters
+// ("mat.<kernel>.calls") and duration histograms ("mat.<kernel>.seconds")
+// from the parallel kernels. Pass nil to disable. Safe to call
+// concurrently with running kernels.
+func SetMetrics(r *obs.Registry) {
+	kernelMetrics.Store(r)
+}
+
+// kernelStart reads the clock only when metrics are enabled; a zero time
+// tells kernelDone to do nothing.
+func kernelStart() time.Time {
+	if kernelMetrics.Load() == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// kernelDone records one kernel invocation: use as
+// defer kernelDone("mul", kernelStart()).
+func kernelDone(name string, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	r := kernelMetrics.Load()
+	if r == nil {
+		return
+	}
+	r.Counter("mat." + name + ".calls").Inc()
+	r.Histogram("mat." + name + ".seconds").Observe(time.Since(start))
+}

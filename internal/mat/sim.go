@@ -12,6 +12,7 @@ import (
 // zeroed by NormalizeRowsL2's non-finite guard) yield similarity 0 against
 // everything rather than NaN.
 func CosineSim(a, b *Dense) *Dense {
+	defer kernelDone("cosine", kernelStart())
 	an := a.Clone()
 	bn := b.Clone()
 	an.NormalizeRowsL2()
@@ -23,6 +24,7 @@ func CosineSim(a, b *Dense) *Dense {
 // parallel product. On cancellation the partial result is discarded and
 // ctx's error is returned.
 func CosineSimCtx(ctx context.Context, a, b *Dense) (*Dense, error) {
+	defer kernelDone("cosine", kernelStart())
 	an := a.Clone()
 	bn := b.Clone()
 	an.NormalizeRowsL2()

@@ -79,6 +79,7 @@ func (s *CSR) MulDense(d *Dense) *Dense {
 	if s.Cols != d.Rows {
 		panic(fmt.Sprintf("mat: CSR mul dimension mismatch %dx%d · %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
 	}
+	defer kernelDone("csr_mul", kernelStart())
 	out := NewDense(s.Rows, d.Cols)
 	parallelRows(s.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -103,6 +104,7 @@ func (s *CSR) TMulDense(d *Dense) *Dense {
 	if s.Rows != d.Rows {
 		panic(fmt.Sprintf("mat: CSR tmul dimension mismatch (%dx%d)ᵀ · %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
 	}
+	defer kernelDone("csr_tmul", kernelStart())
 	out := NewDense(s.Cols, d.Cols)
 	// Sequential over sparse rows: scattering into shared output rows from
 	// multiple goroutines would race.

@@ -1,0 +1,79 @@
+package obs
+
+import "context"
+
+// Runtime bundles the two observability instruments one run shares: the
+// metrics registry and the stage tracer. A nil *Runtime (or nil fields)
+// disables the corresponding instrumentation.
+type Runtime struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// NewRuntime returns a Runtime with a fresh registry and tracer.
+func NewRuntime() *Runtime {
+	return &Runtime{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+type ctxKey int
+
+const (
+	runtimeKey ctxKey = iota
+	spanKey
+)
+
+// Into attaches rt to the context. Instrumented pipeline stages discover it
+// with From/Metrics/StartSpan; absent a runtime they run uninstrumented.
+func Into(ctx context.Context, rt *Runtime) context.Context {
+	if rt == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, runtimeKey, rt)
+}
+
+// From returns the runtime attached to ctx, or nil.
+func From(ctx context.Context) *Runtime {
+	if ctx == nil {
+		return nil
+	}
+	rt, _ := ctx.Value(runtimeKey).(*Runtime)
+	return rt
+}
+
+// Metrics returns ctx's metrics registry, or nil (itself a no-op registry).
+func Metrics(ctx context.Context) *Registry {
+	if rt := From(ctx); rt != nil {
+		return rt.Metrics
+	}
+	return nil
+}
+
+// SpanFrom returns the current span stored in ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan opens a span named name under ctx's current span (or as a root
+// when none is open) and returns a derived context carrying it. Without a
+// runtime in ctx this is free: the input context and a nil span are
+// returned unchanged.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	rt := From(ctx)
+	if rt == nil || rt.Trace == nil {
+		return ctx, nil
+	}
+	var s *Span
+	if parent := SpanFrom(ctx); parent != nil {
+		s = parent.StartChild(name)
+	} else {
+		s = rt.Trace.StartRoot(name)
+	}
+	if s == nil { // span cap reached
+		return ctx, nil
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}

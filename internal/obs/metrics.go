@@ -1,0 +1,277 @@
+// Package obs is the reproduction's observability layer: a dependency-free
+// metrics registry (counters, gauges, duration histograms), a hierarchical
+// stage tracer with wall-time and memory deltas, and a machine-readable JSON
+// run report. Every instrument is nil-safe — a nil *Registry, *Tracer or
+// *Span turns the corresponding calls into no-ops — so instrumented code
+// paths pay only a nil check when observability is off, keeping the
+// measured pipelines within the ≤2% overhead budget.
+//
+// The package imports nothing from the rest of the repository, so every
+// other package (including the leaf linear-algebra kernels in internal/mat)
+// can record into it without import cycles.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics. All methods are safe for concurrent use;
+// instruments are created on first access and shared thereafter.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns nil, which is itself a no-op counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; 0 for a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value; 0 for a nil gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates float64 samples — by convention durations in
+// seconds — and reports exact quantiles over everything recorded. Samples
+// are retained up to a fixed cap; beyond it new samples still update count,
+// sum, min and max but quantiles are computed over the retained prefix.
+type Histogram struct {
+	mu       sync.Mutex
+	samples  []float64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// maxHistSamples bounds per-histogram memory: 1<<16 float64 samples = 512
+// KiB worst case, far above anything a pipeline run records per metric.
+const maxHistSamples = 1 << 16
+
+// Record adds one sample. No-op on a nil histogram.
+func (h *Histogram) Record(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.samples) < maxHistSamples {
+		h.samples = append(h.samples, v)
+	}
+}
+
+// Observe records a duration in seconds. No-op on a nil histogram.
+func (h *Histogram) Observe(d time.Duration) { h.Record(d.Seconds()) }
+
+// Time returns a function that, when called, records the elapsed duration
+// since Time was called: defer h.Time()(). On a nil histogram the returned
+// function is a no-op (the clock is never read).
+func (h *Histogram) Time() func() {
+	if h == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { h.Observe(time.Since(start)) }
+}
+
+// HistogramStats is a point-in-time summary of a histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+}
+
+// Stats summarizes the histogram. The zero value is returned for a nil or
+// empty histogram.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return HistogramStats{}
+	}
+	sorted := append([]float64(nil), h.samples...)
+	sort.Float64s(sorted)
+	return HistogramStats{
+		Count: h.count,
+		Sum:   h.sum,
+		Mean:  h.sum / float64(h.count),
+		Min:   h.min,
+		Max:   h.max,
+		P50:   quantile(sorted, 0.50),
+		P95:   quantile(sorted, 0.95),
+	}
+}
+
+// quantile returns the q-quantile of an ascending-sorted sample set using
+// nearest-rank interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CounterValues returns a snapshot of every counter, keyed by name. Nil-safe.
+func (r *Registry) CounterValues() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// GaugeValues returns a snapshot of every gauge, keyed by name. Nil-safe.
+func (r *Registry) GaugeValues() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// HistogramSnapshots returns stats for every histogram, keyed by name.
+// Nil-safe.
+func (r *Registry) HistogramSnapshots() map[string]HistogramStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	out := make(map[string]HistogramStats, len(hists))
+	for name, h := range hists {
+		out[name] = h.Stats()
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits") // concurrent first-access must be safe too
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Gauge("level").Set(float64(g))
+		}()
+	}
+	wg.Wait()
+	v := r.Gauge("level").Value()
+	if v < 0 || v > 7 || v != math.Trunc(v) {
+		t.Fatalf("gauge = %v, want one of the written integers", v)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := r.Histogram("lat")
+			for i := 0; i < perG; i++ {
+				h.Record(float64(g*perG + i))
+			}
+		}()
+	}
+	wg.Wait()
+	st := r.Histogram("lat").Stats()
+	if st.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", st.Count, goroutines*perG)
+	}
+	n := float64(goroutines * perG)
+	if want := n * (n - 1) / 2; st.Sum != want {
+		t.Fatalf("sum = %v, want %v", st.Sum, want)
+	}
+	if st.Min != 0 || st.Max != n-1 {
+		t.Fatalf("min/max = %v/%v, want 0/%v", st.Min, st.Max, n-1)
+	}
+	if st.P50 <= st.Min || st.P50 >= st.P95 || st.P95 > st.Max {
+		t.Fatalf("quantiles out of order: p50=%v p95=%v max=%v", st.P50, st.P95, st.Max)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Record(float64(i))
+	}
+	st := h.Stats()
+	if math.Abs(st.P50-50.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 50.5", st.P50)
+	}
+	if math.Abs(st.P95-95.05) > 1e-9 {
+		t.Fatalf("p95 = %v, want 95.05", st.P95)
+	}
+	if st.Max != 100 || st.Min != 1 {
+		t.Fatalf("min/max = %v/%v", st.Min, st.Max)
+	}
+	if math.Abs(st.Mean-50.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 50.5", st.Mean)
+	}
+}
+
+func TestHistogramSampleCap(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < maxHistSamples+100; i++ {
+		h.Record(1)
+	}
+	st := h.Stats()
+	if st.Count != maxHistSamples+100 {
+		t.Fatalf("count = %d, want %d", st.Count, maxHistSamples+100)
+	}
+	if len(h.samples) != maxHistSamples {
+		t.Fatalf("retained %d samples, want cap %d", len(h.samples), maxHistSamples)
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	h := &Histogram{}
+	done := h.Time()
+	time.Sleep(time.Millisecond)
+	done()
+	st := h.Stats()
+	if st.Count != 1 || st.Max <= 0 {
+		t.Fatalf("timed sample missing: %+v", st)
+	}
+}
+
+// TestNilSafety exercises every instrument through nil receivers — the
+// contract that lets instrumented code run uninstrumented at no cost.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Counter("x").Inc()
+	if r.Counter("x").Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	r.Gauge("x").Set(3)
+	if r.Gauge("x").Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	r.Histogram("x").Record(1)
+	r.Histogram("x").Observe(time.Second)
+	r.Histogram("x").Time()()
+	if st := r.Histogram("x").Stats(); st.Count != 0 {
+		t.Fatal("nil histogram has samples")
+	}
+	if r.CounterValues() != nil || r.GaugeValues() != nil || r.HistogramSnapshots() != nil {
+		t.Fatal("nil registry snapshots non-nil")
+	}
+
+	var tr *Tracer
+	sp := tr.StartRoot("x")
+	sp.End()
+	if sp.StartChild("y") != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	if sp.Name() != "" || sp.Wall() != 0 {
+		t.Fatal("nil span has data")
+	}
+	tr.SetLimits(1, 1)
+	if tr.Dropped() != 0 || tr.Roots() != nil {
+		t.Fatal("nil tracer has state")
+	}
+}

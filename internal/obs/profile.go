@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// StartProfiling enables the stdlib profilers behind the CLIs' -pprof and
+// -trace flags. pprofPrefix, when non-empty, starts a CPU profile written
+// to <prefix>.cpu and arranges a heap profile at <prefix>.heap when the
+// returned stop function runs. tracePath, when non-empty, records a
+// runtime execution trace to that file. stop is never nil and must be
+// called exactly once; it returns the first error encountered while
+// flushing.
+func StartProfiling(pprofPrefix, tracePath string) (stop func() error, err error) {
+	// stops run in append order: CPU profile stops before the heap snapshot
+	// is taken, the execution trace stops last.
+	var stops []func() error
+	cleanup := func() {
+		for _, fn := range stops {
+			fn() //nolint:errcheck // best-effort unwind on setup failure
+		}
+	}
+
+	if pprofPrefix != "" {
+		cpu, err := os.Create(pprofPrefix + ".cpu")
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return cpu.Close()
+		})
+		heapPath := pprofPrefix + ".heap"
+		stops = append(stops, func() error {
+			f, err := os.Create(heapPath)
+			if err != nil {
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		})
+	}
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		stops = append(stops, func() error {
+			rtrace.Stop()
+			return f.Close()
+		})
+	}
+
+	return func() error {
+		var first error
+		for _, fn := range stops {
+			if err := fn(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReportSchemaVersion identifies the run-report JSON schema. Bump only on
+// incompatible changes; cmd/benchdiff and the BENCH_*.json trajectory
+// depend on schema stability.
+const ReportSchemaVersion = 1
+
+// Report is the machine-readable outcome of one observed run: the span
+// forest plus a snapshot of every metric. It round-trips through JSON.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Name          string `json:"name"`
+	// TotalWallNS is the summed wall time of the root spans — the
+	// denominator for per-stage coverage checks.
+	TotalWallNS int64        `json:"total_wall_ns"`
+	Spans       []SpanReport `json:"spans,omitempty"`
+	// DroppedSpans counts spans discarded by the tracer's span cap.
+	DroppedSpans int64                     `json:"dropped_spans,omitempty"`
+	Counters     map[string]int64          `json:"counters,omitempty"`
+	Gauges       map[string]float64        `json:"gauges,omitempty"`
+	Histograms   map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// SpanReport is one span in serialized form.
+type SpanReport struct {
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+	// MemSampled marks spans that captured runtime.MemStats deltas; the
+	// delta fields of unsampled spans are zero by construction.
+	MemSampled bool         `json:"mem_sampled,omitempty"`
+	HeapDelta  int64        `json:"heap_delta_bytes,omitempty"`
+	AllocBytes uint64       `json:"alloc_bytes,omitempty"`
+	NumGC      uint32       `json:"num_gc,omitempty"`
+	Children   []SpanReport `json:"children,omitempty"`
+}
+
+// BuildReport snapshots rt into a report named name. Spans still open are
+// included with their current (zero) wall time. Nil-safe: a nil runtime
+// yields an empty report.
+func BuildReport(name string, rt *Runtime) *Report {
+	r := &Report{SchemaVersion: ReportSchemaVersion, Name: name}
+	if rt == nil {
+		return r
+	}
+	if rt.Trace != nil {
+		for _, s := range rt.Trace.Roots() {
+			sr := snapshotSpan(s)
+			r.TotalWallNS += sr.WallNS
+			r.Spans = append(r.Spans, sr)
+		}
+		r.DroppedSpans = rt.Trace.Dropped()
+	}
+	if rt.Metrics != nil {
+		r.Counters = rt.Metrics.CounterValues()
+		r.Gauges = rt.Metrics.GaugeValues()
+		r.Histograms = rt.Metrics.HistogramSnapshots()
+	}
+	return r
+}
+
+func snapshotSpan(s *Span) SpanReport {
+	s.tracer.mu.Lock()
+	sr := SpanReport{
+		Name:       s.name,
+		WallNS:     s.wall.Nanoseconds(),
+		MemSampled: s.memSampled,
+		HeapDelta:  s.heapDelta,
+		AllocBytes: s.allocDelta,
+		NumGC:      s.gcDelta,
+	}
+	children := append([]*Span(nil), s.children...)
+	s.tracer.mu.Unlock()
+	for _, c := range children {
+		sr.Children = append(sr.Children, snapshotSpan(c))
+	}
+	return sr
+}
+
+// WriteJSON writes the report as indented JSON. Map keys marshal sorted,
+// so identical runs produce identical bytes.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report previously written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("obs: read report: %w", err)
+	}
+	if r.SchemaVersion != ReportSchemaVersion {
+		return nil, fmt.Errorf("obs: report schema %d, want %d", r.SchemaVersion, ReportSchemaVersion)
+	}
+	return &r, nil
+}
+
+// StructureSignature renders the span forest, metric names and counter
+// values — everything deterministic about a run — as a canonical string,
+// omitting wall times, memory deltas and histogram/gauge values. Two runs
+// with the same seed must produce equal signatures; the determinism test
+// holds the tracer to that.
+func (r *Report) StructureSignature() string {
+	var b strings.Builder
+	for i := range r.Spans {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		writeSpanSig(&b, &r.Spans[i])
+	}
+	names := make([]string, 0, len(r.Counters))
+	for name := range r.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, ";%s=%d", name, r.Counters[name])
+	}
+	names = names[:0]
+	for name := range r.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, ";gauge:%s", name)
+	}
+	names = names[:0]
+	for name := range r.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, ";hist:%s=%d", name, r.Histograms[name].Count)
+	}
+	return b.String()
+}
+
+func writeSpanSig(b *strings.Builder, s *SpanReport) {
+	b.WriteString(s.Name)
+	if len(s.Children) > 0 {
+		b.WriteByte('(')
+		for i := range s.Children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeSpanSig(b, &s.Children[i])
+		}
+		b.WriteByte(')')
+	}
+}
+
+// StageCoverage returns the fraction of the root spans' wall time covered
+// by their direct children — how much of the pipeline the stage spans
+// account for. Returns 0 when no time was recorded.
+func (r *Report) StageCoverage() float64 {
+	var total, covered int64
+	for _, root := range r.Spans {
+		total += root.WallNS
+		for _, c := range root.Children {
+			covered += c.WallNS
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}

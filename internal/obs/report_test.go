@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSampleRuntime assembles a runtime with spans and all three metric
+// kinds, as an instrumented pipeline would.
+func buildSampleRuntime() *Runtime {
+	rt := NewRuntime()
+	root := rt.Trace.StartRoot("pipeline")
+	f := root.StartChild("features")
+	f.End()
+	d := root.StartChild("decision")
+	d.End()
+	root.End()
+	rt.Metrics.Counter("epochs").Add(60)
+	rt.Metrics.Gauge("accuracy").Set(0.875)
+	rt.Metrics.Histogram("epoch_seconds").Observe(3 * time.Millisecond)
+	rt.Metrics.Histogram("epoch_seconds").Observe(5 * time.Millisecond)
+	return rt
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := BuildReport("unit", buildSampleRuntime())
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", rep, got)
+	}
+
+	// Identical runs must serialize to identical bytes (schema stability
+	// for benchdiff): writing the same report twice is byte-equal.
+	var buf2 bytes.Buffer
+	if err := rep.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := rep.WriteJSON(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Fatal("same report serialized to different bytes")
+	}
+}
+
+func TestReportSchemaVersionGuard(t *testing.T) {
+	_, err := ReadReport(strings.NewReader(`{"schema_version": 999, "name": "x"}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+	_, err = ReadReport(strings.NewReader("not json"))
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	rep := BuildReport("unit", buildSampleRuntime())
+	if rep.Name != "unit" || rep.SchemaVersion != ReportSchemaVersion {
+		t.Fatalf("header: %+v", rep)
+	}
+	if rep.Counters["epochs"] != 60 {
+		t.Fatalf("counters = %v", rep.Counters)
+	}
+	if rep.Gauges["accuracy"] != 0.875 {
+		t.Fatalf("gauges = %v", rep.Gauges)
+	}
+	h := rep.Histograms["epoch_seconds"]
+	if h.Count != 2 || h.Max < h.Min || h.Max <= 0 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	if rep.TotalWallNS != rep.Spans[0].WallNS {
+		t.Fatalf("total wall %d != root wall %d", rep.TotalWallNS, rep.Spans[0].WallNS)
+	}
+}
+
+func TestStageCoverage(t *testing.T) {
+	rep := &Report{Spans: []SpanReport{{
+		Name:   "pipeline",
+		WallNS: 1000,
+		Children: []SpanReport{
+			{Name: "a", WallNS: 600},
+			{Name: "b", WallNS: 350},
+		},
+	}}}
+	if got := rep.StageCoverage(); got != 0.95 {
+		t.Fatalf("coverage = %v, want 0.95", got)
+	}
+	if (&Report{}).StageCoverage() != 0 {
+		t.Fatal("empty report coverage != 0")
+	}
+}
+
+func TestBuildReportNil(t *testing.T) {
+	rep := BuildReport("empty", nil)
+	if rep.Name != "empty" || len(rep.Spans) != 0 || rep.Counters != nil {
+		t.Fatalf("nil runtime report = %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructureSignatureIgnoresTimings(t *testing.T) {
+	a := BuildReport("a", buildSampleRuntime())
+	b := BuildReport("b", buildSampleRuntime())
+	if a.StructureSignature() != b.StructureSignature() {
+		t.Fatalf("signatures differ:\n%s\n%s", a.StructureSignature(), b.StructureSignature())
+	}
+	// A structural difference must change the signature.
+	rt := buildSampleRuntime()
+	extra := rt.Trace.StartRoot("extra")
+	extra.End()
+	c := BuildReport("c", rt)
+	if c.StructureSignature() == a.StructureSignature() {
+		t.Fatal("extra span did not change the signature")
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Tracer records a forest of hierarchical stage spans — pipeline →
+// feature-gen → GCN-epoch → fusion → alignment — with wall time and
+// runtime.MemStats deltas. A nil tracer is a no-op; all methods are safe
+// for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	roots   []*Span
+	count   int
+	dropped int64
+
+	// maxSpans bounds the span tree; spans beyond it are counted in
+	// Dropped() instead of allocated, so a runaway loop cannot exhaust
+	// memory through its own instrumentation.
+	maxSpans int
+	// memDepth limits runtime.ReadMemStats capture to spans shallower than
+	// this depth (roots are depth 0). ReadMemStats costs tens of
+	// microseconds, which fine-grained spans (per GCN epoch) must not pay.
+	memDepth int
+}
+
+// NewTracer returns a tracer with default limits: 8192 spans, memory
+// capture on the top four span levels — deep enough to cover pipeline →
+// features → feature.* → gcn.train, while per-epoch spans below record
+// wall time only (ReadMemStats costs tens of microseconds per capture).
+func NewTracer() *Tracer {
+	return &Tracer{maxSpans: 8192, memDepth: 4}
+}
+
+// SetLimits overrides the span cap and memory-capture depth; zero keeps the
+// current value. Nil-safe.
+func (t *Tracer) SetLimits(maxSpans, memDepth int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if maxSpans > 0 {
+		t.maxSpans = maxSpans
+	}
+	if memDepth > 0 {
+		t.memDepth = memDepth
+	}
+}
+
+// Dropped returns how many spans were discarded by the span cap. Nil-safe.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Roots returns the completed root spans in start order. Nil-safe.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Span is one traced stage. Fields are written by Start/End and must be
+// read only after End (or via Report, which snapshots under the tracer
+// lock).
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	name   string
+	depth  int
+
+	start    time.Time
+	wall     time.Duration
+	ended    bool
+	children []*Span
+
+	memSampled bool
+	heapStart  uint64
+	allocStart uint64
+	gcStart    uint32
+	// HeapDelta is end-HeapAlloc minus start-HeapAlloc (signed: a GC during
+	// the span can shrink the live heap); AllocDelta is the cumulative
+	// allocation during the span; GCDelta the number of GC cycles.
+	heapDelta  int64
+	allocDelta uint64
+	gcDelta    uint32
+}
+
+// StartRoot opens a new top-level span. Nil-safe: a nil tracer returns a
+// nil span, on which every method is a no-op.
+func (t *Tracer) StartRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(nil, name, 0)
+}
+
+// StartChild opens a child span under s. Nil-safe on both the span and its
+// tracer.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil || s.tracer == nil {
+		return nil
+	}
+	return s.tracer.newSpan(s, name, s.depth+1)
+}
+
+func (t *Tracer) newSpan(parent *Span, name string, depth int) *Span {
+	t.mu.Lock()
+	if t.count >= t.maxSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return nil
+	}
+	t.count++
+	s := &Span{tracer: t, parent: parent, name: name, depth: depth}
+	if parent != nil {
+		parent.children = append(parent.children, s)
+	} else {
+		t.roots = append(t.roots, s)
+	}
+	sampleMem := depth < t.memDepth
+	t.mu.Unlock()
+
+	if sampleMem {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.memSampled = true
+		s.heapStart = ms.HeapAlloc
+		s.allocStart = ms.TotalAlloc
+		s.gcStart = ms.NumGC
+	}
+	s.start = time.Now()
+	return s
+}
+
+// End closes the span, recording wall time and (for memory-sampled spans)
+// MemStats deltas. Ending twice is a no-op, as is ending a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	wall := time.Since(s.start)
+	var ms runtime.MemStats
+	if s.memSampled {
+		runtime.ReadMemStats(&ms)
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.wall = wall
+	if s.memSampled {
+		s.heapDelta = int64(ms.HeapAlloc) - int64(s.heapStart)
+		s.allocDelta = ms.TotalAlloc - s.allocStart
+		s.gcDelta = ms.NumGC - s.gcStart
+	}
+}
+
+// Name returns the span's name; "" for nil.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Wall returns the span's recorded wall time (zero before End). Nil-safe.
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.wall
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := NewTracer()
+	pipeline := tr.StartRoot("pipeline")
+	features := pipeline.StartChild("features")
+	for _, name := range []string{"structural", "semantic", "string"} {
+		c := features.StartChild(name)
+		c.End()
+	}
+	features.End()
+	fusion := pipeline.StartChild("fusion")
+	fusion.End()
+	pipeline.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name() != "pipeline" {
+		t.Fatalf("roots = %v", roots)
+	}
+	rep := BuildReport("run", &Runtime{Trace: tr})
+	if len(rep.Spans) != 1 {
+		t.Fatalf("span roots = %d", len(rep.Spans))
+	}
+	root := rep.Spans[0]
+	if len(root.Children) != 2 || root.Children[0].Name != "features" || root.Children[1].Name != "fusion" {
+		t.Fatalf("children = %+v", root.Children)
+	}
+	var names []string
+	for _, c := range root.Children[0].Children {
+		names = append(names, c.Name)
+	}
+	if strings.Join(names, ",") != "structural,semantic,string" {
+		t.Fatalf("grandchildren order = %v", names)
+	}
+	if got := rep.StructureSignature(); got != "pipeline(features(structural,semantic,string),fusion)" {
+		t.Fatalf("signature = %q", got)
+	}
+}
+
+func TestSpanWallAndMem(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartRoot("alloc")
+	sink = make([]byte, 1<<20)
+	s.End()
+	rep := BuildReport("run", &Runtime{Trace: tr})
+	sp := rep.Spans[0]
+	if !sp.MemSampled {
+		t.Fatal("root span should sample memory")
+	}
+	if sp.AllocBytes < 1<<20 {
+		t.Fatalf("alloc delta = %d, want >= 1MiB", sp.AllocBytes)
+	}
+	if sp.WallNS <= 0 {
+		t.Fatalf("wall = %d", sp.WallNS)
+	}
+}
+
+var sink []byte // defeats allocation elision in TestSpanWallAndMem
+
+func TestMemDepthLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimits(0, 1) // memory capture on roots only
+	root := tr.StartRoot("root")
+	child := root.StartChild("child")
+	child.End()
+	root.End()
+	rep := BuildReport("run", &Runtime{Trace: tr})
+	if !rep.Spans[0].MemSampled {
+		t.Fatal("root not sampled")
+	}
+	if rep.Spans[0].Children[0].MemSampled {
+		t.Fatal("child sampled beyond depth limit")
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimits(3, 0)
+	root := tr.StartRoot("root")
+	a := root.StartChild("a")
+	b := root.StartChild("b")
+	dropped := root.StartChild("dropped")
+	if dropped != nil {
+		t.Fatal("span beyond cap allocated")
+	}
+	// Children of dropped spans vanish silently (nil parent) rather than
+	// crashing; they never reach the tracer so only the parent counts.
+	dropped.StartChild("grandchild").End()
+	a.End()
+	b.End()
+	root.End()
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+	rep := BuildReport("run", &Runtime{Trace: tr})
+	if rep.DroppedSpans != 1 || len(rep.Spans[0].Children) != 2 {
+		t.Fatalf("report: dropped=%d children=%d", rep.DroppedSpans, len(rep.Spans[0].Children))
+	}
+}
+
+func TestConcurrentSiblingSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartRoot("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := root.StartChild("worker")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	rep := BuildReport("run", &Runtime{Trace: tr})
+	if got := len(rep.Spans[0].Children); got != 16 {
+		t.Fatalf("children = %d, want 16", got)
+	}
+}
+
+func TestDoubleEnd(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartRoot("once")
+	s.End()
+	w := s.Wall()
+	s.End()
+	if s.Wall() != w {
+		t.Fatal("second End changed the recorded wall time")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	// Without a runtime, StartSpan is free and returns the same context.
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "noop")
+	if ctx2 != ctx || sp != nil {
+		t.Fatal("uninstrumented StartSpan allocated")
+	}
+	if From(ctx) != nil || Metrics(ctx) != nil || SpanFrom(ctx) != nil {
+		t.Fatal("empty context has obs state")
+	}
+
+	rt := NewRuntime()
+	ctx = Into(ctx, rt)
+	if From(ctx) != rt || Metrics(ctx) != rt.Metrics {
+		t.Fatal("runtime not recoverable from context")
+	}
+	ctx, root := StartSpan(ctx, "root")
+	if SpanFrom(ctx) != root {
+		t.Fatal("current span not in context")
+	}
+	childCtx, child := StartSpan(ctx, "child")
+	child.End()
+	root.End()
+	if SpanFrom(childCtx).Name() != "child" {
+		t.Fatal("child span not in derived context")
+	}
+	rep := BuildReport("run", rt)
+	if rep.StructureSignature() != "root(child)" {
+		t.Fatalf("signature = %q", rep.StructureSignature())
+	}
+	// nil runtime attach is a no-op
+	if Into(context.Background(), nil) != context.Background() {
+		t.Fatal("Into(nil) changed the context")
+	}
+}
