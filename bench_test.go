@@ -261,8 +261,97 @@ func BenchmarkKernelCosineSimMatrix(b *testing.B) {
 	for i := range c.Data {
 		c.Data[i] = s.Norm()
 	}
+	mat.CosineSim(a, c) // warm the scratch pool: measure steady state
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mat.CosineSim(a, c)
+	}
+}
+
+// randomEmb returns a rows×dim matrix of standard normals, the operand shape
+// of the tiled-kernel micro-benchmarks.
+func randomEmb(rows, dim int, seed uint64) *mat.Dense {
+	s := rng.New(seed)
+	m := mat.NewDense(rows, dim)
+	for i := range m.Data {
+		m.Data[i] = s.Norm()
+	}
+	return m
+}
+
+// The KernelTiled*/KernelNaive* pairs benchmark the cache-tiled kernels
+// against the retained naive references at small, medium and large shapes.
+// The naive counterparts exist only at the large shape, where the cache
+// effects the tiling targets actually show.
+
+// benchKernel times f over the operand pair, with one untimed warm-up call
+// so the scratch pool and worker pool are in steady state when measurement
+// starts (benchtime 1x would otherwise charge cold-start allocations to the
+// kernel).
+func benchKernel(b *testing.B, a, c *mat.Dense, f func(a, c *mat.Dense) *mat.Dense) {
+	b.Helper()
+	b.ReportAllocs()
+	f(a, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(a, c)
+	}
+}
+
+func benchMulT(b *testing.B, rows, dim int, f func(a, c *mat.Dense) *mat.Dense) {
+	b.Helper()
+	benchKernel(b, randomEmb(rows, dim, 11), randomEmb(rows, dim, 12), f)
+}
+
+func BenchmarkKernelTiledMulTSmall(b *testing.B)  { benchMulT(b, 100, 32, mat.MulT) }
+func BenchmarkKernelTiledMulTMedium(b *testing.B) { benchMulT(b, 500, 64, mat.MulT) }
+func BenchmarkKernelTiledMulTLarge(b *testing.B)  { benchMulT(b, 1500, 128, mat.MulT) }
+func BenchmarkKernelNaiveMulTLarge(b *testing.B)  { benchMulT(b, 1500, 128, mat.NaiveMulT) }
+
+func benchMul(b *testing.B, n, dim int, f func(a, c *mat.Dense) *mat.Dense) {
+	b.Helper()
+	benchKernel(b, randomEmb(n, dim, 13), randomEmb(dim, n, 14), f)
+}
+
+func BenchmarkKernelTiledMulMedium(b *testing.B) { benchMul(b, 500, 64, mat.Mul) }
+func BenchmarkKernelTiledMulLarge(b *testing.B)  { benchMul(b, 1200, 128, mat.Mul) }
+func BenchmarkKernelNaiveMulLarge(b *testing.B)  { benchMul(b, 1200, 128, mat.NaiveMul) }
+
+func benchTMul(b *testing.B, rows, dim int, f func(a, c *mat.Dense) *mat.Dense) {
+	b.Helper()
+	benchKernel(b, randomEmb(rows, dim, 15), randomEmb(rows, dim, 16), f)
+}
+
+func BenchmarkKernelTiledTMulMedium(b *testing.B) { benchTMul(b, 2000, 64, mat.TMul) }
+func BenchmarkKernelTiledTMulLarge(b *testing.B)  { benchTMul(b, 4000, 128, mat.TMul) }
+func BenchmarkKernelNaiveTMulLarge(b *testing.B)  { benchTMul(b, 4000, 128, mat.NaiveTMul) }
+
+func benchCosine(b *testing.B, rows, dim int, f func(a, c *mat.Dense) *mat.Dense) {
+	b.Helper()
+	benchKernel(b, randomEmb(rows, dim, 17), randomEmb(rows, dim, 18), f)
+}
+
+func BenchmarkKernelTiledCosineSmall(b *testing.B)  { benchCosine(b, 100, 32, mat.CosineSim) }
+func BenchmarkKernelTiledCosineMedium(b *testing.B) { benchCosine(b, 500, 64, mat.CosineSim) }
+func BenchmarkKernelTiledCosineLarge(b *testing.B)  { benchCosine(b, 1500, 128, mat.CosineSim) }
+func BenchmarkKernelNaiveCosineLarge(b *testing.B)  { benchCosine(b, 1500, 128, mat.NaiveCosineSim) }
+
+func BenchmarkKernelTopKRow(b *testing.B) {
+	b.ReportAllocs()
+	sim := randomSim(800, 19)
+	mat.TopKRow(sim, 10) // warm the scratch pool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.TopKRow(sim, 10)
+	}
+}
+
+func BenchmarkKernelCSLS(b *testing.B) {
+	b.ReportAllocs()
+	sim := randomSim(500, 20)
+	mat.CSLS(sim, 10) // warm the scratch pool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.CSLS(sim, 10)
 	}
 }

@@ -3,6 +3,11 @@
 //
 //	benchdiff old/BENCH_PR2.json BENCH_PR2.json
 //	benchdiff -threshold 0.10 old.json new.json
+//	benchdiff -filter Kernel old.json new.json
+//
+// -filter restricts the comparison to benchmarks whose name contains the
+// given substring, so CI can gate on the kernel micro-benchmarks without
+// noise from the end-to-end table benchmarks.
 //
 // Exit status is 1 when any metric regressed past the threshold
 // (default 15%), 2 on usage or I/O errors, 0 otherwise. Comparing a file
@@ -13,14 +18,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ceaff/internal/benchfmt"
 )
 
 func main() {
 	threshold := flag.Float64("threshold", 0.15, "regression threshold as a fraction (0.15 = 15%)")
+	filter := flag.String("filter", "", "compare only benchmarks whose name contains this substring")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] old.json new.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-filter Kernel] old.json new.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -29,7 +36,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	regs, err := run(flag.Arg(0), flag.Arg(1), *threshold)
+	regs, err := run(flag.Arg(0), flag.Arg(1), *threshold, *filter)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -39,7 +46,21 @@ func main() {
 	}
 }
 
-func run(oldPath, newPath string, threshold float64) ([]benchfmt.Regression, error) {
+// filterBenchmarks keeps only benchmarks whose name contains substr.
+func filterBenchmarks(f *benchfmt.File, substr string) {
+	if substr == "" {
+		return
+	}
+	kept := f.Benchmarks[:0]
+	for _, b := range f.Benchmarks {
+		if strings.Contains(b.Name, substr) {
+			kept = append(kept, b)
+		}
+	}
+	f.Benchmarks = kept
+}
+
+func run(oldPath, newPath string, threshold float64, filter string) ([]benchfmt.Regression, error) {
 	oldF, err := benchfmt.Read(oldPath)
 	if err != nil {
 		return nil, err
@@ -48,6 +69,8 @@ func run(oldPath, newPath string, threshold float64) ([]benchfmt.Regression, err
 	if err != nil {
 		return nil, err
 	}
+	filterBenchmarks(oldF, filter)
+	filterBenchmarks(newF, filter)
 
 	onlyOld, onlyNew := benchfmt.CompareNames(oldF, newF)
 	for _, n := range onlyOld {

@@ -442,7 +442,15 @@ func fuseFeatures(res *Result, fs *FeatureSet, cfg Config, ms, mn, ml *mat.Dense
 	}
 
 	if cfg.CSLSNeighbors > 0 {
-		res.Fused = mat.CSLS(res.Fused, cfg.CSLSNeighbors)
+		fused := res.Fused
+		if fused == ms || fused == mn || fused == ml {
+			// Single-feature fusion aliases the FeatureSet's matrix, which
+			// callers reuse across Decide runs — rescale a copy instead.
+			fused = fused.Clone()
+		}
+		// The raw fused similarities are dead once rescaled: CSLS rewrites
+		// the matrix in place rather than allocating a second one.
+		res.Fused = mat.CSLSInPlace(fused, cfg.CSLSNeighbors)
 	}
 	return nil
 }

@@ -286,6 +286,7 @@ func SingleStage(ms, mn, ml *mat.Dense, opt Options) (*mat.Dense, Weights) {
 // TwoStageFixed is TwoStage with equal weights at both stages (w/o AFF).
 func TwoStageFixed(ms, mn, ml *mat.Dense) *mat.Dense {
 	var textual *mat.Dense
+	textualFresh := false
 	textualParts := nonNil(mn, ml)
 	switch len(textualParts) {
 	case 0:
@@ -293,6 +294,7 @@ func TwoStageFixed(ms, mn, ml *mat.Dense) *mat.Dense {
 		textual = textualParts[0]
 	default:
 		textual = FuseFixed(textualParts)
+		textualFresh = true
 	}
 	finalParts := nonNil(ms, textual)
 	switch len(finalParts) {
@@ -301,7 +303,17 @@ func TwoStageFixed(ms, mn, ml *mat.Dense) *mat.Dense {
 	case 1:
 		return finalParts[0]
 	}
-	return FuseFixed(finalParts)
+	w := make([]float64, len(finalParts))
+	for i := range w {
+		w[i] = 1 / float64(len(finalParts))
+	}
+	if textualFresh {
+		// The intermediate textual matrix is dead after this fusion: reuse
+		// its storage as the destination instead of allocating another
+		// test×test matrix.
+		return mat.WeightedSumInto(textual, finalParts, w)
+	}
+	return mat.WeightedSum(finalParts, w)
 }
 
 func nonNil(ms ...*mat.Dense) []*mat.Dense {

@@ -447,8 +447,11 @@ func (t *trainer) run(ctx context.Context) (*Model, error) {
 			t.pools = mineNegatives(t.ga.z, t.gb.z, t.seeds, cfg.HardNegativePool)
 		}
 
-		gz1 := mat.NewDense(t.ga.n, cfg.Dim)
-		gz2 := mat.NewDense(t.gb.n, cfg.Dim)
+		// The full-embedding-sized loss gradients live only within this
+		// epoch: draw them from the pooled scratch arena instead of
+		// re-allocating two n×dim matrices every epoch.
+		gz1 := mat.GetDense(t.ga.n, cfg.Dim)
+		gz2 := mat.GetDense(t.gb.n, cfg.Dim)
 		loss := accumulateLoss(t.ga.z, t.gb.z, t.seeds, cfg, t.negSrc, t.pools, gz1, gz2)
 		if robust.Fire(FaultLoss) != nil {
 			loss = math.NaN() // injected numeric fault: corrupt the epoch loss
@@ -456,6 +459,8 @@ func (t *trainer) run(ctx context.Context) (*Model, error) {
 
 		gwA, gx1 := backward(t.ga, t.weights, gz1)
 		gwB, gx2 := backward(t.gb, t.weights, gz2)
+		mat.PutDense(gz1) // backward never returns gz as a gradient
+		mat.PutDense(gz2)
 		grads := make([]*mat.Dense, t.layers)
 		for l := range grads {
 			grads[l] = gwA[l]
@@ -719,10 +724,12 @@ func backward(g *graph, weights []*mat.Dense, gz *mat.Dense) (gw []*mat.Dense, g
 	// output; at the top it is ∂L/∂Z.
 	ghNext := gz
 	for l := layers - 1; l >= 0; l-- {
-		// Non-final layers apply ReLU after pre[l].
+		// Non-final layers apply ReLU after pre[l]; the masked copy is an
+		// epoch-local temporary, so it comes from the pooled arena.
 		dpre := ghNext
 		if l < layers-1 {
-			dpre = ghNext.Clone()
+			dpre = mat.GetDense(ghNext.Rows, ghNext.Cols)
+			copy(dpre.Data, ghNext.Data)
 			for i, v := range g.pre[l].Data {
 				if v <= 0 {
 					dpre.Data[i] = 0
@@ -732,6 +739,9 @@ func backward(g *graph, weights []*mat.Dense, gz *mat.Dense) (gw []*mat.Dense, g
 		// pre[l] = q[l]·W_l  =>  ∂W_l = q[l]ᵀ·dpre ; ∂q[l] = dpre·W_lᵀ.
 		gw[l] = mat.TMul(g.q[l], dpre)
 		gq := mat.MulT(dpre, weights[l])
+		if dpre != ghNext {
+			mat.PutDense(dpre)
+		}
 		// q[l] = Â·h_l  =>  ∂h_l = Âᵀ·gq.
 		ghNext = g.adj.TMulDense(gq)
 	}

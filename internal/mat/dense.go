@@ -7,7 +7,6 @@
 package mat
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -89,44 +88,40 @@ func checkMul(a, b *Dense) {
 	}
 }
 
-// Mul returns a·b, parallelized across row blocks.
+// checkMulT panics unless a×bᵀ is dimensionally valid.
+func checkMulT(a, b *Dense) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: mulT dimension mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// checkTMul panics unless aᵀ×b is dimensionally valid.
+func checkTMul(a, b *Dense) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: tmul dimension mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Mul returns a·b, cache-tiled (see tile.go) and parallelized across row
+// blocks. Bit-identical to NaiveMul.
 func Mul(a, b *Dense) *Dense {
 	checkMul(a, b)
 	defer kernelDone("mul", kernelStart())
 	out := NewDense(a.Rows, b.Cols)
 	parallelRows(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.Row(i)
-			or := out.Row(i)
-			for k, av := range ar {
-				if av == 0 {
-					continue
-				}
-				br := b.Row(k)
-				for j, bv := range br {
-					or[j] += av * bv
-				}
-			}
-		}
+		mulBlock(a, b, out, lo, hi)
 	})
 	return out
 }
 
-// MulT returns a·bᵀ without materializing the transpose.
+// MulT returns a·bᵀ without materializing the transpose, cache-tiled with a
+// register-blocked four-column inner kernel. Bit-identical to NaiveMulT.
 func MulT(a, b *Dense) *Dense {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: mulT dimension mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
+	checkMulT(a, b)
 	defer kernelDone("mult", kernelStart())
 	out := NewDense(a.Rows, b.Rows)
 	parallelRows(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.Row(i)
-			or := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				or[j] = dot(ar, b.Row(j))
-			}
-		}
+		mulTBlock(a, b, out, lo, hi)
 	})
 	return out
 }
@@ -138,9 +133,7 @@ func MulT(a, b *Dense) *Dense {
 // scheduling noise into the result bits (and break the pipeline's
 // bit-for-bit repeatability contract).
 func TMul(a, b *Dense) *Dense {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("mat: tmul dimension mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
+	checkTMul(a, b)
 	defer kernelDone("tmul", kernelStart())
 	out := NewDense(a.Cols, b.Cols)
 	workers := runtime.NumCPU()
@@ -155,6 +148,7 @@ func TMul(a, b *Dense) *Dense {
 	nblocks := (a.Rows + chunk - 1) / chunk
 	locals := make([]*Dense, nblocks)
 	var wg sync.WaitGroup
+	workerOnce.Do(startWorkers)
 	for bi := 0; bi < nblocks; bi++ {
 		lo := bi * chunk
 		hi := lo + chunk
@@ -162,35 +156,20 @@ func TMul(a, b *Dense) *Dense {
 			hi = a.Rows
 		}
 		wg.Add(1)
-		go func(bi, lo, hi int) {
+		bi, lo, hi := bi, lo, hi
+		submit(func() {
 			defer wg.Done()
-			local := NewDense(a.Cols, b.Cols)
+			local := GetDense(a.Cols, b.Cols) // pooled per-block partial
 			tmulBlock(a, b, local, lo, hi)
 			locals[bi] = local
-		}(bi, lo, hi)
+		})
 	}
 	wg.Wait()
 	for _, local := range locals {
 		out.AddInPlace(local)
+		PutDense(local)
 	}
 	return out
-}
-
-// tmulBlock accumulates rows [lo, hi) of the aᵀ·b product into dst.
-func tmulBlock(a, b, dst *Dense, lo, hi int) {
-	for k := lo; k < hi; k++ {
-		ar := a.Row(k)
-		br := b.Row(k)
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
-			dr := dst.Row(i)
-			for j, bv := range br {
-				dr[j] += av * bv
-			}
-		}
-	}
 }
 
 // Transpose returns mᵀ.
@@ -314,100 +293,6 @@ func Dot(a, b []float64) float64 {
 	return dot(a, b)
 }
 
-// parallelRows splits [0, n) into runtime.NumCPU() contiguous blocks and
-// runs fn on each block concurrently. Small n runs inline to avoid goroutine
-// overhead dominating.
-func parallelRows(n int, fn func(lo, hi int)) {
-	workers := runtime.NumCPU()
-	if n < 64 || workers <= 1 {
-		fn(0, n)
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// ParallelRows is exported for packages that need the same row-block
-// parallelism for their own kernels (e.g. string-similarity matrices).
-func ParallelRows(n int, fn func(lo, hi int)) { parallelRows(n, fn) }
-
-// ParallelRowsCtx is ParallelRows with cooperative cancellation: rows are
-// dispatched to workers in chunks finer than one block per worker, each
-// worker re-checks ctx between chunks, and the call returns ctx.Err() once
-// every worker has drained (no goroutine outlives the call). Rows not yet
-// processed at cancellation are simply skipped, so callers must discard the
-// output when an error is returned.
-func ParallelRowsCtx(ctx context.Context, n int, fn func(lo, hi int)) error {
-	if ctx == nil {
-		parallelRows(n, fn)
-		return nil
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	workers := runtime.NumCPU()
-	if n < 64 || workers <= 1 {
-		// Single-threaded sweep, still cancellable between chunks.
-		const chunk = 256
-		for lo := 0; lo < n; lo += chunk {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			fn(lo, hi)
-		}
-		return ctx.Err()
-	}
-	if workers > n {
-		workers = n
-	}
-	// Four chunks per worker: fine enough that cancellation lands quickly,
-	// coarse enough that channel overhead stays negligible.
-	chunk := (n + workers*4 - 1) / (workers * 4)
-	if chunk < 1 {
-		chunk = 1
-	}
-	type span struct{ lo, hi int }
-	jobs := make(chan span)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range jobs {
-				if ctx.Err() != nil {
-					continue // drain remaining jobs without working
-				}
-				fn(s.lo, s.hi)
-			}
-		}()
-	}
-	for lo := 0; lo < n && ctx.Err() == nil; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		jobs <- span{lo, hi}
-	}
-	close(jobs)
-	wg.Wait()
-	return ctx.Err()
-}
+// parallelRows, ParallelRows and ParallelRowsCtx live in workerpool.go: the
+// kernels dispatch row blocks onto a persistent fixed-size worker pool
+// instead of spawning goroutines per call.

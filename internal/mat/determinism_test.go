@@ -41,6 +41,53 @@ func TestTMulDeterministic(t *testing.T) {
 	}
 }
 
+// TestMulTDeterministic pins bit-for-bit repeatability of the tiled,
+// register-blocked a·bᵀ kernel across 20 runs; 300 rows force the parallel
+// path and the 33-wide shape leaves ragged tile edges.
+func TestMulTDeterministic(t *testing.T) {
+	s := rng.New(43)
+	a := NewDense(300, 33)
+	b := NewDense(150, 33)
+	for i := range a.Data {
+		a.Data[i] = s.Norm()
+	}
+	for i := range b.Data {
+		b.Data[i] = s.Norm()
+	}
+	ref := MulT(a, b)
+	for run := 0; run < 20; run++ {
+		got := MulT(a, b)
+		for i := range ref.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(ref.Data[i]) {
+				t.Fatalf("run %d: element %d differs", run, i)
+			}
+		}
+	}
+}
+
+// TestCosineSimDeterministic pins bit-for-bit repeatability of the fused
+// cosine kernel (pooled scratch + tiled product) across 20 runs.
+func TestCosineSimDeterministic(t *testing.T) {
+	s := rng.New(44)
+	a := NewDense(200, 48)
+	b := NewDense(170, 48)
+	for i := range a.Data {
+		a.Data[i] = s.Norm()
+	}
+	for i := range b.Data {
+		b.Data[i] = s.Norm()
+	}
+	ref := CosineSim(a, b)
+	for run := 0; run < 20; run++ {
+		got := CosineSim(a, b)
+		for i := range ref.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(ref.Data[i]) {
+				t.Fatalf("run %d: element %d differs", run, i)
+			}
+		}
+	}
+}
+
 // TestTMulMatchesSequential cross-checks the blocked parallel reduction
 // against a plain sequential accumulation.
 func TestTMulMatchesSequential(t *testing.T) {
@@ -77,7 +124,7 @@ func TestKernelMetrics(t *testing.T) {
 	if got := reg.Counter("mat.mul.calls").Value(); got != 1 {
 		t.Fatalf("mul calls = %d", got)
 	}
-	if got := reg.Counter("mat.mult.calls").Value(); got < 2 { // MulT + CosineSim's inner MulT
+	if got := reg.Counter("mat.mult.calls").Value(); got != 1 { // CosineSim is fused and no longer calls MulT
 		t.Fatalf("mult calls = %d", got)
 	}
 	if got := reg.Counter("mat.tmul.calls").Value(); got != 1 {

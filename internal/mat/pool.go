@@ -1,0 +1,219 @@
+package mat
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Scratch-buffer arena: sync.Pool-backed, size-classed by power-of-two
+// capacity. The hot kernels (tiled products, fused cosine, top-k selection)
+// and the GCN trainer's per-epoch temporaries draw their working memory from
+// here instead of re-allocating full embedding-sized buffers on every call.
+// Pool traffic is observable through the kernel-metrics registry as
+// "mat.scratch.hits" / "mat.scratch.misses" (see SetMetrics).
+
+// maxPoolClass bounds the size classes: buffers up to 2^(maxPoolClass-1)
+// elements are pooled, larger requests fall through to plain allocation.
+const maxPoolClass = 31
+
+var (
+	scratchF64 [maxPoolClass]sync.Pool // stores *[]float64, cap == 1<<class
+	scratchInt [maxPoolClass]sync.Pool // stores *[]int, cap == 1<<class
+
+	// boxF64/boxInt recycle the slice-header boxes the class pools store.
+	// Without them every Put would heap-allocate a fresh *[]T (the header
+	// escapes into the pool), costing one allocation per pooled release and
+	// defeating the point of pooling on the hot path.
+	boxF64 sync.Pool // stores *[]float64 with nil contents
+	boxInt sync.Pool // stores *[]int with nil contents
+)
+
+// The pinned tier is a tiny GC-stable cache in front of the sync.Pool tier:
+// a few lock-free slots per class that hold strong references, so the
+// kernels' small working buffers survive GC cycles (sync.Pool is emptied
+// every other collection, and the big similarity matrices the kernels emit
+// trigger collections constantly). Only classes up to maxPinnedClass are
+// pinned, bounding permanently-held memory to a few megabytes; large
+// buffers stay exclusively in the GC-reclaimable sync.Pool tier.
+const (
+	maxPinnedClass = 16 // ≤ 512 KiB per float64 buffer
+	pinnedPerClass = 4
+)
+
+var (
+	pinnedF64 [maxPinnedClass + 1][pinnedPerClass]atomic.Pointer[[]float64]
+	pinnedInt [maxPinnedClass + 1][pinnedPerClass]atomic.Pointer[[]int]
+)
+
+// classFor returns the smallest power-of-two class holding n elements.
+func classFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// scratchEvent records one pool hit or miss when metrics are installed.
+func scratchEvent(hit bool) {
+	r := kernelMetrics.Load()
+	if r == nil {
+		return
+	}
+	if hit {
+		r.Counter("mat.scratch.hits").Inc()
+	} else {
+		r.Counter("mat.scratch.misses").Inc()
+	}
+}
+
+// GetScratch returns a zeroed []float64 of length n from the pooled arena.
+// Return it with PutScratch when done; the contents of a recycled buffer are
+// always cleared before reuse.
+func GetScratch(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	c := classFor(n)
+	if c <= maxPinnedClass {
+		for i := range pinnedF64[c] {
+			if box := pinnedF64[c][i].Swap(nil); box != nil {
+				scratchEvent(true)
+				s := (*box)[:n]
+				*box = nil
+				boxF64.Put(box)
+				for i := range s {
+					s[i] = 0
+				}
+				return s
+			}
+		}
+	}
+	if c < maxPoolClass {
+		if v := scratchF64[c].Get(); v != nil {
+			scratchEvent(true)
+			box := v.(*[]float64)
+			s := (*box)[:n]
+			*box = nil
+			boxF64.Put(box)
+			for i := range s {
+				s[i] = 0
+			}
+			return s
+		}
+	}
+	scratchEvent(false)
+	if c < maxPoolClass {
+		return make([]float64, n, 1<<c)
+	}
+	return make([]float64, n)
+}
+
+// PutScratch returns a buffer to the arena. Passing nil or a zero-capacity
+// slice is a no-op, so callers can defer unconditionally.
+func PutScratch(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	// Store under the largest class the capacity fully covers, so a Get from
+	// that class always receives enough room.
+	c := bits.Len(uint(cap(s))) - 1
+	if c >= maxPoolClass {
+		return
+	}
+	box, _ := boxF64.Get().(*[]float64)
+	if box == nil {
+		box = new([]float64)
+	}
+	*box = s
+	if c <= maxPinnedClass {
+		for i := range pinnedF64[c] {
+			if pinnedF64[c][i].CompareAndSwap(nil, box) {
+				return
+			}
+		}
+	}
+	scratchF64[c].Put(box)
+}
+
+// GetScratchInts returns an []int of length n from the pooled arena. Unlike
+// GetScratch the contents are unspecified — callers overwrite before reading.
+func GetScratchInts(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	c := classFor(n)
+	if c <= maxPinnedClass {
+		for i := range pinnedInt[c] {
+			if box := pinnedInt[c][i].Swap(nil); box != nil {
+				scratchEvent(true)
+				s := (*box)[:n]
+				*box = nil
+				boxInt.Put(box)
+				return s
+			}
+		}
+	}
+	if c < maxPoolClass {
+		if v := scratchInt[c].Get(); v != nil {
+			scratchEvent(true)
+			box := v.(*[]int)
+			s := (*box)[:n]
+			*box = nil
+			boxInt.Put(box)
+			return s
+		}
+	}
+	scratchEvent(false)
+	if c < maxPoolClass {
+		return make([]int, n, 1<<c)
+	}
+	return make([]int, n)
+}
+
+// PutScratchInts returns an int buffer to the arena.
+func PutScratchInts(s []int) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	c := bits.Len(uint(cap(s))) - 1
+	if c >= maxPoolClass {
+		return
+	}
+	box, _ := boxInt.Get().(*[]int)
+	if box == nil {
+		box = new([]int)
+	}
+	*box = s
+	if c <= maxPinnedClass {
+		for i := range pinnedInt[c] {
+			if pinnedInt[c][i].CompareAndSwap(nil, box) {
+				return
+			}
+		}
+	}
+	scratchInt[c].Put(box)
+}
+
+// GetDense returns a zeroed rows×cols matrix whose backing array comes from
+// the scratch arena. Release it with PutDense once the values are dead; the
+// matrix must not be retained afterwards.
+func GetDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: GetScratch(rows * cols)}
+}
+
+// PutDense returns a GetDense matrix's backing array to the arena and clears
+// the matrix so accidental reuse fails loudly.
+func PutDense(d *Dense) {
+	if d == nil {
+		return
+	}
+	PutScratch(d.Data)
+	d.Data = nil
+	d.Rows, d.Cols = 0, 0
+}

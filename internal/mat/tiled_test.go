@@ -1,0 +1,411 @@
+package mat
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ceaff/internal/obs"
+	"ceaff/internal/rng"
+)
+
+// useTinyTiles shrinks the kernel tiles for one test so that a modest shape
+// sweep still crosses many tile boundaries, and restores the defaults on
+// cleanup.
+func useTinyTiles(t *testing.T, rows, cols int) {
+	t.Helper()
+	pr, pc := SetTileSizes(rows, cols)
+	t.Cleanup(func() { SetTileSizes(pr, pc) })
+}
+
+// fillRandom populates m with standard normals, salting in exact zeros so the
+// av==0 skip paths in mulBlock/tmulBlock are exercised.
+func fillRandom(m *Dense, s *rng.Source) {
+	for i := range m.Data {
+		if s.Float64() < 0.1 {
+			m.Data[i] = 0
+			continue
+		}
+		m.Data[i] = s.Norm()
+	}
+}
+
+// crossCheckShapes yields the randomized shape sweep shared by the kernel
+// cross-check tests: degenerate shapes (0×n, n×0, 1×1), shapes straddling
+// every tile boundary by ±1, and random fill up to ~200 cases total.
+func crossCheckShapes(s *rng.Source) [][3]int {
+	shapes := [][3]int{
+		{0, 5, 3}, {5, 0, 3}, {0, 0, 1}, {1, 1, 1}, {1, 2, 1}, {2, 1, 2},
+	}
+	// Tile-boundary straddles for the tiny 4×8 test tiles.
+	for _, d := range []int{-1, 0, 1} {
+		shapes = append(shapes,
+			[3]int{4 + d, 8 + d, 4 + d},
+			[3]int{8 + d, 16 + d, 8 + d},
+			[3]int{12 + d, 24 + d, 3},
+		)
+	}
+	for len(shapes) < 200 {
+		shapes = append(shapes, [3]int{
+			int(s.Float64() * 40),
+			int(s.Float64() * 40),
+			1 + int(s.Float64()*24),
+		})
+	}
+	return shapes
+}
+
+// TestTiledKernelsMatchNaive sweeps ~200 randomized shapes (including 0×n,
+// 1×1, and every ±1 tile-boundary straddle) and demands exact bit equality
+// between the tiled Mul/MulT/TMul kernels and their retained naive
+// references. The determinism contract in tile.go makes bit equality — not
+// mere closeness — the specified behavior.
+func TestTiledKernelsMatchNaive(t *testing.T) {
+	useTinyTiles(t, 4, 8)
+	s := rng.New(99)
+	for _, sh := range crossCheckShapes(s) {
+		m, n, d := sh[0], sh[1], sh[2]
+		a := NewDense(m, d)
+		b := NewDense(n, d)
+		fillRandom(a, s)
+		fillRandom(b, s)
+
+		assertBitsEqual(t, "MulT", MulT(a, b), NaiveMulT(a, b), sh)
+
+		c := NewDense(m, n) // same row count as a, so aᵀ·c is defined
+		fillRandom(c, s)
+		assertBitsEqual(t, "TMul", TMul(a, c), NaiveTMul(a, c), sh)
+
+		bt := b.Transpose() // d×n, so a·bt is defined
+		assertBitsEqual(t, "Mul", Mul(a, bt), NaiveMul(a, bt), sh)
+	}
+}
+
+func assertBitsEqual(t *testing.T, kernel string, got, want *Dense, sh [3]int) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s shape %v: got %dx%d, want %dx%d",
+			kernel, sh, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s shape %v: element %d = %x, want %x",
+				kernel, sh, i, math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+// TestFusedCosineMatchesNaive cross-checks the fused cosine kernel against
+// clone-normalize-multiply over the randomized shape sweep. The fused kernel
+// multiplies by precomputed reciprocal norms where the reference divides
+// twice, so agreement is to documented absolute 1e-12 (cosines are bounded
+// by 1, and near-zero values carry unbounded *relative* cancellation error),
+// not bit equality; zero rows must still yield exactly 0.
+func TestFusedCosineMatchesNaive(t *testing.T) {
+	useTinyTiles(t, 4, 8)
+	s := rng.New(101)
+	for _, sh := range crossCheckShapes(s) {
+		m, n, d := sh[0], sh[1], sh[2]
+		a := NewDense(m, d)
+		b := NewDense(n, d)
+		fillRandom(a, s)
+		fillRandom(b, s)
+		if m > 0 {
+			for j := 0; j < d; j++ {
+				a.Set(m-1, j, 0) // force a zero row
+			}
+		}
+
+		got := CosineSim(a, b)
+		want := NaiveCosineSim(a, b)
+		for i := range want.Data {
+			g, w := got.Data[i], want.Data[i]
+			if w == 0 {
+				if g != 0 {
+					t.Fatalf("shape %v: element %d = %g, want exactly 0", sh, i, g)
+				}
+				continue
+			}
+			if diff := math.Abs(g - w); diff > 1e-12 {
+				t.Fatalf("shape %v: element %d abs error %g (got %g, want %g)", sh, i, diff, g, w)
+			}
+		}
+	}
+}
+
+// TestCosineSimNonFiniteRows pins the corrupt-row semantics of the fused
+// kernel: rows containing NaN or Inf behave like zero rows (similarity 0
+// everywhere), exactly as the clone-and-NormalizeRowsL2 path degraded them.
+func TestCosineSimNonFiniteRows(t *testing.T) {
+	a := NewDense(3, 4)
+	b := NewDense(2, 4)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, math.NaN())
+	a.Set(2, 2, math.Inf(1))
+	b.Set(0, 0, 1)
+	b.Set(1, 3, 2)
+
+	out := CosineSim(a, b)
+	for j := 0; j < out.Cols; j++ {
+		if got := out.At(1, j); got != 0 {
+			t.Errorf("NaN row similarity (1,%d) = %g, want 0", j, got)
+		}
+		if got := out.At(2, j); got != 0 {
+			t.Errorf("Inf row similarity (2,%d) = %g, want 0", j, got)
+		}
+	}
+	if got := out.At(0, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("healthy row self-similarity = %g, want 1", got)
+	}
+}
+
+// topKRef is the straightforward reference: stable sort all indices by
+// (value desc, index asc) and keep the first k.
+func topKRef(r []float64, k int) []int {
+	idx := make([]int, len(r))
+	for j := range idx {
+		idx[j] = j
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		if r[idx[x]] != r[idx[y]] {
+			return r[idx[x]] > r[idx[y]]
+		}
+		return idx[x] < idx[y]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return idx[:k]
+}
+
+// TestTopKRowMatchesFullSort is the property test demanded by the selection
+// rewrite: across random rows laced with duplicate values (forcing
+// tie-breaks), bounded-heap selection must equal a full stable descending
+// sort — same indices, same order.
+func TestTopKRowMatchesFullSort(t *testing.T) {
+	s := rng.New(7919)
+	for trial := 0; trial < 60; trial++ {
+		rows := 1 + int(s.Float64()*8)
+		cols := 1 + int(s.Float64()*50)
+		m := NewDense(rows, cols)
+		for i := range m.Data {
+			// Coarse quantization ensures plenty of exact ties.
+			m.Data[i] = math.Floor(s.Float64()*8) / 8
+		}
+		for _, k := range []int{0, 1, 2, cols / 2, cols - 1, cols, cols + 3} {
+			got := TopKRow(m, k)
+			for i := 0; i < rows; i++ {
+				want := topKRef(m.Row(i), k)
+				if len(got[i]) != len(want) {
+					t.Fatalf("trial %d k=%d row %d: len %d, want %d", trial, k, i, len(got[i]), len(want))
+				}
+				for j := range want {
+					if got[i][j] != want[j] {
+						t.Fatalf("trial %d k=%d row %d: got %v, want %v", trial, k, i, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestArgmaxColMatchesTranspose cross-checks the single-pass column argmax
+// against ArgmaxRow on the transpose, including tie handling.
+func TestArgmaxColMatchesTranspose(t *testing.T) {
+	s := rng.New(523)
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + int(s.Float64()*30)
+		cols := 1 + int(s.Float64()*30)
+		m := NewDense(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = math.Floor(s.Float64()*6) / 6
+		}
+		got := ArgmaxCol(m)
+		want := ArgmaxRow(m.Transpose())
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d col %d: got %d, want %d", trial, j, got[j], want[j])
+			}
+		}
+	}
+	if got := ArgmaxCol(NewDense(0, 3)); len(got) != 3 {
+		t.Fatalf("ArgmaxCol on 0x3 = %v, want 3 zeros", got)
+	}
+}
+
+// TestCSLSInPlaceMatchesCSLS verifies the in-place variant computes the same
+// rescaling as the allocating one and really does write through its input.
+func TestCSLSInPlaceMatchesCSLS(t *testing.T) {
+	s := rng.New(811)
+	m := NewDense(37, 29)
+	for i := range m.Data {
+		m.Data[i] = s.Norm()
+	}
+	want := CSLS(m, 5)
+	in := m.Clone()
+	got := CSLSInPlace(in, 5)
+	if got != in {
+		t.Fatal("CSLSInPlace did not return its input")
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("element %d differs: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestWeightedSumIntoAliasing verifies that WeightedSumInto may write through
+// one of its inputs and still matches the allocating WeightedSum.
+func TestWeightedSumIntoAliasing(t *testing.T) {
+	s := rng.New(677)
+	ms := []*Dense{NewDense(9, 7), NewDense(9, 7), NewDense(9, 7)}
+	for _, m := range ms {
+		for i := range m.Data {
+			m.Data[i] = s.Norm()
+		}
+	}
+	w := []float64{0.5, 0.3, 0.2}
+	want := WeightedSum(ms, w)
+
+	aliased := []*Dense{ms[0].Clone(), ms[1], ms[2]}
+	got := WeightedSumInto(aliased[0], aliased, w)
+	if got != aliased[0] {
+		t.Fatal("WeightedSumInto did not return dst")
+	}
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-15 {
+			t.Fatalf("element %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestScratchPool pins the arena contract: GetScratch returns zeroed
+// length-n buffers, a Put/Get roundtrip recycles capacity, and traffic is
+// counted on the kernel-metrics registry.
+func TestScratchPool(t *testing.T) {
+	defer SetMetrics(nil)
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+
+	s := GetScratch(100)
+	if len(s) != 100 {
+		t.Fatalf("len = %d, want 100", len(s))
+	}
+	for i := range s {
+		s[i] = float64(i + 1)
+	}
+	PutScratch(s)
+
+	s2 := GetScratch(90) // same power-of-two class: should recycle and zero
+	if len(s2) != 90 {
+		t.Fatalf("len = %d, want 90", len(s2))
+	}
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %g", i, v)
+		}
+	}
+	PutScratch(s2)
+
+	// The arena is process-global, so earlier tests may have warmed it —
+	// assert traffic is counted, not a particular hit/miss split.
+	hits := reg.Counter("mat.scratch.hits").Value()
+	misses := reg.Counter("mat.scratch.misses").Value()
+	if hits+misses < 2 {
+		t.Fatalf("pool traffic uncounted: hits=%d misses=%d", hits, misses)
+	}
+
+	if got := GetScratch(0); got != nil {
+		t.Fatalf("GetScratch(0) = %v, want nil", got)
+	}
+	PutScratch(nil) // must not panic
+
+	ints := GetScratchInts(17)
+	if len(ints) != 17 {
+		t.Fatalf("int len = %d, want 17", len(ints))
+	}
+	PutScratchInts(ints)
+	PutScratchInts(nil)
+}
+
+// TestGetPutDense pins the pooled-matrix helpers: GetDense is zeroed with the
+// requested shape, PutDense clears the header so stale reuse fails loudly.
+func TestGetPutDense(t *testing.T) {
+	d := GetDense(5, 6)
+	if d.Rows != 5 || d.Cols != 6 || len(d.Data) != 30 {
+		t.Fatalf("GetDense shape = %dx%d len %d", d.Rows, d.Cols, len(d.Data))
+	}
+	for i, v := range d.Data {
+		if v != 0 {
+			t.Fatalf("GetDense not zeroed at %d: %g", i, v)
+		}
+	}
+	d.Set(2, 3, 7)
+	PutDense(d)
+	if d.Data != nil || d.Rows != 0 || d.Cols != 0 {
+		t.Fatalf("PutDense left matrix usable: %+v", d)
+	}
+	PutDense(nil) // must not panic
+
+	d2 := GetDense(5, 6)
+	for i, v := range d2.Data {
+		if v != 0 {
+			t.Fatalf("recycled GetDense not zeroed at %d: %g", i, v)
+		}
+	}
+	PutDense(d2)
+}
+
+// TestParallelRowsCoverage verifies the persistent worker pool hands every
+// row index to exactly one callback invocation, for sizes on both sides of
+// the inline threshold.
+func TestParallelRowsCoverage(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		var mu chan struct{} = make(chan struct{}, 1)
+		mu <- struct{}{}
+		seen := make([]int, n)
+		ParallelRows(n, func(lo, hi int) {
+			<-mu
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu <- struct{}{}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: row %d covered %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// TestParallelRowsNested verifies that kernels calling parallelRows from
+// inside a worker (nested parallelism) complete rather than deadlocking on
+// the fixed-size pool — the select-with-inline-fallback in submit.
+func TestParallelRowsNested(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var covered int64
+		ParallelRows(200, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ParallelRows(100, func(l, h int) {
+					atomic.AddInt64(&covered, int64(h-l))
+				})
+			}
+		})
+		if atomic.LoadInt64(&covered) != 200*100 {
+			panic("nested coverage incomplete")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested ParallelRows deadlocked")
+	}
+}

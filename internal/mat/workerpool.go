@@ -1,0 +1,140 @@
+package mat
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Persistent kernel worker pool. The parallel kernels used to spawn fresh
+// goroutines on every call; at similarity-matrix scale that is thousands of
+// spawns per pipeline run. The pool starts runtime.NumCPU() workers lazily
+// on first parallel call and keeps them parked on an unbuffered channel.
+//
+// Submission is deadlock-free by construction: a task is handed to a worker
+// only if one is ready to receive *right now*, otherwise the submitting
+// goroutine runs it inline. Nested parallel kernels therefore degrade to
+// inline execution instead of waiting on workers that are blocked on them.
+// Determinism is unaffected — every task writes a disjoint row range (or a
+// per-block partial merged in block order, for TMul), so scheduling order
+// never reaches the output bits.
+
+var (
+	workerOnce sync.Once
+	workerJobs chan func()
+)
+
+// startWorkers launches the fixed-size worker pool. Workers live for the
+// rest of the process; they hold no state between tasks.
+func startWorkers() {
+	workerJobs = make(chan func())
+	for i := 0; i < runtime.NumCPU(); i++ {
+		go func() {
+			for f := range workerJobs {
+				f()
+			}
+		}()
+	}
+}
+
+// submit hands f to an idle worker, or runs it inline when none is ready.
+func submit(f func()) {
+	select {
+	case workerJobs <- f:
+	default:
+		f()
+	}
+}
+
+// parallelRows splits [0, n) into contiguous blocks and runs fn on each
+// block concurrently via the worker pool. Small n runs inline to avoid
+// dispatch overhead dominating.
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := runtime.NumCPU()
+	if n < 64 || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	workerOnce.Do(startWorkers)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		lo, hi := lo, hi
+		submit(func() {
+			defer wg.Done()
+			fn(lo, hi)
+		})
+	}
+	wg.Wait()
+}
+
+// ParallelRows is exported for packages that need the same row-block
+// parallelism for their own kernels (e.g. string-similarity matrices).
+func ParallelRows(n int, fn func(lo, hi int)) { parallelRows(n, fn) }
+
+// ParallelRowsCtx is ParallelRows with cooperative cancellation: rows are
+// dispatched in chunks finer than one block per worker, each chunk re-checks
+// ctx before running, and the call returns ctx.Err() once every dispatched
+// chunk has drained (no task outlives the call; the pool's workers are
+// shared and persistent). Rows not yet processed at cancellation are simply
+// skipped, so callers must discard the output when an error is returned.
+func ParallelRowsCtx(ctx context.Context, n int, fn func(lo, hi int)) error {
+	if ctx == nil {
+		parallelRows(n, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers := runtime.NumCPU()
+	if n < 64 || workers <= 1 {
+		// Single-threaded sweep, still cancellable between chunks.
+		const chunk = 256
+		for lo := 0; lo < n; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return ctx.Err()
+	}
+	workerOnce.Do(startWorkers)
+	if workers > n {
+		workers = n
+	}
+	// Four chunks per worker: fine enough that cancellation lands quickly,
+	// coarse enough that dispatch overhead stays negligible.
+	chunk := (n + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n && ctx.Err() == nil; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		lo, hi := lo, hi
+		submit(func() {
+			defer wg.Done()
+			if ctx.Err() == nil {
+				fn(lo, hi)
+			}
+		})
+	}
+	wg.Wait()
+	return ctx.Err()
+}

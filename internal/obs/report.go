@@ -104,11 +104,29 @@ func ReadReport(rd io.Reader) (*Report, error) {
 	return &r, nil
 }
 
+// cacheCounterPrefixes lists counter-name prefixes whose values reflect
+// process-global cache state rather than the run's work. The scratch-buffer
+// arena is backed by sync.Pool, so a second same-seed run in a warm process
+// sees more hits and fewer misses than the first — a fully warmed run may
+// record no misses at all, so even the counter's existence is cache state.
+// Such counters are omitted from the signature entirely.
+var cacheCounterPrefixes = []string{"mat.scratch."}
+
+func isCacheCounter(name string) bool {
+	for _, p := range cacheCounterPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
 // StructureSignature renders the span forest, metric names and counter
 // values — everything deterministic about a run — as a canonical string,
-// omitting wall times, memory deltas and histogram/gauge values. Two runs
-// with the same seed must produce equal signatures; the determinism test
-// holds the tracer to that.
+// omitting wall times, memory deltas, histogram/gauge values, and counters
+// that track cache occupancy (see cacheCounterPrefixes). Two runs with the
+// same seed must produce equal signatures; the determinism test holds the
+// tracer to that.
 func (r *Report) StructureSignature() string {
 	var b strings.Builder
 	for i := range r.Spans {
@@ -123,6 +141,9 @@ func (r *Report) StructureSignature() string {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if isCacheCounter(name) {
+			continue
+		}
 		fmt.Fprintf(&b, ";%s=%d", name, r.Counters[name])
 	}
 	names = names[:0]
