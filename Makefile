@@ -1,6 +1,6 @@
 # Tier-1 verification for the CEAFF reproduction. `make check` is the
 # full gate: formatting, vet, build, and the race-enabled test suite.
-# `make bench` regenerates BENCH_PR3.json: table + kernel benchmarks plus
+# `make bench` regenerates BENCH_PR4.json: table + kernel benchmarks plus
 # an instrumented pipeline run, folded into one schema-stable file that
 # cmd/benchdiff can compare across commits.
 
@@ -10,7 +10,7 @@ GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 # ±15% regression threshold on, and charges one-time pool/runtime setup to
 # the lone iteration. The whole suite still runs in ~15s.
 BENCHTIME ?= 3x
-BENCHOUT  ?= BENCH_PR3.json
+BENCHOUT  ?= BENCH_PR4.json
 
 .PHONY: check fmt vet build test race bench
 

@@ -355,3 +355,70 @@ func BenchmarkKernelCSLS(b *testing.B) {
 		mat.CSLS(sim, 10)
 	}
 }
+
+// randomCSR builds a rows×cols sparse matrix with roughly nnz random
+// entries, the operand shape of the SpMM micro-benchmarks.
+func randomCSR(rows, cols, nnz int, seed uint64) *mat.CSR {
+	s := rng.New(seed)
+	entries := make([]mat.COO, nnz)
+	for i := range entries {
+		entries[i] = mat.COO{Row: s.Intn(rows), Col: s.Intn(cols), Val: s.Norm()}
+	}
+	return mat.NewCSR(rows, cols, entries)
+}
+
+// The KernelSpMM*/KernelSpMMSerial* pairs benchmark the pooled sparse·dense
+// kernels against the retained serial references at adjacency-like shapes
+// (square, ~8 non-zeros per row — the GCN propagation workload). Serial
+// counterparts exist only at the large shape, where fan-out pays off.
+
+func benchSpMM(b *testing.B, n, dim int, f func(s *mat.CSR, d *mat.Dense) *mat.Dense) {
+	b.Helper()
+	b.ReportAllocs()
+	sp := randomCSR(n, n, n*8, 21)
+	d := randomEmb(n, dim, 22)
+	f(sp, d) // warm the worker pool and transpose cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(sp, d)
+	}
+}
+
+func mulDense(s *mat.CSR, d *mat.Dense) *mat.Dense       { return s.MulDense(d) }
+func tMulDense(s *mat.CSR, d *mat.Dense) *mat.Dense      { return s.TMulDense(d) }
+func naiveMulDense(s *mat.CSR, d *mat.Dense) *mat.Dense  { return s.NaiveMulDense(d) }
+func naiveTMulDense(s *mat.CSR, d *mat.Dense) *mat.Dense { return s.NaiveTMulDense(d) }
+
+func BenchmarkKernelSpMMSmall(b *testing.B)        { benchSpMM(b, 200, 32, mulDense) }
+func BenchmarkKernelSpMMMedium(b *testing.B)       { benchSpMM(b, 2000, 64, mulDense) }
+func BenchmarkKernelSpMMLarge(b *testing.B)        { benchSpMM(b, 8000, 128, mulDense) }
+func BenchmarkKernelSpMMSerialLarge(b *testing.B)  { benchSpMM(b, 8000, 128, naiveMulDense) }
+func BenchmarkKernelSpMMTSmall(b *testing.B)       { benchSpMM(b, 200, 32, tMulDense) }
+func BenchmarkKernelSpMMTMedium(b *testing.B)      { benchSpMM(b, 2000, 64, tMulDense) }
+func BenchmarkKernelSpMMTLarge(b *testing.B)       { benchSpMM(b, 8000, 128, tMulDense) }
+func BenchmarkKernelSpMMTSerialLarge(b *testing.B) { benchSpMM(b, 8000, 128, naiveTMulDense) }
+
+// The TrainEpoch*/TrainEpochSerial* pair times GCN training on the medium
+// benchmark dataset through the parallel layer and through the retained
+// serial path (Config.ForceSerial). Their ratio is the PR's headline
+// training speedup; both produce bit-identical models, so the diff is pure
+// scheduling.
+func benchTrainEpoch(b *testing.B, serial bool) {
+	b.Helper()
+	b.ReportAllocs()
+	in := benchInput(b)
+	cfg := gcn.DefaultConfig()
+	cfg.Dim = 32
+	cfg.Epochs = 10
+	cfg.HardNegativeEvery = 5
+	cfg.ForceSerial = serial
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gcn.Train(in.G1, in.G2, in.Seeds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpochMedium(b *testing.B)       { benchTrainEpoch(b, false) }
+func BenchmarkTrainEpochSerialMedium(b *testing.B) { benchTrainEpoch(b, true) }

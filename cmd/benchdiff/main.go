@@ -3,11 +3,12 @@
 //
 //	benchdiff old/BENCH_PR2.json BENCH_PR2.json
 //	benchdiff -threshold 0.10 old.json new.json
-//	benchdiff -filter Kernel old.json new.json
+//	benchdiff -filter Kernel,TrainEpoch old.json new.json
 //
-// -filter restricts the comparison to benchmarks whose name contains the
-// given substring, so CI can gate on the kernel micro-benchmarks without
-// noise from the end-to-end table benchmarks.
+// -filter restricts the comparison to benchmarks whose name contains at
+// least one of the comma-separated substrings, so CI can gate on the kernel
+// and training micro-benchmarks without noise from the end-to-end table
+// benchmarks.
 //
 // Exit status is 1 when any metric regressed past the threshold
 // (default 15%), 2 on usage or I/O errors, 0 otherwise. Comparing a file
@@ -25,9 +26,9 @@ import (
 
 func main() {
 	threshold := flag.Float64("threshold", 0.15, "regression threshold as a fraction (0.15 = 15%)")
-	filter := flag.String("filter", "", "compare only benchmarks whose name contains this substring")
+	filter := flag.String("filter", "", "compare only benchmarks whose name contains one of these comma-separated substrings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-filter Kernel] old.json new.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-filter Kernel,TrainEpoch] old.json new.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,15 +47,26 @@ func main() {
 	}
 }
 
-// filterBenchmarks keeps only benchmarks whose name contains substr.
-func filterBenchmarks(f *benchfmt.File, substr string) {
-	if substr == "" {
+// filterBenchmarks keeps only benchmarks whose name contains at least one
+// of the comma-separated substrings in filter. Empty list elements are
+// ignored, so "Kernel," behaves like "Kernel".
+func filterBenchmarks(f *benchfmt.File, filter string) {
+	var subs []string
+	for _, s := range strings.Split(filter, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			subs = append(subs, s)
+		}
+	}
+	if len(subs) == 0 {
 		return
 	}
 	kept := f.Benchmarks[:0]
 	for _, b := range f.Benchmarks {
-		if strings.Contains(b.Name, substr) {
-			kept = append(kept, b)
+		for _, s := range subs {
+			if strings.Contains(b.Name, s) {
+				kept = append(kept, b)
+				break
+			}
 		}
 	}
 	f.Benchmarks = kept

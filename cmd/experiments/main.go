@@ -37,12 +37,13 @@ func main() {
 	verbose := flag.Bool("v", false, "print progress lines to stderr")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	failFast := flag.Bool("failfast", false, "abort on the first persistently failing cell instead of isolating it")
+	parallel := flag.Int("parallel", 1, "run up to this many dataset columns concurrently (1 = serial)")
 	metricsPath := flag.String("metrics", "", "write a JSON run report (per-table timings, metrics) to this file")
 	pprofPrefix := flag.String("pprof", "", "write CPU and heap profiles to <prefix>.cpu and <prefix>.heap")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	opt := experiments.Options{Scale: *scale, Fast: *fast, FailFast: *failFast}
+	opt := experiments.Options{Scale: *scale, Fast: *fast, FailFast: *failFast, Parallel: *parallel}
 	if *verbose {
 		opt.Progress = func(format string, args ...any) { log.Printf(format, args...) }
 	}
@@ -79,8 +80,14 @@ func main() {
 		} else {
 			t.Render(os.Stdout)
 		}
-		for c, err := range t.Failed {
-			log.Printf("FAILED cell (%s, %s): %v", c.Row, c.Col, err)
+		// Failed is a map; report in the table's row/column order so the
+		// output is stable run to run (and across -parallel settings).
+		for _, row := range t.Rows {
+			for _, col := range t.Cols {
+				if err, ok := t.FailedCell(row, col); ok {
+					log.Printf("FAILED cell (%s, %s): %v", row, col, err)
+				}
+			}
 		}
 	}
 	run := func(name string) error {

@@ -144,6 +144,20 @@ func RunBlocked(in *Input, cfg Config, cands blocking.Candidates) (*Result, erro
 }
 
 // DecideBlocked fuses sparse features and matches collectively.
+//
+// Known limits versus the dense DecideContext path:
+//   - cfg.Fusion is ignored. Adaptive and LR-learned weighting need global
+//     row/column statistics (AFF's per-cell maxima, LR's seed matrices) that
+//     sparse candidate scores only approximate, so blocked mode always uses
+//     the fixed equal-weight combination over the enabled features — the
+//     "w/o AFF" configuration. CEAFF with AFF remains the dense path.
+//   - Result.Ranking is computed over candidate lists only: for each source,
+//     the ground-truth target's rank counts candidates scoring strictly
+//     higher (ties broken by smaller target index, matching
+//     mat.RankOfColumn); a source whose truth was blocked away has no rank
+//     and scores as a miss for Hits@k and MRR. Result.Fused and
+//     Result.FusionInfo stay zero — there is no dense fused matrix to
+//     report.
 func DecideBlocked(sf *SparseFeatures, cfg Config) (*Result, error) {
 	var parts [][][]float64
 	if cfg.UseStructural {
@@ -181,7 +195,45 @@ func DecideBlocked(sf *SparseFeatures, cfg Config) (*Result, error) {
 	res := &Result{Assignment: assignment}
 	res.Accuracy = eval.Accuracy(assignment)
 	res.PRF = eval.PrecisionRecall(assignment)
+	res.Ranking = sparseRanking(sf.Cands, fused)
 	return res, nil
+}
+
+// sparseRanking evaluates the fused candidate scores as a ranking problem
+// with diagonal ground truth, mirroring eval.Ranking on the dense path: the
+// truth's rank within source i's candidate list is 1 plus the number of
+// candidates scoring strictly higher (ties broken by smaller target index,
+// exactly mat.RankOfColumn's rule). Sources whose true target was blocked
+// out of the candidate list have no rank and count as misses — zero Hits@k
+// and zero reciprocal rank — so blocking recall caps every reported metric.
+func sparseRanking(cands blocking.Candidates, scores [][]float64) eval.RankingReport {
+	if len(cands) == 0 {
+		return eval.RankingReport{}
+	}
+	var h1, h10, mrr float64
+	for i, cs := range cands {
+		// Candidate lists are sorted ascending: binary search for truth i.
+		pos := sort.SearchInts(cs, i)
+		if pos >= len(cs) || cs[pos] != i {
+			continue // truth blocked away: a miss
+		}
+		tv := scores[i][pos]
+		rank := 1
+		for c, v := range scores[i] {
+			if v > tv || (v == tv && cs[c] < i) {
+				rank++
+			}
+		}
+		if rank <= 1 {
+			h1++
+		}
+		if rank <= 10 {
+			h10++
+		}
+		mrr += 1 / float64(rank)
+	}
+	n := float64(len(cands))
+	return eval.RankingReport{Hits1: h1 / n, Hits10: h10 / n, MRR: mrr / n}
 }
 
 // sparseGreedy picks each source's best candidate.

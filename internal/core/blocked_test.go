@@ -6,6 +6,9 @@ import (
 	"ceaff/internal/align"
 	"ceaff/internal/bench"
 	"ceaff/internal/blocking"
+	"ceaff/internal/eval"
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
 )
 
 func blockerFor(in *Input) blocking.Candidates {
@@ -125,5 +128,75 @@ func TestSparseDAAHandlesEmptyCandidateRows(t *testing.T) {
 	a := sparseDAA(cands, scores)
 	if a[0] != 0 || a[1] != -1 {
 		t.Fatalf("assignment %v", a)
+	}
+}
+
+// TestSparseRankingKnownValues pins sparseRanking on a hand-built case:
+// rank 1 when the truth wins its list, a tie broken toward the smaller
+// target index (matching mat.RankOfColumn), and a truth blocked out of the
+// candidate list scoring as a miss.
+func TestSparseRankingKnownValues(t *testing.T) {
+	cands := blocking.Candidates{
+		{0, 1, 2}, // truth 0 wins outright -> rank 1
+		{0, 2},    // truth 1 absent -> miss
+		{1, 2},    // truth 2 ties candidate 1; smaller index wins -> rank 2
+	}
+	scores := [][]float64{
+		{0.9, 0.5, 0.1},
+		{0.8, 0.7},
+		{0.6, 0.6},
+	}
+	r := sparseRanking(cands, scores)
+	const eps = 1e-12
+	if d := r.Hits1 - 1.0/3; d > eps || d < -eps {
+		t.Fatalf("Hits@1 = %v, want 1/3", r.Hits1)
+	}
+	if d := r.Hits10 - 2.0/3; d > eps || d < -eps {
+		t.Fatalf("Hits@10 = %v, want 2/3", r.Hits10)
+	}
+	if d := r.MRR - 0.5; d > eps || d < -eps {
+		t.Fatalf("MRR = %v, want 0.5 ((1 + 1/2 + 0)/3)", r.MRR)
+	}
+}
+
+// TestSparseRankingMatchesDenseOnFullCandidates checks the equivalence
+// property: with every target as a candidate, sparseRanking must reproduce
+// eval.Ranking on the corresponding dense matrix exactly.
+func TestSparseRankingMatchesDenseOnFullCandidates(t *testing.T) {
+	s := rng.New(21)
+	const n = 17
+	sim := mat.NewDense(n, n)
+	for i := range sim.Data {
+		sim.Data[i] = s.Norm()
+	}
+	cands := make(blocking.Candidates, n)
+	scores := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		cands[i] = make([]int, n)
+		for j := range cands[i] {
+			cands[i][j] = j
+		}
+		scores[i] = append([]float64(nil), sim.Row(i)...)
+	}
+	got := sparseRanking(cands, scores)
+	want := eval.Ranking(sim)
+	if got != want {
+		t.Fatalf("sparse ranking %+v != dense ranking %+v", got, want)
+	}
+}
+
+// TestDecideBlockedPopulatesRanking checks the end-to-end wiring: a blocked
+// run reports a non-trivial Ranking consistent with its accuracy.
+func TestDecideBlockedPopulatesRanking(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	cfg := DefaultConfig()
+	cfg.GCN = fastGCN()
+	res, err := RunBlocked(in, cfg, blockerFor(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Ranking
+	if r.Hits1 <= 0 || r.Hits10 < r.Hits1 || r.MRR < r.Hits1 || r.MRR > 1 {
+		t.Fatalf("implausible blocked ranking %+v", r)
 	}
 }

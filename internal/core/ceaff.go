@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"ceaff/internal/align"
 	"ceaff/internal/eval"
@@ -173,6 +174,17 @@ func ComputeFeatures(in *Input, gcnCfg gcn.Config) (*FeatureSet, error) {
 // in FeatureSet.Degraded instead of aborting the pipeline. Context
 // cancellation is never degraded around — it aborts with ctx's error.
 // Only when every feature degrades does the call fail.
+//
+// The three features share no state — structural trains the GCN, semantic
+// and string similarity derive purely from entity names — so they compute
+// concurrently: semantic and string overlap with GCN training instead of
+// queueing behind it. Concurrency never reaches the results: each feature
+// writes disjoint FeatureSet fields, the obs feature spans are created
+// serially up front (span child order, and with it obs.StructureSignature,
+// must not depend on goroutine scheduling), and degradations are recorded
+// after the join in the fixed structural → semantic → string order the
+// serial pipeline used. Fault-injection sites and the metrics registry are
+// themselves thread-safe.
 func ComputeFeaturesContext(ctx context.Context, in *Input, gcnCfg gcn.Config) (*FeatureSet, error) {
 	if err := validateInput(in); err != nil {
 		return nil, err
@@ -188,26 +200,47 @@ func ComputeFeaturesContext(ctx context.Context, in *Input, gcnCfg gcn.Config) (
 
 	fs := &FeatureSet{}
 
-	if err := computeStructural(ctx, in, gcnCfg, fs, testSrc, testTgt, seedSrc, seedTgt); err != nil {
-		if isCtxError(err) {
-			return nil, err
+	ctxS, spanS := obs.StartSpan(ctx, "feature.structural")
+	ctxN, spanN := obs.StartSpan(ctx, "feature.semantic")
+	ctxL, spanL := obs.StartSpan(ctx, "feature.string")
+
+	var errS, errN, errL error
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		defer spanS.End()
+		errS = computeStructural(ctxS, in, gcnCfg, fs, testSrc, testTgt, seedSrc, seedTgt)
+	}()
+	go func() {
+		defer wg.Done()
+		defer spanN.End()
+		errN = computeSemantic(ctxN, in, fs, srcNames, tgtNames, seedSrcNames, seedTgtNames)
+	}()
+	go func() {
+		defer wg.Done()
+		defer spanL.End()
+		errL = computeString(ctxL, fs, srcNames, tgtNames, seedSrcNames, seedTgtNames)
+	}()
+	wg.Wait()
+
+	for _, f := range []struct {
+		name string
+		err  error
+		drop func()
+	}{
+		{"structural", errS, func() { fs.Ms, fs.SeedMs = nil, nil }},
+		{"semantic", errN, func() { fs.Mn, fs.SeedMn = nil, nil }},
+		{"string", errL, func() { fs.Ml, fs.SeedMl = nil, nil }},
+	} {
+		if f.err == nil {
+			continue
 		}
-		fs.degrade("structural", err)
-		fs.Ms, fs.SeedMs = nil, nil
-	}
-	if err := computeSemantic(ctx, in, fs, srcNames, tgtNames, seedSrcNames, seedTgtNames); err != nil {
-		if isCtxError(err) {
-			return nil, err
+		if isCtxError(f.err) {
+			return nil, f.err
 		}
-		fs.degrade("semantic", err)
-		fs.Mn, fs.SeedMn = nil, nil
-	}
-	if err := computeString(ctx, fs, srcNames, tgtNames, seedSrcNames, seedTgtNames); err != nil {
-		if isCtxError(err) {
-			return nil, err
-		}
-		fs.degrade("string", err)
-		fs.Ml, fs.SeedMl = nil, nil
+		fs.degrade(f.name, f.err)
+		f.drop()
 	}
 
 	if fs.Ms == nil && fs.Mn == nil && fs.Ml == nil {
@@ -216,9 +249,10 @@ func ComputeFeaturesContext(ctx context.Context, in *Input, gcnCfg gcn.Config) (
 	return fs, nil
 }
 
+// computeStructural (like its semantic and string siblings) runs inside the
+// pre-created feature span carried by ctx; it may run concurrently with the
+// other features and touches only its own FeatureSet fields.
 func computeStructural(ctx context.Context, in *Input, gcnCfg gcn.Config, fs *FeatureSet, testSrc, testTgt, seedSrc, seedTgt []kg.EntityID) error {
-	ctx, span := obs.StartSpan(ctx, "feature.structural")
-	defer span.End()
 	if err := robust.Fire(FaultStructural); err != nil {
 		return err
 	}
@@ -236,8 +270,6 @@ func computeStructural(ctx context.Context, in *Input, gcnCfg gcn.Config, fs *Fe
 }
 
 func computeSemantic(ctx context.Context, in *Input, fs *FeatureSet, srcNames, tgtNames, seedSrcNames, seedTgtNames []string) error {
-	ctx, span := obs.StartSpan(ctx, "feature.semantic")
-	defer span.End()
 	if err := robust.Fire(FaultSemantic); err != nil {
 		return err
 	}
@@ -261,8 +293,6 @@ func computeSemantic(ctx context.Context, in *Input, fs *FeatureSet, srcNames, t
 }
 
 func computeString(ctx context.Context, fs *FeatureSet, srcNames, tgtNames, seedSrcNames, seedTgtNames []string) error {
-	ctx, span := obs.StartSpan(ctx, "feature.string")
-	defer span.End()
 	if err := robust.Fire(FaultString); err != nil {
 		return err
 	}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ceaff/internal/bench"
+	"ceaff/internal/obs"
+	"ceaff/internal/robust"
+)
+
+// TestDegradationOrderUnderConcurrency pins the overlapped feature
+// generation's ordering contract: however the three concurrent feature
+// computations are scheduled, degradations are recorded in the fixed
+// structural → semantic → string order of the serial pipeline.
+func TestDegradationOrderUnderConcurrency(t *testing.T) {
+	defer robust.Reset()
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	for run := 0; run < 3; run++ {
+		robust.Reset()
+		robust.Arm(robust.Fault{Site: FaultString})
+		robust.Arm(robust.Fault{Site: FaultSemantic})
+		fs, err := ComputeFeatures(in, fastGCN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fs.Degraded) != 2 ||
+			fs.Degraded[0].Feature != "semantic" || fs.Degraded[1].Feature != "string" {
+			t.Fatalf("run %d: Degraded = %+v, want [semantic, string]", run, fs.Degraded)
+		}
+		if fs.Ms == nil || fs.SeedMs == nil {
+			t.Fatalf("run %d: surviving structural feature missing", run)
+		}
+		if fs.Mn != nil || fs.Ml != nil {
+			t.Fatalf("run %d: degraded features not dropped", run)
+		}
+	}
+}
+
+// TestFeatureSpanOrderUnderConcurrency verifies that the obs trace keeps
+// its deterministic shape with features computing concurrently: the feature
+// spans appear under "features" in the fixed structural, semantic, string
+// order (they are pre-created serially), and two runs yield identical
+// structure signatures.
+func TestFeatureSpanOrderUnderConcurrency(t *testing.T) {
+	in, _ := testDataset(t, bench.Dense, bench.Mono)
+	observe := func() string {
+		rt := obs.NewRuntime()
+		ctx := obs.Into(t.Context(), rt)
+		if _, err := ComputeFeaturesContext(ctx, in, fastGCN()); err != nil {
+			t.Fatal(err)
+		}
+		return obs.BuildReport("overlap", rt).StructureSignature()
+	}
+	sig1 := observe()
+	sig2 := observe()
+	if sig1 != sig2 {
+		t.Fatalf("signatures differ across runs:\n  %s\n  %s", sig1, sig2)
+	}
+	iS := strings.Index(sig1, "feature.structural")
+	iN := strings.Index(sig1, "feature.semantic")
+	iL := strings.Index(sig1, "feature.string")
+	if iS < 0 || iN < 0 || iL < 0 || !(iS < iN && iN < iL) {
+		t.Fatalf("feature spans missing or out of order in %q", sig1)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"ceaff/internal/baselines"
 	"ceaff/internal/bench"
@@ -45,6 +46,13 @@ type Options struct {
 	// FailFast aborts the whole run on the first persistently failing cell
 	// instead of recording it in Table.Failed and continuing.
 	FailFast bool
+	// Parallel bounds how many dataset columns of a table run concurrently:
+	// 0 or 1 runs columns serially (the default), larger values fan
+	// independent columns out over that many workers. Cells are
+	// independently seeded and column results land in keyed maps, so the
+	// rendered table is identical at any setting; only Progress-line
+	// interleaving varies.
+	Parallel int
 }
 
 // DefaultOptions runs the full-size analogues with default substrates.
@@ -115,7 +123,69 @@ func runCell(t *Table, o Options, row string, cols []string, fn func() error) er
 	}
 	reg.Counter("experiments.cell_failures").Add(int64(len(cols)))
 	for _, col := range cols {
-		t.Failed[cell{row, col}] = err
+		t.fail(row, col, err)
+	}
+	return nil
+}
+
+// forEachColumn runs fn once for every column, each nested under its own
+// pre-created "dataset:<col>" span. With opt.Parallel > 1 the columns run
+// concurrently on at most that many workers — spans are created serially up
+// front so the trace's child order (and obs.StructureSignature) never
+// depends on scheduling, and fn receives an Options whose Progress callback
+// is serialized. Errors are collected per column and the first one in
+// column order wins, so the outcome is independent of which column finished
+// first.
+func forEachColumn(opt Options, cols []string, fn func(o Options, col string) error) error {
+	ctxs := make([]context.Context, len(cols))
+	spans := make([]*obs.Span, len(cols))
+	for i, col := range cols {
+		ctxs[i], spans[i] = obs.StartSpan(opt.ctx(), "dataset:"+col)
+	}
+
+	if opt.Parallel <= 1 || len(cols) <= 1 {
+		var firstErr error
+		for i, col := range cols {
+			if firstErr == nil {
+				o := opt
+				o.Ctx = ctxs[i]
+				firstErr = fn(o, col)
+			}
+			spans[i].End()
+		}
+		return firstErr
+	}
+
+	if opt.Progress != nil {
+		var mu sync.Mutex
+		p := opt.Progress
+		opt.Progress = func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			p(format, args...)
+		}
+	}
+	sem := make(chan struct{}, opt.Parallel)
+	errs := make([]error, len(cols))
+	var wg sync.WaitGroup
+	for i, col := range cols {
+		i, col := i, col
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer spans[i].End()
+			o := opt
+			o.Ctx = ctxs[i]
+			errs[i] = fn(o, col)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -205,7 +275,9 @@ func Table2(opt Options) ([]Table2Row, error) {
 	return rows, nil
 }
 
-// Table is a measured-vs-paper accuracy grid.
+// Table is a measured-vs-paper accuracy grid. Rendering order comes from
+// the Rows/Cols slices, so tables print identically no matter in which
+// order (or how concurrently) their cells were filled.
 type Table struct {
 	Title string
 	Rows  []string
@@ -217,16 +289,38 @@ type Table struct {
 	// Failed records cells whose computation persistently failed and was
 	// isolated (rendered as "FAIL").
 	Failed map[cell]error
+
+	mu sync.Mutex // guards Measured and Failed while columns run in parallel
 }
 
 // Get returns the measured value of a cell.
 func (t *Table) Get(row, col string) (float64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	v, ok := t.Measured[cell{row, col}]
 	return v, ok
 }
 
 func (t *Table) set(row, col string, v float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.Measured[cell{row, col}] = v
+}
+
+func (t *Table) fail(row, col string, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Failed[cell{row, col}] = err
+}
+
+// FailedCell returns the recorded failure of a cell, if any. Iterating
+// Rows×Cols with it reports failures in table order — stable run to run,
+// unlike ranging over the Failed map.
+func (t *Table) FailedCell(row, col string) (error, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err, ok := t.Failed[cell{row, col}]
+	return err, ok
 }
 
 func newTable(title string, rows, cols []string, paper map[cell]float64) *Table {
@@ -291,20 +385,15 @@ func Table4(opt Options) (*Table, error) {
 // completes.
 func runAccuracyTable(t *Table, opt Options, skip func(row, col string) bool) error {
 	s := opt.settings()
-	for _, col := range t.Cols {
-		if err := runAccuracyColumn(t, opt, s, col, skip); err != nil {
-			return err
-		}
-	}
-	return nil
+	return forEachColumn(opt, t.Cols, func(o Options, col string) error {
+		return runAccuracyColumn(t, o, s, col, skip)
+	})
 }
 
-// runAccuracyColumn fills one dataset column of an accuracy table inside
-// its own "dataset:<name>" span, so per-column cost shows up in the trace.
+// runAccuracyColumn fills one dataset column of an accuracy table; opt.Ctx
+// carries the column's pre-created "dataset:<name>" span, so per-column
+// cost shows up in the trace.
 func runAccuracyColumn(t *Table, opt Options, s baselines.Settings, col string, skip func(row, col string) bool) error {
-	colCtx, colSpan := obs.StartSpan(opt.ctx(), "dataset:"+col)
-	defer colSpan.End()
-	opt.Ctx = colCtx
 	in, _, err := inputFor(col, opt)
 	if err != nil {
 		return err
@@ -451,41 +540,34 @@ func Table5(opt Options) (*Table, error) {
 	defer span.End()
 	opt.Ctx = ctx
 
-	for _, col := range t.Cols {
-		col := col
-		err := func() error {
-			colCtx, colSpan := obs.StartSpan(opt.ctx(), "dataset:"+col)
-			defer colSpan.End()
-			opt := opt // shadow: this column's cells nest under its span
-			opt.Ctx = colCtx
-			in, _, err := inputFor(col, opt)
-			if err != nil {
-				return err
-			}
-			fs, err := core.ComputeFeaturesContext(opt.ctx(), in, base.GCN)
-			if err != nil {
-				return failRows(t, opt, col, rows, err)
-			}
-			for _, c := range configs {
-				c := c
-				err := runCell(t, opt, c.Row, []string{col}, func() error {
-					res, err := core.DecideContext(opt.ctx(), fs, c.Cfg)
-					if err != nil {
-						return err
-					}
-					t.set(c.Row, col, res.Accuracy)
-					return nil
-				})
+	err := forEachColumn(opt, t.Cols, func(opt Options, col string) error {
+		in, _, err := inputFor(col, opt)
+		if err != nil {
+			return err
+		}
+		fs, err := core.ComputeFeaturesContext(opt.ctx(), in, base.GCN)
+		if err != nil {
+			return failRows(t, opt, col, rows, err)
+		}
+		for _, c := range configs {
+			c := c
+			err := runCell(t, opt, c.Row, []string{col}, func() error {
+				res, err := core.DecideContext(opt.ctx(), fs, c.Cfg)
 				if err != nil {
 					return err
 				}
-				opt.log("%s: %s done", col, c.Row)
+				t.set(c.Row, col, res.Accuracy)
+				return nil
+			})
+			if err != nil {
+				return err
 			}
-			return nil
-		}()
-		if err != nil {
-			return nil, err
+			opt.log("%s: %s done", col, c.Row)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -507,89 +589,82 @@ func Table6(opt Options) (*Table, error) {
 	opt.Ctx = ctx
 
 	s := opt.settings()
-	for _, ds := range datasets {
-		ds := ds
-		err := func() error {
-			dsCtx, dsSpan := obs.StartSpan(opt.ctx(), "dataset:"+ds)
-			defer dsSpan.End()
-			opt := opt // shadow: this dataset's cells nest under its span
-			opt.Ctx = dsCtx
-			rankCols := []string{ds + "/H1", ds + "/H10", ds + "/MRR"}
-			in, _, err := inputFor(ds, opt)
-			if err != nil {
-				return err
-			}
-			for _, row := range methods {
-				row := row
-				if row == RowCEAFF || row == RowCEAFFNoC {
-					continue
-				}
-				m := methodByName(s, row)
-				if m == nil {
-					return fmt.Errorf("experiments: unknown method row %q", row)
-				}
-				err := runCell(t, opt, row, rankCols, func() error {
-					sim, err := m.Align(in)
-					if err != nil {
-						return err
-					}
-					r := eval.Ranking(sim)
-					t.set(row, ds+"/H1", r.Hits1)
-					t.set(row, ds+"/H10", r.Hits10)
-					t.set(row, ds+"/MRR", r.MRR)
-					return nil
-				})
-				if err != nil {
-					return err
-				}
-				opt.log("%s: %s done", ds, row)
-			}
-
-			cfg := opt.ceaffConfig()
-			fs, err := core.ComputeFeaturesContext(opt.ctx(), in, cfg.GCN)
-			if err != nil {
-				ferr := failRows(t, opt, ds+"/H1", []string{RowCEAFF, RowCEAFFNoC}, err)
-				if ferr == nil {
-					ferr = failRows(t, opt, ds+"/H10", []string{RowCEAFFNoC}, err)
-				}
-				if ferr == nil {
-					ferr = failRows(t, opt, ds+"/MRR", []string{RowCEAFFNoC}, err)
-				}
-				return ferr
-			}
-			noC := cfg
-			noC.Decision = core.Independent
-			err = runCell(t, opt, RowCEAFFNoC, rankCols, func() error {
-				res, err := core.DecideContext(opt.ctx(), fs, noC)
-				if err != nil {
-					return err
-				}
-				t.set(RowCEAFFNoC, ds+"/H1", res.Ranking.Hits1)
-				t.set(RowCEAFFNoC, ds+"/H10", res.Ranking.Hits10)
-				t.set(RowCEAFFNoC, ds+"/MRR", res.Ranking.MRR)
-				return nil
-			})
-			if err != nil {
-				return err
-			}
-
-			err = runCell(t, opt, RowCEAFF, []string{ds + "/H1"}, func() error {
-				full, err := core.DecideContext(opt.ctx(), fs, cfg)
-				if err != nil {
-					return err
-				}
-				t.set(RowCEAFF, ds+"/H1", full.Accuracy)
-				return nil
-			})
-			if err != nil {
-				return err
-			}
-			opt.log("%s: CEAFF rows done", ds)
-			return nil
-		}()
+	err := forEachColumn(opt, datasets, func(opt Options, ds string) error {
+		rankCols := []string{ds + "/H1", ds + "/H10", ds + "/MRR"}
+		in, _, err := inputFor(ds, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		for _, row := range methods {
+			row := row
+			if row == RowCEAFF || row == RowCEAFFNoC {
+				continue
+			}
+			m := methodByName(s, row)
+			if m == nil {
+				return fmt.Errorf("experiments: unknown method row %q", row)
+			}
+			err := runCell(t, opt, row, rankCols, func() error {
+				sim, err := m.Align(in)
+				if err != nil {
+					return err
+				}
+				r := eval.Ranking(sim)
+				t.set(row, ds+"/H1", r.Hits1)
+				t.set(row, ds+"/H10", r.Hits10)
+				t.set(row, ds+"/MRR", r.MRR)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			opt.log("%s: %s done", ds, row)
+		}
+
+		cfg := opt.ceaffConfig()
+		fs, err := core.ComputeFeaturesContext(opt.ctx(), in, cfg.GCN)
+		if err != nil {
+			ferr := failRows(t, opt, ds+"/H1", []string{RowCEAFF, RowCEAFFNoC}, err)
+			if ferr == nil {
+				ferr = failRows(t, opt, ds+"/H10", []string{RowCEAFFNoC}, err)
+			}
+			if ferr == nil {
+				ferr = failRows(t, opt, ds+"/MRR", []string{RowCEAFFNoC}, err)
+			}
+			return ferr
+		}
+		noC := cfg
+		noC.Decision = core.Independent
+		err = runCell(t, opt, RowCEAFFNoC, rankCols, func() error {
+			res, err := core.DecideContext(opt.ctx(), fs, noC)
+			if err != nil {
+				return err
+			}
+			t.set(RowCEAFFNoC, ds+"/H1", res.Ranking.Hits1)
+			t.set(RowCEAFFNoC, ds+"/H10", res.Ranking.Hits10)
+			t.set(RowCEAFFNoC, ds+"/MRR", res.Ranking.MRR)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		err = runCell(t, opt, RowCEAFF, []string{ds + "/H1"}, func() error {
+			full, err := core.DecideContext(opt.ctx(), fs, cfg)
+			if err != nil {
+				return err
+			}
+			t.set(RowCEAFF, ds+"/H1", full.Accuracy)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		opt.log("%s: CEAFF rows done", ds)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -187,3 +187,38 @@ func TestPaperConstantsSpotCheck(t *testing.T) {
 		t.Fatal("GM-Align MRR should be absent")
 	}
 }
+
+// TestTable5ParallelMatchesSerial runs the same ablation grid serially and
+// with parallel columns and requires cell-for-cell identical tables: cells
+// are independently seeded, so column scheduling must never reach the
+// numbers.
+func TestTable5ParallelMatchesSerial(t *testing.T) {
+	serial, err := Table5(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := tinyOptions()
+	opt.Parallel = 3
+	par, err := Table5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Failed) != 0 || len(serial.Failed) != 0 {
+		t.Fatalf("unexpected failed cells: serial %d, parallel %d", len(serial.Failed), len(par.Failed))
+	}
+	for _, r := range serial.Rows {
+		for _, c := range serial.Cols {
+			sv, ok1 := serial.Get(r, c)
+			pv, ok2 := par.Get(r, c)
+			if !ok1 || !ok2 || sv != pv {
+				t.Fatalf("cell (%s, %s): serial %v (%v) vs parallel %v (%v)", r, c, sv, ok1, pv, ok2)
+			}
+		}
+	}
+	var sb, pb bytes.Buffer
+	serial.Render(&sb)
+	par.Render(&pb)
+	if sb.String() != pb.String() {
+		t.Fatal("rendered tables differ between serial and parallel runs")
+	}
+}

@@ -39,67 +39,60 @@ func TableE1(opt Options) (*Table, error) {
 	opt.Ctx = ctx
 
 	base := opt.ceaffConfig()
-	for _, col := range cols {
-		col := col
-		err := func() error {
-			colCtx, colSpan := obs.StartSpan(opt.ctx(), "dataset:"+col)
-			defer colSpan.End()
-			opt := opt // shadow: this column's work nests under its span
-			opt.Ctx = colCtx
-			in, d, err := inputFor(col, opt)
-			if err != nil {
-				return err
-			}
-			fs, err := core.ComputeFeaturesContext(opt.ctx(), in, base.GCN)
-			if err != nil {
-				return err
-			}
-			decide := func(row string, mut func(*core.Config)) error {
-				cfg := base
-				mut(&cfg)
-				res, err := core.DecideContext(opt.ctx(), fs, cfg)
-				if err != nil {
-					return err
-				}
-				t.set(row, col, res.Accuracy)
-				opt.log("%s: %s done", col, row)
-				return nil
-			}
-			steps := []struct {
-				row string
-				mut func(*core.Config)
-			}{
-				{RowExtCEAFF, func(c *core.Config) {}},
-				{RowExtCSLS, func(c *core.Config) { c.CSLSNeighbors = 10 }},
-				{RowExtSingle, func(c *core.Config) { c.SingleStageFusion = true }},
-				{RowExtHungarian, func(c *core.Config) { c.Decision = core.Assignment }},
-				{RowExtGreedy11, func(c *core.Config) { c.Decision = core.GreedyOneToOne }},
-				{RowExtTopK, func(c *core.Config) { c.PreferenceTopK = 50 }},
-			}
-			for _, s := range steps {
-				if err := decide(s.row, s.mut); err != nil {
-					return err
-				}
-			}
-
-			boot, err := core.RunIterative(in, base, core.DefaultIterativeOptions())
-			if err != nil {
-				return err
-			}
-			t.set(RowExtBootstrap, col, boot.Accuracy)
-			opt.log("%s: bootstrap done", col)
-
-			blocked, err := core.RunBlocked(in, base, standardBlocker(d))
-			if err != nil {
-				return err
-			}
-			t.set(RowExtBlocked, col, blocked.Accuracy)
-			opt.log("%s: blocked done", col)
-			return nil
-		}()
+	err := forEachColumn(opt, cols, func(opt Options, col string) error {
+		in, d, err := inputFor(col, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		fs, err := core.ComputeFeaturesContext(opt.ctx(), in, base.GCN)
+		if err != nil {
+			return err
+		}
+		decide := func(row string, mut func(*core.Config)) error {
+			cfg := base
+			mut(&cfg)
+			res, err := core.DecideContext(opt.ctx(), fs, cfg)
+			if err != nil {
+				return err
+			}
+			t.set(row, col, res.Accuracy)
+			opt.log("%s: %s done", col, row)
+			return nil
+		}
+		steps := []struct {
+			row string
+			mut func(*core.Config)
+		}{
+			{RowExtCEAFF, func(c *core.Config) {}},
+			{RowExtCSLS, func(c *core.Config) { c.CSLSNeighbors = 10 }},
+			{RowExtSingle, func(c *core.Config) { c.SingleStageFusion = true }},
+			{RowExtHungarian, func(c *core.Config) { c.Decision = core.Assignment }},
+			{RowExtGreedy11, func(c *core.Config) { c.Decision = core.GreedyOneToOne }},
+			{RowExtTopK, func(c *core.Config) { c.PreferenceTopK = 50 }},
+		}
+		for _, s := range steps {
+			if err := decide(s.row, s.mut); err != nil {
+				return err
+			}
+		}
+
+		boot, err := core.RunIterative(in, base, core.DefaultIterativeOptions())
+		if err != nil {
+			return err
+		}
+		t.set(RowExtBootstrap, col, boot.Accuracy)
+		opt.log("%s: bootstrap done", col)
+
+		blocked, err := core.RunBlocked(in, base, standardBlocker(d))
+		if err != nil {
+			return err
+		}
+		t.set(RowExtBlocked, col, blocked.Accuracy)
+		opt.log("%s: blocked done", col)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -132,6 +132,14 @@ type Config struct {
 	// interrupted. The checkpoint must be shape-compatible with the KGs
 	// and this Config.
 	Resume *Checkpoint
+
+	// ForceSerial routes training through the retained pre-parallel
+	// reference paths: serial SpMM (CSR.NaiveMulDense/NaiveTMulDense) and
+	// the unsharded loss accumulation. The parallel trainer is bit-identical
+	// to this path — tests and the TrainEpochSerial* benchmarks use the flag
+	// to pin that equivalence and to measure the parallel speedup; it is
+	// never the right setting for production runs.
+	ForceSerial bool
 }
 
 // DefaultConfig mirrors the paper's settings (§VII-A) adapted for CPU
@@ -440,8 +448,8 @@ func (t *trainer) run(ctx context.Context) (*Model, error) {
 		epochSpan := trainSpan.StartChild("epoch")
 		epochStart := epochHist.Time()
 		epoch := t.epoch
-		forward(t.ga, t.weights)
-		forward(t.gb, t.weights)
+		forwardMode(t.ga, t.weights, cfg.ForceSerial)
+		forwardMode(t.gb, t.weights, cfg.ForceSerial)
 
 		if cfg.HardNegativeEvery > 0 && epoch%cfg.HardNegativeEvery == 0 && epoch > 0 {
 			t.pools = mineNegatives(t.ga.z, t.gb.z, t.seeds, cfg.HardNegativePool)
@@ -452,13 +460,17 @@ func (t *trainer) run(ctx context.Context) (*Model, error) {
 		// re-allocating two n×dim matrices every epoch.
 		gz1 := mat.GetDense(t.ga.n, cfg.Dim)
 		gz2 := mat.GetDense(t.gb.n, cfg.Dim)
-		loss := accumulateLoss(t.ga.z, t.gb.z, t.seeds, cfg, t.negSrc, t.pools, gz1, gz2)
+		lossFn := accumulateLoss
+		if cfg.ForceSerial {
+			lossFn = accumulateLossSerial
+		}
+		loss := lossFn(t.ga.z, t.gb.z, t.seeds, cfg, t.negSrc, t.pools, gz1, gz2)
 		if robust.Fire(FaultLoss) != nil {
 			loss = math.NaN() // injected numeric fault: corrupt the epoch loss
 		}
 
-		gwA, gx1 := backward(t.ga, t.weights, gz1)
-		gwB, gx2 := backward(t.gb, t.weights, gz2)
+		gwA, gx1 := backwardMode(t.ga, t.weights, gz1, cfg.ForceSerial)
+		gwB, gx2 := backwardMode(t.gb, t.weights, gz2, cfg.ForceSerial)
 		mat.PutDense(gz1) // backward never returns gz as a gradient
 		mat.PutDense(gz2)
 		grads := make([]*mat.Dense, t.layers)
@@ -499,8 +511,8 @@ func (t *trainer) run(ctx context.Context) (*Model, error) {
 		}
 	}
 
-	forward(t.ga, t.weights)
-	forward(t.gb, t.weights)
+	forwardMode(t.ga, t.weights, cfg.ForceSerial)
+	forwardMode(t.gb, t.weights, cfg.ForceSerial)
 	return &Model{Z1: t.ga.z, Z2: t.gb.z}, nil
 }
 
@@ -593,13 +605,22 @@ func glorot(rows, cols int, s *rng.Source) *mat.Dense {
 	return w
 }
 
-func forward(g *graph, weights []*mat.Dense) {
+func forward(g *graph, weights []*mat.Dense) { forwardMode(g, weights, false) }
+
+// forwardMode is forward with an explicit kernel mode: serial routes the
+// propagation step through the retained serial SpMM reference, which the
+// parallel kernel reproduces bit for bit (Config.ForceSerial).
+func forwardMode(g *graph, weights []*mat.Dense, serial bool) {
 	layers := len(weights)
 	g.q = make([]*mat.Dense, layers)
 	g.pre = make([]*mat.Dense, layers)
 	h := g.x
 	for l, w := range weights {
-		g.q[l] = g.adj.MulDense(h)
+		if serial {
+			g.q[l] = g.adj.NaiveMulDense(h)
+		} else {
+			g.q[l] = g.adj.MulDense(h)
+		}
 		g.pre[l] = mat.Mul(g.q[l], w)
 		if l < layers-1 {
 			h = g.pre[l].Clone()
@@ -641,60 +662,18 @@ func mineNegatives(z1, z2 *mat.Dense, seeds []align.Pair, poolSize int) *negPool
 				p.pool1[i] = append(p.pool1[i], c)
 			}
 		}
-	}
-	return p
-}
-
-// accumulateLoss computes the margin ranking loss over seeds plus sampled
-// negatives and scatters ∂L/∂Z into gz1/gz2. Returns the summed loss.
-// With pools non-nil, corruptions are drawn from the mined hard negatives;
-// otherwise uniformly.
-func accumulateLoss(z1, z2 *mat.Dense, seeds []align.Pair, cfg Config, s *rng.Source, pools *negPools, gz1, gz2 *mat.Dense) float64 {
-	var total float64
-	dim := z1.Cols
-	for i, p := range seeds {
-		pu, pv := z1.Row(int(p.U)), z2.Row(int(p.V))
-		posDist := l1(pu, pv)
-		for k := 0; k < cfg.Negatives; k++ {
-			// Corrupt one side, alternating sides.
-			nu, nv := int(p.U), int(p.V)
-			if k%2 == 0 {
-				if pools != nil && len(pools.pool1[i]) > 0 {
-					nu = pools.pool1[i][s.Intn(len(pools.pool1[i]))]
-				} else {
-					nu = s.Intn(z1.Rows)
-				}
-			} else {
-				if pools != nil && len(pools.pool2[i]) > 0 {
-					nv = pools.pool2[i][s.Intn(len(pools.pool2[i]))]
-				} else {
-					nv = s.Intn(z2.Rows)
-				}
-			}
-			if nu == int(p.U) && nv == int(p.V) {
-				continue // degenerate corruption
-			}
-			negDist := l1(z1.Row(nu), z2.Row(nv))
-			hinge := posDist - negDist + cfg.Margin
-			if hinge <= 0 {
-				continue
-			}
-			total += hinge
-			// Subgradients: d|a-b|/da = sign(a-b).
-			gu, gv := gz1.Row(int(p.U)), gz2.Row(int(p.V))
-			gnu, gnv := gz1.Row(nu), gz2.Row(nv)
-			nuRow, nvRow := z1.Row(nu), z2.Row(nv)
-			for d := 0; d < dim; d++ {
-				sp := sign(pu[d] - pv[d])
-				gu[d] += sp
-				gv[d] -= sp
-				sn := sign(nuRow[d] - nvRow[d])
-				gnu[d] -= sn
-				gnv[d] += sn
-			}
+		// When the true counterpart is not in the top-(k+1) list, nothing was
+		// dropped and the pool holds poolSize+1 entries — trim to the
+		// advertised size so every seed draws from exactly poolSize hardest
+		// negatives.
+		if len(p.pool2[i]) > poolSize {
+			p.pool2[i] = p.pool2[i][:poolSize]
+		}
+		if len(p.pool1[i]) > poolSize {
+			p.pool1[i] = p.pool1[i][:poolSize]
 		}
 	}
-	return total
+	return p
 }
 
 func l1(a, b []float64) float64 {
@@ -718,6 +697,12 @@ func sign(x float64) float64 {
 // backward propagates gz = ∂L/∂Z through one GCN, returning per-layer
 // weight gradients and this KG's input-feature gradient.
 func backward(g *graph, weights []*mat.Dense, gz *mat.Dense) (gw []*mat.Dense, gx *mat.Dense) {
+	return backwardMode(g, weights, gz, false)
+}
+
+// backwardMode is backward with an explicit kernel mode: serial routes the
+// Âᵀ·G step through the retained serial SpMM reference (Config.ForceSerial).
+func backwardMode(g *graph, weights []*mat.Dense, gz *mat.Dense, serial bool) (gw []*mat.Dense, gx *mat.Dense) {
 	layers := len(weights)
 	gw = make([]*mat.Dense, layers)
 	// ghNext is ∂L/∂h_{l+1}, where h_{l+1} is layer l's (post-activation)
@@ -743,7 +728,11 @@ func backward(g *graph, weights []*mat.Dense, gz *mat.Dense) (gw []*mat.Dense, g
 			mat.PutDense(dpre)
 		}
 		// q[l] = Â·h_l  =>  ∂h_l = Âᵀ·gq.
-		ghNext = g.adj.TMulDense(gq)
+		if serial {
+			ghNext = g.adj.NaiveTMulDense(gq)
+		} else {
+			ghNext = g.adj.TMulDense(gq)
+		}
 	}
 	gx = ghNext
 	return gw, gx

@@ -1,0 +1,230 @@
+// Sharded loss accumulation. accumulateLoss splits into a cheap serial
+// phase — drawing corruption indices from the sequential RNG, byte-identical
+// to the historical sample stream — and an expensive parallel phase: L1
+// distances plus subgradient scatter, fanned out over a fixed number of
+// logical shards. The shard count is a constant (NOT derived from
+// GOMAXPROCS or core count), so the partition — and therefore every output
+// bit — is machine-independent; only how many shards run concurrently
+// varies with the hardware.
+//
+// Determinism contract (pinned by TestShardedLossBitIdentity and the
+// GOMAXPROCS determinism suite):
+//   - Gradients: each shard owns a contiguous seed range and scatters into
+//     its own pooled gz buffer; buffers merge into the caller's gz1/gz2 in
+//     shard order. (The hinge subgradients are sums of ±1, which float64
+//     adds exactly, but the contract does not rely on that — the merge
+//     order is fixed regardless.)
+//   - Loss: each sample's hinge lands in a per-sample slot; the total is
+//     one serial sum over slots in sample order, reproducing the serial
+//     reference's accumulation chain bit for bit (skipped samples
+//     contribute +0.0, which is exact on the non-negative partials).
+package gcn
+
+import (
+	"ceaff/internal/align"
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+// lossShards is the fixed logical shard count of the parallel loss phase.
+// Eight shards saturate the core counts this pipeline targets while keeping
+// the per-shard pooled gradient buffers (2·shards full embedding matrices
+// at peak) affordable.
+const lossShards = 8
+
+// shardRange returns the half-open seed range of shard sh under the fixed
+// contiguous partition of n seeds into lossShards shards.
+func shardRange(n, sh int) (lo, hi int) {
+	chunk := (n + lossShards - 1) / lossShards
+	lo = sh * chunk
+	hi = lo + chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// drawCorruptions consumes the negative-sampling stream exactly as the
+// serial reference does — same branches, same Intn calls, same order — and
+// records the drawn corruption (nu[idx], nv[idx]) for sample idx =
+// i*negatives + k. Keeping this phase serial is what keeps checkpointed RNG
+// state and recovery re-splits byte-identical to the pre-parallel trainer.
+func drawCorruptions(z1Rows, z2Rows int, seeds []align.Pair, negatives int, s *rng.Source, pools *negPools, nu, nv []int) {
+	idx := 0
+	for i, p := range seeds {
+		for k := 0; k < negatives; k++ {
+			u, v := int(p.U), int(p.V)
+			if k%2 == 0 {
+				if pools != nil && len(pools.pool1[i]) > 0 {
+					u = pools.pool1[i][s.Intn(len(pools.pool1[i]))]
+				} else {
+					u = s.Intn(z1Rows)
+				}
+			} else {
+				if pools != nil && len(pools.pool2[i]) > 0 {
+					v = pools.pool2[i][s.Intn(len(pools.pool2[i]))]
+				} else {
+					v = s.Intn(z2Rows)
+				}
+			}
+			nu[idx], nv[idx] = u, v
+			idx++
+		}
+	}
+}
+
+// accumulateLoss computes the margin ranking loss over seeds plus sampled
+// negatives and scatters ∂L/∂Z into gz1/gz2, returning the summed loss.
+// With pools non-nil, corruptions are drawn from the mined hard negatives;
+// otherwise uniformly. Bit-identical to accumulateLossSerial (gradients and
+// loss) at any GOMAXPROCS; see the package comment at the top of this file
+// for how.
+func accumulateLoss(z1, z2 *mat.Dense, seeds []align.Pair, cfg Config, s *rng.Source, pools *negPools, gz1, gz2 *mat.Dense) float64 {
+	nSamples := len(seeds) * cfg.Negatives
+	nu := mat.GetScratchInts(nSamples)
+	nv := mat.GetScratchInts(nSamples)
+	defer mat.PutScratchInts(nu)
+	defer mat.PutScratchInts(nv)
+	drawCorruptions(z1.Rows, z2.Rows, seeds, cfg.Negatives, s, pools, nu, nv)
+
+	hinges := mat.GetScratch(nSamples) // zeroed: skipped samples stay +0.0
+	defer mat.PutScratch(hinges)
+
+	var part1, part2 [lossShards]*mat.Dense
+	mat.ParallelShards(lossShards, func(sh int) {
+		lo, hi := shardRange(len(seeds), sh)
+		if lo >= hi {
+			return // empty trailing shard: nothing to merge
+		}
+		g1 := mat.GetDense(z1.Rows, z1.Cols)
+		g2 := mat.GetDense(z2.Rows, z2.Cols)
+		lossShard(z1, z2, seeds, cfg, nu, nv, hinges, g1, g2, lo, hi)
+		part1[sh], part2[sh] = g1, g2
+	})
+
+	mergeShardGrads(gz1, part1[:])
+	mergeShardGrads(gz2, part2[:])
+	for sh := 0; sh < lossShards; sh++ {
+		mat.PutDense(part1[sh])
+		mat.PutDense(part2[sh])
+	}
+
+	// One ascending chain over per-sample slots == the serial reference's
+	// `total += hinge` order (x + 0.0 is exact for the non-negative x here).
+	var total float64
+	for _, h := range hinges {
+		total += h
+	}
+	return total
+}
+
+// lossShard processes seeds [lo, hi): L1 distances, hinge evaluation, and
+// subgradient scatter into this shard's private g1/g2 buffers.
+func lossShard(z1, z2 *mat.Dense, seeds []align.Pair, cfg Config, nu, nv []int, hinges []float64, g1, g2 *mat.Dense, lo, hi int) {
+	dim := z1.Cols
+	for i := lo; i < hi; i++ {
+		p := seeds[i]
+		pu, pv := z1.Row(int(p.U)), z2.Row(int(p.V))
+		posDist := l1(pu, pv)
+		for k := 0; k < cfg.Negatives; k++ {
+			idx := i*cfg.Negatives + k
+			cu, cv := nu[idx], nv[idx]
+			if cu == int(p.U) && cv == int(p.V) {
+				continue // degenerate corruption
+			}
+			cuRow, cvRow := z1.Row(cu), z2.Row(cv)
+			hinge := posDist - l1(cuRow, cvRow) + cfg.Margin
+			if hinge <= 0 {
+				continue
+			}
+			hinges[idx] = hinge
+			// Subgradients: d|a-b|/da = sign(a-b).
+			gu, gv := g1.Row(int(p.U)), g2.Row(int(p.V))
+			gnu, gnv := g1.Row(cu), g2.Row(cv)
+			for d := 0; d < dim; d++ {
+				sp := sign(pu[d] - pv[d])
+				gu[d] += sp
+				gv[d] -= sp
+				sn := sign(cuRow[d] - cvRow[d])
+				gnu[d] -= sn
+				gnv[d] += sn
+			}
+		}
+	}
+}
+
+// mergeShardGrads adds the non-nil shard buffers into dst in shard order,
+// parallelized over disjoint row ranges (the merge itself is a hot path: at
+// DBP100K scale it touches 2·shards full embedding matrices per epoch).
+// Per-element accumulation order is the fixed shard order, independent of
+// how row ranges are scheduled.
+func mergeShardGrads(dst *mat.Dense, parts []*mat.Dense) {
+	mat.ParallelRows(dst.Rows, func(lo, hi int) {
+		for _, p := range parts {
+			if p == nil {
+				continue
+			}
+			for r := lo; r < hi; r++ {
+				dr, pr := dst.Row(r), p.Row(r)
+				for j, v := range pr {
+					dr[j] += v
+				}
+			}
+		}
+	})
+}
+
+// accumulateLossSerial is the retained pre-parallel reference: one
+// goroutine, drawing each corruption immediately before using it. The
+// sharded accumulateLoss must reproduce its gradients and loss bit for bit
+// (pinned by TestShardedLossBitIdentity and the serial-path training tests).
+func accumulateLossSerial(z1, z2 *mat.Dense, seeds []align.Pair, cfg Config, s *rng.Source, pools *negPools, gz1, gz2 *mat.Dense) float64 {
+	var total float64
+	dim := z1.Cols
+	for i, p := range seeds {
+		pu, pv := z1.Row(int(p.U)), z2.Row(int(p.V))
+		posDist := l1(pu, pv)
+		for k := 0; k < cfg.Negatives; k++ {
+			// Corrupt one side, alternating sides.
+			nu, nv := int(p.U), int(p.V)
+			if k%2 == 0 {
+				if pools != nil && len(pools.pool1[i]) > 0 {
+					nu = pools.pool1[i][s.Intn(len(pools.pool1[i]))]
+				} else {
+					nu = s.Intn(z1.Rows)
+				}
+			} else {
+				if pools != nil && len(pools.pool2[i]) > 0 {
+					nv = pools.pool2[i][s.Intn(len(pools.pool2[i]))]
+				} else {
+					nv = s.Intn(z2.Rows)
+				}
+			}
+			if nu == int(p.U) && nv == int(p.V) {
+				continue // degenerate corruption
+			}
+			negDist := l1(z1.Row(nu), z2.Row(nv))
+			hinge := posDist - negDist + cfg.Margin
+			if hinge <= 0 {
+				continue
+			}
+			total += hinge
+			// Subgradients: d|a-b|/da = sign(a-b).
+			gu, gv := gz1.Row(int(p.U)), gz2.Row(int(p.V))
+			gnu, gnv := gz1.Row(nu), gz2.Row(nv)
+			nuRow, nvRow := z1.Row(nu), z2.Row(nv)
+			for d := 0; d < dim; d++ {
+				sp := sign(pu[d] - pv[d])
+				gu[d] += sp
+				gv[d] -= sp
+				sn := sign(nuRow[d] - nvRow[d])
+				gnu[d] -= sn
+				gnv[d] += sn
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,232 @@
+package gcn
+
+import (
+	"math"
+	"testing"
+
+	"ceaff/internal/align"
+	"ceaff/internal/kg"
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+func randomEmb(s *rng.Source, rows, cols int) *mat.Dense {
+	d := mat.NewDense(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = s.Norm()
+	}
+	return d
+}
+
+func sameBits(a, b *mat.Dense) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardRangePartition pins the fixed shard partition: the ranges are
+// contiguous, disjoint, cover [0, n) exactly, and depend on nothing but n.
+func TestShardRangePartition(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 63, 64, 100, 1021} {
+		next := 0
+		for sh := 0; sh < lossShards; sh++ {
+			lo, hi := shardRange(n, sh)
+			if lo != next || hi < lo || hi > n {
+				t.Fatalf("n=%d shard %d: range [%d,%d) after %d", n, sh, lo, hi, next)
+			}
+			next = hi
+		}
+		if next != n {
+			t.Fatalf("n=%d: shards cover %d", n, next)
+		}
+	}
+}
+
+// TestShardedLossBitIdentity is the pin for the sharded accumulator's
+// determinism contract: against the retained serial reference it must
+// produce the same loss bits, the same gradient bits, and the same final
+// RNG state (the corruption stream is consumed identically) — with and
+// without hard-negative pools.
+func TestShardedLossBitIdentity(t *testing.T) {
+	s := rng.New(71)
+	const n1, n2, dim = 90, 80, 6
+	z1 := randomEmb(s, n1, dim)
+	z2 := randomEmb(s, n2, dim)
+	var seeds []align.Pair
+	for i := 0; i < 25; i++ {
+		seeds = append(seeds, align.Pair{U: kg.EntityID(i * 3), V: kg.EntityID(i*3 + 1)})
+	}
+	cfg := DefaultConfig()
+	cfg.Negatives = 5
+	cfg.Margin = 3
+
+	pools := mineNegatives(z1, z2, seeds, 7)
+	for _, p := range []*negPools{nil, pools} {
+		sa := rng.New(1234)
+		sb := rng.New(1234)
+		ga1, ga2 := mat.NewDense(n1, dim), mat.NewDense(n2, dim)
+		gb1, gb2 := mat.NewDense(n1, dim), mat.NewDense(n2, dim)
+		lossA := accumulateLoss(z1, z2, seeds, cfg, sa, p, ga1, ga2)
+		lossB := accumulateLossSerial(z1, z2, seeds, cfg, sb, p, gb1, gb2)
+		if math.Float64bits(lossA) != math.Float64bits(lossB) {
+			t.Fatalf("pools=%v: sharded loss %v != serial loss %v", p != nil, lossA, lossB)
+		}
+		if !sameBits(ga1, gb1) || !sameBits(ga2, gb2) {
+			t.Fatalf("pools=%v: sharded gradients differ from serial reference", p != nil)
+		}
+		if sa.State() != sb.State() {
+			t.Fatalf("pools=%v: corruption streams diverged", p != nil)
+		}
+	}
+}
+
+// TestShardedLossAccumulates verifies the sharded accumulator adds into
+// non-zero gz buffers instead of overwriting them, like the serial
+// reference does (run() hands it pooled, zeroed buffers, but the contract
+// is accumulation).
+func TestShardedLossAccumulates(t *testing.T) {
+	s := rng.New(5)
+	z1 := randomEmb(s, 20, 4)
+	z2 := randomEmb(s, 20, 4)
+	seeds := []align.Pair{{U: 0, V: 0}, {U: 5, V: 5}}
+	cfg := DefaultConfig()
+	cfg.Negatives = 4
+
+	gz1 := mat.NewDense(20, 4)
+	gz2 := mat.NewDense(20, 4)
+	for i := range gz1.Data {
+		gz1.Data[i] = 1
+	}
+	base := gz1.Clone()
+	accumulateLoss(z1, z2, seeds, cfg, rng.New(9), nil, gz1, gz2)
+
+	ref1 := mat.NewDense(20, 4)
+	ref2 := mat.NewDense(20, 4)
+	accumulateLoss(z1, z2, seeds, cfg, rng.New(9), nil, ref1, ref2)
+	for i := range gz1.Data {
+		if gz1.Data[i] != base.Data[i]+ref1.Data[i] {
+			t.Fatal("sharded loss overwrote instead of accumulating")
+		}
+	}
+}
+
+// TestTrainSerialParallelBitIdentity trains the same configuration through
+// the parallel path and the retained serial path (Config.ForceSerial) and
+// requires identical embeddings and identical checkpoints — the PR's
+// headline guarantee that parallelism never reaches the output bits.
+func TestTrainSerialParallelBitIdentity(t *testing.T) {
+	g1 := ringKG("g1", 24, [][2]int{{0, 11}, {3, 17}})
+	g2 := ringKG("g2", 24, [][2]int{{0, 11}, {3, 17}})
+	var seeds []align.Pair
+	for i := 0; i < 12; i++ {
+		seeds = append(seeds, align.Pair{U: kg.EntityID(i), V: kg.EntityID(i)})
+	}
+	run := func(serial bool) (*Model, []*Checkpoint) {
+		cfg := DefaultConfig()
+		cfg.Dim = 8
+		cfg.Epochs = 12
+		cfg.HardNegativeEvery = 4
+		cfg.HardNegativePool = 5
+		cfg.CheckpointEvery = 3
+		cfg.ForceSerial = serial
+		var cks []*Checkpoint
+		cfg.OnCheckpoint = func(ck *Checkpoint) { cks = append(cks, ck) }
+		m, err := Train(g1, g2, seeds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, cks
+	}
+	mp, ckp := run(false)
+	ms, cks := run(true)
+	if !sameBits(mp.Z1, ms.Z1) || !sameBits(mp.Z2, ms.Z2) {
+		t.Fatal("parallel embeddings differ from serial reference")
+	}
+	if len(ckp) != len(cks) || len(ckp) == 0 {
+		t.Fatalf("checkpoint counts differ: %d vs %d", len(ckp), len(cks))
+	}
+	for i := range ckp {
+		if ckp[i].Epoch != cks[i].Epoch || ckp[i].NegState != cks[i].NegState {
+			t.Fatalf("checkpoint %d metadata differs", i)
+		}
+		if !sameBits(ckp[i].X1, cks[i].X1) || !sameBits(ckp[i].X2, cks[i].X2) {
+			t.Fatalf("checkpoint %d features differ", i)
+		}
+		for l := range ckp[i].Weights {
+			if !sameBits(ckp[i].Weights[l], cks[i].Weights[l]) {
+				t.Fatalf("checkpoint %d weight %d differs", i, l)
+			}
+		}
+	}
+}
+
+// TestTrainReproducibility20Runs trains the sharded trainer twenty times
+// and requires bit-identical embeddings every run — the reproducibility pin
+// the ISSUE asks for, catching any scheduling-dependent accumulation that a
+// single A/B comparison might miss.
+func TestTrainReproducibility20Runs(t *testing.T) {
+	g1 := ringKG("g1", 14, [][2]int{{0, 5}})
+	g2 := ringKG("g2", 14, [][2]int{{0, 5}})
+	var seeds []align.Pair
+	for i := 0; i < 7; i++ {
+		seeds = append(seeds, align.Pair{U: kg.EntityID(i), V: kg.EntityID(i)})
+	}
+	cfg := DefaultConfig()
+	cfg.Dim = 6
+	cfg.Epochs = 4
+	cfg.HardNegativeEvery = 2
+	cfg.HardNegativePool = 4
+
+	ref, err := Train(g1, g2, seeds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 1; run < 20; run++ {
+		m, err := Train(g1, g2, seeds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameBits(ref.Z1, m.Z1) || !sameBits(ref.Z2, m.Z2) {
+			t.Fatalf("run %d produced different embedding bits", run)
+		}
+	}
+}
+
+// TestMineNegativesPoolSize pins the off-by-one fix: every mined pool holds
+// exactly poolSize entries whether or not the true counterpart appeared in
+// the top-(poolSize+1) list it was filtered from.
+func TestMineNegativesPoolSize(t *testing.T) {
+	s := rng.New(13)
+	const n, dim, poolSize = 40, 5, 6
+	z1 := randomEmb(s, n, dim)
+	z2 := randomEmb(s, n, dim)
+	var seeds []align.Pair
+	for i := 0; i < 15; i++ {
+		seeds = append(seeds, align.Pair{U: kg.EntityID(i), V: kg.EntityID((i + 20) % n)})
+	}
+	p := mineNegatives(z1, z2, seeds, poolSize)
+	for i := range seeds {
+		if got := len(p.pool1[i]); got != poolSize {
+			t.Fatalf("pool1[%d] has %d entries, want %d", i, got, poolSize)
+		}
+		if got := len(p.pool2[i]); got != poolSize {
+			t.Fatalf("pool2[%d] has %d entries, want %d", i, got, poolSize)
+		}
+		for _, c := range p.pool1[i] {
+			if c == int(seeds[i].U) {
+				t.Fatalf("pool1[%d] contains the true counterpart", i)
+			}
+		}
+		for _, c := range p.pool2[i] {
+			if c == int(seeds[i].V) {
+				t.Fatalf("pool2[%d] contains the true counterpart", i)
+			}
+		}
+	}
+}

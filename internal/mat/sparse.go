@@ -1,6 +1,9 @@
 package mat
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // CSR is a compressed-sparse-row matrix. It is the storage for the GCN's
 // normalized adjacency Â, which on a KG with n entities and |T| triples has
@@ -10,6 +13,15 @@ type CSR struct {
 	RowPtr     []int     // len Rows+1
 	ColIdx     []int     // len nnz
 	Val        []float64 // len nnz
+
+	// Transposed view (CSC of the same matrix), built lazily by the first
+	// TMulDense call and cached: the GCN backward pass multiplies by Âᵀ
+	// every epoch over the same adjacency, so the one-time O(nnz) build
+	// amortizes immediately. Guarded by tOnce for concurrent first use.
+	tOnce   sync.Once
+	tColPtr []int     // len Cols+1
+	tRowIdx []int     // len nnz, ascending within each column
+	tVal    []float64 // len nnz
 }
 
 // COO is a coordinate-format triplet used while assembling a sparse matrix.
@@ -73,8 +85,13 @@ func insertionSortPair(idx []int, val []float64) {
 // NNZ returns the number of stored non-zeros.
 func (s *CSR) NNZ() int { return len(s.Val) }
 
-// MulDense returns s·d for dense d, parallelized across sparse rows. This is
-// the GCN propagation step Â·H.
+// MulDense returns s·d for dense d, parallelized across sparse rows on the
+// persistent worker pool. This is the GCN propagation step Â·H.
+//
+// Determinism: each output row is written by exactly one row block, and its
+// accumulation walks the row's non-zeros in ascending column order — the
+// same per-element chain as NaiveMulDense, so the result is bit-identical
+// to the serial reference at any worker count.
 func (s *CSR) MulDense(d *Dense) *Dense {
 	if s.Cols != d.Rows {
 		panic(fmt.Sprintf("mat: CSR mul dimension mismatch %dx%d · %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
@@ -82,11 +99,82 @@ func (s *CSR) MulDense(d *Dense) *Dense {
 	defer kernelDone("csr_mul", kernelStart())
 	out := NewDense(s.Rows, d.Cols)
 	parallelRows(s.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			or := out.Row(i)
-			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
-				v := s.Val[p]
-				dr := d.Row(s.ColIdx[p])
+		mulDenseRows(s, d, out, lo, hi)
+	})
+	return out
+}
+
+// mulDenseRows fills output rows [lo, hi) of s·d.
+func mulDenseRows(s *CSR, d, out *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		or := out.Row(i)
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			v := s.Val[p]
+			dr := d.Row(s.ColIdx[p])
+			for j, dv := range dr {
+				or[j] += v * dv
+			}
+		}
+	}
+}
+
+// transpose builds the cached CSC view: per output column of s, the rows
+// holding a non-zero in that column in ascending row order. It is the
+// partition that makes TMulDense embarrassingly parallel without changing a
+// single accumulation chain.
+func (s *CSR) transpose() {
+	nnz := len(s.Val)
+	colPtr := make([]int, s.Cols+1)
+	for _, c := range s.ColIdx {
+		colPtr[c+1]++
+	}
+	for c := 0; c < s.Cols; c++ {
+		colPtr[c+1] += colPtr[c]
+	}
+	rowIdx := make([]int, nnz)
+	val := make([]float64, nnz)
+	next := make([]int, s.Cols)
+	copy(next, colPtr[:s.Cols])
+	// Walking rows ascending fills each column's entries in ascending row
+	// order — exactly the order the serial scatter visits them.
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			c := s.ColIdx[p]
+			q := next[c]
+			rowIdx[q] = i
+			val[q] = s.Val[p]
+			next[c]++
+		}
+	}
+	s.tColPtr, s.tRowIdx, s.tVal = colPtr, rowIdx, val
+}
+
+// TMulDense returns sᵀ·d. The GCN backward pass needs Âᵀ·G; since our Â is
+// symmetric this equals MulDense, but the general form keeps the kernel
+// honest for non-symmetric propagation matrices (e.g. functionality-weighted
+// adjacency).
+//
+// The serial reference (NaiveTMulDense) scatters row i's contributions into
+// output rows colIdx[p] for i ascending. Parallelizing that scatter directly
+// would race on shared output rows, so this kernel instead gathers through a
+// lazily cached transpose index: output row c is one sequential sum over the
+// rows holding a non-zero in column c, in ascending row order — the exact
+// accumulation chain the serial scatter produces for that element. Output
+// rows are disjoint across workers, so the result is bit-identical to the
+// serial reference at any worker count, with no merge step.
+func (s *CSR) TMulDense(d *Dense) *Dense {
+	if s.Rows != d.Rows {
+		panic(fmt.Sprintf("mat: CSR tmul dimension mismatch (%dx%d)ᵀ · %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
+	}
+	defer kernelDone("csr_tmul", kernelStart())
+	s.tOnce.Do(s.transpose)
+	out := NewDense(s.Cols, d.Cols)
+	parallelRows(s.Cols, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			or := out.Row(c)
+			for q := s.tColPtr[c]; q < s.tColPtr[c+1]; q++ {
+				v := s.tVal[q]
+				dr := d.Row(s.tRowIdx[q])
 				for j, dv := range dr {
 					or[j] += v * dv
 				}
@@ -96,18 +184,27 @@ func (s *CSR) MulDense(d *Dense) *Dense {
 	return out
 }
 
-// TMulDense returns sᵀ·d. The GCN backward pass needs Âᵀ·G; since our Â is
-// symmetric this equals MulDense, but the general form keeps the kernel
-// honest for non-symmetric propagation matrices (e.g. functionality-weighted
-// adjacency).
-func (s *CSR) TMulDense(d *Dense) *Dense {
+// NaiveMulDense is the retained serial reference for MulDense: a plain
+// single-threaded row walk. The SpMM cross-check suite and the
+// KernelSpMM*Naive benchmarks compare the parallel kernels against it for
+// bit equality.
+func (s *CSR) NaiveMulDense(d *Dense) *Dense {
+	if s.Cols != d.Rows {
+		panic(fmt.Sprintf("mat: CSR mul dimension mismatch %dx%d · %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
+	}
+	out := NewDense(s.Rows, d.Cols)
+	mulDenseRows(s, d, out, 0, s.Rows)
+	return out
+}
+
+// NaiveTMulDense is the retained serial reference for TMulDense: the
+// sequential scatter over sparse rows that the pre-parallel implementation
+// used. TMulDense must agree with it bit for bit.
+func (s *CSR) NaiveTMulDense(d *Dense) *Dense {
 	if s.Rows != d.Rows {
 		panic(fmt.Sprintf("mat: CSR tmul dimension mismatch (%dx%d)ᵀ · %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
 	}
-	defer kernelDone("csr_tmul", kernelStart())
 	out := NewDense(s.Cols, d.Cols)
-	// Sequential over sparse rows: scattering into shared output rows from
-	// multiple goroutines would race.
 	for i := 0; i < s.Rows; i++ {
 		dr := d.Row(i)
 		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {

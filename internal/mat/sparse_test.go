@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -113,5 +114,80 @@ func TestCSREmpty(t *testing.T) {
 	out := sp.MulDense(NewDense(3, 2))
 	if out.FrobeniusNorm() != 0 {
 		t.Fatal("empty CSR multiply non-zero")
+	}
+}
+
+// bitsEqual reports exact bit equality of two float slices — the contract
+// the parallel SpMM kernels promise against their serial references.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSpMMBitIdentity cross-checks the parallel MulDense/TMulDense kernels
+// against the retained serial references (NaiveMulDense/NaiveTMulDense) for
+// bit-for-bit equality across ~50 randomized shapes, plus the degenerate
+// cases that trip partitioning logic: 0×n and n×0 matrices, single
+// rows/columns, and matrices whose rows are all empty.
+func TestSpMMBitIdentity(t *testing.T) {
+	s := rng.New(0xC0FFEE)
+	type shape struct{ rows, cols, d, nnz int }
+	shapes := []shape{
+		{0, 5, 3, 0},     // 0×n: no output rows at all
+		{5, 0, 3, 0},     // n×0: empty column space
+		{1, 1, 1, 1},     // single cell
+		{1, 9, 4, 6},     // single row
+		{9, 1, 4, 6},     // single column
+		{7, 7, 3, 0},     // every row empty
+		{200, 3, 2, 150}, // tall: exercises row-block chunking
+		{3, 200, 2, 150}, // wide: exercises transpose-gather chunking
+	}
+	for len(shapes) < 50 {
+		rows, cols := 1+s.Intn(90), 1+s.Intn(90)
+		d := 1 + s.Intn(16)
+		shapes = append(shapes, shape{rows, cols, d, s.Intn(rows*cols/2 + 1)})
+	}
+	for _, sh := range shapes {
+		var entries []COO
+		if sh.rows > 0 && sh.cols > 0 {
+			entries = randomCOO(s, sh.rows, sh.cols, sh.nnz)
+		}
+		sp := NewCSR(sh.rows, sh.cols, entries)
+
+		din := randomDense(s, sh.cols, sh.d)
+		if !bitsEqual(sp.MulDense(din).Data, sp.NaiveMulDense(din).Data) {
+			t.Fatalf("MulDense differs from serial reference at shape %+v", sh)
+		}
+		dt := randomDense(s, sh.rows, sh.d)
+		if !bitsEqual(sp.TMulDense(dt).Data, sp.NaiveTMulDense(dt).Data) {
+			t.Fatalf("TMulDense differs from serial reference at shape %+v", sh)
+		}
+	}
+}
+
+// TestCSRTransposeCache pins the lazily built CSC view: column pointers
+// partition nnz, and entries within each column appear in ascending row
+// order — the property that makes the gather kernel reproduce the serial
+// scatter's accumulation chains.
+func TestCSRTransposeCache(t *testing.T) {
+	s := rng.New(99)
+	sp := NewCSR(30, 20, randomCOO(s, 30, 20, 120))
+	sp.TMulDense(NewDense(30, 2)) // force the transpose build
+	if got := sp.tColPtr[sp.Cols]; got != sp.NNZ() {
+		t.Fatalf("transpose covers %d of %d non-zeros", got, sp.NNZ())
+	}
+	for c := 0; c < sp.Cols; c++ {
+		for q := sp.tColPtr[c] + 1; q < sp.tColPtr[c+1]; q++ {
+			if sp.tRowIdx[q-1] >= sp.tRowIdx[q] {
+				t.Fatalf("column %d rows not strictly ascending", c)
+			}
+		}
 	}
 }

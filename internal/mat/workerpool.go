@@ -80,6 +80,36 @@ func parallelRows(n int, fn func(lo, hi int)) {
 // parallelism for their own kernels (e.g. string-similarity matrices).
 func ParallelRows(n int, fn func(lo, hi int)) { parallelRows(n, fn) }
 
+// ParallelShards runs fn(0) … fn(n-1) concurrently on the persistent worker
+// pool and waits for all of them. Unlike ParallelRows it never coalesces
+// tasks: callers use it for a small, *fixed* number of logical shards whose
+// partition must not depend on the machine (the GCN's sharded loss
+// accumulation), so every shard index is dispatched exactly once regardless
+// of core count. With a single CPU (or a saturated pool) shards degrade to
+// inline execution in ascending order.
+func ParallelShards(n int, fn func(shard int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || runtime.NumCPU() <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	workerOnce.Do(startWorkers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		i := i
+		submit(func() {
+			defer wg.Done()
+			fn(i)
+		})
+	}
+	wg.Wait()
+}
+
 // ParallelRowsCtx is ParallelRows with cooperative cancellation: rows are
 // dispatched in chunks finer than one block per worker, each chunk re-checks
 // ctx before running, and the call returns ctx.Err() once every dispatched
