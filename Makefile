@@ -12,7 +12,7 @@ GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 BENCHTIME ?= 3x
 BENCHOUT  ?= BENCH_PR4.json
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench serve-smoke
 
 check: fmt vet build race
 
@@ -33,6 +33,11 @@ test:
 
 race:
 	go test -race ./...
+
+# Boot ceaffd on an ephemeral port, assert /readyz flips, run one align
+# and one candidates query, SIGTERM, and require a clean (exit 0) drain.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 bench:
 	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . | tee /tmp/ceaff-bench.txt

@@ -27,6 +27,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -207,16 +208,29 @@ func writeReport(path, name string, rt *obs.Runtime) error {
 
 // setupCheckpoint loads an existing checkpoint file into cfg.Resume and
 // installs an OnCheckpoint hook persisting each new checkpoint atomically
-// (write to a temp file, then rename).
+// (write to a temp file, fsync, then rename).
 func setupCheckpoint(path string, cfg *gcn.Config) error {
+	// A leftover .tmp means a previous run died mid-write; the rename never
+	// happened, so the file is garbage by construction.
+	if err := os.Remove(path + ".tmp"); err == nil {
+		log.Printf("checkpoint: removed stale %s.tmp from an interrupted run", path)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
 	if f, err := os.Open(path); err == nil {
 		ck, rerr := gcn.ReadCheckpoint(f)
 		f.Close()
-		if rerr != nil {
+		switch {
+		case errors.Is(rerr, gcn.ErrCorruptCheckpoint):
+			// Damaged state is worse than no state: start cold and let the
+			// next checkpoint interval overwrite the bad file.
+			log.Printf("checkpoint %s: %v; starting from scratch", path, rerr)
+		case rerr != nil:
 			return fmt.Errorf("checkpoint %s: %w", path, rerr)
+		default:
+			cfg.Resume = ck
+			fmt.Printf("resume    epoch %d from %s\n", ck.Epoch, path)
 		}
-		cfg.Resume = ck
-		fmt.Printf("resume    epoch %d from %s\n", ck.Epoch, path)
 	} else if !os.IsNotExist(err) {
 		return err
 	}
@@ -228,6 +242,11 @@ func setupCheckpoint(path string, cfg *gcn.Config) error {
 			return
 		}
 		err = ck.Save(f)
+		if err == nil {
+			// Flush to stable storage before the rename publishes the file:
+			// otherwise a crash can leave a renamed-but-empty checkpoint.
+			err = f.Sync()
+		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

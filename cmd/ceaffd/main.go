@@ -1,0 +1,218 @@
+// Command ceaffd is the fault-tolerant alignment serving daemon: it loads
+// a corpus (or synthesizes a benchmark pair), runs the offline CEAFF
+// pipeline once at startup, and serves per-entity alignment queries over
+// HTTP with admission control, per-request deadlines, a circuit breaker
+// with greedy fallback, per-request panic isolation and graceful drain.
+//
+// Usage:
+//
+//	ceaffd [-addr 127.0.0.1:8080] [-addrfile path]
+//	       [-dataset "SRPRS EN-FR*"] [-scale 1.0] [-fast]
+//	       [-load dir] [-vec1 file.vec] [-vec2 file.vec] [-seedfrac 0.3]
+//	       [-topk 0] [-max-inflight 16] [-max-queue 64]
+//	       [-default-timeout 5s] [-max-timeout 30s] [-drain-timeout 15s]
+//	       [-breaker-window 20] [-breaker-threshold 0.5] [-breaker-cooldown 10s]
+//
+// Endpoints:
+//
+//	POST /v1/align                      {"sources": ["idx-or-name", ...]}
+//	GET  /v1/entity/{id}/candidates?k=10
+//	GET  /healthz    liveness (200 from process start)
+//	GET  /readyz     readiness (200 once the offline pipeline finished,
+//	                 503 while warming up or draining)
+//	GET  /metrics    JSON snapshot of the obs registry
+//
+// The daemon serves /healthz immediately and flips /readyz once the
+// offline pipeline completes. SIGTERM/SIGINT starts a graceful drain:
+// the listener closes, in-flight requests finish under -drain-timeout,
+// and the process exits 0; if the drain deadline passes, connections are
+// force-closed and it exits 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ceaff/internal/align"
+	"ceaff/internal/baselines"
+	"ceaff/internal/bench"
+	"ceaff/internal/core"
+	"ceaff/internal/dataio"
+	"ceaff/internal/mat"
+	"ceaff/internal/obs"
+	"ceaff/internal/rng"
+	"ceaff/internal/serve"
+	"ceaff/internal/wordvec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ceaffd: ")
+
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening")
+	dataset := flag.String("dataset", bench.SRPRSEnFr, "standard dataset name to synthesize")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	fast := flag.Bool("fast", false, "use small test-grade substrate settings")
+	load := flag.String("load", "", "load an OpenEA-layout corpus directory instead of generating")
+	vec1 := flag.String("vec1", "", "word embeddings (.vec) for the source KG's language")
+	vec2 := flag.String("vec2", "", "word embeddings (.vec) for the target KG's language")
+	seedFrac := flag.Float64("seedfrac", 0.3, "seed fraction when the corpus has no predefined split")
+	splitSeed := flag.Uint64("splitseed", 1, "PRNG seed for the seed/test split")
+	topK := flag.Int("topk", 0, "preference-list truncation for collective queries (0 = full lists)")
+	maxInFlight := flag.Int("max-inflight", 16, "maximum concurrently executing alignment requests")
+	maxQueue := flag.Int("max-queue", 64, "maximum requests waiting for a slot before shedding")
+	defaultTimeout := flag.Duration("default-timeout", 5*time.Second, "per-request deadline when the client sends no X-Deadline-Ms budget")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "upper bound on client-requested budgets")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-drain deadline after SIGTERM/SIGINT")
+	breakerWindow := flag.Int("breaker-window", 20, "circuit-breaker sliding-window size")
+	breakerThreshold := flag.Float64("breaker-threshold", 0.5, "failure fraction that opens the breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "open-state cooldown before the half-open probe")
+	flag.Parse()
+
+	rt := obs.NewRuntime()
+	mat.SetMetrics(rt.Metrics)
+
+	scfg := serve.DefaultServerConfig()
+	scfg.MaxInFlight = *maxInFlight
+	scfg.MaxQueue = *maxQueue
+	scfg.DefaultTimeout = *defaultTimeout
+	scfg.MaxTimeout = *maxTimeout
+	scfg.Breaker.Window = *breakerWindow
+	scfg.Breaker.FailureThreshold = *breakerThreshold
+	scfg.Breaker.Cooldown = *breakerCooldown
+	srv := serve.NewServer(scfg, rt.Metrics)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", l.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(l.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Serve /healthz from the start; /readyz flips once the offline
+	// pipeline below installs the engine.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	cfg := core.DefaultConfig()
+	if *fast {
+		cfg.GCN = baselines.FastSettings().GCN
+	}
+	cfg.PreferenceTopK = *topK
+
+	in, err := buildInput(*load, *vec1, *vec2, *dataset, *scale, *fast, *seedFrac, *splitSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("offline pipeline: %d seeds, %d test pairs", len(in.Seeds), len(in.Tests))
+	start := time.Now()
+	engine, err := serve.NewEngine(obs.Into(ctx, rt), in, cfg)
+	if err != nil {
+		if ctx.Err() != nil {
+			log.Printf("startup interrupted: %v", err)
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	for _, d := range engine.Degraded() {
+		log.Printf("degraded: %s feature dropped: %s", d.Feature, d.Reason)
+	}
+	srv.SetAligner(engine)
+	log.Printf("ready after %.1fs (%d sources)", time.Since(start).Seconds(), engine.NumSources())
+
+	select {
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining (deadline %s)", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			log.Printf("drain deadline exceeded, force-closing: %v", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		log.Printf("drained cleanly")
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}
+
+// buildInput assembles the pipeline input from a corpus directory or a
+// synthesized benchmark pair.
+func buildInput(load, vec1, vec2, dataset string, scale float64, fast bool, seedFrac float64, splitSeed uint64) (*core.Input, error) {
+	if load != "" {
+		return loadCorpusInput(load, vec1, vec2, seedFrac, splitSeed)
+	}
+	spec, ok := bench.SpecByName(dataset, scale)
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if fast {
+		spec.Dim = baselines.FastSettings().Dim
+	}
+	d, err := bench.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Input{G1: d.G1, G2: d.G2, Seeds: d.SeedPairs, Tests: d.TestPairs, Emb1: d.Emb1, Emb2: d.Emb2}, nil
+}
+
+// loadCorpusInput mirrors cmd/ceaff: read an OpenEA-layout corpus, attach
+// embedders, and split gold links when no predefined split exists.
+func loadCorpusInput(dir, vec1, vec2 string, seedFrac float64, splitSeed uint64) (*core.Input, error) {
+	c, err := dataio.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	emb1, err := loadVec(vec1, 0xE1)
+	if err != nil {
+		return nil, err
+	}
+	emb2, err := loadVec(vec2, 0xE2)
+	if err != nil {
+		return nil, err
+	}
+	if emb1.Dim() != emb2.Dim() {
+		return nil, fmt.Errorf("embedding dimensions differ: %d vs %d", emb1.Dim(), emb2.Dim())
+	}
+	seeds, tests := c.Train, c.Test
+	if seeds == nil {
+		seeds, tests = align.Split(c.Links, seedFrac, rng.New(splitSeed))
+	}
+	return &core.Input{G1: c.G1, G2: c.G2, Seeds: seeds, Tests: tests, Emb1: emb1, Emb2: emb2}, nil
+}
+
+func loadVec(path string, salt uint64) (wordvec.Embedder, error) {
+	if path == "" {
+		return wordvec.NewHash(48, salt), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	lex, err := wordvec.ReadVec(f, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return lex, nil
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/match"
+)
+
+// AlignRows runs the collective EA decision over a subset of sources: the
+// selected rows of the fused matrix compete for all targets under the same
+// deferred-acceptance mechanics as the full pipeline. This is the online
+// query path of the serving layer — a batch of requested entities is
+// aligned collectively against the whole target space without rerunning
+// the offline decision over every source.
+//
+// rows index fused's rows; the returned assignment is positional (entry p
+// is the target chosen for rows[p], -1 if unmatched). topK > 0 truncates
+// each source's preference list as in Config.PreferenceTopK. Duplicate or
+// out-of-range rows are rejected — a duplicated source would compete with
+// itself for its own best target, silently demoting one copy.
+//
+// Cancellation is cooperative at row granularity during the submatrix
+// gather and checked once more before the matching step, mirroring the
+// row-chunk granularity of the parallel kernels.
+func AlignRows(ctx context.Context, fused *mat.Dense, rows []int, topK int) (match.Assignment, error) {
+	if fused == nil {
+		return nil, fmt.Errorf("core: AlignRows on nil matrix")
+	}
+	if len(rows) == 0 {
+		return match.Assignment{}, nil
+	}
+	seen := make(map[int]int, len(rows))
+	for p, r := range rows {
+		if r < 0 || r >= fused.Rows {
+			return nil, fmt.Errorf("core: AlignRows row %d out of range [0,%d)", r, fused.Rows)
+		}
+		if q, dup := seen[r]; dup {
+			return nil, fmt.Errorf("core: AlignRows rows %d and %d both select source %d", q, p, r)
+		}
+		seen[r] = p
+	}
+	sub := mat.NewDense(len(rows), fused.Cols)
+	for p, r := range rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		copy(sub.Row(p), fused.Row(r))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if topK > 0 {
+		return match.DeferredAcceptanceTopK(sub, topK), nil
+	}
+	return match.DeferredAcceptance(sub), nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/match"
+)
+
+func subsetTestMatrix() *mat.Dense {
+	return mat.FromRows([][]float64{
+		{0.9, 0.2, 0.1, 0.0},
+		{0.8, 0.7, 0.3, 0.1},
+		{0.1, 0.6, 0.5, 0.2},
+	})
+}
+
+func TestAlignRowsMatchesFullDecision(t *testing.T) {
+	fused := subsetTestMatrix()
+	full := match.DeferredAcceptance(fused)
+	got, err := AlignRows(context.Background(), fused, []int{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if got[i] != full[i] {
+			t.Fatalf("row %d: subset decision %d != full decision %d", i, got[i], full[i])
+		}
+	}
+}
+
+func TestAlignRowsSubsetCompetes(t *testing.T) {
+	fused := subsetTestMatrix()
+	// Sources 0 and 1 both prefer target 0; collectively source 0 (score
+	// 0.9) must win it and source 1 fall back to target 1.
+	got, err := AlignRows(context.Background(), fused, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("collective subset decision = %v, want [0 1]", got)
+	}
+	// Reordering the request must permute the answer, not change it.
+	rev, err := AlignRows(context.Background(), fused, []int{1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev[0] != 1 || rev[1] != 0 {
+		t.Fatalf("reversed subset decision = %v, want [1 0]", rev)
+	}
+}
+
+func TestAlignRowsValidation(t *testing.T) {
+	fused := subsetTestMatrix()
+	if _, err := AlignRows(context.Background(), nil, []int{0}, 0); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := AlignRows(context.Background(), fused, []int{3}, 0); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, err := AlignRows(context.Background(), fused, []int{1, 1}, 0); err == nil {
+		t.Error("duplicate rows accepted")
+	}
+	got, err := AlignRows(context.Background(), fused, nil, 0)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty rows: got %v, %v", got, err)
+	}
+}
+
+func TestAlignRowsCancelled(t *testing.T) {
+	fused := subsetTestMatrix()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AlignRows(ctx, fused, []int{0, 1}, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled AlignRows returned %v, want context.Canceled", err)
+	}
+}
+
+func TestAlignRowsTopK(t *testing.T) {
+	fused := subsetTestMatrix()
+	full := match.DeferredAcceptanceTopK(fused, 2)
+	got, err := AlignRows(context.Background(), fused, []int{0, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if got[i] != full[i] {
+			t.Fatalf("row %d: top-k subset decision %d != full %d", i, got[i], full[i])
+		}
+	}
+}

@@ -1,12 +1,29 @@
 package gcn
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"ceaff/internal/mat"
 )
+
+// ErrCorruptCheckpoint reports that a checkpoint file failed its integrity
+// check: the CRC32 footer is missing (truncated write) or does not match the
+// payload (bit rot, partial write). Callers should discard the file and fall
+// back to a cold start rather than resuming from damaged state.
+var ErrCorruptCheckpoint = errors.New("gcn: corrupt checkpoint")
+
+// checkpointMagic marks the start of the 12-byte integrity footer appended
+// after the gob payload: 8 magic bytes followed by a big-endian CRC32
+// (IEEE) of the payload.
+const checkpointMagic = "CEAFFCP1"
+
+const checkpointFooterLen = len(checkpointMagic) + 4
 
 // Checkpoint captures the complete GCN training state at an epoch boundary:
 // parameters, optimizer moments, the negative-sampling RNG stream, mined
@@ -50,22 +67,45 @@ func (c *Checkpoint) Clone() *Checkpoint {
 	return &out
 }
 
-// Save serializes the checkpoint with encoding/gob. The format is internal
-// to this package version; checkpoints are working state, not an archival
+// Save serializes the checkpoint with encoding/gob followed by a 12-byte
+// integrity footer (magic + CRC32 of the payload). The format is internal to
+// this package version; checkpoints are working state, not an archival
 // format.
 func (c *Checkpoint) Save(w io.Writer) error {
-	if err := gob.NewEncoder(w).Encode(c); err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return fmt.Errorf("gcn: save checkpoint: %w", err)
+	}
+	footer := make([]byte, checkpointFooterLen)
+	copy(footer, checkpointMagic)
+	binary.BigEndian.PutUint32(footer[len(checkpointMagic):], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(footer)
+	if _, err := w.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("gcn: save checkpoint: %w", err)
 	}
 	return nil
 }
 
-// ReadCheckpoint deserializes a checkpoint written by Save and sanity-checks
-// its shape invariants.
+// ReadCheckpoint deserializes a checkpoint written by Save, verifying the
+// CRC32 footer before decoding and then sanity-checking shape invariants.
+// Integrity failures are reported as ErrCorruptCheckpoint.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	var c Checkpoint
-	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("gcn: read checkpoint: %w", err)
+	}
+	if len(data) < checkpointFooterLen ||
+		!bytes.Equal(data[len(data)-checkpointFooterLen:len(data)-4], []byte(checkpointMagic)) {
+		return nil, fmt.Errorf("%w: integrity footer missing (truncated file?)", ErrCorruptCheckpoint)
+	}
+	payload := data[:len(data)-checkpointFooterLen]
+	want := binary.BigEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: payload crc32 %08x, footer records %08x", ErrCorruptCheckpoint, got, want)
+	}
+	var c Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
 	}
 	if err := c.validate(); err != nil {
 		return nil, err

@@ -1,0 +1,85 @@
+package gcn
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"ceaff/internal/mat"
+)
+
+// integrityCheckpoint builds a small valid checkpoint without running
+// training.
+func integrityCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Epoch:        3,
+		LearningRate: 0.01,
+		Weights:      []*mat.Dense{mat.FromRows([][]float64{{1, 0}, {0, 1}})},
+		X1:           mat.FromRows([][]float64{{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}}),
+		X2:           mat.FromRows([][]float64{{0.7, 0.8}, {0.9, 1.0}}),
+		NegState:     42,
+	}
+}
+
+func savedCheckpoint(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := integrityCheckpoint().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointFooterRoundTrip pins that the CRC32 footer is transparent to
+// a well-formed save/load cycle.
+func TestCheckpointFooterRoundTrip(t *testing.T) {
+	data := savedCheckpoint(t)
+	loaded, err := ReadCheckpoint(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := integrityCheckpoint(); !reflect.DeepEqual(want, loaded) {
+		t.Fatal("checkpoint round-trip with footer is lossy")
+	}
+}
+
+// TestCheckpointTruncated cuts the saved file at several points — inside the
+// payload, inside the footer, and exactly before the footer — and expects
+// every prefix to be rejected as corrupt.
+func TestCheckpointTruncated(t *testing.T) {
+	data := savedCheckpoint(t)
+	cuts := []int{0, 1, len(data) / 2, len(data) - checkpointFooterLen, len(data) - 4, len(data) - 1}
+	for _, n := range cuts {
+		_, err := ReadCheckpoint(bytes.NewReader(data[:n]))
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Errorf("truncation to %d/%d bytes: err = %v, want ErrCorruptCheckpoint", n, len(data), err)
+		}
+	}
+}
+
+// TestCheckpointBitFlip flips a single bit at several offsets — payload,
+// magic bytes, and CRC bytes — and expects every damaged copy to be rejected
+// as corrupt.
+func TestCheckpointBitFlip(t *testing.T) {
+	data := savedCheckpoint(t)
+	offsets := []int{0, len(data) / 3, len(data) - checkpointFooterLen, len(data) - 6, len(data) - 1}
+	for _, off := range offsets {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x10
+		_, err := ReadCheckpoint(bytes.NewReader(bad))
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Errorf("bit flip at offset %d/%d: err = %v, want ErrCorruptCheckpoint", off, len(data), err)
+		}
+	}
+}
+
+// TestCheckpointLegacyFormatRejected pins that a bare gob stream (the
+// pre-footer format) is refused rather than silently trusted.
+func TestCheckpointLegacyFormatRejected(t *testing.T) {
+	data := savedCheckpoint(t)
+	_, err := ReadCheckpoint(bytes.NewReader(data[:len(data)-checkpointFooterLen]))
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("footer-less checkpoint accepted: err = %v", err)
+	}
+}

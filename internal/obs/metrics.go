@@ -257,6 +257,40 @@ func (r *Registry) GaugeValues() map[string]float64 {
 	return out
 }
 
+// RegistrySnapshot is a point-in-time view of every instrument in a
+// registry, shaped for JSON: encoding/json emits map keys sorted, so two
+// snapshots with equal contents serialize byte-identically — the property
+// the serving layer's /metrics endpoint relies on.
+type RegistrySnapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// Snapshot captures all counters, gauges and histograms at once. The maps
+// are always non-nil, so a nil or empty registry serializes as empty
+// objects rather than nulls.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	s := RegistrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStats{},
+	}
+	if r == nil {
+		return s
+	}
+	for name, v := range r.CounterValues() {
+		s.Counters[name] = v
+	}
+	for name, v := range r.GaugeValues() {
+		s.Gauges[name] = v
+	}
+	for name, v := range r.HistogramSnapshots() {
+		s.Histograms[name] = v
+	}
+	return s
+}
+
 // HistogramSnapshots returns stats for every histogram, keyed by name.
 // Nil-safe.
 func (r *Registry) HistogramSnapshots() map[string]HistogramStats {

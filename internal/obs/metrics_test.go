@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
 	"sync"
 	"testing"
@@ -157,5 +158,42 @@ func TestNilSafety(t *testing.T) {
 	tr.SetLimits(1, 1)
 	if tr.Dropped() != 0 || tr.Roots() != nil {
 		t.Fatal("nil tracer has state")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("c").Record(2)
+
+	s := r.Snapshot()
+	if s.Counters["a"] != 3 || s.Gauges["b"] != 1.5 || s.Histograms["c"].Count != 1 {
+		t.Fatalf("snapshot missed instruments: %+v", s)
+	}
+
+	j1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("equal snapshots serialize differently:\n%s\n%s", j1, j2)
+	}
+
+	var nilReg *Registry
+	ns := nilReg.Snapshot()
+	if ns.Counters == nil || ns.Gauges == nil || ns.Histograms == nil {
+		t.Fatal("nil-registry snapshot has nil maps")
+	}
+	nj, err := json.Marshal(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"counters":{},"gauges":{},"histograms":{}}`; string(nj) != want {
+		t.Fatalf("nil-registry snapshot JSON = %s, want %s", nj, want)
 	}
 }

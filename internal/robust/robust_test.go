@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -99,6 +100,70 @@ func TestRetryStopsOnPermanent(t *testing.T) {
 	err := p.Do(context.Background(), func(int) error { attempts++; return Permanent(cause) })
 	if !errors.Is(err, cause) || attempts != 1 {
 		t.Fatalf("err=%v attempts=%d, want cause after 1 attempt", err, attempts)
+	}
+}
+
+// TestRetryPreCancelledContext pins that Do with an already-cancelled
+// context returns ctx.Err() verbatim without invoking the operation even
+// once — callers must be able to rely on "cancelled means no side effects".
+func TestRetryPreCancelledContext(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attempts := 0
+	err := p.Do(ctx, func(int) error { attempts++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want the bare ctx.Err(), not a wrapper", err)
+	}
+	if attempts != 0 {
+		t.Fatalf("op invoked %d times under a pre-cancelled context, want 0", attempts)
+	}
+
+	// Same guarantee for an expired deadline.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer dcancel()
+	err = p.Do(dctx, func(int) error { attempts++; return nil })
+	if err != context.DeadlineExceeded || attempts != 0 {
+		t.Fatalf("err = %v attempts = %d, want bare DeadlineExceeded and 0", err, attempts)
+	}
+}
+
+// TestFaultConcurrentAccess exercises Arm/Fire/Disarm/Fired/Calls from many
+// goroutines at once; run under -race this pins that the fault registry is
+// safe for concurrent use (servers fire sites while tests re-arm them).
+func TestFaultConcurrentAccess(t *testing.T) {
+	defer Reset()
+	const site = "test.concurrent"
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch (w + i) % 4 {
+				case 0:
+					Arm(Fault{Site: site, Count: 1 << 30})
+				case 1:
+					Fire(site)
+				case 2:
+					Disarm(site)
+				default:
+					Fired(site)
+					Calls(site)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The registry must still be functional afterwards.
+	Reset()
+	Arm(Fault{Site: site})
+	if err := Fire(site); !errors.Is(err, ErrInjected) {
+		t.Fatalf("registry unusable after concurrent access: %v", err)
 	}
 }
 

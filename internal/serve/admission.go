@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"context"
+	"errors"
+
+	"ceaff/internal/obs"
+	"ceaff/internal/robust"
+)
+
+// ErrShed is returned by Admission.Acquire when the server is saturated:
+// the in-flight bound is reached and the wait queue is full (or the
+// FaultAdmission site fired). Handlers translate it to 429 + Retry-After.
+var ErrShed = errors.New("serve: overloaded, request shed")
+
+// Admission is the bounded admission controller: at most maxInFlight
+// requests execute concurrently and at most maxQueue more wait for a slot;
+// anything beyond that is shed immediately. Both bounds are enforced by
+// buffered-channel semaphores, so the in-flight invariant holds under any
+// arrival pattern without explicit locking.
+type Admission struct {
+	inflight chan struct{}
+	queue    chan struct{}
+
+	depth    *obs.Gauge   // serve.queue.depth — waiters right now
+	active   *obs.Gauge   // serve.inflight — admitted right now
+	shed     *obs.Counter // serve.shed — rejections, forced or real
+	admitted *obs.Counter // serve.admitted
+}
+
+// NewAdmission builds an admission controller. maxInFlight and maxQueue
+// are clamped to at least 1 and 0 respectively. reg may be nil (metrics
+// become no-ops).
+func NewAdmission(maxInFlight, maxQueue int, reg *obs.Registry) *Admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{
+		inflight: make(chan struct{}, maxInFlight),
+		queue:    make(chan struct{}, maxQueue),
+		depth:    reg.Gauge("serve.queue.depth"),
+		active:   reg.Gauge("serve.inflight"),
+		shed:     reg.Counter("serve.shed"),
+		admitted: reg.Counter("serve.admitted"),
+	}
+}
+
+// Acquire admits the request or rejects it. It returns nil when a slot was
+// obtained (the caller must Release), ErrShed when the queue is full, and
+// ctx's error when the request was cancelled while waiting in the queue.
+func (a *Admission) Acquire(ctx context.Context) error {
+	if err := robust.Fire(FaultAdmission); err != nil {
+		a.shed.Inc()
+		return ErrShed
+	}
+	// Fast path: an execution slot is free.
+	select {
+	case a.inflight <- struct{}{}:
+		a.admit()
+		return nil
+	default:
+	}
+	// Join the wait queue if it has room; otherwise shed.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.shed.Inc()
+		return ErrShed
+	}
+	a.depth.Set(float64(len(a.queue)))
+	defer func() {
+		<-a.queue
+		a.depth.Set(float64(len(a.queue)))
+	}()
+	select {
+	case a.inflight <- struct{}{}:
+		a.admit()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *Admission) admit() {
+	a.admitted.Inc()
+	a.active.Set(float64(len(a.inflight)))
+}
+
+// Release frees the slot obtained by a successful Acquire.
+func (a *Admission) Release() {
+	<-a.inflight
+	a.active.Set(float64(len(a.inflight)))
+}
+
+// InFlight returns the number of currently admitted requests.
+func (a *Admission) InFlight() int { return len(a.inflight) }
+
+// QueueDepth returns the number of requests waiting for a slot.
+func (a *Admission) QueueDepth() int { return len(a.queue) }

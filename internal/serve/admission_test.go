@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"ceaff/internal/obs"
+	"ceaff/internal/robust"
+)
+
+// TestAdmissionBounds fills the in-flight slots and the queue one request
+// at a time — every state transition is test-driven, no timing involved —
+// and pins the shed boundary.
+func TestAdmissionBounds(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAdmission(2, 1, reg)
+
+	// Two immediate slots.
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("in-flight %d, want 2", got)
+	}
+
+	// Third request queues; drive it from a goroutine and observe the
+	// queue depth deterministically before releasing.
+	acquired := make(chan error, 1)
+	go func() { acquired <- a.Acquire(context.Background()) }()
+	waitFor(t, func() bool { return a.QueueDepth() == 1 })
+
+	// Fourth request finds both slots and the queue full: shed.
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("over-capacity acquire returned %v, want ErrShed", err)
+	}
+	if got := reg.Counter("serve.shed").Value(); got != 1 {
+		t.Fatalf("shed counter %d, want 1", got)
+	}
+
+	// Releasing a slot admits the queued request.
+	a.Release()
+	if err := <-acquired; err != nil {
+		t.Fatalf("queued acquire returned %v", err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("in-flight %d after hand-off, want 2", got)
+	}
+	a.Release()
+	a.Release()
+	if a.InFlight() != 0 || a.QueueDepth() != 0 {
+		t.Fatalf("not drained: inflight %d queue %d", a.InFlight(), a.QueueDepth())
+	}
+}
+
+// TestAdmissionCancelWhileQueued pins that a caller waiting in the queue
+// honours context cancellation and frees its queue slot.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 1, obs.NewRegistry())
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	acquired := make(chan error, 1)
+	go func() { acquired <- a.Acquire(ctx) }()
+	waitFor(t, func() bool { return a.QueueDepth() == 1 })
+	cancel()
+	if err := <-acquired; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queued acquire returned %v", err)
+	}
+	waitFor(t, func() bool { return a.QueueDepth() == 0 })
+	a.Release()
+}
+
+// TestAdmissionForcedShed pins the fault-injection site: an armed
+// serve.admission fault sheds even an idle server.
+func TestAdmissionForcedShed(t *testing.T) {
+	t.Cleanup(robust.Reset)
+	robust.Arm(robust.Fault{Site: FaultAdmission})
+	a := NewAdmission(4, 4, obs.NewRegistry())
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("armed admission fault returned %v, want ErrShed", err)
+	}
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatalf("second acquire (fault window passed) returned %v", err)
+	}
+	a.Release()
+}
+
+// TestAdmissionConcurrentInvariant floods the controller from many
+// goroutines and asserts the in-flight bound is never exceeded.
+func TestAdmissionConcurrentInvariant(t *testing.T) {
+	const maxInFlight, maxQueue, flood = 3, 2, 64
+	a := NewAdmission(maxInFlight, maxQueue, obs.NewRegistry())
+	var mu sync.Mutex
+	var active, maxActive, admitted, shed int
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := a.Acquire(context.Background())
+			if errors.Is(err, ErrShed) {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+				return
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			mu.Unlock()
+			runtime.Gosched() // widen the holding window
+			mu.Lock()
+			active--
+			admitted++
+			mu.Unlock()
+			a.Release()
+		}()
+	}
+	wg.Wait()
+	if maxActive > maxInFlight {
+		t.Fatalf("observed %d concurrent admissions, bound is %d", maxActive, maxInFlight)
+	}
+	if admitted+shed != flood {
+		t.Fatalf("admitted %d + shed %d != flood %d", admitted, shed, flood)
+	}
+	if a.InFlight() != 0 || a.QueueDepth() != 0 {
+		t.Fatalf("not drained: inflight %d queue %d", a.InFlight(), a.QueueDepth())
+	}
+}

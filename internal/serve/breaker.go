@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"ceaff/internal/obs"
+)
+
+// BreakerState enumerates the circuit-breaker states.
+type BreakerState int
+
+const (
+	// BreakerClosed lets requests through and tracks outcomes.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects requests until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome decides
+	// between reclosing and reopening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value is unusable; start
+// from DefaultBreakerConfig.
+type BreakerConfig struct {
+	// Window is the number of most-recent outcomes the failure rate is
+	// computed over.
+	Window int
+	// MinSamples is the minimum number of recorded outcomes before the
+	// breaker may trip — a single early failure must not open it.
+	MinSamples int
+	// FailureThreshold opens the breaker when the failure fraction of the
+	// recorded window reaches it.
+	FailureThreshold float64
+	// Cooldown is how long the breaker stays open before letting a probe
+	// through.
+	Cooldown time.Duration
+	// Now replaces the clock; tests inject a fake to drive the open →
+	// half-open transition deterministically. Nil uses time.Now.
+	Now func() time.Time
+}
+
+// DefaultBreakerConfig trips after ≥50% failures over the last 20 outcomes
+// (at least 5 recorded) and probes again after 10 seconds.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:           20,
+		MinSamples:       5,
+		FailureThreshold: 0.5,
+		Cooldown:         10 * time.Second,
+	}
+}
+
+// Breaker is a closed/open/half-open circuit breaker over a sliding window
+// of request outcomes. Allow asks permission to attempt the guarded path;
+// every granted attempt must report back through Record. Transitions are
+// counted in the obs registry (serve.breaker.opened / half_opened /
+// closed) and the current state is exported as the serve.breaker.state
+// gauge (0 closed, 1 open, 2 half-open), making the state machine
+// observable from /metrics alone.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	window   []bool // ring buffer of outcomes, true = failure
+	next     int    // ring write position
+	filled   int    // recorded outcomes, ≤ len(window)
+	failures int    // failures currently in the window
+	openedAt time.Time
+	probing  bool // a half-open probe is outstanding
+
+	stateGauge *obs.Gauge
+	opened     *obs.Counter
+	halfOpened *obs.Counter
+	closed     *obs.Counter
+	rejected   *obs.Counter
+}
+
+// NewBreaker builds a breaker in the closed state. reg may be nil.
+func NewBreaker(cfg BreakerConfig, reg *obs.Registry) *Breaker {
+	if cfg.Window < 1 {
+		cfg.Window = DefaultBreakerConfig().Window
+	}
+	if cfg.MinSamples < 1 {
+		cfg.MinSamples = 1
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = DefaultBreakerConfig().FailureThreshold
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultBreakerConfig().Cooldown
+	}
+	b := &Breaker{
+		cfg:        cfg,
+		window:     make([]bool, cfg.Window),
+		stateGauge: reg.Gauge("serve.breaker.state"),
+		opened:     reg.Counter("serve.breaker.opened"),
+		halfOpened: reg.Counter("serve.breaker.half_opened"),
+		closed:     reg.Counter("serve.breaker.closed"),
+		rejected:   reg.Counter("serve.breaker.rejected"),
+	}
+	b.stateGauge.Set(float64(BreakerClosed))
+	return b
+}
+
+func (b *Breaker) now() time.Time {
+	if b.cfg.Now != nil {
+		return b.cfg.Now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether the caller may attempt the guarded path. A true
+// return obliges the caller to invoke Record with the attempt's outcome.
+// In the open state Allow returns false until the cooldown elapses, at
+// which point the breaker half-opens and exactly one caller is admitted as
+// the probe; further callers are rejected until the probe resolves.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.setState(BreakerHalfOpen)
+			b.probing = true
+			return true
+		}
+		b.rejected.Inc()
+		return false
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		b.rejected.Inc()
+		return false
+	}
+	return false
+}
+
+// Record reports the outcome of an attempt admitted by Allow. In the
+// closed state it feeds the sliding window and trips the breaker when the
+// failure rate crosses the threshold; in the half-open state it resolves
+// the probe — success recloses (and clears the window), failure reopens.
+// Outcomes arriving after the state changed under the attempt (a slow
+// closed-state request completing once the breaker is already open) are
+// dropped: the window must only describe the current closed period.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.push(!success)
+		if b.filled >= b.cfg.MinSamples &&
+			float64(b.failures) >= b.cfg.FailureThreshold*float64(b.filled) {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if success {
+			b.reset()
+			b.setState(BreakerClosed)
+			b.closed.Inc()
+		} else {
+			b.trip()
+		}
+	case BreakerOpen:
+		// Stale completion from before the trip; ignore.
+	}
+}
+
+// push writes one outcome into the ring.
+func (b *Breaker) push(failure bool) {
+	if b.filled == len(b.window) && b.window[b.next] {
+		b.failures-- // evicted outcome was a failure
+	}
+	b.window[b.next] = failure
+	b.next = (b.next + 1) % len(b.window)
+	if b.filled < len(b.window) {
+		b.filled++
+	}
+	if failure {
+		b.failures++
+	}
+}
+
+// trip moves to the open state and stamps the cooldown clock.
+func (b *Breaker) trip() {
+	b.reset()
+	b.setState(BreakerOpen)
+	b.openedAt = b.now()
+	b.probing = false
+	b.opened.Inc()
+}
+
+// reset clears the outcome window.
+func (b *Breaker) reset() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.next, b.filled, b.failures = 0, 0, 0
+}
+
+func (b *Breaker) setState(s BreakerState) {
+	b.state = s
+	b.stateGauge.Set(float64(s))
+	if s == BreakerHalfOpen {
+		b.halfOpened.Inc()
+	}
+}
+
+// State returns the current breaker state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

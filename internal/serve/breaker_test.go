@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"ceaff/internal/obs"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(reg *obs.Registry, clock *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:           4,
+		MinSamples:       2,
+		FailureThreshold: 0.5,
+		Cooldown:         10 * time.Second,
+		Now:              clock.now,
+	}, reg)
+}
+
+// TestBreakerStateMachine drives the full closed → open → half-open →
+// closed cycle deterministically and pins every transition to its obs
+// counter.
+func TestBreakerStateMachine(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(reg, clock)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("new breaker state %v, want closed", b.State())
+	}
+	// One early failure must not trip (below MinSamples).
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected")
+	}
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker tripped below MinSamples")
+	}
+	// Second failure: 2/2 ≥ 0.5 → open.
+	b.Allow()
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", b.State())
+	}
+	if got := reg.Counter("serve.breaker.opened").Value(); got != 1 {
+		t.Fatalf("opened counter %d, want 1", got)
+	}
+	if g := reg.Gauge("serve.breaker.state").Value(); g != float64(BreakerOpen) {
+		t.Fatalf("state gauge %v, want %v", g, float64(BreakerOpen))
+	}
+
+	// Open: rejects while the cooldown runs.
+	if b.Allow() {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	if got := reg.Counter("serve.breaker.rejected").Value(); got != 1 {
+		t.Fatalf("rejected counter %d, want 1", got)
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	clock.advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if got := reg.Counter("serve.breaker.half_opened").Value(); got != 1 {
+		t.Fatalf("half_opened counter %d, want 1", got)
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted while one is outstanding")
+	}
+
+	// Probe fails → reopen; cooldown restarts from now.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	if got := reg.Counter("serve.breaker.opened").Value(); got != 2 {
+		t.Fatalf("opened counter %d, want 2", got)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted before the new cooldown")
+	}
+
+	// Second probe succeeds → closed with a cleared window.
+	clock.advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the second probe")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	if got := reg.Counter("serve.breaker.closed").Value(); got != 1 {
+		t.Fatalf("closed counter %d, want 1", got)
+	}
+	// The window was reset: one new failure is again below MinSamples.
+	b.Allow()
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("stale pre-trip outcomes leaked into the new closed period")
+	}
+}
+
+// TestBreakerSlidingWindow pins the ring-buffer accounting: old outcomes
+// age out, so a burst of early failures followed by enough successes keeps
+// the breaker closed.
+func TestBreakerSlidingWindow(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{
+		Window:           4,
+		MinSamples:       4,
+		FailureThreshold: 0.75,
+		Cooldown:         time.Second,
+		Now:              clock.now,
+	}, reg)
+
+	// Two failures, then six successes: the failures age out of the
+	// 4-outcome window before MinSamples is reached with a rate ≥ 0.75.
+	for _, ok := range []bool{false, false, true, true, true, true, true, true} {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected")
+		}
+		b.Record(ok)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v, want closed (failures should have aged out)", b.State())
+	}
+	// Now three failures in the window of four: 3/4 ≥ 0.75 → open.
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+}
+
+// TestBreakerIgnoresStaleOutcomes pins that a slow closed-state request
+// completing after the breaker already tripped does not corrupt the open
+// state.
+func TestBreakerIgnoresStaleOutcomes(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(reg, clock)
+
+	b.Allow() // slow request admitted while closed
+	// Two fast failures trip the breaker underneath it.
+	b.Allow()
+	b.Record(false)
+	b.Allow()
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not trip")
+	}
+	// The slow request finally reports success; the breaker must stay open.
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("stale success closed the breaker: state %v", b.State())
+	}
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"ceaff/internal/core"
+	"ceaff/internal/mat"
+	"ceaff/internal/match"
+)
+
+// Decision is one source's alignment answer.
+type Decision struct {
+	SourceIndex int    `json:"source_index"`
+	Source      string `json:"source"`
+	TargetIndex int    `json:"target_index"` // -1 when unmatched
+	Target      string `json:"target,omitempty"`
+	// Score is the fused similarity of the chosen pair.
+	Score float64 `json:"score"`
+	// Rank is 1 + the number of targets the source scores strictly higher
+	// than the chosen one — 1 means the collective decision agrees with the
+	// source's own argmax.
+	Rank    int  `json:"rank,omitempty"`
+	Matched bool `json:"matched"`
+}
+
+// Candidate is one entry of a source's top-k candidate list.
+type Candidate struct {
+	TargetIndex int     `json:"target_index"`
+	Target      string  `json:"target"`
+	Score       float64 `json:"score"`
+	Rank        int     `json:"rank"`
+	// Features breaks the fused score into the surviving per-feature
+	// similarities (keys "structural", "semantic", "string"; degraded
+	// features are absent).
+	Features map[string]float64 `json:"features"`
+}
+
+// Aligner is the query surface the HTTP server drives. Engine is the real
+// implementation; tests substitute stubs to steer timing and failures
+// deterministically.
+type Aligner interface {
+	// NumSources is the size of the source universe.
+	NumSources() int
+	// Resolve maps a client-provided key — a decimal test-source index or
+	// a source entity name — to a source index.
+	Resolve(key string) (int, bool)
+	// AlignCollective aligns the given sources collectively against all
+	// targets, honouring ctx cancellation.
+	AlignCollective(ctx context.Context, rows []int) ([]Decision, error)
+	// AlignGreedy answers from the precomputed greedy ranking — the cheap
+	// degraded fallback.
+	AlignGreedy(rows []int) []Decision
+	// Candidates returns the top-k targets of one source with per-feature
+	// score breakdowns.
+	Candidates(ctx context.Context, row, k int) ([]Candidate, error)
+}
+
+// Engine holds the offline pipeline's output in memory and answers online
+// queries. It is immutable after construction, so all methods are safe for
+// concurrent use.
+type Engine struct {
+	fused    *mat.Dense
+	feats    *core.FeatureSet
+	srcNames []string
+	tgtNames []string
+	byName   map[string]int
+	greedy   match.Assignment // precomputed per-source argmax (independent)
+	topK     int              // preference truncation for collective queries
+	degraded []core.Degradation
+}
+
+// NewEngine runs the offline CEAFF pipeline once — feature generation,
+// fusion, and the full decision — and freezes the result for serving.
+// cfg.PreferenceTopK carries over to per-request collective decisions.
+func NewEngine(ctx context.Context, in *core.Input, cfg core.Config) (*Engine, error) {
+	fs, err := core.ComputeFeaturesContext(ctx, in, cfg.GCN)
+	if err != nil {
+		return nil, fmt.Errorf("serve: offline features: %w", err)
+	}
+	res, err := core.DecideContext(ctx, fs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: offline decision: %w", err)
+	}
+	srcNames := make([]string, len(in.Tests))
+	tgtNames := make([]string, len(in.Tests))
+	byName := make(map[string]int, len(in.Tests))
+	for i, p := range in.Tests {
+		srcNames[i] = in.G1.EntityName(p.U)
+		tgtNames[i] = in.G2.EntityName(p.V)
+		// First occurrence wins on duplicate names; indices always work.
+		if _, ok := byName[srcNames[i]]; !ok {
+			byName[srcNames[i]] = i
+		}
+	}
+	return &Engine{
+		fused:    res.Fused,
+		feats:    fs,
+		srcNames: srcNames,
+		tgtNames: tgtNames,
+		byName:   byName,
+		greedy:   match.Greedy(res.Fused),
+		topK:     cfg.PreferenceTopK,
+		degraded: res.Degraded,
+	}, nil
+}
+
+// Degraded lists features the offline pipeline dropped; the daemon logs it
+// at startup.
+func (e *Engine) Degraded() []core.Degradation { return e.degraded }
+
+// NumSources implements Aligner.
+func (e *Engine) NumSources() int { return len(e.srcNames) }
+
+// Resolve implements Aligner: keys are decimal source indices or source
+// entity names.
+func (e *Engine) Resolve(key string) (int, bool) {
+	if i, err := strconv.Atoi(key); err == nil {
+		if i >= 0 && i < len(e.srcNames) {
+			return i, true
+		}
+		return 0, false
+	}
+	i, ok := e.byName[key]
+	return i, ok
+}
+
+// AlignCollective implements Aligner via core.AlignRows: the requested
+// sources compete for targets under deferred acceptance, exactly as the
+// batch pipeline decides, restricted to the queried rows.
+func (e *Engine) AlignCollective(ctx context.Context, rows []int) ([]Decision, error) {
+	asn, err := core.AlignRows(ctx, e.fused, rows, e.topK)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Decision, len(rows))
+	for p, row := range rows {
+		out[p] = e.decision(row, asn[p])
+	}
+	return out, nil
+}
+
+// AlignGreedy implements Aligner from the precomputed independent ranking.
+func (e *Engine) AlignGreedy(rows []int) []Decision {
+	out := make([]Decision, len(rows))
+	for p, row := range rows {
+		out[p] = e.decision(row, e.greedy[row])
+	}
+	return out
+}
+
+// decision assembles the Decision for source row matched to target j.
+func (e *Engine) decision(row, j int) Decision {
+	d := Decision{SourceIndex: row, Source: e.srcNames[row], TargetIndex: -1}
+	if j < 0 {
+		return d
+	}
+	score := e.fused.At(row, j)
+	d.TargetIndex = j
+	d.Target = e.tgtNames[j]
+	d.Score = score
+	d.Rank = e.rank(row, score)
+	d.Matched = true
+	return d
+}
+
+// rank counts targets the source scores strictly above the chosen score,
+// plus one — deterministic under ties regardless of which tied target the
+// decision picked.
+func (e *Engine) rank(row int, score float64) int {
+	r := 1
+	for _, v := range e.fused.Row(row) {
+		if v > score {
+			r++
+		}
+	}
+	return r
+}
+
+// Candidates implements Aligner: the top-k fused scores of one source in
+// descending order (ties toward the lower target index, matching
+// mat.TopKRow), each broken down into the surviving per-feature scores.
+func (e *Engine) Candidates(ctx context.Context, row, k int) ([]Candidate, error) {
+	if row < 0 || row >= len(e.srcNames) {
+		return nil, fmt.Errorf("serve: source %d out of range [0,%d)", row, len(e.srcNames))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		k = 1
+	}
+	rowView := &mat.Dense{Rows: 1, Cols: e.fused.Cols, Data: e.fused.Row(row)}
+	top := mat.TopKRow(rowView, k)[0]
+	out := make([]Candidate, len(top))
+	for r, j := range top {
+		features := map[string]float64{}
+		for _, f := range []struct {
+			name string
+			m    *mat.Dense
+		}{
+			{"structural", e.feats.Ms},
+			{"semantic", e.feats.Mn},
+			{"string", e.feats.Ml},
+		} {
+			if f.m != nil {
+				features[f.name] = f.m.At(row, j)
+			}
+		}
+		out[r] = Candidate{
+			TargetIndex: j,
+			Target:      e.tgtNames[j],
+			Score:       e.fused.At(row, j),
+			Rank:        r + 1,
+			Features:    features,
+		}
+	}
+	return out, nil
+}

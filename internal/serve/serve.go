@@ -1,0 +1,48 @@
+// Package serve is the online query layer over the offline CEAFF pipeline:
+// a stdlib-only HTTP service that loads a corpus once, runs feature
+// generation and fusion at startup, holds the fused similarity state in
+// memory, and answers per-entity alignment queries — the serving posture
+// SEA (arXiv:2304.07065) layers over batch embedding pipelines.
+//
+// Fault tolerance is the package's defining property, built from four
+// reusable primitives wired to internal/robust and internal/obs:
+//
+//   - Admission: a bounded in-flight semaphore plus a bounded wait queue.
+//     Beyond capacity the server sheds load with 429 + Retry-After instead
+//     of queueing unboundedly, so the in-flight bound holds under any flood.
+//   - Per-request deadlines: a server default, optionally tightened by the
+//     client's X-Deadline-Ms budget header, propagated as context.Context
+//     into the decision path so the pipeline's cooperative-cancellation
+//     plumbing does the aborting.
+//   - Breaker: a closed/open/half-open circuit breaker over a sliding
+//     outcome window guarding the expensive collective-decision path. While
+//     open, requests fall back to the cheap precomputed greedy ranking with
+//     "degraded": true — the batch pipeline's feature-degradation ledger
+//     replayed at request level.
+//   - Panic isolation: every request runs under recover; a panic becomes a
+//     500 and a counter increment, never a crashed server.
+//
+// Shutdown is graceful: Server.Shutdown stops accepting, flips /readyz to
+// draining, waits for in-flight requests under the caller's drain deadline,
+// and only then returns. cmd/ceaffd ties this to SIGTERM/SIGINT.
+//
+// Every decision point is observable through the obs registry (request and
+// shed counters, queue-depth and in-flight gauges, latency histograms,
+// breaker-transition counters) and fault-injectable through the robust
+// sites below, so tests force sheds, breaker trips and panics
+// deterministically instead of racing real load.
+package serve
+
+// Fault-injection sites (see robust.Arm). Each is fired once per request
+// on the path it guards.
+const (
+	// FaultAdmission forces Admission.Acquire to shed as if the queue were
+	// full.
+	FaultAdmission = "serve.admission"
+	// FaultCollective makes the collective-decision path fail before the
+	// engine runs, driving the circuit breaker and the greedy fallback.
+	FaultCollective = "serve.collective"
+	// FaultPanic makes the align handler panic, exercising per-request
+	// panic isolation.
+	FaultPanic = "serve.panic"
+)

@@ -1,0 +1,342 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ceaff/internal/obs"
+	"ceaff/internal/robust"
+)
+
+// Config parameterizes the HTTP server. The zero value is unusable; start
+// from DefaultServerConfig.
+type Config struct {
+	// MaxInFlight bounds concurrently executing alignment requests.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; beyond it
+	// requests are shed with 429.
+	MaxQueue int
+	// RetryAfter is advertised in the Retry-After header of shed responses.
+	RetryAfter time.Duration
+	// DefaultTimeout bounds a request that sends no budget header.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested budget (X-Deadline-Ms).
+	MaxTimeout time.Duration
+	// MaxBatch bounds the number of sources per align request.
+	MaxBatch int
+	// DefaultTopK is the candidates-endpoint k when the query omits it;
+	// MaxTopK caps it.
+	DefaultTopK, MaxTopK int
+	// Breaker configures the circuit breaker over the collective path.
+	Breaker BreakerConfig
+}
+
+// DefaultServerConfig returns production-shaped defaults.
+func DefaultServerConfig() Config {
+	return Config{
+		MaxInFlight:    16,
+		MaxQueue:       64,
+		RetryAfter:     time.Second,
+		DefaultTimeout: 5 * time.Second,
+		MaxTimeout:     30 * time.Second,
+		MaxBatch:       256,
+		DefaultTopK:    10,
+		MaxTopK:        100,
+		Breaker:        DefaultBreakerConfig(),
+	}
+}
+
+// Server is the fault-tolerant alignment daemon: HTTP transport over an
+// Aligner, guarded by admission control, per-request deadlines, a circuit
+// breaker with greedy fallback, and per-request panic isolation.
+//
+// Lifecycle: NewServer → (SetAligner once the offline pipeline finishes) →
+// Serve → Shutdown. /healthz answers 200 from the moment Serve starts;
+// /readyz answers 200 only between SetAligner and Shutdown.
+type Server struct {
+	cfg       Config
+	reg       *obs.Registry
+	admission *Admission
+	breaker   *Breaker
+	aligner   atomic.Pointer[alignerBox]
+	draining  atomic.Bool
+	http      *http.Server
+
+	requests  *obs.Counter
+	fallbacks *obs.Counter
+	panics    *obs.Counter
+	latency   *obs.Histogram
+}
+
+// alignerBox wraps the interface so atomic.Pointer has a concrete type.
+type alignerBox struct{ a Aligner }
+
+// NewServer builds a server around cfg. reg may be nil (metrics off), but
+// the daemon always passes one so /metrics has content.
+func NewServer(cfg Config, reg *obs.Registry) *Server {
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = DefaultServerConfig().MaxBatch
+	}
+	if cfg.DefaultTopK < 1 {
+		cfg.DefaultTopK = DefaultServerConfig().DefaultTopK
+	}
+	if cfg.MaxTopK < cfg.DefaultTopK {
+		cfg.MaxTopK = cfg.DefaultTopK
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = DefaultServerConfig().DefaultTimeout
+	}
+	if cfg.MaxTimeout < cfg.DefaultTimeout {
+		cfg.MaxTimeout = cfg.DefaultTimeout
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultServerConfig().RetryAfter
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		admission: NewAdmission(cfg.MaxInFlight, cfg.MaxQueue, reg),
+		breaker:   NewBreaker(cfg.Breaker, reg),
+		requests:  reg.Counter("serve.requests"),
+		fallbacks: reg.Counter("serve.fallback"),
+		panics:    reg.Counter("serve.panics"),
+		latency:   reg.Histogram("serve.request.seconds"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("POST /v1/align", s.guard(http.HandlerFunc(s.handleAlign)))
+	mux.Handle("GET /v1/entity/{id}/candidates", s.guard(http.HandlerFunc(s.handleCandidates)))
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// SetAligner installs the query engine and flips the server ready. It is
+// called once the offline pipeline completes, so the daemon can expose
+// /healthz while still warming up.
+func (s *Server) SetAligner(a Aligner) {
+	s.aligner.Store(&alignerBox{a: a})
+}
+
+// Ready reports whether the server has an engine and is not draining.
+func (s *Server) Ready() bool {
+	return s.aligner.Load() != nil && !s.draining.Load()
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a graceful shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	return s.http.Serve(l)
+}
+
+// Handler exposes the routed handler (with all middleware) for in-process
+// use — tests drive it through httptest without a real listener.
+func (s *Server) Handler() http.Handler { return s.http.Handler }
+
+// Shutdown drains the server: /readyz flips to 503 so load balancers stop
+// sending, the listener closes, keep-alive connections are asked to wind
+// down, and in-flight requests run to completion — or until ctx expires,
+// at which point Shutdown returns ctx's error and the caller decides
+// whether to force-close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.http.SetKeepAlivesEnabled(false)
+	return s.http.Shutdown(ctx)
+}
+
+// Close force-closes all connections; the escalation path when the drain
+// deadline passes.
+func (s *Server) Close() error { return s.http.Close() }
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// guard wraps an alignment handler with the robustness middleware, applied
+// outermost first: panic isolation, readiness, admission, deadline.
+func (s *Server) guard(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		defer s.latency.Time()()
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Inc()
+				writeJSON(w, http.StatusInternalServerError,
+					errorBody{Error: fmt.Sprintf("internal error: %v", v)})
+			}
+		}()
+		if s.aligner.Load() == nil || s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "not ready"})
+			return
+		}
+		if err := s.admission.Acquire(r.Context()); err != nil {
+			if errors.Is(err, ErrShed) {
+				w.Header().Set("Retry-After",
+					strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+				writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "overloaded"})
+				return
+			}
+			// Client went away while queued; nothing useful to write.
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "cancelled while queued"})
+			return
+		}
+		defer s.admission.Release()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestBudget(r))
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// requestBudget resolves the request's deadline: the client's X-Deadline-Ms
+// header clamped to [1ms, MaxTimeout], or DefaultTimeout when absent or
+// unparseable.
+func (s *Server) requestBudget(r *http.Request) time.Duration {
+	h := r.Header.Get("X-Deadline-Ms")
+	if h == "" {
+		return s.cfg.DefaultTimeout
+	}
+	ms, err := strconv.Atoi(h)
+	if err != nil || ms < 1 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// alignRequest is the POST /v1/align body.
+type alignRequest struct {
+	// Sources are decimal test-source indices or source entity names.
+	Sources []string `json:"sources"`
+}
+
+// alignResponse is the POST /v1/align answer.
+type alignResponse struct {
+	// Degraded is true when the answer came from the greedy fallback
+	// instead of the collective decision.
+	Degraded bool       `json:"degraded"`
+	Results  []Decision `json:"results"`
+}
+
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	if err := robust.Fire(FaultPanic); err != nil {
+		panic(err)
+	}
+	a := s.aligner.Load().a
+	var req alignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON body: " + err.Error()})
+		return
+	}
+	if len(req.Sources) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty sources"})
+		return
+	}
+	if len(req.Sources) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Sources), s.cfg.MaxBatch)})
+		return
+	}
+	rows := make([]int, len(req.Sources))
+	seen := make(map[int]bool, len(req.Sources))
+	for i, key := range req.Sources {
+		row, ok := a.Resolve(key)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown source " + strconv.Quote(key)})
+			return
+		}
+		if seen[row] {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "duplicate source " + strconv.Quote(key)})
+			return
+		}
+		seen[row] = true
+		rows[i] = row
+	}
+
+	// The expensive collective path runs only when the breaker admits it;
+	// otherwise — and on any collective failure — the precomputed greedy
+	// ranking answers with "degraded": true. Failures (including deadline
+	// expiry, which signals overload) feed the breaker; a disconnected
+	// client (context.Canceled) counts as a non-failure.
+	if s.breaker.Allow() {
+		err := robust.Fire(FaultCollective)
+		var results []Decision
+		if err == nil {
+			results, err = a.AlignCollective(r.Context(), rows)
+		}
+		if err == nil {
+			s.breaker.Record(true)
+			writeJSON(w, http.StatusOK, alignResponse{Degraded: false, Results: results})
+			return
+		}
+		s.breaker.Record(errors.Is(err, context.Canceled))
+	}
+	s.fallbacks.Inc()
+	writeJSON(w, http.StatusOK, alignResponse{Degraded: true, Results: a.AlignGreedy(rows)})
+}
+
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	a := s.aligner.Load().a
+	row, ok := a.Resolve(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown source " + strconv.Quote(r.PathValue("id"))})
+		return
+	}
+	k := s.cfg.DefaultTopK
+	if q := r.URL.Query().Get("k"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "k must be a positive integer"})
+			return
+		}
+		k = v
+	}
+	if k > s.cfg.MaxTopK {
+		k = s.cfg.MaxTopK
+	}
+	cands, err := a.Candidates(r.Context(), row, k)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]Candidate{"candidates": cands})
+}
