@@ -12,14 +12,17 @@
 //	       [-topk 0] [-max-inflight 16] [-max-queue 64]
 //	       [-default-timeout 5s] [-max-timeout 30s] [-drain-timeout 15s]
 //	       [-breaker-window 20] [-breaker-threshold 0.5] [-breaker-cooldown 10s]
+//	       [-wal path] [-rebuild-threshold 1] [-rebuild-interval 0]
 //
 // Endpoints:
 //
 //	POST /v1/align                      {"sources": ["idx-or-name", ...]}
+//	POST /v1/mutate                     {"mutations": [{"op": "add_triple", ...}]}
 //	GET  /v1/entity/{id}/candidates?k=10
 //	GET  /healthz    liveness (200 from process start)
 //	GET  /readyz     readiness (200 once the offline pipeline finished,
-//	                 503 while warming up or draining)
+//	                 503 while warming up or draining; the body reports
+//	                 engine_version and stale)
 //	GET  /metrics    JSON snapshot of the obs registry
 //
 // The daemon serves /healthz immediately and flips /readyz once the
@@ -27,6 +30,16 @@
 // the listener closes, in-flight requests finish under -drain-timeout,
 // and the process exits 0; if the drain deadline passes, connections are
 // force-closed and it exits 1.
+//
+// With -wal, the engine accepts online mutations: POST /v1/mutate batches
+// are validated, appended to the durable CRC-framed log at the given path
+// (acknowledged only after fsync), and a background loop rebuilds the
+// engine — warm-started from the GCN checkpoint persisted next to the WAL
+// — once -rebuild-threshold mutations are pending (or on every
+// -rebuild-interval tick). On boot the WAL is replayed over the freshly
+// built base corpus, so a crash at any point recovers every acknowledged
+// mutation deterministically. The WAL is bound to the base corpus: reuse
+// the same -dataset/-scale/-splitseed (or -load) flags across restarts.
 package main
 
 import (
@@ -51,6 +64,7 @@ import (
 	"ceaff/internal/obs"
 	"ceaff/internal/rng"
 	"ceaff/internal/serve"
+	"ceaff/internal/wal"
 	"ceaff/internal/wordvec"
 )
 
@@ -77,6 +91,9 @@ func main() {
 	breakerWindow := flag.Int("breaker-window", 20, "circuit-breaker sliding-window size")
 	breakerThreshold := flag.Float64("breaker-threshold", 0.5, "failure fraction that opens the breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "open-state cooldown before the half-open probe")
+	walPath := flag.String("wal", "", "durable mutation log path; enables POST /v1/mutate")
+	rebuildThreshold := flag.Int("rebuild-threshold", 1, "pending mutations that trigger a background rebuild")
+	rebuildInterval := flag.Duration("rebuild-interval", 0, "periodic drain of sub-threshold pending mutations (0 = threshold only)")
 	flag.Parse()
 
 	rt := obs.NewRuntime()
@@ -123,19 +140,56 @@ func main() {
 	}
 	log.Printf("offline pipeline: %d seeds, %d test pairs", len(in.Seeds), len(in.Tests))
 	start := time.Now()
-	engine, err := serve.NewEngine(obs.Into(ctx, rt), in, cfg)
-	if err != nil {
-		if ctx.Err() != nil {
-			log.Printf("startup interrupted: %v", err)
-			os.Exit(0)
+	pipeCtx := obs.Into(ctx, rt)
+
+	var upd *serve.Updater
+	var wlog *wal.Log
+	if *walPath == "" {
+		engine, err := serve.NewEngine(pipeCtx, in, cfg)
+		if err != nil {
+			fatalStartup(ctx, err)
 		}
-		log.Fatal(err)
+		logDegraded(engine)
+		srv.SetAligner(engine)
+		log.Printf("ready after %.1fs (%d sources)", time.Since(start).Seconds(), engine.NumSources())
+	} else {
+		// Durable update mode: replay the WAL over the deterministically
+		// rebuilt base corpus, publish the recovered engine, and run the
+		// background rebuild loop for new mutations.
+		rb := &serve.Rebuilder{Cfg: cfg, CheckpointPath: *walPath + ".ckpt", Reg: rt.Metrics}
+		var info wal.ReplayInfo
+		wlog, info, err = wal.Open(*walPath, serve.BaseFingerprint(in), rt.Metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.TornBytes > 0 {
+			log.Printf("wal: truncated %d torn bytes (unacknowledged tail)", info.TornBytes)
+		}
+		store, err := serve.NewStore(in, info.Records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(info.Records) > 0 {
+			log.Printf("wal: replayed %d mutations up to seq %d", len(info.Records), store.Seq())
+		}
+		snap, seq := store.Snapshot()
+		aligner, err := rb.Build(pipeCtx, snap, seq)
+		if err != nil {
+			fatalStartup(ctx, err)
+		}
+		if e, ok := aligner.(*serve.Engine); ok {
+			logDegraded(e)
+		}
+		srv.Publish(aligner, seq)
+		ucfg := serve.DefaultUpdaterConfig()
+		ucfg.RebuildThreshold = *rebuildThreshold
+		ucfg.RebuildInterval = *rebuildInterval
+		upd = serve.NewUpdater(ucfg, store, wlog, rb.Build, srv, rt.Metrics, seq)
+		upd.Start(ctx)
+		srv.SetMutator(upd)
+		log.Printf("ready after %.1fs at engine version %d (wal %s)",
+			time.Since(start).Seconds(), seq, *walPath)
 	}
-	for _, d := range engine.Degraded() {
-		log.Printf("degraded: %s feature dropped: %s", d.Feature, d.Reason)
-	}
-	srv.SetAligner(engine)
-	log.Printf("ready after %.1fs (%d sources)", time.Since(start).Seconds(), engine.NumSources())
 
 	select {
 	case <-ctx.Done():
@@ -143,7 +197,17 @@ func main() {
 		log.Printf("signal received, draining (deadline %s)", *drainTimeout)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := srv.Shutdown(drainCtx); err != nil {
+		err := srv.Shutdown(drainCtx)
+		// The HTTP side is quiet (or past its deadline); stop the rebuild
+		// loop and release the log. A mutation acknowledged during the
+		// drain is already durable — the next boot replays it.
+		if upd != nil {
+			upd.Close()
+		}
+		if wlog != nil {
+			wlog.Close()
+		}
+		if err != nil {
 			log.Printf("drain deadline exceeded, force-closing: %v", err)
 			srv.Close()
 			os.Exit(1)
@@ -153,6 +217,22 @@ func main() {
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
+	}
+}
+
+// fatalStartup distinguishes a SIGTERM during warm-up (clean exit 0) from a
+// genuine pipeline failure.
+func fatalStartup(ctx context.Context, err error) {
+	if ctx.Err() != nil {
+		log.Printf("startup interrupted: %v", err)
+		os.Exit(0)
+	}
+	log.Fatal(err)
+}
+
+func logDegraded(e *serve.Engine) {
+	for _, d := range e.Degraded() {
+		log.Printf("degraded: %s feature dropped: %s", d.Feature, d.Reason)
 	}
 }
 

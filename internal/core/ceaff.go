@@ -49,6 +49,22 @@ type Input struct {
 	Emb1, Emb2 wordvec.Embedder
 }
 
+// Clone deep-copies the mutable parts of the input — both KGs and the pair
+// lists — while sharing the immutable embedders. The serving layer's online
+// mutation path applies updates to a clone so concurrent readers of the
+// original are never disturbed, and rebuild snapshots stay frozen while new
+// mutations keep arriving.
+func (in *Input) Clone() *Input {
+	return &Input{
+		G1:    in.G1.Clone(),
+		G2:    in.G2.Clone(),
+		Seeds: append([]align.Pair(nil), in.Seeds...),
+		Tests: append([]align.Pair(nil), in.Tests...),
+		Emb1:  in.Emb1,
+		Emb2:  in.Emb2,
+	}
+}
+
 // FusionMode selects the feature-fusion strategy.
 type FusionMode int
 

@@ -1,0 +1,88 @@
+package kg
+
+import "testing"
+
+func buildCloneFixture() *KG {
+	g := New("fixture")
+	a, b, c := g.AddEntity("a"), g.AddEntity("b"), g.AddEntity("c")
+	r, s := g.AddRelation("r"), g.AddRelation("s")
+	g.AddTriple(a, r, b)
+	g.AddTriple(b, s, c)
+	g.AddTriple(a, r, b) // duplicate on purpose
+	g.AddAttr(a, 0)
+	g.AddAttr(c, 3)
+	return g
+}
+
+// TestCloneIndependence pins that a clone shares no mutable state: mutating
+// the clone (new entities, triples removed) leaves the original untouched,
+// and the clone's intern tables answer identically to the original's.
+func TestCloneIndependence(t *testing.T) {
+	g := buildCloneFixture()
+	c := g.Clone()
+
+	if c.NumEntities() != g.NumEntities() || c.NumRelations() != g.NumRelations() ||
+		c.NumTriples() != g.NumTriples() || len(c.Attrs) != len(g.Attrs) ||
+		c.NumAttrTypes != g.NumAttrTypes {
+		t.Fatalf("clone shape differs: %d/%d entities, %d/%d triples",
+			c.NumEntities(), g.NumEntities(), c.NumTriples(), g.NumTriples())
+	}
+	for i := 0; i < g.NumEntities(); i++ {
+		if c.EntityName(EntityID(i)) != g.EntityName(EntityID(i)) {
+			t.Fatalf("entity %d name differs", i)
+		}
+	}
+	if id, ok := c.Relation("s"); !ok || id != 1 {
+		t.Fatalf("clone Relation(s) = %d,%v, want 1,true", id, ok)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+
+	// Mutate the clone heavily.
+	d := c.AddEntity("d")
+	q := c.AddRelation("q")
+	c.AddTriple(d, q, d)
+	if !c.RemoveTriple(0, 0, 1) {
+		t.Fatal("RemoveTriple missed an existing triple")
+	}
+
+	if g.NumEntities() != 3 || g.NumRelations() != 2 || g.NumTriples() != 3 {
+		t.Fatalf("original mutated through clone: %d entities, %d relations, %d triples",
+			g.NumEntities(), g.NumRelations(), g.NumTriples())
+	}
+	if _, ok := g.Entity("d"); ok {
+		t.Fatal("original interned the clone's entity")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("original invalid after clone mutation: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("mutated clone invalid: %v", err)
+	}
+}
+
+// TestRemoveTriple pins removal semantics: first match only, order
+// preserved, false on absent triples.
+func TestRemoveTriple(t *testing.T) {
+	g := buildCloneFixture()
+	// Two (a,r,b) duplicates exist; removing once leaves one.
+	if !g.RemoveTriple(0, 0, 1) {
+		t.Fatal("first removal failed")
+	}
+	if g.NumTriples() != 2 {
+		t.Fatalf("triples after removal: %d, want 2", g.NumTriples())
+	}
+	if g.Triples[0] != (Triple{Head: 1, Relation: 1, Tail: 2}) {
+		t.Fatalf("order not preserved: %+v", g.Triples)
+	}
+	if !g.RemoveTriple(0, 0, 1) {
+		t.Fatal("duplicate removal failed")
+	}
+	if g.RemoveTriple(0, 0, 1) {
+		t.Fatal("removal of absent triple succeeded")
+	}
+	if g.NumTriples() != 1 {
+		t.Fatalf("triples: %d, want 1", g.NumTriples())
+	}
+}

@@ -163,6 +163,49 @@ func (g *KG) Entity(name string) (EntityID, bool) {
 	return id, ok
 }
 
+// Relation looks up a relation by name.
+func (g *KG) Relation(name string) (RelationID, bool) {
+	id, ok := g.relationIdx[name]
+	return id, ok
+}
+
+// Clone returns a deep copy sharing no mutable state with g. The copy's
+// intern tables assign the same IDs, so Clone-then-mutate supports the
+// serving layer's snapshot discipline: online mutations apply to a clone
+// while readers keep the original.
+func (g *KG) Clone() *KG {
+	out := &KG{
+		Name:          g.Name,
+		entityNames:   append([]string(nil), g.entityNames...),
+		entityIdx:     make(map[string]EntityID, len(g.entityIdx)),
+		relationNames: append([]string(nil), g.relationNames...),
+		relationIdx:   make(map[string]RelationID, len(g.relationIdx)),
+		Triples:       append([]Triple(nil), g.Triples...),
+		Attrs:         append([]AttrTriple(nil), g.Attrs...),
+		NumAttrTypes:  g.NumAttrTypes,
+	}
+	for name, id := range g.entityIdx {
+		out.entityIdx[name] = id
+	}
+	for name, id := range g.relationIdx {
+		out.relationIdx[name] = id
+	}
+	return out
+}
+
+// RemoveTriple removes the first triple equal to (h, r, t), preserving the
+// order of the rest, and reports whether one was found. Interned entities
+// and relations are never removed: IDs stay dense and stable.
+func (g *KG) RemoveTriple(h EntityID, r RelationID, t EntityID) bool {
+	for i, tr := range g.Triples {
+		if tr.Head == h && tr.Relation == r && tr.Tail == t {
+			g.Triples = append(g.Triples[:i], g.Triples[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // EntityNames returns a copy of all entity names indexed by ID.
 func (g *KG) EntityNames() []string {
 	out := make([]string, len(g.entityNames))

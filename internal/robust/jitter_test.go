@@ -1,0 +1,127 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ceaff/internal/rng"
+)
+
+// TestJitteredDelayBounds pins the jitter formula: u=0.5 leaves the delay
+// unchanged, u=0 and u→1 hit the ±Jitter extremes, MaxDelay still caps,
+// and Jitter=0 is the identity.
+func TestJitteredDelayBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 150 * time.Millisecond, Jitter: 0.5}
+	if got := p.jittered(100*time.Millisecond, 0.5); got != 100*time.Millisecond {
+		t.Errorf("u=0.5: %v, want 100ms", got)
+	}
+	if got := p.jittered(100*time.Millisecond, 0); got != 50*time.Millisecond {
+		t.Errorf("u=0: %v, want 50ms", got)
+	}
+	// u just below 1 would give ~150ms; exactly the cap here.
+	if got := p.jittered(100*time.Millisecond, 1); got != 150*time.Millisecond {
+		t.Errorf("u=1: %v, want capped 150ms", got)
+	}
+	p.Jitter = 0
+	if got := p.jittered(100*time.Millisecond, 0); got != 100*time.Millisecond {
+		t.Errorf("no jitter: %v, want 100ms", got)
+	}
+	// Over-unity jitter clamps rather than going negative.
+	p.Jitter, p.MaxDelay = 5, 0
+	if got := p.jittered(100*time.Millisecond, 0); got != 0 {
+		t.Errorf("clamped jitter at u=0: %v, want 0", got)
+	}
+}
+
+// TestDoJitteredSleepsDeterministic runs a failing op under an injected
+// RNG and an instant sleep, capturing the exact backoff schedule — the
+// whole thing is sleep-free and bit-reproducible.
+func TestDoJitteredSleepsDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var delays []time.Duration
+		src := rng.New(7)
+		p := RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    time.Second,
+			Multiplier:  2,
+			Jitter:      0.2,
+			Rand:        src.Float64,
+			Sleep: func(_ context.Context, d time.Duration) error {
+				delays = append(delays, d)
+				return nil
+			},
+		}
+		err := p.Do(context.Background(), func(int) error { return errors.New("always") })
+		if err == nil {
+			t.Fatal("want exhaustion error")
+		}
+		return delays
+	}
+	first := run()
+	if len(first) != 3 {
+		t.Fatalf("got %d sleeps, want 3", len(first))
+	}
+	for i, d := range first {
+		base := time.Duration(float64(100*time.Millisecond) * float64(int(1)<<i))
+		lo, hi := time.Duration(float64(base)*0.8), time.Duration(float64(base)*1.2)
+		if d < lo || d > hi {
+			t.Errorf("sleep %d = %v outside jitter band [%v, %v]", i, d, lo, hi)
+		}
+		if d == base {
+			t.Errorf("sleep %d = %v exactly at base; jitter not applied", i, d)
+		}
+	}
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("jitter schedule not reproducible: run1 %v, run2 %v", first, second)
+		}
+	}
+}
+
+// TestDoDefaultJitterStreamDeterministic leaves Rand nil with Jitter set:
+// Do must fall back to its own fixed-seed stream, identical across calls.
+func TestDoDefaultJitterStreamDeterministic(t *testing.T) {
+	capture := func() []time.Duration {
+		var delays []time.Duration
+		p := RetryPolicy{
+			MaxAttempts: 3, BaseDelay: 80 * time.Millisecond, Multiplier: 2, Jitter: 0.3,
+			Sleep: func(_ context.Context, d time.Duration) error {
+				delays = append(delays, d)
+				return nil
+			},
+		}
+		p.Do(context.Background(), func(int) error { return errors.New("always") })
+		return delays
+	}
+	a, b := capture(), capture()
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("sleep counts %d/%d, want 2/2", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("default jitter stream differs across Do calls: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestDoZeroJitterUnchanged pins back-compat: policies without Jitter keep
+// the exact exponential schedule.
+func TestDoZeroJitterUnchanged(t *testing.T) {
+	var delays []time.Duration
+	p := RetryPolicy{
+		MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			return nil
+		},
+	}
+	p.Do(context.Background(), func(int) error { return errors.New("always") })
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	if len(delays) != len(want) || delays[0] != want[0] || delays[1] != want[1] {
+		t.Fatalf("delays %v, want %v", delays, want)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"ceaff/internal/rng"
 )
 
 // RetryPolicy bounds repeated attempts of a fallible operation with
@@ -20,6 +22,16 @@ type RetryPolicy struct {
 	MaxDelay time.Duration
 	// Multiplier is the backoff growth factor per attempt (default 2).
 	Multiplier float64
+	// Jitter spreads each backoff uniformly over [d·(1−Jitter), d·(1+Jitter)]
+	// so concurrent retry loops (e.g. several rebuild workers hitting the
+	// same contended resource) decorrelate instead of thundering in phase.
+	// 0 disables jitter; values are clamped to [0, 1].
+	Jitter float64
+	// Rand supplies the jitter's uniform variates in [0, 1). Leaving it nil
+	// gives every Do call its own deterministic stream (seeded identically),
+	// so jittered schedules are reproducible run to run; tests inject their
+	// own to pin exact delays.
+	Rand func() float64
 	// Sleep replaces the context-aware wait between attempts. Tests inject
 	// an instant sleep; nil uses a timer honouring ctx cancellation.
 	Sleep func(ctx context.Context, d time.Duration) error
@@ -78,14 +90,42 @@ func (p RetryPolicy) Delay(attempt int) time.Duration {
 	return time.Duration(d)
 }
 
-// Do runs op up to MaxAttempts times, backing off exponentially between
-// attempts. It stops early on success, on a Permanent error, or when ctx is
-// done; the final failure wraps the last attempt's error so errors.Is/As
-// still see the cause.
+// jitterSeed seeds the default deterministic jitter stream; an arbitrary
+// odd constant, fixed so identical policies produce identical schedules.
+const jitterSeed = 0x9E3779B97F4A7C15
+
+// jittered perturbs d by ±Jitter using u ∈ [0, 1), clamping the result to
+// [0, MaxDelay].
+func (p RetryPolicy) jittered(d time.Duration, u float64) time.Duration {
+	j := p.Jitter
+	if j <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	out := float64(d) * (1 + j*(2*u-1))
+	if out < 0 {
+		out = 0
+	}
+	if p.MaxDelay > 0 && out > float64(p.MaxDelay) {
+		return p.MaxDelay
+	}
+	return time.Duration(out)
+}
+
+// Do runs op up to MaxAttempts times, backing off exponentially (optionally
+// jittered) between attempts. It stops early on success, on a Permanent
+// error, or when ctx is done; the final failure wraps the last attempt's
+// error so errors.Is/As still see the cause.
 func (p RetryPolicy) Do(ctx context.Context, op func(attempt int) error) error {
 	attempts := p.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
+	}
+	urand := p.Rand
+	if urand == nil && p.Jitter > 0 {
+		urand = rng.New(jitterSeed).Float64
 	}
 	var err error
 	for a := 0; a < attempts; a++ {
@@ -101,7 +141,11 @@ func (p RetryPolicy) Do(ctx context.Context, op func(attempt int) error) error {
 		if a == attempts-1 {
 			break
 		}
-		if serr := p.sleep(ctx, p.Delay(a)); serr != nil {
+		d := p.Delay(a)
+		if urand != nil {
+			d = p.jittered(d, urand())
+		}
+		if serr := p.sleep(ctx, d); serr != nil {
 			return serr
 		}
 	}

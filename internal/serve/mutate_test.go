@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ceaff/internal/align"
+	"ceaff/internal/core"
+	"ceaff/internal/kg"
+	"ceaff/internal/obs"
+	"ceaff/internal/robust"
+	"ceaff/internal/wal"
+)
+
+// mutTestInput handcrafts a tiny corpus for mutation-path tests: three
+// entities per side, one relation, a seed and two test pairs. Embedders are
+// nil — these tests never run the real pipeline.
+func mutTestInput() *core.Input {
+	g1, g2 := kg.New("left"), kg.New("right")
+	for _, n := range []string{"a", "b", "c"} {
+		g1.AddEntity("l:" + n)
+		g2.AddEntity("r:" + n)
+	}
+	r1, r2 := g1.AddRelation("rel"), g2.AddRelation("rel")
+	g1.AddTriple(0, r1, 1)
+	g1.AddTriple(1, r1, 2)
+	g2.AddTriple(0, r2, 1)
+	g2.AddTriple(1, r2, 2)
+	return &core.Input{
+		G1: g1, G2: g2,
+		Seeds: []align.Pair{{U: 0, V: 0}},
+		Tests: []align.Pair{{U: 1, V: 1}, {U: 2, V: 2}},
+	}
+}
+
+// stubBuild is the cheap BuildFunc for update-subsystem tests: a fresh
+// deterministic stub engine per call, no pipeline.
+func stubBuild(_ context.Context, in *core.Input, _ uint64) (Aligner, error) {
+	return newStubAligner(in.G1.NumEntities()), nil
+}
+
+// fastRetry is a retry policy with instant sleeps so chaos tests don't wait
+// out real backoff.
+func fastRetry() robust.RetryPolicy {
+	return robust.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.2,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+}
+
+// mutHarness wires the full durable update subsystem around stub or real
+// builds: WAL on disk, store, server, updater.
+type mutHarness struct {
+	reg   *obs.Registry
+	srv   *Server
+	store *Store
+	log   *wal.Log
+	upd   *Updater
+	ts    *httptest.Server
+
+	walPath string
+	cancel  context.CancelFunc
+}
+
+func newMutHarness(t *testing.T, build BuildFunc, ucfg UpdaterConfig) *mutHarness {
+	t.Helper()
+	h := &mutHarness{
+		reg:     obs.NewRegistry(),
+		walPath: filepath.Join(t.TempDir(), "mutations.wal"),
+	}
+	in := mutTestInput()
+	wlog, info, err := wal.Open(h.walPath, BaseFingerprint(in), h.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.log = wlog
+	h.store, err = NewStore(in, info.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.srv = NewServer(testServerConfig(), h.reg)
+	h.srv.Publish(newStubAligner(in.G1.NumEntities()), h.store.Seq())
+	h.upd = NewUpdater(ucfg, h.store, wlog, build, h.srv, h.reg, h.store.Seq())
+	h.srv.SetMutator(h.upd)
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	h.upd.Start(ctx)
+	h.ts = httptest.NewServer(h.srv.Handler())
+	t.Cleanup(func() {
+		h.ts.Close()
+		h.cancel()
+		h.upd.Close()
+		h.log.Close()
+	})
+	return h
+}
+
+func postMutate(t *testing.T, ts *httptest.Server, body string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/mutate", "application/json",
+		bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, resp.Header
+}
+
+// TestMutateDisabledWithoutWAL pins that a daemon started without -wal
+// answers mutations with 501, not a panic or silent drop.
+func TestMutateDisabledWithoutWAL(t *testing.T) {
+	srv := NewServer(testServerConfig(), obs.NewRegistry())
+	srv.SetAligner(newStubAligner(4))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	status, body, _ := postMutate(t, ts,
+		`{"mutations":[{"op":"add_seed","source":"x","target":"y"}]}`)
+	if status != http.StatusNotImplemented {
+		t.Fatalf("mutate without mutator: status %d (%s), want 501", status, body)
+	}
+}
+
+// TestMutateValidationSurface covers the 4xx surface of POST /v1/mutate and
+// pins batch atomicity: a batch with any invalid mutation changes nothing —
+// not the projection, not the WAL, not the engine version.
+func TestMutateValidationSurface(t *testing.T) {
+	h := newMutHarness(t, stubBuild, DefaultUpdaterConfig())
+	cfgMax := testServerConfig().MaxBatch
+
+	big, _ := json.Marshal(map[string]any{
+		"mutations": make([]wal.Mutation, cfgMax+1),
+	})
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"malformed json", `{not json`, http.StatusBadRequest},
+		{"empty batch", `{"mutations":[]}`, http.StatusBadRequest},
+		{"oversized batch", string(big), http.StatusBadRequest},
+		{"unknown op", `{"mutations":[{"op":"frobnicate"}]}`, http.StatusBadRequest},
+		{"bad kg index", `{"mutations":[{"op":"add_triple","kg":3,"head":"x","rel":"r","tail":"y"}]}`, http.StatusBadRequest},
+		{"remove absent triple", `{"mutations":[{"op":"remove_triple","kg":1,"head":"l:a","rel":"rel","tail":"l:a"}]}`, http.StatusBadRequest},
+		{"seed unknown entity", `{"mutations":[{"op":"add_seed","source":"nope","target":"r:a"}]}`, http.StatusBadRequest},
+		{"duplicate seed", `{"mutations":[{"op":"add_seed","source":"l:a","target":"r:a"}]}`, http.StatusBadRequest},
+		{"valid then invalid is atomic", `{"mutations":[
+			{"op":"add_triple","kg":1,"head":"l:a","rel":"rel","tail":"l:c"},
+			{"op":"remove_seed","source":"l:b","target":"r:b"}]}`, http.StatusBadRequest},
+	} {
+		status, body, _ := postMutate(t, h.ts, tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status %d (%s), want %d", tc.name, status, body, tc.want)
+		}
+	}
+	if got := h.store.Seq(); got != 0 {
+		t.Fatalf("store seq %d after rejected batches, want 0", got)
+	}
+	if got := h.log.Seq(); got != 0 {
+		t.Fatalf("wal seq %d after rejected batches, want 0", got)
+	}
+	if got := h.reg.Counter("serve.mutations.rejected").Value(); got < 6 {
+		t.Fatalf("rejected counter %d, want >= 6", got)
+	}
+	if got := h.upd.Version(); got != 0 {
+		t.Fatalf("engine version %d after rejected batches, want 0", got)
+	}
+}
+
+// TestMutateAppliesAndRebuilds drives the happy path end to end: a valid
+// batch is acknowledged with its WAL sequence range, becomes durable, and
+// the background loop rebuilds and publishes a new engine version that the
+// response headers then advertise.
+func TestMutateAppliesAndRebuilds(t *testing.T) {
+	cfg := DefaultUpdaterConfig()
+	cfg.Retry = fastRetry()
+	h := newMutHarness(t, stubBuild, cfg)
+
+	status, body, _ := postMutate(t, h.ts, `{"mutations":[
+		{"op":"add_triple","kg":1,"head":"l:a","rel":"rel","tail":"l:c"},
+		{"op":"add_seed","source":"l:c","target":"r:c"}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("mutate status %d: %s", status, body)
+	}
+	var res MutateResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstSeq != 1 || res.LastSeq != 2 {
+		t.Fatalf("sequence range [%d,%d], want [1,2]", res.FirstSeq, res.LastSeq)
+	}
+	if got := h.reg.Counter("wal.fsyncs").Value(); got < 1 {
+		t.Fatal("batch acknowledged without a WAL fsync")
+	}
+	if got := h.reg.Counter("serve.mutations.applied").Value(); got != 2 {
+		t.Fatalf("applied counter %d, want 2", got)
+	}
+
+	// The rebuild loop publishes version 2 (the batch's last seq).
+	waitFor(t, func() bool { return h.upd.Version() == 2 })
+	waitFor(t, func() bool { return h.srv.EngineVersion() == 2 })
+	if h.upd.Pending() != 0 {
+		t.Fatalf("pending %d after rebuild, want 0", h.upd.Pending())
+	}
+	resp, _ := postAlign(t, h.ts.Client(), h.ts.URL, nil, "0")
+	if got := resp.Header.Get("Engine-Version"); got != "2" {
+		t.Fatalf("Engine-Version header %q, want \"2\"", got)
+	}
+	if got := resp.Header.Get("Engine-Stale"); got != "false" {
+		t.Fatalf("Engine-Stale header %q, want \"false\"", got)
+	}
+
+	// A second batch advances the sequence from where the first ended.
+	status, body, _ = postMutate(t, h.ts,
+		`{"mutations":[{"op":"remove_seed","source":"l:c","target":"r:c"}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("second mutate status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstSeq != 3 || res.LastSeq != 3 {
+		t.Fatalf("second batch range [%d,%d], want [3,3]", res.FirstSeq, res.LastSeq)
+	}
+	waitFor(t, func() bool { return h.upd.Version() == 3 })
+}
+
+// TestMalformedDeadlineHeaderRejected pins the budget-header contract: a
+// well-formed X-Deadline-Ms tightens the deadline, an absent one falls back
+// to the default, and a malformed one is a 400 with a metric — never a
+// silent fallback to a budget the client did not ask for.
+func TestMalformedDeadlineHeaderRejected(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewServer(testServerConfig(), reg)
+	srv.SetAligner(newStubAligner(4))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i, hdr := range []string{"abc", "0", "-25", "12.5", ""} {
+		var h map[string]string
+		if hdr != "" {
+			h = map[string]string{"X-Deadline-Ms": hdr}
+		}
+		want := http.StatusBadRequest
+		if hdr == "" {
+			want = http.StatusOK
+		}
+		resp, _ := postAlign(t, ts.Client(), ts.URL, h, "0")
+		if resp.StatusCode != want {
+			t.Errorf("X-Deadline-Ms %q: status %d, want %d", hdr, resp.StatusCode, want)
+		}
+		if wantRejected := int64(i + 1); hdr != "" &&
+			reg.Counter("serve.deadline.rejected").Value() != wantRejected {
+			t.Errorf("rejected counter after %q: %d, want %d",
+				hdr, reg.Counter("serve.deadline.rejected").Value(), wantRejected)
+		}
+	}
+	resp, _ := postAlign(t, ts.Client(), ts.URL, map[string]string{"X-Deadline-Ms": "5000"}, "0")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid deadline header: status %d, want 200", resp.StatusCode)
+	}
+}

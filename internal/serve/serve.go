@@ -22,6 +22,21 @@
 //   - Panic isolation: every request runs under recover; a panic becomes a
 //     500 and a counter increment, never a crashed server.
 //
+// The engine is no longer frozen at startup: POST /v1/mutate accepts
+// batched add/remove mutations of triples and seed links, validates them
+// against the live KG state, appends them to a durable CRC-framed WAL
+// (internal/wal, fsync before acknowledge), and a background Updater drains
+// the backlog by rebuilding the engine — warm-started from a CRC-checked
+// GCN checkpoint — and publishing it as a new versioned immutable snapshot
+// through the same atomic pointer the original engine was installed with.
+// Requests in flight keep the snapshot they started with, /readyz stays
+// green throughout, and every response carries Engine-Version/Engine-Stale
+// headers. A rebuild that exhausts its jittered-backoff retries marks the
+// served engine stale (Engine-Stale: true) instead of taking the service
+// down; on boot the WAL is replayed over the deterministically rebuilt base
+// corpus, so a kill -9 at any fault site recovers to a bit-identical
+// engine.
+//
 // Shutdown is graceful: Server.Shutdown stops accepting, flips /readyz to
 // draining, waits for in-flight requests under the caller's drain deadline,
 // and only then returns. cmd/ceaffd ties this to SIGTERM/SIGINT.
@@ -45,4 +60,14 @@ const (
 	// FaultPanic makes the align handler panic, exercising per-request
 	// panic isolation.
 	FaultPanic = "serve.panic"
+	// FaultWALAppend makes the durable append of a mutation batch fail
+	// after validation: the client gets a 500 and neither the WAL nor the
+	// projected state advances.
+	FaultWALAppend = "serve.wal.append"
+	// FaultRebuild makes a background rebuild attempt fail before the
+	// pipeline runs, driving the retry policy and the stale-engine state.
+	FaultRebuild = "serve.rebuild"
+	// FaultSwap makes the publish step fail after a successful build, so
+	// the freshly built engine is discarded and the attempt retried.
+	FaultSwap = "serve.swap"
 )

@@ -13,6 +13,7 @@ import (
 
 	"ceaff/internal/obs"
 	"ceaff/internal/robust"
+	"ceaff/internal/wal"
 )
 
 // Config parameterizes the HTTP server. The zero value is unusable; start
@@ -66,17 +67,27 @@ type Server struct {
 	admission *Admission
 	breaker   *Breaker
 	aligner   atomic.Pointer[alignerBox]
+	mutator   atomic.Pointer[mutatorBox]
 	draining  atomic.Bool
 	http      *http.Server
 
-	requests  *obs.Counter
-	fallbacks *obs.Counter
-	panics    *obs.Counter
-	latency   *obs.Histogram
+	// engineVersion is the WAL sequence number the served engine reflects;
+	// stale flags that a newer state exists but its rebuild failed.
+	engineVersion atomic.Uint64
+	stale         atomic.Bool
+
+	requests         *obs.Counter
+	fallbacks        *obs.Counter
+	panics           *obs.Counter
+	deadlineRejected *obs.Counter
+	latency          *obs.Histogram
 }
 
 // alignerBox wraps the interface so atomic.Pointer has a concrete type.
 type alignerBox struct{ a Aligner }
+
+// mutatorBox likewise for the mutation surface.
+type mutatorBox struct{ m Mutator }
 
 // NewServer builds a server around cfg. reg may be nil (metrics off), but
 // the daemon always passes one so /metrics has content.
@@ -100,14 +111,15 @@ func NewServer(cfg Config, reg *obs.Registry) *Server {
 		cfg.RetryAfter = DefaultServerConfig().RetryAfter
 	}
 	s := &Server{
-		cfg:       cfg,
-		reg:       reg,
-		admission: NewAdmission(cfg.MaxInFlight, cfg.MaxQueue, reg),
-		breaker:   NewBreaker(cfg.Breaker, reg),
-		requests:  reg.Counter("serve.requests"),
-		fallbacks: reg.Counter("serve.fallback"),
-		panics:    reg.Counter("serve.panics"),
-		latency:   reg.Histogram("serve.request.seconds"),
+		cfg:              cfg,
+		reg:              reg,
+		admission:        NewAdmission(cfg.MaxInFlight, cfg.MaxQueue, reg),
+		breaker:          NewBreaker(cfg.Breaker, reg),
+		requests:         reg.Counter("serve.requests"),
+		fallbacks:        reg.Counter("serve.fallback"),
+		panics:           reg.Counter("serve.panics"),
+		deadlineRejected: reg.Counter("serve.deadline.rejected"),
+		latency:          reg.Histogram("serve.request.seconds"),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -115,15 +127,50 @@ func NewServer(cfg Config, reg *obs.Registry) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("POST /v1/align", s.guard(http.HandlerFunc(s.handleAlign)))
 	mux.Handle("GET /v1/entity/{id}/candidates", s.guard(http.HandlerFunc(s.handleCandidates)))
+	mux.Handle("POST /v1/mutate", s.guard(http.HandlerFunc(s.handleMutate)))
 	s.http = &http.Server{Handler: mux}
 	return s
 }
 
 // SetAligner installs the query engine and flips the server ready. It is
 // called once the offline pipeline completes, so the daemon can expose
-// /healthz while still warming up.
+// /healthz while still warming up. The engine version is left unchanged;
+// versioned installs go through Publish.
 func (s *Server) SetAligner(a Aligner) {
+	s.Publish(a, s.engineVersion.Load())
+}
+
+// Publish atomically swaps in a new engine snapshot reflecting WAL sequence
+// version and clears any stale flag. Requests in flight keep the snapshot
+// they loaded at admission; new requests see the new one immediately.
+func (s *Server) Publish(a Aligner, version uint64) {
 	s.aligner.Store(&alignerBox{a: a})
+	s.engineVersion.Store(version)
+	s.stale.Store(false)
+	s.reg.Gauge("serve.engine.version").Set(float64(version))
+	s.reg.Gauge("serve.engine.stale").Set(0)
+	s.reg.Counter("serve.engine.swaps").Inc()
+}
+
+// MarkStale records that the served engine lags durable state because a
+// rebuild failed. The service keeps answering — degraded to staleness, not
+// down — and every response advertises Engine-Stale: true until the next
+// successful Publish.
+func (s *Server) MarkStale() {
+	s.stale.Store(true)
+	s.reg.Gauge("serve.engine.stale").Set(1)
+}
+
+// EngineVersion returns the WAL sequence number of the served engine.
+func (s *Server) EngineVersion() uint64 { return s.engineVersion.Load() }
+
+// Stale reports whether the served engine is marked stale.
+func (s *Server) Stale() bool { return s.stale.Load() }
+
+// SetMutator installs the mutation surface. Without one (no -wal), POST
+// /v1/mutate answers 501.
+func (s *Server) SetMutator(m Mutator) {
+	s.mutator.Store(&mutatorBox{m: m})
 }
 
 // Ready reports whether the server has an engine and is not draining.
@@ -185,6 +232,14 @@ func (s *Server) guard(next http.Handler) http.Handler {
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "not ready"})
 			return
 		}
+		w.Header().Set("Engine-Version", strconv.FormatUint(s.engineVersion.Load(), 10))
+		w.Header().Set("Engine-Stale", strconv.FormatBool(s.stale.Load()))
+		budget, err := s.requestBudget(r)
+		if err != nil {
+			s.deadlineRejected.Inc()
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
 		if err := s.admission.Acquire(r.Context()); err != nil {
 			if errors.Is(err, ErrShed) {
 				w.Header().Set("Retry-After",
@@ -198,29 +253,31 @@ func (s *Server) guard(next http.Handler) http.Handler {
 		}
 		defer s.admission.Release()
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.requestBudget(r))
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})
 }
 
 // requestBudget resolves the request's deadline: the client's X-Deadline-Ms
-// header clamped to [1ms, MaxTimeout], or DefaultTimeout when absent or
-// unparseable.
-func (s *Server) requestBudget(r *http.Request) time.Duration {
+// header clamped to MaxTimeout, or DefaultTimeout when absent. A header that
+// is present but not a positive integer is a client error, answered with 400
+// rather than silently running under the default budget the client did not
+// ask for.
+func (s *Server) requestBudget(r *http.Request) (time.Duration, error) {
 	h := r.Header.Get("X-Deadline-Ms")
 	if h == "" {
-		return s.cfg.DefaultTimeout
+		return s.cfg.DefaultTimeout, nil
 	}
 	ms, err := strconv.Atoi(h)
 	if err != nil || ms < 1 {
-		return s.cfg.DefaultTimeout
+		return 0, fmt.Errorf("malformed X-Deadline-Ms %q: want a positive integer of milliseconds", h)
 	}
 	d := time.Duration(ms) * time.Millisecond
 	if d > s.cfg.MaxTimeout {
-		return s.cfg.MaxTimeout
+		d = s.cfg.MaxTimeout
 	}
-	return d
+	return d, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -232,7 +289,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, readyzBody{
+		Status:        "ready",
+		EngineVersion: s.engineVersion.Load(),
+		Stale:         s.stale.Load(),
+	})
+}
+
+// readyzBody is the ready-state answer: readiness never flips during a
+// rebuild or after a failed one — staleness is reported here instead.
+type readyzBody struct {
+	Status        string `json:"status"`
+	EngineVersion uint64 `json:"engine_version"`
+	Stale         bool   `json:"stale"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -339,4 +408,45 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string][]Candidate{"candidates": cands})
+}
+
+// mutateRequest is the POST /v1/mutate body: a batch of mutations applied
+// all-or-nothing and acknowledged only after the WAL fsync.
+type mutateRequest struct {
+	Mutations []wal.Mutation `json:"mutations"`
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	box := s.mutator.Load()
+	if box == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			errorBody{Error: "mutations disabled: daemon started without -wal"})
+		return
+	}
+	var req mutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON body: " + err.Error()})
+		return
+	}
+	if len(req.Mutations) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty mutations"})
+		return
+	}
+	if len(req.Mutations) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Mutations), s.cfg.MaxBatch)})
+		return
+	}
+	res, err := box.m.Mutate(r.Context(), req.Mutations)
+	if err != nil {
+		var merr *MutationError
+		if errors.As(err, &merr) {
+			s.reg.Counter("serve.mutations.rejected").Inc()
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: merr.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync"
+
+	"ceaff/internal/align"
+	"ceaff/internal/core"
+	"ceaff/internal/kg"
+	"ceaff/internal/wal"
+)
+
+// MutationError reports that mutation Index of a batch failed validation —
+// the whole batch is rejected and no state (in memory or in the WAL)
+// changed. The HTTP layer maps it to 400.
+type MutationError struct {
+	Index int
+	Err   error
+}
+
+func (e *MutationError) Error() string {
+	return fmt.Sprintf("mutation %d: %v", e.Index, e.Err)
+}
+
+func (e *MutationError) Unwrap() error { return e.Err }
+
+// BaseFingerprint summarizes the base corpus an engine and its WAL are
+// built from: an FNV-1a hash over the KG names and the entity/relation/
+// triple/seed/test counts. It binds a mutation log to its base — replaying
+// onto a different corpus (changed -dataset, -scale or -splitseed) is
+// refused by wal.Open instead of silently diverging.
+func BaseFingerprint(in *core.Input) uint64 {
+	h := fnv.New64a()
+	w := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	w(in.G1.Name, in.G2.Name)
+	for _, n := range []int{
+		in.G1.NumEntities(), in.G1.NumRelations(), in.G1.NumTriples(),
+		in.G2.NumEntities(), in.G2.NumRelations(), in.G2.NumTriples(),
+		len(in.Seeds), len(in.Tests),
+	} {
+		w(strconv.Itoa(n))
+	}
+	return h.Sum64()
+}
+
+// Store holds the living corpus state behind the serving daemon: the base
+// input plus every durably logged mutation, applied in sequence order. It
+// is the single writer of that state; rebuilds take immutable snapshots
+// while new mutations keep arriving.
+//
+// The projection is rebuilt by cloning before each batch applies, so a
+// batch is all-or-nothing: if any mutation fails validation — checked with
+// internal/kg's checked inserts — the projection is untouched and nothing
+// reaches the WAL. Because both the boot replay and the online path apply
+// the identical mutation sequence to the identical base, the projected
+// state (and every engine built from it) is bit-deterministic.
+type Store struct {
+	mu   sync.Mutex
+	proj *core.Input // base + all applied mutations
+	seq  uint64      // seq of the last applied mutation
+}
+
+// NewStore builds the projected state: base cloned, then every replayed WAL
+// record applied in order. A replayed record that no longer validates means
+// the log and the base have diverged (e.g. the corpus flags changed in a
+// way the fingerprint missed), which is unrecoverable and returned as an
+// error rather than served silently wrong.
+func NewStore(base *core.Input, replay []wal.Record) (*Store, error) {
+	s := &Store{proj: base.Clone()}
+	for _, r := range replay {
+		if err := applyMutation(s.proj, r.Mut); err != nil {
+			return nil, fmt.Errorf("serve: wal replay seq %d: %w", r.Seq, err)
+		}
+		s.seq = r.Seq
+	}
+	return s, nil
+}
+
+// Seq returns the sequence number of the last applied mutation.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Snapshot returns an immutable deep copy of the projected input and the
+// sequence number it reflects. Rebuilds consume snapshots so concurrent
+// mutations never race a running pipeline.
+func (s *Store) Snapshot() (*core.Input, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.proj.Clone(), s.seq
+}
+
+// Mutate validates and applies muts as one atomic batch: they are staged on
+// a clone of the projection, handed to commit (the WAL append — the batch
+// becomes durable there, or not at all), and only on its success does the
+// staged clone replace the projection. Validation failures return a
+// *MutationError and leave every layer untouched; commit failures discard
+// the staged clone.
+func (s *Store) Mutate(muts []wal.Mutation, commit func([]wal.Mutation) (first, last uint64, err error)) (first, last uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	staged := s.proj.Clone()
+	for i, m := range muts {
+		if err := applyMutation(staged, m); err != nil {
+			return 0, 0, &MutationError{Index: i, Err: err}
+		}
+	}
+	first, last, err = commit(muts)
+	if err != nil {
+		return 0, 0, err
+	}
+	if first != s.seq+1 {
+		// The WAL and the projection disagree about history; refusing to
+		// advance keeps the divergence visible instead of compounding it.
+		return 0, 0, fmt.Errorf("serve: wal assigned seq %d, store expected %d", first, s.seq+1)
+	}
+	s.proj, s.seq = staged, last
+	return first, last, nil
+}
+
+// applyMutation validates one mutation (shape via wal.Mutation.Validate,
+// semantics against the live KG state) and applies it to in: removals must
+// hit existing facts, seed links must reference existing entities and not
+// duplicate existing links. Additions intern new entity/relation names
+// deterministically in arrival order.
+func applyMutation(in *core.Input, m wal.Mutation) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	switch m.Op {
+	case wal.OpAddTriple:
+		g := pickKG(in, m.KG)
+		h, r, t := g.AddEntity(m.Head), g.AddRelation(m.Rel), g.AddEntity(m.Tail)
+		return g.CheckedAddTriple(h, r, t)
+
+	case wal.OpRemoveTriple:
+		g := pickKG(in, m.KG)
+		h, ok := g.Entity(m.Head)
+		if !ok {
+			return fmt.Errorf("kg %d has no entity %q", m.KG, m.Head)
+		}
+		r, ok := g.Relation(m.Rel)
+		if !ok {
+			return fmt.Errorf("kg %d has no relation %q", m.KG, m.Rel)
+		}
+		t, ok := g.Entity(m.Tail)
+		if !ok {
+			return fmt.Errorf("kg %d has no entity %q", m.KG, m.Tail)
+		}
+		if !g.RemoveTriple(h, r, t) {
+			return fmt.Errorf("kg %d has no triple (%q, %q, %q)", m.KG, m.Head, m.Rel, m.Tail)
+		}
+		return nil
+
+	case wal.OpAddSeed:
+		u, v, err := resolveSeed(in, m)
+		if err != nil {
+			return err
+		}
+		for _, p := range in.Seeds {
+			if p.U == u && p.V == v {
+				return fmt.Errorf("seed link (%q, %q) already present", m.Source, m.Target)
+			}
+		}
+		in.Seeds = append(in.Seeds, align.Pair{U: u, V: v})
+		return nil
+
+	case wal.OpRemoveSeed:
+		u, v, err := resolveSeed(in, m)
+		if err != nil {
+			return err
+		}
+		for i, p := range in.Seeds {
+			if p.U == u && p.V == v {
+				in.Seeds = append(in.Seeds[:i], in.Seeds[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("no seed link (%q, %q)", m.Source, m.Target)
+
+	default:
+		return fmt.Errorf("unknown op %q", m.Op)
+	}
+}
+
+func pickKG(in *core.Input, which int) *kg.KG {
+	if which == 1 {
+		return in.G1
+	}
+	return in.G2 // Validate already confined which to {1, 2}
+}
+
+func resolveSeed(in *core.Input, m wal.Mutation) (u, v kg.EntityID, err error) {
+	u, ok := in.G1.Entity(m.Source)
+	if !ok {
+		return 0, 0, fmt.Errorf("source KG has no entity %q", m.Source)
+	}
+	v, ok = in.G2.Entity(m.Target)
+	if !ok {
+		return 0, 0, fmt.Errorf("target KG has no entity %q", m.Target)
+	}
+	return u, v, nil
+}

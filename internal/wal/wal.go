@@ -1,0 +1,355 @@
+// Package wal is the durable mutation log behind online KG updates: an
+// append-only file of CRC32-framed, fsync-on-commit mutation records with
+// monotonic sequence numbers. The serving daemon appends every accepted
+// mutation batch before acknowledging it, so a crash at any point loses at
+// most un-acknowledged work; on boot the log is replayed on top of the
+// deterministically rebuilt base corpus, reproducing the mutated state bit
+// for bit.
+//
+// On-disk layout:
+//
+//	header : 8-byte magic "CEAFFWL1" | 8-byte big-endian base fingerprint
+//	frame  : 4-byte payload length | 8-byte sequence number | payload (JSON
+//	         mutation) | 4-byte CRC32 (IEEE) over length+seq+payload
+//
+// The base fingerprint binds the log to the corpus it was recorded against
+// (see serve.BaseFingerprint): replaying triple mutations onto a different
+// base would silently produce a different engine, so Open refuses a log
+// whose fingerprint does not match.
+//
+// Recovery discipline, mirroring the checkpoint magic+CRC scheme in
+// internal/gcn:
+//
+//   - A frame cut short by the end of the file is a torn tail — the write
+//     that crashed before its fsync completed. It was never acknowledged,
+//     so Open truncates it away silently and reports the dropped bytes.
+//   - A complete final frame with a bad CRC is the fsync-in-flight frame
+//     hit by a torn page; it too was unacknowledged and is truncated.
+//   - A bad frame *followed by a valid frame* is mid-log corruption of
+//     acknowledged data (bit rot). That is unrecoverable without silently
+//     losing durable mutations, so Open refuses with ErrCorruptLog and
+//     leaves the file untouched for inspection.
+//
+// A corrupted length field destroys the framing of everything after it and
+// is indistinguishable from a torn tail; frames after such damage are
+// dropped. This is the standard limit of length-prefixed framing without
+// sync markers and is acceptable here because every acknowledged frame was
+// fsynced whole.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"ceaff/internal/obs"
+)
+
+// ErrCorruptLog reports unrecoverable damage to the mutation log: a bad
+// header, a fingerprint mismatch, or corruption of acknowledged (non-tail)
+// frames. The caller must not start serving from such a log; deleting it
+// loses durable mutations and is an operator decision.
+var ErrCorruptLog = errors.New("wal: corrupt mutation log")
+
+// logMagic opens every mutation-log file.
+const logMagic = "CEAFFWL1"
+
+// headerLen is magic plus the 8-byte base fingerprint.
+const headerLen = len(logMagic) + 8
+
+// maxFrameLen bounds a single mutation payload; anything larger in a length
+// field is treated as framing damage.
+const maxFrameLen = 1 << 20
+
+// frameOverhead is the non-payload bytes of a frame: length, seq, CRC.
+const frameOverhead = 4 + 8 + 4
+
+// Mutation op names. They double as the wire values of the /v1/mutate API.
+const (
+	// OpAddTriple adds a relational triple to KG 1 or 2, interning any new
+	// entity or relation names.
+	OpAddTriple = "add_triple"
+	// OpRemoveTriple removes the first matching (head, rel, tail) triple.
+	OpRemoveTriple = "remove_triple"
+	// OpAddSeed adds a seed alignment link between existing entities.
+	OpAddSeed = "add_seed"
+	// OpRemoveSeed removes an existing seed link.
+	OpRemoveSeed = "remove_seed"
+)
+
+// Mutation is one logged KG update. Triple ops use KG/Head/Rel/Tail; seed
+// ops use Source/Target. All references are by entity/relation *name* so a
+// replay re-interns deterministically regardless of prior ID assignment.
+type Mutation struct {
+	Op     string `json:"op"`
+	KG     int    `json:"kg,omitempty"` // 1 or 2, triple ops only
+	Head   string `json:"head,omitempty"`
+	Rel    string `json:"rel,omitempty"`
+	Tail   string `json:"tail,omitempty"`
+	Source string `json:"source,omitempty"` // G1 entity name, seed ops
+	Target string `json:"target,omitempty"` // G2 entity name, seed ops
+}
+
+// Validate checks the mutation's shape: a known op with the fields that op
+// requires. Semantic validation (does the triple exist, is the seed a
+// duplicate) happens against live KG state in the serving layer.
+func (m Mutation) Validate() error {
+	switch m.Op {
+	case OpAddTriple, OpRemoveTriple:
+		if m.KG != 1 && m.KG != 2 {
+			return fmt.Errorf("wal: %s: kg must be 1 or 2, got %d", m.Op, m.KG)
+		}
+		if m.Head == "" || m.Rel == "" || m.Tail == "" {
+			return fmt.Errorf("wal: %s: head, rel and tail must be non-empty", m.Op)
+		}
+	case OpAddSeed, OpRemoveSeed:
+		if m.Source == "" || m.Target == "" {
+			return fmt.Errorf("wal: %s: source and target must be non-empty", m.Op)
+		}
+	case "":
+		return errors.New("wal: mutation missing op")
+	default:
+		return fmt.Errorf("wal: unknown op %q", m.Op)
+	}
+	return nil
+}
+
+// Record is one replayed log entry: the mutation plus its sequence number.
+// Sequence numbers start at 1 and increase by exactly one per record.
+type Record struct {
+	Seq uint64
+	Mut Mutation
+}
+
+// ReplayInfo reports what Open recovered from an existing log.
+type ReplayInfo struct {
+	// Records are the valid frames in sequence order.
+	Records []Record
+	// TornBytes is how many trailing bytes were truncated as a torn tail
+	// (0 for a cleanly closed log).
+	TornBytes int64
+}
+
+// Log is an open mutation log positioned for appending. All methods are
+// safe for concurrent use; appends are serialized and acknowledged only
+// after fsync.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seq  uint64 // last assigned sequence number
+	size int64  // current valid file length
+
+	appends, records, fsyncs, replayed *obs.Counter
+}
+
+// Open opens (creating if absent) the log at path, verifies the header
+// against baseFP, replays all intact frames, truncates any torn tail, and
+// returns the log positioned for appending. reg may be nil (metrics off).
+func Open(path string, baseFP uint64, reg *obs.Registry) (*Log, ReplayInfo, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, ReplayInfo{}, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{
+		f: f, path: path,
+		appends:  reg.Counter("wal.appends"),
+		records:  reg.Counter("wal.records"),
+		fsyncs:   reg.Counter("wal.fsyncs"),
+		replayed: reg.Counter("wal.replayed"),
+	}
+	info, err := l.recover(baseFP)
+	if err != nil {
+		f.Close()
+		return nil, ReplayInfo{}, err
+	}
+	l.replayed.Add(int64(len(info.Records)))
+	reg.Gauge("wal.seq").Set(float64(l.seq))
+	return l, info, nil
+}
+
+// recover reads or initializes the header, scans frames, and truncates a
+// torn tail so the file ends on a frame boundary.
+func (l *Log) recover(baseFP uint64) (ReplayInfo, error) {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return ReplayInfo{}, fmt.Errorf("wal: read: %w", err)
+	}
+	if len(data) == 0 {
+		header := make([]byte, headerLen)
+		copy(header, logMagic)
+		binary.BigEndian.PutUint64(header[len(logMagic):], baseFP)
+		if _, err := l.f.Write(header); err != nil {
+			return ReplayInfo{}, fmt.Errorf("wal: write header: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return ReplayInfo{}, fmt.Errorf("wal: sync header: %w", err)
+		}
+		l.fsyncs.Inc()
+		l.size = int64(headerLen)
+		return ReplayInfo{}, nil
+	}
+	if len(data) < headerLen || !bytes.Equal(data[:len(logMagic)], []byte(logMagic)) {
+		return ReplayInfo{}, fmt.Errorf("%w: bad header in %s", ErrCorruptLog, l.path)
+	}
+	if got := binary.BigEndian.Uint64(data[len(logMagic):headerLen]); got != baseFP {
+		return ReplayInfo{}, fmt.Errorf("%w: base fingerprint %016x, log records %016x — the log belongs to a different base corpus",
+			ErrCorruptLog, baseFP, got)
+	}
+
+	var info ReplayInfo
+	off := headerLen
+	for off < len(data) {
+		rec, next, ferr := parseFrame(data, off, l.seq+1)
+		if ferr != nil {
+			// A valid continuation after the bad frame means acknowledged
+			// data is damaged mid-log; a bad frame at the tail is a torn
+			// write that was never acknowledged.
+			if next > off && hasValidFrame(data, next, l.seq+2) {
+				return ReplayInfo{}, fmt.Errorf("%w: frame %d at offset %d: %v",
+					ErrCorruptLog, l.seq+1, off, ferr)
+			}
+			info.TornBytes = int64(len(data) - off)
+			break
+		}
+		info.Records = append(info.Records, rec)
+		l.seq = rec.Seq
+		off = next
+	}
+	l.size = int64(off)
+	if info.TornBytes > 0 {
+		if err := l.f.Truncate(l.size); err != nil {
+			return ReplayInfo{}, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return ReplayInfo{}, fmt.Errorf("wal: sync after truncate: %w", err)
+		}
+		l.fsyncs.Inc()
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		return ReplayInfo{}, fmt.Errorf("wal: seek: %w", err)
+	}
+	return info, nil
+}
+
+// parseFrame decodes the frame at off. On success it returns the record and
+// the offset of the next frame. On failure, next is the offset just past
+// the frame's claimed extent when that extent is in bounds (so the caller
+// can probe for a continuation), or off itself when the file ends first.
+func parseFrame(data []byte, off int, wantSeq uint64) (rec Record, next int, err error) {
+	if len(data)-off < frameOverhead {
+		return rec, off, errors.New("frame header cut short")
+	}
+	plen := int(binary.BigEndian.Uint32(data[off:]))
+	if plen > maxFrameLen {
+		return rec, off, fmt.Errorf("frame length %d exceeds limit", plen)
+	}
+	end := off + frameOverhead + plen
+	if end > len(data) {
+		return rec, off, errors.New("frame cut short")
+	}
+	body := data[off : end-4]
+	want := binary.BigEndian.Uint32(data[end-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return rec, end, fmt.Errorf("crc32 %08x, frame records %08x", got, want)
+	}
+	seq := binary.BigEndian.Uint64(data[off+4:])
+	if seq != wantSeq {
+		return rec, end, fmt.Errorf("sequence %d, want %d", seq, wantSeq)
+	}
+	var m Mutation
+	if jerr := json.Unmarshal(data[off+12:end-4], &m); jerr != nil {
+		return rec, end, fmt.Errorf("payload: %v", jerr)
+	}
+	return Record{Seq: seq, Mut: m}, end, nil
+}
+
+// hasValidFrame reports whether a syntactically valid frame with the
+// expected sequence number starts at off.
+func hasValidFrame(data []byte, off int, wantSeq uint64) bool {
+	if off >= len(data) {
+		return false
+	}
+	_, _, err := parseFrame(data, off, wantSeq)
+	return err == nil
+}
+
+// Seq returns the last assigned sequence number (0 for an empty log).
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Append frames and writes muts as consecutive records, fsyncs, and returns
+// the first and last assigned sequence numbers. The records are durable —
+// and the mutations may be acknowledged — only once Append returns nil. On
+// a write error the file is rolled back to its previous frame boundary so
+// the log never holds a partially acknowledged batch.
+func (l *Log) Append(muts []Mutation) (first, last uint64, err error) {
+	if len(muts) == 0 {
+		return 0, 0, errors.New("wal: empty append")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var buf bytes.Buffer
+	seq := l.seq
+	for _, m := range muts {
+		if err := m.Validate(); err != nil {
+			return 0, 0, err
+		}
+		payload, err := json.Marshal(m)
+		if err != nil {
+			return 0, 0, fmt.Errorf("wal: encode mutation: %w", err)
+		}
+		if len(payload) > maxFrameLen {
+			return 0, 0, fmt.Errorf("wal: mutation of %d bytes exceeds frame limit", len(payload))
+		}
+		seq++
+		start := buf.Len()
+		var hdr [12]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+		binary.BigEndian.PutUint64(hdr[4:], seq)
+		buf.Write(hdr[:])
+		buf.Write(payload)
+		var crc [4]byte
+		binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()[start:]))
+		buf.Write(crc[:])
+	}
+	if _, werr := l.f.Write(buf.Bytes()); werr != nil {
+		l.rollback()
+		return 0, 0, fmt.Errorf("wal: append: %w", werr)
+	}
+	if serr := l.f.Sync(); serr != nil {
+		l.rollback()
+		return 0, 0, fmt.Errorf("wal: fsync: %w", serr)
+	}
+	l.fsyncs.Inc()
+	first, last = l.seq+1, seq
+	l.seq = seq
+	l.size += int64(buf.Len())
+	l.appends.Inc()
+	l.records.Add(int64(len(muts)))
+	return first, last, nil
+}
+
+// rollback restores the file to the last durable frame boundary after a
+// failed write; best effort, since the next recover would truncate the same
+// bytes as a torn tail anyway.
+func (l *Log) rollback() {
+	_ = l.f.Truncate(l.size)
+	_, _ = l.f.Seek(l.size, io.SeekStart)
+}
+
+// Close releases the file handle. Appended records are already durable.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

@@ -1,0 +1,285 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ceaff/internal/obs"
+)
+
+const testFP = 0xDEADBEEFCAFE0123
+
+func testMuts(n int) []Mutation {
+	out := make([]Mutation, n)
+	for i := range out {
+		switch i % 4 {
+		case 0:
+			out[i] = Mutation{Op: OpAddTriple, KG: 1, Head: "h", Rel: "r", Tail: string(rune('a' + i))}
+		case 1:
+			out[i] = Mutation{Op: OpAddSeed, Source: "s", Target: string(rune('A' + i))}
+		case 2:
+			out[i] = Mutation{Op: OpRemoveTriple, KG: 2, Head: "x", Rel: "q", Tail: "y"}
+		default:
+			out[i] = Mutation{Op: OpRemoveSeed, Source: "s", Target: "t"}
+		}
+	}
+	return out
+}
+
+func openT(t *testing.T, path string) (*Log, ReplayInfo) {
+	t.Helper()
+	l, info, err := Open(path, testFP, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, info
+}
+
+// TestAppendReplayRoundtrip pins the basic contract: everything appended
+// (across several batches and a close/reopen) comes back in order with
+// consecutive sequence numbers starting at 1.
+func TestAppendReplayRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, info := openT(t, path)
+	if len(info.Records) != 0 || info.TornBytes != 0 || l.Seq() != 0 {
+		t.Fatalf("fresh log: %+v seq %d", info, l.Seq())
+	}
+	muts := testMuts(7)
+	first, last, err := l.Append(muts[:3])
+	if err != nil || first != 1 || last != 3 {
+		t.Fatalf("append 1: %d..%d, %v", first, last, err)
+	}
+	first, last, err = l.Append(muts[3:])
+	if err != nil || first != 4 || last != 7 {
+		t.Fatalf("append 2: %d..%d, %v", first, last, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, info := openT(t, path)
+	defer l2.Close()
+	if len(info.Records) != 7 || info.TornBytes != 0 {
+		t.Fatalf("replay: %d records, %d torn bytes", len(info.Records), info.TornBytes)
+	}
+	for i, r := range info.Records {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if r.Mut != muts[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, r.Mut, muts[i])
+		}
+	}
+	if l2.Seq() != 7 {
+		t.Fatalf("reopened seq %d, want 7", l2.Seq())
+	}
+	// Appends continue the sequence after reopen.
+	if first, last, err = l2.Append(testMuts(1)); err != nil || first != 8 || last != 8 {
+		t.Fatalf("post-reopen append: %d..%d, %v", first, last, err)
+	}
+}
+
+// TestTornTailTruncated crashes mid-write at every possible byte boundary
+// of the final frame: replay must recover all fully fsynced records, drop
+// the torn tail, and leave the log appendable.
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openT(t, path)
+	if _, _, err := l.Append(testMuts(3)); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Find the start of the last frame by replaying the framing.
+	lastStart := lastFrameStart(t, whole)
+	for cut := lastStart + 1; cut < len(whole); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn")
+		if err := os.WriteFile(torn, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, info, err := Open(torn, testFP, nil)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if len(info.Records) != 2 || info.TornBytes != int64(cut-lastStart) {
+			t.Fatalf("cut at %d: %d records, %d torn bytes", cut, len(info.Records), info.TornBytes)
+		}
+		if l2.Seq() != 2 {
+			t.Fatalf("cut at %d: seq %d, want 2", cut, l2.Seq())
+		}
+		// The truncated log accepts new appends at seq 3.
+		if first, _, err := l2.Append(testMuts(1)); err != nil || first != 3 {
+			t.Fatalf("cut at %d: append after truncation: %d, %v", cut, first, err)
+		}
+		l2.Close()
+	}
+}
+
+// lastFrameStart walks the frames of a valid log and returns the offset of
+// the final frame.
+func lastFrameStart(t *testing.T, data []byte) int {
+	t.Helper()
+	off, last := headerLen, headerLen
+	var seq uint64
+	for off < len(data) {
+		_, next, err := parseFrame(data, off, seq+1)
+		if err != nil {
+			t.Fatalf("frame walk at %d: %v", off, err)
+		}
+		last, off = off, next
+		seq++
+	}
+	return last
+}
+
+// TestTailBitFlipTruncated flips one byte in the final frame's payload: the
+// frame fails its CRC, is treated as the unacknowledged in-flight write,
+// and is truncated away.
+func TestTailBitFlipTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openT(t, path)
+	if _, _, err := l.Append(testMuts(3)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, _ := os.ReadFile(path)
+	lastStart := lastFrameStart(t, data)
+	data[lastStart+13] ^= 0x40 // inside the final payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, info, err := Open(path, testFP, nil)
+	if err != nil {
+		t.Fatalf("tail bit-flip must truncate, got %v", err)
+	}
+	defer l2.Close()
+	if len(info.Records) != 2 || info.TornBytes == 0 {
+		t.Fatalf("got %d records, %d torn bytes; want 2 records, >0 torn", len(info.Records), info.TornBytes)
+	}
+}
+
+// TestMidLogBitFlipRefused flips one byte in the first frame's payload
+// while later frames are intact: that is corruption of acknowledged data,
+// so Open must refuse with ErrCorruptLog instead of silently dropping
+// durable mutations.
+func TestMidLogBitFlipRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openT(t, path)
+	if _, _, err := l.Append(testMuts(3)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, _ := os.ReadFile(path)
+	data[headerLen+13] ^= 0x01 // inside the first payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(path, testFP, nil); !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("mid-log bit-flip: err %v, want ErrCorruptLog", err)
+	}
+}
+
+// TestHeaderCorruptionRefused damages the magic and the fingerprint in
+// turn; both must be refused explicitly.
+func TestHeaderCorruptionRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openT(t, path)
+	l.Append(testMuts(1))
+	l.Close()
+	data, _ := os.ReadFile(path)
+
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, testFP, nil); !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("bad magic: err %v, want ErrCorruptLog", err)
+	}
+
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, testFP+1, nil); !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("fingerprint mismatch: err %v, want ErrCorruptLog", err)
+	}
+}
+
+// TestMutationValidate covers the op-shape validation surface.
+func TestMutationValidate(t *testing.T) {
+	for _, tc := range []struct {
+		m  Mutation
+		ok bool
+	}{
+		{Mutation{Op: OpAddTriple, KG: 1, Head: "h", Rel: "r", Tail: "t"}, true},
+		{Mutation{Op: OpRemoveTriple, KG: 2, Head: "h", Rel: "r", Tail: "t"}, true},
+		{Mutation{Op: OpAddSeed, Source: "s", Target: "t"}, true},
+		{Mutation{Op: OpRemoveSeed, Source: "s", Target: "t"}, true},
+		{Mutation{Op: OpAddTriple, KG: 3, Head: "h", Rel: "r", Tail: "t"}, false},
+		{Mutation{Op: OpAddTriple, KG: 1, Head: "", Rel: "r", Tail: "t"}, false},
+		{Mutation{Op: OpAddSeed, Source: "", Target: "t"}, false},
+		{Mutation{Op: "rename_entity", Source: "a", Target: "b"}, false},
+		{Mutation{}, false},
+	} {
+		if err := tc.m.Validate(); (err == nil) != tc.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", tc.m, err, tc.ok)
+		}
+	}
+	// An invalid mutation must not reach the file.
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openT(t, path)
+	defer l.Close()
+	if _, _, err := l.Append([]Mutation{{Op: "bogus"}}); err == nil {
+		t.Fatal("invalid mutation appended")
+	}
+	if _, _, err := l.Append(nil); err == nil {
+		t.Fatal("empty append accepted")
+	}
+	if l.Seq() != 0 {
+		t.Fatalf("failed appends advanced seq to %d", l.Seq())
+	}
+}
+
+// TestMetricsCounters pins the wal.* observability names.
+func TestMetricsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Open(path, testFP, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(testMuts(3))
+	l.Append(testMuts(2))
+	l.Close()
+	if got := reg.Counter("wal.appends").Value(); got != 2 {
+		t.Errorf("wal.appends = %d, want 2", got)
+	}
+	if got := reg.Counter("wal.records").Value(); got != 5 {
+		t.Errorf("wal.records = %d, want 5", got)
+	}
+	// Header sync plus one per append.
+	if got := reg.Counter("wal.fsyncs").Value(); got != 3 {
+		t.Errorf("wal.fsyncs = %d, want 3", got)
+	}
+
+	reg2 := obs.NewRegistry()
+	l2, _, err := Open(path, testFP, reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := reg2.Counter("wal.replayed").Value(); got != 5 {
+		t.Errorf("wal.replayed = %d, want 5", got)
+	}
+	if got := reg2.Gauge("wal.seq").Value(); got != 5 {
+		t.Errorf("wal.seq gauge = %v, want 5", got)
+	}
+}

@@ -1,9 +1,12 @@
 #!/bin/sh
 # serve-smoke.sh — end-to-end smoke test of the ceaffd serving daemon.
 #
-# Boots the daemon on an ephemeral port with a small synthesized dataset,
-# asserts that /readyz flips from 503 (warming up) to 200, issues one
-# collective alignment query and one candidates query, then sends SIGTERM
+# Boots the daemon on an ephemeral port with a small synthesized dataset
+# and a durable mutation log, asserts that /readyz flips from 503 (warming
+# up) to 200, issues one collective alignment query and one candidates
+# query, then exercises the durable update cycle: mutate → background
+# rebuild → engine version bump → SIGKILL → restart → WAL replay restores
+# the version → another mutation advances it — and finally sends SIGTERM
 # and asserts the drain completes with exit code 0.
 set -eu
 
@@ -11,6 +14,7 @@ workdir=$(mktemp -d)
 bin="$workdir/ceaffd"
 addrfile="$workdir/addr"
 logfile="$workdir/ceaffd.log"
+walfile="$workdir/mutations.wal"
 pid=""
 
 cleanup() {
@@ -31,21 +35,50 @@ fail() {
 echo "serve-smoke: building ceaffd"
 go build -o "$bin" ./cmd/ceaffd
 
-"$bin" -fast -scale 0.05 -addr 127.0.0.1:0 -addrfile "$addrfile" \
-	-drain-timeout 10s >"$logfile" 2>&1 &
-pid=$!
+# boot starts (or restarts) the daemon with a stable corpus configuration —
+# the WAL is fingerprint-bound to the base corpus, so every life must use
+# the same dataset flags.
+boot() {
+	rm -f "$addrfile"
+	"$bin" -fast -scale 0.05 -addr 127.0.0.1:0 -addrfile "$addrfile" \
+		-drain-timeout 10s -wal "$walfile" >>"$logfile" 2>&1 &
+	pid=$!
 
-# Wait for the listener (the addrfile appears as soon as the socket is
-# bound, before the pipeline warm-up finishes).
-i=0
-while [ ! -s "$addrfile" ]; do
-	kill -0 "$pid" 2>/dev/null || fail "daemon exited before binding"
-	i=$((i + 1))
-	[ "$i" -le 100 ] || fail "addrfile never appeared"
-	sleep 0.1
-done
-addr=$(cat "$addrfile")
-echo "serve-smoke: daemon listening on $addr"
+	# Wait for the listener (the addrfile appears as soon as the socket is
+	# bound, before the pipeline warm-up finishes).
+	i=0
+	while [ ! -s "$addrfile" ]; do
+		kill -0 "$pid" 2>/dev/null || fail "daemon exited before binding"
+		i=$((i + 1))
+		[ "$i" -le 100 ] || fail "addrfile never appeared"
+		sleep 0.1
+	done
+	addr=$(cat "$addrfile")
+	echo "serve-smoke: daemon listening on $addr"
+}
+
+# wait_version polls /readyz until the body reports the wanted engine
+# version, asserting readiness stays 200 the whole time (a rebuild must
+# never flip readiness).
+wait_version() {
+	want=$1
+	i=0
+	while :; do
+		rz=$(curl -s -w '\n%{http_code}' "http://$addr/readyz" || echo 000)
+		rc=$(echo "$rz" | tail -1)
+		[ "$rc" = 200 ] || fail "/readyz returned $rc while waiting for version $want"
+		case "$rz" in
+		*"\"engine_version\":$want"*) break ;;
+		esac
+		kill -0 "$pid" 2>/dev/null || fail "daemon died waiting for version $want"
+		i=$((i + 1))
+		[ "$i" -le 600 ] || fail "engine version never reached $want: $rz"
+		sleep 0.1
+	done
+	echo "serve-smoke: engine version reached $want"
+}
+
+boot
 
 # Liveness must be up immediately; readiness flips once the engine loads.
 code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/healthz")
@@ -87,6 +120,59 @@ case "$body" in
 *'"counters"'*) ;;
 *) fail "metrics response malformed: $body" ;;
 esac
+
+# --- Durable update cycle ---
+
+# A fresh WAL boots at engine version 0.
+wait_version 0
+
+# One durable mutation batch: brand-new entity names are always valid.
+body=$(curl -s -f -X POST "http://$addr/v1/mutate" \
+	-H 'Content-Type: application/json' \
+	-d '{"mutations":[{"op":"add_triple","kg":1,"head":"smoke:h1","rel":"smoke:r","tail":"smoke:t1"}]}') \
+	|| fail "mutate request failed"
+case "$body" in
+*'"first_seq":1'*) ;;
+*) fail "mutate response malformed: $body" ;;
+esac
+echo "serve-smoke: mutation acknowledged (seq 1)"
+
+# The background rebuild publishes version 1 without readiness ever
+# flipping; the service answers align queries throughout.
+curl -s -f -X POST "http://$addr/v1/align" \
+	-H 'Content-Type: application/json' \
+	-d '{"sources":["0"]}' >/dev/null || fail "align during rebuild failed"
+wait_version 1
+hdr=$(curl -s -o /dev/null -D - -X POST "http://$addr/v1/align" \
+	-H 'Content-Type: application/json' -d '{"sources":["0"]}')
+case "$hdr" in
+*'Engine-Version: 1'*) ;;
+*) fail "Engine-Version header missing after rebuild: $hdr" ;;
+esac
+echo "serve-smoke: rebuild published version 1"
+
+# kill -9: no drain, no goodbye. The restart must replay the WAL over the
+# regenerated base corpus and come back at the durable version.
+kill -KILL "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "serve-smoke: daemon killed (SIGKILL), restarting"
+boot
+wait_version 1
+grep -q "wal: replayed 1 mutations" "$logfile" || fail "restart did not replay the WAL"
+echo "serve-smoke: WAL replay recovered version 1 after SIGKILL"
+
+# Mutations keep working in the second life, continuing the sequence.
+body=$(curl -s -f -X POST "http://$addr/v1/mutate" \
+	-H 'Content-Type: application/json' \
+	-d '{"mutations":[{"op":"add_triple","kg":2,"head":"smoke:h2","rel":"smoke:r","tail":"smoke:t2"}]}') \
+	|| fail "post-recovery mutate failed"
+case "$body" in
+*'"first_seq":2'*) ;;
+*) fail "post-recovery mutate response malformed: $body" ;;
+esac
+wait_version 2
+echo "serve-smoke: post-recovery mutation reached version 2"
 
 # SIGTERM must drain gracefully and exit 0.
 kill -TERM "$pid"
