@@ -1,8 +1,10 @@
 # Tier-1 verification for the CEAFF reproduction. `make check` is the
 # full gate: formatting, vet, build, and the race-enabled test suite.
-# `make bench` regenerates BENCH_PR4.json: table + kernel benchmarks plus
+# `make bench` regenerates BENCH_PR7.json: table + kernel benchmarks plus
 # an instrumented pipeline run, folded into one schema-stable file that
-# cmd/benchdiff can compare across commits.
+# cmd/benchdiff can compare across commits. `make fuzz-smoke` runs each
+# native fuzz target briefly — the corruption-recovery and string-metric
+# invariants hold under fresh random inputs, not just the checked-in seeds.
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
@@ -10,9 +12,11 @@ GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 # ±15% regression threshold on, and charges one-time pool/runtime setup to
 # the lone iteration. The whole suite still runs in ~15s.
 BENCHTIME ?= 3x
-BENCHOUT  ?= BENCH_PR4.json
+BENCHOUT  ?= BENCH_PR7.json
 
-.PHONY: check fmt vet build test race bench serve-smoke
+FUZZTIME ?= 15s
+
+.PHONY: check fmt vet build test race bench serve-smoke fuzz-smoke cover
 
 check: fmt vet build race
 
@@ -38,6 +42,16 @@ race:
 # and one candidates query, SIGTERM, and require a clean (exit 0) drain.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Brief random-input runs of the native fuzz targets (go test -fuzz allows
+# one target per invocation).
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal
+	go test -run '^$$' -fuzz FuzzStrsimRatio -fuzztime $(FUZZTIME) ./internal/strsim
+
+# Per-package statement coverage summary.
+cover:
+	go test -cover ./...
 
 bench:
 	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . | tee /tmp/ceaff-bench.txt

@@ -13,23 +13,40 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ceaff/internal/benchfmt"
 	"ceaff/internal/obs"
 )
 
+// noteFlags collects repeatable -note key=value annotations.
+type noteFlags map[string]string
+
+func (n noteFlags) String() string { return "" }
+
+func (n noteFlags) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("note %q is not key=value", v)
+	}
+	n[k] = val
+	return nil
+}
+
 func main() {
 	benchPath := flag.String("bench", "", "`file` holding go test -bench output (default: stdin)")
 	outPath := flag.String("o", "BENCH_PR2.json", "output `file`")
+	notes := noteFlags{}
+	flag.Var(notes, "note", "`key=value` annotation folded into the output's notes map (repeatable)")
 	flag.Parse()
 
-	if err := run(*benchPath, *outPath, flag.Args()); err != nil {
+	if err := run(*benchPath, *outPath, flag.Args(), notes); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfold:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchPath, outPath string, reportPaths []string) error {
+func run(benchPath, outPath string, reportPaths []string, notes map[string]string) error {
 	in := os.Stdin
 	if benchPath != "" {
 		f, err := os.Open(benchPath)
@@ -59,6 +76,9 @@ func run(benchPath, outPath string, reportPaths []string) error {
 			return fmt.Errorf("duplicate report name %q (from %s)", name, p)
 		}
 		out.Reports[name] = rep
+	}
+	if len(notes) > 0 {
+		out.Notes = notes
 	}
 
 	if err := out.Write(outPath); err != nil {

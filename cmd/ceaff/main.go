@@ -9,8 +9,17 @@
 //	      [-load dir] [-vec1 file.vec] [-vec2 file.vec] [-seedfrac 0.3]
 //	      [-no-structural] [-no-semantic] [-no-string]
 //	      [-fusion adaptive|fixed|lr] [-decision collective|independent|hungarian]
-//	      [-theta1 0.98] [-theta2 0.1]
+//	      [-theta1 0.98] [-theta2 0.1] [-csls 0] [-pref-topk 0]
+//	      [-blocked] [-min-candidates 20] [-stop-threshold 0]
+//	      [-lsh-tables 0] [-lsh-bits 12] [-max-bucket 0] [-max-seed-fanout 0]
+//	      [-gcn-epochs 0] [-no-hard-negatives]
 //	      [-timeout 0] [-checkpoint file]
+//
+// -blocked runs the candidate-first pipeline: token, neighbour and
+// (optionally) LSH blocking restrict each source to a candidate set, and
+// every later stage — features, fusion, CSLS, decision — works on candidate
+// lists only, never materializing a dense n×m matrix. This is the path that
+// scales to the million-entity dataset ("DBP1M DBP-WD*"); see DESIGN.md §14.
 //
 // -timeout bounds the whole run with a context deadline; on expiry the
 // pipeline aborts cooperatively at the next epoch boundary. -checkpoint
@@ -37,9 +46,11 @@ import (
 	"ceaff/internal/align"
 	"ceaff/internal/baselines"
 	"ceaff/internal/bench"
+	"ceaff/internal/blocking"
 	"ceaff/internal/core"
 	"ceaff/internal/dataio"
 	"ceaff/internal/gcn"
+	"ceaff/internal/kg"
 	"ceaff/internal/mat"
 	"ceaff/internal/obs"
 	"ceaff/internal/rng"
@@ -65,6 +76,17 @@ func main() {
 	decision := flag.String("decision", "collective", "EA decision: collective, independent or hungarian")
 	theta1 := flag.Float64("theta1", 0.98, "fusion damping threshold θ1")
 	theta2 := flag.Float64("theta2", 0.1, "fusion damped contribution θ2")
+	cslsK := flag.Int("csls", 0, "CSLS neighbours for fused-score rescaling (0 = off)")
+	prefTopK := flag.Int("pref-topk", 0, "truncate collective preference lists to the k best targets (0 = full lists)")
+	blocked := flag.Bool("blocked", false, "run the candidate-first blocked pipeline (no dense similarity matrices)")
+	minCandidates := flag.Int("min-candidates", 20, "blocked: pad every source up to this many candidates")
+	stopThreshold := flag.Int("stop-threshold", 0, "blocked: token-index stop threshold (0 = targets/10)")
+	lshTables := flag.Int("lsh-tables", 0, "blocked: enable embedding-LSH blocking with this many tables (0 = off)")
+	lshBits := flag.Int("lsh-bits", 12, "blocked: hyperplane bits per LSH table")
+	maxBucket := flag.Int("max-bucket", 0, "blocked: skip LSH buckets larger than this (0 = no cap)")
+	maxSeedFanout := flag.Int("max-seed-fanout", 0, "blocked: skip seeds adjacent to more than this many targets (0 = no cap)")
+	gcnEpochs := flag.Int("gcn-epochs", 0, "override GCN training epochs (0 = config default)")
+	noHardNegatives := flag.Bool("no-hard-negatives", false, "disable GCN hard-negative mining (its seeds×entities working set is dense)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	checkpoint := flag.String("checkpoint", "", "persist GCN training state to this file and resume from it if present")
 	metricsPath := flag.String("metrics", "", "write a JSON run report (per-stage timings, metrics) to this file")
@@ -100,6 +122,14 @@ func main() {
 		cfg.Decision = core.Assignment
 	default:
 		log.Fatalf("unknown decision mode %q", *decision)
+	}
+	cfg.CSLSNeighbors = *cslsK
+	cfg.PreferenceTopK = *prefTopK
+	if *gcnEpochs > 0 {
+		cfg.GCN.Epochs = *gcnEpochs
+	}
+	if *noHardNegatives {
+		cfg.GCN.HardNegativeEvery = 0
 	}
 
 	if *checkpoint != "" {
@@ -162,7 +192,20 @@ func main() {
 	}
 	fmt.Printf("pairs     %d seeds, %d test\n", len(in.Seeds), len(in.Tests))
 	start := time.Now()
-	res, err := core.RunContext(ctx, in, cfg)
+	var res *core.Result
+	var err error
+	if *blocked {
+		guardHardNegatives(in, &cfg.GCN)
+		bstart := time.Now()
+		cands := buildCandidates(in, *minCandidates, *stopThreshold,
+			*lshTables, *lshBits, *maxBucket, *maxSeedFanout)
+		st := cands.Stats()
+		fmt.Printf("blocking  avg %.1f cand/src, max %d, recall %.4f (%.1fs)\n",
+			st.AvgCandidates, st.MaxCandidates, st.Recall, time.Since(bstart).Seconds())
+		res, err = core.RunBlockedContext(ctx, in, cfg, cands)
+	} else {
+		res, err = core.RunContext(ctx, in, cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -183,6 +226,12 @@ func main() {
 		fmt.Printf("ranking   Hits@1=%.4f Hits@10=%.4f MRR=%.4f\n",
 			res.Ranking.Hits1, res.Ranking.Hits10, res.Ranking.MRR)
 	}
+	if *blocked {
+		fmt.Printf("prf       P=%.4f R=%.4f F1=%.4f\n",
+			res.PRF.Precision, res.PRF.Recall, res.PRF.F1)
+		rss, src := obs.PeakRSS()
+		fmt.Printf("peak-rss  %s (%s)\n", obs.FormatBytes(rss), src)
+	}
 
 	if rt != nil {
 		if err := writeReport(*metricsPath, "ceaff", rt); err != nil {
@@ -190,6 +239,59 @@ func main() {
 		}
 		fmt.Printf("metrics   %s\n", *metricsPath)
 	}
+}
+
+// guardHardNegatives disables GCN hard-negative mining when its seeds ×
+// entities working set would itself be a dense matrix large enough to defeat
+// the point of blocking. The threshold (200M cells ≈ 1.6 GB of float64) is
+// far above every standard dataset, so only genuinely large runs trip it.
+func guardHardNegatives(in *core.Input, cfg *gcn.Config) {
+	if cfg.HardNegativeEvery <= 0 {
+		return
+	}
+	n := in.G1.NumEntities()
+	if m := in.G2.NumEntities(); m > n {
+		n = m
+	}
+	if cells := len(in.Seeds) * n; cells > 200_000_000 {
+		log.Printf("disabling GCN hard-negative mining: %d seeds x %d entities needs a dense %d-cell similarity block",
+			len(in.Seeds), n, cells)
+		cfg.HardNegativeEvery = 0
+	}
+}
+
+// buildCandidates combines token, neighbour and (optionally) LSH blocking
+// over the input's test pairs.
+func buildCandidates(in *core.Input, minCand, stopThreshold, lshTables, lshBits, maxBucket, maxSeedFanout int) blocking.Candidates {
+	names := func(g *kg.KG, ids []kg.EntityID) []string {
+		out := make([]string, len(ids))
+		for i, id := range ids {
+			out[i] = g.EntityName(id)
+		}
+		return out
+	}
+	srcNames := names(in.G1, align.SourceIDs(in.Tests))
+	tgtNames := names(in.G2, align.TargetIDs(in.Tests))
+	ne := blocking.NewNeighborExpansion(in.G1, in.G2, in.Seeds, in.Tests)
+	ne.MaxSeedFanout = maxSeedFanout
+	gens := []blocking.Generator{
+		blocking.NewTokenIndex(srcNames, tgtNames, stopThreshold),
+		ne,
+	}
+	if lshTables > 0 {
+		lsh := blocking.NewEmbeddingLSHFromNames(in.Emb1, in.Emb2, srcNames, tgtNames, 17)
+		lsh.Tables = lshTables
+		lsh.Bits = lshBits
+		lsh.MaxBucket = maxBucket
+		gens = append(gens, lsh)
+	}
+	b := &blocking.Blocker{
+		Generators:    gens,
+		NumTargets:    len(in.Tests),
+		MinCandidates: minCand,
+		Seed:          11,
+	}
+	return b.Generate()
 }
 
 // writeReport snapshots the observability runtime into a JSON run report.

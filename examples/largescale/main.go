@@ -1,15 +1,18 @@
 // Large-scale alignment with blocking: the dense pipeline materializes
 // |test|² similarity cells per feature; the blocked pipeline computes
-// features only for candidate pairs proposed by cheap token and structural
-// blocking, then matches collectively over sparse preference lists.
+// features only for candidate pairs proposed by cheap token, structural and
+// LSH blocking, then matches collectively over sparse preference lists.
 //
 // This example compares the two paths on one dataset: accuracy, candidate
-// statistics, and wall-clock time.
+// statistics, peak memory, and wall-clock time. -scale shrinks or grows the
+// dataset; at large scales add -skip-dense, since the dense path is the one
+// that does not fit.
 //
-//	go run ./examples/largescale
+//	go run ./examples/largescale [-scale 0.5] [-skip-dense]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -20,10 +23,15 @@ import (
 	"ceaff/internal/blocking"
 	"ceaff/internal/core"
 	"ceaff/internal/kg"
+	"ceaff/internal/obs"
 )
 
 func main() {
-	spec, ok := bench.SpecByName(bench.DBP100KDbWd, 0.5)
+	scale := flag.Float64("scale", 0.5, "dataset scale factor")
+	skipDense := flag.Bool("skip-dense", false, "run only the blocked path (dense is quadratic in test pairs)")
+	flag.Parse()
+
+	spec, ok := bench.SpecByName(bench.DBP100KDbWd, *scale)
 	if !ok {
 		log.Fatal("unknown dataset")
 	}
@@ -44,12 +52,16 @@ func main() {
 	fmt.Printf("dataset: %s, %d test pairs (dense cost: %d cells/feature)\n",
 		spec.Name, len(d.TestPairs), len(d.TestPairs)*len(d.TestPairs))
 
-	start := time.Now()
-	dense, err := core.Run(in, cfg)
-	if err != nil {
-		log.Fatal(err)
+	var denseAcc float64
+	var denseTime time.Duration
+	if !*skipDense {
+		start := time.Now()
+		dense, err := core.Run(in, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		denseAcc, denseTime = dense.Accuracy, time.Since(start)
 	}
-	denseTime := time.Since(start)
 
 	names := func(g *kg.KG, ids []kg.EntityID) []string {
 		out := make([]string, len(ids))
@@ -58,12 +70,15 @@ func main() {
 		}
 		return out
 	}
+	srcNames := names(d.G1, align.SourceIDs(d.TestPairs))
+	tgtNames := names(d.G2, align.TargetIDs(d.TestPairs))
+	lsh := blocking.NewEmbeddingLSHFromNames(d.Emb1, d.Emb2, srcNames, tgtNames, 17)
+	lsh.Tables, lsh.Bits, lsh.MaxBucket = 4, 10, 200
 	blocker := &blocking.Blocker{
 		Generators: []blocking.Generator{
-			blocking.NewTokenIndex(
-				names(d.G1, align.SourceIDs(d.TestPairs)),
-				names(d.G2, align.TargetIDs(d.TestPairs)), 0),
+			blocking.NewTokenIndex(srcNames, tgtNames, 0),
 			blocking.NewNeighborExpansion(d.G1, d.G2, d.SeedPairs, d.TestPairs),
+			lsh,
 		},
 		NumTargets:    len(d.TestPairs),
 		MinCandidates: 20,
@@ -72,7 +87,7 @@ func main() {
 	cands := blocker.Generate()
 	stats := cands.Stats()
 
-	start = time.Now()
+	start := time.Now()
 	blocked, err := core.RunBlocked(in, cfg, cands)
 	if err != nil {
 		log.Fatal(err)
@@ -83,6 +98,10 @@ func main() {
 		stats.AvgCandidates,
 		100*stats.AvgCandidates/float64(len(d.TestPairs)),
 		stats.Recall)
-	fmt.Printf("dense    accuracy %.3f  (%.1fs)\n", dense.Accuracy, denseTime.Seconds())
+	if !*skipDense {
+		fmt.Printf("dense    accuracy %.3f  (%.1fs)\n", denseAcc, denseTime.Seconds())
+	}
 	fmt.Printf("blocked  accuracy %.3f  (%.1fs)\n", blocked.Accuracy, blockedTime.Seconds())
+	rss, src := obs.PeakRSS()
+	fmt.Printf("peak-rss %s (%s)\n", obs.FormatBytes(rss), src)
 }

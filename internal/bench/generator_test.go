@@ -309,6 +309,31 @@ func TestStandardSpecsCatalog(t *testing.T) {
 	}
 }
 
+func TestLargeScaleSpec(t *testing.T) {
+	s, ok := SpecByName(LargeScaleName, 1.0)
+	if !ok {
+		t.Fatalf("large-scale name %q not in catalog", LargeScaleName)
+	}
+	if s.NumPairs != 500000 {
+		t.Fatalf("large-scale spec at 1.0 has %d pairs, want 500000", s.NumPairs)
+	}
+	if _, ok := SpecByName(HardMonoName, 1.0); !ok {
+		t.Fatalf("hard-mono name %q not in catalog", HardMonoName)
+	}
+	// Must generate cleanly at test scale with the expected pair counts and
+	// usable seed/test splits.
+	d, err := Generate(LargeScaleSpec(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Gold); got != 500 {
+		t.Fatalf("scaled large spec generated %d gold pairs, want 500", got)
+	}
+	if len(d.SeedPairs) == 0 || len(d.TestPairs) == 0 {
+		t.Fatal("large-scale dataset missing seed/test split")
+	}
+}
+
 func TestStandardSpecsScale(t *testing.T) {
 	full, _ := SpecByName(DBP15KZhEn, 1.0)
 	small, _ := SpecByName(DBP15KZhEn, 0.1)

@@ -52,6 +52,9 @@ type File struct {
 	// `ceaff -metrics` pipeline report folded in alongside the
 	// micro-benchmarks.
 	Reports map[string]*obs.Report `json:"reports,omitempty"`
+	// Notes holds free-form annotations (peak RSS of a large-scale run,
+	// dataset sizes) that don't fit the benchmark-line schema.
+	Notes map[string]string `json:"notes,omitempty"`
 }
 
 // NewFile returns an empty File stamped with the current environment.

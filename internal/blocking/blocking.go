@@ -7,7 +7,7 @@
 // computed, the standard scalability lever in entity resolution (cf. the
 // paper's ER discussion, §I).
 //
-// Two deliberately cheap generators are provided and usually combined:
+// Three deliberately cheap generators are provided and usually combined:
 //
 //   - TokenIndex: an inverted index over name tokens; candidates share at
 //     least one token. Precise for mono-lingual and close language pairs,
@@ -15,6 +15,8 @@
 //   - NeighborExpansion: candidates whose graph neighbourhoods contain
 //     counterparts of shared seed neighbours — script-independent, driven
 //     purely by structure.
+//   - EmbeddingLSH: random-hyperplane buckets over aligned name embeddings
+//     — recovers cross-lingual candidates whose token sets are disjoint.
 //
 // A Blocker merges generators and pads with uniform fallback candidates so
 // recall never silently drops to zero.
@@ -44,7 +46,12 @@ type Stats struct {
 }
 
 // Stats computes summary statistics, using the diagonal as ground truth.
+// An empty (or nil) candidate structure yields the zero Stats rather than
+// NaN averages from the 0/0 division.
 func (c Candidates) Stats() Stats {
+	if len(c) == 0 {
+		return Stats{}
+	}
 	var total int
 	s := Stats{}
 	for i, cands := range c {
@@ -59,10 +66,8 @@ func (c Candidates) Stats() Stats {
 			}
 		}
 	}
-	if len(c) > 0 {
-		s.AvgCandidates = float64(total) / float64(len(c))
-		s.Recall /= float64(len(c))
-	}
+	s.AvgCandidates = float64(total) / float64(len(c))
+	s.Recall /= float64(len(c))
 	return s
 }
 
@@ -121,6 +126,13 @@ type NeighborExpansion struct {
 	g1, g2 *kg.KG
 	seeds  []align.Pair
 	tests  []align.Pair
+
+	// MaxSeedFanout, when positive, skips seeds adjacent to more than that
+	// many test targets. Hub seeds (a country, a year) otherwise inject
+	// their entire neighbourhood into every adjacent source's candidate
+	// list, which is what blows candidate counts up at large scale while
+	// contributing almost no discriminative signal. 0 means no cap.
+	MaxSeedFanout int
 }
 
 // NewNeighborExpansion builds the generator over the dataset's graphs.
@@ -146,6 +158,13 @@ func (n *NeighborExpansion) Generate() [][]int {
 		for _, nbr := range nb2[p.V] {
 			if s, ok := seedOf2[nbr]; ok {
 				targetsBySeed[s] = append(targetsBySeed[s], j)
+			}
+		}
+	}
+	if n.MaxSeedFanout > 0 {
+		for s, targets := range targetsBySeed {
+			if len(targets) > n.MaxSeedFanout {
+				delete(targetsBySeed, s)
 			}
 		}
 	}

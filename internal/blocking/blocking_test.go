@@ -6,6 +6,7 @@ import (
 	"ceaff/internal/align"
 	"ceaff/internal/bench"
 	"ceaff/internal/kg"
+	"ceaff/internal/mat"
 )
 
 func testDataset(t *testing.T, lang bench.LangRelation) *bench.Dataset {
@@ -133,9 +134,197 @@ func TestCombinedGeneratorsUnion(t *testing.T) {
 }
 
 func TestStatsEmpty(t *testing.T) {
-	var c Candidates
-	s := c.Stats()
-	if s.AvgCandidates != 0 || s.Recall != 0 {
-		t.Fatal("empty stats should be zero")
+	for _, c := range []Candidates{nil, {}} {
+		s := c.Stats()
+		if s != (Stats{}) {
+			t.Fatalf("stats of empty structure %v = %+v, want all-zero", c, s)
+		}
+		if s.AvgCandidates != s.AvgCandidates || s.Recall != s.Recall {
+			t.Fatalf("empty stats produced NaN: %+v", s)
+		}
+	}
+	// Rows present but all candidate lists empty: averages over rows, not NaN.
+	s := Candidates{nil, {}}.Stats()
+	if s.AvgCandidates != 0 || s.Recall != 0 || s.MaxCandidates != 0 {
+		t.Fatalf("all-empty-row stats = %+v, want zeros", s)
+	}
+}
+
+// TestTokenIndexEmptyNames checks the degenerate-name edge: sources and
+// targets with empty names produce no token candidates, and the Blocker's
+// fallback padding still delivers nonzero recall.
+func TestTokenIndexEmptyNames(t *testing.T) {
+	src := []string{"", "", ""}
+	tgt := []string{"", "", ""}
+	idx := NewTokenIndex(src, tgt, 0)
+	raw := idx.Generate()
+	for i, cs := range raw {
+		if len(cs) != 0 {
+			t.Fatalf("empty name %d produced candidates %v", i, cs)
+		}
+	}
+	b := &Blocker{Generators: []Generator{idx}, NumTargets: 3, MinCandidates: 3, Seed: 9}
+	s := b.Generate().Stats()
+	if s.Recall != 1 {
+		t.Fatalf("padding to the full target space should recall everything, got %.3f", s.Recall)
+	}
+}
+
+// TestTokenIndexAllOOVScripts checks the disjoint-script edge TokenIndex is
+// documented to fail on: zero raw candidates, nonzero recall after padding.
+func TestTokenIndexAllOOVScripts(t *testing.T) {
+	d := testDataset(t, bench.Distant)
+	src := names(d.G1, align.SourceIDs(d.TestPairs))
+	tgt := names(d.G2, align.TargetIDs(d.TestPairs))
+	idx := NewTokenIndex(src, tgt, 0)
+	raw := idx.Generate()
+	zero := 0
+	for _, cs := range raw {
+		if len(cs) == 0 {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Fatal("expected some sources with zero token candidates on distant scripts")
+	}
+	b := &Blocker{Generators: []Generator{idx}, NumTargets: len(tgt), MinCandidates: 25, Seed: 4}
+	s := b.Generate().Stats()
+	if s.Recall <= 0 {
+		t.Fatalf("fallback padding must keep recall nonzero, got %.3f", s.Recall)
+	}
+	if s.MaxCandidates == 0 {
+		t.Fatal("padding produced no candidates at all")
+	}
+}
+
+// TestBlockerInvariantAfterMerge checks the dedup/sort invariant on the
+// merged output of overlapping generators: every row strictly ascending with
+// no duplicates, even when generators propose the same targets repeatedly.
+func TestBlockerInvariantAfterMerge(t *testing.T) {
+	a := fixedGenerator{{5, 1, 5, 3}, {2, 2, 2, 2}}
+	b := fixedGenerator{{3, 1, 9}, {2, 7}}
+	blk := &Blocker{Generators: []Generator{a, b}, NumTargets: 10, MinCandidates: 6, Seed: 2}
+	cands := blk.Generate()
+	for i, cs := range cands {
+		if len(cs) < 6 {
+			t.Fatalf("row %d padded to only %d", i, len(cs))
+		}
+		for c := 1; c < len(cs); c++ {
+			if cs[c] <= cs[c-1] {
+				t.Fatalf("row %d violates strict ascending order: %v", i, cs)
+			}
+		}
+	}
+}
+
+// TestNeighborExpansionZeroCandidateSources checks the zero-candidate edge:
+// sources with no seed-adjacent neighbours get nothing from expansion, and
+// Blocker padding keeps their recall nonzero.
+func TestNeighborExpansionZeroCandidateSources(t *testing.T) {
+	d := testDataset(t, bench.Distant)
+	gen := NewNeighborExpansion(d.G1, d.G2, d.SeedPairs[:1], d.TestPairs) // one seed: most sources empty
+	raw := gen.Generate()
+	zero := 0
+	for _, cs := range raw {
+		if len(cs) == 0 {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Fatal("expected zero-candidate sources with a single seed")
+	}
+	b := &Blocker{Generators: []Generator{gen}, NumTargets: len(d.TestPairs), MinCandidates: 20, Seed: 6}
+	s := b.Generate().Stats()
+	if s.Recall <= 0 {
+		t.Fatalf("fallback padding must keep recall nonzero, got %.3f", s.Recall)
+	}
+}
+
+// TestNeighborExpansionMaxSeedFanout checks the hub-seed cap: with a cap in
+// place no candidate row may exceed what uncapped hub seeds would inject,
+// and the capped output is a subset of the uncapped one.
+func TestNeighborExpansionMaxSeedFanout(t *testing.T) {
+	d := testDataset(t, bench.Mono)
+	unc := NewNeighborExpansion(d.G1, d.G2, d.SeedPairs, d.TestPairs)
+	raw := unc.Generate()
+	capped := NewNeighborExpansion(d.G1, d.G2, d.SeedPairs, d.TestPairs)
+	capped.MaxSeedFanout = 3
+	cut := capped.Generate()
+	totalRaw, totalCut := 0, 0
+	for i := range raw {
+		totalRaw += len(raw[i])
+		totalCut += len(cut[i])
+		set := map[int]bool{}
+		for _, j := range raw[i] {
+			set[j] = true
+		}
+		for _, j := range cut[i] {
+			if !set[j] {
+				t.Fatalf("capped candidate %d of source %d not in uncapped output", j, i)
+			}
+		}
+	}
+	if totalCut >= totalRaw {
+		t.Fatalf("fanout cap did not reduce candidates: %d vs %d", totalCut, totalRaw)
+	}
+}
+
+// TestEmbeddingLSHCrossLingualRecall checks the generator the distant-script
+// pairs need: LSH over aligned name embeddings must beat token blocking
+// (which recalls ~nothing on disjoint token sets) by a wide margin while
+// staying far more selective than the full target space.
+func TestEmbeddingLSHCrossLingualRecall(t *testing.T) {
+	d := testDataset(t, bench.Distant)
+	src := names(d.G1, align.SourceIDs(d.TestPairs))
+	tgt := names(d.G2, align.TargetIDs(d.TestPairs))
+	gen := NewEmbeddingLSHFromNames(d.Emb1, d.Emb2, src, tgt, 11)
+	b := &Blocker{Generators: []Generator{gen}, NumTargets: len(tgt), MinCandidates: 1}
+	s := b.Generate().Stats()
+	if s.Recall < 0.5 {
+		t.Fatalf("LSH recall %.3f on distant scripts, want >= 0.5", s.Recall)
+	}
+	if s.AvgCandidates > float64(len(tgt))/2 {
+		t.Fatalf("avg candidates %.1f — LSH is not selective", s.AvgCandidates)
+	}
+}
+
+// TestEmbeddingLSHMaxBucket checks the hub cap: all-OOV names embed to the
+// zero vector and share one bucket, which MaxBucket must suppress.
+func TestEmbeddingLSHMaxBucket(t *testing.T) {
+	dim := 8
+	n := 40
+	src := mat.NewDense(n, dim)
+	tgt := mat.NewDense(n, dim) // all-zero rows: every target in one bucket
+	gen := NewEmbeddingLSH(src, tgt, 3)
+	raw := gen.Generate()
+	if len(raw[0]) == 0 {
+		t.Fatal("uncapped zero-vector rows should share a bucket")
+	}
+	gen.MaxBucket = 10
+	capped := gen.Generate()
+	for i, cs := range capped {
+		if len(cs) != 0 {
+			t.Fatalf("MaxBucket leak: source %d kept %d candidates", i, len(cs))
+		}
+	}
+}
+
+// TestEmbeddingLSHDeterministic pins that Generate is a pure function of the
+// inputs and Seed.
+func TestEmbeddingLSHDeterministic(t *testing.T) {
+	d := testDataset(t, bench.Close)
+	src := names(d.G1, align.SourceIDs(d.TestPairs))
+	tgt := names(d.G2, align.TargetIDs(d.TestPairs))
+	a := NewEmbeddingLSHFromNames(d.Emb1, d.Emb2, src, tgt, 7).Generate()
+	b := NewEmbeddingLSHFromNames(d.Emb1, d.Emb2, src, tgt, 7).Generate()
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("row %d differs across runs", i)
+		}
+		for c := range a[i] {
+			if a[i][c] != b[i][c] {
+				t.Fatalf("row %d differs across runs", i)
+			}
+		}
 	}
 }

@@ -1,0 +1,100 @@
+package blocking
+
+import (
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+	"ceaff/internal/wordvec"
+)
+
+// EmbeddingLSH blocks by locality-sensitive hashing over aligned name
+// embeddings: random-hyperplane (SimHash) signatures bucket the target
+// embeddings, and a source's candidates are the targets sharing its bucket
+// in any of several hash tables. Because it works in the shared cross-
+// lingual embedding space rather than on surface tokens, it recovers
+// candidates for language pairs with disjoint token sets — exactly where
+// TokenIndex comes up empty — while NeighborExpansion stays the structural
+// complement.
+//
+// With t tables of b hyperplane bits each, two unit vectors at angle θ share
+// a bucket in at least one table with probability 1 − (1 − (1 − θ/π)^b)^t;
+// defaults (8 tables × 12 bits) keep near neighbours (θ ≲ π/8) above ~95%
+// while random pairs land together at a rate of ~2^-12 per table.
+type EmbeddingLSH struct {
+	src, tgt *mat.Dense
+
+	// Tables is the number of independent hash tables (default 8). More
+	// tables raise recall and candidate counts linearly.
+	Tables int
+	// Bits is the signature length per table (default 12, max 64). More
+	// bits make buckets smaller and more precise.
+	Bits int
+	// MaxBucket, when positive, drops buckets holding more than that many
+	// targets. Embedding hubs — all-OOV names hash to the zero vector, which
+	// lands every one of them in the same bucket — otherwise produce
+	// quadratic candidate blow-ups. 0 means no cap.
+	MaxBucket int
+	// Seed drives the hyperplane draws.
+	Seed uint64
+}
+
+// NewEmbeddingLSH builds the generator over pre-embedded names. Rows of src
+// and tgt are the test sources' and targets' name-embedding vectors in a
+// shared space (dimensions must match); callers typically L2-normalize them,
+// though SimHash only reads signs so scale does not matter.
+func NewEmbeddingLSH(src, tgt *mat.Dense, seed uint64) *EmbeddingLSH {
+	return &EmbeddingLSH{src: src, tgt: tgt, Tables: 8, Bits: 12, Seed: seed}
+}
+
+// NewEmbeddingLSHFromNames embeds the given names with the embedders and
+// returns the generator over them — the common construction path.
+func NewEmbeddingLSHFromNames(emb1, emb2 wordvec.Embedder, srcNames, tgtNames []string, seed uint64) *EmbeddingLSH {
+	src := wordvec.NameEmbedding(emb1, srcNames)
+	tgt := wordvec.NameEmbedding(emb2, tgtNames)
+	return NewEmbeddingLSH(src, tgt, seed)
+}
+
+// Generate implements Generator.
+func (e *EmbeddingLSH) Generate() [][]int {
+	tables := e.Tables
+	if tables <= 0 {
+		tables = 8
+	}
+	bits := e.Bits
+	if bits <= 0 {
+		bits = 12
+	}
+	if bits > 64 {
+		bits = 64
+	}
+	dim := e.src.Cols
+	out := make([][]int, e.src.Rows)
+	s := rng.New(e.Seed)
+	planes := make([]float64, bits*dim)
+	for t := 0; t < tables; t++ {
+		for i := range planes {
+			planes[i] = s.Norm()
+		}
+		sign := func(row []float64) uint64 {
+			var key uint64
+			for b := 0; b < bits; b++ {
+				if mat.Dot(row, planes[b*dim:(b+1)*dim]) >= 0 {
+					key |= 1 << uint(b)
+				}
+			}
+			return key
+		}
+		buckets := make(map[uint64][]int)
+		for j := 0; j < e.tgt.Rows; j++ {
+			key := sign(e.tgt.Row(j))
+			buckets[key] = append(buckets[key], j)
+		}
+		for i := 0; i < e.src.Rows; i++ {
+			b := buckets[sign(e.src.Row(i))]
+			if e.MaxBucket > 0 && len(b) > e.MaxBucket {
+				continue
+			}
+			out[i] = append(out[i], b...)
+		}
+	}
+	return out
+}

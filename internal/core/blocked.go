@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,10 +9,13 @@ import (
 	"ceaff/internal/align"
 	"ceaff/internal/blocking"
 	"ceaff/internal/eval"
+	"ceaff/internal/fusion"
 	"ceaff/internal/gcn"
 	"ceaff/internal/kg"
 	"ceaff/internal/mat"
 	"ceaff/internal/match"
+	"ceaff/internal/obs"
+	"ceaff/internal/robust"
 	"ceaff/internal/strsim"
 	"ceaff/internal/wordvec"
 )
@@ -20,14 +24,40 @@ import (
 // feature k's similarity between test source i and its c-th candidate
 // (Cands[i][c]). The dense pipeline's |test|² matrices become
 // O(|test|·candidates), which is what makes full-size benchmarks feasible.
+// A nil Scores[k] means the feature was not computed or degraded; Degraded
+// records why.
 type SparseFeatures struct {
 	Cands  blocking.Candidates
 	Scores [3][][]float64 // structural, semantic, string
+	// Degraded lists features dropped during blocked feature generation,
+	// mirroring FeatureSet.Degraded.
+	Degraded []Degradation
+}
+
+func (sf *SparseFeatures) degrade(feature string, err error) {
+	sf.Degraded = append(sf.Degraded, Degradation{Feature: feature, Reason: err.Error()})
 }
 
 // ComputeBlockedFeatures is the scalable counterpart of ComputeFeatures:
 // feature scores are computed only for the blocked candidate pairs.
 func ComputeBlockedFeatures(in *Input, gcnCfg gcn.Config, cands blocking.Candidates) (*SparseFeatures, error) {
+	return ComputeBlockedFeaturesContext(context.Background(), in, gcnCfg, cands)
+}
+
+// ComputeBlockedFeaturesContext is ComputeBlockedFeatures with cancellation
+// propagated into GCN training and the per-candidate similarity passes, and
+// with the same graceful degradation contract as ComputeFeaturesContext: a
+// feature whose computation fails or yields degenerate scores is dropped
+// (its Scores entry stays nil) and recorded in SparseFeatures.Degraded;
+// context errors abort instead of degrading; only when every feature
+// degrades does the call fail. Features compute serially in structural →
+// semantic → string order — on the large inputs this path targets, GCN
+// training dominates and the score passes are memory-bound, so overlapping
+// them buys nothing and serial order keeps span creation deterministic.
+//
+// Peak memory is O(|test|·candidates) beyond the GCN's own O(n·dim) state:
+// no dense |test|×|test| matrix is ever allocated.
+func ComputeBlockedFeaturesContext(ctx context.Context, in *Input, gcnCfg gcn.Config, cands blocking.Candidates) (*SparseFeatures, error) {
 	if err := validateInput(in); err != nil {
 		return nil, err
 	}
@@ -41,45 +71,109 @@ func ComputeBlockedFeatures(in *Input, gcnCfg gcn.Config, cands blocking.Candida
 			}
 		}
 	}
+	ctx, span := obs.StartSpan(ctx, "features.blocked")
+	defer span.End()
 
-	model, err := gcn.Train(in.G1, in.G2, in.Seeds, gcnCfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: structural feature: %w", err)
-	}
 	testSrc, testTgt := align.SourceIDs(in.Tests), align.TargetIDs(in.Tests)
 	srcNames := namesOf(in.G1, testSrc)
 	tgtNames := namesOf(in.G2, testTgt)
 
-	// Structural: centered, normalized embedding rows; per-pair dot then
-	// equals the centered cosine of the dense pipeline.
+	sf := &SparseFeatures{Cands: cands}
+	for _, f := range []struct {
+		name    string
+		idx     int
+		compute func(context.Context) ([][]float64, error)
+	}{
+		{"structural", 0, func(ctx context.Context) ([][]float64, error) {
+			return blockedStructural(ctx, in, gcnCfg, cands, testSrc, testTgt)
+		}},
+		{"semantic", 1, func(ctx context.Context) ([][]float64, error) {
+			return blockedSemantic(ctx, in, cands, srcNames, tgtNames)
+		}},
+		{"string", 2, func(ctx context.Context) ([][]float64, error) {
+			return blockedString(ctx, cands, srcNames, tgtNames)
+		}},
+	} {
+		fctx, fspan := obs.StartSpan(ctx, "feature."+f.name)
+		rows, err := f.compute(fctx)
+		fspan.End()
+		if err != nil {
+			if isCtxError(err) {
+				return nil, err
+			}
+			sf.degrade(f.name, err)
+			continue
+		}
+		sf.Scores[f.idx] = rows
+	}
+	if sf.Scores[0] == nil && sf.Scores[1] == nil && sf.Scores[2] == nil {
+		return nil, fmt.Errorf("core: every feature degraded: %+v", sf.Degraded)
+	}
+	return sf, nil
+}
+
+// blockedStructural trains the GCN and scores candidate pairs by centered
+// unit-embedding dot products — per pair equal to the dense pipeline's
+// CenteredSimilarityMatrix entries, without the |test|² matrix.
+func blockedStructural(ctx context.Context, in *Input, gcnCfg gcn.Config, cands blocking.Candidates, testSrc, testTgt []kg.EntityID) ([][]float64, error) {
+	if err := robust.Fire(FaultStructural); err != nil {
+		return err2rows(err)
+	}
+	model, err := gcn.TrainContext(ctx, in.G1, in.G2, in.Seeds, gcnCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: structural feature: %w", err)
+	}
 	zSrc, zTgt := gatherCenteredUnit(model, testSrc, testTgt)
-	// Semantic: normalized name-embedding rows.
+	rows, err := candidateDots(ctx, cands, zSrc, zTgt)
+	if err != nil {
+		return nil, err
+	}
+	if reason, bad := robust.DegenerateRows(rows); bad {
+		return nil, fmt.Errorf("core: structural feature: %s", reason)
+	}
+	return rows, nil
+}
+
+func blockedSemantic(ctx context.Context, in *Input, cands blocking.Candidates, srcNames, tgtNames []string) ([][]float64, error) {
+	if err := robust.Fire(FaultSemantic); err != nil {
+		return err2rows(err)
+	}
 	nSrc := wordvec.NameEmbedding(in.Emb1, srcNames)
 	nTgt := wordvec.NameEmbedding(in.Emb2, tgtNames)
 	nSrc.NormalizeRowsL2()
 	nTgt.NormalizeRowsL2()
-
-	sf := &SparseFeatures{Cands: cands}
-	for k := range sf.Scores {
-		sf.Scores[k] = make([][]float64, len(cands))
+	rows, err := candidateDots(ctx, cands, nSrc, nTgt)
+	if err != nil {
+		return nil, err
 	}
-	mat.ParallelRows(len(cands), func(lo, hi int) {
+	if reason, bad := robust.DegenerateRows(rows); bad {
+		return nil, fmt.Errorf("core: semantic feature: %s", reason)
+	}
+	return rows, nil
+}
+
+func blockedString(ctx context.Context, cands blocking.Candidates, srcNames, tgtNames []string) ([][]float64, error) {
+	if err := robust.Fire(FaultString); err != nil {
+		return err2rows(err)
+	}
+	rows := make([][]float64, len(cands))
+	err := mat.ParallelRowsCtx(ctx, len(cands), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			cs := cands[i]
-			structural := make([]float64, len(cs))
-			semantic := make([]float64, len(cs))
-			stringSim := make([]float64, len(cs))
+			out := make([]float64, len(cs))
 			for c, j := range cs {
-				structural[c] = mat.Dot(zSrc.Row(i), zTgt.Row(j))
-				semantic[c] = mat.Dot(nSrc.Row(i), nTgt.Row(j))
-				stringSim[c] = strsim.Ratio(srcNames[i], tgtNames[j])
+				out[c] = strsim.Ratio(srcNames[i], tgtNames[j])
 			}
-			sf.Scores[0][i] = structural
-			sf.Scores[1][i] = semantic
-			sf.Scores[2][i] = stringSim
+			rows[i] = out
 		}
 	})
-	return sf, nil
+	if err != nil {
+		return nil, err
+	}
+	if reason, bad := robust.DegenerateRows(rows); bad {
+		return nil, fmt.Errorf("core: string feature: %s", reason)
+	}
+	return rows, nil
 }
 
 // gatherCenteredUnit gathers the selected structural embeddings, subtracts
@@ -129,74 +223,215 @@ func gatherCenteredUnit(model *gcn.Model, src, tgt []kg.EntityID) (*mat.Dense, *
 	return a, b
 }
 
-// RunBlocked executes the scalable pipeline: blocked feature computation,
-// fixed-weight outcome-level fusion over the candidate scores, and
-// collective matching by deferred acceptance over the candidate preference
-// lists. Adaptive weighting needs global row/column maxima, which sparse
-// candidates only approximate, so blocked mode uses the fixed-weight
-// two-stage combination (w/o AFF); CEAFF with AFF remains the dense path.
-func RunBlocked(in *Input, cfg Config, cands blocking.Candidates) (*Result, error) {
-	sf, err := ComputeBlockedFeatures(in, cfg.GCN, cands)
+// err2rows adapts a fault-injection error to the compute signature.
+func err2rows(err error) ([][]float64, error) { return nil, err }
+
+// candidateDots scores every candidate pair by the dot product of the
+// corresponding rows of a (sources) and b (targets).
+func candidateDots(ctx context.Context, cands blocking.Candidates, a, b *mat.Dense) ([][]float64, error) {
+	rows := make([][]float64, len(cands))
+	err := mat.ParallelRowsCtx(ctx, len(cands), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cs := cands[i]
+			out := make([]float64, len(cs))
+			ar := a.Row(i)
+			for c, j := range cs {
+				out[c] = mat.Dot(ar, b.Row(j))
+			}
+			rows[i] = out
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	return DecideBlocked(sf, cfg)
+	return rows, nil
 }
 
-// DecideBlocked fuses sparse features and matches collectively.
+// SparsifyFeatures gathers a dense FeatureSet into candidate-aligned sparse
+// scores (degradations carry over; seed matrices are dropped — LR fusion has
+// no blocked counterpart). With full candidate lists, DecideBlocked over the
+// result reproduces Decide bit for bit — the property the parity tests pin.
+func SparsifyFeatures(fs *FeatureSet, cands blocking.Candidates) *SparseFeatures {
+	sf := &SparseFeatures{
+		Cands:    cands,
+		Degraded: append([]Degradation(nil), fs.Degraded...),
+	}
+	for k, m := range []*mat.Dense{fs.Ms, fs.Mn, fs.Ml} {
+		if m == nil {
+			continue
+		}
+		rows := make([][]float64, len(cands))
+		for i, cs := range cands {
+			r := m.Row(i)
+			out := make([]float64, len(cs))
+			for c, j := range cs {
+				out[c] = r[j]
+			}
+			rows[i] = out
+		}
+		sf.Scores[k] = rows
+	}
+	return sf
+}
+
+// RunBlocked executes the scalable pipeline end to end: blocked feature
+// computation, sparse adaptive fusion, and the configured decision strategy
+// over candidate preference lists. It honors the same Config as the dense
+// Run — see DecideBlocked for the two density-bound exceptions.
+func RunBlocked(in *Input, cfg Config, cands blocking.Candidates) (*Result, error) {
+	return RunBlockedContext(context.Background(), in, cfg, cands)
+}
+
+// RunBlockedContext is RunBlocked with cancellation/deadline propagation and
+// observability, mirroring RunContext.
+func RunBlockedContext(ctx context.Context, in *Input, cfg Config, cands blocking.Candidates) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "pipeline.blocked")
+	defer span.End()
+	sf, err := ComputeBlockedFeaturesContext(ctx, in, cfg.GCN, cands)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return DecideBlockedContext(ctx, sf, cfg)
+}
+
+// DecideBlocked fuses sparse features and decides alignments, honoring the
+// full Config: adaptive two-stage (or single-stage) fusion, fixed fusion,
+// the θ1/θ2 options, CSLS rescaling, preference-list truncation, and the
+// collective / independent / greedy-one-to-one decision modes. With full
+// candidate lists every number it produces — fused scores, assignment,
+// accuracy, PRF, ranking, fusion weights — is bit-identical to Decide.
 //
-// Known limits versus the dense DecideContext path:
-//   - cfg.Fusion is ignored. Adaptive and LR-learned weighting need global
-//     row/column statistics (AFF's per-cell maxima, LR's seed matrices) that
-//     sparse candidate scores only approximate, so blocked mode always uses
-//     the fixed equal-weight combination over the enabled features — the
-//     "w/o AFF" configuration. CEAFF with AFF remains the dense path.
-//   - Result.Ranking is computed over candidate lists only: for each source,
-//     the ground-truth target's rank counts candidates scoring strictly
-//     higher (ties broken by smaller target index, matching
-//     mat.RankOfColumn); a source whose truth was blocked away has no rank
-//     and scores as a miss for Hits@k and MRR. Result.Fused and
-//     Result.FusionInfo stay zero — there is no dense fused matrix to
-//     report.
+// Two Config points are density-bound and return errors instead of silently
+// approximating: LearnedFusion needs dense seed feature matrices, and the
+// Hungarian Assignment mode needs the complete cost matrix.
+//
+// Result differences versus the dense path: fused scores land in
+// Result.FusedSparse (Fused stays nil), and Result.Ranking is computed over
+// candidate lists only — a source whose ground-truth target was blocked away
+// has no rank and counts as a miss, so blocking recall caps every reported
+// metric.
 func DecideBlocked(sf *SparseFeatures, cfg Config) (*Result, error) {
-	var parts [][][]float64
+	return DecideBlockedContext(context.Background(), sf, cfg)
+}
+
+// DecideBlockedContext is DecideBlocked with observability: when ctx carries
+// an obs.Runtime, the fusion, decision and eval stages are traced as spans
+// and the outcome lands in the "pipeline.accuracy" gauge, exactly like the
+// dense DecideContext.
+func DecideBlockedContext(ctx context.Context, sf *SparseFeatures, cfg Config) (*Result, error) {
+	var ms, mn, ml [][]float64
 	if cfg.UseStructural {
-		parts = append(parts, sf.Scores[0])
+		ms = sf.Scores[0]
 	}
 	if cfg.UseSemantic {
-		parts = append(parts, sf.Scores[1])
+		mn = sf.Scores[1]
 	}
 	if cfg.UseString {
-		parts = append(parts, sf.Scores[2])
+		ml = sf.Scores[2]
 	}
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("core: all features disabled")
-	}
-	n := len(sf.Cands)
-	fused := make([][]float64, n)
-	w := 1 / float64(len(parts))
-	for i := 0; i < n; i++ {
-		row := make([]float64, len(sf.Cands[i]))
-		for _, p := range parts {
-			for c, v := range p[i] {
-				row[c] += w * v
-			}
-		}
-		fused[i] = row
+	if ms == nil && mn == nil && ml == nil {
+		return nil, fmt.Errorf("core: all features disabled or degraded")
 	}
 
-	var assignment match.Assignment
-	switch cfg.Decision {
-	case Independent:
-		assignment = sparseGreedy(sf.Cands, fused)
-	default: // Collective is the blocked default; Hungarian needs density.
-		assignment = sparseDAA(sf.Cands, fused)
+	res := &Result{Degraded: append([]Degradation(nil), sf.Degraded...)}
+
+	_, fuseSpan := obs.StartSpan(ctx, "fusion")
+	fused, err := fuseSparseFeatures(res, sf, cfg, ms, mn, ml)
+	fuseSpan.End()
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Assignment: assignment}
-	res.Accuracy = eval.Accuracy(assignment)
-	res.PRF = eval.PrecisionRecall(assignment)
+	res.FusedSparse = fused
+
+	_, decSpan := obs.StartSpan(ctx, "decision")
+	err = decideSparseAssignment(res, sf.Cands, fused, cfg)
+	decSpan.End()
+	if err != nil {
+		return nil, err
+	}
+
+	_, evalSpan := obs.StartSpan(ctx, "eval")
+	res.Accuracy = eval.Accuracy(res.Assignment)
 	res.Ranking = sparseRanking(sf.Cands, fused)
+	res.PRF = eval.PrecisionRecall(res.Assignment)
+	evalSpan.End()
+
+	reg := obs.Metrics(ctx)
+	reg.Gauge("pipeline.accuracy").Set(res.Accuracy)
+	reg.Counter("pipeline.decisions").Inc()
 	return res, nil
+}
+
+// fuseSparseFeatures mirrors the dense fuseFeatures over the candidate
+// structure, including the copy-before-CSLS rule when the fusion stage
+// aliased a feature's score rows.
+func fuseSparseFeatures(res *Result, sf *SparseFeatures, cfg Config, ms, mn, ml [][]float64) ([][]float64, error) {
+	var fused [][]float64
+	switch cfg.Fusion {
+	case AdaptiveFusion:
+		if cfg.SingleStageFusion {
+			f, w := fusion.SingleStageSparse(ms, mn, ml, sf.Cands, cfg.FusionOpts)
+			fused = f
+			res.FusionInfo = fusion.TwoStageResult{FinalWeights: w}
+			break
+		}
+		tw := fusion.TwoStageSparse(ms, mn, ml, sf.Cands, cfg.FusionOpts)
+		fused = tw.Fused
+		res.FusionInfo = fusion.TwoStageResult{
+			TextualWeights: tw.TextualWeights,
+			FinalWeights:   tw.FinalWeights,
+		}
+	case FixedFusion:
+		fused = fusion.TwoStageFixedSparse(ms, mn, ml, sf.Cands)
+	case LearnedFusion:
+		return nil, fmt.Errorf("core: LearnedFusion needs dense seed feature matrices; use the dense pipeline or another fusion mode for blocked runs")
+	default:
+		return nil, fmt.Errorf("core: unknown fusion mode %d", cfg.Fusion)
+	}
+
+	if cfg.CSLSNeighbors > 0 {
+		if aliasRows(fused, ms) || aliasRows(fused, mn) || aliasRows(fused, ml) {
+			// Single-feature fusion aliases the SparseFeatures' score rows,
+			// which callers reuse across DecideBlocked runs — rescale a copy.
+			fused = cloneRows(fused)
+		}
+		fused = mat.CSLSSparseInPlace(sf.Cands, fused, cfg.CSLSNeighbors, len(sf.Cands))
+	}
+	return fused, nil
+}
+
+// aliasRows reports whether two row structures are the same slice.
+func aliasRows(a, b [][]float64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+func cloneRows(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = append([]float64(nil), r...)
+	}
+	return out
+}
+
+// decideSparseAssignment mirrors the dense decideAssignment over candidate
+// lists.
+func decideSparseAssignment(res *Result, cands blocking.Candidates, fused [][]float64, cfg Config) error {
+	switch cfg.Decision {
+	case Collective:
+		res.Assignment = sparseDAA(cands, fused, cfg.PreferenceTopK)
+	case Independent:
+		res.Assignment = sparseGreedy(cands, fused)
+	case Assignment:
+		return fmt.Errorf("core: Hungarian assignment needs the dense cost matrix; use the dense pipeline or a sparse decision mode")
+	case GreedyOneToOne:
+		res.Assignment = sparseGreedyOneToOne(cands, fused)
+	default:
+		return fmt.Errorf("core: unknown decision mode %d", cfg.Decision)
+	}
+	return nil
 }
 
 // sparseRanking evaluates the fused candidate scores as a ranking problem
@@ -236,27 +471,92 @@ func sparseRanking(cands blocking.Candidates, scores [][]float64) eval.RankingRe
 	return eval.RankingReport{Hits1: h1 / n, Hits10: h10 / n, MRR: mrr / n}
 }
 
-// sparseGreedy picks each source's best candidate.
+// sparseGreedy picks each source's best candidate. The scan mirrors
+// mat.ArgmaxRow exactly — the first candidate seeds the maximum and only
+// strict improvements move it — so on full candidate lists the assignment is
+// bit-identical to the dense Independent decision (including its behavior on
+// NaN-bearing rows). A source with no candidates stays unmatched.
 func sparseGreedy(cands blocking.Candidates, scores [][]float64) match.Assignment {
 	out := make(match.Assignment, len(cands))
 	for i := range out {
-		out[i] = -1
-		best := math.Inf(-1)
-		for c, j := range cands[i] {
-			if scores[i][c] > best {
-				best = scores[i][c]
-				out[i] = j
+		cs := cands[i]
+		if len(cs) == 0 {
+			out[i] = -1
+			continue
+		}
+		sc := scores[i]
+		best := 0
+		for c := 1; c < len(cs); c++ {
+			if sc[c] > sc[best] {
+				best = c
 			}
 		}
+		out[i] = cs[best]
+	}
+	return out
+}
+
+// sparseGreedyOneToOne mirrors match.GreedyOneToOne over candidate cells:
+// all (source, candidate) cells sorted by score descending (ties toward
+// lower source, then lower target index), accepted greedily under a
+// one-to-one constraint, stopping once min(sources, targets) matches exist.
+func sparseGreedyOneToOne(cands blocking.Candidates, scores [][]float64) match.Assignment {
+	type cell struct {
+		i, j int
+		v    float64
+	}
+	total := 0
+	for _, cs := range cands {
+		total += len(cs)
+	}
+	cells := make([]cell, 0, total)
+	for i, cs := range cands {
+		for c, j := range cs {
+			cells = append(cells, cell{i, j, scores[i][c]})
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].v != cells[b].v {
+			return cells[a].v > cells[b].v
+		}
+		if cells[a].i != cells[b].i {
+			return cells[a].i < cells[b].i
+		}
+		return cells[a].j < cells[b].j
+	})
+	out := make(match.Assignment, len(cands))
+	for i := range out {
+		out[i] = -1
+	}
+	usedTarget := make([]bool, len(cands))
+	matched := 0
+	limit := len(cands) // source and target spaces are index-aligned
+	for _, c := range cells {
+		if matched == limit {
+			break
+		}
+		if out[c.i] != -1 || usedTarget[c.j] {
+			continue
+		}
+		out[c.i] = c.j
+		usedTarget[c.j] = true
+		matched++
 	}
 	return out
 }
 
 // sparseDAA runs deferred acceptance over per-source candidate preference
-// lists. Targets compare suitors by the suitors' scores for them; a source
-// exhausting its list stays unmatched.
-func sparseDAA(cands blocking.Candidates, scores [][]float64) match.Assignment {
+// lists, optionally truncated to each source's topK best candidates (topK
+// <= 0 or >= the target count uses full lists, exactly like
+// match.DeferredAcceptanceTopK). Targets compare suitors by the suitors'
+// scores for them; a source exhausting its list stays unmatched. Proposal
+// order (LIFO free queue) and every tie-break match the dense DAA, so full
+// candidate lists reproduce its assignment bit for bit.
+func sparseDAA(cands blocking.Candidates, scores [][]float64, topK int) match.Assignment {
 	n := len(cands)
+	if topK >= n {
+		topK = 0 // full lists, mirroring DeferredAcceptanceTopK's bypass
+	}
 	// Preference order per source: candidate positions sorted by score.
 	prefs := make([][]int, n)
 	for i := range prefs {
@@ -272,6 +572,9 @@ func sparseDAA(cands blocking.Candidates, scores [][]float64) match.Assignment {
 			}
 			return cs[order[a]] < cs[order[b]]
 		})
+		if topK > 0 && len(order) > topK {
+			order = order[:topK]
+		}
 		prefs[i] = order
 	}
 	// scoreFor(u, v) lookup for targets comparing suitors.

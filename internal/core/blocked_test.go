@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"ceaff/internal/align"
@@ -125,7 +126,7 @@ func TestDecideBlockedIndependentVsCollective(t *testing.T) {
 func TestSparseDAAHandlesEmptyCandidateRows(t *testing.T) {
 	cands := blocking.Candidates{{0}, nil}
 	scores := [][]float64{{0.9}, nil}
-	a := sparseDAA(cands, scores)
+	a := sparseDAA(cands, scores, 0)
 	if a[0] != 0 || a[1] != -1 {
 		t.Fatalf("assignment %v", a)
 	}
@@ -182,6 +183,163 @@ func TestSparseRankingMatchesDenseOnFullCandidates(t *testing.T) {
 	want := eval.Ranking(sim)
 	if got != want {
 		t.Fatalf("sparse ranking %+v != dense ranking %+v", got, want)
+	}
+}
+
+// fullCandidates returns the candidate structure containing every target
+// for every source — the configuration under which the blocked path must
+// reproduce the dense path bit for bit.
+func fullCandidates(n int) blocking.Candidates {
+	cands := make(blocking.Candidates, n)
+	for i := range cands {
+		cands[i] = make([]int, n)
+		for j := range cands[i] {
+			cands[i][j] = j
+		}
+	}
+	return cands
+}
+
+// TestBlockedVsDenseParity is the blocked-vs-dense parity property test:
+// across randomized dataset shapes and Config draws (feature subsets, both
+// fusion modes, single-stage, θ damping, CSLS, preference truncation, all
+// sparse-capable decision modes), DecideBlocked over full candidate lists
+// must reproduce Decide's fused scores, fusion weights, assignment, and
+// eval numbers bit-identically.
+func TestBlockedVsDenseParity(t *testing.T) {
+	s := rng.New(0xb10c)
+	for trial := 0; trial < 24; trial++ {
+		n := 1 + s.Intn(28)
+		fs := &FeatureSet{}
+		mats := []**mat.Dense{&fs.Ms, &fs.Mn, &fs.Ml}
+		// Random feature subset, at least one present.
+		mask := 1 + s.Intn(7)
+		for k, mp := range mats {
+			if mask&(1<<k) == 0 {
+				continue
+			}
+			m := mat.NewDense(n, n)
+			for i := range m.Data {
+				m.Data[i] = s.Norm()
+			}
+			// Sprinkle exact duplicates so tie-breaking paths execute.
+			if n > 2 {
+				for d := 0; d < n/2; d++ {
+					m.Data[s.Intn(len(m.Data))] = m.Data[s.Intn(len(m.Data))]
+				}
+			}
+			// Push some scores above θ1 to exercise damping.
+			for d := 0; d < 1+n/3; d++ {
+				m.Data[s.Intn(len(m.Data))] = 0.985 + s.Float64()*0.1
+			}
+			*mp = m
+		}
+
+		cfg := DefaultConfig()
+		cfg.UseStructural = mask&1 != 0
+		cfg.UseSemantic = mask&2 != 0
+		cfg.UseString = mask&4 != 0
+		if s.Intn(3) == 0 {
+			cfg.Fusion = FixedFusion
+		} else if s.Intn(3) == 0 {
+			cfg.SingleStageFusion = true
+		}
+		if s.Intn(4) == 0 {
+			cfg.FusionOpts.DisableThetas = true
+		}
+		if s.Intn(2) == 0 {
+			cfg.CSLSNeighbors = 1 + s.Intn(5)
+		}
+		switch s.Intn(3) {
+		case 0:
+			cfg.Decision = Collective
+			if s.Intn(2) == 0 {
+				cfg.PreferenceTopK = 1 + s.Intn(n)
+			}
+		case 1:
+			cfg.Decision = Independent
+		case 2:
+			cfg.Decision = GreedyOneToOne
+		}
+
+		dense, err := Decide(fs, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		sf := SparsifyFeatures(fs, fullCandidates(n))
+		blocked, err := DecideBlocked(sf, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: blocked: %v", trial, err)
+		}
+
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dv := dense.Fused.At(i, j)
+				bv := blocked.FusedSparse[i][j]
+				if math.Float64bits(dv) != math.Float64bits(bv) {
+					t.Fatalf("trial %d (cfg %+v): fused[%d][%d] dense %v (%x) != blocked %v (%x)",
+						trial, cfg, i, j, dv, math.Float64bits(dv), bv, math.Float64bits(bv))
+				}
+			}
+		}
+		for i := range dense.Assignment {
+			if dense.Assignment[i] != blocked.Assignment[i] {
+				t.Fatalf("trial %d (cfg %+v): assignment[%d] dense %d != blocked %d",
+					trial, cfg, i, dense.Assignment[i], blocked.Assignment[i])
+			}
+		}
+		if dense.Accuracy != blocked.Accuracy {
+			t.Fatalf("trial %d: accuracy dense %v != blocked %v", trial, dense.Accuracy, blocked.Accuracy)
+		}
+		if dense.PRF != blocked.PRF {
+			t.Fatalf("trial %d: PRF dense %+v != blocked %+v", trial, dense.PRF, blocked.PRF)
+		}
+		if dense.Ranking != blocked.Ranking {
+			t.Fatalf("trial %d: ranking dense %+v != blocked %+v", trial, dense.Ranking, blocked.Ranking)
+		}
+		wantTW := dense.FusionInfo.TextualWeights.PerFeature
+		gotTW := blocked.FusionInfo.TextualWeights.PerFeature
+		wantFW := dense.FusionInfo.FinalWeights.PerFeature
+		gotFW := blocked.FusionInfo.FinalWeights.PerFeature
+		if cfg.SingleStageFusion {
+			wantTW, gotTW = nil, nil // dense single-stage reports final weights only
+		}
+		for _, pair := range []struct {
+			name      string
+			want, got []float64
+		}{{"textual", wantTW, gotTW}, {"final", wantFW, gotFW}} {
+			if len(pair.want) != len(pair.got) {
+				t.Fatalf("trial %d: %s weight count dense %v != blocked %v", trial, pair.name, pair.want, pair.got)
+			}
+			for k := range pair.want {
+				if math.Float64bits(pair.want[k]) != math.Float64bits(pair.got[k]) {
+					t.Fatalf("trial %d: %s weight %d dense %v != blocked %v", trial, pair.name, k, pair.want[k], pair.got[k])
+				}
+			}
+		}
+	}
+}
+
+// TestDecideBlockedDensityBoundModes checks that the two Config points with
+// no sparse counterpart fail loudly instead of silently approximating.
+func TestDecideBlockedDensityBoundModes(t *testing.T) {
+	n := 6
+	fs := &FeatureSet{Ms: mat.NewDense(n, n), Mn: mat.NewDense(n, n)}
+	s := rng.New(5)
+	for i := range fs.Ms.Data {
+		fs.Ms.Data[i] = s.Float64()
+		fs.Mn.Data[i] = s.Float64()
+	}
+	sf := SparsifyFeatures(fs, fullCandidates(n))
+	cfg := DefaultConfig()
+	cfg.Fusion = LearnedFusion
+	if _, err := DecideBlocked(sf, cfg); err == nil {
+		t.Error("LearnedFusion accepted on blocked path")
+	}
+	cfg = DefaultConfig()
+	cfg.Decision = Assignment
+	if _, err := DecideBlocked(sf, cfg); err == nil {
+		t.Error("Hungarian decision accepted on blocked path")
 	}
 }
 

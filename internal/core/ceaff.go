@@ -389,8 +389,12 @@ type Result struct {
 	Assignment match.Assignment
 	// Accuracy is the paper's main metric.
 	Accuracy float64
-	// Fused is the final fused similarity matrix.
+	// Fused is the final fused similarity matrix (dense pipeline only).
 	Fused *mat.Dense
+	// FusedSparse holds the blocked pipeline's fused candidate scores,
+	// aligned with the SparseFeatures candidate lists; nil on dense runs,
+	// while Fused stays nil on blocked runs.
+	FusedSparse [][]float64
 	// FusionInfo reports the weights chosen at both fusion stages (zero
 	// value for fixed/learned fusion).
 	FusionInfo fusion.TwoStageResult

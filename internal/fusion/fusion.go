@@ -117,6 +117,15 @@ func AdaptiveWeights(ms []*mat.Dense, opt Options) Weights {
 	for i, m := range ms {
 		cands[i] = Candidates(m)
 	}
+	return weightCandidates(cands, opt)
+}
+
+// weightCandidates runs stages 2–4 on per-feature candidate lists. It is the
+// shared core of dense AdaptiveWeights and sparse AdaptiveWeightsSparse: the
+// two differ only in how stage 1 finds row/column maxima, so identical
+// candidate lists here yield bit-identical weights.
+func weightCandidates(cands [][]Candidate, opt Options) Weights {
+	k := len(cands)
 
 	// Stage 2a: conflict filtering. Group candidates by source entity; if a
 	// source has candidates with different targets across features, drop

@@ -1,0 +1,256 @@
+// Sparse adaptive feature fusion: the same five stages as the dense path,
+// computed over candidate-aligned score lists instead of dense matrices.
+//
+// A feature's scores are a ragged structure aligned with a shared candidate
+// set: scores[i][c] is the similarity of source i and its c-th candidate
+// target cands[i][c], with every cands[i] sorted ascending (the invariant
+// blocking.Blocker establishes). Nothing here is approximate — the blocked
+// pipeline runs the full AFF semantics over whatever candidate structure it
+// is given, and when every target is a candidate the results are
+// bit-identical to the dense functions (pinned by the parity tests in
+// internal/core). On restricted candidate sets the row/column maxima are
+// taken over the candidate structure, which is the only sound reading: pairs
+// outside it carry no computed evidence.
+
+package fusion
+
+import (
+	"fmt"
+	"math"
+)
+
+// SparseCandidates returns the confident correspondences of one feature's
+// candidate-aligned scores: pairs maximal along both their row (the source's
+// candidate list) and their column (all sources proposing that target). The
+// selection reproduces Candidates exactly on full candidate lists: row ties
+// break to the first (lowest-index) candidate because the lists are sorted
+// ascending, column ties keep the earliest row, and non-finite scores are
+// never proposed.
+func SparseCandidates(cands [][]int, scores [][]float64) []Candidate {
+	nTgt := 0
+	for _, cs := range cands {
+		for _, j := range cs {
+			if j >= nTgt {
+				nTgt = j + 1
+			}
+		}
+	}
+	colRow := make([]int, nTgt)
+	colVal := make([]float64, nTgt)
+	colSet := make([]bool, nTgt)
+	rowPos := make([]int, len(cands))
+	for i, cs := range cands {
+		sc := scores[i]
+		if len(sc) != len(cs) {
+			panic(fmt.Sprintf("fusion: row %d has %d scores for %d candidates", i, len(sc), len(cs)))
+		}
+		best := 0
+		for c, j := range cs {
+			v := sc[c]
+			if c > 0 && v > sc[best] {
+				best = c
+			}
+			// Column maxima: the first row touching a target seeds its best
+			// (mirroring ArgmaxCol's row-0 initialization), later rows win
+			// only strictly — so a NaN seed sticks, as in the dense scan.
+			if !colSet[j] {
+				colSet[j] = true
+				colRow[j] = i
+				colVal[j] = v
+			} else if v > colVal[j] {
+				colVal[j] = v
+				colRow[j] = i
+			}
+		}
+		rowPos[i] = best
+	}
+	var out []Candidate
+	for i, cs := range cands {
+		if len(cs) == 0 {
+			continue
+		}
+		j := cs[rowPos[i]]
+		if colRow[j] != i {
+			continue
+		}
+		score := scores[i][rowPos[i]]
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			continue
+		}
+		out = append(out, Candidate{Src: i, Tgt: j, Score: score})
+	}
+	return out
+}
+
+// AdaptiveWeightsSparse runs stages 1–4 over candidate-aligned feature
+// scores. All features must share the candidate structure. With fewer than
+// two features the result is trivially uniform, as in AdaptiveWeights.
+func AdaptiveWeightsSparse(parts [][][]float64, cands [][]int, opt Options) Weights {
+	k := len(parts)
+	if k == 0 {
+		panic("fusion: no feature score sets")
+	}
+	for _, p := range parts {
+		if len(p) != len(cands) {
+			panic(fmt.Sprintf("fusion: %d score rows for %d candidate rows", len(p), len(cands)))
+		}
+	}
+	if k == 1 {
+		return Weights{PerFeature: []float64{1}, Retained: make([][]Candidate, 1), Scores: []float64{1}}
+	}
+	cs := make([][]Candidate, k)
+	for f, p := range parts {
+		cs[f] = SparseCandidates(cands, p)
+	}
+	return weightCandidates(cs, opt)
+}
+
+// FuseSparse combines candidate-aligned feature scores with adaptively
+// assigned weights (stages 1–5), returning fresh fused rows and the weights.
+func FuseSparse(parts [][][]float64, cands [][]int, opt Options) ([][]float64, Weights) {
+	w := AdaptiveWeightsSparse(parts, cands, opt)
+	return weightedSumSparse(parts, w.PerFeature, cands), w
+}
+
+// weightedSumSparse returns Σ w[f]·parts[f] over the candidate structure.
+// Per-element accumulation runs term by term in part order over a zeroed
+// destination — the same chain as mat.WeightedSum, so results are
+// bit-identical to the dense combination.
+func weightedSumSparse(parts [][][]float64, w []float64, cands [][]int) [][]float64 {
+	out := make([][]float64, len(cands))
+	for i := range out {
+		out[i] = make([]float64, len(cands[i]))
+	}
+	for f, p := range parts {
+		wf := w[f]
+		for i, row := range p {
+			or := out[i]
+			for c, v := range row {
+				or[c] += wf * v
+			}
+		}
+	}
+	return out
+}
+
+// TwoStageSparseResult reports the intermediate products of TwoStageSparse.
+type TwoStageSparseResult struct {
+	Textual        [][]float64 // fusion of semantic + string
+	Fused          [][]float64 // fusion of structural + textual
+	TextualWeights Weights
+	FinalWeights   Weights
+}
+
+// TwoStageSparse runs the paper's two-stage fusion over candidate-aligned
+// scores: semantic (mn) with string (ml) into textual, then structural (ms)
+// with textual. Nil parts are skipped; at least one must be non-nil. The
+// returned Fused may alias an input when only one feature is present.
+func TwoStageSparse(ms, mn, ml [][]float64, cands [][]int, opt Options) TwoStageSparseResult {
+	var res TwoStageSparseResult
+
+	textualParts := nonNilSparse(mn, ml)
+	switch len(textualParts) {
+	case 0:
+		// Structure only.
+	case 1:
+		res.Textual = textualParts[0]
+		res.TextualWeights = Weights{PerFeature: []float64{1}}
+	default:
+		res.Textual, res.TextualWeights = FuseSparse(textualParts, cands, opt)
+	}
+
+	finalParts := nonNilSparse(ms, res.Textual)
+	switch len(finalParts) {
+	case 0:
+		panic("fusion: TwoStageSparse with no features")
+	case 1:
+		res.Fused = finalParts[0]
+		res.FinalWeights = Weights{PerFeature: []float64{1}}
+	default:
+		res.Fused, res.FinalWeights = FuseSparse(finalParts, cands, opt)
+	}
+	return res
+}
+
+// SingleStageSparse fuses all available features in one adaptive pass — the
+// sparse counterpart of SingleStage.
+func SingleStageSparse(ms, mn, ml [][]float64, cands [][]int, opt Options) ([][]float64, Weights) {
+	parts := nonNilSparse(ms, mn, ml)
+	if len(parts) == 0 {
+		panic("fusion: SingleStageSparse with no features")
+	}
+	if len(parts) == 1 {
+		return parts[0], Weights{PerFeature: []float64{1}}
+	}
+	return FuseSparse(parts, cands, opt)
+}
+
+// TwoStageFixedSparse is TwoStageSparse with equal weights at both stages
+// (w/o AFF) — the combination the blocked pipeline used before adaptive
+// fusion was ported. Like dense TwoStageFixed it reuses a freshly fused
+// textual structure as the final destination, replicating that path's
+// accumulation order (the textual term is scaled in place first, then the
+// structural term accumulates) so results stay bit-identical to the dense
+// function on full candidate lists.
+func TwoStageFixedSparse(ms, mn, ml [][]float64, cands [][]int) [][]float64 {
+	var textual [][]float64
+	textualFresh := false
+	textualParts := nonNilSparse(mn, ml)
+	switch len(textualParts) {
+	case 0:
+	case 1:
+		textual = textualParts[0]
+	default:
+		textual = weightedSumSparse(textualParts, equalSparseWeights(len(textualParts)), cands)
+		textualFresh = true
+	}
+	finalParts := nonNilSparse(ms, textual)
+	switch len(finalParts) {
+	case 0:
+		panic("fusion: TwoStageFixedSparse with no features")
+	case 1:
+		return finalParts[0]
+	}
+	w := equalSparseWeights(len(finalParts))
+	if textualFresh {
+		// textual is the last final part: scale it in place, then
+		// accumulate the remaining parts in their given order — exactly
+		// mat.WeightedSumInto with an aliased destination.
+		last := len(finalParts) - 1
+		for i := range textual {
+			row := textual[i]
+			for c := range row {
+				row[c] *= w[last]
+			}
+		}
+		for f, p := range finalParts[:last] {
+			wf := w[f]
+			for i, row := range p {
+				or := textual[i]
+				for c, v := range row {
+					or[c] += wf * v
+				}
+			}
+		}
+		return textual
+	}
+	return weightedSumSparse(finalParts, w, cands)
+}
+
+func equalSparseWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}
+
+func nonNilSparse(parts ...[][]float64) [][][]float64 {
+	var out [][][]float64
+	for _, p := range parts {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}

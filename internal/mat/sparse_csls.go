@@ -1,0 +1,78 @@
+package mat
+
+// CSLSSparseInPlace applies cross-domain similarity local scaling to
+// candidate-aligned scores, rewriting them in place and returning scores:
+// scores[i][c] scores the pair (i, cands[i][c]) and nTgt is the size of the
+// target index space. As in the dense kernel, csls(i,j) = 2·sim(i,j) −
+// r_src(i) − r_tgt(j) with r_src/r_tgt the mean of the k best scores in the
+// pair's row/column — here taken over the candidate structure, the only
+// entries that exist on the blocked path.
+//
+// On full candidate lists the result is bit-identical to CSLSInPlace: row
+// statistics push entries in ascending column order and column statistics in
+// ascending row order, the exact insertion sequences of the dense bounded
+// heaps, so every accumulation chain matches. Cost is O(nnz·log k) time and
+// O(nTgt·k) scratch — no dense n×m structure is ever materialized.
+func CSLSSparseInPlace(cands [][]int, scores [][]float64, k, nTgt int) [][]float64 {
+	if k <= 0 {
+		k = 1
+	}
+	n := len(cands)
+	if n == 0 || nTgt == 0 {
+		return scores
+	}
+	defer kernelDone("csls_sparse", kernelStart())
+	kr := k
+	if kr > nTgt {
+		kr = nTgt
+	}
+	kc := k
+	if kc > n {
+		kc = n
+	}
+
+	rowMean := make([]float64, n)
+	parallelRows(n, func(lo, hi int) {
+		heap := GetScratch(kr)
+		for i := lo; i < hi; i++ {
+			rowMean[i] = topKMeanVals(scores[i], kr, heap)
+		}
+		PutScratch(heap)
+	})
+
+	// Column statistics: one bounded heap per target, filled by a single
+	// walk over sources in ascending order — the same per-column insertion
+	// order as the dense blocked column walk. Targets no source proposes
+	// keep mean 0, matching the dense kernel's empty-heap convention.
+	colMean := make([]float64, nTgt)
+	heaps := make([]float64, nTgt*kc)
+	counts := make([]int, nTgt)
+	for i := 0; i < n; i++ {
+		sc := scores[i]
+		for c, j := range cands[i] {
+			h := heaps[j*kc : (j+1)*kc]
+			counts[j] = heapPushBounded(h, counts[j], kc, sc[c])
+		}
+	}
+	for j := 0; j < nTgt; j++ {
+		if counts[j] == 0 {
+			continue
+		}
+		var s float64
+		for _, v := range heaps[j*kc : j*kc+counts[j]] {
+			s += v
+		}
+		colMean[j] = s / float64(counts[j])
+	}
+
+	parallelRows(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sc := scores[i]
+			rm := rowMean[i]
+			for c, j := range cands[i] {
+				sc[c] = 2*sc[c] - rm - colMean[j]
+			}
+		}
+	})
+	return scores
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// PeakRSS returns the process's peak resident set size in bytes — the
+// number that decides whether a run fit in memory, which Go's own
+// runtime.MemStats cannot report (it only sees the Go heap, not the OS-level
+// high-water mark). On Linux it reads VmHWM from /proc/self/status; on other
+// platforms, or if the read fails, it falls back to runtime.MemStats.Sys
+// (total bytes obtained from the OS by the Go runtime — a lower bound on the
+// true peak). The second return reports which source produced the value
+// ("VmHWM" or "runtime.Sys").
+func PeakRSS() (bytes uint64, source string) {
+	if v, ok := readVmHWM("/proc/self/status"); ok {
+		return v, "VmHWM"
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Sys, "runtime.Sys"
+}
+
+// readVmHWM parses the "VmHWM: <n> kB" line of a /proc status file.
+func readVmHWM(path string) (uint64, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb * 1024, true
+	}
+	return 0, false
+}
+
+// FormatBytes renders a byte count humanly (binary units), for report notes
+// and log lines.
+func FormatBytes(b uint64) string {
+	const unit = 1024
+	if b < unit {
+		return strconv.FormatUint(b, 10) + " B"
+	}
+	div, exp := uint64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return strconv.FormatFloat(float64(b)/float64(div), 'f', 1, 64) + " " + string("KMGTPE"[exp]) + "iB"
+}

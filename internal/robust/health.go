@@ -92,3 +92,34 @@ func DegenerateMatrix(m *mat.Dense) (reason string, degenerate bool) {
 	}
 	return "", false
 }
+
+// DegenerateRows is DegenerateMatrix for candidate-aligned (ragged) score
+// rows, the blocked pipeline's feature representation: nil, entirely empty,
+// bearing NaN/Inf entries, or identically zero. Individual empty rows are
+// fine — a source may simply have few candidates — but a structure with no
+// scores at all carries no signal.
+func DegenerateRows(rows [][]float64) (reason string, degenerate bool) {
+	if rows == nil {
+		return "nil score rows", true
+	}
+	allZero := true
+	entries := 0
+	for i, r := range rows {
+		entries += len(r)
+		for c, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Sprintf("non-finite entry %g at (%d,%d)", v, i, c), true
+			}
+			if v != 0 {
+				allZero = false
+			}
+		}
+	}
+	if entries == 0 {
+		return "empty score rows", true
+	}
+	if allZero {
+		return "all-zero score rows", true
+	}
+	return "", false
+}
