@@ -1,6 +1,6 @@
 # Tier-1 verification for the CEAFF reproduction. `make check` is the
 # full gate: formatting, vet, build, and the race-enabled test suite.
-# `make bench` regenerates BENCH_PR7.json: table + kernel benchmarks plus
+# `make bench` regenerates BENCH_PR8.json: table + kernel benchmarks plus
 # an instrumented pipeline run, folded into one schema-stable file that
 # cmd/benchdiff can compare across commits. `make fuzz-smoke` runs each
 # native fuzz target briefly — the corruption-recovery and string-metric
@@ -12,11 +12,11 @@ GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 # ±15% regression threshold on, and charges one-time pool/runtime setup to
 # the lone iteration. The whole suite still runs in ~15s.
 BENCHTIME ?= 3x
-BENCHOUT  ?= BENCH_PR7.json
+BENCHOUT  ?= BENCH_PR8.json
 
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet build test race bench serve-smoke fuzz-smoke cover
+.PHONY: check fmt vet build test race bench serve-smoke loadtest loadtest-smoke fuzz-smoke cover
 
 check: fmt vet build race
 
@@ -43,6 +43,18 @@ race:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
+# Boot ceaffd and drive it with the open-loop generator for a latency
+# report (no gates). Knobs: LOAD_RATE, LOAD_DURATION, LOAD_BATCH,
+# LOAD_ARGS ("-shards 4", "-blocked", ...), LOAD_JSON.
+loadtest:
+	sh scripts/loadtest.sh
+
+# Short gated run for CI: p95 must stay under 250ms and nothing may be
+# shed at a modest rate on the tiny smoke corpus.
+loadtest-smoke:
+	LOAD_RATE=400 LOAD_DURATION=5s LOAD_P95_MAX=250ms LOAD_SHED_MAX=0 \
+		sh scripts/loadtest.sh
+
 # Brief random-input runs of the native fuzz targets (go test -fuzz allows
 # one target per invocation).
 fuzz-smoke:
@@ -56,4 +68,7 @@ cover:
 bench:
 	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . | tee /tmp/ceaff-bench.txt
 	go run ./cmd/ceaff -fast -scale 0.05 -metrics /tmp/ceaff-pipeline.json
-	go run ./cmd/benchfold -bench /tmp/ceaff-bench.txt -o $(BENCHOUT) /tmp/ceaff-pipeline.json
+	LOAD_JSON=1 LOAD_DURATION=5s sh scripts/loadtest.sh | tee /tmp/ceaff-loadtest.txt
+	go run ./cmd/benchfold -bench /tmp/ceaff-bench.txt \
+		-note "loadtest=$$(grep '^{' /tmp/ceaff-loadtest.txt | tail -1)" \
+		-o $(BENCHOUT) /tmp/ceaff-pipeline.json

@@ -5,7 +5,15 @@
 package ceaff
 
 import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ceaff/internal/baselines"
 	"ceaff/internal/bench"
@@ -16,8 +24,10 @@ import (
 	"ceaff/internal/gcn"
 	"ceaff/internal/mat"
 	"ceaff/internal/match"
+	"ceaff/internal/obs"
 	"ceaff/internal/rng"
 	"ceaff/internal/sample"
+	"ceaff/internal/serve"
 	"ceaff/internal/strsim"
 	"ceaff/internal/transe"
 )
@@ -422,3 +432,237 @@ func benchTrainEpoch(b *testing.B, serial bool) {
 
 func BenchmarkTrainEpochMedium(b *testing.B)       { benchTrainEpoch(b, false) }
 func BenchmarkTrainEpochSerialMedium(b *testing.B) { benchTrainEpoch(b, true) }
+
+// ---- Serving-path benchmarks ----
+//
+// The BenchmarkServeAlign* family drives the daemon's HTTP handler with
+// 64 concurrent clients issuing single-source align queries over a 512 x
+// 4096 engine — large enough that answering from scratch does real work.
+// Legacy is the pre-coalescing configuration (no batching, no cache,
+// encoding/json); HeavyTraffic is the production default (coalescing +
+// versioned cache + arena encoder). One benchmark op is a full sweep of
+// benchServeOps requests, so the suite stays meaningful at the 3x
+// benchtime the regression gate uses (per-request timing at 3 iterations
+// would measure nothing but warm-up). The CI benchdiff gate watches
+// these; req/s is also reported for direct throughput comparison.
+
+const (
+	benchServeSources = 512
+	benchServeTargets = 8192
+	benchServeClients = 64
+	benchServeOps     = 4096
+)
+
+func benchServeEngine(b *testing.B) *serve.Engine {
+	fused := mat.NewDense(benchServeSources, benchServeTargets)
+	s := uint64(9)
+	for i := range fused.Data {
+		s = s*6364136223846793005 + 1442695040888963407
+		fused.Data[i] = float64((s>>33)%1021) / 1021
+	}
+	src := make([]string, benchServeSources)
+	for i := range src {
+		src[i] = "src-" + strconv.Itoa(i)
+	}
+	tgt := make([]string, benchServeTargets)
+	for j := range tgt {
+		tgt[j] = "tgt-" + strconv.Itoa(j)
+	}
+	e, err := serve.NewStaticEngine(fused, nil, src, tgt, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchServeAlign(b *testing.B, tune func(*serve.Config)) {
+	cfg := serve.DefaultServerConfig()
+	cfg.MaxInFlight = 2 * benchServeClients
+	cfg.MaxQueue = 8 * benchServeClients
+	cfg.CoalesceWindow = 0
+	cfg.CacheSize = 0
+	tune(&cfg)
+	srv := serve.NewServer(cfg, obs.NewRegistry())
+	srv.SetAligner(benchServeEngine(b))
+	h := srv.Handler()
+
+	bodies := make([][]byte, benchServeSources)
+	for i := range bodies {
+		bodies[i] = []byte(`{"sources":["` + strconv.Itoa(i) + `"]}`)
+	}
+	post := func(body []byte) int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/align", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	// Warm the cache (when enabled) so the steady state is measured.
+	for _, body := range bodies {
+		if code := post(body); code != http.StatusOK {
+			b.Fatalf("warm-up status %d", code)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		var bad atomic.Int64
+		for w := 0; w < benchServeClients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					n := next.Add(1)
+					if n > benchServeOps {
+						return
+					}
+					if code := post(bodies[int(n)%benchServeSources]); code != http.StatusOK {
+						bad.Add(1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if bad.Load() != 0 {
+			b.Fatalf("%d requests failed", bad.Load())
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*benchServeOps/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeAlignLegacy is the pre-PR8 request path: every query runs
+// the collective decision and marshals through encoding/json.
+func BenchmarkServeAlignLegacy(b *testing.B) {
+	benchServeAlign(b, func(cfg *serve.Config) { cfg.StdlibEncode = true })
+}
+
+// BenchmarkServeAlignZeroAlloc isolates the arena encoder: same uncached,
+// uncoalesced path, bytes built in pooled scratch.
+func BenchmarkServeAlignZeroAlloc(b *testing.B) {
+	benchServeAlign(b, func(cfg *serve.Config) {})
+}
+
+// BenchmarkServeAlignCoalesced batches concurrent queries into shared
+// collective executions (no cache, so every query still decides).
+func BenchmarkServeAlignCoalesced(b *testing.B) {
+	benchServeAlign(b, func(cfg *serve.Config) {
+		cfg.CoalesceWindow = time.Millisecond
+		cfg.CoalesceMaxRows = benchServeClients / 2
+	})
+}
+
+// BenchmarkServeAlignHeavyTraffic is the shipped default: coalescing +
+// versioned result cache + arena encoder.
+func BenchmarkServeAlignHeavyTraffic(b *testing.B) {
+	benchServeAlign(b, func(cfg *serve.Config) {
+		cfg.CoalesceWindow = time.Millisecond
+		cfg.CoalesceMaxRows = benchServeClients / 2
+		cfg.CacheSize = 4 * benchServeSources
+	})
+}
+
+// staticBenchAligner answers instantly from precomputed decisions, so a
+// handler benchmark over it measures transport + decode + encode alone —
+// the "response path" the arena encoder is meant to de-allocate.
+type staticBenchAligner struct {
+	dec []serve.Decision
+}
+
+func (a *staticBenchAligner) NumSources() int { return len(a.dec) }
+
+func (a *staticBenchAligner) Resolve(key string) (int, bool) {
+	i, err := strconv.Atoi(key)
+	if err != nil || i < 0 || i >= len(a.dec) {
+		return 0, false
+	}
+	return i, true
+}
+
+func (a *staticBenchAligner) AlignCollective(_ context.Context, rows []int) ([]serve.Decision, error) {
+	out := make([]serve.Decision, len(rows))
+	for p, r := range rows {
+		out[p] = a.dec[r]
+	}
+	return out, nil
+}
+
+func (a *staticBenchAligner) AlignGreedy(rows []int) []serve.Decision {
+	out, _ := a.AlignCollective(context.Background(), rows)
+	return out
+}
+
+func (a *staticBenchAligner) Candidates(_ context.Context, row, k int) ([]serve.Candidate, error) {
+	return nil, nil
+}
+
+// nullResponseWriter discards the response body, so the benchmark charges
+// encoding, not recorder buffering.
+type nullResponseWriter struct {
+	hdr http.Header
+}
+
+func (w *nullResponseWriter) Header() http.Header {
+	if w.hdr == nil {
+		w.hdr = make(http.Header, 2)
+	}
+	return w.hdr
+}
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+// benchServeEncode pins the response-encoding cost alone: a 64-decision
+// response over an instant aligner, caching and coalescing off, with a
+// reused request object and a discarding writer so per-op allocations are
+// the handler's own (decode + align copy + encode). The allocs/op delta
+// between the two variants is the arena encoder's contribution to the
+// response path.
+func benchServeEncode(b *testing.B, stdlib bool) {
+	dec := make([]serve.Decision, benchServeSources)
+	for i := range dec {
+		dec[i] = serve.Decision{
+			SourceIndex: i,
+			Source:      "src-" + strconv.Itoa(i),
+			TargetIndex: (i * 31) % benchServeSources,
+			Target:      "tgt-" + strconv.Itoa((i*31)%benchServeSources),
+			Score:       float64(i%97) / 97,
+			Rank:        1 + i%5,
+			Matched:     true,
+		}
+	}
+	cfg := serve.DefaultServerConfig()
+	cfg.CoalesceWindow = 0
+	cfg.CacheSize = 0
+	cfg.StdlibEncode = stdlib
+	srv := serve.NewServer(cfg, obs.NewRegistry())
+	srv.SetAligner(&staticBenchAligner{dec: dec})
+	h := srv.Handler()
+
+	keys := ""
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			keys += ","
+		}
+		keys += `"` + strconv.Itoa(i*7) + `"`
+	}
+	body := []byte(`{"sources":[` + keys + `]}`)
+	rd := bytes.NewReader(body)
+	req := httptest.NewRequest(http.MethodPost, "/v1/align", rd)
+	w := &nullResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A block of requests per op, for the same 3x-benchtime stability
+		// reason as the ServeAlign sweeps.
+		for j := 0; j < 256; j++ {
+			rd.Reset(body)
+			h.ServeHTTP(w, req)
+		}
+	}
+}
+
+func BenchmarkServeEncodeStdlib(b *testing.B) { benchServeEncode(b, true) }
+func BenchmarkServeEncodeArena(b *testing.B)  { benchServeEncode(b, false) }

@@ -13,6 +13,10 @@
 //	       [-default-timeout 5s] [-max-timeout 30s] [-drain-timeout 15s]
 //	       [-breaker-window 20] [-breaker-threshold 0.5] [-breaker-cooldown 10s]
 //	       [-wal path] [-rebuild-threshold 1] [-rebuild-interval 0]
+//	       [-coalesce-window 2ms] [-coalesce-max-rows 256] [-cache-size 4096]
+//	       [-stdlib-encode] [-shards 0]
+//	       [-blocked] [-min-candidates 20] [-stop-threshold 0]
+//	       [-lsh-tables 0] [-lsh-bits 12] [-max-bucket 0] [-max-seed-fanout 0]
 //
 // Endpoints:
 //
@@ -30,6 +34,20 @@
 // the listener closes, in-flight requests finish under -drain-timeout,
 // and the process exits 0; if the drain deadline passes, connections are
 // force-closed and it exits 1.
+//
+// The heavy-traffic path: concurrent /v1/align requests coalesce under
+// -coalesce-window (or -coalesce-max-rows, whichever trips first) into one
+// pooled collective execution with per-request demux; single-source answers
+// and candidate lists land in a -cache-size LRU keyed by engine version
+// (invalidated wholesale on hot-swap); responses are encoded through the
+// arena-backed zero-allocation encoder unless -stdlib-encode. With
+// -shards N, the source space is partitioned across N consistent-hash
+// replica shards behind an in-process router; answers stay bit-identical
+// to the unsharded engine. With -blocked, the candidate-first pipeline
+// builds a sparse engine (token/neighbour/LSH blocking, candidate-local
+// scores) — serving from Result.FusedSparse in O(|test|·candidates)
+// memory. -blocked and -shards are mutually exclusive, and neither
+// supports -wal yet.
 //
 // With -wal, the engine accepts online mutations: POST /v1/mutate batches
 // are validated, appended to the durable CRC-framed log at the given path
@@ -58,8 +76,11 @@ import (
 	"ceaff/internal/align"
 	"ceaff/internal/baselines"
 	"ceaff/internal/bench"
+	"ceaff/internal/blocking"
 	"ceaff/internal/core"
 	"ceaff/internal/dataio"
+	"ceaff/internal/gcn"
+	"ceaff/internal/kg"
 	"ceaff/internal/mat"
 	"ceaff/internal/obs"
 	"ceaff/internal/rng"
@@ -94,7 +115,29 @@ func main() {
 	walPath := flag.String("wal", "", "durable mutation log path; enables POST /v1/mutate")
 	rebuildThreshold := flag.Int("rebuild-threshold", 1, "pending mutations that trigger a background rebuild")
 	rebuildInterval := flag.Duration("rebuild-interval", 0, "periodic drain of sub-threshold pending mutations (0 = threshold only)")
+	coalesceWindow := flag.Duration("coalesce-window", 2*time.Millisecond, "merge concurrent align requests for up to this long (0 = off)")
+	coalesceMaxRows := flag.Int("coalesce-max-rows", 256, "flush a coalescing batch early at this many source rows")
+	cacheSize := flag.Int("cache-size", 4096, "versioned LRU result-cache entries (0 = off)")
+	stdlibEncode := flag.Bool("stdlib-encode", false, "encode responses with encoding/json instead of the arena encoder")
+	shards := flag.Int("shards", 0, "partition the source space across N consistent-hash replica shards (0 = unsharded)")
+	blocked := flag.Bool("blocked", false, "build the engine with the candidate-first blocked pipeline")
+	minCandidates := flag.Int("min-candidates", 20, "blocked: pad every source up to this many candidates")
+	stopThreshold := flag.Int("stop-threshold", 0, "blocked: token-index stop threshold (0 = targets/10)")
+	lshTables := flag.Int("lsh-tables", 0, "blocked: enable embedding-LSH blocking with this many tables (0 = off)")
+	lshBits := flag.Int("lsh-bits", 12, "blocked: hyperplane bits per LSH table")
+	maxBucket := flag.Int("max-bucket", 0, "blocked: skip LSH buckets larger than this (0 = no cap)")
+	maxSeedFanout := flag.Int("max-seed-fanout", 0, "blocked: skip seeds adjacent to more than this many targets (0 = no cap)")
 	flag.Parse()
+
+	if *blocked && *walPath != "" {
+		log.Fatal("-blocked does not support -wal: the rebuild path produces dense engines")
+	}
+	if *shards > 0 && *walPath != "" {
+		log.Fatal("-shards does not support -wal: rebuilds would publish unsharded engines")
+	}
+	if *blocked && *shards > 0 {
+		log.Fatal("-blocked and -shards are mutually exclusive")
+	}
 
 	rt := obs.NewRuntime()
 	mat.SetMetrics(rt.Metrics)
@@ -107,6 +150,10 @@ func main() {
 	scfg.Breaker.Window = *breakerWindow
 	scfg.Breaker.FailureThreshold = *breakerThreshold
 	scfg.Breaker.Cooldown = *breakerCooldown
+	scfg.CoalesceWindow = *coalesceWindow
+	scfg.CoalesceMaxRows = *coalesceMaxRows
+	scfg.CacheSize = *cacheSize
+	scfg.StdlibEncode = *stdlibEncode
 	srv := serve.NewServer(scfg, rt.Metrics)
 
 	l, err := net.Listen("tcp", *addr)
@@ -144,15 +191,42 @@ func main() {
 
 	var upd *serve.Updater
 	var wlog *wal.Log
-	if *walPath == "" {
+	switch {
+	case *blocked:
+		bstart := time.Now()
+		guardHardNegatives(in, &cfg.GCN)
+		cands := buildCandidates(in, *minCandidates, *stopThreshold,
+			*lshTables, *lshBits, *maxBucket, *maxSeedFanout)
+		st := cands.Stats()
+		log.Printf("blocking: avg %.1f cand/src, max %d, recall %.4f (%.1fs)",
+			st.AvgCandidates, st.MaxCandidates, st.Recall, time.Since(bstart).Seconds())
+		engine, err := serve.NewSparseEngine(pipeCtx, in, cfg, cands)
+		if err != nil {
+			fatalStartup(ctx, err)
+		}
+		for _, d := range engine.Degraded() {
+			log.Printf("degraded: %s feature dropped: %s", d.Feature, d.Reason)
+		}
+		srv.SetAligner(engine)
+		log.Printf("ready after %.1fs (%d sources, blocked)", time.Since(start).Seconds(), engine.NumSources())
+	case *walPath == "":
 		engine, err := serve.NewEngine(pipeCtx, in, cfg)
 		if err != nil {
 			fatalStartup(ctx, err)
 		}
 		logDegraded(engine)
-		srv.SetAligner(engine)
+		var aligner serve.Aligner = engine
+		if *shards > 0 {
+			sharded, err := serve.NewShardedEngine(engine, *shards)
+			if err != nil {
+				fatalStartup(ctx, err)
+			}
+			aligner = sharded
+			log.Printf("sharded: %d consistent-hash replicas", sharded.NumShards())
+		}
+		srv.SetAligner(aligner)
 		log.Printf("ready after %.1fs (%d sources)", time.Since(start).Seconds(), engine.NumSources())
-	} else {
+	default:
 		// Durable update mode: replay the WAL over the deterministically
 		// rebuilt base corpus, publish the recovered engine, and run the
 		// background rebuild loop for new mutations.
@@ -295,4 +369,57 @@ func loadVec(path string, salt uint64) (wordvec.Embedder, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return lex, nil
+}
+
+// guardHardNegatives disables GCN hard-negative mining when the dense
+// similarity block it needs would dwarf the blocked pipeline's memory
+// budget — same policy as the ceaff CLI's blocked mode.
+func guardHardNegatives(in *core.Input, cfg *gcn.Config) {
+	if cfg.HardNegativeEvery <= 0 {
+		return
+	}
+	n := in.G1.NumEntities()
+	if m := in.G2.NumEntities(); m > n {
+		n = m
+	}
+	if cells := len(in.Seeds) * n; cells > 200_000_000 {
+		log.Printf("disabling GCN hard-negative mining: %d seeds x %d entities needs a dense %d-cell similarity block",
+			len(in.Seeds), n, cells)
+		cfg.HardNegativeEvery = 0
+	}
+}
+
+// buildCandidates combines token, neighbour and (optionally) LSH blocking
+// over the input's test pairs — the daemon-side twin of the ceaff CLI's
+// blocked mode.
+func buildCandidates(in *core.Input, minCand, stopThreshold, lshTables, lshBits, maxBucket, maxSeedFanout int) blocking.Candidates {
+	names := func(g *kg.KG, ids []kg.EntityID) []string {
+		out := make([]string, len(ids))
+		for i, id := range ids {
+			out[i] = g.EntityName(id)
+		}
+		return out
+	}
+	srcNames := names(in.G1, align.SourceIDs(in.Tests))
+	tgtNames := names(in.G2, align.TargetIDs(in.Tests))
+	ne := blocking.NewNeighborExpansion(in.G1, in.G2, in.Seeds, in.Tests)
+	ne.MaxSeedFanout = maxSeedFanout
+	gens := []blocking.Generator{
+		blocking.NewTokenIndex(srcNames, tgtNames, stopThreshold),
+		ne,
+	}
+	if lshTables > 0 {
+		lsh := blocking.NewEmbeddingLSHFromNames(in.Emb1, in.Emb2, srcNames, tgtNames, 17)
+		lsh.Tables = lshTables
+		lsh.Bits = lshBits
+		lsh.MaxBucket = maxBucket
+		gens = append(gens, lsh)
+	}
+	b := &blocking.Blocker{
+		Generators:    gens,
+		NumTargets:    len(in.Tests),
+		MinCandidates: minCand,
+		Seed:          11,
+	}
+	return b.Generate()
 }

@@ -1,0 +1,271 @@
+// Command loadgen is an open-loop load generator for the ceaffd daemon.
+//
+// Open-loop means sends are scheduled by a fixed-rate ticker, independent
+// of completions: a slow server does not slow the generator down, so the
+// measured latencies include the queueing a real client population would
+// see (no coordinated omission).
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8080 [-rate 500] [-duration 10s]
+//	        [-sources 0] [-batch 1] [-timeout 2s] [-max-inflight 4096]
+//	        [-p95-max 0] [-shed-max -1] [-json]
+//
+// With -sources 0 the generator probes the daemon for its source count.
+// Each request picks -batch distinct source indices deterministically
+// from the request sequence number, so runs are reproducible.
+//
+// Exit status is non-zero when the run violates a gate: -p95-max (p95
+// latency ceiling, 0 = no gate) or -shed-max (maximum tolerated shed/
+// error count, -1 = no gate). This is what `make loadtest-smoke` uses.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type result struct {
+	latency time.Duration
+	status  int
+	err     bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	addr := flag.String("addr", "127.0.0.1:8080", "daemon address (host:port)")
+	rate := flag.Float64("rate", 500, "target request rate per second")
+	duration := flag.Duration("duration", 10*time.Second, "send window length")
+	sources := flag.Int("sources", 0, "source universe size to query (0 = probe the daemon)")
+	batch := flag.Int("batch", 1, "sources per align request")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request timeout")
+	maxInflight := flag.Int("max-inflight", 4096, "drop sends beyond this many outstanding requests (counted as shed)")
+	p95Max := flag.Duration("p95-max", 0, "fail if p95 latency exceeds this (0 = no gate)")
+	shedMax := flag.Int("shed-max", -1, "fail if shed+error count exceeds this (-1 = no gate)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	flag.Parse()
+
+	base := "http://" + *addr
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *maxInflight,
+			MaxIdleConnsPerHost: *maxInflight,
+		},
+	}
+
+	n := *sources
+	if n <= 0 {
+		var err error
+		n, err = probeSources(client, base)
+		if err != nil {
+			log.Fatalf("probing source count: %v", err)
+		}
+		log.Printf("probed %d sources", n)
+	}
+	if *batch < 1 {
+		*batch = 1
+	}
+	if *batch > n {
+		*batch = n
+	}
+
+	interval := time.Duration(float64(time.Second) / *rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	total := int(float64(*duration) / float64(interval))
+	if total < 1 {
+		total = 1
+	}
+
+	results := make([]result, total)
+	var inflight atomic.Int64
+	var shed atomic.Int64
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	for seq := 0; seq < total; seq++ {
+		<-tick.C
+		if inflight.Load() >= int64(*maxInflight) {
+			shed.Add(1)
+			results[seq] = result{err: true}
+			continue
+		}
+		inflight.Add(1)
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			results[seq] = fire(client, base, seq, n, *batch)
+		}(seq)
+	}
+	tick.Stop()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(results, elapsed, shed.Load(), *jsonOut, *p95Max, *shedMax)
+}
+
+// probeSources finds the daemon's source count by exponential then binary
+// search over the candidates endpoint, which 4xxes out-of-range rows.
+func probeSources(client *http.Client, base string) (int, error) {
+	ok := func(row int) (bool, error) {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/entity/%d/candidates?k=1", base, row))
+		if err != nil {
+			return false, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return true, nil
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			return false, nil
+		default:
+			return false, fmt.Errorf("probe row %d: status %d", row, resp.StatusCode)
+		}
+	}
+	if valid, err := ok(0); err != nil {
+		return 0, err
+	} else if !valid {
+		return 0, fmt.Errorf("daemon rejects source 0 — not ready?")
+	}
+	hi := 1
+	for {
+		valid, err := ok(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !valid {
+			break
+		}
+		hi *= 2
+	}
+	lo := hi / 2 // lo valid, hi invalid
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		valid, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if valid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// fire sends one align request with batch distinct sources derived from
+// the sequence number.
+func fire(client *http.Client, base string, seq, n, batch int) result {
+	keys := make([]string, batch)
+	for i := range keys {
+		keys[i] = fmt.Sprint((seq*7919 + i*31) % n)
+	}
+	for i := range keys { // dedup collisions deterministically
+		for j := 0; j < i; j++ {
+			if keys[i] == keys[j] {
+				keys[i] = fmt.Sprint((seq*7919 + i*31 + batch) % n)
+			}
+		}
+	}
+	body, _ := json.Marshal(struct {
+		Sources []string `json:"sources"`
+	}{keys})
+
+	begin := time.Now()
+	resp, err := client.Post(base+"/v1/align", "application/json", bytes.NewReader(body))
+	lat := time.Since(begin)
+	if err != nil {
+		return result{latency: lat, err: true}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return result{latency: lat, status: resp.StatusCode, err: resp.StatusCode != http.StatusOK}
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func report(results []result, elapsed time.Duration, shed int64, jsonOut bool, p95Max time.Duration, shedMax int) {
+	var lats []time.Duration
+	okCount, errCount := 0, 0
+	for _, r := range results {
+		if r.err {
+			errCount++
+			continue
+		}
+		okCount++
+		lats = append(lats, r.latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	p50 := quantile(lats, 0.50)
+	p95 := quantile(lats, 0.95)
+	p99 := quantile(lats, 0.99)
+	var maxLat time.Duration
+	if len(lats) > 0 {
+		maxLat = lats[len(lats)-1]
+	}
+	throughput := float64(okCount) / elapsed.Seconds()
+
+	if jsonOut {
+		json.NewEncoder(os.Stdout).Encode(map[string]any{
+			"sent":      len(results),
+			"ok":        okCount,
+			"errors":    errCount,
+			"shed":      shed,
+			"elapsed_s": elapsed.Seconds(),
+			"ok_per_s":  throughput,
+			"p50_ms":    float64(p50) / float64(time.Millisecond),
+			"p95_ms":    float64(p95) / float64(time.Millisecond),
+			"p99_ms":    float64(p99) / float64(time.Millisecond),
+			"max_ms":    float64(maxLat) / float64(time.Millisecond),
+		})
+	} else {
+		fmt.Printf("sent %d  ok %d  errors %d  shed %d  in %.2fs (%.0f ok/s)\n",
+			len(results), okCount, errCount, shed, elapsed.Seconds(), throughput)
+		fmt.Printf("latency p50 %v  p95 %v  p99 %v  max %v\n", p50, p95, p99, maxLat)
+	}
+
+	failed := false
+	if p95Max > 0 && p95 > p95Max {
+		log.Printf("GATE FAILED: p95 %v > %v", p95, p95Max)
+		failed = true
+	}
+	if shedMax >= 0 && errCount > shedMax {
+		log.Printf("GATE FAILED: %d errors/shed > %d allowed", errCount, shedMax)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

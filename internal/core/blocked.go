@@ -554,8 +554,20 @@ func sparseGreedyOneToOne(cands blocking.Candidates, scores [][]float64) match.A
 // candidate lists reproduce its assignment bit for bit.
 func sparseDAA(cands blocking.Candidates, scores [][]float64, topK int) match.Assignment {
 	n := len(cands)
-	if topK >= n {
-		topK = 0 // full lists, mirroring DeferredAcceptanceTopK's bypass
+	// Bypass truncation when no list is longer than topK — mirroring
+	// DeferredAcceptanceTopK's k >= nTgt bypass. Comparing against the
+	// longest candidate list (instead of the source count) keeps the
+	// semantics right when a serving-path subset (AlignRowsSparse) selects
+	// fewer sources than their lists hold candidates; for the square batch
+	// decision the two bounds coincide, so the assignment is unchanged.
+	maxLen := 0
+	for _, cs := range cands {
+		if len(cs) > maxLen {
+			maxLen = len(cs)
+		}
+	}
+	if topK >= maxLen {
+		topK = 0
 	}
 	// Preference order per source: candidate positions sorted by score.
 	prefs := make([][]int, n)

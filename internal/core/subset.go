@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
+	"ceaff/internal/blocking"
 	"ceaff/internal/mat"
 	"ceaff/internal/match"
 )
@@ -21,6 +23,9 @@ import (
 // out-of-range rows are rejected — a duplicated source would compete with
 // itself for its own best target, silently demoting one copy.
 //
+// The gathered submatrix lives in the pooled scratch arena, so steady-state
+// serving traffic does not allocate a fresh decision matrix per request.
+//
 // Cancellation is cooperative at row granularity during the submatrix
 // gather and checked once more before the matching step, mirroring the
 // row-chunk granularity of the parallel kernels.
@@ -31,28 +36,170 @@ func AlignRows(ctx context.Context, fused *mat.Dense, rows []int, topK int) (mat
 	if len(rows) == 0 {
 		return match.Assignment{}, nil
 	}
-	seen := make(map[int]int, len(rows))
-	for p, r := range rows {
-		if r < 0 || r >= fused.Rows {
-			return nil, fmt.Errorf("core: AlignRows row %d out of range [0,%d)", r, fused.Rows)
-		}
-		if q, dup := seen[r]; dup {
-			return nil, fmt.Errorf("core: AlignRows rows %d and %d both select source %d", q, p, r)
-		}
-		seen[r] = p
+	if err := validateRowSet(rows, fused.Rows); err != nil {
+		return nil, err
 	}
-	sub := mat.NewDense(len(rows), fused.Cols)
+	sub := mat.GetDense(len(rows), fused.Cols)
+	defer mat.PutDense(sub)
 	for p, r := range rows {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		copy(sub.Row(p), fused.Row(r))
 	}
+	return AlignGathered(ctx, sub, topK)
+}
+
+// validateRowSet rejects out-of-range and duplicated row indices with the
+// same diagnostics for every gather entry point.
+func validateRowSet(rows []int, bound int) error {
+	seen := make(map[int]int, len(rows))
+	for p, r := range rows {
+		if r < 0 || r >= bound {
+			return fmt.Errorf("core: AlignRows row %d out of range [0,%d)", r, bound)
+		}
+		if q, dup := seen[r]; dup {
+			return fmt.Errorf("core: AlignRows rows %d and %d both select source %d", q, p, r)
+		}
+		seen[r] = p
+	}
+	return nil
+}
+
+// AlignGathered runs the collective decision over an already-gathered
+// preference matrix — the decision half of AlignRows, split out so callers
+// that build their own submatrices (the coalescer's shared batch gather, the
+// shard router's fan-out merge) reuse the exact decision path.
+//
+// A single-row matrix short-circuits to a linear argmax scan: deferred
+// acceptance over one source degenerates to the source's first preference,
+// which is its maximal target with ties toward the lower index — exactly
+// mat.TopKRow's order — so the scan is bit-identical to the full machinery
+// at a fraction of the cost (no O(C log C) preference sort). Rows containing
+// NaN fall through to the full algorithm, whose NaN ordering the fast path
+// does not reproduce.
+func AlignGathered(ctx context.Context, sub *mat.Dense, topK int) (match.Assignment, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if sub.Rows == 1 {
+		if j, ok := singleRowChoice(sub.Row(0)); ok {
+			return match.Assignment{j}, nil
+		}
 	}
 	if topK > 0 {
 		return match.DeferredAcceptanceTopK(sub, topK), nil
 	}
 	return match.DeferredAcceptance(sub), nil
+}
+
+// singleRowChoice picks the target a lone proposing source ends up with:
+// the maximum value, ties toward the lower index (TopKRow's total order).
+// ok is false when the row contains NaN, which breaks that total order.
+func singleRowChoice(row []float64) (int, bool) {
+	if len(row) == 0 {
+		return -1, true
+	}
+	best := 0
+	for j, v := range row {
+		if math.IsNaN(v) {
+			return 0, false
+		}
+		if v > row[best] {
+			best = j
+		}
+	}
+	return best, true
+}
+
+// AlignRowGroups answers several independent AlignRows requests in one
+// call: every group's rows are gathered into a single pooled submatrix —
+// one scratch-arena draw and one pass over the fused matrix instead of one
+// per request — and each group then runs its own collective decision over
+// its slice of that matrix. Groups never compete with each other, so entry
+// g of the result is bit-identical to AlignRows(ctx, fused, groups[g],
+// topK). This is the request coalescer's execution primitive.
+//
+// Rows may repeat across groups (two coalesced requests may ask for the
+// same source); duplicates within a group are rejected exactly as in
+// AlignRows.
+func AlignRowGroups(ctx context.Context, fused *mat.Dense, groups [][]int, topK int) ([]match.Assignment, error) {
+	if fused == nil {
+		return nil, fmt.Errorf("core: AlignRows on nil matrix")
+	}
+	total := 0
+	for _, g := range groups {
+		if err := validateRowSet(g, fused.Rows); err != nil {
+			return nil, err
+		}
+		total += len(g)
+	}
+	out := make([]match.Assignment, len(groups))
+	if total == 0 {
+		for g := range out {
+			out[g] = match.Assignment{}
+		}
+		return out, nil
+	}
+	sub := mat.GetDense(total, fused.Cols)
+	defer mat.PutDense(sub)
+	pos := 0
+	for _, g := range groups {
+		for _, r := range g {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			copy(sub.Row(pos), fused.Row(r))
+			pos++
+		}
+	}
+	off := 0
+	for g, rows := range groups {
+		if len(rows) == 0 {
+			out[g] = match.Assignment{}
+			continue
+		}
+		view := &mat.Dense{
+			Rows: len(rows),
+			Cols: sub.Cols,
+			Data: sub.Data[off*sub.Cols : (off+len(rows))*sub.Cols],
+		}
+		asn, err := AlignGathered(ctx, view, topK)
+		if err != nil {
+			return nil, err
+		}
+		out[g] = asn
+		off += len(rows)
+	}
+	return out, nil
+}
+
+// AlignRowsSparse is AlignRows over the blocked pipeline's candidate
+// structure: the selected sources compete for targets under deferred
+// acceptance restricted to their candidate lists, with the same proposal
+// order and tie-breaks as the sparse batch decision (sparseDAA). scores is
+// the fused candidate-score structure (Result.FusedSparse), aligned with
+// cands. The returned assignment is positional: entry p is the global
+// target index chosen for rows[p], -1 when the source exhausts its
+// candidates.
+func AlignRowsSparse(ctx context.Context, cands blocking.Candidates, scores [][]float64, rows []int, topK int) (match.Assignment, error) {
+	if len(cands) != len(scores) {
+		return nil, fmt.Errorf("core: AlignRowsSparse: %d candidate rows, %d score rows", len(cands), len(scores))
+	}
+	if len(rows) == 0 {
+		return match.Assignment{}, nil
+	}
+	if err := validateRowSet(rows, len(cands)); err != nil {
+		return nil, err
+	}
+	subC := make(blocking.Candidates, len(rows))
+	subS := make([][]float64, len(rows))
+	for p, r := range rows {
+		subC[p] = cands[r]
+		subS[p] = scores[r]
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sparseDAA(subC, subS, topK), nil
 }

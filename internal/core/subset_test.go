@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"errors"
+	"math"
 	"testing"
 
+	"ceaff/internal/blocking"
 	"ceaff/internal/mat"
 	"ceaff/internal/match"
 )
@@ -89,5 +91,213 @@ func TestAlignRowsTopK(t *testing.T) {
 		if got[i] != full[i] {
 			t.Fatalf("row %d: top-k subset decision %d != full %d", i, got[i], full[i])
 		}
+	}
+}
+
+// randDense fills a rows×cols matrix from a deterministic LCG, quantized so
+// score ties actually occur and exercise the tie-break paths.
+func randDense(rows, cols int, seed uint64) *mat.Dense {
+	m := mat.NewDense(rows, cols)
+	s := seed
+	for i := range m.Data {
+		s = s*6364136223846793005 + 1442695040888963407
+		m.Data[i] = float64((s>>33)%97) / 97
+	}
+	return m
+}
+
+// TestAlignGatheredSingleRowFastPath pins the single-row short circuit
+// bit-identical to the full deferred-acceptance machinery, including ties
+// and preference truncation.
+func TestAlignGatheredSingleRowFastPath(t *testing.T) {
+	ctx := context.Background()
+	for trial := 0; trial < 200; trial++ {
+		m := randDense(1, 1+trial%37, uint64(trial)+1)
+		want := match.DeferredAcceptance(m)
+		got, err := AlignGathered(ctx, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want[0] {
+			t.Fatalf("trial %d: fast path %d != DAA %d (row %v)", trial, got[0], want[0], m.Row(0))
+		}
+		wantK := match.DeferredAcceptanceTopK(m, 3)
+		gotK, err := AlignGathered(ctx, m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotK[0] != wantK[0] {
+			t.Fatalf("trial %d: fast path topK %d != DAA topK %d", trial, gotK[0], wantK[0])
+		}
+	}
+	// NaN rows must take the full algorithm, not the scan.
+	m := mat.FromRows([][]float64{{0.5, nan(), 0.9}})
+	want := match.DeferredAcceptance(m)
+	got, err := AlignGathered(ctx, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want[0] {
+		t.Fatalf("NaN row: fast path %d != DAA %d", got[0], want[0])
+	}
+	// Zero-column rows stay unmatched either way.
+	empty, err := AlignGathered(ctx, mat.NewDense(1, 0), 0)
+	if err != nil || empty[0] != -1 {
+		t.Fatalf("empty row: got %v, %v", empty, err)
+	}
+}
+
+func nan() float64 { return math.NaN() }
+
+// TestAlignRowGroupsBitIdentity pins the coalescer's execution primitive:
+// every group's assignment equals an independent AlignRows call, for
+// randomized groups that overlap across (but not within) groups.
+func TestAlignRowGroupsBitIdentity(t *testing.T) {
+	ctx := context.Background()
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + trial%20
+		fused := randDense(n, n, uint64(trial)*31+7)
+		s := uint64(trial) + 99
+		next := func(mod int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int((s >> 33) % uint64(mod))
+		}
+		groups := make([][]int, 1+next(4))
+		for g := range groups {
+			seen := map[int]bool{}
+			for len(groups[g]) < 1+next(n) {
+				r := next(n)
+				if !seen[r] {
+					seen[r] = true
+					groups[g] = append(groups[g], r)
+				}
+			}
+		}
+		topK := 0
+		if trial%3 == 0 {
+			topK = 1 + next(n)
+		}
+		got, err := AlignRowGroups(ctx, fused, groups, topK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g, rows := range groups {
+			want, err := AlignRows(ctx, fused, rows, topK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := range want {
+				if got[g][p] != want[p] {
+					t.Fatalf("trial %d group %d pos %d: grouped %d != solo %d (rows %v)",
+						trial, g, p, got[g][p], want[p], rows)
+				}
+			}
+		}
+	}
+}
+
+func TestAlignRowGroupsValidation(t *testing.T) {
+	ctx := context.Background()
+	fused := subsetTestMatrix()
+	if _, err := AlignRowGroups(ctx, nil, [][]int{{0}}, 0); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := AlignRowGroups(ctx, fused, [][]int{{0}, {5}}, 0); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, err := AlignRowGroups(ctx, fused, [][]int{{1, 1}}, 0); err == nil {
+		t.Error("within-group duplicate accepted")
+	}
+	// Across-group duplicates are the point of coalescing: allowed.
+	got, err := AlignRowGroups(ctx, fused, [][]int{{0, 1}, {0}, {}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(got[1]) != 1 || got[1][0] != 0 || len(got[2]) != 0 {
+		t.Fatalf("grouped result malformed: %v", got)
+	}
+	out, err := AlignRowGroups(ctx, fused, nil, 0)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty groups: got %v, %v", out, err)
+	}
+}
+
+// TestAlignRowsSparseMatchesDense pins the sparse subset decision against
+// the dense AlignRows on full candidate lists (every target a candidate of
+// every source): same competition, same tie-breaks, same assignments.
+func TestAlignRowsSparseMatchesDense(t *testing.T) {
+	ctx := context.Background()
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + trial%12
+		fused := randDense(n, n, uint64(trial)*13+3)
+		cands := make(blocking.Candidates, n)
+		scores := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			cands[i] = make([]int, n)
+			for j := range cands[i] {
+				cands[i][j] = j
+			}
+			scores[i] = fused.Row(i)
+		}
+		s := uint64(trial) + 17
+		next := func(mod int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int((s >> 33) % uint64(mod))
+		}
+		rows := []int{}
+		seen := map[int]bool{}
+		for len(rows) < 1+next(n) {
+			r := next(n)
+			if !seen[r] {
+				seen[r] = true
+				rows = append(rows, r)
+			}
+		}
+		topK := 0
+		if trial%2 == 0 {
+			topK = 1 + next(n+2)
+		}
+		want, err := AlignRows(ctx, fused, rows, topK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AlignRowsSparse(ctx, cands, scores, rows, topK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range want {
+			if got[p] != want[p] {
+				t.Fatalf("trial %d pos %d (rows %v, topK %d): sparse %d != dense %d",
+					trial, p, rows, topK, got[p], want[p])
+			}
+		}
+	}
+}
+
+func TestAlignRowsSparseValidation(t *testing.T) {
+	ctx := context.Background()
+	cands := blocking.Candidates{{0, 1}, {1}}
+	scores := [][]float64{{0.9, 0.1}, {0.8}}
+	if _, err := AlignRowsSparse(ctx, cands, scores[:1], []int{0}, 0); err == nil {
+		t.Error("mismatched cands/scores accepted")
+	}
+	if _, err := AlignRowsSparse(ctx, cands, scores, []int{2}, 0); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, err := AlignRowsSparse(ctx, cands, scores, []int{0, 0}, 0); err == nil {
+		t.Error("duplicate rows accepted")
+	}
+	got, err := AlignRowsSparse(ctx, cands, scores, nil, 0)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty rows: got %v, %v", got, err)
+	}
+	// Both sources want target 1's column? Source 0 prefers target 0 (0.9);
+	// source 1 only candidates target 1: no competition, both matched.
+	asn, err := AlignRowsSparse(ctx, cands, scores, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asn[0] != 0 || asn[1] != 1 {
+		t.Fatalf("sparse subset assignment %v, want [0 1]", asn)
 	}
 }

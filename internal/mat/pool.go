@@ -217,3 +217,75 @@ func PutDense(d *Dense) {
 	d.Data = nil
 	d.Rows, d.Cols = 0, 0
 }
+
+// Byte-buffer tier: the serving layer's response encoder draws its JSON
+// encode buffers from here, so steady-state response writing performs no
+// heap allocation. Same class/pinning discipline as the numeric tiers.
+var (
+	scratchByte [maxPoolClass]sync.Pool // stores *[]byte, cap == 1<<class (or larger after append growth)
+	boxByte     sync.Pool               // stores *[]byte with nil contents
+	pinnedByte  [maxPinnedClass + 1][pinnedPerClass]atomic.Pointer[[]byte]
+)
+
+// GetScratchBytes returns a zero-length byte slice with capacity at least n
+// from the pooled arena — shaped for append-style encoding. The slice may
+// grow past its class via append; PutScratchBytes files it under whatever
+// class its final capacity covers.
+func GetScratchBytes(n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	c := classFor(n)
+	if c <= maxPinnedClass {
+		for i := range pinnedByte[c] {
+			if box := pinnedByte[c][i].Swap(nil); box != nil {
+				scratchEvent(true)
+				s := (*box)[:0]
+				*box = nil
+				boxByte.Put(box)
+				return s
+			}
+		}
+	}
+	if c < maxPoolClass {
+		if v := scratchByte[c].Get(); v != nil {
+			scratchEvent(true)
+			box := v.(*[]byte)
+			s := (*box)[:0]
+			*box = nil
+			boxByte.Put(box)
+			return s
+		}
+	}
+	scratchEvent(false)
+	if c < maxPoolClass {
+		return make([]byte, 0, 1<<c)
+	}
+	return make([]byte, 0, n)
+}
+
+// PutScratchBytes returns a byte buffer to the arena. Nil and zero-capacity
+// slices are no-ops so callers can defer unconditionally.
+func PutScratchBytes(s []byte) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	c := bits.Len(uint(cap(s))) - 1
+	if c >= maxPoolClass {
+		return
+	}
+	box, _ := boxByte.Get().(*[]byte)
+	if box == nil {
+		box = new([]byte)
+	}
+	*box = s
+	if c <= maxPinnedClass {
+		for i := range pinnedByte[c] {
+			if pinnedByte[c][i].CompareAndSwap(nil, box) {
+				return
+			}
+		}
+	}
+	scratchByte[c].Put(box)
+}

@@ -409,3 +409,49 @@ func TestParallelRowsNested(t *testing.T) {
 		t.Fatal("nested ParallelRows deadlocked")
 	}
 }
+
+// TestScratchBytesPool pins the byte tier's contract: zero-length slices
+// with the requested capacity, recycling through put/get, and unconditional
+// safety on nil/zero-cap releases.
+func TestScratchBytesPool(t *testing.T) {
+	b := GetScratchBytes(100)
+	if len(b) != 0 || cap(b) < 100 {
+		t.Fatalf("GetScratchBytes(100): len=%d cap=%d, want len 0 cap>=100", len(b), cap(b))
+	}
+	b = append(b, []byte("hello json buffer")...)
+	PutScratchBytes(b)
+	b2 := GetScratchBytes(90) // same class: should recycle the same backing array
+	if len(b2) != 0 || cap(b2) < 90 {
+		t.Fatalf("recycled buffer: len=%d cap=%d", len(b2), cap(b2))
+	}
+	PutScratchBytes(b2)
+
+	// Growth past the class re-files under the larger capacity.
+	g := GetScratchBytes(8)
+	for i := 0; i < 5000; i++ {
+		g = append(g, byte(i))
+	}
+	PutScratchBytes(g)
+	big := GetScratchBytes(4096)
+	if cap(big) < 4096 {
+		t.Fatalf("post-growth buffer cap %d < 4096", cap(big))
+	}
+	PutScratchBytes(big)
+
+	PutScratchBytes(nil)      // must not panic
+	PutScratchBytes([]byte{}) // must not panic
+	if got := GetScratchBytes(-1); len(got) != 0 {
+		t.Fatalf("GetScratchBytes(-1) len %d", len(got))
+	}
+}
+
+// BenchmarkScratchBytes measures the steady-state cost of the byte tier;
+// the encoder's zero-allocation claim rests on this cycle not allocating.
+func BenchmarkScratchBytes(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := GetScratchBytes(4096)
+		s = append(s, "payload"...)
+		PutScratchBytes(s)
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"ceaff/internal/obs"
+)
+
+// modelLRU is a deliberately naive reference implementation: a slice ordered
+// most-recent-first. The property test drives it and resultCache with the
+// same operation stream and demands identical observable behaviour.
+type modelLRU struct {
+	cap  int
+	keys []cacheKey
+	vals map[cacheKey]any
+}
+
+func newModelLRU(capacity int) *modelLRU {
+	return &modelLRU{cap: capacity, vals: map[cacheKey]any{}}
+}
+
+func (m *modelLRU) touch(key cacheKey) {
+	for i, k := range m.keys {
+		if k == key {
+			m.keys = append(m.keys[:i], m.keys[i+1:]...)
+			break
+		}
+	}
+	m.keys = append([]cacheKey{key}, m.keys...)
+}
+
+func (m *modelLRU) get(key cacheKey) (any, bool) {
+	v, ok := m.vals[key]
+	if ok {
+		m.touch(key)
+	}
+	return v, ok
+}
+
+func (m *modelLRU) put(key cacheKey, val any) {
+	if _, ok := m.vals[key]; ok {
+		m.vals[key] = val
+		m.touch(key)
+		return
+	}
+	m.vals[key] = val
+	m.touch(key)
+	if len(m.keys) > m.cap {
+		victim := m.keys[len(m.keys)-1]
+		m.keys = m.keys[:len(m.keys)-1]
+		delete(m.vals, victim)
+	}
+}
+
+// TestCacheEvictionOrderProperty drives the cache and the reference model
+// with a randomized get/put stream and requires every lookup to agree —
+// which pins the eviction order, since a divergent victim choice surfaces
+// as a hit/miss mismatch on a later get.
+func TestCacheEvictionOrderProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		capacity := 1 + r.Intn(8)
+		c := newResultCache(capacity, obs.NewRegistry())
+		m := newModelLRU(capacity)
+		keyspace := capacity * 3
+		for op := 0; op < 2000; op++ {
+			key := cacheKey{
+				version: uint64(r.Intn(2)),
+				kind:    byte("ac"[r.Intn(2)]),
+				row:     r.Intn(keyspace),
+				k:       r.Intn(2),
+			}
+			if r.Intn(2) == 0 {
+				val := op
+				c.put(key, val)
+				m.put(key, val)
+			} else {
+				gv, gok := c.get(key)
+				wv, wok := m.get(key)
+				if gok != wok || (gok && gv.(int) != wv.(int)) {
+					t.Fatalf("trial %d op %d key %+v: cache (%v,%v) != model (%v,%v)",
+						trial, op, key, gv, gok, wv, wok)
+				}
+			}
+			if c.len() != len(m.keys) {
+				t.Fatalf("trial %d op %d: cache len %d != model len %d", trial, op, c.len(), len(m.keys))
+			}
+		}
+	}
+}
+
+func TestCacheVersionKeying(t *testing.T) {
+	c := newResultCache(8, obs.NewRegistry())
+	k1 := cacheKey{version: 1, kind: cacheKindAlign, row: 3, k: 5}
+	c.put(k1, "v1-answer")
+	k2 := k1
+	k2.version = 2
+	if _, ok := c.get(k2); ok {
+		t.Fatal("version 2 lookup returned a version 1 entry")
+	}
+	if v, ok := c.get(k1); !ok || v != "v1-answer" {
+		t.Fatalf("version 1 lookup: %v, %v", v, ok)
+	}
+	// Kind and k are part of the key too.
+	if _, ok := c.get(cacheKey{version: 1, kind: cacheKindCandidates, row: 3, k: 5}); ok {
+		t.Fatal("candidates lookup returned an align entry")
+	}
+	if _, ok := c.get(cacheKey{version: 1, kind: cacheKindAlign, row: 3, k: 6}); ok {
+		t.Fatal("different-k lookup hit")
+	}
+}
+
+func TestCacheResetAndNil(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newResultCache(4, reg)
+	for i := 0; i < 4; i++ {
+		c.put(cacheKey{version: 1, kind: cacheKindAlign, row: i}, i)
+	}
+	c.Reset()
+	if c.len() != 0 {
+		t.Fatalf("post-reset len %d", c.len())
+	}
+	if _, ok := c.get(cacheKey{version: 1, kind: cacheKindAlign, row: 0}); ok {
+		t.Fatal("hit after reset")
+	}
+	// Reset must not break subsequent inserts.
+	c.put(cacheKey{version: 2, kind: cacheKindAlign, row: 9}, "fresh")
+	if v, ok := c.get(cacheKey{version: 2, kind: cacheKindAlign, row: 9}); !ok || v != "fresh" {
+		t.Fatalf("post-reset insert: %v, %v", v, ok)
+	}
+
+	// The nil cache (CacheSize 0) is inert but safe.
+	var nc *resultCache
+	nc.put(cacheKey{}, 1)
+	if _, ok := nc.get(cacheKey{}); ok {
+		t.Fatal("nil cache hit")
+	}
+	nc.Reset()
+	if nc.len() != 0 {
+		t.Fatal("nil cache len")
+	}
+	if newResultCache(0, reg) != nil {
+		t.Fatal("capacity 0 should disable the cache")
+	}
+}
+
+func TestCacheEvictionMetric(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newResultCache(2, reg)
+	for i := 0; i < 5; i++ {
+		c.put(cacheKey{row: i}, i)
+	}
+	if got := reg.Counter("serve.cache.evictions").Value(); got != 3 {
+		t.Fatalf("evictions counter %v, want 3", got)
+	}
+}

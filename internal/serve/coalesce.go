@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"ceaff/internal/obs"
+)
+
+// coalescer merges concurrent align requests into one batched collective
+// execution. A request joining an open batch waits up to the window for
+// company; the batch flushes early once maxRows source rows accumulate, or
+// immediately when a request arrives under a different engine snapshot (a
+// hot-swap mid-window must not mix engines in one execution).
+//
+// Correctness note: coalesced requests are POOLED, not MERGED. Each request's
+// rows form their own group and run their own deferred-acceptance decision
+// over a shared gather (core.AlignRowGroups) — sources from different
+// requests never compete, so every response is bit-identical to the request
+// running alone. The shared work is the gather, the scratch draw, and the
+// scheduling, which is where the per-request cost actually lives for the
+// dominant small-batch traffic.
+type coalescer struct {
+	window  time.Duration
+	maxRows int
+	budget  time.Duration // execution deadline for a flushed batch
+
+	mu    chan struct{} // 1-slot semaphore as mutex; select-able if ever needed
+	batch *alignBatch
+
+	batches   *obs.Counter
+	rows      *obs.Counter
+	batchSize *obs.Histogram
+}
+
+// alignBatch accumulates entries bound for one execution against one engine
+// snapshot.
+type alignBatch struct {
+	box     *alignerBox
+	entries []*batchEntry
+	nrows   int
+	timer   *time.Timer
+}
+
+// batchEntry is one caller's stake in a batch. done is buffered so the
+// executor never blocks on a caller that gave up.
+type batchEntry struct {
+	rows []int
+	done chan batchResult
+}
+
+type batchResult struct {
+	decisions []Decision
+	err       error
+}
+
+// newCoalescer returns nil when the window is zero — a nil coalescer means
+// the handler runs requests directly, preserving the pre-coalescing path.
+func newCoalescer(window time.Duration, maxRows int, budget time.Duration, reg *obs.Registry) *coalescer {
+	if window <= 0 {
+		return nil
+	}
+	if maxRows < 1 {
+		maxRows = DefaultServerConfig().CoalesceMaxRows
+	}
+	if budget <= 0 {
+		budget = DefaultServerConfig().DefaultTimeout
+	}
+	c := &coalescer{
+		window:    window,
+		maxRows:   maxRows,
+		budget:    budget,
+		mu:        make(chan struct{}, 1),
+		batches:   reg.Counter("serve.coalesce.batches"),
+		rows:      reg.Counter("serve.coalesce.rows"),
+		batchSize: reg.Histogram("serve.coalesce.batch_size"),
+	}
+	return c
+}
+
+func (c *coalescer) lock()   { c.mu <- struct{}{} }
+func (c *coalescer) unlock() { <-c.mu }
+
+// submit enqueues rows for batched execution against box's engine and
+// returns the channel the result arrives on. The caller selects on it
+// against its own request context.
+func (c *coalescer) submit(box *alignerBox, rows []int) <-chan batchResult {
+	e := &batchEntry{rows: rows, done: make(chan batchResult, 1)}
+	c.lock()
+	// A snapshot change mid-window flushes the open batch: one batch, one
+	// engine. The timer-scheduled flush notices c.batch moved on and no-ops.
+	if c.batch != nil && c.batch.box != box {
+		b := c.batch
+		b.timer.Stop()
+		c.batch = nil
+		go c.run(b)
+	}
+	if c.batch == nil {
+		b := &alignBatch{box: box}
+		b.timer = time.AfterFunc(c.window, func() { c.flush(b) })
+		c.batch = b
+	}
+	b := c.batch
+	b.entries = append(b.entries, e)
+	b.nrows += len(rows)
+	if b.nrows >= c.maxRows {
+		b.timer.Stop()
+		c.batch = nil
+		c.unlock()
+		c.run(b) // size-triggered flush runs on the filler's goroutine
+		return e.done
+	}
+	c.unlock()
+	return e.done
+}
+
+// flush is the timer path: claim the batch if it is still open, then run it.
+func (c *coalescer) flush(b *alignBatch) {
+	c.lock()
+	if c.batch != b {
+		c.unlock()
+		return // already flushed by size or snapshot change
+	}
+	c.batch = nil
+	c.unlock()
+	c.run(b)
+}
+
+// run executes one batch and demuxes results to every entry.
+func (c *coalescer) run(b *alignBatch) {
+	c.batches.Inc()
+	c.rows.Add(int64(b.nrows))
+	c.batchSize.Record(float64(b.nrows))
+	groups := make([][]int, len(b.entries))
+	for i, e := range b.entries {
+		groups[i] = e.rows
+	}
+	// The batch runs under its own deadline — the window plus the server's
+	// default budget — rather than any single caller's context: one caller
+	// hanging up must not cancel its batchmates. Callers enforce their own
+	// deadlines by selecting against their request context.
+	ctx, cancel := context.WithTimeout(context.Background(), c.window+c.budget)
+	defer cancel()
+	results, err := alignGroups(ctx, b.box.a, groups)
+	for i, e := range b.entries {
+		if err != nil {
+			e.done <- batchResult{err: err}
+		} else {
+			e.done <- batchResult{decisions: results[i]}
+		}
+	}
+}
+
+// alignGroups runs every group through the aligner: one pooled pass when the
+// engine supports grouped execution, a per-group loop otherwise.
+func alignGroups(ctx context.Context, a Aligner, groups [][]int) ([][]Decision, error) {
+	if ga, ok := a.(GroupAligner); ok {
+		return ga.AlignCollectiveGroups(ctx, groups)
+	}
+	out := make([][]Decision, len(groups))
+	for i, g := range groups {
+		d, err := a.AlignCollective(ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}

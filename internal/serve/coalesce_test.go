@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/obs"
+)
+
+// coalesceTestMatrix builds a deterministic fused matrix with deliberate
+// score collisions so tie-breaks matter.
+func coalesceTestMatrix(n int) *mat.Dense {
+	m := mat.NewDense(n, n)
+	s := uint64(5)
+	for i := range m.Data {
+		s = s*6364136223846793005 + 1442695040888963407
+		m.Data[i] = float64((s>>33)%23) / 23
+	}
+	return m
+}
+
+// postAlignRaw returns the raw response bytes of one align POST.
+func postAlignRaw(t *testing.T, client *http.Client, url string, keys ...string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Post(url+"/v1/align", "application/json", alignBody(keys...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestCoalescerResponseBitIdentity is the tentpole's correctness pin:
+// concurrent requests answered through the coalescer (and on repeat, the
+// cache) return byte-for-byte the responses an uncoalesced, uncached server
+// produces for the same keys. Runs in the GOMAXPROCS=1/4 determinism suite.
+func TestCoalescerResponseBitIdentity(t *testing.T) {
+	const n = 24
+	engine := literalEngine(coalesceTestMatrix(n))
+
+	plainCfg := testServerConfig()
+	plainCfg.CoalesceWindow = 0
+	plainCfg.CacheSize = 0
+	plain := NewServer(plainCfg, obs.NewRegistry())
+	plain.SetAligner(engine)
+	plainTS := httptest.NewServer(plain.Handler())
+	defer plainTS.Close()
+
+	fastCfg := testServerConfig()
+	fastCfg.CoalesceWindow = 2 * time.Millisecond
+	fastCfg.CoalesceMaxRows = 16
+	fastCfg.CacheSize = 64
+	fastCfg.MaxInFlight = 64
+	fastCfg.MaxQueue = 256
+	fast := NewServer(fastCfg, obs.NewRegistry())
+	fast.SetAligner(engine)
+	fastTS := httptest.NewServer(fast.Handler())
+	defer fastTS.Close()
+
+	// Reference answers from the plain server, one request per key set.
+	r := rand.New(rand.NewSource(77))
+	type query struct{ keys []string }
+	queries := make([]query, 64)
+	for i := range queries {
+		nkeys := 1 + r.Intn(3)
+		seen := map[int]bool{}
+		var keys []string
+		for len(keys) < nkeys {
+			row := r.Intn(n)
+			if !seen[row] {
+				seen[row] = true
+				keys = append(keys, fmt.Sprint(row))
+			}
+		}
+		queries[i] = query{keys: keys}
+	}
+	client := plainTS.Client()
+	want := make([][]byte, len(queries))
+	for i, q := range queries {
+		status, body := postAlignRaw(t, client, plainTS.URL, q.keys...)
+		if status != http.StatusOK {
+			t.Fatalf("plain query %v: status %d", q.keys, status)
+		}
+		want[i] = body
+	}
+
+	// Fire all queries at the coalescing server concurrently, twice — the
+	// second round answers single-source queries from the cache. Every
+	// response must match the plain server's bytes.
+	fc := fastTS.Client()
+	for round := 0; round < 2; round++ {
+		var wg sync.WaitGroup
+		errs := make(chan string, len(queries))
+		for i, q := range queries {
+			wg.Add(1)
+			go func(i int, q query) {
+				defer wg.Done()
+				status, body := postAlignRaw(t, fc, fastTS.URL, q.keys...)
+				if status != http.StatusOK {
+					errs <- fmt.Sprintf("round %d query %v: status %d", round, q.keys, status)
+					return
+				}
+				if string(body) != string(want[i]) {
+					errs <- fmt.Sprintf("round %d query %v:\n got %s\nwant %s", round, q.keys, body, want[i])
+				}
+			}(i, q)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+	}
+
+	// The batching actually happened: fewer collective executions than
+	// requests, and the second round hit the cache.
+	if got := fast.reg.Counter("serve.coalesce.batches").Value(); got <= 0 || got >= int64(2*len(queries)) {
+		t.Fatalf("coalesce.batches = %d, want within (0, %d)", got, 2*len(queries))
+	}
+	if hits := fast.reg.Counter("serve.cache.hits").Value(); hits == 0 {
+		t.Fatal("second round produced no cache hits")
+	}
+}
+
+// TestCoalescerSizeFlush pins the early-flush trigger: a burst totalling
+// maxRows rows executes without waiting out the window.
+func TestCoalescerSizeFlush(t *testing.T) {
+	stub := newStubAligner(64)
+	reg := obs.NewRegistry()
+	c := newCoalescer(time.Hour /* timer must never matter */, 4, time.Second, reg)
+	box := &alignerBox{a: stub, version: 1}
+
+	var wg sync.WaitGroup
+	results := make([]batchResult, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = <-c.submit(box, []int{i})
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("size-triggered flush never fired")
+	}
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("entry %d: %v", i, res.err)
+		}
+		if len(res.decisions) != 1 || res.decisions[0].SourceIndex != i {
+			t.Fatalf("entry %d got decisions %+v", i, res.decisions)
+		}
+	}
+	if got := reg.Counter("serve.coalesce.rows").Value(); got != 4 {
+		t.Fatalf("coalesce.rows = %d, want 4", got)
+	}
+}
+
+// TestCoalescerSnapshotIsolation pins that a hot-swap mid-window never
+// mixes engines: entries submitted under different boxes execute against
+// their own aligner.
+func TestCoalescerSnapshotIsolation(t *testing.T) {
+	oldStub, newStub := newStubAligner(8), newStubAligner(8)
+	c := newCoalescer(50*time.Millisecond, 100, time.Second, obs.NewRegistry())
+	oldBox := &alignerBox{a: oldStub, version: 1}
+	newBox := &alignerBox{a: newStub, version: 2}
+
+	ch1 := c.submit(oldBox, []int{0})
+	ch2 := c.submit(newBox, []int{1}) // forces the old batch to flush
+
+	r1 := <-ch1
+	if r1.err != nil {
+		t.Fatal(r1.err)
+	}
+	if oldStub.calls.Load() != 1 {
+		t.Fatalf("old engine calls = %d, want 1", oldStub.calls.Load())
+	}
+	r2 := <-ch2
+	if r2.err != nil {
+		t.Fatal(r2.err)
+	}
+	if newStub.calls.Load() != 1 {
+		t.Fatalf("new engine calls = %d, want 1", newStub.calls.Load())
+	}
+}
+
+// TestCacheInvalidationOnHotSwap is the chaos-style satellite: answers
+// cached under one engine version must never be served after a Publish,
+// even for the same source key.
+func TestCacheInvalidationOnHotSwap(t *testing.T) {
+	cfg := testServerConfig()
+	cfg.CacheSize = 64
+	srv := NewServer(cfg, obs.NewRegistry())
+
+	v1 := literalEngine(mat.FromRows([][]float64{{0.9, 0.1}, {0.2, 0.8}}))
+	srv.Publish(v1, 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	_, body1 := postAlignRaw(t, client, ts.URL, "0")
+	_, again := postAlignRaw(t, client, ts.URL, "0")
+	if string(body1) != string(again) {
+		t.Fatalf("cached answer differs:\n%s\n%s", body1, again)
+	}
+	if srv.reg.Counter("serve.cache.hits").Value() == 0 {
+		t.Fatal("repeat query did not hit the cache")
+	}
+
+	// Swap in an engine whose row 0 prefers the other target. A stale
+	// cached answer would still name target A.
+	v2 := literalEngine(mat.FromRows([][]float64{{0.1, 0.9}, {0.8, 0.2}}))
+	srv.Publish(v2, 2)
+	_, body2 := postAlignRaw(t, client, ts.URL, "0")
+	if string(body2) == string(body1) {
+		t.Fatalf("post-swap answer identical to pre-swap: %s", body2)
+	}
+	var resp alignResponse
+	if err := json.Unmarshal(body2, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].TargetIndex != 1 {
+		t.Fatalf("post-swap target %d, want 1 (stale cache?)", resp.Results[0].TargetIndex)
+	}
+
+	// Candidates go through the same versioned keys.
+	cresp, err := client.Get(ts.URL + "/v1/entity/0/candidates?k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbody, _ := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	var cands struct {
+		Candidates []Candidate `json:"candidates"`
+	}
+	if err := json.Unmarshal(cbody, &cands); err != nil {
+		t.Fatal(err)
+	}
+	if len(cands.Candidates) != 1 || cands.Candidates[0].TargetIndex != 1 {
+		t.Fatalf("post-swap candidates %+v, want target 1 first", cands.Candidates)
+	}
+}

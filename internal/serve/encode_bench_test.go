@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"encoding/json"
+	"strconv"
+	"testing"
+
+	"ceaff/internal/mat"
+)
+
+// benchAlignResponse is a realistic 64-decision payload.
+func benchAlignResponse() alignResponse {
+	resp := alignResponse{Results: make([]Decision, 64)}
+	for i := range resp.Results {
+		resp.Results[i] = Decision{
+			SourceIndex: i,
+			Source:      "src-" + strconv.Itoa(i),
+			TargetIndex: (i * 31) % 512,
+			Target:      "tgt-" + strconv.Itoa((i*31)%512),
+			Score:       float64(i%97) / 97,
+			Rank:        1 + i%5,
+			Matched:     true,
+		}
+	}
+	return resp
+}
+
+// BenchmarkEncodeAlignResponseArena is the zero-allocation claim: encoding
+// a response into pooled scratch allocates nothing in steady state.
+func BenchmarkEncodeAlignResponseArena(b *testing.B) {
+	resp := benchAlignResponse()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := mat.GetScratchBytes(64 + 160*len(resp.Results))
+		out, ok := appendAlignResponse(buf, resp)
+		if !ok {
+			b.Fatal("encoder refused a finite payload")
+		}
+		mat.PutScratchBytes(out)
+	}
+}
+
+// BenchmarkEncodeAlignResponseStdlib is the same payload through
+// encoding/json, the pre-PR8 response path.
+func BenchmarkEncodeAlignResponseStdlib(b *testing.B) {
+	resp := benchAlignResponse()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

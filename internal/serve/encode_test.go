@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// nastyStrings exercise every branch of the string escaper: HTML escaping,
+// control characters, invalid UTF-8, the JS line separators, and multi-byte
+// runes adjacent to escapes.
+var nastyStrings = []string{
+	"",
+	"plain",
+	`quote " and backslash \`,
+	"<script>&amp;</script>",
+	"tab\there\nnewline\rreturn",
+	"ctrl\x00\x01\x1f\x7fend",
+	"bad utf8 \xff\xfe mid",
+	"trunc \xe2\x82",
+	"line sep \u2028 para sep \u2029",
+	"héllo wörld — ünïcode ✓ 漢字",
+	"emoji 🚀 mixed \x02 with ctrl",
+	strings.Repeat("a", 300) + "\"",
+}
+
+// nastyFloats cover the formatting cutovers: shortest 'f', the 1e-6/1e21
+// 'e' switchovers, exponent-zero cleanup, negative zero, and subnormals.
+var nastyFloats = []float64{
+	0, math.Copysign(0, -1), 1, -1, 0.5, 1.0 / 3.0,
+	1e-6, 9.99e-7, 1e-7, 1e20, 1e21, 1.5e21, -2.5e-9,
+	math.MaxFloat64, math.SmallestNonzeroFloat64, 5e-324,
+	123456.789, -0.000001234,
+}
+
+func randString(r *rand.Rand) string {
+	return nastyStrings[r.Intn(len(nastyStrings))]
+}
+
+func randFloat(r *rand.Rand) float64 {
+	switch r.Intn(3) {
+	case 0:
+		return nastyFloats[r.Intn(len(nastyFloats))]
+	case 1:
+		return r.NormFloat64()
+	default:
+		return math.Float64frombits(r.Uint64() &^ (0x7FF << 52)) // finite by construction
+	}
+}
+
+func randDecision(r *rand.Rand) Decision {
+	d := Decision{
+		SourceIndex: r.Intn(1000) - 1,
+		Source:      randString(r),
+		TargetIndex: r.Intn(1000) - 1,
+		Score:       randFloat(r),
+		Matched:     r.Intn(2) == 0,
+	}
+	if r.Intn(2) == 0 {
+		d.Target = randString(r)
+	}
+	if r.Intn(2) == 0 {
+		d.Rank = r.Intn(50)
+	}
+	return d
+}
+
+// TestEncodeMatchesStdlib pins the arena encoder's output byte-identical to
+// encoding/json across randomized responses.
+func TestEncodeMatchesStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		resp := alignResponse{Degraded: r.Intn(2) == 0}
+		if r.Intn(10) > 0 {
+			resp.Results = make([]Decision, r.Intn(5))
+			for i := range resp.Results {
+				resp.Results[i] = randDecision(r)
+			}
+		}
+		want, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := appendAlignResponse(nil, resp)
+		if !ok {
+			t.Fatalf("trial %d: encoder rejected finite response", trial)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("trial %d:\n got %q\nwant %q", trial, got, want)
+		}
+	}
+}
+
+func TestEncodeCandidatesMatchesStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	featureKeys := []string{"structural", "semantic", "string", "weird<key>"}
+	for trial := 0; trial < 500; trial++ {
+		var cands []Candidate
+		if r.Intn(10) > 0 {
+			cands = make([]Candidate, r.Intn(4))
+			for i := range cands {
+				c := Candidate{
+					TargetIndex: r.Intn(100),
+					Target:      randString(r),
+					Score:       randFloat(r),
+					Rank:        i + 1,
+				}
+				if r.Intn(5) > 0 {
+					c.Features = map[string]float64{}
+					for _, k := range featureKeys[:r.Intn(len(featureKeys)+1)] {
+						c.Features[k] = randFloat(r)
+					}
+				}
+				cands[i] = c
+			}
+		}
+		want, err := json.Marshal(map[string][]Candidate{"candidates": cands})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := appendCandidatesResponse(nil, cands)
+		if !ok {
+			t.Fatalf("trial %d: encoder rejected finite response", trial)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("trial %d:\n got %q\nwant %q", trial, got, want)
+		}
+	}
+}
+
+// TestEncodeStringTorture pins every nasty string individually so a failure
+// names the exact input.
+func TestEncodeStringTorture(t *testing.T) {
+	for _, s := range nastyStrings {
+		want, _ := json.Marshal(s)
+		got := appendJSONString(nil, s)
+		if string(got) != string(want) {
+			t.Errorf("string %q:\n got %q\nwant %q", s, got, want)
+		}
+	}
+}
+
+func TestEncodeFloatTorture(t *testing.T) {
+	for _, f := range nastyFloats {
+		want, _ := json.Marshal(f)
+		got, ok := appendJSONFloat(nil, f)
+		if !ok {
+			t.Errorf("float %v rejected", f)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("float %v: got %q want %q", f, got, want)
+		}
+	}
+	if _, ok := appendJSONFloat(nil, math.NaN()); ok {
+		t.Error("NaN accepted")
+	}
+	if _, ok := appendJSONFloat(nil, math.Inf(1)); ok {
+		t.Error("+Inf accepted")
+	}
+	if _, ok := appendAlignResponse(nil, alignResponse{
+		Results: []Decision{{Score: math.Inf(-1)}},
+	}); ok {
+		t.Error("response with -Inf score accepted")
+	}
+}

@@ -57,6 +57,14 @@ type Aligner interface {
 	Candidates(ctx context.Context, row, k int) ([]Candidate, error)
 }
 
+// GroupAligner is the optional batched surface the coalescer prefers:
+// several independent align requests answered in one pass over the engine.
+// Group g of the result must be bit-identical to AlignCollective(ctx,
+// groups[g]) — groups share the gather, never the competition.
+type GroupAligner interface {
+	AlignCollectiveGroups(ctx context.Context, groups [][]int) ([][]Decision, error)
+}
+
 // Engine holds the offline pipeline's output in memory and answers online
 // queries. It is immutable after construction, so all methods are safe for
 // concurrent use.
@@ -106,6 +114,31 @@ func NewEngine(ctx context.Context, in *core.Input, cfg core.Config) (*Engine, e
 	}, nil
 }
 
+// NewStaticEngine freezes an already-computed fused score matrix for
+// serving, bypassing the offline pipeline — for precomputed artifacts and
+// benchmarks. Source i is named srcNames[i]; target j, tgtNames[j]. feats
+// may be nil (candidate breakdowns then carry no per-feature scores).
+func NewStaticEngine(fused *mat.Dense, feats *core.FeatureSet, srcNames, tgtNames []string, topK int) (*Engine, error) {
+	if fused == nil || fused.Rows != len(srcNames) || fused.Cols != len(tgtNames) {
+		return nil, fmt.Errorf("serve: fused shape does not match %d sources x %d targets", len(srcNames), len(tgtNames))
+	}
+	byName := make(map[string]int, len(srcNames))
+	for i, name := range srcNames {
+		if _, ok := byName[name]; !ok {
+			byName[name] = i
+		}
+	}
+	return &Engine{
+		fused:    fused,
+		feats:    feats,
+		srcNames: srcNames,
+		tgtNames: tgtNames,
+		byName:   byName,
+		greedy:   match.Greedy(fused),
+		topK:     topK,
+	}, nil
+}
+
 // Degraded lists features the offline pipeline dropped; the daemon logs it
 // at startup.
 func (e *Engine) Degraded() []core.Degradation { return e.degraded }
@@ -137,6 +170,24 @@ func (e *Engine) AlignCollective(ctx context.Context, rows []int) ([]Decision, e
 	out := make([]Decision, len(rows))
 	for p, row := range rows {
 		out[p] = e.decision(row, asn[p])
+	}
+	return out, nil
+}
+
+// AlignCollectiveGroups implements GroupAligner via core.AlignRowGroups:
+// one pooled gather over all groups' rows, one collective decision per
+// group — the coalescer's amortized execution path.
+func (e *Engine) AlignCollectiveGroups(ctx context.Context, groups [][]int) ([][]Decision, error) {
+	asns, err := core.AlignRowGroups(ctx, e.fused, groups, e.topK)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Decision, len(groups))
+	for g, rows := range groups {
+		out[g] = make([]Decision, len(rows))
+		for p, row := range rows {
+			out[g][p] = e.decision(row, asns[g][p])
+		}
 	}
 	return out, nil
 }

@@ -37,20 +37,36 @@ type Config struct {
 	DefaultTopK, MaxTopK int
 	// Breaker configures the circuit breaker over the collective path.
 	Breaker BreakerConfig
+	// CoalesceWindow is how long an align request waits for concurrent
+	// requests to merge into one batched collective call; 0 disables
+	// coalescing (every request runs its own decision immediately).
+	CoalesceWindow time.Duration
+	// CoalesceMaxRows flushes a coalescing batch early once this many
+	// source rows have accumulated.
+	CoalesceMaxRows int
+	// CacheSize bounds the versioned result cache (entries); 0 disables it.
+	CacheSize int
+	// StdlibEncode routes responses through encoding/json instead of the
+	// arena-backed encoder — the A/B lever for the allocation benchmarks
+	// and a paranoia escape hatch.
+	StdlibEncode bool
 }
 
 // DefaultServerConfig returns production-shaped defaults.
 func DefaultServerConfig() Config {
 	return Config{
-		MaxInFlight:    16,
-		MaxQueue:       64,
-		RetryAfter:     time.Second,
-		DefaultTimeout: 5 * time.Second,
-		MaxTimeout:     30 * time.Second,
-		MaxBatch:       256,
-		DefaultTopK:    10,
-		MaxTopK:        100,
-		Breaker:        DefaultBreakerConfig(),
+		MaxInFlight:     16,
+		MaxQueue:        64,
+		RetryAfter:      time.Second,
+		DefaultTimeout:  5 * time.Second,
+		MaxTimeout:      30 * time.Second,
+		MaxBatch:        256,
+		DefaultTopK:     10,
+		MaxTopK:         100,
+		Breaker:         DefaultBreakerConfig(),
+		CoalesceWindow:  2 * time.Millisecond,
+		CoalesceMaxRows: 256,
+		CacheSize:       4096,
 	}
 }
 
@@ -76,15 +92,26 @@ type Server struct {
 	engineVersion atomic.Uint64
 	stale         atomic.Bool
 
+	coalesce *coalescer
+	cache    *resultCache
+
 	requests         *obs.Counter
 	fallbacks        *obs.Counter
 	panics           *obs.Counter
 	deadlineRejected *obs.Counter
 	latency          *obs.Histogram
+	queueWait        *obs.Histogram
+	handlerTime      *obs.Histogram
 }
 
-// alignerBox wraps the interface so atomic.Pointer has a concrete type.
-type alignerBox struct{ a Aligner }
+// alignerBox wraps the interface so atomic.Pointer has a concrete type. It
+// carries the engine version so the cache keys and the served snapshot load
+// atomically — a request can never pair the new engine with the old version
+// (or vice versa) across a hot-swap.
+type alignerBox struct {
+	a       Aligner
+	version uint64
+}
 
 // mutatorBox likewise for the mutation surface.
 type mutatorBox struct{ m Mutator }
@@ -120,7 +147,11 @@ func NewServer(cfg Config, reg *obs.Registry) *Server {
 		panics:           reg.Counter("serve.panics"),
 		deadlineRejected: reg.Counter("serve.deadline.rejected"),
 		latency:          reg.Histogram("serve.request.seconds"),
+		queueWait:        reg.Histogram("serve.queue.seconds"),
+		handlerTime:      reg.Histogram("serve.handler.seconds"),
 	}
+	s.cache = newResultCache(cfg.CacheSize, reg)
+	s.coalesce = newCoalescer(cfg.CoalesceWindow, cfg.CoalesceMaxRows, cfg.DefaultTimeout, reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -144,9 +175,13 @@ func (s *Server) SetAligner(a Aligner) {
 // version and clears any stale flag. Requests in flight keep the snapshot
 // they loaded at admission; new requests see the new one immediately.
 func (s *Server) Publish(a Aligner, version uint64) {
-	s.aligner.Store(&alignerBox{a: a})
+	s.aligner.Store(&alignerBox{a: a, version: version})
 	s.engineVersion.Store(version)
 	s.stale.Store(false)
+	// Invalidate wholesale: no answer computed under the previous snapshot
+	// may be served after the swap. (Version-carrying keys already prevent
+	// cross-version reads; the reset reclaims the dead entries immediately.)
+	s.cache.Reset()
 	s.reg.Gauge("serve.engine.version").Set(float64(version))
 	s.reg.Gauge("serve.engine.stale").Set(0)
 	s.reg.Counter("serve.engine.swaps").Inc()
@@ -240,6 +275,7 @@ func (s *Server) guard(next http.Handler) http.Handler {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 			return
 		}
+		queued := time.Now()
 		if err := s.admission.Acquire(r.Context()); err != nil {
 			if errors.Is(err, ErrShed) {
 				w.Header().Set("Retry-After",
@@ -252,6 +288,12 @@ func (s *Server) guard(next http.Handler) http.Handler {
 			return
 		}
 		defer s.admission.Release()
+		// Queue wait and handler execution are separate histograms: under
+		// load the admission queue dominates latency long before the
+		// handlers slow down, and a single end-to-end number hides which
+		// regime the server is in.
+		s.queueWait.Observe(time.Since(queued))
+		defer s.handlerTime.Time()()
 
 		ctx, cancel := context.WithTimeout(r.Context(), budget)
 		defer cancel()
@@ -326,7 +368,8 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if err := robust.Fire(FaultPanic); err != nil {
 		panic(err)
 	}
-	a := s.aligner.Load().a
+	box := s.aligner.Load()
+	a := box.a
 	var req alignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON body: " + err.Error()})
@@ -366,21 +409,57 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		err := robust.Fire(FaultCollective)
 		var results []Decision
 		if err == nil {
-			results, err = a.AlignCollective(r.Context(), rows)
+			results, err = s.alignCollective(r.Context(), box, rows)
 		}
 		if err == nil {
 			s.breaker.Record(true)
-			writeJSON(w, http.StatusOK, alignResponse{Degraded: false, Results: results})
+			s.writeAlignResponse(w, alignResponse{Degraded: false, Results: results})
 			return
 		}
 		s.breaker.Record(errors.Is(err, context.Canceled))
 	}
 	s.fallbacks.Inc()
-	writeJSON(w, http.StatusOK, alignResponse{Degraded: true, Results: a.AlignGreedy(rows)})
+	s.writeAlignResponse(w, alignResponse{Degraded: true, Results: a.AlignGreedy(rows)})
+}
+
+// alignCollective answers the collective decision for rows through the
+// result cache and the coalescer. Only single-source requests are cacheable
+// — a lone source's collective answer is a pure function of (engine
+// version, row), whereas a multi-source batch's answer depends on the whole
+// row set. Degraded fallback answers never reach here, so the cache only
+// ever holds full-fidelity collective results.
+func (s *Server) alignCollective(ctx context.Context, box *alignerBox, rows []int) ([]Decision, error) {
+	cacheable := len(rows) == 1
+	var key cacheKey
+	if cacheable {
+		key = cacheKey{version: box.version, kind: cacheKindAlign, row: rows[0]}
+		if v, ok := s.cache.get(key); ok {
+			return v.([]Decision), nil
+		}
+	}
+	var results []Decision
+	var err error
+	if s.coalesce != nil {
+		select {
+		case res := <-s.coalesce.submit(box, rows):
+			results, err = res.decisions, res.err
+		case <-ctx.Done():
+			// The batch keeps running for its other members; this caller's
+			// budget is spent. The buffered done channel absorbs the result.
+			return nil, ctx.Err()
+		}
+	} else {
+		results, err = box.a.AlignCollective(ctx, rows)
+	}
+	if err == nil && cacheable {
+		s.cache.put(key, results)
+	}
+	return results, err
 }
 
 func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
-	a := s.aligner.Load().a
+	box := s.aligner.Load()
+	a := box.a
 	row, ok := a.Resolve(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown source " + strconv.Quote(r.PathValue("id"))})
@@ -398,6 +477,11 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 	if k > s.cfg.MaxTopK {
 		k = s.cfg.MaxTopK
 	}
+	key := cacheKey{version: box.version, kind: cacheKindCandidates, row: row, k: k}
+	if v, ok := s.cache.get(key); ok {
+		s.writeCandidatesResponse(w, v.([]Candidate))
+		return
+	}
 	cands, err := a.Candidates(r.Context(), row, k)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -407,7 +491,8 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorBody{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string][]Candidate{"candidates": cands})
+	s.cache.put(key, cands)
+	s.writeCandidatesResponse(w, cands)
 }
 
 // mutateRequest is the POST /v1/mutate body: a batch of mutations applied

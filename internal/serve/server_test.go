@@ -142,6 +142,10 @@ func postAlign(t *testing.T, client *http.Client, url string, hdr map[string]str
 func testServerConfig() Config {
 	cfg := DefaultServerConfig()
 	cfg.Breaker.Now = func() time.Time { return time.Unix(0, 0) }
+	// The lifecycle/flood/breaker tests pin the direct execution path:
+	// gated stubs count concurrent AlignCollective calls, which coalescing
+	// deliberately serializes. The coalescer has its own suite.
+	cfg.CoalesceWindow = 0
 	return cfg
 }
 

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+
+	"ceaff/internal/core"
+	"ceaff/internal/mat"
+)
+
+// ShardedEngine partitions the source space across N replica shards behind
+// an in-process consistent-hash router. Each shard owns a disjoint set of
+// source rows — its own copy of their fused scores, per-feature rows, and
+// greedy ranking — modelling N replicas that each hold a partition instead
+// of the full matrix. Queries fan out only to the shards owning the
+// requested rows; the gathered preference matrix then runs ONE central
+// collective decision, so the answer is bit-identical to the unsharded
+// engine (the competition is global even though the storage is not).
+//
+// The ring hashes source names (stable across engine versions) onto
+// shards via virtual nodes, so adding a shard moves ~1/N of the keys.
+type ShardedEngine struct {
+	shards []*engineShard
+	owner  []int // source row → shard index
+	local  []int // source row → position within the owning shard
+
+	srcNames []string
+	tgtNames []string
+	byName   map[string]int
+	topK     int
+}
+
+// engineShard is one replica's partition.
+type engineShard struct {
+	rows   []int      // owned global source rows, ascending
+	fused  *mat.Dense // len(rows) × nTargets copy of the owned rows
+	ms     *mat.Dense // per-feature row copies (nil when the feature degraded)
+	mn     *mat.Dense
+	ml     *mat.Dense
+	greedy []int // per-local-row precomputed argmax (global target index)
+}
+
+// ringVnodes is the virtual-node count per shard; 64 keeps the partition
+// imbalance under a few percent at any realistic shard count.
+const ringVnodes = 64
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// buildRing returns the sorted consistent-hash ring for n shards.
+func buildRing(n int) []ringPoint {
+	ring := make([]ringPoint, 0, n*ringVnodes)
+	for s := 0; s < n; s++ {
+		for v := 0; v < ringVnodes; v++ {
+			ring = append(ring, ringPoint{hash: hashKey(fmt.Sprintf("shard-%d#%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].shard < ring[j].shard
+	})
+	return ring
+}
+
+// ringOwner returns the shard owning key: the first ring point clockwise
+// from the key's hash.
+func ringOwner(ring []ringPoint, key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+	if i == len(ring) {
+		i = 0
+	}
+	return ring[i].shard
+}
+
+// NewShardedEngine splits e's source space across nshards consistent-hash
+// partitions. The original engine is not retained; each shard copies its
+// own rows, so the sharded engine models genuinely separate replicas.
+func NewShardedEngine(e *Engine, nshards int) (*ShardedEngine, error) {
+	if nshards < 1 {
+		return nil, fmt.Errorf("serve: shard count %d < 1", nshards)
+	}
+	n := len(e.srcNames)
+	ring := buildRing(nshards)
+	owner := make([]int, n)
+	local := make([]int, n)
+	perShard := make([][]int, nshards)
+	for row := 0; row < n; row++ {
+		// Hash the name with the row appended so duplicate names spread
+		// deterministically instead of piling onto one shard.
+		s := ringOwner(ring, e.srcNames[row]+"\x00"+strconv.Itoa(row))
+		owner[row] = s
+		local[row] = len(perShard[s])
+		perShard[s] = append(perShard[s], row)
+	}
+	se := &ShardedEngine{
+		shards:   make([]*engineShard, nshards),
+		owner:    owner,
+		local:    local,
+		srcNames: e.srcNames,
+		tgtNames: e.tgtNames,
+		byName:   e.byName,
+		topK:     e.topK,
+	}
+	copyRows := func(src *mat.Dense, rows []int) *mat.Dense {
+		if src == nil {
+			return nil
+		}
+		out := mat.NewDense(len(rows), src.Cols)
+		for p, r := range rows {
+			copy(out.Row(p), src.Row(r))
+		}
+		return out
+	}
+	for s := 0; s < nshards; s++ {
+		rows := perShard[s]
+		sh := &engineShard{
+			rows:   rows,
+			fused:  copyRows(e.fused, rows),
+			greedy: make([]int, len(rows)),
+		}
+		if e.feats != nil {
+			sh.ms = copyRows(e.feats.Ms, rows)
+			sh.mn = copyRows(e.feats.Mn, rows)
+			sh.ml = copyRows(e.feats.Ml, rows)
+		}
+		for p, r := range rows {
+			sh.greedy[p] = e.greedy[r]
+		}
+		se.shards[s] = sh
+	}
+	return se, nil
+}
+
+// NumShards reports the replica count (observability hook).
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+// NumSources implements Aligner.
+func (se *ShardedEngine) NumSources() int { return len(se.srcNames) }
+
+// Resolve implements Aligner with the same key grammar as Engine.
+func (se *ShardedEngine) Resolve(key string) (int, bool) {
+	if i, err := strconv.Atoi(key); err == nil {
+		if i >= 0 && i < len(se.srcNames) {
+			return i, true
+		}
+		return 0, false
+	}
+	i, ok := se.byName[key]
+	return i, ok
+}
+
+// validRows rejects out-of-range and duplicate rows before any shard work.
+func (se *ShardedEngine) validRows(rows []int) error {
+	seen := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		if r < 0 || r >= len(se.srcNames) {
+			return fmt.Errorf("serve: source %d out of range [0,%d)", r, len(se.srcNames))
+		}
+		if seen[r] {
+			return fmt.Errorf("serve: duplicate source %d", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// gatherShards fills sub rows [offset, offset+len(rows)) with the fused
+// rows of rows, fanning out one goroutine per participating shard. Writes
+// are disjoint by construction, so no synchronization beyond the join is
+// needed; shards not owning any requested row do no work.
+func (se *ShardedEngine) gatherShards(sub *mat.Dense, rows []int, offset int) {
+	type pick struct{ dst, local int }
+	work := make(map[int][]pick, len(se.shards))
+	for p, r := range rows {
+		s := se.owner[r]
+		work[s] = append(work[s], pick{dst: offset + p, local: se.local[r]})
+	}
+	if len(work) == 1 {
+		for s, picks := range work {
+			sh := se.shards[s]
+			for _, pk := range picks {
+				copy(sub.Row(pk.dst), sh.fused.Row(pk.local))
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for s, picks := range work {
+		wg.Add(1)
+		go func(sh *engineShard, picks []pick) {
+			defer wg.Done()
+			for _, pk := range picks {
+				copy(sub.Row(pk.dst), sh.fused.Row(pk.local))
+			}
+		}(se.shards[s], picks)
+	}
+	wg.Wait()
+}
+
+// AlignCollective implements Aligner: per-shard parallel gather, one
+// central collective decision — bit-identical to the unsharded engine.
+func (se *ShardedEngine) AlignCollective(ctx context.Context, rows []int) ([]Decision, error) {
+	if err := se.validRows(rows); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	nTgt := len(se.tgtNames)
+	sub := mat.GetDense(len(rows), nTgt)
+	defer mat.PutDense(sub)
+	se.gatherShards(sub, rows, 0)
+	asn, err := core.AlignGathered(ctx, sub, se.topK)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Decision, len(rows))
+	for p, row := range rows {
+		out[p] = se.decision(row, asn[p])
+	}
+	return out, nil
+}
+
+// AlignCollectiveGroups implements GroupAligner: all groups share one
+// pooled gather (still sharded), then each group runs its own decision.
+func (se *ShardedEngine) AlignCollectiveGroups(ctx context.Context, groups [][]int) ([][]Decision, error) {
+	total := 0
+	for _, g := range groups {
+		if err := se.validRows(g); err != nil {
+			return nil, err
+		}
+		total += len(g)
+	}
+	out := make([][]Decision, len(groups))
+	if total == 0 {
+		for g := range out {
+			out[g] = []Decision{}
+		}
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	nTgt := len(se.tgtNames)
+	sub := mat.GetDense(total, nTgt)
+	defer mat.PutDense(sub)
+	off := 0
+	for _, g := range groups {
+		se.gatherShards(sub, g, off)
+		off += len(g)
+	}
+	off = 0
+	for g, rows := range groups {
+		view := &mat.Dense{Rows: len(rows), Cols: nTgt, Data: sub.Data[off*nTgt : (off+len(rows))*nTgt]}
+		asn, err := core.AlignGathered(ctx, view, se.topK)
+		if err != nil {
+			return nil, err
+		}
+		out[g] = make([]Decision, len(rows))
+		for p, row := range rows {
+			out[g][p] = se.decision(row, asn[p])
+		}
+		off += len(rows)
+	}
+	return out, nil
+}
+
+// AlignGreedy implements Aligner from the shards' precomputed rankings.
+func (se *ShardedEngine) AlignGreedy(rows []int) []Decision {
+	out := make([]Decision, len(rows))
+	for p, row := range rows {
+		j := -1
+		if row >= 0 && row < len(se.owner) {
+			j = se.shards[se.owner[row]].greedy[se.local[row]]
+		}
+		out[p] = se.decision(row, j)
+	}
+	return out
+}
+
+// decision assembles the Decision for source row matched to target j from
+// the owning shard's local data — same fields, same rank semantics as the
+// unsharded engine.
+func (se *ShardedEngine) decision(row, j int) Decision {
+	d := Decision{SourceIndex: row, Source: se.srcNames[row], TargetIndex: -1}
+	if j < 0 {
+		return d
+	}
+	sh := se.shards[se.owner[row]]
+	localRow := sh.fused.Row(se.local[row])
+	score := localRow[j]
+	d.TargetIndex = j
+	d.Target = se.tgtNames[j]
+	d.Score = score
+	r := 1
+	for _, v := range localRow {
+		if v > score {
+			r++
+		}
+	}
+	d.Rank = r
+	d.Matched = true
+	return d
+}
+
+// Candidates implements Aligner from the owning shard's partition.
+func (se *ShardedEngine) Candidates(ctx context.Context, row, k int) ([]Candidate, error) {
+	if row < 0 || row >= len(se.srcNames) {
+		return nil, fmt.Errorf("serve: source %d out of range [0,%d)", row, len(se.srcNames))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		k = 1
+	}
+	sh := se.shards[se.owner[row]]
+	local := se.local[row]
+	rowView := &mat.Dense{Rows: 1, Cols: sh.fused.Cols, Data: sh.fused.Row(local)}
+	top := mat.TopKRow(rowView, k)[0]
+	out := make([]Candidate, len(top))
+	for r, j := range top {
+		features := map[string]float64{}
+		for _, f := range []struct {
+			name string
+			m    *mat.Dense
+		}{
+			{"structural", sh.ms},
+			{"semantic", sh.mn},
+			{"string", sh.ml},
+		} {
+			if f.m != nil {
+				features[f.name] = f.m.At(local, j)
+			}
+		}
+		out[r] = Candidate{
+			TargetIndex: j,
+			Target:      se.tgtNames[j],
+			Score:       sh.fused.At(local, j),
+			Rank:        r + 1,
+			Features:    features,
+		}
+	}
+	return out, nil
+}

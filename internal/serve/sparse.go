@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"ceaff/internal/blocking"
+	"ceaff/internal/core"
+)
+
+// SparseEngine serves alignment queries from the candidate-first (blocked)
+// pipeline: fused scores exist only for blocked candidate pairs, so memory
+// stays O(|test|·candidates) and the daemon can serve corpora whose dense
+// matrix would not fit. Collective queries run the sparse deferred-
+// acceptance decision (core.AlignRowsSparse) restricted to candidate
+// lists; ranks and candidate listings are likewise candidate-local, the
+// documented contract of blocked mode.
+type SparseEngine struct {
+	cands    blocking.Candidates
+	scores   [][]float64    // fused candidate scores (Result.FusedSparse)
+	feats    [3][][]float64 // per-feature candidate scores (nil when degraded)
+	srcNames []string
+	tgtNames []string
+	byName   map[string]int
+	greedy   []int // per-source independent argmax over candidates (-1 none)
+	topK     int
+	degraded []core.Degradation
+}
+
+// NewSparseEngine runs the blocked offline pipeline — candidate-restricted
+// feature generation, sparse fusion, full decision — and freezes the result
+// for serving.
+func NewSparseEngine(ctx context.Context, in *core.Input, cfg core.Config, cands blocking.Candidates) (*SparseEngine, error) {
+	sf, err := core.ComputeBlockedFeaturesContext(ctx, in, cfg.GCN, cands)
+	if err != nil {
+		return nil, fmt.Errorf("serve: blocked features: %w", err)
+	}
+	res, err := core.DecideBlockedContext(ctx, sf, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: blocked decision: %w", err)
+	}
+	srcNames := make([]string, len(in.Tests))
+	tgtNames := make([]string, len(in.Tests))
+	byName := make(map[string]int, len(in.Tests))
+	for i, p := range in.Tests {
+		srcNames[i] = in.G1.EntityName(p.U)
+		tgtNames[i] = in.G2.EntityName(p.V)
+		if _, ok := byName[srcNames[i]]; !ok {
+			byName[srcNames[i]] = i
+		}
+	}
+	e := &SparseEngine{
+		cands:    sf.Cands,
+		scores:   res.FusedSparse,
+		feats:    sf.Scores,
+		srcNames: srcNames,
+		tgtNames: tgtNames,
+		byName:   byName,
+		greedy:   make([]int, len(sf.Cands)),
+		topK:     cfg.PreferenceTopK,
+		degraded: res.Degraded,
+	}
+	for i, cs := range sf.Cands {
+		e.greedy[i] = sparseArgmax(cs, res.FusedSparse[i])
+	}
+	return e, nil
+}
+
+// sparseArgmax picks the best candidate independently: maximal fused score,
+// ties toward the lower target index (candidate lists are ascending, so the
+// first maximum wins — the same order match.Greedy uses densely).
+func sparseArgmax(cands []int, scores []float64) int {
+	best, bestScore := -1, 0.0
+	for c, j := range cands {
+		if best == -1 || scores[c] > bestScore {
+			best, bestScore = j, scores[c]
+		}
+	}
+	return best
+}
+
+// Degraded lists features the blocked pipeline dropped.
+func (e *SparseEngine) Degraded() []core.Degradation { return e.degraded }
+
+// NumSources implements Aligner.
+func (e *SparseEngine) NumSources() int { return len(e.srcNames) }
+
+// Resolve implements Aligner with Engine's key grammar.
+func (e *SparseEngine) Resolve(key string) (int, bool) {
+	if i, err := strconv.Atoi(key); err == nil {
+		if i >= 0 && i < len(e.srcNames) {
+			return i, true
+		}
+		return 0, false
+	}
+	i, ok := e.byName[key]
+	return i, ok
+}
+
+// AlignCollective implements Aligner via the sparse subset decision.
+func (e *SparseEngine) AlignCollective(ctx context.Context, rows []int) ([]Decision, error) {
+	asn, err := core.AlignRowsSparse(ctx, e.cands, e.scores, rows, e.topK)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Decision, len(rows))
+	for p, row := range rows {
+		out[p] = e.decision(row, asn[p])
+	}
+	return out, nil
+}
+
+// AlignCollectiveGroups implements GroupAligner. Sparse groups need no
+// shared gather — candidate rows are referenced, not copied — so grouped
+// execution is a loop over the per-group decisions.
+func (e *SparseEngine) AlignCollectiveGroups(ctx context.Context, groups [][]int) ([][]Decision, error) {
+	out := make([][]Decision, len(groups))
+	for g, rows := range groups {
+		d, err := e.AlignCollective(ctx, rows)
+		if err != nil {
+			return nil, err
+		}
+		out[g] = d
+	}
+	return out, nil
+}
+
+// AlignGreedy implements Aligner from the precomputed candidate argmaxes.
+func (e *SparseEngine) AlignGreedy(rows []int) []Decision {
+	out := make([]Decision, len(rows))
+	for p, row := range rows {
+		j := -1
+		if row >= 0 && row < len(e.greedy) {
+			j = e.greedy[row]
+		}
+		out[p] = e.decision(row, j)
+	}
+	return out
+}
+
+// candPos finds target j's position in row's ascending candidate list.
+func (e *SparseEngine) candPos(row, j int) int {
+	cs := e.cands[row]
+	i := sort.SearchInts(cs, j)
+	if i < len(cs) && cs[i] == j {
+		return i
+	}
+	return -1
+}
+
+// decision assembles the Decision for source row matched to target j. Rank
+// counts strictly-better candidates only — the blocked pipeline has no
+// scores outside the candidate list.
+func (e *SparseEngine) decision(row, j int) Decision {
+	d := Decision{SourceIndex: row, Source: e.srcNames[row], TargetIndex: -1}
+	if j < 0 {
+		return d
+	}
+	c := e.candPos(row, j)
+	if c < 0 {
+		return d
+	}
+	score := e.scores[row][c]
+	d.TargetIndex = j
+	d.Target = e.tgtNames[j]
+	d.Score = score
+	r := 1
+	for _, v := range e.scores[row] {
+		if v > score {
+			r++
+		}
+	}
+	d.Rank = r
+	d.Matched = true
+	return d
+}
+
+// Candidates implements Aligner over the blocked candidate list: top-k by
+// fused score, ties toward the lower target index (mat.TopKRow's order),
+// with per-feature breakdowns for the surviving features.
+func (e *SparseEngine) Candidates(ctx context.Context, row, k int) ([]Candidate, error) {
+	if row < 0 || row >= len(e.srcNames) {
+		return nil, fmt.Errorf("serve: source %d out of range [0,%d)", row, len(e.srcNames))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		k = 1
+	}
+	cs := e.cands[row]
+	order := make([]int, len(cs))
+	for i := range order {
+		order[i] = i
+	}
+	sc := e.scores[row]
+	sort.SliceStable(order, func(a, b int) bool {
+		if sc[order[a]] != sc[order[b]] {
+			return sc[order[a]] > sc[order[b]]
+		}
+		return cs[order[a]] < cs[order[b]]
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	names := [3]string{"structural", "semantic", "string"}
+	out := make([]Candidate, k)
+	for r, c := range order[:k] {
+		features := map[string]float64{}
+		for f := 0; f < 3; f++ {
+			if e.feats[f] != nil {
+				features[names[f]] = e.feats[f][row][c]
+			}
+		}
+		out[r] = Candidate{
+			TargetIndex: cs[c],
+			Target:      e.tgtNames[cs[c]],
+			Score:       sc[c],
+			Rank:        r + 1,
+			Features:    features,
+		}
+	}
+	return out, nil
+}

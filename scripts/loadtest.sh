@@ -1,0 +1,90 @@
+#!/bin/sh
+# loadtest.sh — boot ceaffd on an ephemeral port and drive it with the
+# open-loop generator (cmd/loadgen).
+#
+# Environment knobs (all optional):
+#   LOAD_RATE      requests/second                 (default 800)
+#   LOAD_DURATION  send window                     (default 10s)
+#   LOAD_BATCH     sources per request             (default 1)
+#   LOAD_P95_MAX   p95 gate, 0 = report only      (default 0)
+#   LOAD_SHED_MAX  shed/error gate, -1 = off       (default -1)
+#   LOAD_ARGS      extra ceaffd flags (e.g. "-shards 4" or "-blocked")
+#   LOAD_JSON      non-empty = JSON report to stdout
+#
+# `make loadtest` uses the defaults for a latency report; `make
+# loadtest-smoke` sets short duration plus the p95 and shed gates so CI
+# fails on serving-path regressions.
+set -eu
+
+rate=${LOAD_RATE:-800}
+duration=${LOAD_DURATION:-10s}
+batch=${LOAD_BATCH:-1}
+p95max=${LOAD_P95_MAX:-0}
+shedmax=${LOAD_SHED_MAX:--1}
+extra=${LOAD_ARGS:-}
+jsonflag=""
+[ -n "${LOAD_JSON:-}" ] && jsonflag="-json"
+
+workdir=$(mktemp -d)
+bin="$workdir/ceaffd"
+gen="$workdir/loadgen"
+addrfile="$workdir/addr"
+logfile="$workdir/ceaffd.log"
+pid=""
+
+cleanup() {
+	if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+		kill -KILL "$pid" 2>/dev/null || true
+	fi
+	rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "loadtest: FAIL: $1" >&2
+	echo "--- daemon log ---" >&2
+	cat "$logfile" >&2 || true
+	exit 1
+}
+
+echo "loadtest: building ceaffd + loadgen"
+go build -o "$bin" ./cmd/ceaffd
+go build -o "$gen" ./cmd/loadgen
+
+# shellcheck disable=SC2086 — extra flags are intentionally word-split.
+"$bin" -fast -scale 0.05 -addr 127.0.0.1:0 -addrfile "$addrfile" \
+	-max-inflight 64 -max-queue 512 -drain-timeout 10s $extra \
+	>"$logfile" 2>&1 &
+pid=$!
+
+i=0
+while [ ! -s "$addrfile" ]; do
+	kill -0 "$pid" 2>/dev/null || fail "daemon exited before binding"
+	i=$((i + 1))
+	[ "$i" -le 100 ] || fail "addrfile never appeared"
+	sleep 0.1
+done
+addr=$(cat "$addrfile")
+
+i=0
+while :; do
+	code=$(curl -s -m 5 -o /dev/null -w '%{http_code}' "http://$addr/readyz" || echo 000)
+	[ "$code" = 200 ] && break
+	kill -0 "$pid" 2>/dev/null || fail "daemon exited during warm-up"
+	i=$((i + 1))
+	[ "$i" -le 600 ] || fail "/readyz never flipped to 200"
+	sleep 0.1
+done
+echo "loadtest: daemon ready on $addr ($extra)"
+
+rc=0
+"$gen" -addr "$addr" -rate "$rate" -duration "$duration" -batch "$batch" \
+	-p95-max "$p95max" -shed-max "$shedmax" $jsonflag || rc=$?
+[ "$rc" = 0 ] || fail "loadgen gate failed (exit $rc)"
+
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" = 0 ] || fail "daemon exited $rc after SIGTERM"
+echo "loadtest: PASS"

@@ -64,7 +64,7 @@ wait_version() {
 	want=$1
 	i=0
 	while :; do
-		rz=$(curl -s -w '\n%{http_code}' "http://$addr/readyz" || echo 000)
+		rz=$(curl -s -m 5 -w '\n%{http_code}' "http://$addr/readyz" || echo 000)
 		rc=$(echo "$rz" | tail -1)
 		[ "$rc" = 200 ] || fail "/readyz returned $rc while waiting for version $want"
 		case "$rz" in
@@ -81,12 +81,12 @@ wait_version() {
 boot
 
 # Liveness must be up immediately; readiness flips once the engine loads.
-code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/healthz")
+code=$(curl -s -m 5 -o /dev/null -w '%{http_code}' "http://$addr/healthz")
 [ "$code" = 200 ] || fail "/healthz returned $code during warm-up"
 
 i=0
 while :; do
-	code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/readyz" || echo 000)
+	code=$(curl -s -m 5 -o /dev/null -w '%{http_code}' "http://$addr/readyz" || echo 000)
 	[ "$code" = 200 ] && break
 	[ "$code" = 503 ] || [ "$code" = 000 ] || fail "/readyz returned $code"
 	kill -0 "$pid" 2>/dev/null || fail "daemon exited during warm-up"
@@ -97,7 +97,7 @@ done
 echo "serve-smoke: /readyz flipped to 200"
 
 # One collective alignment query.
-body=$(curl -s -f -X POST "http://$addr/v1/align" \
+body=$(curl -s -m 5 -f -X POST "http://$addr/v1/align" \
 	-H 'Content-Type: application/json' \
 	-d '{"sources":["0","1","2"]}') || fail "align query failed"
 case "$body" in
@@ -107,7 +107,7 @@ esac
 echo "serve-smoke: align query answered"
 
 # One candidates query with per-feature breakdown.
-body=$(curl -s -f "http://$addr/v1/entity/0/candidates?k=3") || fail "candidates query failed"
+body=$(curl -s -m 5 -f "http://$addr/v1/entity/0/candidates?k=3") || fail "candidates query failed"
 case "$body" in
 *'"candidates"'*'"features"'*) ;;
 *) fail "candidates response malformed: $body" ;;
@@ -115,7 +115,7 @@ esac
 echo "serve-smoke: candidates query answered"
 
 # Metrics endpoint serves the obs snapshot.
-body=$(curl -s -f "http://$addr/metrics") || fail "metrics query failed"
+body=$(curl -s -m 5 -f "http://$addr/metrics") || fail "metrics query failed"
 case "$body" in
 *'"counters"'*) ;;
 *) fail "metrics response malformed: $body" ;;
@@ -127,7 +127,7 @@ esac
 wait_version 0
 
 # One durable mutation batch: brand-new entity names are always valid.
-body=$(curl -s -f -X POST "http://$addr/v1/mutate" \
+body=$(curl -s -m 5 -f -X POST "http://$addr/v1/mutate" \
 	-H 'Content-Type: application/json' \
 	-d '{"mutations":[{"op":"add_triple","kg":1,"head":"smoke:h1","rel":"smoke:r","tail":"smoke:t1"}]}') \
 	|| fail "mutate request failed"
@@ -139,11 +139,11 @@ echo "serve-smoke: mutation acknowledged (seq 1)"
 
 # The background rebuild publishes version 1 without readiness ever
 # flipping; the service answers align queries throughout.
-curl -s -f -X POST "http://$addr/v1/align" \
+curl -s -m 5 -f -X POST "http://$addr/v1/align" \
 	-H 'Content-Type: application/json' \
 	-d '{"sources":["0"]}' >/dev/null || fail "align during rebuild failed"
 wait_version 1
-hdr=$(curl -s -o /dev/null -D - -X POST "http://$addr/v1/align" \
+hdr=$(curl -s -m 5 -o /dev/null -D - -X POST "http://$addr/v1/align" \
 	-H 'Content-Type: application/json' -d '{"sources":["0"]}')
 case "$hdr" in
 *'Engine-Version: 1'*) ;;
@@ -163,7 +163,7 @@ grep -q "wal: replayed 1 mutations" "$logfile" || fail "restart did not replay t
 echo "serve-smoke: WAL replay recovered version 1 after SIGKILL"
 
 # Mutations keep working in the second life, continuing the sequence.
-body=$(curl -s -f -X POST "http://$addr/v1/mutate" \
+body=$(curl -s -m 5 -f -X POST "http://$addr/v1/mutate" \
 	-H 'Content-Type: application/json' \
 	-d '{"mutations":[{"op":"add_triple","kg":2,"head":"smoke:h2","rel":"smoke:r","tail":"smoke:t2"}]}') \
 	|| fail "post-recovery mutate failed"
