@@ -1,6 +1,6 @@
 # Tier-1 verification for the CEAFF reproduction. `make check` is the
 # full gate: formatting, vet, build, and the race-enabled test suite.
-# `make bench` regenerates BENCH_PR8.json: table + kernel benchmarks plus
+# `make bench` regenerates BENCH_PR9.json: table + kernel benchmarks plus
 # an instrumented pipeline run, folded into one schema-stable file that
 # cmd/benchdiff can compare across commits. `make fuzz-smoke` runs each
 # native fuzz target briefly — the corruption-recovery and string-metric
@@ -12,7 +12,7 @@ GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 # ±15% regression threshold on, and charges one-time pool/runtime setup to
 # the lone iteration. The whole suite still runs in ~15s.
 BENCHTIME ?= 3x
-BENCHOUT  ?= BENCH_PR8.json
+BENCHOUT  ?= BENCH_PR9.json
 
 FUZZTIME ?= 15s
 

@@ -212,6 +212,64 @@ func BenchmarkKernelGreedyOneToOne(b *testing.B) {
 	}
 }
 
+// The auction benchmarks share one seed per shape with the Hungarian
+// reference below, so the headline auction-vs-Hungarian ratio compares the
+// same matrix, not merely the same size.
+func benchAuction(b *testing.B, n int) {
+	b.ReportAllocs()
+	sim := randomSim(n, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.Auction(sim)
+	}
+}
+
+func BenchmarkKernelAuctionSmall(b *testing.B)  { benchAuction(b, 300) }
+func BenchmarkKernelAuctionMedium(b *testing.B) { benchAuction(b, 1000) }
+func BenchmarkKernelAuctionLarge(b *testing.B)  { benchAuction(b, 2000) }
+
+// BenchmarkKernelHungarianLarge is the optimal-assignment reference at the
+// auction's large shape (same matrix as BenchmarkKernelAuctionLarge).
+func BenchmarkKernelHungarianLarge(b *testing.B) {
+	b.ReportAllocs()
+	sim := randomSim(2000, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.Hungarian(sim)
+	}
+}
+
+// benchStrategy times one registered decision strategy through the Strategy
+// interface — the dispatch the core pipeline and the serving layer use.
+func benchStrategy(b *testing.B, name string, n int) {
+	b.ReportAllocs()
+	st, err := match.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := randomSim(n, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Decide(sim, 0)
+	}
+}
+
+func BenchmarkStrategyGreedySmall(b *testing.B)     { benchStrategy(b, "greedy", 200) }
+func BenchmarkStrategyGreedyMedium(b *testing.B)    { benchStrategy(b, "greedy", 500) }
+func BenchmarkStrategyGreedyLarge(b *testing.B)     { benchStrategy(b, "greedy", 1000) }
+func BenchmarkStrategyDASmall(b *testing.B)         { benchStrategy(b, "da", 200) }
+func BenchmarkStrategyDAMedium(b *testing.B)        { benchStrategy(b, "da", 500) }
+func BenchmarkStrategyDALarge(b *testing.B)         { benchStrategy(b, "da", 1000) }
+func BenchmarkStrategyGreedy11Small(b *testing.B)   { benchStrategy(b, "greedy11", 200) }
+func BenchmarkStrategyGreedy11Medium(b *testing.B)  { benchStrategy(b, "greedy11", 500) }
+func BenchmarkStrategyGreedy11Large(b *testing.B)   { benchStrategy(b, "greedy11", 1000) }
+func BenchmarkStrategyHungarianSmall(b *testing.B)  { benchStrategy(b, "hungarian", 200) }
+func BenchmarkStrategyHungarianMedium(b *testing.B) { benchStrategy(b, "hungarian", 500) }
+func BenchmarkStrategyHungarianLarge(b *testing.B)  { benchStrategy(b, "hungarian", 1000) }
+func BenchmarkStrategyAuctionSmall(b *testing.B)    { benchStrategy(b, "auction", 200) }
+func BenchmarkStrategyAuctionMedium(b *testing.B)   { benchStrategy(b, "auction", 500) }
+func BenchmarkStrategyAuctionLarge(b *testing.B)    { benchStrategy(b, "auction", 1000) }
+
 func BenchmarkBlockedPipeline(b *testing.B) {
 	b.ReportAllocs()
 	in := benchInput(b)
@@ -582,7 +640,9 @@ func (a *staticBenchAligner) Resolve(key string) (int, bool) {
 	return i, true
 }
 
-func (a *staticBenchAligner) AlignCollective(_ context.Context, rows []int) ([]serve.Decision, error) {
+func (a *staticBenchAligner) Strategies() []string { return match.StrategyNames() }
+
+func (a *staticBenchAligner) AlignCollective(_ context.Context, rows []int, _ string) ([]serve.Decision, error) {
 	out := make([]serve.Decision, len(rows))
 	for p, r := range rows {
 		out[p] = a.dec[r]
@@ -591,7 +651,7 @@ func (a *staticBenchAligner) AlignCollective(_ context.Context, rows []int) ([]s
 }
 
 func (a *staticBenchAligner) AlignGreedy(rows []int) []serve.Decision {
-	out, _ := a.AlignCollective(context.Background(), rows)
+	out, _ := a.AlignCollective(context.Background(), rows, "")
 	return out
 }
 

@@ -8,7 +8,7 @@
 //	ceaff [-dataset "SRPRS EN-FR*"] [-scale 1.0] [-fast]
 //	      [-load dir] [-vec1 file.vec] [-vec2 file.vec] [-seedfrac 0.3]
 //	      [-no-structural] [-no-semantic] [-no-string]
-//	      [-fusion adaptive|fixed|lr] [-decision collective|independent|hungarian]
+//	      [-fusion adaptive|fixed|lr] [-decision collective|independent|greedy11|hungarian|auction]
 //	      [-theta1 0.98] [-theta2 0.1] [-csls 0] [-pref-topk 0]
 //	      [-blocked] [-min-candidates 20] [-stop-threshold 0]
 //	      [-lsh-tables 0] [-lsh-bits 12] [-max-bucket 0] [-max-seed-fanout 0]
@@ -73,7 +73,7 @@ func main() {
 	noSemantic := flag.Bool("no-semantic", false, "drop the semantic feature Mn")
 	noString := flag.Bool("no-string", false, "drop the string feature Ml")
 	fusionMode := flag.String("fusion", "adaptive", "feature fusion: adaptive, fixed or lr")
-	decision := flag.String("decision", "collective", "EA decision: collective, independent or hungarian")
+	decision := flag.String("decision", "collective", "EA decision: collective, independent, greedy11, hungarian or auction")
 	theta1 := flag.Float64("theta1", 0.98, "fusion damping threshold θ1")
 	theta2 := flag.Float64("theta2", 0.1, "fusion damped contribution θ2")
 	cslsK := flag.Int("csls", 0, "CSLS neighbours for fused-score rescaling (0 = off)")
@@ -118,8 +118,12 @@ func main() {
 		cfg.Decision = core.Collective
 	case "independent":
 		cfg.Decision = core.Independent
+	case "greedy11":
+		cfg.Decision = core.GreedyOneToOne
 	case "hungarian":
 		cfg.Decision = core.Assignment
+	case "auction":
+		cfg.Decision = core.AuctionAssignment
 	default:
 		log.Fatalf("unknown decision mode %q", *decision)
 	}

@@ -9,7 +9,8 @@
 //	ceaffd [-addr 127.0.0.1:8080] [-addrfile path]
 //	       [-dataset "SRPRS EN-FR*"] [-scale 1.0] [-fast]
 //	       [-load dir] [-vec1 file.vec] [-vec2 file.vec] [-seedfrac 0.3]
-//	       [-topk 0] [-max-inflight 16] [-max-queue 64]
+//	       [-topk 0] [-decision collective|independent|greedy11|hungarian|auction]
+//	       [-max-inflight 16] [-max-queue 64]
 //	       [-default-timeout 5s] [-max-timeout 30s] [-drain-timeout 15s]
 //	       [-breaker-window 20] [-breaker-threshold 0.5] [-breaker-cooldown 10s]
 //	       [-wal path] [-rebuild-threshold 1] [-rebuild-interval 0]
@@ -20,7 +21,8 @@
 //
 // Endpoints:
 //
-//	POST /v1/align                      {"sources": ["idx-or-name", ...]}
+//	POST /v1/align                      {"sources": ["idx-or-name", ...],
+//	                                     "strategy": "da|greedy|greedy11|hungarian|auction"}
 //	POST /v1/mutate                     {"mutations": [{"op": "add_triple", ...}]}
 //	GET  /v1/entity/{id}/candidates?k=10
 //	GET  /healthz    liveness (200 from process start)
@@ -104,6 +106,7 @@ func main() {
 	seedFrac := flag.Float64("seedfrac", 0.3, "seed fraction when the corpus has no predefined split")
 	splitSeed := flag.Uint64("splitseed", 1, "PRNG seed for the seed/test split")
 	topK := flag.Int("topk", 0, "preference-list truncation for collective queries (0 = full lists)")
+	decision := flag.String("decision", "collective", "offline EA decision: collective, independent, greedy11, hungarian or auction")
 	maxInFlight := flag.Int("max-inflight", 16, "maximum concurrently executing alignment requests")
 	maxQueue := flag.Int("max-queue", 64, "maximum requests waiting for a slot before shedding")
 	defaultTimeout := flag.Duration("default-timeout", 5*time.Second, "per-request deadline when the client sends no X-Deadline-Ms budget")
@@ -131,6 +134,9 @@ func main() {
 
 	if *blocked && *walPath != "" {
 		log.Fatal("-blocked does not support -wal: the rebuild path produces dense engines")
+	}
+	if *blocked && *decision == "hungarian" {
+		log.Fatal("-blocked does not support -decision hungarian: the Hungarian solver needs the dense cost matrix")
 	}
 	if *shards > 0 && *walPath != "" {
 		log.Fatal("-shards does not support -wal: rebuilds would publish unsharded engines")
@@ -180,6 +186,20 @@ func main() {
 		cfg.GCN = baselines.FastSettings().GCN
 	}
 	cfg.PreferenceTopK = *topK
+	switch *decision {
+	case "collective":
+		cfg.Decision = core.Collective
+	case "independent":
+		cfg.Decision = core.Independent
+	case "greedy11":
+		cfg.Decision = core.GreedyOneToOne
+	case "hungarian":
+		cfg.Decision = core.Assignment
+	case "auction":
+		cfg.Decision = core.AuctionAssignment
+	default:
+		log.Fatalf("unknown decision mode %q", *decision)
+	}
 
 	in, err := buildInput(*load, *vec1, *vec2, *dataset, *scale, *fast, *seedFrac, *splitSeed)
 	if err != nil {

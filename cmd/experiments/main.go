@@ -30,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 
-	table := flag.String("table", "all", "which table to regenerate: all, 2, 3, 4, 5, 6 or e1 (extension study)")
+	table := flag.String("table", "all", "which table to regenerate: all, 2, 3, 4, 5, 6, e1 (extension study) or shootout (decision strategies)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default analogue sizes)")
 	fast := flag.Bool("fast", false, "use small test-grade substrate settings")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables instead of fixed-width text")
@@ -132,6 +132,16 @@ func main() {
 				return err
 			}
 			render(t)
+		case "shootout":
+			rows, err := experiments.Shootout(opt)
+			if err != nil {
+				return err
+			}
+			if *markdown {
+				experiments.RenderShootoutMarkdown(os.Stdout, rows)
+			} else {
+				experiments.RenderShootout(os.Stdout, rows)
+			}
 		default:
 			return fmt.Errorf("unknown table %q", name)
 		}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 
 	"ceaff/internal/align"
@@ -346,8 +345,12 @@ func DecideBlockedContext(ctx context.Context, sf *SparseFeatures, cfg Config) (
 	}
 	res.FusedSparse = fused
 
-	_, decSpan := obs.StartSpan(ctx, "decision")
-	err = decideSparseAssignment(res, sf.Cands, fused, cfg)
+	st, err := StrategyFor(cfg.Decision)
+	if err != nil {
+		return nil, err
+	}
+	_, decSpan := obs.StartSpan(ctx, "decision:"+st.Name())
+	err = decideSparseAssignment(res, sf.Cands, fused, cfg, st)
 	decSpan.End()
 	if err != nil {
 		return nil, err
@@ -362,6 +365,7 @@ func DecideBlockedContext(ctx context.Context, sf *SparseFeatures, cfg Config) (
 	reg := obs.Metrics(ctx)
 	reg.Gauge("pipeline.accuracy").Set(res.Accuracy)
 	reg.Counter("pipeline.decisions").Inc()
+	reg.Counter("pipeline.decisions." + st.Name()).Inc()
 	return res, nil
 }
 
@@ -416,21 +420,18 @@ func cloneRows(rows [][]float64) [][]float64 {
 	return out
 }
 
-// decideSparseAssignment mirrors the dense decideAssignment over candidate
-// lists.
-func decideSparseAssignment(res *Result, cands blocking.Candidates, fused [][]float64, cfg Config) error {
-	switch cfg.Decision {
-	case Collective:
-		res.Assignment = sparseDAA(cands, fused, cfg.PreferenceTopK)
-	case Independent:
-		res.Assignment = sparseGreedy(cands, fused)
-	case Assignment:
-		return fmt.Errorf("core: Hungarian assignment needs the dense cost matrix; use the dense pipeline or a sparse decision mode")
-	case GreedyOneToOne:
-		res.Assignment = sparseGreedyOneToOne(cands, fused)
-	default:
-		return fmt.Errorf("core: unknown decision mode %d", cfg.Decision)
+// decideSparseAssignment mirrors the dense decision over candidate lists
+// via the strategy's sparse entry point; strategies that need the dense
+// matrix (Hungarian) are rejected.
+func decideSparseAssignment(res *Result, cands blocking.Candidates, fused [][]float64, cfg Config, st match.Strategy) error {
+	if !st.Caps().Sparse {
+		return fmt.Errorf("core: %s assignment needs the dense cost matrix; use the dense pipeline or a sparse decision mode", st.Name())
 	}
+	asn, err := st.DecideSparse(cands, fused, cfg.PreferenceTopK)
+	if err != nil {
+		return err
+	}
+	res.Assignment = asn
 	return nil
 }
 
@@ -469,176 +470,4 @@ func sparseRanking(cands blocking.Candidates, scores [][]float64) eval.RankingRe
 	}
 	n := float64(len(cands))
 	return eval.RankingReport{Hits1: h1 / n, Hits10: h10 / n, MRR: mrr / n}
-}
-
-// sparseGreedy picks each source's best candidate. The scan mirrors
-// mat.ArgmaxRow exactly — the first candidate seeds the maximum and only
-// strict improvements move it — so on full candidate lists the assignment is
-// bit-identical to the dense Independent decision (including its behavior on
-// NaN-bearing rows). A source with no candidates stays unmatched.
-func sparseGreedy(cands blocking.Candidates, scores [][]float64) match.Assignment {
-	out := make(match.Assignment, len(cands))
-	for i := range out {
-		cs := cands[i]
-		if len(cs) == 0 {
-			out[i] = -1
-			continue
-		}
-		sc := scores[i]
-		best := 0
-		for c := 1; c < len(cs); c++ {
-			if sc[c] > sc[best] {
-				best = c
-			}
-		}
-		out[i] = cs[best]
-	}
-	return out
-}
-
-// sparseGreedyOneToOne mirrors match.GreedyOneToOne over candidate cells:
-// all (source, candidate) cells sorted by score descending (ties toward
-// lower source, then lower target index), accepted greedily under a
-// one-to-one constraint, stopping once min(sources, targets) matches exist.
-func sparseGreedyOneToOne(cands blocking.Candidates, scores [][]float64) match.Assignment {
-	type cell struct {
-		i, j int
-		v    float64
-	}
-	total := 0
-	for _, cs := range cands {
-		total += len(cs)
-	}
-	cells := make([]cell, 0, total)
-	for i, cs := range cands {
-		for c, j := range cs {
-			cells = append(cells, cell{i, j, scores[i][c]})
-		}
-	}
-	sort.Slice(cells, func(a, b int) bool {
-		if cells[a].v != cells[b].v {
-			return cells[a].v > cells[b].v
-		}
-		if cells[a].i != cells[b].i {
-			return cells[a].i < cells[b].i
-		}
-		return cells[a].j < cells[b].j
-	})
-	out := make(match.Assignment, len(cands))
-	for i := range out {
-		out[i] = -1
-	}
-	usedTarget := make([]bool, len(cands))
-	matched := 0
-	limit := len(cands) // source and target spaces are index-aligned
-	for _, c := range cells {
-		if matched == limit {
-			break
-		}
-		if out[c.i] != -1 || usedTarget[c.j] {
-			continue
-		}
-		out[c.i] = c.j
-		usedTarget[c.j] = true
-		matched++
-	}
-	return out
-}
-
-// sparseDAA runs deferred acceptance over per-source candidate preference
-// lists, optionally truncated to each source's topK best candidates (topK
-// <= 0 or >= the target count uses full lists, exactly like
-// match.DeferredAcceptanceTopK). Targets compare suitors by the suitors'
-// scores for them; a source exhausting its list stays unmatched. Proposal
-// order (LIFO free queue) and every tie-break match the dense DAA, so full
-// candidate lists reproduce its assignment bit for bit.
-func sparseDAA(cands blocking.Candidates, scores [][]float64, topK int) match.Assignment {
-	n := len(cands)
-	// Bypass truncation when no list is longer than topK — mirroring
-	// DeferredAcceptanceTopK's k >= nTgt bypass. Comparing against the
-	// longest candidate list (instead of the source count) keeps the
-	// semantics right when a serving-path subset (AlignRowsSparse) selects
-	// fewer sources than their lists hold candidates; for the square batch
-	// decision the two bounds coincide, so the assignment is unchanged.
-	maxLen := 0
-	for _, cs := range cands {
-		if len(cs) > maxLen {
-			maxLen = len(cs)
-		}
-	}
-	if topK >= maxLen {
-		topK = 0
-	}
-	// Preference order per source: candidate positions sorted by score.
-	prefs := make([][]int, n)
-	for i := range prefs {
-		order := make([]int, len(cands[i]))
-		for c := range order {
-			order[c] = c
-		}
-		sc := scores[i]
-		cs := cands[i]
-		sort.Slice(order, func(a, b int) bool {
-			if sc[order[a]] != sc[order[b]] {
-				return sc[order[a]] > sc[order[b]]
-			}
-			return cs[order[a]] < cs[order[b]]
-		})
-		if topK > 0 && len(order) > topK {
-			order = order[:topK]
-		}
-		prefs[i] = order
-	}
-	// scoreFor(u, v) lookup for targets comparing suitors.
-	scoreFor := func(u, v int) float64 {
-		cs := cands[u]
-		// Binary search: candidate lists are sorted ascending.
-		lo, hi := 0, len(cs)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cs[mid] < v {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo < len(cs) && cs[lo] == v {
-			return scores[u][lo]
-		}
-		return math.Inf(-1)
-	}
-
-	next := make([]int, n)
-	engagedTo := make(map[int]int, n) // target -> source
-	assignment := make(match.Assignment, n)
-	for i := range assignment {
-		assignment[i] = -1
-	}
-	queue := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		queue = append(queue, i)
-	}
-	for len(queue) > 0 {
-		u := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		for assignment[u] == -1 && next[u] < len(prefs[u]) {
-			pos := prefs[u][next[u]]
-			next[u]++
-			v := cands[u][pos]
-			cur, taken := engagedTo[v]
-			if !taken {
-				engagedTo[v] = u
-				assignment[u] = v
-				continue
-			}
-			su, sc := scoreFor(u, v), scoreFor(cur, v)
-			if su > sc || (su == sc && u < cur) {
-				engagedTo[v] = u
-				assignment[u] = v
-				assignment[cur] = -1
-				queue = append(queue, cur)
-			}
-		}
-	}
-	return assignment
 }

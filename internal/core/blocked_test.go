@@ -9,6 +9,7 @@ import (
 	"ceaff/internal/blocking"
 	"ceaff/internal/eval"
 	"ceaff/internal/mat"
+	"ceaff/internal/match"
 	"ceaff/internal/rng"
 )
 
@@ -126,7 +127,7 @@ func TestDecideBlockedIndependentVsCollective(t *testing.T) {
 func TestSparseDAAHandlesEmptyCandidateRows(t *testing.T) {
 	cands := blocking.Candidates{{0}, nil}
 	scores := [][]float64{{0.9}, nil}
-	a := sparseDAA(cands, scores, 0)
+	a := match.SparseDAA(cands, scores, 0)
 	if a[0] != 0 || a[1] != -1 {
 		t.Fatalf("assignment %v", a)
 	}
@@ -315,6 +316,39 @@ func TestBlockedVsDenseParity(t *testing.T) {
 				if math.Float64bits(pair.want[k]) != math.Float64bits(pair.got[k]) {
 					t.Fatalf("trial %d: %s weight %d dense %v != blocked %v", trial, pair.name, k, pair.want[k], pair.got[k])
 				}
+			}
+		}
+	}
+}
+
+// TestBlockedVsDenseParityAuction pins the auction decision mode to the same
+// full-candidate contract as the other sparse modes: DecideBlocked over full
+// candidate lists must reproduce Decide's assignment bit for bit.
+func TestBlockedVsDenseParityAuction(t *testing.T) {
+	s := rng.New(0xa0c1)
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + s.Intn(24)
+		fs := &FeatureSet{Ms: mat.NewDense(n, n), Mn: mat.NewDense(n, n)}
+		for i := range fs.Ms.Data {
+			fs.Ms.Data[i] = s.Norm()
+			fs.Mn.Data[i] = s.Norm()
+		}
+		cfg := DefaultConfig()
+		cfg.UseString = false
+		cfg.Decision = AuctionAssignment
+
+		dense, err := Decide(fs, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		blocked, err := DecideBlocked(SparsifyFeatures(fs, fullCandidates(n)), cfg)
+		if err != nil {
+			t.Fatalf("trial %d: blocked: %v", trial, err)
+		}
+		for i := range dense.Assignment {
+			if dense.Assignment[i] != blocked.Assignment[i] {
+				t.Fatalf("trial %d: assignment[%d] dense %d != blocked %d",
+					trial, i, dense.Assignment[i], blocked.Assignment[i])
 			}
 		}
 	}

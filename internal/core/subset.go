@@ -30,6 +30,13 @@ import (
 // gather and checked once more before the matching step, mirroring the
 // row-chunk granularity of the parallel kernels.
 func AlignRows(ctx context.Context, fused *mat.Dense, rows []int, topK int) (match.Assignment, error) {
+	return AlignRowsStrategy(ctx, fused, rows, topK, nil)
+}
+
+// AlignRowsStrategy is AlignRows with an explicit decision strategy. A nil
+// strategy selects the pipeline default (deferred acceptance), bit-identical
+// to AlignRows.
+func AlignRowsStrategy(ctx context.Context, fused *mat.Dense, rows []int, topK int, st match.Strategy) (match.Assignment, error) {
 	if fused == nil {
 		return nil, fmt.Errorf("core: AlignRows on nil matrix")
 	}
@@ -47,7 +54,7 @@ func AlignRows(ctx context.Context, fused *mat.Dense, rows []int, topK int) (mat
 		}
 		copy(sub.Row(p), fused.Row(r))
 	}
-	return AlignGathered(ctx, sub, topK)
+	return AlignGatheredStrategy(ctx, sub, topK, st)
 }
 
 // validateRowSet rejects out-of-range and duplicated row indices with the
@@ -79,13 +86,26 @@ func validateRowSet(rows []int, bound int) error {
 // NaN fall through to the full algorithm, whose NaN ordering the fast path
 // does not reproduce.
 func AlignGathered(ctx context.Context, sub *mat.Dense, topK int) (match.Assignment, error) {
+	return AlignGatheredStrategy(ctx, sub, topK, nil)
+}
+
+// AlignGatheredStrategy is AlignGathered with an explicit decision strategy.
+// A nil strategy selects the pipeline default (deferred acceptance). The
+// single-row argmax fast path applies only to strategies that advertise
+// Caps().ArgmaxSingle — those whose one-source decision provably degenerates
+// to the lowest-index argmax — so strategy output stays bit-identical whether
+// or not the shortcut fires.
+func AlignGatheredStrategy(ctx context.Context, sub *mat.Dense, topK int, st match.Strategy) (match.Assignment, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if sub.Rows == 1 {
+	if sub.Rows == 1 && (st == nil || st.Caps().ArgmaxSingle) {
 		if j, ok := singleRowChoice(sub.Row(0)); ok {
 			return match.Assignment{j}, nil
 		}
+	}
+	if st != nil {
+		return st.Decide(sub, topK), nil
 	}
 	if topK > 0 {
 		return match.DeferredAcceptanceTopK(sub, topK), nil
@@ -124,8 +144,18 @@ func singleRowChoice(row []float64) (int, bool) {
 // same source); duplicates within a group are rejected exactly as in
 // AlignRows.
 func AlignRowGroups(ctx context.Context, fused *mat.Dense, groups [][]int, topK int) ([]match.Assignment, error) {
+	return AlignRowGroupsStrategy(ctx, fused, groups, topK, nil)
+}
+
+// AlignRowGroupsStrategy is AlignRowGroups with a per-group decision
+// strategy: strategies[g] decides group g, nil entries (or a nil slice)
+// select the pipeline default. len(strategies) must be 0 or len(groups).
+func AlignRowGroupsStrategy(ctx context.Context, fused *mat.Dense, groups [][]int, topK int, strategies []match.Strategy) ([]match.Assignment, error) {
 	if fused == nil {
 		return nil, fmt.Errorf("core: AlignRows on nil matrix")
+	}
+	if len(strategies) != 0 && len(strategies) != len(groups) {
+		return nil, fmt.Errorf("core: %d strategies for %d groups", len(strategies), len(groups))
 	}
 	total := 0
 	for _, g := range groups {
@@ -164,7 +194,11 @@ func AlignRowGroups(ctx context.Context, fused *mat.Dense, groups [][]int, topK 
 			Cols: sub.Cols,
 			Data: sub.Data[off*sub.Cols : (off+len(rows))*sub.Cols],
 		}
-		asn, err := AlignGathered(ctx, view, topK)
+		var st match.Strategy
+		if len(strategies) != 0 {
+			st = strategies[g]
+		}
+		asn, err := AlignGatheredStrategy(ctx, view, topK, st)
 		if err != nil {
 			return nil, err
 		}
@@ -177,12 +211,22 @@ func AlignRowGroups(ctx context.Context, fused *mat.Dense, groups [][]int, topK 
 // AlignRowsSparse is AlignRows over the blocked pipeline's candidate
 // structure: the selected sources compete for targets under deferred
 // acceptance restricted to their candidate lists, with the same proposal
-// order and tie-breaks as the sparse batch decision (sparseDAA). scores is
+// order and tie-breaks as the sparse batch decision (match.SparseDAA). scores is
 // the fused candidate-score structure (Result.FusedSparse), aligned with
 // cands. The returned assignment is positional: entry p is the global
 // target index chosen for rows[p], -1 when the source exhausts its
 // candidates.
 func AlignRowsSparse(ctx context.Context, cands blocking.Candidates, scores [][]float64, rows []int, topK int) (match.Assignment, error) {
+	return AlignRowsSparseStrategy(ctx, cands, scores, rows, topK, nil)
+}
+
+// AlignRowsSparseStrategy is AlignRowsSparse with an explicit decision
+// strategy. A nil strategy selects the pipeline default (sparse deferred
+// acceptance); strategies without sparse support are rejected.
+func AlignRowsSparseStrategy(ctx context.Context, cands blocking.Candidates, scores [][]float64, rows []int, topK int, st match.Strategy) (match.Assignment, error) {
+	if st != nil && !st.Caps().Sparse {
+		return nil, fmt.Errorf("core: %s assignment needs the dense cost matrix; use the dense pipeline or a sparse decision mode", st.Name())
+	}
 	if len(cands) != len(scores) {
 		return nil, fmt.Errorf("core: AlignRowsSparse: %d candidate rows, %d score rows", len(cands), len(scores))
 	}
@@ -201,5 +245,8 @@ func AlignRowsSparse(ctx context.Context, cands blocking.Candidates, scores [][]
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return sparseDAA(subC, subS, topK), nil
+	if st != nil {
+		return st.DecideSparse(subC, subS, topK)
+	}
+	return match.SparseDAA(subC, subS, topK), nil
 }

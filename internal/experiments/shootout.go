@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"ceaff/internal/bench"
+	"ceaff/internal/core"
+	"ceaff/internal/eval"
+	"ceaff/internal/match"
+	"ceaff/internal/obs"
+)
+
+// ShootoutRow is one (dataset, strategy) measurement of the decision-strategy
+// shootout: the accuracy of the strategy's assignment over the shared fused
+// matrix, the wall time of the decision alone (features and fusion excluded
+// — they are identical across strategies), and the heap it allocated.
+type ShootoutRow struct {
+	Dataset  string
+	Strategy string
+	Accuracy float64
+	Millis   float64
+	// AllocMB is the decision's total heap allocation (runtime.MemStats
+	// TotalAlloc delta) in MiB — a machine-independent memory-pressure
+	// proxy; peak RSS is process-monotonic and would charge each strategy
+	// for its predecessors.
+	AllocMB float64
+}
+
+// Shootout compares every registered decision strategy on the standard
+// dataset shapes: one feature + fusion pass per dataset, then each strategy
+// decides the same fused matrix. Accuracy isolates decision quality;
+// latency and allocation isolate decision cost.
+func Shootout(opt Options) ([]ShootoutRow, error) {
+	cols := []string{bench.SRPRSEnFr, bench.SRPRSDbWd}
+	ctx, span := obs.StartSpan(opt.ctx(), "shootout")
+	defer span.End()
+	opt.Ctx = ctx
+
+	cfg := opt.ceaffConfig()
+	var out []ShootoutRow
+	for _, col := range cols {
+		in, _, err := inputFor(col, opt)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := core.ComputeFeaturesContext(opt.ctx(), in, cfg.GCN)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.DecideContext(opt.ctx(), fs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range match.StrategyNames() {
+			st, err := match.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			asn := st.Decide(res.Fused, cfg.PreferenceTopK)
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			out = append(out, ShootoutRow{
+				Dataset:  col,
+				Strategy: name,
+				Accuracy: eval.Accuracy(asn),
+				Millis:   float64(elapsed.Microseconds()) / 1e3,
+				AllocMB:  float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+			})
+			opt.log("%s: %s done", col, name)
+		}
+	}
+	return out, nil
+}
+
+// RenderShootout writes the strategy shootout as fixed-width text.
+func RenderShootout(w io.Writer, rows []ShootoutRow) {
+	title := "Table S1 (extension): decision-strategy shootout"
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-18s %-10s %9s %10s %10s\n", "dataset", "strategy", "accuracy", "ms", "alloc MB")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %-10s %9.4f %10.2f %10.2f\n",
+			shorten(r.Dataset, 18), r.Strategy, r.Accuracy, r.Millis, r.AllocMB)
+	}
+	fmt.Fprintln(w, "latency and allocation cover the decision only; features and fusion are shared")
+	fmt.Fprintln(w)
+}
+
+// RenderShootoutMarkdown writes the shootout as a GitHub-flavoured table.
+func RenderShootoutMarkdown(w io.Writer, rows []ShootoutRow) {
+	fmt.Fprintln(w, "### Table S1 (extension): decision-strategy shootout")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| dataset | strategy | accuracy | ms | alloc MB |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %s | %.4f | %.2f | %.2f |\n",
+			r.Dataset, r.Strategy, r.Accuracy, r.Millis, r.AllocMB)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ceaff/internal/match"
+)
+
+func TestShootout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strategy shootout too heavy for -short")
+	}
+	rows, err := Shootout(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * len(match.StrategyNames())
+	if len(rows) != want {
+		t.Fatalf("%d shootout rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Fatalf("%s/%s accuracy %v", r.Dataset, r.Strategy, r.Accuracy)
+		}
+		if r.Millis < 0 || r.AllocMB < 0 {
+			t.Fatalf("%s/%s negative cost: %v ms, %v MB", r.Dataset, r.Strategy, r.Millis, r.AllocMB)
+		}
+	}
+	var buf bytes.Buffer
+	RenderShootout(&buf, rows)
+	RenderShootoutMarkdown(&buf, rows)
+	for _, name := range match.StrategyNames() {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("rendered shootout missing strategy %q", name)
+		}
+	}
+}

@@ -1,0 +1,564 @@
+package match
+
+import (
+	"math"
+	"sort"
+
+	"ceaff/internal/mat"
+)
+
+// This file implements Bertsekas' forward auction with ε-scaling as a
+// parallel assignment strategy. Each round, every unassigned source
+// ("person") bids for its best-value target ("object") at a price that
+// undercuts its second choice by exactly the bid increment; the highest bid
+// per object wins, prices only rise within a phase, and at the final
+// increment ε the resulting one-to-one assignment is within min(n,m)·ε of
+// the optimum.
+//
+// Rounds are Jacobi-synchronous — all bids in a round read the same price
+// vector — which makes the bidding embarrassingly parallel: the unassigned
+// list fans out over the persistent mat worker pool in auctionShards fixed
+// logical shards (machine-independent ranges, disjoint writes into pooled
+// bid buffers) and the winning bids merge serially in ascending person
+// order. The schedule, shard ranges, and merge order depend only on the
+// input, so the assignment is bit-identical at any GOMAXPROCS.
+
+// DefaultAuctionEps is the final bid increment ε of the scaling schedule.
+// The assignment's total score is within min(n,m)·ε of the optimal
+// one-to-one assignment. Callers needing a tighter (or looser)
+// optimality/latency trade-off use AuctionWithEps.
+const DefaultAuctionEps = 1e-3
+
+// auctionShards is the fixed logical shard count of the parallel bidding
+// phase. Fixed (not GOMAXPROCS-derived) so shard boundaries — and therefore
+// the exact buffer writes — are machine-independent.
+const auctionShards = 8
+
+// auctionScale divides ε between scaling phases (Bertsekas recommends
+// 4–10).
+const auctionScale = 8.0
+
+// auctionMinParallel is the unassigned-bidder count below which a round
+// bids inline: dispatch overhead would dominate, and inline and sharded
+// rounds write the same bits, so the threshold is unobservable in the
+// output.
+const auctionMinParallel = 64
+
+// auctionForceInline (test hook) forces every round to bid on one
+// goroutine, giving the serial reference the bit-identity tests compare the
+// sharded path against.
+var auctionForceInline = false
+
+// auctionView abstracts the dense matrix and the blocked candidate lists
+// behind the operations a round needs. On full ascending candidate lists
+// the sparse view scans values in exactly the dense row order, so both
+// views produce bit-identical auctions.
+type auctionView interface {
+	persons() int
+	objects() int
+	// scan walks person i's admissible objects (finite values only) in
+	// ascending object order under prices and returns its best object, the
+	// best net value, and the second-best net (−Inf when fewer than two
+	// admissible objects exist). ok=false means no object is admissible.
+	// clean asserts every value is finite, enabling the branch-free loop;
+	// it must be the flag valueRange reported.
+	scan(i int, prices []float64, clean bool) (obj int, best, second float64, ok bool)
+	// value returns person i's score for object j (−Inf if inadmissible).
+	value(i, j int) float64
+	// valueRange returns the min and max finite values; clean reports that
+	// every value is finite; ok=false when no value is finite.
+	valueRange() (lo, hi float64, clean, ok bool)
+}
+
+type denseView struct{ sim *mat.Dense }
+
+func (v denseView) persons() int { return v.sim.Rows }
+func (v denseView) objects() int { return v.sim.Cols }
+
+func (v denseView) scan(i int, prices []float64, clean bool) (int, float64, float64, bool) {
+	row := v.sim.Row(i)
+	if clean {
+		j, best, second := denseScanClean(row, prices)
+		return j, best, second, true
+	}
+	return netScan(row, nil, prices)
+}
+
+func (v denseView) value(i, j int) float64 {
+	val := v.sim.At(i, j)
+	if isNonFinite(val) {
+		return math.Inf(-1)
+	}
+	return val
+}
+
+func (v denseView) valueRange() (float64, float64, bool, bool) {
+	return finiteRange(v.sim.Data)
+}
+
+type sparseView struct {
+	cands  [][]int
+	scores [][]float64
+	nObj   int
+}
+
+func (v *sparseView) persons() int { return len(v.cands) }
+func (v *sparseView) objects() int { return v.nObj }
+
+func (v *sparseView) scan(i int, prices []float64, clean bool) (int, float64, float64, bool) {
+	if clean {
+		return sparseScanClean(v.scores[i], v.cands[i], prices)
+	}
+	return netScan(v.scores[i], v.cands[i], prices)
+}
+
+func (v *sparseView) value(i, j int) float64 {
+	cs := v.cands[i]
+	lo, hi := 0, len(cs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cs[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cs) && cs[lo] == j {
+		val := v.scores[i][lo]
+		if !isNonFinite(val) {
+			return val
+		}
+	}
+	return math.Inf(-1)
+}
+
+func (v *sparseView) valueRange() (float64, float64, bool, bool) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	clean, any := true, false
+	for _, row := range v.scores {
+		rlo, rhi, rclean, ok := finiteRange(row)
+		clean = clean && rclean && ok
+		if !ok {
+			continue
+		}
+		any = true
+		if rlo < lo {
+			lo = rlo
+		}
+		if rhi > hi {
+			hi = rhi
+		}
+	}
+	return lo, hi, clean && any, any
+}
+
+// isNonFinite reports NaN or ±Inf in one arithmetic test: x−x is zero
+// exactly for finite x.
+func isNonFinite(x float64) bool { return x-x != 0 }
+
+// netScan is the checking inner loop shared by both views: values[c] is the
+// score for object idx[c] (or object c itself when idx is nil), non-finite
+// scores are inadmissible. The scan order is ascending c, and only strict
+// improvements move the best, so ties resolve toward the lower object index
+// exactly like the dense argmax kernels.
+func netScan(values []float64, idx []int, prices []float64) (int, float64, float64, bool) {
+	bestJ := -1
+	var best float64
+	second := math.Inf(-1)
+	for c, val := range values {
+		if isNonFinite(val) {
+			continue
+		}
+		j := c
+		if idx != nil {
+			j = idx[c]
+		}
+		net := val - prices[j]
+		switch {
+		case bestJ < 0:
+			bestJ, best = j, net
+		case net > best:
+			bestJ, best, second = j, net, best
+		case net > second:
+			second = net
+		}
+	}
+	if bestJ < 0 {
+		return -1, 0, 0, false
+	}
+	return bestJ, best, second, true
+}
+
+// denseScanClean is netScan for an all-finite dense row: no admissibility
+// branches, bounds checks hoisted. Identical comparisons in identical
+// order, so it returns exactly netScan's result.
+func denseScanClean(values, prices []float64) (int, float64, float64) {
+	prices = prices[:len(values)]
+	bestJ := 0
+	best := values[0] - prices[0]
+	second := math.Inf(-1)
+	for j := 1; j < len(values); j++ {
+		net := values[j] - prices[j]
+		if net > best {
+			bestJ, best, second = j, net, best
+		} else if net > second {
+			second = net
+		}
+	}
+	return bestJ, best, second
+}
+
+// sparseScanClean is the all-finite candidate-list scan.
+func sparseScanClean(values []float64, idx []int, prices []float64) (int, float64, float64, bool) {
+	if len(values) == 0 {
+		return -1, 0, 0, false
+	}
+	idx = idx[:len(values)]
+	bestJ := idx[0]
+	best := values[0] - prices[bestJ]
+	second := math.Inf(-1)
+	for c := 1; c < len(values); c++ {
+		j := idx[c]
+		net := values[c] - prices[j]
+		if net > best {
+			bestJ, best, second = j, net, best
+		} else if net > second {
+			second = net
+		}
+	}
+	return bestJ, best, second, true
+}
+
+// finiteRange returns the min and max finite entries of vals; clean reports
+// that every entry is finite.
+func finiteRange(vals []float64) (float64, float64, bool, bool) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	clean := true
+	any := false
+	for _, v := range vals {
+		if isNonFinite(v) {
+			clean = false
+			continue
+		}
+		any = true
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, clean && any, any
+}
+
+// Auction solves the one-to-one assignment over a dense similarity matrix
+// with the ε-scaling auction at DefaultAuctionEps. Sources with no finite
+// score, or squeezed out when sources outnumber targets, stay unmatched.
+func Auction(sim *mat.Dense) Assignment {
+	return AuctionWithEps(sim, DefaultAuctionEps)
+}
+
+// AuctionWithEps is Auction with an explicit final ε (eps <= 0 uses
+// DefaultAuctionEps). When sources outnumber targets the auction runs on
+// the transpose — bidding from the smaller side guarantees a feasible
+// perfect matching of that side — and inverts the result.
+func AuctionWithEps(sim *mat.Dense, eps float64) Assignment {
+	if sim == nil || sim.Rows == 0 {
+		return Assignment{}
+	}
+	if sim.Rows <= sim.Cols {
+		return runAuction(denseView{sim}, eps)
+	}
+	t := mat.GetDense(sim.Cols, sim.Rows)
+	defer mat.PutDense(t)
+	for i := 0; i < sim.Rows; i++ {
+		row := sim.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	asnT := runAuction(denseView{t}, eps)
+	out := make(Assignment, sim.Rows)
+	for i := range out {
+		out[i] = -1
+	}
+	for j, i := range asnT {
+		if i >= 0 {
+			out[i] = j
+		}
+	}
+	return out
+}
+
+// SparseAuction is the auction over blocked candidate lists (ascending
+// target indices, aligned score rows) at DefaultAuctionEps — it bids
+// directly on the lists without densifying. On full candidate lists the
+// assignment is bit-identical to Auction on the dense matrix. Sources
+// competing for fewer targets than there are bidders give up once
+// infeasibility is certain and stay unmatched.
+func SparseAuction(cands [][]int, scores [][]float64) Assignment {
+	return SparseAuctionWithEps(cands, scores, DefaultAuctionEps)
+}
+
+// SparseAuctionWithEps is SparseAuction with an explicit final ε.
+func SparseAuctionWithEps(cands [][]int, scores [][]float64, eps float64) Assignment {
+	nObj := 0
+	for _, cs := range cands {
+		for _, j := range cs {
+			if j >= nObj {
+				nObj = j + 1
+			}
+		}
+	}
+	return runAuction(&sparseView{cands: cands, scores: scores, nObj: nObj}, eps)
+}
+
+// auctionShardRange splits n bidders into auctionShards contiguous blocks,
+// mirroring gcn's loss sharding: fixed logical shards over a ceil-divided
+// chunk, so the split depends only on n.
+func auctionShardRange(n, sh int) (int, int) {
+	chunk := (n + auctionShards - 1) / auctionShards
+	lo := sh * chunk
+	hi := lo + chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// runAuction drives the ε-scaling schedule: phases at ε = range/8, ε/8,
+// ..., epsFinal. Prices persist across phases; assignments that still
+// satisfy the tighter phase's ε-complementary-slackness are kept (a full
+// reset would refight settled competitions), everyone else re-enters the
+// bidding. When persons < objects, objects left unowned at a phase
+// boundary have their price reset to zero — unowned objects then always
+// carry price zero when a phase starts and can never be abandoned
+// mid-phase, which keeps the classical ε-optimality bound valid for
+// rectangular problems. (Square problems end every phase fully owned, so
+// they skip the reset and keep all price information.)
+func runAuction(v auctionView, epsFinal float64) Assignment {
+	n, m := v.persons(), v.objects()
+	out := make(Assignment, n)
+	for i := range out {
+		out[i] = -1
+	}
+	if n == 0 || m == 0 {
+		return out
+	}
+	lo, hi, clean, ok := v.valueRange()
+	if !ok {
+		return out
+	}
+	if epsFinal <= 0 {
+		epsFinal = DefaultAuctionEps
+	}
+	span := hi - lo
+	eps0 := span / auctionScale
+	if eps0 < epsFinal {
+		eps0 = epsFinal
+	}
+	// In a feasible phase, no price rises more than n·(span+ε) above the
+	// phase-start maximum before the phase completes; a person whose best
+	// net value falls below that is provably unmatchable and gives up.
+	// Dense auctions (oriented so persons <= objects) never reach the
+	// floor; sparse auctions use it to terminate on infeasible candidate
+	// structures.
+	floorDepth := (float64(n)+1)*(span+eps0) + 1
+	rect := n < m
+
+	// Person state: -1 unassigned, -2 given up, else the owned object.
+	assigned := mat.GetScratchInts(n)
+	defer mat.PutScratchInts(assigned)
+	owner := mat.GetScratchInts(m) // object -> person, -1 when free
+	defer mat.PutScratchInts(owner)
+	prices := mat.GetScratch(m)
+	defer mat.PutScratch(prices)
+	for j := 0; j < m; j++ {
+		prices[j] = 0
+		owner[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		assigned[i] = -1
+	}
+
+	// Pooled per-round buffers: the unassigned person list (double-
+	// buffered — each merge rebuilds next round's list from this round's
+	// losers and evictees), and the bid each shard writes for its slice of
+	// that list (disjoint index ranges, so shards never touch the same
+	// element).
+	uBuf := mat.GetScratchInts(n)
+	defer mat.PutScratchInts(uBuf)
+	uNextBuf := mat.GetScratchInts(n)
+	defer mat.PutScratchInts(uNextBuf)
+	evictedBuf := mat.GetScratchInts(n)
+	defer mat.PutScratchInts(evictedBuf)
+	bidObj := mat.GetScratchInts(n)
+	defer mat.PutScratchInts(bidObj)
+	bidVal := mat.GetScratch(n)
+	defer mat.PutScratch(bidVal)
+	// Per-object round-winner state, stamped by a monotone round sequence
+	// so it needs no O(m) clear between rounds.
+	roundBid := mat.GetScratch(m)
+	defer mat.PutScratch(roundBid)
+	roundBidder := mat.GetScratchInts(m)
+	defer mat.PutScratchInts(roundBidder)
+	stamp := mat.GetScratchInts(m)
+	defer mat.PutScratchInts(stamp)
+	touched := mat.GetScratchInts(m)[:0]
+	defer mat.PutScratchInts(touched[:cap(touched)])
+	for j := 0; j < m; j++ {
+		stamp[j] = -1
+	}
+
+	seq := 0
+	for eps, first := eps0, true; ; first = false {
+		if !first {
+			// Phase boundary. Rectangular problems first return unowned
+			// objects to price zero, and freeing an object during the
+			// ε-CS check below zeroes it too — a newly zeroed price can
+			// break a neighbour's slackness, so the check loops to a
+			// fixpoint. Square problems never change prices here, so one
+			// sweep is the fixpoint.
+			if rect {
+				for j := 0; j < m; j++ {
+					if owner[j] < 0 {
+						prices[j] = 0
+					}
+				}
+			}
+			for changed := true; changed; {
+				changed = false
+				for i := 0; i < n; i++ {
+					j := assigned[i]
+					if j < 0 {
+						continue
+					}
+					_, best, _, ok := v.scan(i, prices, clean)
+					if ok && v.value(i, j)-prices[j] >= best-eps {
+						continue
+					}
+					assigned[i] = -1
+					owner[j] = -1
+					if rect {
+						prices[j] = 0
+						changed = true
+					}
+				}
+			}
+		}
+		maxPrice := 0.0
+		for j := 0; j < m; j++ {
+			if prices[j] > maxPrice {
+				maxPrice = prices[j]
+			}
+		}
+		floor := lo - maxPrice - floorDepth
+
+		// Canonical bidder order: ascending person index, maintained
+		// incrementally across rounds (spare is the idle backing buffer
+		// the next list is built into).
+		u := uBuf[:0]
+		for i := 0; i < n; i++ {
+			if assigned[i] == -1 {
+				u = append(u, i)
+			}
+		}
+		spare := uNextBuf
+		for len(u) > 0 {
+			nU := len(u)
+			bid := func(klo, khi int) {
+				for k := klo; k < khi; k++ {
+					obj, best, second, ok := v.scan(u[k], prices, clean)
+					if !ok || best < floor {
+						bidObj[k] = -1
+						continue
+					}
+					if math.IsInf(second, -1) {
+						// Lone admissible object: bid the minimal ε
+						// increment rather than an unbounded margin.
+						second = best
+					}
+					bidObj[k], bidVal[k] = obj, prices[obj]+(best-second)+eps
+				}
+			}
+			if auctionForceInline || nU < auctionMinParallel {
+				bid(0, nU)
+			} else {
+				mat.ParallelShards(auctionShards, func(sh int) {
+					klo, khi := auctionShardRange(nU, sh)
+					bid(klo, khi)
+				})
+			}
+			// Serial merge in block (= ascending person) order: the
+			// highest bid per object wins, ties toward the earlier — and
+			// therefore lower-index — bidder.
+			seq++
+			touched = touched[:0]
+			for k := 0; k < nU; k++ {
+				i := u[k]
+				j := bidObj[k]
+				if j < 0 {
+					assigned[i] = -2
+					continue
+				}
+				if stamp[j] != seq {
+					stamp[j] = seq
+					roundBid[j] = bidVal[k]
+					roundBidder[j] = i
+					touched = append(touched, j)
+				} else if bidVal[k] > roundBid[j] {
+					roundBid[j] = bidVal[k]
+					roundBidder[j] = i
+				}
+			}
+			evicted := evictedBuf[:0]
+			for _, j := range touched {
+				if prev := owner[j]; prev >= 0 {
+					assigned[prev] = -1
+					evicted = append(evicted, prev)
+				}
+				w := roundBidder[j]
+				owner[j] = w
+				assigned[w] = j
+				prices[j] = roundBid[j]
+			}
+			// Next round's bidders: this round's losers (still ascending)
+			// merged with the evicted persons (sorted first — eviction
+			// order follows object touch order, not person order).
+			sort.Ints(evicted)
+			next := spare[:0]
+			e := 0
+			for _, i := range u {
+				if assigned[i] != -1 {
+					continue
+				}
+				for e < len(evicted) && evicted[e] < i {
+					next = append(next, evicted[e])
+					e++
+				}
+				next = append(next, i)
+			}
+			for e < len(evicted) {
+				next = append(next, evicted[e])
+				e++
+			}
+			u, spare = next, u
+		}
+		if eps <= epsFinal {
+			break
+		}
+		eps /= auctionScale
+		if eps < epsFinal {
+			eps = epsFinal
+		}
+	}
+	for i := 0; i < n; i++ {
+		if assigned[i] >= 0 {
+			out[i] = assigned[i]
+		}
+	}
+	return out
+}

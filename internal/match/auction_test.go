@@ -1,0 +1,204 @@
+package match
+
+import (
+	"math"
+	"testing"
+
+	"ceaff/internal/mat"
+	"ceaff/internal/rng"
+)
+
+func randomDense(rows, cols int, s *rng.Source) *mat.Dense {
+	sim := mat.NewDense(rows, cols)
+	for i := range sim.Data {
+		sim.Data[i] = s.Float64()
+	}
+	return sim
+}
+
+// fullCandidates builds the sparse structure equivalent to a dense matrix:
+// every source lists every target in ascending order.
+func fullCandidates(sim *mat.Dense) ([][]int, [][]float64) {
+	cands := make([][]int, sim.Rows)
+	scores := make([][]float64, sim.Rows)
+	for i := 0; i < sim.Rows; i++ {
+		cs := make([]int, sim.Cols)
+		for j := range cs {
+			cs[j] = j
+		}
+		cands[i] = cs
+		scores[i] = append([]float64(nil), sim.Row(i)...)
+	}
+	return cands, scores
+}
+
+// TestAuctionOptimalityVsHungarian is the acceptance cross-check: on ~100
+// randomized dense shapes the auction's total assignment score must come
+// within min(n,m)·ε of Hungarian's optimum.
+func TestAuctionOptimalityVsHungarian(t *testing.T) {
+	s := rng.New(41)
+	for trial := 0; trial < 100; trial++ {
+		rows := 1 + s.Intn(40)
+		cols := 1 + s.Intn(40)
+		sim := randomDense(rows, cols, s)
+		a := Auction(sim)
+		if err := Validate(sim, a); err != nil {
+			t.Fatalf("trial %d (%dx%d): %v", trial, rows, cols, err)
+		}
+		minSide := rows
+		if cols < minSide {
+			minSide = cols
+		}
+		matched := 0
+		for _, j := range a {
+			if j >= 0 {
+				matched++
+			}
+		}
+		if matched != minSide {
+			t.Fatalf("trial %d (%dx%d): auction matched %d of %d", trial, rows, cols, matched, minSide)
+		}
+		gap := TotalWeight(sim, Hungarian(sim)) - TotalWeight(sim, a)
+		bound := DefaultAuctionEps*float64(minSide) + 1e-9
+		if gap > bound {
+			t.Fatalf("trial %d (%dx%d): auction total %g below Hungarian bound (gap %g > %g)",
+				trial, rows, cols, TotalWeight(sim, a), gap, bound)
+		}
+	}
+}
+
+// TestAuctionBitIdentityShardedVsInline pins the tentpole determinism
+// claim: sharded bidding over the worker pool writes the same bits as a
+// single-goroutine auction, at sizes where every round fans out.
+func TestAuctionBitIdentityShardedVsInline(t *testing.T) {
+	s := rng.New(42)
+	for _, n := range []int{64, 200, 333} {
+		sim := randomDense(n, n, s)
+		sharded := Auction(sim)
+		auctionForceInline = true
+		inline := Auction(sim)
+		auctionForceInline = false
+		for i := range sharded {
+			if sharded[i] != inline[i] {
+				t.Fatalf("n=%d: sharded[%d]=%d != inline[%d]=%d", n, i, sharded[i], i, inline[i])
+			}
+		}
+	}
+}
+
+// TestAuctionDeterminismRepeated re-runs the same auction and demands
+// identical assignments — the property the CI determinism suite checks at
+// GOMAXPROCS=1 and 4.
+func TestAuctionDeterminismRepeated(t *testing.T) {
+	sim := randomDense(150, 170, rng.New(43))
+	ref := Auction(sim)
+	for run := 0; run < 5; run++ {
+		got := Auction(sim)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("run %d: assignment[%d]=%d != %d", run, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestSparseAuctionBitIdentityWithDense: full ascending candidate lists
+// scan values in the dense row order, so the sparse auction must reproduce
+// the dense assignment bit for bit.
+func TestSparseAuctionBitIdentityWithDense(t *testing.T) {
+	s := rng.New(44)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + s.Intn(60)
+		sim := randomDense(n, n, s)
+		cands, scores := fullCandidates(sim)
+		dense := Auction(sim)
+		sparse := SparseAuction(cands, scores)
+		for i := range dense {
+			if dense[i] != sparse[i] {
+				t.Fatalf("trial %d n=%d: dense[%d]=%d != sparse[%d]=%d", trial, n, i, dense[i], i, sparse[i])
+			}
+		}
+	}
+}
+
+// TestAuctionRectangularTall exercises the transpose path: with more
+// sources than targets, exactly cols sources match and the result is
+// one-to-one and near-optimal.
+func TestAuctionRectangularTall(t *testing.T) {
+	s := rng.New(45)
+	sim := randomDense(30, 7, s)
+	a := Auction(sim)
+	if err := Validate(sim, a); err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for _, j := range a {
+		if j >= 0 {
+			matched++
+		}
+	}
+	if matched != 7 {
+		t.Fatalf("tall auction matched %d, want 7", matched)
+	}
+	gap := TotalWeight(sim, Hungarian(sim)) - TotalWeight(sim, a)
+	if gap > DefaultAuctionEps*7+1e-9 {
+		t.Fatalf("tall auction gap %g exceeds bound", gap)
+	}
+}
+
+// TestSparseAuctionInfeasible: more bidders than reachable targets must
+// terminate with the surplus unmatched, not loop.
+func TestSparseAuctionInfeasible(t *testing.T) {
+	cands := [][]int{{0}, {0}, {0, 1}}
+	scores := [][]float64{{0.9}, {0.8}, {0.5, 0.4}}
+	a := SparseAuction(cands, scores)
+	seen := map[int]bool{}
+	matched := 0
+	for _, j := range a {
+		if j >= 0 {
+			if seen[j] {
+				t.Fatalf("target %d assigned twice in %v", j, a)
+			}
+			seen[j] = true
+			matched++
+		}
+	}
+	if matched != 2 {
+		t.Fatalf("infeasible auction matched %d of 2 targets: %v", matched, a)
+	}
+}
+
+// TestAuctionNaNRow: a source whose scores are all NaN stays unmatched and
+// never blocks the others.
+func TestAuctionNaNRow(t *testing.T) {
+	sim := mat.NewDense(3, 3)
+	for i := range sim.Data {
+		sim.Data[i] = 0.5
+	}
+	sim.Data[0], sim.Data[1], sim.Data[2] = math.NaN(), math.NaN(), math.NaN()
+	a := Auction(sim)
+	if a[0] != -1 {
+		t.Fatalf("all-NaN source matched target %d", a[0])
+	}
+	if a[1] < 0 || a[2] < 0 || a[1] == a[2] {
+		t.Fatalf("finite sources not matched one-to-one: %v", a)
+	}
+}
+
+func TestAuctionDegenerateShapes(t *testing.T) {
+	if got := Auction(nil); len(got) != 0 {
+		t.Fatalf("nil matrix: %v", got)
+	}
+	if got := Auction(mat.NewDense(0, 5)); len(got) != 0 {
+		t.Fatalf("zero rows: %v", got)
+	}
+	a := Auction(&mat.Dense{Rows: 2, Cols: 0, Data: nil})
+	if len(a) != 2 || a[0] != -1 || a[1] != -1 {
+		t.Fatalf("zero cols: %v", a)
+	}
+	one := mat.NewDense(1, 4)
+	copy(one.Data, []float64{0.1, 0.9, 0.9, 0.2})
+	if got := Auction(one); got[0] != 1 {
+		t.Fatalf("single row should take lowest-index argmax, got %v", got)
+	}
+}

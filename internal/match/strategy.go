@@ -1,0 +1,161 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ceaff/internal/mat"
+)
+
+// Caps declares what a decision strategy can do, so callers can route
+// requests (and reject impossible ones) without knowing the algorithm.
+type Caps struct {
+	// Sparse means DecideSparse works directly over blocked candidate
+	// lists without densifying.
+	Sparse bool
+	// OneToOne means no two sources ever share a target.
+	OneToOne bool
+	// ArgmaxSingle means a single-source decision always equals that
+	// source's lowest-index argmax (for NaN-free scores). The serving layer
+	// uses this to gate the single-row fast path and per-row cache
+	// admission.
+	ArgmaxSingle bool
+}
+
+// Strategy is one collective EA decision algorithm behind a uniform
+// surface: a dense entry point over the fused matrix and a sparse entry
+// point over blocked candidate lists. topK carries Config.PreferenceTopK;
+// strategies without a preference-truncation concept ignore it (only
+// deferred acceptance consumes it today). Implementations are stateless
+// and safe for concurrent use.
+type Strategy interface {
+	// Name is the canonical registry name ("da", "greedy", ...).
+	Name() string
+	Caps() Caps
+	// Decide runs the decision over a dense score matrix.
+	Decide(sim *mat.Dense, topK int) Assignment
+	// DecideSparse runs the decision over per-source candidate lists
+	// (ascending target indices) and their aligned scores. Strategies
+	// without Caps().Sparse return an error.
+	DecideSparse(cands [][]int, scores [][]float64, topK int) (Assignment, error)
+}
+
+type daStrategy struct{}
+
+func (daStrategy) Name() string { return "da" }
+func (daStrategy) Caps() Caps   { return Caps{Sparse: true, OneToOne: true, ArgmaxSingle: true} }
+func (daStrategy) Decide(sim *mat.Dense, topK int) Assignment {
+	return DeferredAcceptanceTopK(sim, topK)
+}
+func (daStrategy) DecideSparse(cands [][]int, scores [][]float64, topK int) (Assignment, error) {
+	return SparseDAA(cands, scores, topK), nil
+}
+
+type greedyStrategy struct{}
+
+func (greedyStrategy) Name() string { return "greedy" }
+func (greedyStrategy) Caps() Caps   { return Caps{Sparse: true, ArgmaxSingle: true} }
+func (greedyStrategy) Decide(sim *mat.Dense, topK int) Assignment {
+	return Greedy(sim)
+}
+func (greedyStrategy) DecideSparse(cands [][]int, scores [][]float64, topK int) (Assignment, error) {
+	return SparseGreedy(cands, scores), nil
+}
+
+type greedy11Strategy struct{}
+
+func (greedy11Strategy) Name() string { return "greedy11" }
+func (greedy11Strategy) Caps() Caps   { return Caps{Sparse: true, OneToOne: true, ArgmaxSingle: true} }
+func (greedy11Strategy) Decide(sim *mat.Dense, topK int) Assignment {
+	return GreedyOneToOne(sim)
+}
+func (greedy11Strategy) DecideSparse(cands [][]int, scores [][]float64, topK int) (Assignment, error) {
+	return SparseGreedyOneToOne(cands, scores), nil
+}
+
+type hungarianStrategy struct{}
+
+func (hungarianStrategy) Name() string { return "hungarian" }
+
+// ArgmaxSingle stays false for Hungarian: the potentials algorithm's tie
+// behavior on a 1×m matrix is not pinned to the lowest-index argmax, so the
+// serving fast path must not stand in for it.
+func (hungarianStrategy) Caps() Caps { return Caps{OneToOne: true} }
+func (hungarianStrategy) Decide(sim *mat.Dense, topK int) Assignment {
+	return Hungarian(sim)
+}
+func (hungarianStrategy) DecideSparse(cands [][]int, scores [][]float64, topK int) (Assignment, error) {
+	return nil, fmt.Errorf("match: hungarian needs the dense cost matrix")
+}
+
+type auctionStrategy struct{}
+
+func (auctionStrategy) Name() string { return "auction" }
+func (auctionStrategy) Caps() Caps   { return Caps{Sparse: true, OneToOne: true, ArgmaxSingle: true} }
+func (auctionStrategy) Decide(sim *mat.Dense, topK int) Assignment {
+	return Auction(sim)
+}
+func (auctionStrategy) DecideSparse(cands [][]int, scores [][]float64, topK int) (Assignment, error) {
+	return SparseAuction(cands, scores), nil
+}
+
+// strategies is the registry, in canonical (alphabetical) order.
+var strategies = []Strategy{
+	auctionStrategy{},
+	daStrategy{},
+	greedyStrategy{},
+	greedy11Strategy{},
+	hungarianStrategy{},
+}
+
+// strategyAliases maps the pipeline's historical decision-mode names onto
+// registry names, so `-decision collective` and a per-request
+// strategy:"collective" mean the same thing.
+var strategyAliases = map[string]string{
+	"collective":  "da",
+	"independent": "greedy",
+	"assignment":  "hungarian",
+}
+
+// ByName resolves a strategy by canonical name or alias
+// (collective → da, independent → greedy, assignment → hungarian).
+func ByName(name string) (Strategy, error) {
+	canon := name
+	if a, ok := strategyAliases[name]; ok {
+		canon = a
+	}
+	for _, st := range strategies {
+		if st.Name() == canon {
+			return st, nil
+		}
+	}
+	return nil, fmt.Errorf("match: unknown strategy %q (known: %s)", name, strings.Join(StrategyNames(), ", "))
+}
+
+// Default is the pipeline's default decision strategy: deferred acceptance,
+// the paper's collective EA.
+func Default() Strategy { return daStrategy{} }
+
+// StrategyNames lists every canonical strategy name, sorted.
+func StrategyNames() []string {
+	out := make([]string, len(strategies))
+	for i, st := range strategies {
+		out[i] = st.Name()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SparseStrategyNames lists the canonical names of strategies that can
+// decide directly over blocked candidate lists.
+func SparseStrategyNames() []string {
+	var out []string
+	for _, st := range strategies {
+		if st.Caps().Sparse {
+			out = append(out, st.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}

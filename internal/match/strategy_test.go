@@ -1,0 +1,126 @@
+package match
+
+import (
+	"reflect"
+	"testing"
+
+	"ceaff/internal/rng"
+)
+
+func TestByNameAndAliases(t *testing.T) {
+	for name, want := range map[string]string{
+		"da":          "da",
+		"greedy":      "greedy",
+		"greedy11":    "greedy11",
+		"hungarian":   "hungarian",
+		"auction":     "auction",
+		"collective":  "da",
+		"independent": "greedy",
+		"assignment":  "hungarian",
+	} {
+		st, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if st.Name() != want {
+			t.Fatalf("ByName(%q).Name() = %q, want %q", name, st.Name(), want)
+		}
+	}
+	if _, err := ByName("simulated-annealing"); err == nil {
+		t.Fatal("ByName should reject unknown strategies")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	want := []string{"auction", "da", "greedy", "greedy11", "hungarian"}
+	if got := StrategyNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("StrategyNames() = %v, want %v", got, want)
+	}
+	wantSparse := []string{"auction", "da", "greedy", "greedy11"}
+	if got := SparseStrategyNames(); !reflect.DeepEqual(got, wantSparse) {
+		t.Fatalf("SparseStrategyNames() = %v, want %v", got, wantSparse)
+	}
+	if Default().Name() != "da" {
+		t.Fatalf("Default() = %q, want da", Default().Name())
+	}
+}
+
+// TestStrategyDecideMatchesDirect pins each strategy's Decide to the
+// function it re-homes, bit for bit.
+func TestStrategyDecideMatchesDirect(t *testing.T) {
+	s := rng.New(77)
+	for trial := 0; trial < 10; trial++ {
+		sim := randomDense(3+s.Intn(30), 3+s.Intn(30), s)
+		for _, tc := range []struct {
+			name string
+			want Assignment
+		}{
+			{"da", DeferredAcceptance(sim)},
+			{"greedy", Greedy(sim)},
+			{"greedy11", GreedyOneToOne(sim)},
+			{"hungarian", Hungarian(sim)},
+			{"auction", Auction(sim)},
+		} {
+			st, err := ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := st.Decide(sim, 0); !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("trial %d: %s.Decide diverges from direct call", trial, tc.name)
+			}
+		}
+		// topK threads through to deferred acceptance only.
+		st, _ := ByName("da")
+		if got := st.Decide(sim, 2); !reflect.DeepEqual(got, DeferredAcceptanceTopK(sim, 2)) {
+			t.Fatalf("trial %d: da.Decide(topK=2) diverges from DeferredAcceptanceTopK", trial)
+		}
+	}
+}
+
+// TestStrategyDecideSparseMatchesDense: on full candidate lists every
+// sparse-capable strategy must reproduce its dense decision bit for bit.
+func TestStrategyDecideSparseMatchesDense(t *testing.T) {
+	s := rng.New(78)
+	sim := randomDense(25, 25, s)
+	cands, scores := fullCandidates(sim)
+	for _, name := range SparseStrategyNames() {
+		st, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense := st.Decide(sim, 0)
+		sparse, err := st.DecideSparse(cands, scores, 0)
+		if err != nil {
+			t.Fatalf("%s.DecideSparse: %v", name, err)
+		}
+		if !reflect.DeepEqual(dense, sparse) {
+			t.Fatalf("%s: sparse full-list decision diverges from dense", name)
+		}
+	}
+	if _, err := func() (Assignment, error) {
+		st, _ := ByName("hungarian")
+		return st.DecideSparse(cands, scores, 0)
+	}(); err == nil {
+		t.Fatal("hungarian.DecideSparse should error")
+	}
+}
+
+// TestArgmaxSingleCap: every strategy advertising ArgmaxSingle must resolve
+// a single NaN-free source to its lowest-index argmax.
+func TestArgmaxSingleCap(t *testing.T) {
+	sim := randomDense(1, 12, rng.New(79))
+	sim.Data[4] = 2.0
+	sim.Data[9] = 2.0 // tie: lowest index must win
+	for _, name := range StrategyNames() {
+		st, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Caps().ArgmaxSingle {
+			continue
+		}
+		if got := st.Decide(sim, 0); got[0] != 4 {
+			t.Fatalf("%s advertises ArgmaxSingle but chose %d, want 4", name, got[0])
+		}
+	}
+}

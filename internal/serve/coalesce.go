@@ -43,10 +43,13 @@ type alignBatch struct {
 }
 
 // batchEntry is one caller's stake in a batch. done is buffered so the
-// executor never blocks on a caller that gave up.
+// executor never blocks on a caller that gave up. strategy is the caller's
+// per-request decision strategy ("" = default); entries with different
+// strategies coalesce freely because groups never share the decision.
 type batchEntry struct {
-	rows []int
-	done chan batchResult
+	rows     []int
+	strategy string
+	done     chan batchResult
 }
 
 type batchResult struct {
@@ -84,8 +87,8 @@ func (c *coalescer) unlock() { <-c.mu }
 // submit enqueues rows for batched execution against box's engine and
 // returns the channel the result arrives on. The caller selects on it
 // against its own request context.
-func (c *coalescer) submit(box *alignerBox, rows []int) <-chan batchResult {
-	e := &batchEntry{rows: rows, done: make(chan batchResult, 1)}
+func (c *coalescer) submit(box *alignerBox, rows []int, strategy string) <-chan batchResult {
+	e := &batchEntry{rows: rows, strategy: strategy, done: make(chan batchResult, 1)}
 	c.lock()
 	// A snapshot change mid-window flushes the open batch: one batch, one
 	// engine. The timer-scheduled flush notices c.batch moved on and no-ops.
@@ -132,8 +135,10 @@ func (c *coalescer) run(b *alignBatch) {
 	c.rows.Add(int64(b.nrows))
 	c.batchSize.Record(float64(b.nrows))
 	groups := make([][]int, len(b.entries))
+	strategies := make([]string, len(b.entries))
 	for i, e := range b.entries {
 		groups[i] = e.rows
+		strategies[i] = e.strategy
 	}
 	// The batch runs under its own deadline — the window plus the server's
 	// default budget — rather than any single caller's context: one caller
@@ -141,7 +146,7 @@ func (c *coalescer) run(b *alignBatch) {
 	// deadlines by selecting against their request context.
 	ctx, cancel := context.WithTimeout(context.Background(), c.window+c.budget)
 	defer cancel()
-	results, err := alignGroups(ctx, b.box.a, groups)
+	results, err := alignGroups(ctx, b.box.a, groups, strategies)
 	for i, e := range b.entries {
 		if err != nil {
 			e.done <- batchResult{err: err}
@@ -153,13 +158,17 @@ func (c *coalescer) run(b *alignBatch) {
 
 // alignGroups runs every group through the aligner: one pooled pass when the
 // engine supports grouped execution, a per-group loop otherwise.
-func alignGroups(ctx context.Context, a Aligner, groups [][]int) ([][]Decision, error) {
+func alignGroups(ctx context.Context, a Aligner, groups [][]int, strategies []string) ([][]Decision, error) {
 	if ga, ok := a.(GroupAligner); ok {
-		return ga.AlignCollectiveGroups(ctx, groups)
+		return ga.AlignCollectiveGroups(ctx, groups, strategies)
 	}
 	out := make([][]Decision, len(groups))
 	for i, g := range groups {
-		d, err := a.AlignCollective(ctx, g)
+		strategy := ""
+		if len(strategies) != 0 {
+			strategy = strategies[i]
+		}
+		d, err := a.AlignCollective(ctx, g, strategy)
 		if err != nil {
 			return nil, err
 		}

@@ -148,7 +148,7 @@ func TestCoalescerSizeFlush(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = <-c.submit(box, []int{i})
+			results[i] = <-c.submit(box, []int{i}, "")
 		}(i)
 	}
 	done := make(chan struct{})
@@ -180,8 +180,8 @@ func TestCoalescerSnapshotIsolation(t *testing.T) {
 	oldBox := &alignerBox{a: oldStub, version: 1}
 	newBox := &alignerBox{a: newStub, version: 2}
 
-	ch1 := c.submit(oldBox, []int{0})
-	ch2 := c.submit(newBox, []int{1}) // forces the old batch to flush
+	ch1 := c.submit(oldBox, []int{0}, "")
+	ch2 := c.submit(newBox, []int{1}, "") // forces the old batch to flush
 
 	r1 := <-ch1
 	if r1.err != nil {

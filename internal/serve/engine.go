@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 
 	"ceaff/internal/core"
@@ -23,6 +24,13 @@ type Decision struct {
 	// source's own argmax.
 	Rank    int  `json:"rank,omitempty"`
 	Matched bool `json:"matched"`
+	// Unilateral reports that this decision is what a lone single-source
+	// request for the same source would answer: the row is NaN-free and the
+	// chosen target is its maximal score with ties toward the lower index.
+	// Such decisions are pure functions of (engine version, source row) and
+	// therefore admissible to the per-row result cache even when they were
+	// computed inside a multi-source batch. Internal — never serialized.
+	Unilateral bool `json:"-"`
 }
 
 // Candidate is one entry of a source's top-k candidate list.
@@ -47,8 +55,14 @@ type Aligner interface {
 	// a source entity name — to a source index.
 	Resolve(key string) (int, bool)
 	// AlignCollective aligns the given sources collectively against all
-	// targets, honouring ctx cancellation.
-	AlignCollective(ctx context.Context, rows []int) ([]Decision, error)
+	// targets, honouring ctx cancellation. strategy selects the decision
+	// strategy by canonical match name; "" means the engine's default
+	// (deferred acceptance). Callers must pass only "" or a member of
+	// Strategies() — the HTTP layer validates before dispatch.
+	AlignCollective(ctx context.Context, rows []int, strategy string) ([]Decision, error)
+	// Strategies lists the canonical decision-strategy names this engine
+	// accepts in AlignCollective.
+	Strategies() []string
 	// AlignGreedy answers from the precomputed greedy ranking — the cheap
 	// degraded fallback.
 	AlignGreedy(rows []int) []Decision
@@ -60,9 +74,37 @@ type Aligner interface {
 // GroupAligner is the optional batched surface the coalescer prefers:
 // several independent align requests answered in one pass over the engine.
 // Group g of the result must be bit-identical to AlignCollective(ctx,
-// groups[g]) — groups share the gather, never the competition.
+// groups[g], strategies[g]) — groups share the gather, never the
+// competition or the strategy. A nil strategies slice means every group
+// uses the default.
 type GroupAligner interface {
-	AlignCollectiveGroups(ctx context.Context, groups [][]int) ([][]Decision, error)
+	AlignCollectiveGroups(ctx context.Context, groups [][]int, strategies []string) ([][]Decision, error)
+}
+
+// strategyFor resolves a per-request strategy name to a match.Strategy; ""
+// maps to nil, the engines' "use the default decision path" sentinel.
+func strategyFor(name string) (match.Strategy, error) {
+	if name == "" {
+		return nil, nil
+	}
+	return match.ByName(name)
+}
+
+// strategiesFor maps per-group strategy names the same way; a nil or empty
+// input yields a nil slice (all defaults).
+func strategiesFor(names []string) ([]match.Strategy, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]match.Strategy, len(names))
+	for i, name := range names {
+		st, err := strategyFor(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
 }
 
 // Engine holds the offline pipeline's output in memory and answers online
@@ -159,11 +201,20 @@ func (e *Engine) Resolve(key string) (int, bool) {
 	return i, ok
 }
 
-// AlignCollective implements Aligner via core.AlignRows: the requested
-// sources compete for targets under deferred acceptance, exactly as the
-// batch pipeline decides, restricted to the queried rows.
-func (e *Engine) AlignCollective(ctx context.Context, rows []int) ([]Decision, error) {
-	asn, err := core.AlignRows(ctx, e.fused, rows, e.topK)
+// Strategies implements Aligner: the dense engine accepts every registered
+// strategy (Hungarian included — the dense matrix is in memory).
+func (e *Engine) Strategies() []string { return match.StrategyNames() }
+
+// AlignCollective implements Aligner via core.AlignRowsStrategy: the
+// requested sources compete for targets under the selected decision
+// strategy (deferred acceptance when strategy is ""), exactly as the batch
+// pipeline decides, restricted to the queried rows.
+func (e *Engine) AlignCollective(ctx context.Context, rows []int, strategy string) ([]Decision, error) {
+	st, err := strategyFor(strategy)
+	if err != nil {
+		return nil, err
+	}
+	asn, err := core.AlignRowsStrategy(ctx, e.fused, rows, e.topK, st)
 	if err != nil {
 		return nil, err
 	}
@@ -177,8 +228,12 @@ func (e *Engine) AlignCollective(ctx context.Context, rows []int) ([]Decision, e
 // AlignCollectiveGroups implements GroupAligner via core.AlignRowGroups:
 // one pooled gather over all groups' rows, one collective decision per
 // group — the coalescer's amortized execution path.
-func (e *Engine) AlignCollectiveGroups(ctx context.Context, groups [][]int) ([][]Decision, error) {
-	asns, err := core.AlignRowGroups(ctx, e.fused, groups, e.topK)
+func (e *Engine) AlignCollectiveGroups(ctx context.Context, groups [][]int, strategies []string) ([][]Decision, error) {
+	sts, err := strategiesFor(strategies)
+	if err != nil {
+		return nil, err
+	}
+	asns, err := core.AlignRowGroupsStrategy(ctx, e.fused, groups, e.topK, sts)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +268,22 @@ func (e *Engine) decision(row, j int) Decision {
 	d.Score = score
 	d.Rank = e.rank(row, score)
 	d.Matched = true
+	d.Unilateral = rowUnilateral(e.fused.Row(row), j)
 	return d
+}
+
+// rowUnilateral reports whether target j is the answer a lone request for
+// this dense row would get: the row is NaN-free and j is its maximal entry
+// with ties toward the lower index — the single-row fast-path order of
+// core.AlignGathered.
+func rowUnilateral(row []float64, j int) bool {
+	score := row[j]
+	for jj, v := range row {
+		if math.IsNaN(v) || v > score || (v == score && jj < j) {
+			return false
+		}
+	}
+	return true
 }
 
 // rank counts targets the source scores strictly above the chosen score,

@@ -61,7 +61,7 @@ func TestEngineCollectiveVsGreedy(t *testing.T) {
 		{0.9, 0.2},
 		{0.8, 0.7},
 	}))
-	col, err := e.AlignCollective(context.Background(), []int{0, 1})
+	col, err := e.AlignCollective(context.Background(), []int{0, 1}, "")
 	if err != nil {
 		t.Fatal(err)
 	}

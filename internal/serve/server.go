@@ -8,9 +8,11 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"ceaff/internal/match"
 	"ceaff/internal/obs"
 	"ceaff/internal/robust"
 	"ceaff/internal/wal"
@@ -99,6 +101,7 @@ type Server struct {
 	fallbacks        *obs.Counter
 	panics           *obs.Counter
 	deadlineRejected *obs.Counter
+	strategyRejected *obs.Counter
 	latency          *obs.Histogram
 	queueWait        *obs.Histogram
 	handlerTime      *obs.Histogram
@@ -146,6 +149,7 @@ func NewServer(cfg Config, reg *obs.Registry) *Server {
 		fallbacks:        reg.Counter("serve.fallback"),
 		panics:           reg.Counter("serve.panics"),
 		deadlineRejected: reg.Counter("serve.deadline.rejected"),
+		strategyRejected: reg.Counter("serve.strategy.rejected"),
 		latency:          reg.Histogram("serve.request.seconds"),
 		queueWait:        reg.Histogram("serve.queue.seconds"),
 		handlerTime:      reg.Histogram("serve.handler.seconds"),
@@ -354,6 +358,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 type alignRequest struct {
 	// Sources are decimal test-source indices or source entity names.
 	Sources []string `json:"sources"`
+	// Strategy selects the decision strategy for this request by name or
+	// alias ("da", "greedy", "greedy11", "hungarian", "auction", ...);
+	// empty means the engine default (deferred acceptance). Names the
+	// engine does not support — unknown, or dense-only on a blocked
+	// engine — are rejected with 400. The degraded greedy fallback ignores
+	// the field: fallback answers always come from the precomputed ranking.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // alignResponse is the POST /v1/align answer.
@@ -384,6 +395,12 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 			errorBody{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Sources), s.cfg.MaxBatch)})
 		return
 	}
+	strategy, err := s.resolveStrategy(a, req.Strategy)
+	if err != nil {
+		s.strategyRejected.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
 	rows := make([]int, len(req.Sources))
 	seen := make(map[int]bool, len(req.Sources))
 	for i, key := range req.Sources {
@@ -409,7 +426,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		err := robust.Fire(FaultCollective)
 		var results []Decision
 		if err == nil {
-			results, err = s.alignCollective(r.Context(), box, rows)
+			results, err = s.alignCollective(r.Context(), box, rows, strategy)
 		}
 		if err == nil {
 			s.breaker.Record(true)
@@ -422,26 +439,49 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	s.writeAlignResponse(w, alignResponse{Degraded: true, Results: a.AlignGreedy(rows)})
 }
 
+// resolveStrategy canonicalizes and validates a per-request strategy name
+// against the engine's supported set, mirroring the malformed-deadline
+// contract: a strategy the request names but the server cannot honour is a
+// client error answered with 400, never a silent fallback to the default
+// decision the client did not ask for.
+func (s *Server) resolveStrategy(a Aligner, name string) (string, error) {
+	if name == "" {
+		return "", nil
+	}
+	st, err := match.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	canon := st.Name()
+	supported := a.Strategies()
+	for _, have := range supported {
+		if have == canon {
+			s.reg.Counter("serve.align.strategy." + canon).Inc()
+			return canon, nil
+		}
+	}
+	return "", fmt.Errorf("strategy %q not supported by this engine (supported: %s)",
+		canon, strings.Join(supported, ", "))
+}
+
 // alignCollective answers the collective decision for rows through the
-// result cache and the coalescer. Only single-source requests are cacheable
-// — a lone source's collective answer is a pure function of (engine
-// version, row), whereas a multi-source batch's answer depends on the whole
-// row set. Degraded fallback answers never reach here, so the cache only
-// ever holds full-fidelity collective results.
-func (s *Server) alignCollective(ctx context.Context, box *alignerBox, rows []int) ([]Decision, error) {
-	cacheable := len(rows) == 1
-	var key cacheKey
+// result cache and the coalescer. Only default-strategy requests touch the
+// cache — per-row keys mean per-row answers, and a non-default strategy's
+// answer is a different function of the same row. Degraded fallback answers
+// never reach here, so the cache only ever holds full-fidelity collective
+// results.
+func (s *Server) alignCollective(ctx context.Context, box *alignerBox, rows []int, strategy string) ([]Decision, error) {
+	cacheable := strategy == ""
 	if cacheable {
-		key = cacheKey{version: box.version, kind: cacheKindAlign, row: rows[0]}
-		if v, ok := s.cache.get(key); ok {
-			return v.([]Decision), nil
+		if results, ok := s.cacheLookup(box.version, rows); ok {
+			return results, nil
 		}
 	}
 	var results []Decision
 	var err error
 	if s.coalesce != nil {
 		select {
-		case res := <-s.coalesce.submit(box, rows):
+		case res := <-s.coalesce.submit(box, rows, strategy):
 			results, err = res.decisions, res.err
 		case <-ctx.Done():
 			// The batch keeps running for its other members; this caller's
@@ -449,12 +489,69 @@ func (s *Server) alignCollective(ctx context.Context, box *alignerBox, rows []in
 			return nil, ctx.Err()
 		}
 	} else {
-		results, err = box.a.AlignCollective(ctx, rows)
+		results, err = box.a.AlignCollective(ctx, rows, strategy)
 	}
 	if err == nil && cacheable {
-		s.cache.put(key, results)
+		s.cacheAdmit(box.version, rows, results)
 	}
 	return results, err
+}
+
+// cacheLookup serves a default-strategy request from per-row cached
+// answers. A single row is a direct hit. A multi-row group is served from
+// cache only when every row hits, every cached answer is a matched
+// unilateral decision, and the chosen targets are pairwise distinct: under
+// deferred acceptance, sources whose individual argmaxes do not collide all
+// receive their first preference, so the collective answer is exactly the
+// concatenation of the unilateral ones.
+func (s *Server) cacheLookup(version uint64, rows []int) ([]Decision, bool) {
+	if len(rows) == 1 {
+		if v, ok := s.cache.get(cacheKey{version: version, kind: cacheKindAlign, row: rows[0]}); ok {
+			return v.([]Decision), true
+		}
+		return nil, false
+	}
+	out := make([]Decision, len(rows))
+	targets := make(map[int]bool, len(rows))
+	for p, row := range rows {
+		v, ok := s.cache.get(cacheKey{version: version, kind: cacheKindAlign, row: row})
+		if !ok {
+			return nil, false
+		}
+		ds := v.([]Decision)
+		if len(ds) != 1 {
+			return nil, false
+		}
+		d := ds[0]
+		if !d.Matched || !d.Unilateral || targets[d.TargetIndex] {
+			return nil, false
+		}
+		targets[d.TargetIndex] = true
+		out[p] = d
+	}
+	s.reg.Counter("serve.cache.group_hits").Inc()
+	return out, true
+}
+
+// cacheAdmit inserts per-row answers from a default-strategy result. A
+// single-row answer caches unconditionally — it is a pure function of
+// (version, row). Rows of a multi-source batch are admitted individually
+// only when matched and unilateral: those are provably what the single-row
+// request would answer, so batches warm the per-row cache without ever
+// poisoning it with competition-dependent outcomes.
+func (s *Server) cacheAdmit(version uint64, rows []int, results []Decision) {
+	if len(results) != len(rows) {
+		return
+	}
+	if len(rows) == 1 {
+		s.cache.put(cacheKey{version: version, kind: cacheKindAlign, row: rows[0]}, results)
+		return
+	}
+	for p, row := range rows {
+		if d := results[p]; d.Matched && d.Unilateral {
+			s.cache.put(cacheKey{version: version, kind: cacheKindAlign, row: row}, []Decision{d})
+		}
+	}
 }
 
 func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"ceaff/internal/match"
 	"ceaff/internal/obs"
 	"ceaff/internal/robust"
 )
@@ -72,7 +73,9 @@ func (s *stubAligner) decisions(rows []int, rank int) []Decision {
 	return out
 }
 
-func (s *stubAligner) AlignCollective(ctx context.Context, rows []int) ([]Decision, error) {
+func (s *stubAligner) Strategies() []string { return match.StrategyNames() }
+
+func (s *stubAligner) AlignCollective(ctx context.Context, rows []int, _ string) ([]Decision, error) {
 	s.calls.Add(1)
 	cur := s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)

@@ -10,6 +10,7 @@ import (
 
 	"ceaff/internal/core"
 	"ceaff/internal/mat"
+	"ceaff/internal/match"
 )
 
 // ShardedEngine partitions the source space across N replica shards behind
@@ -212,9 +213,17 @@ func (se *ShardedEngine) gatherShards(sub *mat.Dense, rows []int, offset int) {
 	wg.Wait()
 }
 
+// Strategies implements Aligner: the sharded engine gathers a dense
+// submatrix, so it accepts every registered strategy like Engine.
+func (se *ShardedEngine) Strategies() []string { return match.StrategyNames() }
+
 // AlignCollective implements Aligner: per-shard parallel gather, one
 // central collective decision — bit-identical to the unsharded engine.
-func (se *ShardedEngine) AlignCollective(ctx context.Context, rows []int) ([]Decision, error) {
+func (se *ShardedEngine) AlignCollective(ctx context.Context, rows []int, strategy string) ([]Decision, error) {
+	st, err := strategyFor(strategy)
+	if err != nil {
+		return nil, err
+	}
 	if err := se.validRows(rows); err != nil {
 		return nil, err
 	}
@@ -225,7 +234,7 @@ func (se *ShardedEngine) AlignCollective(ctx context.Context, rows []int) ([]Dec
 	sub := mat.GetDense(len(rows), nTgt)
 	defer mat.PutDense(sub)
 	se.gatherShards(sub, rows, 0)
-	asn, err := core.AlignGathered(ctx, sub, se.topK)
+	asn, err := core.AlignGatheredStrategy(ctx, sub, se.topK, st)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +247,14 @@ func (se *ShardedEngine) AlignCollective(ctx context.Context, rows []int) ([]Dec
 
 // AlignCollectiveGroups implements GroupAligner: all groups share one
 // pooled gather (still sharded), then each group runs its own decision.
-func (se *ShardedEngine) AlignCollectiveGroups(ctx context.Context, groups [][]int) ([][]Decision, error) {
+func (se *ShardedEngine) AlignCollectiveGroups(ctx context.Context, groups [][]int, strategies []string) ([][]Decision, error) {
+	sts, err := strategiesFor(strategies)
+	if err != nil {
+		return nil, err
+	}
+	if len(sts) != 0 && len(sts) != len(groups) {
+		return nil, fmt.Errorf("serve: %d strategies for %d groups", len(sts), len(groups))
+	}
 	total := 0
 	for _, g := range groups {
 		if err := se.validRows(g); err != nil {
@@ -267,7 +283,11 @@ func (se *ShardedEngine) AlignCollectiveGroups(ctx context.Context, groups [][]i
 	off = 0
 	for g, rows := range groups {
 		view := &mat.Dense{Rows: len(rows), Cols: nTgt, Data: sub.Data[off*nTgt : (off+len(rows))*nTgt]}
-		asn, err := core.AlignGathered(ctx, view, se.topK)
+		var st match.Strategy
+		if len(sts) != 0 {
+			st = sts[g]
+		}
+		asn, err := core.AlignGatheredStrategy(ctx, view, se.topK, st)
 		if err != nil {
 			return nil, err
 		}
@@ -315,6 +335,7 @@ func (se *ShardedEngine) decision(row, j int) Decision {
 	}
 	d.Rank = r
 	d.Matched = true
+	d.Unilateral = rowUnilateral(localRow, j)
 	return d
 }
 

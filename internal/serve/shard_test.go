@@ -59,11 +59,11 @@ func TestShardedEngineBitIdentity(t *testing.T) {
 					rows = append(rows, row)
 				}
 			}
-			want, err := base.AlignCollective(ctx, rows)
+			want, err := base.AlignCollective(ctx, rows, "")
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := se.AlignCollective(ctx, rows)
+			got, err := se.AlignCollective(ctx, rows, "")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -88,7 +88,7 @@ func TestShardedEngineBitIdentity(t *testing.T) {
 
 		// Grouped execution (the coalescer path) against per-group calls.
 		groups := [][]int{{0, 5, 9}, {2}, {}, {7, 1}}
-		gotG, err := se.AlignCollectiveGroups(ctx, groups)
+		gotG, err := se.AlignCollectiveGroups(ctx, groups, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +99,7 @@ func TestShardedEngineBitIdentity(t *testing.T) {
 				}
 				continue
 			}
-			want, err := base.AlignCollective(ctx, rows)
+			want, err := base.AlignCollective(ctx, rows, "")
 			if err != nil {
 				t.Fatal(err)
 			}

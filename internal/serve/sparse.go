@@ -8,6 +8,7 @@ import (
 
 	"ceaff/internal/blocking"
 	"ceaff/internal/core"
+	"ceaff/internal/match"
 )
 
 // SparseEngine serves alignment queries from the candidate-first (blocked)
@@ -99,9 +100,18 @@ func (e *SparseEngine) Resolve(key string) (int, bool) {
 	return i, ok
 }
 
+// Strategies implements Aligner: the blocked engine accepts only strategies
+// that can decide over candidate lists (Hungarian is excluded — it needs
+// the dense matrix the blocked pipeline never materializes).
+func (e *SparseEngine) Strategies() []string { return match.SparseStrategyNames() }
+
 // AlignCollective implements Aligner via the sparse subset decision.
-func (e *SparseEngine) AlignCollective(ctx context.Context, rows []int) ([]Decision, error) {
-	asn, err := core.AlignRowsSparse(ctx, e.cands, e.scores, rows, e.topK)
+func (e *SparseEngine) AlignCollective(ctx context.Context, rows []int, strategy string) ([]Decision, error) {
+	st, err := strategyFor(strategy)
+	if err != nil {
+		return nil, err
+	}
+	asn, err := core.AlignRowsSparseStrategy(ctx, e.cands, e.scores, rows, e.topK, st)
 	if err != nil {
 		return nil, err
 	}
@@ -115,10 +125,14 @@ func (e *SparseEngine) AlignCollective(ctx context.Context, rows []int) ([]Decis
 // AlignCollectiveGroups implements GroupAligner. Sparse groups need no
 // shared gather — candidate rows are referenced, not copied — so grouped
 // execution is a loop over the per-group decisions.
-func (e *SparseEngine) AlignCollectiveGroups(ctx context.Context, groups [][]int) ([][]Decision, error) {
+func (e *SparseEngine) AlignCollectiveGroups(ctx context.Context, groups [][]int, strategies []string) ([][]Decision, error) {
 	out := make([][]Decision, len(groups))
 	for g, rows := range groups {
-		d, err := e.AlignCollective(ctx, rows)
+		strategy := ""
+		if len(strategies) != 0 {
+			strategy = strategies[g]
+		}
+		d, err := e.AlignCollective(ctx, rows, strategy)
 		if err != nil {
 			return nil, err
 		}
@@ -174,6 +188,10 @@ func (e *SparseEngine) decision(row, j int) Decision {
 	}
 	d.Rank = r
 	d.Matched = true
+	// Candidate lists are ascending, so positional tie-breaks toward the
+	// lower candidate index coincide with lower target index — the same
+	// unilateral order as the dense row scan.
+	d.Unilateral = rowUnilateral(e.scores[row], c)
 	return d
 }
 

@@ -62,11 +62,11 @@ func TestSparseEngineBitIdentity(t *testing.T) {
 		t.Fatal("source universe size differs")
 	}
 	for _, rows := range [][]int{{0}, {3, 7}, {1, 2, 3, 4, 5}, {17, 0, 9}} {
-		want, err := dense.AlignCollective(ctx, rows)
+		want, err := dense.AlignCollective(ctx, rows, "")
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := sparse.AlignCollective(ctx, rows)
+		got, err := sparse.AlignCollective(ctx, rows, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,12 +94,12 @@ func TestSparseEngineBitIdentity(t *testing.T) {
 	}
 	// Grouped execution agrees with per-group calls.
 	groups := [][]int{{0, 4}, {2}, {9, 1, 5}}
-	gotG, err := sparse.AlignCollectiveGroups(ctx, groups)
+	gotG, err := sparse.AlignCollectiveGroups(ctx, groups, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for g, rows := range groups {
-		want, _ := sparse.AlignCollective(ctx, rows)
+		want, _ := sparse.AlignCollective(ctx, rows, "")
 		if !reflect.DeepEqual(gotG[g], want) {
 			t.Fatalf("group %d mismatch", g)
 		}
@@ -123,7 +123,7 @@ func TestSparseEngineTruncatedCandidates(t *testing.T) {
 	}
 	ctx := context.Background()
 
-	out, err := e.AlignCollective(ctx, []int{0, 1, 2})
+	out, err := e.AlignCollective(ctx, []int{0, 1, 2}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
