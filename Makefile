@@ -16,7 +16,7 @@ BENCHOUT  ?= BENCH_PR9.json
 
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet build test race bench serve-smoke loadtest loadtest-smoke fuzz-smoke cover
+.PHONY: check fmt vet build test race bench serve-smoke replica-smoke loadtest loadtest-smoke fuzz-smoke cover
 
 check: fmt vet build race
 
@@ -43,6 +43,12 @@ race:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
+# Boot one router + three replica processes, kill -9 a replica, assert
+# partial degraded answers (200 + Engine-Partial) and full recovery after
+# a restart, then require clean drains everywhere.
+replica-smoke:
+	sh scripts/replica-smoke.sh
+
 # Boot ceaffd and drive it with the open-loop generator for a latency
 # report (no gates). Knobs: LOAD_RATE, LOAD_DURATION, LOAD_BATCH,
 # LOAD_ARGS ("-shards 4", "-blocked", ...), LOAD_JSON.
@@ -60,6 +66,7 @@ loadtest-smoke:
 fuzz-smoke:
 	go test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal
 	go test -run '^$$' -fuzz FuzzStrsimRatio -fuzztime $(FUZZTIME) ./internal/strsim
+	go test -run '^$$' -fuzz FuzzWireFrame -fuzztime $(FUZZTIME) ./internal/serve
 
 # Per-package statement coverage summary.
 cover:

@@ -16,6 +16,11 @@
 //	       [-wal path] [-rebuild-threshold 1] [-rebuild-interval 0]
 //	       [-coalesce-window 2ms] [-coalesce-max-rows 256] [-cache-size 4096]
 //	       [-stdlib-encode] [-shards 0]
+//	       [-replica -partition i/N]
+//	       [-router -replicas url1,...,urlN] [-probe-interval 1s]
+//	       [-gather-timeout 2s] [-replica-retries 3]
+//	       [-replica-breaker-cooldown 2s] [-hedge-delay 0] [-no-hedge]
+//	       [-boot-timeout 120s]
 //	       [-blocked] [-min-candidates 20] [-stop-threshold 0]
 //	       [-lsh-tables 0] [-lsh-bits 12] [-max-bucket 0] [-max-seed-fanout 0]
 //
@@ -51,6 +56,23 @@
 // memory. -blocked and -shards are mutually exclusive, and neither
 // supports -wal yet.
 //
+// The replicated path runs shards as separate processes. A replica
+// (-replica -partition i/N) builds the corpus, keeps its slice of the
+// source space, and serves the framed binary row-gather protocol on
+// POST /v1/shard alongside the ordinary query surface. A router
+// (-router -replicas url1,...,urlN) builds no engine: it verifies the
+// fleet is coherent (one split, one corpus, one engine version), gathers
+// rows over the wire and makes every collective decision centrally —
+// byte-identical to the unsharded engine. Per replica it runs health
+// probes (-probe-interval), a circuit breaker
+// (-replica-breaker-cooldown), deadlines carved from the remaining
+// request budget (-gather-timeout), bounded retries (-replica-retries)
+// and hedged second requests to standby replicas (-hedge-delay,
+// -no-hedge; duplicate partition announcements in -replicas are
+// standbys). A partition lost past retry exhaustion degrades the answer
+// (200 + Engine-Partial + "degraded":true rows) instead of failing it,
+// and a new engine version is adopted only once the whole fleet agrees.
+//
 // With -wal, the engine accepts online mutations: POST /v1/mutate batches
 // are validated, appended to the durable CRC-framed log at the given path
 // (acknowledged only after fsync), and a background loop rebuilds the
@@ -72,6 +94,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -86,6 +110,7 @@ import (
 	"ceaff/internal/mat"
 	"ceaff/internal/obs"
 	"ceaff/internal/rng"
+	"ceaff/internal/robust"
 	"ceaff/internal/serve"
 	"ceaff/internal/wal"
 	"ceaff/internal/wordvec"
@@ -123,6 +148,17 @@ func main() {
 	cacheSize := flag.Int("cache-size", 4096, "versioned LRU result-cache entries (0 = off)")
 	stdlibEncode := flag.Bool("stdlib-encode", false, "encode responses with encoding/json instead of the arena encoder")
 	shards := flag.Int("shards", 0, "partition the source space across N consistent-hash replica shards (0 = unsharded)")
+	replica := flag.Bool("replica", false, "serve one partition of the source space and the binary row-gather protocol")
+	partition := flag.String("partition", "", "replica: which slice to own, as i/N (e.g. 0/3)")
+	router := flag.Bool("router", false, "route queries across remote replica processes instead of building an engine")
+	replicas := flag.String("replicas", "", "router: comma-separated replica base URLs (http://host:port)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "router: replica health-probe cadence")
+	gatherTimeout := flag.Duration("gather-timeout", 2*time.Second, "router: per-try gather budget when the request has no deadline")
+	replicaRetries := flag.Int("replica-retries", 3, "router: gather attempts per partition per request")
+	replicaBreakerCooldown := flag.Duration("replica-breaker-cooldown", 2*time.Second, "router: per-replica breaker open-state cooldown")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "router: fixed hedged-request delay (0 = p95-derived)")
+	noHedge := flag.Bool("no-hedge", false, "router: disable hedged second requests")
+	bootTimeout := flag.Duration("boot-timeout", 120*time.Second, "router: how long to wait for replicas to come up")
 	blocked := flag.Bool("blocked", false, "build the engine with the candidate-first blocked pipeline")
 	minCandidates := flag.Int("min-candidates", 20, "blocked: pad every source up to this many candidates")
 	stopThreshold := flag.Int("stop-threshold", 0, "blocked: token-index stop threshold (0 = targets/10)")
@@ -143,6 +179,28 @@ func main() {
 	}
 	if *blocked && *shards > 0 {
 		log.Fatal("-blocked and -shards are mutually exclusive")
+	}
+	if *replica && *router {
+		log.Fatal("-replica and -router are mutually exclusive")
+	}
+	if *replica && (*blocked || *shards > 0 || *walPath != "") {
+		log.Fatal("-replica does not combine with -blocked, -shards or -wal: a replica serves one static dense partition")
+	}
+	if *router && (*blocked || *shards > 0 || *walPath != "") {
+		log.Fatal("-router does not combine with -blocked, -shards or -wal: the router builds no engine of its own")
+	}
+	var partIndex, partTotal int
+	if *replica {
+		var err error
+		partIndex, partTotal, err = parsePartition(*partition)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if *partition != "" {
+		log.Fatal("-partition requires -replica")
+	}
+	if *router != (*replicas != "") {
+		log.Fatal("-router and -replicas go together")
 	}
 
 	rt := obs.NewRuntime()
@@ -180,6 +238,18 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	if *router {
+		rcfg := serve.DefaultRouterConfig()
+		rcfg.ProbeInterval = *probeInterval
+		rcfg.GatherTimeout = *gatherTimeout
+		rcfg.Retry.MaxAttempts = *replicaRetries
+		rcfg.Breaker.Cooldown = *replicaBreakerCooldown
+		rcfg.HedgeDelay = *hedgeDelay
+		rcfg.DisableHedge = *noHedge
+		runRouter(ctx, stop, srv, serveErr, rcfg, splitReplicas(*replicas), *bootTimeout, *drainTimeout, rt.Metrics)
+		return
+	}
 
 	cfg := core.DefaultConfig()
 	if *fast {
@@ -229,6 +299,20 @@ func main() {
 		}
 		srv.SetAligner(engine)
 		log.Printf("ready after %.1fs (%d sources, blocked)", time.Since(start).Seconds(), engine.NumSources())
+	case *replica:
+		engine, err := serve.NewEngine(pipeCtx, in, cfg)
+		if err != nil {
+			fatalStartup(ctx, err)
+		}
+		logDegraded(engine)
+		p, err := serve.NewPartition(engine, partIndex, partTotal)
+		if err != nil {
+			fatalStartup(ctx, err)
+		}
+		srv.SetPartition(p)
+		srv.SetAligner(p)
+		log.Printf("replica ready after %.1fs: partition %d/%d owns %d of %d sources",
+			time.Since(start).Seconds(), partIndex, partTotal, p.Owned(), p.NumSources())
 	case *walPath == "":
 		engine, err := serve.NewEngine(pipeCtx, in, cfg)
 		if err != nil {
@@ -312,6 +396,98 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runRouter is -router mode: no offline pipeline at all — the daemon
+// connects to the replica fleet, verifies it is coherent (one split, one
+// corpus, one engine version), and serves /v1/align by gathering rows over
+// the binary shard protocol with per-replica health checks, breakers,
+// carved deadlines, retries and hedging. Lost partitions degrade answers
+// instead of failing them. Blocks until shutdown.
+func runRouter(ctx context.Context, stop context.CancelFunc, srv *serve.Server, serveErr <-chan error,
+	rcfg serve.RouterConfig, urls []string, bootTimeout, drainTimeout time.Duration, reg *obs.Registry) {
+	if len(urls) == 0 {
+		log.Fatal("-replicas lists no URLs")
+	}
+	transports := make([]serve.Transport, len(urls))
+	client := &http.Client{}
+	for i, u := range urls {
+		transports[i] = &serve.HTTPTransport{Base: u, Client: client}
+	}
+	var rtr *serve.Router
+	// The fleet-wide version agreement lands here: republishing the router
+	// bumps response headers and invalidates the version-keyed cache.
+	rcfg.OnVersion = func(v uint64) { srv.Publish(rtr, v) }
+	start := time.Now()
+	bootCtx, cancel := context.WithTimeout(ctx, bootTimeout)
+	defer cancel()
+	// Replicas run the full offline pipeline before answering; poll until
+	// the whole fleet is up or the boot budget runs out.
+	boot := robust.RetryPolicy{
+		MaxAttempts: int(bootTimeout/(500*time.Millisecond)) + 1,
+		BaseDelay:   500 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Multiplier:  1,
+	}
+	err := boot.Do(bootCtx, func(int) error {
+		var rerr error
+		rtr, rerr = serve.NewRouter(bootCtx, rcfg, transports, reg)
+		return rerr
+	})
+	if err != nil {
+		fatalStartup(ctx, err)
+	}
+	rtr.Start(ctx)
+	srv.Publish(rtr, rtr.Version())
+	log.Printf("router ready after %.1fs: %d partitions across %d replicas, %d sources, engine version %d",
+		time.Since(start).Seconds(), rtr.NumPartitions(), len(urls), rtr.NumSources(), rtr.Version())
+
+	select {
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining (deadline %s)", drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(drainCtx)
+		rtr.Close()
+		if err != nil {
+			log.Printf("drain deadline exceeded, force-closing: %v", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		log.Printf("drained cleanly")
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}
+
+// splitReplicas parses the -replicas list, trimming blanks.
+func splitReplicas(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, strings.TrimRight(u, "/"))
+		}
+	}
+	return out
+}
+
+// parsePartition parses a -partition spec of the form i/N.
+func parsePartition(s string) (index, total int, err error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("-partition %q: want i/N (e.g. 0/3)", s)
+	}
+	index, err = strconv.Atoi(s[:slash])
+	if err == nil {
+		total, err = strconv.Atoi(s[slash+1:])
+	}
+	if err != nil || total < 1 || index < 0 || index >= total {
+		return 0, 0, fmt.Errorf("-partition %q: want i/N with 0 <= i < N", s)
+	}
+	return index, total, nil
 }
 
 // fatalStartup distinguishes a SIGTERM during warm-up (clean exit 0) from a

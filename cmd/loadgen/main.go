@@ -40,6 +40,11 @@ type result struct {
 	latency time.Duration
 	status  int
 	err     bool
+	// partial marks a 200 that carried the Engine-Partial header: the
+	// router answered collectively for the reachable partitions and
+	// degraded the rest. Not an error — but a run against a healthy fleet
+	// should see zero of them, so the report breaks them out.
+	partial bool
 }
 
 func main() {
@@ -198,7 +203,12 @@ func fire(client *http.Client, base string, seq, n, batch int) result {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return result{latency: lat, status: resp.StatusCode, err: resp.StatusCode != http.StatusOK}
+	return result{
+		latency: lat,
+		status:  resp.StatusCode,
+		err:     resp.StatusCode != http.StatusOK,
+		partial: resp.StatusCode == http.StatusOK && resp.Header.Get("Engine-Partial") == "true",
+	}
 }
 
 func quantile(sorted []time.Duration, q float64) time.Duration {
@@ -217,13 +227,16 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 
 func report(results []result, elapsed time.Duration, shed int64, jsonOut bool, p95Max time.Duration, shedMax int) {
 	var lats []time.Duration
-	okCount, errCount := 0, 0
+	okCount, errCount, partialCount := 0, 0, 0
 	for _, r := range results {
 		if r.err {
 			errCount++
 			continue
 		}
 		okCount++
+		if r.partial {
+			partialCount++
+		}
 		lats = append(lats, r.latency)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -241,6 +254,7 @@ func report(results []result, elapsed time.Duration, shed int64, jsonOut bool, p
 		json.NewEncoder(os.Stdout).Encode(map[string]any{
 			"sent":      len(results),
 			"ok":        okCount,
+			"partial":   partialCount,
 			"errors":    errCount,
 			"shed":      shed,
 			"elapsed_s": elapsed.Seconds(),
@@ -251,8 +265,8 @@ func report(results []result, elapsed time.Duration, shed int64, jsonOut bool, p
 			"max_ms":    float64(maxLat) / float64(time.Millisecond),
 		})
 	} else {
-		fmt.Printf("sent %d  ok %d  errors %d  shed %d  in %.2fs (%.0f ok/s)\n",
-			len(results), okCount, errCount, shed, elapsed.Seconds(), throughput)
+		fmt.Printf("sent %d  ok %d (%d partial)  errors %d  shed %d  in %.2fs (%.0f ok/s)\n",
+			len(results), okCount, partialCount, errCount, shed, elapsed.Seconds(), throughput)
 		fmt.Printf("latency p50 %v  p95 %v  p99 %v  max %v\n", p50, p95, p99, maxLat)
 	}
 

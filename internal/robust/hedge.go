@@ -1,0 +1,68 @@
+package robust
+
+import (
+	"context"
+	"time"
+)
+
+// Hedged runs primary immediately and, if it has not completed after delay,
+// launches hedge as a second independent attempt at the same result. The
+// first success wins and the other attempt's context is cancelled, so the
+// caller observes exactly one result — a slow straggler's answer is
+// discarded, never double-counted. If the first completion is a failure,
+// Hedged waits for the other attempt (when one is running) before giving
+// up; when both fail, the first failure is returned.
+//
+// hedged reports whether the winning result came from the hedge attempt —
+// callers use it to count hedge wins without inspecting the result.
+//
+// The hedge fires only on slowness, never as a retry: a primary that fails
+// before the delay elapses returns its error immediately. Bounded retries
+// are RetryPolicy's job; composing Hedged inside RetryPolicy.Do gives both.
+func Hedged[T any](ctx context.Context, delay time.Duration, primary, hedge func(context.Context) (T, error)) (v T, hedged bool, err error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel() // the losing attempt is abandoned on return
+
+	type attempt struct {
+		v      T
+		err    error
+		hedged bool
+	}
+	// Buffered to 2 so late finishers never block on a departed caller.
+	results := make(chan attempt, 2)
+	launch := func(f func(context.Context) (T, error), hedged bool) {
+		go func() {
+			v, err := f(actx)
+			results <- attempt{v: v, err: err, hedged: hedged}
+		}()
+	}
+	launch(primary, false)
+	launched := 1
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	var firstErr error
+	for completed := 0; completed < launched; {
+		select {
+		case <-timer.C:
+			if launched == 1 {
+				launch(hedge, true)
+				launched = 2
+			}
+		case r := <-results:
+			if r.err == nil {
+				return r.v, r.hedged, nil
+			}
+			completed++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case <-ctx.Done():
+			var zero T
+			return zero, false, ctx.Err()
+		}
+	}
+	var zero T
+	return zero, false, firstErr
+}

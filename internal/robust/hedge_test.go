@@ -1,0 +1,126 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHedgedPrimaryWinsFast(t *testing.T) {
+	var hedgeLaunched atomic.Bool
+	v, hedged, err := Hedged(context.Background(), time.Hour,
+		func(context.Context) (int, error) { return 1, nil },
+		func(context.Context) (int, error) { hedgeLaunched.Store(true); return 2, nil })
+	if err != nil || v != 1 || hedged {
+		t.Fatalf("got %d, hedged=%v, err=%v", v, hedged, err)
+	}
+	if hedgeLaunched.Load() {
+		t.Fatal("hedge launched although primary won before the delay")
+	}
+}
+
+func TestHedgedHedgeWinsOnSlowPrimary(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	v, hedged, err := Hedged(context.Background(), time.Millisecond,
+		func(ctx context.Context) (int, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return 1, nil
+		},
+		func(context.Context) (int, error) { return 2, nil })
+	if err != nil || v != 2 || !hedged {
+		t.Fatalf("got %d, hedged=%v, err=%v; want the hedge's 2", v, hedged, err)
+	}
+}
+
+// TestHedgedLoserIsCancelled pins the no-double-count contract: the first
+// success returns immediately and the straggler's context is cancelled so
+// its eventual answer is discarded.
+func TestHedgedLoserIsCancelled(t *testing.T) {
+	primaryCancelled := make(chan struct{})
+	v, hedged, err := Hedged(context.Background(), time.Millisecond,
+		func(ctx context.Context) (int, error) {
+			<-ctx.Done() // never completes on its own
+			close(primaryCancelled)
+			return 1, ctx.Err()
+		},
+		func(context.Context) (int, error) { return 2, nil })
+	if err != nil || v != 2 || !hedged {
+		t.Fatalf("got %d, hedged=%v, err=%v", v, hedged, err)
+	}
+	select {
+	case <-primaryCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("losing primary was never cancelled")
+	}
+}
+
+// A primary that fails before the hedge delay returns its error
+// immediately — hedging covers slowness, retries are RetryPolicy's job.
+func TestHedgedPrimaryFailsFastNoHedge(t *testing.T) {
+	boom := errors.New("boom")
+	var hedgeLaunched atomic.Bool
+	_, hedged, err := Hedged(context.Background(), time.Hour,
+		func(context.Context) (int, error) { return 0, boom },
+		func(context.Context) (int, error) { hedgeLaunched.Store(true); return 2, nil })
+	if !errors.Is(err, boom) || hedged {
+		t.Fatalf("err=%v, hedged=%v; want boom unhedged", err, hedged)
+	}
+	if hedgeLaunched.Load() {
+		t.Fatal("hedge launched as a retry of a fast failure")
+	}
+}
+
+// A failed first completion waits for the other launched attempt; a late
+// success still wins, and when both fail the first error is reported.
+func TestHedgedFailedFirstWaitsForOther(t *testing.T) {
+	slow := func(v int, err error) func(context.Context) (int, error) {
+		return func(ctx context.Context) (int, error) {
+			select {
+			case <-time.After(20 * time.Millisecond):
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+			return v, err
+		}
+	}
+	v, hedged, err := Hedged(context.Background(), time.Millisecond,
+		func(context.Context) (int, error) {
+			time.Sleep(5 * time.Millisecond) // outlive the delay so the hedge launches
+			return 0, errors.New("primary down")
+		},
+		slow(2, nil))
+	if err != nil || v != 2 || !hedged {
+		t.Fatalf("got %d, hedged=%v, err=%v; want the hedge to rescue", v, hedged, err)
+	}
+
+	first := errors.New("first failure")
+	_, _, err = Hedged(context.Background(), time.Millisecond,
+		func(context.Context) (int, error) {
+			time.Sleep(5 * time.Millisecond)
+			return 0, first
+		},
+		slow(0, errors.New("second failure")))
+	if !errors.Is(err, first) {
+		t.Fatalf("both failed: err=%v, want the first failure", err)
+	}
+}
+
+func TestHedgedContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	_, _, err := Hedged(ctx, time.Hour,
+		func(ctx context.Context) (int, error) { <-ctx.Done(); return 0, ctx.Err() },
+		func(ctx context.Context) (int, error) { <-ctx.Done(); return 0, ctx.Err() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}

@@ -25,10 +25,25 @@ type resultCache struct {
 	ll    *list.List // front = most recently used
 	items map[cacheKey]*list.Element
 
+	// doorkeeper is the TinyLFU-style admission filter for sampled inserts
+	// (multi-source batch rows): a key's first sighting while the cache is
+	// full only leaves a note here; admission requires a second sighting.
+	// One-hit wonders from sweeping batch scans therefore never displace
+	// resident entries, while genuinely hot keys pay one extra miss and
+	// then enter. Bounded to doorkeeperScale×cap and cleared wholesale when
+	// full — the periodic reset that keeps the frequency signal fresh.
+	doorkeeper map[cacheKey]struct{}
+
 	hits      *obs.Counter
 	misses    *obs.Counter
 	evictions *obs.Counter
+	admitted  *obs.Counter
+	rejected  *obs.Counter
 }
+
+// doorkeeperScale bounds the doorkeeper to a multiple of the cache
+// capacity before it resets.
+const doorkeeperScale = 4
 
 // Cache entry kinds; part of the key so an align answer and a candidates
 // answer for the same row never collide.
@@ -57,12 +72,15 @@ func newResultCache(capacity int, reg *obs.Registry) *resultCache {
 		return nil
 	}
 	return &resultCache{
-		cap:       capacity,
-		ll:        list.New(),
-		items:     make(map[cacheKey]*list.Element, capacity),
-		hits:      reg.Counter("serve.cache.hits"),
-		misses:    reg.Counter("serve.cache.misses"),
-		evictions: reg.Counter("serve.cache.evictions"),
+		cap:        capacity,
+		ll:         list.New(),
+		items:      make(map[cacheKey]*list.Element, capacity),
+		doorkeeper: make(map[cacheKey]struct{}),
+		hits:       reg.Counter("serve.cache.hits"),
+		misses:     reg.Counter("serve.cache.misses"),
+		evictions:  reg.Counter("serve.cache.evictions"),
+		admitted:   reg.Counter("serve.cache.admitted"),
+		rejected:   reg.Counter("serve.cache.rejected"),
 	}
 }
 
@@ -106,6 +124,41 @@ func (c *resultCache) put(key cacheKey, val any) {
 	}
 }
 
+// putSampled inserts key → val under the doorkeeper admission policy: a
+// refresh of a resident key or an insert into a non-full cache proceeds
+// directly (warming is free), but once the cache is full a new key is
+// admitted only on its second sighting — the first merely registers it in
+// the doorkeeper and counts as rejected. Multi-source batch rows enter the
+// cache through this path; single-row answers and candidate lists keep the
+// unconditional put.
+func (c *resultCache) putSampled(key cacheKey, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		if _, seen := c.doorkeeper[key]; !seen {
+			if len(c.doorkeeper) >= doorkeeperScale*c.cap {
+				clear(c.doorkeeper)
+			}
+			c.doorkeeper[key] = struct{}{}
+			c.rejected.Inc()
+			c.mu.Unlock()
+			return
+		}
+		delete(c.doorkeeper, key)
+	}
+	c.admitted.Inc()
+	c.mu.Unlock()
+	c.put(key, val)
+}
+
 // Reset empties the cache; called on every engine publish so no answer from
 // a previous snapshot survives a hot-swap.
 func (c *resultCache) Reset() {
@@ -116,6 +169,7 @@ func (c *resultCache) Reset() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	clear(c.items)
+	clear(c.doorkeeper)
 }
 
 // len reports the live entry count (test hook).

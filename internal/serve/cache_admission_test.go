@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"testing"
+
+	"ceaff/internal/obs"
+)
+
+func admissionKey(row int) cacheKey {
+	return cacheKey{version: 1, kind: cacheKindAlign, row: row, k: 3}
+}
+
+// TestCacheDoorkeeperHotColdAdmission pins the TinyLFU-style admission
+// contract for sampled (multi-source batch) inserts: one-hit wonders from a
+// cold sweep never displace residents, while a genuinely hot key pays one
+// extra miss and then enters, displacing the coldest resident.
+func TestCacheDoorkeeperHotColdAdmission(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newResultCache(4, reg)
+
+	// Warming a non-full cache is free: sampled inserts go straight in.
+	c.putSampled(admissionKey(0), "warm")
+	if _, ok := c.get(admissionKey(0)); !ok {
+		t.Fatal("sampled insert into a non-full cache was not admitted")
+	}
+	for row := 1; row < 4; row++ {
+		c.put(admissionKey(row), "resident")
+	}
+	if c.len() != 4 {
+		t.Fatalf("cache holds %d entries, want 4", c.len())
+	}
+
+	// A cold sweep — eight distinct keys seen once each, as a wide batch
+	// align would produce — must bounce off the doorkeeper wholesale.
+	for row := 10; row < 18; row++ {
+		c.putSampled(admissionKey(row), "cold")
+	}
+	if c.len() != 4 {
+		t.Fatalf("cold sweep grew the cache to %d entries", c.len())
+	}
+	for row := 0; row < 4; row++ {
+		if _, ok := c.get(admissionKey(row)); !ok {
+			t.Fatalf("resident row %d displaced by a one-hit wonder", row)
+		}
+	}
+	if got := reg.Counter("serve.cache.rejected").Value(); got != 8 {
+		t.Fatalf("serve.cache.rejected = %d, want 8", got)
+	}
+
+	// A hot key: rejected on first sighting, admitted on the second — and
+	// it displaces the least recently used resident (row 0, refreshed
+	// first above).
+	c.putSampled(admissionKey(20), "hot")
+	if _, ok := c.get(admissionKey(20)); ok {
+		t.Fatal("hot key admitted on first sighting")
+	}
+	c.putSampled(admissionKey(20), "hot")
+	if _, ok := c.get(admissionKey(20)); !ok {
+		t.Fatal("hot key not admitted on second sighting")
+	}
+	if _, ok := c.get(admissionKey(0)); ok {
+		t.Fatal("admitting the hot key did not displace the LRU resident")
+	}
+	for row := 1; row < 4; row++ {
+		if _, ok := c.get(admissionKey(row)); !ok {
+			t.Fatalf("hot-key admission displaced warmer resident %d", row)
+		}
+	}
+	if got := reg.Counter("serve.cache.admitted").Value(); got != 2 {
+		t.Fatalf("serve.cache.admitted = %d, want 2 (warm insert + hot key)", got)
+	}
+	if got := reg.Counter("serve.cache.rejected").Value(); got != 9 {
+		t.Fatalf("serve.cache.rejected = %d, want 9", got)
+	}
+}
+
+// TestCacheDoorkeeperBoundAndReset pins the two hygiene properties: the
+// doorkeeper's memory stays bounded under an arbitrarily wide cold scan,
+// and Reset forgets sightings so a stale pre-swap signal cannot fast-track
+// admission after a hot-swap.
+func TestCacheDoorkeeperBoundAndReset(t *testing.T) {
+	c := newResultCache(4, obs.NewRegistry())
+	for row := 0; row < 4; row++ {
+		c.put(admissionKey(row), "resident")
+	}
+	for row := 100; row < 300; row++ {
+		c.putSampled(admissionKey(row), "scan")
+	}
+	c.mu.Lock()
+	dk := len(c.doorkeeper)
+	c.mu.Unlock()
+	if dk > doorkeeperScale*4 {
+		t.Fatalf("doorkeeper grew to %d notes, bound is %d", dk, doorkeeperScale*4)
+	}
+
+	// A key sighted once, then a Reset (engine hot-swap), must start over.
+	c.putSampled(admissionKey(50), "pre-swap")
+	c.Reset()
+	if c.len() != 0 {
+		t.Fatal("Reset left entries behind")
+	}
+	for row := 0; row < 4; row++ {
+		c.put(admissionKey(row), "resident")
+	}
+	c.putSampled(admissionKey(50), "post-swap")
+	if _, ok := c.get(admissionKey(50)); ok {
+		t.Fatal("pre-swap doorkeeper sighting survived Reset and fast-tracked admission")
+	}
+}

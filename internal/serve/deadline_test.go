@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ceaff/internal/obs"
+)
+
+// scriptClock replays a scripted sequence of times. The deadline guard
+// reads the clock exactly twice per request — once when the request enters
+// the admission queue and once when it leaves — so a two-entry script
+// fakes an arbitrary queue wait without sleeping. The last entry is sticky
+// in case an unrelated caller reads the clock afterwards.
+type scriptClock struct {
+	mu    sync.Mutex
+	times []time.Time
+}
+
+func (c *scriptClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.times) == 0 {
+		panic("script clock exhausted")
+	}
+	t := c.times[0]
+	if len(c.times) > 1 {
+		c.times = c.times[1:]
+	}
+	return t
+}
+
+// deadlineAligner records the context deadline the handler was given.
+type deadlineAligner struct {
+	*stubAligner
+	mu       sync.Mutex
+	deadline time.Duration // remaining budget observed inside the handler
+	had      bool
+}
+
+func (a *deadlineAligner) AlignCollective(ctx context.Context, rows []int, strategy string) ([]Decision, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		a.mu.Lock()
+		a.deadline, a.had = time.Until(dl), true
+		a.mu.Unlock()
+	}
+	return a.stubAligner.AlignCollective(ctx, rows, strategy)
+}
+
+// TestDeadlineBudgetExhaustedInQueue pins the guard's accounting on a fake
+// clock: a request granted a 100ms budget that (per the scripted clock)
+// spent 150ms waiting for an admission slot must be answered 504 without
+// ever running the handler — the client's deadline has already passed, so
+// any work done for it would be wasted.
+func TestDeadlineBudgetExhaustedInQueue(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	clock := &scriptClock{times: []time.Time{t0, t0.Add(150 * time.Millisecond)}}
+
+	cfg := testServerConfig()
+	cfg.CacheSize = 0
+	cfg.Now = clock.Now
+	reg := obs.NewRegistry()
+	srv := NewServer(cfg, reg)
+	stub := newStubAligner(8)
+	srv.SetAligner(stub)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, _ := postAlign(t, ts.Client(), ts.URL, map[string]string{"X-Deadline-Ms": "100"}, "1")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 when the budget died in the queue", resp.StatusCode)
+	}
+	if got := reg.Counter("serve.deadline.exhausted").Value(); got != 1 {
+		t.Fatalf("serve.deadline.exhausted = %d, want 1", got)
+	}
+	if stub.calls.Load() != 0 {
+		t.Fatal("handler ran although the deadline was already exhausted")
+	}
+}
+
+// TestDeadlineBudgetNetOfQueueWait pins the propagation half: the handler's
+// context deadline must be the client's budget minus the queue wait, not
+// the full budget — a handler fanning out to replicas budgets each call
+// from what actually remains.
+func TestDeadlineBudgetNetOfQueueWait(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	clock := &scriptClock{times: []time.Time{t0, t0.Add(30 * time.Millisecond)}}
+
+	cfg := testServerConfig()
+	cfg.CacheSize = 0
+	cfg.Now = clock.Now
+	reg := obs.NewRegistry()
+	srv := NewServer(cfg, reg)
+	da := &deadlineAligner{stubAligner: newStubAligner(8)}
+	srv.SetAligner(da)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, _ := postAlign(t, ts.Client(), ts.URL, map[string]string{"X-Deadline-Ms": "100"}, "1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	da.mu.Lock()
+	had, remaining := da.had, da.deadline
+	da.mu.Unlock()
+	if !had {
+		t.Fatal("handler context carried no deadline")
+	}
+	// The guard granted 100ms − 30ms = 70ms of real time; by the time the
+	// aligner read it a few scheduler ticks may have passed, but it can
+	// never exceed 70ms and must not have collapsed toward zero.
+	if remaining > 70*time.Millisecond {
+		t.Fatalf("handler deadline %v exceeds budget net of queue wait (70ms) — queue wait was not subtracted", remaining)
+	}
+	if remaining < 40*time.Millisecond {
+		t.Fatalf("handler deadline %v implausibly small, want ≈70ms", remaining)
+	}
+	if got := reg.Counter("serve.deadline.exhausted").Value(); got != 0 {
+		t.Fatalf("serve.deadline.exhausted = %d, want 0", got)
+	}
+}

@@ -133,6 +133,9 @@ func appendDecision(buf []byte, d Decision) ([]byte, bool) {
 	}
 	buf = append(buf, `,"matched":`...)
 	buf = appendJSONBool(buf, d.Matched)
+	if d.Degraded {
+		buf = append(buf, `,"degraded":true`...)
+	}
 	return append(buf, '}'), true
 }
 
@@ -226,6 +229,17 @@ func appendCandidatesResponse(buf []byte, cands []Candidate) ([]byte, bool) {
 // encoder, falling back to the stdlib path when disabled by config or when
 // a non-finite score makes encoding/json's error behaviour authoritative.
 func (s *Server) writeAlignResponse(w http.ResponseWriter, resp alignResponse) {
+	// A partial answer — any source degraded by partition loss — is
+	// advertised in a header so clients and load generators can count
+	// partials without parsing bodies. Engine-Partial is absent on full
+	// answers, keeping healthy responses byte-identical across topologies.
+	for _, d := range resp.Results {
+		if d.Degraded {
+			w.Header().Set("Engine-Partial", "true")
+			s.reg.Counter("serve.align.partial").Inc()
+			break
+		}
+	}
 	if s.cfg.StdlibEncode {
 		writeJSON(w, http.StatusOK, resp)
 		return

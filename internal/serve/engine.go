@@ -24,6 +24,11 @@ type Decision struct {
 	// source's own argmax.
 	Rank    int  `json:"rank,omitempty"`
 	Matched bool `json:"matched"`
+	// Degraded marks a source whose owning partition was unreachable past
+	// the router's fault-tolerance chain: the decision is an explicit
+	// unmatched placeholder, not an answer. Absent (omitempty) on healthy
+	// responses, so full-health bytes are identical across topologies.
+	Degraded bool `json:"degraded,omitempty"`
 	// Unilateral reports that this decision is what a lone single-source
 	// request for the same source would answer: the row is NaN-free and the
 	// chosen target is its maximal score with ties toward the lower index.

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// The Router's health prober: a /readyz probe loop over every replica
+// link. Each probe refreshes the link's healthy flag and last-seen engine
+// version; the serve.partition.lost gauge follows. Version agreement is
+// decided here too — when every partition has a healthy link and ALL
+// healthy links report the same engine version, and that version differs
+// from the one the router routes at, the router re-verifies fleet metadata
+// (name tables can change across a rebuild) and atomically adopts the new
+// routing snapshot. Until that moment every gather keeps carrying the old
+// version, so replicas that already swapped refuse (ErrVersionSkew) and
+// their rows degrade rather than mix — partial answers during a rolling
+// swap, never a chimera of two engines.
+
+// Start launches the probe loop; it stops when ctx ends or Close is
+// called. Probing is optional — an unstarted router still works, it just
+// never recovers healthy flags or follows version changes on its own.
+func (rt *Router) Start(ctx context.Context) {
+	if rt.started.Swap(true) {
+		return
+	}
+	go func() {
+		defer close(rt.done)
+		ticker := time.NewTicker(rt.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-rt.stop:
+				return
+			case <-ticker.C:
+				rt.probeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop and waits for it to exit; a no-op when Start
+// was never called.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	if rt.started.Load() {
+		<-rt.done
+	}
+}
+
+// probeOnce probes every link once and applies the results: healthy flags,
+// the lost gauge, and — when the whole fleet agrees — version adoption.
+func (rt *Router) probeOnce(ctx context.Context) {
+	for _, set := range rt.replicas {
+		for _, link := range set.links {
+			pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+			v, err := link.t.Ready(pctx)
+			cancel()
+			if err != nil {
+				link.healthy.Store(false)
+				continue
+			}
+			link.healthy.Store(true)
+			link.version.Store(v)
+		}
+	}
+	rt.updateLostGauge()
+	rt.maybeAdoptVersion(ctx)
+}
+
+// maybeAdoptVersion advances the router's routing snapshot when the fleet
+// has finished a hot-swap: every partition healthy, every healthy link at
+// the same version, and that version new to the router.
+func (rt *Router) maybeAdoptVersion(ctx context.Context) {
+	st := rt.state.Load()
+	agreed := uint64(0)
+	first := true
+	for _, set := range rt.replicas {
+		healthy := false
+		for _, link := range set.links {
+			if !link.healthy.Load() {
+				continue
+			}
+			healthy = true
+			v := link.version.Load()
+			if first {
+				agreed, first = v, false
+			} else if v != agreed {
+				return // fleet mid-swap; keep routing at the current version
+			}
+		}
+		if !healthy {
+			return // a dark partition cannot vote; no adoption while partial
+		}
+	}
+	if first || agreed == st.version {
+		return
+	}
+	// Re-verify metadata at the new version: the name tables (and with
+	// them the ownership ring) may have changed across the rebuild.
+	var adopt *ReplicaMeta
+	for _, set := range rt.replicas {
+		for _, link := range set.links {
+			if !link.healthy.Load() {
+				continue
+			}
+			mctx, cancel := context.WithTimeout(ctx, rt.cfg.GatherTimeout)
+			m, err := link.t.Meta(mctx)
+			cancel()
+			if err != nil || m.Version != agreed {
+				return // settle next tick
+			}
+			if adopt == nil {
+				if len(m.SrcNames) == 0 || m.Total != len(rt.replicas) {
+					return
+				}
+				adopt = m
+			} else if m.NamesFP != adopt.NamesFP || m.TopK != adopt.TopK || m.Total != adopt.Total {
+				return
+			}
+		}
+	}
+	if adopt == nil {
+		return
+	}
+	rt.state.Store(newRouterState(adopt))
+	rt.reg.Counter("serve.router.version_adoptions").Inc()
+	if rt.cfg.OnVersion != nil {
+		rt.cfg.OnVersion(agreed)
+	}
+}

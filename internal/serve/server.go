@@ -52,6 +52,10 @@ type Config struct {
 	// arena-backed encoder — the A/B lever for the allocation benchmarks
 	// and a paranoia escape hatch.
 	StdlibEncode bool
+	// Now replaces the clock used for queue-wait accounting and deadline
+	// budgeting; tests inject a fake to pin the elapsed-wait subtraction.
+	// Nil uses time.Now.
+	Now func() time.Time
 }
 
 // DefaultServerConfig returns production-shaped defaults.
@@ -86,6 +90,7 @@ type Server struct {
 	breaker   *Breaker
 	aligner   atomic.Pointer[alignerBox]
 	mutator   atomic.Pointer[mutatorBox]
+	partition atomic.Pointer[Partition]
 	draining  atomic.Bool
 	http      *http.Server
 
@@ -163,6 +168,7 @@ func NewServer(cfg Config, reg *obs.Registry) *Server {
 	mux.Handle("POST /v1/align", s.guard(http.HandlerFunc(s.handleAlign)))
 	mux.Handle("GET /v1/entity/{id}/candidates", s.guard(http.HandlerFunc(s.handleCandidates)))
 	mux.Handle("POST /v1/mutate", s.guard(http.HandlerFunc(s.handleMutate)))
+	mux.Handle("POST /v1/shard", s.guard(http.HandlerFunc(s.handleShard)))
 	s.http = &http.Server{Handler: mux}
 	return s
 }
@@ -210,6 +216,21 @@ func (s *Server) Stale() bool { return s.stale.Load() }
 // /v1/mutate answers 501.
 func (s *Server) SetMutator(m Mutator) {
 	s.mutator.Store(&mutatorBox{m: m})
+}
+
+// SetPartition exposes p over the binary row-gather protocol at POST
+// /v1/shard — the replica daemon's side of the Router's HTTPTransport.
+// Without one the endpoint answers 501.
+func (s *Server) SetPartition(p *Partition) {
+	s.partition.Store(p)
+}
+
+// now is the server's injectable clock.
+func (s *Server) now() time.Time {
+	if s.cfg.Now != nil {
+		return s.cfg.Now()
+	}
+	return time.Now()
 }
 
 // Ready reports whether the server has an engine and is not draining.
@@ -279,7 +300,7 @@ func (s *Server) guard(next http.Handler) http.Handler {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 			return
 		}
-		queued := time.Now()
+		queued := s.now()
 		if err := s.admission.Acquire(r.Context()); err != nil {
 			if errors.Is(err, ErrShed) {
 				w.Header().Set("Retry-After",
@@ -296,10 +317,22 @@ func (s *Server) guard(next http.Handler) http.Handler {
 		// load the admission queue dominates latency long before the
 		// handlers slow down, and a single end-to-end number hides which
 		// regime the server is in.
-		s.queueWait.Observe(time.Since(queued))
+		waited := s.now().Sub(queued)
+		s.queueWait.Observe(waited)
 		defer s.handlerTime.Time()()
 
-		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		// The budget is end-to-end from the client's perspective: time
+		// already burnt waiting for an admission slot comes out of it, so a
+		// handler fanning out downstream (coalescer, replica gathers) can
+		// never consume more than the granted deadline. A budget fully
+		// consumed in the queue is answered 504 without running the handler.
+		remaining := budget - waited
+		if remaining <= 0 {
+			s.reg.Counter("serve.deadline.exhausted").Inc()
+			writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "deadline exhausted while queued"})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), remaining)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})
@@ -538,20 +571,79 @@ func (s *Server) cacheLookup(version uint64, rows []int) ([]Decision, bool) {
 // (version, row). Rows of a multi-source batch are admitted individually
 // only when matched and unilateral: those are provably what the single-row
 // request would answer, so batches warm the per-row cache without ever
-// poisoning it with competition-dependent outcomes.
+// poisoning it with competition-dependent outcomes. Multi-source rows go
+// through the doorkeeper (putSampled): when the cache is full, a batch row
+// must be asked for twice before it may displace a resident entry, so one
+// sweeping batch scan cannot flush the hot single-row working set.
+// Degraded rows — partition-loss placeholders, not answers — never enter.
 func (s *Server) cacheAdmit(version uint64, rows []int, results []Decision) {
 	if len(results) != len(rows) {
 		return
 	}
 	if len(rows) == 1 {
-		s.cache.put(cacheKey{version: version, kind: cacheKindAlign, row: rows[0]}, results)
+		if d := results[0]; !d.Degraded {
+			s.cache.put(cacheKey{version: version, kind: cacheKindAlign, row: rows[0]}, results)
+		}
 		return
 	}
 	for p, row := range rows {
-		if d := results[p]; d.Matched && d.Unilateral {
-			s.cache.put(cacheKey{version: version, kind: cacheKindAlign, row: row}, []Decision{d})
+		if d := results[p]; d.Matched && d.Unilateral && !d.Degraded {
+			s.cache.putSampled(cacheKey{version: version, kind: cacheKindAlign, row: row}, []Decision{d})
 		}
 	}
+}
+
+// handleShard answers the binary row-gather protocol for the installed
+// Partition. Requests and responses are single CRC-framed messages; every
+// replica-side failure (version skew, un-owned rows, torn request frames)
+// travels back as a typed error frame under HTTP 200, so the transport can
+// distinguish protocol-level refusals from the connection-level failures
+// that surface as non-200s or read errors.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	p := s.partition.Load()
+	if p == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			errorBody{Error: "shard protocol disabled: daemon is not a replica"})
+		return
+	}
+	msgType, payload, err := readWireFrame(http.MaxBytesReader(w, r.Body, maxWirePayload+wireHeaderLen+4))
+	if err != nil {
+		s.reg.Counter("serve.shard.bad_frames").Inc()
+		writeShardFrame(w, wireMsgError, encodeWireError(err))
+		return
+	}
+	switch msgType {
+	case wireMsgMetaReq:
+		body, err := json.Marshal(p.Meta())
+		if err != nil {
+			writeShardFrame(w, wireMsgError, encodeWireError(err))
+			return
+		}
+		writeShardFrame(w, wireMsgMetaResp, body)
+	case wireMsgGatherReq:
+		q, err := decodeGatherReq(payload)
+		if err != nil {
+			s.reg.Counter("serve.shard.bad_frames").Inc()
+			writeShardFrame(w, wireMsgError, encodeWireError(err))
+			return
+		}
+		sr, err := p.GatherLocal(q.WantVersion, q.Rows, q.WithFeatures)
+		if err != nil {
+			writeShardFrame(w, wireMsgError, encodeWireError(err))
+			return
+		}
+		s.reg.Counter("serve.shard.gathers").Inc()
+		writeShardFrame(w, wireMsgGatherResp, encodeShardRows(sr))
+	default:
+		writeShardFrame(w, wireMsgError,
+			encodeWireError(fmt.Errorf("%w: unexpected frame type %#x", ErrWireFrame, msgType)))
+	}
+}
+
+func writeShardFrame(w http.ResponseWriter, msgType byte, payload []byte) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(appendWireFrame(nil, msgType, payload))
 }
 
 func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {

@@ -14,18 +14,23 @@ import (
 )
 
 // ShardedEngine partitions the source space across N replica shards behind
-// an in-process consistent-hash router. Each shard owns a disjoint set of
-// source rows — its own copy of their fused scores, per-feature rows, and
-// greedy ranking — modelling N replicas that each hold a partition instead
-// of the full matrix. Queries fan out only to the shards owning the
-// requested rows; the gathered preference matrix then runs ONE central
-// collective decision, so the answer is bit-identical to the unsharded
-// engine (the competition is global even though the storage is not).
+// an in-process consistent-hash router. Each shard is a Partition — its own
+// copy of the owned rows' fused scores, per-feature rows, and greedy
+// ranking — modelling N replicas that each hold a partition instead of the
+// full matrix. Queries fan out only to the shards owning the requested
+// rows; the gathered preference matrix then runs ONE central collective
+// decision, so the answer is bit-identical to the unsharded engine (the
+// competition is global even though the storage is not).
+//
+// ShardedEngine reaches into shard memory directly — it is the zero-copy
+// single-process fast path. The Router in router.go is the same gathering
+// discipline behind the Transport interface, where shards may live in other
+// processes; TestRouterBitIdentity pins the two to the same bytes.
 //
 // The ring hashes source names (stable across engine versions) onto
 // shards via virtual nodes, so adding a shard moves ~1/N of the keys.
 type ShardedEngine struct {
-	shards []*engineShard
+	shards []*Partition
 	owner  []int // source row → shard index
 	local  []int // source row → position within the owning shard
 
@@ -33,16 +38,6 @@ type ShardedEngine struct {
 	tgtNames []string
 	byName   map[string]int
 	topK     int
-}
-
-// engineShard is one replica's partition.
-type engineShard struct {
-	rows   []int      // owned global source rows, ascending
-	fused  *mat.Dense // len(rows) × nTargets copy of the owned rows
-	ms     *mat.Dense // per-feature row copies (nil when the feature degraded)
-	mn     *mat.Dense
-	ml     *mat.Dense
-	greedy []int // per-local-row precomputed argmax (global target index)
 }
 
 // ringVnodes is the virtual-node count per shard; 64 keeps the partition
@@ -92,59 +87,24 @@ func ringOwner(ring []ringPoint, key string) int {
 // partitions. The original engine is not retained; each shard copies its
 // own rows, so the sharded engine models genuinely separate replicas.
 func NewShardedEngine(e *Engine, nshards int) (*ShardedEngine, error) {
-	if nshards < 1 {
-		return nil, fmt.Errorf("serve: shard count %d < 1", nshards)
+	shards, err := NewPartitions(e, nshards)
+	if err != nil {
+		return nil, err
 	}
-	n := len(e.srcNames)
-	ring := buildRing(nshards)
-	owner := make([]int, n)
-	local := make([]int, n)
-	perShard := make([][]int, nshards)
-	for row := 0; row < n; row++ {
-		// Hash the name with the row appended so duplicate names spread
-		// deterministically instead of piling onto one shard.
-		s := ringOwner(ring, e.srcNames[row]+"\x00"+strconv.Itoa(row))
-		owner[row] = s
-		local[row] = len(perShard[s])
-		perShard[s] = append(perShard[s], row)
+	owner := partitionOwnership(e.srcNames, nshards)
+	local := make([]int, len(e.srcNames))
+	for row, s := range owner {
+		local[row] = shards[s].local[row]
 	}
-	se := &ShardedEngine{
-		shards:   make([]*engineShard, nshards),
+	return &ShardedEngine{
+		shards:   shards,
 		owner:    owner,
 		local:    local,
 		srcNames: e.srcNames,
 		tgtNames: e.tgtNames,
 		byName:   e.byName,
 		topK:     e.topK,
-	}
-	copyRows := func(src *mat.Dense, rows []int) *mat.Dense {
-		if src == nil {
-			return nil
-		}
-		out := mat.NewDense(len(rows), src.Cols)
-		for p, r := range rows {
-			copy(out.Row(p), src.Row(r))
-		}
-		return out
-	}
-	for s := 0; s < nshards; s++ {
-		rows := perShard[s]
-		sh := &engineShard{
-			rows:   rows,
-			fused:  copyRows(e.fused, rows),
-			greedy: make([]int, len(rows)),
-		}
-		if e.feats != nil {
-			sh.ms = copyRows(e.feats.Ms, rows)
-			sh.mn = copyRows(e.feats.Mn, rows)
-			sh.ml = copyRows(e.feats.Ml, rows)
-		}
-		for p, r := range rows {
-			sh.greedy[p] = e.greedy[r]
-		}
-		se.shards[s] = sh
-	}
-	return se, nil
+	}, nil
 }
 
 // NumShards reports the replica count (observability hook).
@@ -167,10 +127,16 @@ func (se *ShardedEngine) Resolve(key string) (int, bool) {
 
 // validRows rejects out-of-range and duplicate rows before any shard work.
 func (se *ShardedEngine) validRows(rows []int) error {
+	return validRequestRows(rows, len(se.srcNames))
+}
+
+// validRequestRows rejects out-of-range and duplicate rows — the shared
+// pre-gather validation of ShardedEngine and Router.
+func validRequestRows(rows []int, n int) error {
 	seen := make(map[int]bool, len(rows))
 	for _, r := range rows {
-		if r < 0 || r >= len(se.srcNames) {
-			return fmt.Errorf("serve: source %d out of range [0,%d)", r, len(se.srcNames))
+		if r < 0 || r >= n {
+			return fmt.Errorf("serve: source %d out of range [0,%d)", r, n)
 		}
 		if seen[r] {
 			return fmt.Errorf("serve: duplicate source %d", r)
@@ -203,7 +169,7 @@ func (se *ShardedEngine) gatherShards(sub *mat.Dense, rows []int, offset int) {
 	var wg sync.WaitGroup
 	for s, picks := range work {
 		wg.Add(1)
-		go func(sh *engineShard, picks []pick) {
+		go func(sh *Partition, picks []pick) {
 			defer wg.Done()
 			for _, pk := range picks {
 				copy(sub.Row(pk.dst), sh.fused.Row(pk.local))
@@ -317,26 +283,8 @@ func (se *ShardedEngine) AlignGreedy(rows []int) []Decision {
 // the owning shard's local data — same fields, same rank semantics as the
 // unsharded engine.
 func (se *ShardedEngine) decision(row, j int) Decision {
-	d := Decision{SourceIndex: row, Source: se.srcNames[row], TargetIndex: -1}
-	if j < 0 {
-		return d
-	}
 	sh := se.shards[se.owner[row]]
-	localRow := sh.fused.Row(se.local[row])
-	score := localRow[j]
-	d.TargetIndex = j
-	d.Target = se.tgtNames[j]
-	d.Score = score
-	r := 1
-	for _, v := range localRow {
-		if v > score {
-			r++
-		}
-	}
-	d.Rank = r
-	d.Matched = true
-	d.Unilateral = rowUnilateral(localRow, j)
-	return d
+	return decisionFromRow(se.srcNames, se.tgtNames, row, sh.fused.Row(se.local[row]), j)
 }
 
 // Candidates implements Aligner from the owning shard's partition.
@@ -347,35 +295,9 @@ func (se *ShardedEngine) Candidates(ctx context.Context, row, k int) ([]Candidat
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if k < 1 {
-		k = 1
-	}
 	sh := se.shards[se.owner[row]]
 	local := se.local[row]
-	rowView := &mat.Dense{Rows: 1, Cols: sh.fused.Cols, Data: sh.fused.Row(local)}
-	top := mat.TopKRow(rowView, k)[0]
-	out := make([]Candidate, len(top))
-	for r, j := range top {
-		features := map[string]float64{}
-		for _, f := range []struct {
-			name string
-			m    *mat.Dense
-		}{
-			{"structural", sh.ms},
-			{"semantic", sh.mn},
-			{"string", sh.ml},
-		} {
-			if f.m != nil {
-				features[f.name] = f.m.At(local, j)
-			}
-		}
-		out[r] = Candidate{
-			TargetIndex: j,
-			Target:      se.tgtNames[j],
-			Score:       sh.fused.At(local, j),
-			Rank:        r + 1,
-			Features:    features,
-		}
-	}
-	return out, nil
+	return candidatesFromRows(se.tgtNames, sh.fused.Row(local), k, featureRow{
+		ms: matRowOrNil(sh.ms, local), mn: matRowOrNil(sh.mn, local), ml: matRowOrNil(sh.ml, local),
+	}), nil
 }

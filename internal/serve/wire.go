@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// The replica row-gather protocol reuses the WAL's framing discipline
+// (internal/wal): every message travels as one length-prefixed CRC32-framed
+// binary frame, so a torn TCP stream, a truncated HTTP body or a bit-flip
+// anywhere in transit is a typed decode error — never a silently wrong
+// gather and never a panic. Scores cross the wire as raw IEEE-754 bits, so
+// a remote gather is bit-identical to a local one.
+//
+// Frame layout:
+//
+//	4-byte big-endian payload length | 1-byte message type | payload |
+//	4-byte CRC32 (IEEE) over length+type+payload
+//
+// Messages:
+//
+//	metaReq    empty payload; answered with metaResp.
+//	metaResp   JSON ReplicaMeta (names are bulky and cold — JSON keeps the
+//	           hot binary path for gathers only).
+//	gatherReq  8-byte want-version | 1-byte flags (bit0 = with features) |
+//	           4-byte row count | that many 4-byte global row indices.
+//	gatherResp 8-byte version | 4-byte row count | 4-byte target count |
+//	           1-byte feature mask | rows×4-byte greedy argmax (int32) |
+//	           rows×targets×8-byte fused scores | one such block per set
+//	           feature-mask bit (structural, semantic, string in order).
+//	error      1-byte code | UTF-8 message; decoded back into the matching
+//	           typed sentinel so the router can branch on skew vs damage.
+const (
+	wireMsgMetaReq byte = iota + 1
+	wireMsgMetaResp
+	wireMsgGatherReq
+	wireMsgGatherResp
+	wireMsgError
+)
+
+// Feature-mask bits of a gatherResp, in wire order.
+const (
+	featMs byte = 1 << iota
+	featMn
+	featMl
+)
+
+// Remote-error codes carried by error frames.
+const (
+	wireErrInternal byte = iota + 1
+	wireErrVersionSkew
+	wireErrNotOwned
+)
+
+// maxWirePayload bounds a single frame; anything larger in a length field
+// is framing damage, mirroring the WAL's maxFrameLen discipline.
+const maxWirePayload = 1 << 27
+
+// wireHeaderLen is the non-payload prefix: length + type.
+const wireHeaderLen = 4 + 1
+
+// ErrWireFrame is the sentinel every framing/codec violation matches via
+// errors.Is: truncation, CRC mismatch, impossible lengths, malformed
+// payloads. It is always retryable — the frame, not the replica's state,
+// is damaged.
+var ErrWireFrame = errors.New("serve: malformed wire frame")
+
+// ErrVersionSkew reports that a replica's engine version differs from the
+// version the router's decision is being assembled under. The router never
+// mixes rows from different engine versions in one decision; it retries
+// (the replica may be mid-hot-swap) and then degrades the partition.
+var ErrVersionSkew = errors.New("serve: engine version skew")
+
+// ErrNotOwned reports a gather for a source row outside the replica's
+// partition — a topology misconfiguration, not transient damage.
+var ErrNotOwned = errors.New("serve: source row not owned by partition")
+
+// ErrRemote wraps a replica-side failure reported through an error frame.
+var ErrRemote = errors.New("serve: remote replica error")
+
+// appendWireFrame appends one framed message to buf.
+func appendWireFrame(buf []byte, msgType byte, payload []byte) []byte {
+	start := len(buf)
+	var hdr [wireHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = msgType
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf[start:]))
+	return append(buf, crc[:]...)
+}
+
+// readWireFrame reads exactly one frame from r and verifies its CRC. All
+// failures wrap ErrWireFrame.
+func readWireFrame(r io.Reader) (msgType byte, payload []byte, err error) {
+	var hdr [wireHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrWireFrame, err)
+	}
+	plen := int(binary.BigEndian.Uint32(hdr[:4]))
+	if plen > maxWirePayload {
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrWireFrame, plen)
+	}
+	body := make([]byte, plen+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: body: %v", ErrWireFrame, err)
+	}
+	sum := crc32.NewIEEE()
+	sum.Write(hdr[:])
+	sum.Write(body[:plen])
+	if got, want := sum.Sum32(), binary.BigEndian.Uint32(body[plen:]); got != want {
+		return 0, nil, fmt.Errorf("%w: crc32 %08x, frame records %08x", ErrWireFrame, got, want)
+	}
+	return hdr[4], body[:plen], nil
+}
+
+// decodeWireFrame decodes a buffer holding exactly one frame; trailing
+// bytes are framing damage.
+func decodeWireFrame(b []byte) (msgType byte, payload []byte, err error) {
+	if len(b) < wireHeaderLen+4 {
+		return 0, nil, fmt.Errorf("%w: %d bytes is below the frame minimum", ErrWireFrame, len(b))
+	}
+	plen := int(binary.BigEndian.Uint32(b[:4]))
+	if plen > maxWirePayload || wireHeaderLen+plen+4 != len(b) {
+		return 0, nil, fmt.Errorf("%w: payload length %d inconsistent with %d-byte frame", ErrWireFrame, plen, len(b))
+	}
+	end := wireHeaderLen + plen
+	if got, want := crc32.ChecksumIEEE(b[:end]), binary.BigEndian.Uint32(b[end:]); got != want {
+		return 0, nil, fmt.Errorf("%w: crc32 %08x, frame records %08x", ErrWireFrame, got, want)
+	}
+	return b[4], b[wireHeaderLen:end], nil
+}
+
+// gatherReq is the decoded form of a gatherReq payload.
+type gatherReq struct {
+	WantVersion  uint64
+	WithFeatures bool
+	Rows         []int
+}
+
+// maxGatherRows bounds one gather; the HTTP layer's MaxBatch is far below.
+const maxGatherRows = 1 << 20
+
+// encodeGatherReq serializes q into a fresh payload.
+func encodeGatherReq(q gatherReq) []byte {
+	p := make([]byte, 8+1+4+4*len(q.Rows))
+	binary.BigEndian.PutUint64(p[:8], q.WantVersion)
+	if q.WithFeatures {
+		p[8] = 1
+	}
+	binary.BigEndian.PutUint32(p[9:13], uint32(len(q.Rows)))
+	for i, r := range q.Rows {
+		binary.BigEndian.PutUint32(p[13+4*i:], uint32(r))
+	}
+	return p
+}
+
+// decodeGatherReq parses a gatherReq payload; all failures wrap ErrWireFrame.
+func decodeGatherReq(p []byte) (gatherReq, error) {
+	var q gatherReq
+	if len(p) < 13 {
+		return q, fmt.Errorf("%w: gather request of %d bytes", ErrWireFrame, len(p))
+	}
+	q.WantVersion = binary.BigEndian.Uint64(p[:8])
+	switch p[8] {
+	case 0:
+	case 1:
+		q.WithFeatures = true
+	default:
+		return q, fmt.Errorf("%w: gather request flags %#x", ErrWireFrame, p[8])
+	}
+	n := int(binary.BigEndian.Uint32(p[9:13]))
+	if n > maxGatherRows || 13+4*n != len(p) {
+		return q, fmt.Errorf("%w: gather request row count %d inconsistent with %d bytes", ErrWireFrame, n, len(p))
+	}
+	q.Rows = make([]int, n)
+	for i := range q.Rows {
+		q.Rows[i] = int(int32(binary.BigEndian.Uint32(p[13+4*i:])))
+	}
+	return q, nil
+}
+
+// encodeShardRows serializes a gather answer. Feature blocks follow the
+// mask's bit order; rows within a block are contiguous float64 bit
+// patterns, so the decode on the other side is bit-exact.
+func encodeShardRows(sr *ShardRows) []byte {
+	var mask byte
+	if sr.Ms != nil {
+		mask |= featMs
+	}
+	if sr.Mn != nil {
+		mask |= featMn
+	}
+	if sr.Ml != nil {
+		mask |= featMl
+	}
+	nrows, ntgt := len(sr.Fused), sr.NTargets
+	blocks := 1 + popcount(mask)
+	p := make([]byte, 8+4+4+1+4*nrows+blocks*nrows*ntgt*8)
+	binary.BigEndian.PutUint64(p[:8], sr.Version)
+	binary.BigEndian.PutUint32(p[8:12], uint32(nrows))
+	binary.BigEndian.PutUint32(p[12:16], uint32(ntgt))
+	p[16] = mask
+	off := 17
+	for _, g := range sr.Greedy {
+		binary.BigEndian.PutUint32(p[off:], uint32(int32(g)))
+		off += 4
+	}
+	off = appendFloatBlock(p, off, sr.Fused)
+	for _, block := range [][][]float64{sr.Ms, sr.Mn, sr.Ml} {
+		if block != nil {
+			off = appendFloatBlock(p, off, block)
+		}
+	}
+	return p[:off]
+}
+
+func appendFloatBlock(p []byte, off int, rows [][]float64) int {
+	for _, row := range rows {
+		for _, v := range row {
+			binary.BigEndian.PutUint64(p[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	return off
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// decodeShardRows parses a gather answer; all failures wrap ErrWireFrame.
+// Size arithmetic runs in int64 so absurd counts reject instead of
+// overflowing, and nothing is allocated until the claimed geometry is
+// proven consistent with the actual payload length.
+func decodeShardRows(p []byte) (*ShardRows, error) {
+	if len(p) < 17 {
+		return nil, fmt.Errorf("%w: gather response of %d bytes", ErrWireFrame, len(p))
+	}
+	sr := &ShardRows{Version: binary.BigEndian.Uint64(p[:8])}
+	nrows := int64(binary.BigEndian.Uint32(p[8:12]))
+	ntgt := int64(binary.BigEndian.Uint32(p[12:16]))
+	mask := p[16]
+	if mask&^(featMs|featMn|featMl) != 0 {
+		return nil, fmt.Errorf("%w: gather response feature mask %#x", ErrWireFrame, mask)
+	}
+	if nrows > maxGatherRows || ntgt > 1<<24 {
+		return nil, fmt.Errorf("%w: gather response geometry %dx%d", ErrWireFrame, nrows, ntgt)
+	}
+	blocks := int64(1 + popcount(mask))
+	want := 17 + 4*nrows + blocks*nrows*ntgt*8
+	if want != int64(len(p)) {
+		return nil, fmt.Errorf("%w: gather response %dx%d mask %#x wants %d bytes, frame has %d",
+			ErrWireFrame, nrows, ntgt, mask, want, len(p))
+	}
+	sr.NTargets = int(ntgt)
+	sr.Greedy = make([]int, nrows)
+	off := 17
+	for i := range sr.Greedy {
+		sr.Greedy[i] = int(int32(binary.BigEndian.Uint32(p[off:])))
+		off += 4
+	}
+	sr.Fused, off = readFloatBlock(p, off, int(nrows), int(ntgt))
+	if mask&featMs != 0 {
+		sr.Ms, off = readFloatBlock(p, off, int(nrows), int(ntgt))
+	}
+	if mask&featMn != 0 {
+		sr.Mn, off = readFloatBlock(p, off, int(nrows), int(ntgt))
+	}
+	if mask&featMl != 0 {
+		sr.Ml, off = readFloatBlock(p, off, int(nrows), int(ntgt))
+	}
+	return sr, nil
+}
+
+func readFloatBlock(p []byte, off, nrows, ntgt int) ([][]float64, int) {
+	flat := make([]float64, nrows*ntgt)
+	for i := range flat {
+		flat[i] = math.Float64frombits(binary.BigEndian.Uint64(p[off:]))
+		off += 8
+	}
+	rows := make([][]float64, nrows)
+	for i := range rows {
+		rows[i] = flat[i*ntgt : (i+1)*ntgt]
+	}
+	return rows, off
+}
+
+// encodeWireError maps a replica-side error to an error-frame payload with
+// a typed code, so the router can distinguish version skew and ownership
+// misconfiguration from generic failure.
+func encodeWireError(err error) []byte {
+	code := wireErrInternal
+	switch {
+	case errors.Is(err, ErrVersionSkew):
+		code = wireErrVersionSkew
+	case errors.Is(err, ErrNotOwned):
+		code = wireErrNotOwned
+	}
+	msg := err.Error()
+	if len(msg) > 1<<12 {
+		msg = msg[:1<<12]
+	}
+	return append([]byte{code}, msg...)
+}
+
+// decodeWireError reconstructs the typed error an error frame carries.
+func decodeWireError(p []byte) error {
+	if len(p) < 1 {
+		return fmt.Errorf("%w: empty error frame", ErrWireFrame)
+	}
+	msg := string(p[1:])
+	switch p[0] {
+	case wireErrVersionSkew:
+		return fmt.Errorf("%w: %s", ErrVersionSkew, msg)
+	case wireErrNotOwned:
+		return fmt.Errorf("%w: %s", ErrNotOwned, msg)
+	case wireErrInternal:
+		return fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	return fmt.Errorf("%w: error frame code %#x", ErrWireFrame, p[0])
+}
+
+// namesFingerprint hashes the name tables so a router can cheaply verify
+// that every replica was built from the same corpus before trusting any
+// row indices to mean the same entities.
+func namesFingerprint(srcNames, tgtNames []string) uint64 {
+	h := fnv.New64a()
+	var sep = []byte{0}
+	for _, s := range srcNames {
+		h.Write([]byte(s))
+		h.Write(sep)
+	}
+	h.Write([]byte{1})
+	for _, s := range tgtNames {
+		h.Write([]byte(s))
+		h.Write(sep)
+	}
+	return h.Sum64()
+}

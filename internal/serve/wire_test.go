@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func testShardRows(withFeatures bool) *ShardRows {
+	sr := &ShardRows{
+		Version:  7,
+		NTargets: 3,
+		Greedy:   []int{2, -1},
+		Fused: [][]float64{
+			{0.25, math.Inf(1), math.Copysign(0, -1)},
+			{math.NaN(), 1e-308, -3.5},
+		},
+	}
+	if withFeatures {
+		sr.Ms = [][]float64{{1, 2, 3}, {4, 5, 6}}
+		sr.Ml = [][]float64{{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}}
+	}
+	return sr
+}
+
+// sameFloatBits compares float slices by bit pattern, so NaN == NaN and
+// -0 != +0 — the wire contract is bit-exactness, not numeric equality.
+func sameFloatBits(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello frame")
+	frame := appendWireFrame(nil, wireMsgGatherReq, payload)
+
+	mt, p, err := decodeWireFrame(frame)
+	if err != nil || mt != wireMsgGatherReq || !bytes.Equal(p, payload) {
+		t.Fatalf("decodeWireFrame = %#x, %q, %v", mt, p, err)
+	}
+	mt, p, err = readWireFrame(bytes.NewReader(frame))
+	if err != nil || mt != wireMsgGatherReq || !bytes.Equal(p, payload) {
+		t.Fatalf("readWireFrame = %#x, %q, %v", mt, p, err)
+	}
+
+	// Empty payload is a valid frame (metaReq).
+	if _, p, err := decodeWireFrame(appendWireFrame(nil, wireMsgMetaReq, nil)); err != nil || len(p) != 0 {
+		t.Fatalf("empty-payload frame: %q, %v", p, err)
+	}
+}
+
+// TestWireFrameDamage pins the torn/bit-flipped contract: every mutilation
+// of a valid frame is ErrWireFrame, never a panic or a silent success.
+func TestWireFrameDamage(t *testing.T) {
+	frame := appendWireFrame(nil, wireMsgGatherResp, encodeShardRows(testShardRows(true)))
+
+	// Every truncation point.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := decodeWireFrame(frame[:cut]); !errors.Is(err, ErrWireFrame) {
+			t.Fatalf("truncation at %d: err = %v, want ErrWireFrame", cut, err)
+		}
+		if _, _, err := readWireFrame(bytes.NewReader(frame[:cut])); !errors.Is(err, ErrWireFrame) {
+			t.Fatalf("stream truncation at %d: err = %v, want ErrWireFrame", cut, err)
+		}
+	}
+	// Every single-bit flip: either the CRC catches it, or — when the flip
+	// lands in the length field and makes the frame inconsistent — the
+	// geometry check does. Nothing decodes cleanly.
+	for i := 0; i < len(frame); i++ {
+		for bit := 0; bit < 8; bit++ {
+			flipped := bytes.Clone(frame)
+			flipped[i] ^= 1 << bit
+			if _, _, err := decodeWireFrame(flipped); !errors.Is(err, ErrWireFrame) {
+				t.Fatalf("bit flip at byte %d bit %d: err = %v, want ErrWireFrame", i, bit, err)
+			}
+		}
+	}
+	// Trailing garbage after an otherwise valid frame.
+	if _, _, err := decodeWireFrame(append(bytes.Clone(frame), 0xEE)); !errors.Is(err, ErrWireFrame) {
+		t.Fatalf("trailing byte: err = %v, want ErrWireFrame", err)
+	}
+}
+
+func TestGatherReqRoundTrip(t *testing.T) {
+	for _, q := range []gatherReq{
+		{WantVersion: 0, WithFeatures: false, Rows: []int{}},
+		{WantVersion: 42, WithFeatures: true, Rows: []int{0, 7, 3, 7}},
+		{WantVersion: ^uint64(0), WithFeatures: false, Rows: []int{1 << 19}},
+	} {
+		got, err := decodeGatherReq(encodeGatherReq(q))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", q, err)
+		}
+		if got.WantVersion != q.WantVersion || got.WithFeatures != q.WithFeatures || len(got.Rows) != len(q.Rows) {
+			t.Fatalf("round trip %+v != %+v", got, q)
+		}
+		for i := range q.Rows {
+			if got.Rows[i] != q.Rows[i] {
+				t.Fatalf("round trip rows %v != %v", got.Rows, q.Rows)
+			}
+		}
+	}
+	for name, p := range map[string][]byte{
+		"short":     {1, 2, 3},
+		"bad flags": append(encodeGatherReq(gatherReq{Rows: []int{1}})[:8], 9, 0, 0, 0, 1, 0, 0, 0, 1),
+		"count lie": encodeGatherReq(gatherReq{Rows: []int{1, 2}})[:15],
+	} {
+		if _, err := decodeGatherReq(p); !errors.Is(err, ErrWireFrame) {
+			t.Fatalf("%s: err = %v, want ErrWireFrame", name, err)
+		}
+	}
+}
+
+func TestShardRowsRoundTrip(t *testing.T) {
+	for _, withFeatures := range []bool{false, true} {
+		want := testShardRows(withFeatures)
+		got, err := decodeShardRows(encodeShardRows(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Version != want.Version || got.NTargets != want.NTargets || !reflect.DeepEqual(got.Greedy, want.Greedy) {
+			t.Fatalf("features=%v: header %+v != %+v", withFeatures, got, want)
+		}
+		if !sameFloatBits(got.Fused, want.Fused) {
+			t.Fatalf("features=%v: fused scores not bit-identical", withFeatures)
+		}
+		if withFeatures {
+			if !sameFloatBits(got.Ms, want.Ms) || !sameFloatBits(got.Ml, want.Ml) {
+				t.Fatal("feature rows not bit-identical")
+			}
+			if got.Mn != nil {
+				t.Fatal("absent feature decoded as present")
+			}
+		} else if got.Ms != nil || got.Mn != nil || got.Ml != nil {
+			t.Fatal("features decoded without being encoded")
+		}
+	}
+	// Geometry lies reject before any allocation-sized work.
+	p := encodeShardRows(testShardRows(false))
+	p[8], p[9], p[10], p[11] = 0xFF, 0xFF, 0xFF, 0xFF // absurd row count
+	if _, err := decodeShardRows(p); !errors.Is(err, ErrWireFrame) {
+		t.Fatalf("absurd geometry: err = %v, want ErrWireFrame", err)
+	}
+}
+
+func TestWireErrorRoundTrip(t *testing.T) {
+	for _, sentinel := range []error{ErrVersionSkew, ErrNotOwned, ErrRemote} {
+		in := sentinel
+		if sentinel == ErrRemote {
+			in = errors.New("replica exploded") // generic → wireErrInternal → ErrRemote
+		}
+		out := decodeWireError(encodeWireError(in))
+		if !errors.Is(out, sentinel) {
+			t.Fatalf("round trip of %v lost identity: %v", in, out)
+		}
+	}
+	if err := decodeWireError(nil); !errors.Is(err, ErrWireFrame) {
+		t.Fatalf("empty error frame: %v", err)
+	}
+	if err := decodeWireError([]byte{0xEE, 'x'}); !errors.Is(err, ErrWireFrame) {
+		t.Fatalf("unknown code: %v", err)
+	}
+}
+
+func TestNamesFingerprint(t *testing.T) {
+	a := namesFingerprint([]string{"x", "y"}, []string{"z"})
+	if a != namesFingerprint([]string{"x", "y"}, []string{"z"}) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// Moving a name across the src/tgt boundary must change the hash.
+	if a == namesFingerprint([]string{"x"}, []string{"y", "z"}) {
+		t.Fatal("fingerprint ignores table boundary")
+	}
+	if a == namesFingerprint([]string{"xy"}, []string{"z"}) {
+		t.Fatal("fingerprint ignores name boundaries")
+	}
+}
+
+// FuzzWireFrame feeds random and mutated bytes through every wire decoder:
+// nothing may panic, damage must surface as ErrWireFrame (or a typed
+// sentinel from a valid error frame), and anything that decodes cleanly
+// must re-encode to the same bytes.
+func FuzzWireFrame(f *testing.F) {
+	f.Add(appendWireFrame(nil, wireMsgMetaReq, nil))
+	f.Add(appendWireFrame(nil, wireMsgGatherReq, encodeGatherReq(gatherReq{WantVersion: 3, WithFeatures: true, Rows: []int{0, 5}})))
+	f.Add(appendWireFrame(nil, wireMsgGatherResp, encodeShardRows(testShardRows(true))))
+	f.Add(appendWireFrame(nil, wireMsgError, encodeWireError(ErrVersionSkew)))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		mt, payload, err := decodeWireFrame(b)
+		if err != nil {
+			if !errors.Is(err, ErrWireFrame) {
+				t.Fatalf("frame decode error is not ErrWireFrame: %v", err)
+			}
+			// Stream reads of the same bytes must also fail typed.
+			if _, _, rerr := readWireFrame(bytes.NewReader(b)); !errors.Is(rerr, ErrWireFrame) {
+				t.Fatalf("stream decode error is not ErrWireFrame: %v", rerr)
+			}
+			return
+		}
+		// Valid frame: it must re-encode byte-identically, and its payload
+		// must decode (or fail typed) without panicking.
+		if again := appendWireFrame(nil, mt, payload); !bytes.Equal(again, b) {
+			t.Fatalf("re-encode of a valid frame changed bytes")
+		}
+		switch mt {
+		case wireMsgGatherReq:
+			if q, qerr := decodeGatherReq(payload); qerr == nil {
+				if !bytes.Equal(encodeGatherReq(q), payload) {
+					t.Fatal("gatherReq round trip changed bytes")
+				}
+			} else if !errors.Is(qerr, ErrWireFrame) {
+				t.Fatalf("gatherReq decode error is not ErrWireFrame: %v", qerr)
+			}
+		case wireMsgGatherResp:
+			if sr, serr := decodeShardRows(payload); serr == nil {
+				if !bytes.Equal(encodeShardRows(sr), payload) {
+					t.Fatal("shardRows round trip changed bytes")
+				}
+			} else if !errors.Is(serr, ErrWireFrame) {
+				t.Fatalf("shardRows decode error is not ErrWireFrame: %v", serr)
+			}
+		case wireMsgError:
+			if werr := decodeWireError(payload); werr == nil {
+				t.Fatal("error frame decoded to nil error")
+			}
+		}
+	})
+}
